@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fig. 10(a): normalized energy expense of the three platforms.
+ *
+ * Paper reference: E3-GPU consumes ~71x the energy of E3-CPU; E3-INAX
+ * cuts energy by ~97% versus E3-CPU. Energy = component power x busy
+ * time (CPU powered throughout as the master; accelerators only while
+ * evaluating).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "e3/energy_model.hh"
+#include "e3/experiment.hh"
+
+using namespace e3;
+
+int
+main()
+{
+    std::cout << "Fig. 10(a) reproduction: normalized energy across "
+                 "the suite\n\n";
+
+    const PowerModel power;
+    ExperimentOptions opt;
+    opt.episodesPerEval = 3;
+
+    TextTable table("Energy (joules, normalized to E3-CPU)");
+    table.header({"env", "E3-CPU(J)", "E3-GPU(J)", "E3-INAX(J)",
+                  "GPU ratio", "INAX reduction"});
+
+    double gpuRatioSum = 0.0;
+    double inaxSavingSum = 0.0;
+    size_t count = 0;
+    for (const auto &spec : envSuite()) {
+        ExperimentOptions o = opt;
+        o.maxGenerations = suiteGenerationBudget(spec.name);
+        const RunResult cpu =
+            runExperiment(spec.name, BackendKind::Cpu, o);
+        const RunResult gpu =
+            runExperiment(spec.name, BackendKind::Gpu, o);
+        const RunResult inax =
+            runExperiment(spec.name, BackendKind::Inax, o);
+
+        const double cpuJ = power.joules(cpu.energyInput);
+        const double gpuJ = power.joules(gpu.energyInput);
+        const double inaxJ = power.joules(inax.energyInput);
+
+        const double gpuRatio = gpuJ / cpuJ;
+        const double saving = 1.0 - inaxJ / cpuJ;
+        gpuRatioSum += gpuRatio;
+        inaxSavingSum += saving;
+        ++count;
+
+        table.row({spec.name, TextTable::num(cpuJ, 1),
+                   TextTable::num(gpuJ, 0), TextTable::num(inaxJ, 2),
+                   TextTable::num(gpuRatio, 1) + "x",
+                   TextTable::pct(saving)});
+    }
+    std::cout << table << '\n';
+
+    const double n = static_cast<double>(count);
+    std::printf("Average: E3-GPU consumes %.0fx the energy of E3-CPU "
+                "(paper ~71x); E3-INAX saves %.1f%% (paper ~97%%)\n",
+                gpuRatioSum / n, 100.0 * inaxSavingSum / n);
+    std::printf("Shape check: GPU >> CPU and INAX saves >90%%: %s\n",
+                gpuRatioSum / n > 10.0 && inaxSavingSum / n > 0.90
+                    ? "PASS"
+                    : "DIVERGES");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fig. 4(e)-(g): the irregularity of evolved networks.
+ *
+ * (e) distribution of node in-degree, (f) histogram of per-layer node
+ * counts, (g) density trace across generations, all over NEAT runs on
+ * the six-env suite. Paper shape: low-degree-dominated with a long
+ * tail, small fluctuating layers, and densities that wander (sometimes
+ * above 100%) rather than settling — the dynamic sparsity any
+ * accelerator must handle.
+ */
+
+#include <iostream>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "e3/experiment.hh"
+#include "neat/population.hh"
+
+using namespace e3;
+
+int
+main()
+{
+    std::cout << "Fig. 4(e-g) reproduction: irregularity statistics "
+                 "of evolved networks across the suite\n\n";
+
+    Histogram degreeHist(0.0, 16.0, 16);
+    Histogram layerHist(0.0, 12.0, 12);
+
+    TextTable densityTable(
+        "Fig. 4(g): population mean density across generations");
+    densityTable.header({"env", "gen0", "gen5", "gen10", "gen15",
+                         "gen20", "max"});
+
+    for (const auto &spec : envSuite()) {
+        NeatConfig cfg = NeatConfig::forTask(
+            spec.numInputs, spec.numOutputs, 1e18 /* never stop */);
+        cfg.populationSize = 100;
+        Population pop(cfg, 555);
+
+        std::vector<std::string> row{spec.name};
+        double maxDensity = 0.0;
+        for (int gen = 0; gen <= 20; ++gen) {
+            // Structure-only statistics need no env interaction;
+            // fitness just drives selection, so use a cheap proxy that
+            // keeps evolution moving (favor medium-size genomes).
+            pop.evaluateAll([](const Genome &g) {
+                const auto [nodes, conns] = g.size();
+                return static_cast<double>(conns) -
+                       0.1 * static_cast<double>(nodes * nodes);
+            });
+            const GenerationStats stats = pop.stats();
+            maxDensity = std::max(maxDensity, stats.densities.mean());
+            if (gen % 5 == 0)
+                row.push_back(
+                    TextTable::pct(stats.densities.mean()));
+
+            for (const auto &[key, genome] : pop.genomes()) {
+                const NetStats ns =
+                    computeNetStats(genome.toNetworkDef(cfg));
+                for (size_t deg : ns.inDegrees)
+                    degreeHist.add(static_cast<double>(deg));
+                for (size_t ls : ns.layerSizes)
+                    layerHist.add(static_cast<double>(ls));
+            }
+            pop.advance();
+        }
+        row.push_back(TextTable::pct(maxDensity));
+        densityTable.row(row);
+    }
+
+    std::cout << densityTable << '\n';
+
+    std::cout << "Fig. 4(e): node in-degree distribution (all "
+                 "generations, all envs)\n"
+              << degreeHist.ascii() << '\n';
+    std::cout << "Fig. 4(f): nodes-per-layer histogram\n"
+              << layerHist.ascii() << '\n';
+
+    std::cout << "Expected shape: in-degree mass at 1-4 with a tail; "
+                 "small layers dominate; densities fluctuate across "
+                 "generations and can exceed 100%.\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fig. 6: parallelism across PEs.
+ *
+ * Paper setup (footnote 3): 200 individuals, 8 inputs, 30 hidden
+ * nodes, sparsity 0.2, PU=1, sweeping the PE count, with (a) 10 output
+ * nodes and (b) 15 output nodes. Expected shape: runtime falls as PEs
+ * grow; U(PE) generally falls but shows local peaks at the output-node
+ * count k and its fractions ceil(k/2), ceil(k/3), ... (the paper's PE
+ * heuristic).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "e3/synthetic.hh"
+#include "inax/inax.hh"
+
+using namespace e3;
+
+namespace {
+
+void
+sweep(size_t numOutputs)
+{
+    SyntheticParams params;
+    params.numOutputs = numOutputs;
+
+    const auto population = syntheticPopulation(params, 42);
+    Rng rng(1234);
+    const auto lengths = syntheticEpisodeLengths(
+        population.size(), 60, 200, rng);
+
+    TextTable table("Fig. 6, " + std::to_string(numOutputs) +
+                    " output nodes (PU=1)");
+    table.header({"PEs", "cycles", "norm runtime", "U(PE)"});
+
+    uint64_t baseline = 0;
+    for (size_t pes = 1; pes <= 20; ++pes) {
+        InaxConfig cfg;
+        cfg.numPUs = 1;
+        cfg.numPEs = pes;
+
+        std::vector<IndividualCost> costs;
+        for (const auto &def : population)
+            costs.push_back(puIndividualCost(def, cfg));
+        const InaxReport report =
+            runAccelerator(costs, lengths, cfg);
+
+        if (pes == 1)
+            baseline = report.totalCycles();
+        table.row({TextTable::num(static_cast<long long>(pes)),
+                   TextTable::num(
+                       static_cast<long long>(report.totalCycles())),
+                   TextTable::num(static_cast<double>(
+                                      report.totalCycles()) /
+                                      static_cast<double>(baseline),
+                                  3),
+                   TextTable::num(report.pe.rate(), 3)});
+    }
+    std::cout << table << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Fig. 6 reproduction: runtime and PE utilization vs "
+                 "PE count (synthetic population, paper footnote 3 "
+                 "defaults)\n\n";
+    sweep(10);
+    sweep(15);
+    std::cout
+        << "Expected shape: monotone runtime decrease; U(PE) local "
+           "peaks at the output-node count and its fractions.\n";
+    return 0;
+}

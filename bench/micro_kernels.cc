@@ -1,0 +1,131 @@
+/**
+ * @file
+ * google-benchmark micro suite: per-operation costs of the primitives
+ * the platform composes — irregular-network inference, genome decode
+ * ("CreateNet"), mutation, INAX scheduling, and the systolic baseline.
+ * These ground the analytical timing constants in measurable numbers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "e3/synthetic.hh"
+#include "inax/inax.hh"
+#include "inax/systolic.hh"
+#include "neat/mutation.hh"
+#include "neat/population.hh"
+
+using namespace e3;
+
+namespace {
+
+SyntheticParams
+paramsWithHidden(size_t hidden)
+{
+    SyntheticParams p;
+    p.numIndividuals = 1;
+    p.numHidden = hidden;
+    return p;
+}
+
+void
+BM_IrregularInference(benchmark::State &state)
+{
+    Rng rng(1);
+    const auto def = syntheticIrregularNet(
+        paramsWithHidden(static_cast<size_t>(state.range(0))), rng);
+    auto net = FeedForwardNetwork::create(def);
+    std::vector<double> input(net.numInputs(), 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net.activate(input));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IrregularInference)->Arg(10)->Arg(30)->Arg(100);
+
+void
+BM_CreateNet(benchmark::State &state)
+{
+    Rng rng(2);
+    const auto def = syntheticIrregularNet(
+        paramsWithHidden(static_cast<size_t>(state.range(0))), rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(FeedForwardNetwork::create(def));
+}
+BENCHMARK(BM_CreateNet)->Arg(10)->Arg(30);
+
+void
+BM_MutateGenome(benchmark::State &state)
+{
+    NeatConfig cfg = NeatConfig::forTask(8, 4, 1.0);
+    Rng rng(3);
+    InnovationTracker innovation(4);
+    Genome genome(0);
+    genome.configureNew(cfg, rng);
+    for (auto _ : state)
+        mutateGenome(genome, cfg, rng, innovation);
+}
+BENCHMARK(BM_MutateGenome);
+
+void
+BM_GenomeDistance(benchmark::State &state)
+{
+    NeatConfig cfg = NeatConfig::forTask(8, 4, 1.0);
+    Rng rng(4);
+    InnovationTracker innovation(4);
+    Genome a(0), b(1);
+    a.configureNew(cfg, rng);
+    b.configureNew(cfg, rng);
+    for (int i = 0; i < 20; ++i) {
+        mutateGenome(a, cfg, rng, innovation);
+        mutateGenome(b, cfg, rng, innovation);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.distance(b, cfg));
+}
+BENCHMARK(BM_GenomeDistance);
+
+void
+BM_InaxSchedule(benchmark::State &state)
+{
+    Rng rng(5);
+    const auto def = syntheticIrregularNet(paramsWithHidden(30), rng);
+    const auto net = FeedForwardNetwork::create(def);
+    InaxConfig cfg;
+    cfg.numPEs = static_cast<size_t>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(scheduleInference(net, cfg));
+}
+BENCHMARK(BM_InaxSchedule)->Arg(1)->Arg(4)->Arg(16);
+
+void
+BM_SystolicCost(benchmark::State &state)
+{
+    Rng rng(6);
+    const auto def = syntheticIrregularNet(paramsWithHidden(30), rng);
+    InaxConfig cfg;
+    cfg.numPEs = 16;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(systolicIndividualCost(def, cfg));
+}
+BENCHMARK(BM_SystolicCost);
+
+void
+BM_AcceleratorGeneration(benchmark::State &state)
+{
+    const auto population = syntheticPopulation(SyntheticParams{}, 7);
+    Rng rng(8);
+    const auto lengths =
+        syntheticEpisodeLengths(population.size(), 60, 200, rng);
+    InaxConfig cfg;
+    cfg.numPUs = 50;
+    cfg.numPEs = 4;
+    std::vector<IndividualCost> costs;
+    for (const auto &def : population)
+        costs.push_back(puIndividualCost(def, cfg));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runAccelerator(costs, lengths, cfg));
+}
+BENCHMARK(BM_AcceleratorGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Table V: network complexity (node and connection counts) of the
+ * Small and Large MLP policies used by the RLs vs the networks NEAT
+ * evolves.
+ *
+ * Paper reference (Small, in+64+64+out):
+ *   acrobot 137/4672, bipedal 156/5888, cartpole 133/4416,
+ *   lander 140/4864, mountain car 133/4416, pendulum 132/4352.
+ * NEAT averages: 5-32 nodes, 4-80 connections — orders smaller.
+ */
+
+#include <iostream>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "e3/experiment.hh"
+#include "nn/net_stats.hh"
+
+using namespace e3;
+
+namespace {
+
+/** Table V counts the policy head the paper's RL setups used. */
+size_t
+paperOutputDim(const EnvSpec &spec)
+{
+    return spec.numOutputs;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Table V reproduction: node/connection counts of "
+                 "Small (2x64) and Large (3x256) MLPs vs evolved NEAT "
+                 "networks\n\n";
+
+    TextTable table("Network complexity");
+    table.header({"env", "Small nodes", "Small conns", "Large nodes",
+                  "Large conns", "NEAT avg nodes", "NEAT avg conns"});
+
+    for (const auto &spec : envSuite()) {
+        const size_t in = spec.numInputs;
+        const size_t out = paperOutputDim(spec);
+
+        const size_t smallNodes = in + 64 + 64 + out;
+        const uint64_t smallConns =
+            denseConnectionCount({in, 64, 64, out});
+        const size_t largeNodes = in + 3 * 256 + out;
+        const uint64_t largeConns =
+            denseConnectionCount({in, 256, 256, 256, out});
+
+        Distribution nodes;
+        Distribution conns;
+        const auto population =
+            evolvedPopulation(spec.name, 12, 100, 4242);
+        for (const auto &def : population) {
+            const NetStats ns = computeNetStats(def);
+            nodes.add(static_cast<double>(ns.activeNodes));
+            conns.add(static_cast<double>(ns.activeConnections));
+        }
+
+        table.row(
+            {spec.name,
+             TextTable::num(static_cast<long long>(smallNodes)),
+             TextTable::num(static_cast<long long>(smallConns)),
+             TextTable::num(static_cast<long long>(largeNodes)),
+             TextTable::num(static_cast<long long>(largeConns)),
+             TextTable::num(nodes.mean(), 1),
+             TextTable::num(conns.mean(), 1)});
+    }
+    std::cout << table << '\n';
+
+    std::cout
+        << "Notes: Small counts match the paper's Table V exactly "
+           "(in+64+64+out). The paper's Large row uses a TF-graph "
+           "node counting we do not replicate; we report the "
+           "standard 3x256 architecture instead (see "
+           "EXPERIMENTS.md). NEAT counts are active nodes/conns of "
+           "the decoded networks.\n"
+        << "Shape check: NEAT networks are orders of magnitude "
+           "smaller than either MLP.\n";
+    return 0;
+}

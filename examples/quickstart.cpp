@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Quickstart: evolve a cartpole controller on the E3 platform with the
+ * INAX accelerator model, then compare against the software baseline.
+ *
+ *   ./quickstart
+ *
+ * This is the smallest end-to-end use of the public API: pick an env,
+ * pick a backend, run, inspect the result.
+ */
+
+#include <cstdio>
+
+#include "e3/experiment.hh"
+
+using namespace e3;
+
+int
+main()
+{
+    std::printf("E3 quickstart: evolving a cartpole controller\n\n");
+
+    ExperimentOptions options;
+    options.seed = 1;
+    options.populationSize = 150;
+    options.episodesPerEval = 3;
+    options.maxGenerations = 40;
+
+    // Run the same evolution on the accelerated platform and on the
+    // software baseline (identical seeds -> identical learning).
+    const RunResult inax =
+        runExperiment("cartpole", BackendKind::Inax, options);
+    const RunResult cpu =
+        runExperiment("cartpole", BackendKind::Cpu, options);
+
+    std::printf("generation trace (E3-INAX):\n");
+    for (const auto &point : inax.trace) {
+        std::printf("  gen %2d: best %6.1f  mean %6.1f  species %zu  "
+                    "t=%.4fs\n",
+                    point.generation, point.bestFitness,
+                    point.meanFitness, point.numSpecies,
+                    point.cumulativeSeconds);
+    }
+
+    std::printf("\nsolved: %s in %d generations\n",
+                inax.solved ? "yes" : "no", inax.generations);
+    std::printf("champion network: %zu nodes, %llu connections "
+                "(density %.0f%%)\n",
+                inax.bestNetStats.activeNodes,
+                static_cast<unsigned long long>(
+                    inax.bestNetStats.activeConnections),
+                100.0 * inax.bestNetStats.density);
+    std::printf("modeled runtime: E3-INAX %.4fs vs E3-CPU %.3fs "
+                "(%.1fx speedup)\n",
+                inax.totalSeconds(), cpu.totalSeconds(),
+                cpu.totalSeconds() / inax.totalSeconds());
+    std::printf("accelerator: %llu HW cycles, U(PE)=%.2f U(PU)=%.2f\n",
+                static_cast<unsigned long long>(
+                    inax.inaxReport.totalCycles()),
+                inax.inaxReport.pe.rate(), inax.inaxReport.pu.rate());
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The paper's motivating comparison (Sec. III) in one program: train
+ * A2C and PPO2 on cartpole for a fixed wall-clock budget, run NEAT on
+ * the same task, and contrast convergence, runtime profile, and the
+ * complexity of the networks each method needs.
+ */
+
+#include <cstdio>
+
+#include "common/timing.hh"
+#include "e3/experiment.hh"
+#include "rl/a2c.hh"
+#include "rl/ppo2.hh"
+
+using namespace e3;
+
+int
+main()
+{
+    const EnvSpec &spec = envSpec("cartpole");
+    const double budgetSeconds = 10.0;
+
+    std::printf("RL vs NEAT on cartpole (RL budget: %.0fs wall "
+                "each)\n\n",
+                budgetSeconds);
+
+    // --- A2C ---
+    A2c a2c(spec, {64, 64}, A2cConfig{}, 1);
+    Stopwatch watch;
+    while (watch.seconds() < budgetSeconds)
+        a2c.update();
+    std::printf("A2C-small:  recent mean reward %6.1f after %lld env "
+                "steps; training share %.0f%%\n",
+                a2c.recentMeanReward(),
+                static_cast<long long>(a2c.envSteps()),
+                100.0 * a2c.profile().trainingFraction());
+
+    // --- PPO2 ---
+    Ppo2 ppo(spec, {64, 64}, Ppo2Config{}, 1);
+    watch.restart();
+    while (watch.seconds() < budgetSeconds)
+        ppo.update();
+    std::printf("PPO2-small: recent mean reward %6.1f after %lld env "
+                "steps; training share %.0f%%\n",
+                ppo.recentMeanReward(),
+                static_cast<long long>(ppo.envSteps()),
+                100.0 * ppo.profile().trainingFraction());
+
+    // --- NEAT on the E3 platform ---
+    ExperimentOptions opt;
+    opt.episodesPerEval = 3;
+    opt.maxGenerations = 40;
+    const RunResult neat =
+        runExperiment("cartpole", BackendKind::Cpu, opt);
+    std::printf("NEAT:       best fitness %6.1f, %s in %d "
+                "generations; evaluate share %.0f%%\n\n",
+                neat.bestFitness,
+                neat.solved ? "solved" : "unsolved",
+                neat.generations,
+                100.0 * neat.modeled.fraction(e3_phase::evaluate));
+
+    // --- network complexity (Table V's point) ---
+    ActorCritic rlPolicy(spec, {64, 64}, 1);
+    std::printf("network complexity:\n");
+    std::printf("  RL policy (Small): %zu nodes, %llu connections\n",
+                rlPolicy.actor().nodeCount(),
+                static_cast<unsigned long long>(
+                    rlPolicy.actor().connectionCount()));
+    std::printf("  NEAT champion:     %zu nodes, %llu connections\n",
+                neat.bestNetStats.activeNodes,
+                static_cast<unsigned long long>(
+                    neat.bestNetStats.activeConnections));
+
+    std::printf("\ntakeaway: RL spends most time in backprop "
+                "(Training) on a fixed 4.4k-connection MLP; NEAT "
+                "spends nearly all time in evaluate on networks ~3 "
+                "orders smaller — the workload INAX accelerates.\n");
+    return 0;
+}

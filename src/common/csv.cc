@@ -1,0 +1,69 @@
+#include "common/csv.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+void
+CsvWriter::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+CsvWriter::row(std::vector<std::string> cells)
+{
+    e3_assert(cells.size() == header_.size(),
+              "csv row width ", cells.size(), " != header width ",
+              header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needsQuote =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needsQuote)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+CsvWriter::str() const
+{
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            oss << (i ? "," : "") << escape(cells[i]);
+        oss << '\n';
+    };
+    emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+    return oss.str();
+}
+
+bool
+CsvWriter::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot open '", path, "' for writing");
+        return false;
+    }
+    out << str();
+    return static_cast<bool>(out);
+}
+
+} // namespace e3

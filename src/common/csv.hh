@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal CSV writer so bench results can be exported for plotting.
+ */
+
+#ifndef E3_COMMON_CSV_HH
+#define E3_COMMON_CSV_HH
+
+#include <string>
+#include <vector>
+
+namespace e3 {
+
+/** Accumulates rows and writes RFC-4180-style CSV to a file. */
+class CsvWriter
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row (width-checked against the header). */
+    void row(std::vector<std::string> cells);
+
+    /** Serialize to a string. */
+    std::string str() const;
+
+    /**
+     * Write to a file.
+     * @return true on success; logs a warn() and returns false otherwise.
+     */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+
+    static std::string escape(const std::string &cell);
+};
+
+} // namespace e3
+
+#endif // E3_COMMON_CSV_HH

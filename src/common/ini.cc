@@ -1,0 +1,178 @@
+#include "common/ini.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    const auto first = s.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return "";
+    const auto last = s.find_last_not_of(" \t\r");
+    return s.substr(first, last - first + 1);
+}
+
+} // namespace
+
+IniFile
+IniFile::parse(std::istream &in)
+{
+    IniFile ini;
+    std::string line;
+    std::string section;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const std::string t = trim(line);
+        if (t.empty() || t[0] == '#' || t[0] == ';')
+            continue;
+        if (t.front() == '[') {
+            if (t.back() != ']' || t.size() < 3)
+                e3_fatal("ini line ", lineNo, ": malformed section '",
+                         t, "'");
+            section = trim(t.substr(1, t.size() - 2));
+            continue;
+        }
+        const auto eq = t.find('=');
+        if (eq == std::string::npos)
+            e3_fatal("ini line ", lineNo, ": expected key = value, "
+                     "got '", t, "'");
+        const std::string key = trim(t.substr(0, eq));
+        const std::string value = trim(t.substr(eq + 1));
+        if (key.empty())
+            e3_fatal("ini line ", lineNo, ": empty key");
+        ini.data_[section][key] = value;
+    }
+    return ini;
+}
+
+IniFile
+IniFile::parseString(const std::string &text)
+{
+    std::istringstream iss(text);
+    return parse(iss);
+}
+
+IniFile
+IniFile::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        e3_fatal("cannot open config file '", path, "'");
+    return parse(in);
+}
+
+bool
+IniFile::has(const std::string &section, const std::string &key) const
+{
+    const auto sit = data_.find(section);
+    return sit != data_.end() && sit->second.count(key) > 0;
+}
+
+std::string
+IniFile::get(const std::string &section, const std::string &key,
+             const std::string &fallback) const
+{
+    const auto sit = data_.find(section);
+    if (sit == data_.end())
+        return fallback;
+    const auto kit = sit->second.find(key);
+    return kit == sit->second.end() ? fallback : kit->second;
+}
+
+double
+IniFile::getDouble(const std::string &section, const std::string &key,
+                   double fallback) const
+{
+    if (!has(section, key))
+        return fallback;
+    const std::string v = get(section, key, "");
+    try {
+        size_t pos = 0;
+        const double parsed = std::stod(v, &pos);
+        if (pos != v.size())
+            throw std::invalid_argument(v);
+        return parsed;
+    } catch (const std::exception &) {
+        e3_fatal("[", section, "] ", key, " = '", v,
+                 "' is not a number");
+    }
+}
+
+long
+IniFile::getInt(const std::string &section, const std::string &key,
+                long fallback) const
+{
+    if (!has(section, key))
+        return fallback;
+    const std::string v = get(section, key, "");
+    try {
+        size_t pos = 0;
+        const long parsed = std::stol(v, &pos);
+        if (pos != v.size())
+            throw std::invalid_argument(v);
+        return parsed;
+    } catch (const std::exception &) {
+        e3_fatal("[", section, "] ", key, " = '", v,
+                 "' is not an integer");
+    }
+}
+
+bool
+IniFile::getBool(const std::string &section, const std::string &key,
+                 bool fallback) const
+{
+    if (!has(section, key))
+        return fallback;
+    std::string v = get(section, key, "");
+    std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+    if (v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    e3_fatal("[", section, "] ", key, " = '", v,
+             "' is not a boolean");
+}
+
+void
+IniFile::set(const std::string &section, const std::string &key,
+             const std::string &value)
+{
+    data_[section][key] = value;
+}
+
+std::set<std::string>
+IniFile::keys(const std::string &section) const
+{
+    std::set<std::string> out;
+    const auto sit = data_.find(section);
+    if (sit != data_.end()) {
+        for (const auto &[key, value] : sit->second)
+            out.insert(key);
+    }
+    return out;
+}
+
+std::string
+IniFile::str() const
+{
+    std::ostringstream oss;
+    for (const auto &[section, kvs] : data_) {
+        if (!section.empty())
+            oss << '[' << section << "]\n";
+        for (const auto &[key, value] : kvs)
+            oss << key << " = " << value << '\n';
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace e3

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal INI-style configuration parser, in the spirit of
+ * neat-python's config files:
+ *
+ *   # comment
+ *   [NEAT]
+ *   pop_size = 200
+ *   fitness_threshold = 475.0
+ *
+ * Sections group keys; values are strings with typed accessors.
+ */
+
+#ifndef E3_COMMON_INI_HH
+#define E3_COMMON_INI_HH
+
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+
+namespace e3 {
+
+/** Parsed INI document. */
+class IniFile
+{
+  public:
+    /** Parse from a stream; fatal() on malformed lines. */
+    static IniFile parse(std::istream &in);
+
+    /** Parse from a string. */
+    static IniFile parseString(const std::string &text);
+
+    /** Load from a file; fatal() if unreadable. */
+    static IniFile load(const std::string &path);
+
+    /** True if [section] key exists. */
+    bool has(const std::string &section, const std::string &key) const;
+
+    /** String value; fallback when absent. */
+    std::string get(const std::string &section, const std::string &key,
+                    const std::string &fallback) const;
+
+    /** Double value; fatal() if present but unparsable. */
+    double getDouble(const std::string &section, const std::string &key,
+                     double fallback) const;
+
+    /** Integer value; fatal() if present but unparsable. */
+    long getInt(const std::string &section, const std::string &key,
+                long fallback) const;
+
+    /** Boolean value: true/false/1/0/yes/no. */
+    bool getBool(const std::string &section, const std::string &key,
+                 bool fallback) const;
+
+    /** Set (or overwrite) a value. */
+    void set(const std::string &section, const std::string &key,
+             const std::string &value);
+
+    /** All keys of a section (empty set if absent). */
+    std::set<std::string> keys(const std::string &section) const;
+
+    /** Serialize back to INI text. */
+    std::string str() const;
+
+  private:
+    /** section -> key -> value */
+    std::map<std::string, std::map<std::string, std::string>> data_;
+};
+
+} // namespace e3
+
+#endif // E3_COMMON_INI_HH

@@ -1,0 +1,52 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace e3 {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Inform};
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+emit(const char *prefix, const std::string &msg)
+{
+    std::cerr << prefix << msg << '\n';
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  @ " << file << ':' << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  @ " << file << ':' << line
+              << std::endl;
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace e3

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * Two error functions with distinct purposes:
+ *  - panic():  something happened that should never happen regardless of
+ *              what the user does (an internal bug). Calls std::abort().
+ *  - fatal():  the run cannot continue due to a user-caused condition
+ *              (bad configuration, invalid arguments). Calls exit(1).
+ *
+ * Three status functions that never stop execution:
+ *  - inform(): normal operating message.
+ *  - warn():   functionality may not behave exactly as expected.
+ *  - hack():   functionality is implemented expediently, not ideally.
+ */
+
+#ifndef E3_COMMON_LOGGING_HH
+#define E3_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace e3 {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/** Get the process-wide log level (default: Inform). */
+LogLevel logLevel();
+
+/** Set the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Emit a formatted message to stderr with a severity prefix. */
+void emit(const char *prefix, const std::string &msg);
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Fold a variadic pack into one string via operator<<. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream oss;
+    if constexpr (sizeof...(Args) > 0)
+        (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Informative message users should know but not worry about. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Inform)
+        detail::emit("info: ", detail::format(std::forward<Args>(args)...));
+}
+
+/** Something might not behave exactly as expected. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::emit("warn: ", detail::format(std::forward<Args>(args)...));
+}
+
+/** Functionality implemented expediently rather than ideally. */
+template <typename... Args>
+void
+hack(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::emit("hack: ", detail::format(std::forward<Args>(args)...));
+}
+
+/** Debug chatter, off by default. */
+template <typename... Args>
+void
+debug(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::emit("debug: ", detail::format(std::forward<Args>(args)...));
+}
+
+} // namespace e3
+
+/** Internal invariant violated: abort with location info. */
+#define e3_panic(...) \
+    ::e3::detail::panicImpl(__FILE__, __LINE__, \
+                            ::e3::detail::format(__VA_ARGS__))
+
+/** User-caused unrecoverable condition: exit(1) with location info. */
+#define e3_fatal(...) \
+    ::e3::detail::fatalImpl(__FILE__, __LINE__, \
+                            ::e3::detail::format(__VA_ARGS__))
+
+/** panic() unless the condition holds. */
+#define e3_assert(cond, ...) \
+    do { \
+        if (!(cond)) \
+            e3_panic("assertion '" #cond "' failed. ", ##__VA_ARGS__); \
+    } while (0)
+
+#endif // E3_COMMON_LOGGING_HH

@@ -1,0 +1,205 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+void
+Distribution::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+Distribution::merge(const Distribution &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    // Chan et al. parallel combination of Welford accumulators.
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+Distribution::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Distribution::min() const
+{
+    e3_assert(count_ > 0, "min() of empty distribution");
+    return min_;
+}
+
+double
+Distribution::max() const
+{
+    e3_assert(count_ > 0, "max() of empty distribution");
+    return max_;
+}
+
+std::string
+Distribution::summary() const
+{
+    std::ostringstream oss;
+    if (count_ == 0) {
+        oss << "(empty)";
+        return oss.str();
+    }
+    oss.precision(4);
+    oss << mean() << " +/- " << stddev() << " [" << min_ << ", " << max_
+        << "] (n=" << count_ << ")";
+    return oss.str();
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    e3_assert(bins >= 1, "histogram needs at least one bin");
+    e3_assert(hi > lo, "histogram range [", lo, ", ", hi, ") is empty");
+}
+
+void
+Histogram::add(double x)
+{
+    const double span = hi_ - lo_;
+    double f = (x - lo_) / span;
+    f = std::clamp(f, 0.0, std::nexttoward(1.0, 0.0));
+    const auto bin = static_cast<size_t>(
+        f * static_cast<double>(counts_.size()));
+    ++counts_[std::min(bin, counts_.size() - 1)];
+    ++total_;
+}
+
+double
+Histogram::binLo(size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+}
+
+double
+Histogram::binHi(size_t i) const
+{
+    return binLo(i + 1);
+}
+
+double
+Histogram::fraction(size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) /
+           static_cast<double>(total_);
+}
+
+std::string
+Histogram::ascii(size_t width) const
+{
+    uint64_t peak = 1;
+    for (uint64_t c : counts_)
+        peak = std::max(peak, c);
+    std::ostringstream oss;
+    oss.precision(3);
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar = static_cast<size_t>(
+            static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+            static_cast<double>(width));
+        oss << "[" << binLo(i) << ", " << binHi(i) << ") "
+            << std::string(bar, '#') << " " << counts_[i] << "\n";
+    }
+    return oss.str();
+}
+
+void
+Counters::add(const std::string &name, double delta)
+{
+    values_[indexOf(name, true)] += delta;
+}
+
+double
+Counters::get(const std::string &name) const
+{
+    const size_t i = findIndex(name);
+    return i == values_.size() ? 0.0 : values_[i];
+}
+
+double
+Counters::total() const
+{
+    double t = 0.0;
+    for (double v : values_)
+        t += v;
+    return t;
+}
+
+void
+Counters::reset()
+{
+    std::fill(values_.begin(), values_.end(), 0.0);
+}
+
+void
+Counters::merge(const Counters &other)
+{
+    for (size_t i = 0; i < other.order_.size(); ++i)
+        add(other.order_[i], other.values_[i]);
+}
+
+size_t
+Counters::indexOf(const std::string &name, bool create)
+{
+    const size_t i = findIndex(name);
+    if (i != values_.size())
+        return i;
+    e3_assert(create, "unknown counter '", name, "'");
+    order_.push_back(name);
+    values_.push_back(0.0);
+    return values_.size() - 1;
+}
+
+size_t
+Counters::findIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < order_.size(); ++i) {
+        if (order_[i] == name)
+            return i;
+    }
+    return values_.size();
+}
+
+} // namespace e3

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Statistics primitives used throughout the platform: scalar counters,
+ * running distributions (mean/stddev/min/max), and fixed-bin histograms.
+ *
+ * These are deliberately simple value types: experiments aggregate them,
+ * benches print them. They exist so the irregularity analysis (Fig. 4),
+ * utilization accounting (Figs. 6/7/9a) and the runtime/energy tables all
+ * report through one audited code path.
+ */
+
+#ifndef E3_COMMON_STATS_HH
+#define E3_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace e3 {
+
+/**
+ * Running scalar distribution with O(1) updates.
+ *
+ * Tracks count, mean, variance (Welford), min and max.
+ */
+class Distribution
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another distribution into this one. */
+    void merge(const Distribution &other);
+
+    uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance; 0 for fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    double min() const;
+    double max() const;
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+    /** Render as "mean +/- sd [min, max] (n)". */
+    std::string summary() const;
+
+  private:
+    uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp to
+ * the edge bins so nothing is silently dropped.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo inclusive lower edge of the first bin
+     * @param hi exclusive upper edge of the last bin
+     * @param bins number of bins, must be >= 1
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Add one sample (clamped into range). */
+    void add(double x);
+
+    size_t bins() const { return counts_.size(); }
+    uint64_t binCount(size_t i) const { return counts_.at(i); }
+    uint64_t total() const { return total_; }
+
+    /** Inclusive lower edge of bin i. */
+    double binLo(size_t i) const;
+
+    /** Exclusive upper edge of bin i. */
+    double binHi(size_t i) const;
+
+    /** Fraction of samples in bin i (0 if empty histogram). */
+    double fraction(size_t i) const;
+
+    /** Render a fixed-width ASCII bar chart, one line per bin. */
+    std::string ascii(size_t width = 40) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Named scalar counter group — a tiny stat registry for cycle/op/byte
+ * accounting inside the INAX and E3 models.
+ */
+class Counters
+{
+  public:
+    /** Add delta to the named counter (creating it at zero). */
+    void add(const std::string &name, double delta);
+
+    /** Current value; 0 if never touched. */
+    double get(const std::string &name) const;
+
+    /** All names in insertion order. */
+    const std::vector<std::string> &names() const { return order_; }
+
+    /** Sum of all counters. */
+    double total() const;
+
+    /** Reset every counter to zero (names are kept). */
+    void reset();
+
+    /** Merge another group into this one (union of names). */
+    void merge(const Counters &other);
+
+  private:
+    std::vector<std::string> order_;
+    std::vector<double> values_;
+
+    size_t indexOf(const std::string &name, bool create);
+    size_t findIndex(const std::string &name) const;
+};
+
+} // namespace e3
+
+#endif // E3_COMMON_STATS_HH

@@ -1,0 +1,90 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+TextTable::TextTable(std::string title) : title_(std::move(title))
+{
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    e3_assert(!cells.empty(), "table header must be non-empty");
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    e3_assert(cells.size() == header_.size(),
+              "row width ", cells.size(), " != header width ",
+              header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+TextTable::num(long long v)
+{
+    return std::to_string(v);
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << fraction * 100.0
+        << '%';
+    return oss.str();
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &r : rows_) {
+        for (size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::ostringstream oss;
+        for (size_t c = 0; c < cells.size(); ++c) {
+            oss << (c ? "  " : "") << std::left
+                << std::setw(static_cast<int>(widths[c])) << cells[c];
+        }
+        return oss.str();
+    };
+
+    std::ostringstream oss;
+    if (!title_.empty())
+        oss << "== " << title_ << " ==\n";
+    const std::string head = renderRow(header_);
+    oss << head << '\n' << std::string(head.size(), '-') << '\n';
+    for (const auto &r : rows_)
+        oss << renderRow(r) << '\n';
+    return oss.str();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const TextTable &t)
+{
+    return os << t.str();
+}
+
+} // namespace e3

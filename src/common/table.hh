@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Aligned text-table printer for bench output.
+ *
+ * Every bench prints the paper's rows/series through this one printer so
+ * output formatting is uniform and easy to diff against EXPERIMENTS.md.
+ */
+
+#ifndef E3_COMMON_TABLE_HH
+#define E3_COMMON_TABLE_HH
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace e3 {
+
+/** Column-aligned table with a header row and an optional title. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row (defines the column count). */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header width. */
+    void row(std::vector<std::string> cells);
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format an integer. */
+    static std::string num(long long v);
+
+    /** Format a ratio as a percentage string, e.g. "97.2%". */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render the table. */
+    std::string str() const;
+
+    /** Stream the rendered table. */
+    friend std::ostream &operator<<(std::ostream &os, const TextTable &t);
+
+    size_t rows() const { return rows_.size(); }
+    size_t columns() const { return header_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace e3
+
+#endif // E3_COMMON_TABLE_HH

@@ -1,0 +1,74 @@
+#include "common/timing.hh"
+
+#include <algorithm>
+
+namespace e3 {
+
+PhaseTimer::Scope::Scope(PhaseTimer &timer, const std::string &phase)
+    : timer_(timer), index_(timer.indexOf(phase))
+{
+}
+
+PhaseTimer::Scope::~Scope()
+{
+    timer_.seconds_[index_] += watch_.seconds();
+}
+
+void
+PhaseTimer::add(const std::string &phase, double seconds)
+{
+    seconds_[indexOf(phase)] += seconds;
+}
+
+double
+PhaseTimer::seconds(const std::string &phase) const
+{
+    for (size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == phase)
+            return seconds_[i];
+    }
+    return 0.0;
+}
+
+double
+PhaseTimer::totalSeconds() const
+{
+    double t = 0.0;
+    for (double s : seconds_)
+        t += s;
+    return t;
+}
+
+double
+PhaseTimer::fraction(const std::string &phase) const
+{
+    const double total = totalSeconds();
+    return total > 0.0 ? seconds(phase) / total : 0.0;
+}
+
+void
+PhaseTimer::reset()
+{
+    std::fill(seconds_.begin(), seconds_.end(), 0.0);
+}
+
+void
+PhaseTimer::merge(const PhaseTimer &other)
+{
+    for (size_t i = 0; i < other.names_.size(); ++i)
+        add(other.names_[i], other.seconds_[i]);
+}
+
+size_t
+PhaseTimer::indexOf(const std::string &phase)
+{
+    for (size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == phase)
+            return i;
+    }
+    names_.push_back(phase);
+    seconds_.push_back(0.0);
+    return seconds_.size() - 1;
+}
+
+} // namespace e3

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Wall-clock timing utilities for software profiling.
+ *
+ * The paper's Fig. 1(b) / Fig. 3 / Fig. 9 timing profiles attribute
+ * runtime to named phases ("evaluate", "evolve", "mutate", ...). The
+ * PhaseTimer here accumulates wall time per phase with scoped guards so
+ * profiling code cannot leak an un-stopped phase.
+ */
+
+#ifndef E3_COMMON_TIMING_HH
+#define E3_COMMON_TIMING_HH
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace e3 {
+
+/** Simple monotonic stopwatch reporting seconds. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { restart(); }
+
+    /** Reset the origin to now. */
+    void restart() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or last restart(). */
+    double seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * Accumulates wall-clock time per named phase.
+ *
+ * Phases may nest (a scope inside another scope attributes its time to
+ * both), matching how the paper nests "mutate" etc. inside "evolve".
+ */
+class PhaseTimer
+{
+  public:
+    /** RAII guard that charges elapsed time to one phase. */
+    class Scope
+    {
+      public:
+        Scope(PhaseTimer &timer, const std::string &phase);
+        ~Scope();
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        PhaseTimer &timer_;
+        size_t index_;
+        Stopwatch watch_;
+    };
+
+    /** Directly add seconds to a phase (for modeled, not measured, time). */
+    void add(const std::string &phase, double seconds);
+
+    /** Accumulated seconds for a phase; 0 if never entered. */
+    double seconds(const std::string &phase) const;
+
+    /** Sum over all phases. */
+    double totalSeconds() const;
+
+    /** Phase names in first-use order. */
+    const std::vector<std::string> &phases() const { return names_; }
+
+    /** Fraction of total time spent in a phase (0 if total is 0). */
+    double fraction(const std::string &phase) const;
+
+    /** Zero all accumulators, keeping phase names. */
+    void reset();
+
+    /** Merge another timer's accumulators into this one. */
+    void merge(const PhaseTimer &other);
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<double> seconds_;
+
+    size_t indexOf(const std::string &phase);
+};
+
+} // namespace e3
+
+#endif // E3_COMMON_TIMING_HH

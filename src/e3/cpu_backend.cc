@@ -1,0 +1,2 @@
+// CpuBackend is header-only; this TU anchors it in the library.
+#include "e3/cpu_backend.hh"

@@ -1,0 +1,16 @@
+#include "e3/energy_model.hh"
+
+namespace e3 {
+
+double
+PowerModel::joules(const EnergyBreakdownInput &in) const
+{
+    const double wallSeconds =
+        in.cpuSeconds + in.gpuSeconds + in.fpgaSeconds;
+    // CPU powered for the whole run; accelerators only while busy.
+    return cpuActiveWatts * wallSeconds +
+           gpuActiveWatts * in.gpuSeconds +
+           fpgaActiveWatts * in.fpgaSeconds;
+}
+
+} // namespace e3

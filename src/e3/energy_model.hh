@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Energy model for the three platform variants (paper Sec. VI-D).
+ *
+ * Power constants follow the paper's measurement setup: CPU package
+ * power via Intel Power Gadget (desktop i7 under load), GPU board power
+ * via nvidia-smi (GTX 1080 under small-kernel churn), FPGA via Vivado
+ * post-routing analysis (a few watts for this design class). Energy is
+ * power x time per component, with the CPU always on (it hosts env and
+ * evolve in every variant).
+ */
+
+#ifndef E3_E3_ENERGY_MODEL_HH
+#define E3_E3_ENERGY_MODEL_HH
+
+namespace e3 {
+
+/** Per-phase time of a run, attributed to components. */
+struct EnergyBreakdownInput
+{
+    double cpuSeconds = 0.0;  ///< CPU-resident work (env/evolve/eval)
+    double gpuSeconds = 0.0;  ///< GPU-resident evaluate (E3-GPU only)
+    double fpgaSeconds = 0.0; ///< INAX-resident evaluate (E3-INAX only)
+};
+
+/** Component power constants in watts. */
+struct PowerModel
+{
+    double cpuActiveWatts = 45.0;
+    double gpuActiveWatts = 180.0;
+    double fpgaActiveWatts = 3.0;
+
+    /**
+     * Total joules: each accelerator burns its active power for its
+     * busy time, and the CPU stays powered for the whole run (it is the
+     * master in every configuration).
+     */
+    double joules(const EnergyBreakdownInput &in) const;
+};
+
+} // namespace e3
+
+#endif // E3_E3_ENERGY_MODEL_HH

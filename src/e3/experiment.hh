@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Experiment drivers shared by the benches and examples: construct a
+ * platform for a named backend, run an environment (or the whole
+ * suite), and summarize results in the paper's units.
+ */
+
+#ifndef E3_E3_EXPERIMENT_HH
+#define E3_E3_EXPERIMENT_HH
+
+#include <optional>
+
+#include "e3/platform.hh"
+#include "inax/hw_config.hh"
+
+namespace e3 {
+
+/** Which platform variant evaluates the population. */
+enum class BackendKind
+{
+    Cpu,
+    Gpu,
+    Inax,
+};
+
+/** Printable name, e.g. "E3-INAX". */
+std::string backendKindName(BackendKind kind);
+
+/** Options for one experiment run. */
+struct ExperimentOptions
+{
+    uint64_t seed = 1;
+    size_t populationSize = 200;
+    size_t episodesPerEval = 1;
+    int maxGenerations = 300;
+    double modeledSecondsBudget = 1e9;
+    /** INAX config; defaults to the paper's heuristic (PE=#out, PU=50). */
+    std::optional<InaxConfig> inaxConfig;
+
+    /**
+     * Optional neat-python-style INI file layered over the task's
+     * default NEAT hyperparameters (the interface shape —
+     * inputs/outputs — always follows the environment).
+     */
+    std::optional<std::string> neatConfigPath;
+};
+
+/**
+ * Run one environment on one backend.
+ *
+ * Determinism: equal (envName, options.seed) pairs produce identical
+ * functional results on every backend — only the modeled time differs,
+ * which is exactly the paper's controlled comparison.
+ */
+RunResult runExperiment(const std::string &envName, BackendKind kind,
+                        const ExperimentOptions &options);
+
+/** Run the whole Env1..Env6 suite on one backend. */
+std::vector<RunResult> runSuite(BackendKind kind,
+                                const ExperimentOptions &options);
+
+/** Generation-budget presets per env, sized so runs finish quickly. */
+int suiteGenerationBudget(const std::string &envName);
+
+/**
+ * Evolve a population against an environment for a fixed number of
+ * generations and return the final generation's decoded networks —
+ * the "evolved NN" workload the hardware studies consume (Figs. 4/11,
+ * Table V).
+ */
+std::vector<NetworkDef> evolvedPopulation(const std::string &envName,
+                                          int generations,
+                                          size_t populationSize,
+                                          uint64_t seed);
+
+/**
+ * Evolve against an environment and return the champion genome of the
+ * final generation (stopping early once the required fitness is
+ * reached). Pair with saveGenomeFile()/loadGenomeFile() for the
+ * model-replacement persistence story.
+ */
+Genome evolvedChampion(const std::string &envName, int generations,
+                       size_t populationSize, uint64_t seed);
+
+} // namespace e3
+
+#endif // E3_E3_EXPERIMENT_HH

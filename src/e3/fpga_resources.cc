@@ -1,0 +1,76 @@
+#include "e3/fpga_resources.hh"
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+namespace {
+
+// Per-block implementation costs (fixed-point datapath class; the MAC
+// itself maps onto the DSP slice, so PE fabric cost is control plus the
+// activation unit).
+constexpr uint64_t lutPerPe = 150;
+constexpr uint64_t ffPerPe = 200;
+constexpr uint64_t dspPerPe = 1;
+constexpr uint64_t lutPerPuControl = 520;
+constexpr uint64_t ffPerPuControl = 640;
+constexpr uint64_t bramPerPu = 2; // weight buffer + value buffer
+constexpr uint64_t lutGlobalControl = 6200;
+constexpr uint64_t ffGlobalControl = 7400;
+constexpr uint64_t bramGlobalIo = 8; // DMA staging
+
+} // namespace
+
+FpgaResources
+zcu104Capacity()
+{
+    // Xilinx Zynq UltraScale+ XCZU7EV.
+    FpgaResources r;
+    r.lut = 230400;
+    r.ff = 460800;
+    r.bram36 = 312;
+    r.dsp = 1728;
+    return r;
+}
+
+FpgaResources
+inaxResourceCost(const InaxConfig &cfg)
+{
+    cfg.validate();
+    const uint64_t pes =
+        static_cast<uint64_t>(cfg.numPUs) * cfg.numPEs;
+    FpgaResources r;
+    r.lut = lutGlobalControl + cfg.numPUs * lutPerPuControl +
+            pes * lutPerPe;
+    r.ff = ffGlobalControl + cfg.numPUs * ffPerPuControl +
+           pes * ffPerPe;
+    r.bram36 = bramGlobalIo + cfg.numPUs * bramPerPu;
+    r.dsp = pes * dspPerPe;
+    return r;
+}
+
+void
+FpgaUtilization::checkFits(const std::string &designName) const
+{
+    if (lut > 1.0 || ff > 1.0 || bram > 1.0 || dsp > 1.0) {
+        e3_fatal("design '", designName,
+                 "' exceeds ZCU104 capacity (lut=", lut, ", ff=", ff,
+                 ", bram=", bram, ", dsp=", dsp, ")");
+    }
+}
+
+FpgaUtilization
+inaxUtilization(const InaxConfig &cfg)
+{
+    const FpgaResources cost = inaxResourceCost(cfg);
+    const FpgaResources cap = zcu104Capacity();
+    FpgaUtilization u;
+    u.lut = static_cast<double>(cost.lut) / static_cast<double>(cap.lut);
+    u.ff = static_cast<double>(cost.ff) / static_cast<double>(cap.ff);
+    u.bram = static_cast<double>(cost.bram36) /
+             static_cast<double>(cap.bram36);
+    u.dsp = static_cast<double>(cost.dsp) / static_cast<double>(cap.dsp);
+    return u;
+}
+
+} // namespace e3

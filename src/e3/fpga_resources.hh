@@ -1,0 +1,53 @@
+/**
+ * @file
+ * FPGA resource model for INAX on the Xilinx ZCU104 (Zynq UltraScale+
+ * XCZU7EV), for the paper's Fig. 10(b) utilization chart.
+ *
+ * Per-block costs are typical of a small fixed-point MAC + activation
+ * datapath with per-PU weight/value BRAMs; totals are the XCZU7EV
+ * device limits.
+ */
+
+#ifndef E3_E3_FPGA_RESOURCES_HH
+#define E3_E3_FPGA_RESOURCES_HH
+
+#include <cstdint>
+#include <string>
+
+#include "inax/hw_config.hh"
+
+namespace e3 {
+
+/** Absolute resource counts. */
+struct FpgaResources
+{
+    uint64_t lut = 0;
+    uint64_t ff = 0;
+    uint64_t bram36 = 0; ///< 36 Kb block RAMs
+    uint64_t dsp = 0;
+};
+
+/** XCZU7EV device totals. */
+FpgaResources zcu104Capacity();
+
+/** Resource cost of an INAX instance. */
+FpgaResources inaxResourceCost(const InaxConfig &cfg);
+
+/** Utilization fractions of a design on a device. */
+struct FpgaUtilization
+{
+    double lut = 0.0;
+    double ff = 0.0;
+    double bram = 0.0;
+    double dsp = 0.0;
+
+    /** fatal() if the design does not fit. */
+    void checkFits(const std::string &designName) const;
+};
+
+/** Utilization of an INAX config on the ZCU104. */
+FpgaUtilization inaxUtilization(const InaxConfig &cfg);
+
+} // namespace e3
+
+#endif // E3_E3_FPGA_RESOURCES_HH

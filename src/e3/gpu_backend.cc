@@ -1,0 +1,2 @@
+// GpuBackend is header-only; this TU anchors it in the library.
+#include "e3/gpu_backend.hh"

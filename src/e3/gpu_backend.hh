@@ -1,0 +1,45 @@
+/**
+ * @file
+ * E3-GPU: the reference GPU comparison. Evaluate runs on a modeled GPU
+ * that suffers per-layer kernel launches and per-step transfers on the
+ * small, dynamic, irregular networks NEAT produces (paper Sec. VI-A:
+ * "NEAT algorithm is generally not efficient on GPUs ... because of
+ * small batch size and dynamic topology").
+ */
+
+#ifndef E3_E3_GPU_BACKEND_HH
+#define E3_E3_GPU_BACKEND_HH
+
+#include "e3/backend.hh"
+
+namespace e3 {
+
+/** GPU evaluate backend (reference comparison). */
+class GpuBackend : public EvalBackend
+{
+  public:
+    explicit GpuBackend(GpuTimingModel model = {}) : model_(model) {}
+
+    std::string name() const override { return "E3-GPU"; }
+
+    double evaluateSeconds(const GenerationTrace &trace) override
+    {
+        return model_.evaluateSeconds(trace);
+    }
+
+    void
+    attributeEnergy(double evalSeconds,
+                    EnergyBreakdownInput &energy) const override
+    {
+        energy.gpuSeconds += evalSeconds;
+    }
+
+    const GpuTimingModel &model() const { return model_; }
+
+  private:
+    GpuTimingModel model_;
+};
+
+} // namespace e3
+
+#endif // E3_E3_GPU_BACKEND_HH

@@ -1,0 +1,61 @@
+#include "e3/inax_backend.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+InaxBackend::InaxBackend(InaxConfig cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+}
+
+double
+InaxBackend::evaluateSeconds(const GenerationTrace &trace)
+{
+    trace.validate();
+    e3_assert(!trace.episodes.empty(), "trace without episodes");
+
+    std::vector<IndividualCost> costs;
+    costs.reserve(trace.defs.size());
+    for (const auto &def : trace.defs)
+        costs.push_back(puIndividualCost(def, cfg_));
+
+    InaxReport generation;
+    for (size_t start = 0; start < costs.size(); start += cfg_.numPUs) {
+        const size_t end =
+            std::min(start + cfg_.numPUs, costs.size());
+        AcceleratorSession session(cfg_);
+        session.loadBatch(
+            {costs.begin() + static_cast<long>(start),
+             costs.begin() + static_cast<long>(end)});
+
+        // Weights stay resident in the PU buffers, so every episode of
+        // this generation reuses the one set-up phase.
+        for (const auto &episode : trace.episodes) {
+            std::vector<int> remaining(
+                episode.begin() + static_cast<long>(start),
+                episode.begin() + static_cast<long>(end));
+            bool any = true;
+            while (any) {
+                any = false;
+                std::vector<bool> live(remaining.size());
+                for (size_t i = 0; i < remaining.size(); ++i) {
+                    live[i] = remaining[i] > 0;
+                    any = any || live[i];
+                    if (remaining[i] > 0)
+                        --remaining[i];
+                }
+                if (any)
+                    session.step(live);
+            }
+        }
+        generation.merge(session.report());
+    }
+
+    report_.merge(generation);
+    return generation.seconds(cfg_);
+}
+
+} // namespace e3

@@ -1,0 +1,163 @@
+#include "e3/platform.hh"
+
+#include "common/logging.hh"
+#include "e3/inax_backend.hh"
+
+namespace e3 {
+
+E3Platform::E3Platform(const PlatformConfig &cfg,
+                       std::unique_ptr<EvalBackend> backend)
+    : cfg_(cfg), spec_(envSpec(cfg.envName)),
+      neatCfg_(NeatConfig::forTask(spec_.numInputs, spec_.numOutputs,
+                                   spec_.requiredFitness)),
+      backend_(std::move(backend))
+{
+    e3_assert(backend_, "platform needs a backend");
+    e3_assert(cfg_.episodesPerEval >= 1, "need at least one episode");
+    neatCfg_.populationSize = cfg_.populationSize;
+}
+
+void
+E3Platform::evaluateFunctional(Population &pop, GenerationTrace &trace,
+                               int generation)
+{
+    const size_t n = pop.genomes().size();
+
+    // CreateNet: decode every genome once per generation. With
+    // quantized deployment enabled, inference runs through the
+    // fixed-point evaluator (the accelerator's datapath view).
+    std::vector<int> keys;
+    std::vector<FeedForwardNetwork> nets;
+    std::vector<QuantizedNetwork> qnets;
+    keys.reserve(n);
+    for (const auto &[key, genome] : pop.genomes()) {
+        keys.push_back(key);
+        NetworkDef def = genome.toNetworkDef(neatCfg_);
+        if (cfg_.quantization) {
+            qnets.push_back(
+                QuantizedNetwork::create(def, *cfg_.quantization));
+        } else {
+            nets.push_back(FeedForwardNetwork::create(def));
+        }
+        trace.individuals.push_back(computeNetStats(def));
+        trace.defs.push_back(std::move(def));
+    }
+    trace.numInputs = spec_.numInputs;
+    trace.numOutputs = spec_.numOutputs;
+
+    auto infer = [&](size_t i, const Observation &obs) {
+        return cfg_.quantization ? qnets[i].activate(obs)
+                                 : nets[i].activate(obs);
+    };
+
+    std::vector<double> fitnessSum(n, 0.0);
+    for (size_t e = 0; e < cfg_.episodesPerEval; ++e) {
+        const uint64_t episodeSeed =
+            cfg_.seed ^ (0x9E3779B97F4A7C15ULL *
+                         (static_cast<uint64_t>(generation) * 31 + e + 1));
+        VectorEnv venv(spec_, n, episodeSeed);
+        venv.resetAll();
+        while (!venv.allDone()) {
+            std::vector<Action> actions(n);
+            for (size_t i = 0; i < n; ++i) {
+                if (venv.done(i)) {
+                    // Finished lanes ignore their action; provide a
+                    // correctly-shaped placeholder.
+                    actions[i] = Action(spec_.numOutputs, 0.0);
+                    continue;
+                }
+                actions[i] = decodeAction(
+                    spec_, infer(i, venv.observation(i)));
+            }
+            venv.stepAll(actions);
+        }
+
+        std::vector<int> lengths(n);
+        for (size_t i = 0; i < n; ++i) {
+            lengths[i] = venv.steps(i);
+            fitnessSum[i] += venv.fitness(i);
+        }
+        trace.episodes.push_back(std::move(lengths));
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+        pop.genomes().at(keys[i]).fitness =
+            fitnessSum[i] / static_cast<double>(cfg_.episodesPerEval);
+    }
+}
+
+RunResult
+E3Platform::run()
+{
+    RunResult result;
+    result.backendName = backend_->name();
+    result.envName = cfg_.envName;
+
+    Population pop(neatCfg_, cfg_.seed);
+
+    for (int gen = 0; gen < cfg_.maxGenerations; ++gen) {
+        GenerationTrace trace;
+        evaluateFunctional(pop, trace, gen);
+        trace.validate();
+
+        // --- modeled timing ---
+        result.modeled.add(e3_phase::createNet,
+                           host_.createNetSeconds(trace));
+        result.modeled.add(e3_phase::env, host_.envSeconds(trace));
+        const double evalSeconds = backend_->evaluateSeconds(trace);
+        result.modeled.add(e3_phase::evaluate, evalSeconds);
+        backend_->attributeEnergy(evalSeconds, result.energyInput);
+
+        // --- per-generation stats ---
+        const GenerationStats stats = pop.stats();
+        GenerationPoint point;
+        point.generation = gen;
+        point.bestFitness = stats.bestFitness;
+        point.meanFitness = stats.meanFitness;
+        point.normalizedBest =
+            spec_.normalizeFitness(stats.bestFitness);
+        point.cumulativeSeconds = result.modeled.totalSeconds();
+        point.meanNodes = stats.nodeCounts.mean();
+        point.meanConnections = stats.connCounts.mean();
+        point.meanDensity = stats.densities.mean();
+        point.numSpecies = stats.numSpecies;
+        result.trace.push_back(point);
+
+        result.generations = gen + 1;
+        if (pop.best().fitness >= result.bestFitness ||
+            result.trace.size() == 1) {
+            result.bestFitness = pop.best().fitness;
+            result.bestNetStats = computeNetStats(
+                pop.best().toNetworkDef(neatCfg_));
+        }
+
+        if (pop.solved()) {
+            result.solved = true;
+            break;
+        }
+        if (result.modeled.totalSeconds() >=
+            cfg_.modeledSecondsBudget) {
+            inform(backend_->name(), "/", cfg_.envName,
+                   ": modeled-time budget exhausted at generation ",
+                   gen);
+            break;
+        }
+
+        result.modeled.add(
+            e3_phase::evolve,
+            host_.evolveSeconds(neatCfg_.populationSize));
+        pop.advance();
+    }
+
+    // Host-side phases always run on the CPU.
+    result.energyInput.cpuSeconds +=
+        result.modeled.seconds(e3_phase::createNet) +
+        result.modeled.seconds(e3_phase::env) +
+        result.modeled.seconds(e3_phase::evolve);
+
+    if (auto *inax = dynamic_cast<InaxBackend *>(backend_.get()))
+        result.inaxReport = inax->report();
+    return result;
+}
+
+} // namespace e3

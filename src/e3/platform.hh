@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The E3 platform: the closed loop of the paper's Fig. 1(a)/Fig. 5.
+ *
+ * Per generation: CreateNet decodes the population, "evaluate" runs
+ * every individual against its own environment episode(s) — functional
+ * results from the real C++ simulation, time from the selected backend
+ * (software / GPU / INAX model) — then "evolve" reproduces the next
+ * generation on the CPU. The run stops when the required fitness is
+ * achieved, the generation cap is hit, or the modeled-time budget runs
+ * out (the paper's "set runtime constraint").
+ */
+
+#ifndef E3_E3_PLATFORM_HH
+#define E3_E3_PLATFORM_HH
+
+#include <memory>
+#include <optional>
+
+#include "common/timing.hh"
+#include "e3/backend.hh"
+#include "env/vector_env.hh"
+#include "inax/inax.hh"
+#include "neat/population.hh"
+#include "nn/quantize.hh"
+
+namespace e3 {
+
+/** Run configuration of one E3 learning session. */
+struct PlatformConfig
+{
+    std::string envName = "cartpole";
+    uint64_t seed = 1;
+    size_t populationSize = 200;   ///< paper Sec. VI-C
+    size_t episodesPerEval = 1;    ///< episodes averaged per fitness
+    int maxGenerations = 300;
+    double modeledSecondsBudget = 1e9; ///< stop once exceeded
+
+    /**
+     * When set, functional inference runs through the fixed-point
+     * evaluator at this format — what the agent would actually compute
+     * on INAX's DSP datapath — so evolution selects controllers that
+     * work *after* quantization, not just in double precision.
+     */
+    std::optional<FixedPointFormat> quantization;
+};
+
+/** One generation's summary point (the Fig. 2(d) trace). */
+struct GenerationPoint
+{
+    int generation = 0;
+    double bestFitness = 0.0;
+    double meanFitness = 0.0;
+    double normalizedBest = 0.0; ///< against the env's required fitness
+    double cumulativeSeconds = 0.0; ///< modeled platform time so far
+    double meanNodes = 0.0;
+    double meanConnections = 0.0;
+    double meanDensity = 0.0;
+    size_t numSpecies = 0;
+};
+
+/** Result of one E3 run. */
+struct RunResult
+{
+    std::string backendName;
+    std::string envName;
+    bool solved = false;
+    int generations = 0;
+    double bestFitness = 0.0;
+    NetStats bestNetStats;       ///< structure of the final champion
+    PhaseTimer modeled;          ///< evaluate / env / evolve / createnet
+    std::vector<GenerationPoint> trace;
+    EnergyBreakdownInput energyInput;
+    InaxReport inaxReport;       ///< populated by the INAX backend
+
+    /** Total modeled wall seconds. */
+    double totalSeconds() const { return modeled.totalSeconds(); }
+};
+
+/** Phase names used in RunResult::modeled. */
+namespace e3_phase {
+inline const std::string evaluate = "evaluate";
+inline const std::string evolve = "evolve";
+inline const std::string env = "env";
+inline const std::string createNet = "createnet";
+} // namespace e3_phase
+
+/** Closed-loop NEAT learning platform with a pluggable backend. */
+class E3Platform
+{
+  public:
+    E3Platform(const PlatformConfig &cfg,
+               std::unique_ptr<EvalBackend> backend);
+
+    /** Tweak NEAT hyperparameters before run(). */
+    NeatConfig &neatConfig() { return neatCfg_; }
+
+    /** Host-side (env/evolve/createnet) timing knobs. */
+    HostTimingModel &hostTiming() { return host_; }
+
+    /** Execute the learning loop to completion. */
+    RunResult run();
+
+  private:
+    PlatformConfig cfg_;
+    EnvSpec spec_;
+    NeatConfig neatCfg_;
+    std::unique_ptr<EvalBackend> backend_;
+    HostTimingModel host_;
+
+    /**
+     * Functionally evaluate the current population: one VectorEnv
+     * episode round per episodesPerEval, fitness = mean episode reward.
+     * Fills the trace's episode lengths.
+     */
+    void evaluateFunctional(Population &pop, GenerationTrace &trace,
+                            int generation);
+};
+
+} // namespace e3
+
+#endif // E3_E3_PLATFORM_HH

@@ -1,0 +1,123 @@
+#include "e3/synthetic.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+NetworkDef
+syntheticIrregularNet(const SyntheticParams &params, Rng &rng)
+{
+    e3_assert(params.numInputs > 0 && params.numOutputs > 0,
+              "synthetic net needs inputs and outputs");
+    e3_assert(params.hiddenLayers > 0, "need at least one hidden rank");
+    e3_assert(params.sparsity >= 0.0 && params.sparsity <= 1.0,
+              "sparsity must be a probability");
+
+    NetworkDef def = NetworkDef::empty(params.numInputs,
+                                       params.numOutputs);
+
+    // Hidden node ids follow the outputs; each gets a rank that orders
+    // the allowed (strictly forward) hidden-to-hidden edges.
+    struct Hidden
+    {
+        int id;
+        size_t rank;
+    };
+    std::vector<Hidden> hidden;
+    for (size_t h = 0; h < params.numHidden; ++h) {
+        const int id = static_cast<int>(params.numOutputs + h);
+        const size_t rank = rng.uniformInt(params.hiddenLayers);
+        def.nodes.push_back({id, rng.normal(0.0, 1.0),
+                             Activation::Sigmoid, Aggregation::Sum});
+        hidden.push_back({id, rank});
+    }
+
+    auto addConn = [&](int from, int to) {
+        def.conns.push_back({from, to, rng.normal(0.0, 1.0)});
+    };
+    auto hasIngress = [&](int id) {
+        return std::any_of(def.conns.begin(), def.conns.end(),
+                           [&](const auto &c) { return c.to == id; });
+    };
+    auto hasEgress = [&](int id) {
+        return std::any_of(def.conns.begin(), def.conns.end(),
+                           [&](const auto &c) { return c.from == id; });
+    };
+
+    // Random sparse connectivity over all legal forward edges.
+    for (int in : def.inputIds) {
+        for (const auto &h : hidden) {
+            if (rng.chance(params.sparsity))
+                addConn(in, h.id);
+        }
+        for (int out : def.outputIds) {
+            if (rng.chance(params.sparsity))
+                addConn(in, out);
+        }
+    }
+    for (const auto &a : hidden) {
+        for (const auto &b : hidden) {
+            if (a.rank < b.rank && rng.chance(params.sparsity))
+                addConn(a.id, b.id);
+        }
+        for (int out : def.outputIds) {
+            if (rng.chance(params.sparsity))
+                addConn(a.id, out);
+        }
+    }
+
+    // Guarantee full requiredness: every hidden node needs an ingress
+    // (from an input or a lower-rank hidden) and an egress (to an
+    // output or higher-rank hidden -> simplest is an output); every
+    // output needs an ingress.
+    for (const auto &h : hidden) {
+        if (!hasIngress(h.id)) {
+            const int in = def.inputIds[rng.uniformInt(
+                def.inputIds.size())];
+            addConn(in, h.id);
+        }
+        if (!hasEgress(h.id)) {
+            const int out = def.outputIds[rng.uniformInt(
+                def.outputIds.size())];
+            addConn(h.id, out);
+        }
+    }
+    for (int out : def.outputIds) {
+        if (!hasIngress(out)) {
+            const int in = def.inputIds[rng.uniformInt(
+                def.inputIds.size())];
+            addConn(in, out);
+        }
+    }
+    return def;
+}
+
+std::vector<NetworkDef>
+syntheticPopulation(const SyntheticParams &params, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<NetworkDef> population;
+    population.reserve(params.numIndividuals);
+    for (size_t i = 0; i < params.numIndividuals; ++i)
+        population.push_back(syntheticIrregularNet(params, rng));
+    return population;
+}
+
+std::vector<int>
+syntheticEpisodeLengths(size_t n, int minSteps, int maxSteps, Rng &rng)
+{
+    e3_assert(minSteps >= 1 && maxSteps >= minSteps,
+              "bad episode-length range [", minSteps, ", ", maxSteps,
+              "]");
+    std::vector<int> lengths(n);
+    for (auto &len : lengths) {
+        len = static_cast<int>(rng.uniformInt(
+            static_cast<int64_t>(minSteps),
+            static_cast<int64_t>(maxSteps)));
+    }
+    return lengths;
+}
+
+} // namespace e3

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Synthetic irregular-network workload generator.
+ *
+ * The paper's design-space studies (footnote 3) use a parameterized
+ * population instead of live evolution: "num individuals: 200,
+ * num inputs: 8, num outputs: 4, num hidden nodes: 30, sparsity
+ * rate: 0.2". This module builds random irregular feed-forward networks
+ * with those knobs, plus the episode-length distributions that drive
+ * the PU-utilization studies.
+ */
+
+#ifndef E3_E3_SYNTHETIC_HH
+#define E3_E3_SYNTHETIC_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "nn/network.hh"
+
+namespace e3 {
+
+/** Knobs of the synthetic population (paper footnote 3 defaults). */
+struct SyntheticParams
+{
+    size_t numIndividuals = 200;
+    size_t numInputs = 8;
+    size_t numOutputs = 4;
+    size_t numHidden = 30;
+    double sparsity = 0.2; ///< probability of each legal connection
+    size_t hiddenLayers = 3; ///< depth hidden nodes spread across
+};
+
+/**
+ * One random irregular network: hidden nodes are spread over
+ * `hiddenLayers` ranks; every forward-pointing edge (input->hidden,
+ * lower->higher rank, hidden->output, input->output) exists with
+ * probability `sparsity`. Each hidden node is guaranteed at least one
+ * ingress and one egress edge and each output at least one ingress, so
+ * the generated structure is fully required.
+ */
+NetworkDef syntheticIrregularNet(const SyntheticParams &params,
+                                 Rng &rng);
+
+/** A population of independent synthetic networks. */
+std::vector<NetworkDef> syntheticPopulation(const SyntheticParams &params,
+                                            uint64_t seed);
+
+/**
+ * Episode lengths with env-like termination variance: lengths are
+ * uniform in [minSteps, maxSteps], mimicking individuals failing early
+ * while others run the full episode (paper Sec. V-B issue 2).
+ */
+std::vector<int> syntheticEpisodeLengths(size_t n, int minSteps,
+                                         int maxSteps, Rng &rng);
+
+} // namespace e3
+
+#endif // E3_E3_SYNTHETIC_HH

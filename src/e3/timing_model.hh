@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Analytical timing models for the software and GPU execution of
+ * "evaluate", and for the CPU-side "evolve"/"env"/"CreateNet" work
+ * shared by every platform variant.
+ *
+ * Calibration note (see EXPERIMENTS.md): the paper's E3-CPU baseline is
+ * the neat-python reference implementation on a desktop i7 — an
+ * *interpreted* evaluator. Our functional simulation is compiled C++
+ * and hundreds of times faster, so reporting raw wall time would erase
+ * the baseline the paper measures against. The constants below are
+ * calibrated to interpreted-Python-era per-operation costs; every bench
+ * labels these times as modeled.
+ */
+
+#ifndef E3_E3_TIMING_MODEL_HH
+#define E3_E3_TIMING_MODEL_HH
+
+#include <cstdint>
+
+#include "nn/net_stats.hh"
+#include "nn/network.hh"
+
+namespace e3 {
+
+/**
+ * Per-generation workload trace the timing models consume: the decoded
+ * population plus, for each evaluation episode, every individual's
+ * episode length (individuals terminate independently — the liveness
+ * structure lockstep accelerators care about).
+ */
+struct GenerationTrace
+{
+    std::vector<NetworkDef> defs;      ///< decoded individuals
+    std::vector<NetStats> individuals; ///< structure stats, aligned
+    /** episodes[e][i] = env steps of individual i in episode e. */
+    std::vector<std::vector<int>> episodes;
+    size_t numInputs = 0;
+    size_t numOutputs = 0;
+
+    /** Total inferences across all episodes. */
+    uint64_t totalInferences() const;
+
+    /** Lanes still live at step t of episode e. */
+    size_t liveLanesAt(size_t episode, int t) const;
+
+    /** Longest episode length within episode round e. */
+    int maxEpisodeLength(size_t episode) const;
+
+    /** Consistency checks; panics on malformed traces. */
+    void validate() const;
+};
+
+/** Software (interpreted-CPU) execution-time model. */
+struct CpuTimingModel
+{
+    double perInferenceSeconds = 6.0e-6; ///< dispatch overhead
+    double perConnectionSeconds = 250e-9;
+    double perNodeSeconds = 600e-9;
+
+    /** Seconds for one inference of a network with these stats. */
+    double inferenceSeconds(const NetStats &stats) const;
+
+    /** Seconds to evaluate a whole generation. */
+    double evaluateSeconds(const GenerationTrace &trace) const;
+};
+
+/**
+ * GPU execution-time model. Dynamic irregular topologies defeat
+ * batching: each dependency layer of each individual becomes its own
+ * tiny kernel launch, and every env step pays a host-device round trip
+ * (the paper's stated reason E3-GPU loses to the CPU).
+ */
+struct GpuTimingModel
+{
+    double kernelLaunchSeconds = 25e-6; ///< per layer-kernel launch
+    /**
+     * H2D input + D2H output per individual inference: dynamic
+     * topologies defeat batching, so every network's tiny tensors move
+     * separately.
+     */
+    double inferenceTransferSeconds = 80e-6;
+    double stepTransferSeconds = 30e-6; ///< per-step batch bookkeeping
+    double macsPerSecond = 1e9; ///< effective throughput at batch ~1
+
+    /** Seconds to evaluate a whole generation. */
+    double evaluateSeconds(const GenerationTrace &trace) const;
+};
+
+/** CPU-side costs shared by all platforms (env, evolve, createnet). */
+struct HostTimingModel
+{
+    double envStepSeconds = 0.4e-6;
+    double evolvePerGenomeSeconds = 40e-6;
+    double createNetPerGenomeSeconds = 5e-6;
+    double createNetPerConnectionSeconds = 0.2e-6;
+
+    double envSeconds(const GenerationTrace &trace) const;
+    double evolveSeconds(size_t populationSize) const;
+    double createNetSeconds(const GenerationTrace &trace) const;
+};
+
+} // namespace e3
+
+#endif // E3_E3_TIMING_MODEL_HH

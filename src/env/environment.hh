@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The interactive-environment interface ("env" in the paper's Fig. 5).
+ *
+ * Environments follow OpenAI gym semantics: reset() yields the first
+ * observation, step() advances one control interval and reports the new
+ * observation, the reward, and whether the episode terminated. All
+ * randomness flows through an explicit Rng for reproducibility.
+ */
+
+#ifndef E3_ENV_ENVIRONMENT_HH
+#define E3_ENV_ENVIRONMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "env/space.hh"
+
+namespace e3 {
+
+/** Observation and action payloads are plain double vectors. */
+using Observation = std::vector<double>;
+using Action = std::vector<double>;
+
+/** Result of one environment step. */
+struct StepResult
+{
+    Observation observation; ///< next state observation
+    double reward = 0.0;     ///< reward for this transition
+    bool done = false;       ///< episode terminated (success or failure)
+};
+
+/**
+ * Abstract interactive environment.
+ *
+ * Discrete-action environments read the action as
+ * `static_cast<int>(action[0])`; Box-action environments read the full
+ * vector (clamped to bounds by the implementation).
+ */
+class Environment
+{
+  public:
+    virtual ~Environment() = default;
+
+    /** Stable identifier, e.g. "cartpole". */
+    virtual std::string name() const = 0;
+
+    virtual const Space &observationSpace() const = 0;
+    virtual const Space &actionSpace() const = 0;
+
+    /** Start a new episode; returns the initial observation. */
+    virtual Observation reset(Rng &rng) = 0;
+
+    /**
+     * Advance one step.
+     * @pre reset() has been called and the episode is not done.
+     */
+    virtual StepResult step(const Action &action) = 0;
+
+    /** Step cap after which the episode is truncated. */
+    virtual int maxEpisodeSteps() const = 0;
+};
+
+} // namespace e3
+
+#endif // E3_ENV_ENVIRONMENT_HH

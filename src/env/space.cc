@@ -1,0 +1,88 @@
+#include "env/space.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+Space
+Space::discrete(int n)
+{
+    e3_assert(n >= 1, "discrete space needs at least one action");
+    Space s;
+    s.discrete_ = true;
+    s.count_ = n;
+    return s;
+}
+
+Space
+Space::box(size_t dim, double lo, double hi)
+{
+    return box(std::vector<double>(dim, lo), std::vector<double>(dim, hi));
+}
+
+Space
+Space::box(std::vector<double> lo, std::vector<double> hi)
+{
+    e3_assert(lo.size() == hi.size() && !lo.empty(),
+              "box bounds must be equal-length and non-empty");
+    for (size_t i = 0; i < lo.size(); ++i)
+        e3_assert(lo[i] <= hi[i], "box bound ", i, " is inverted");
+    Space s;
+    s.low_ = std::move(lo);
+    s.high_ = std::move(hi);
+    return s;
+}
+
+int
+Space::count() const
+{
+    e3_assert(discrete_, "count() on a Box space");
+    return count_;
+}
+
+size_t
+Space::size() const
+{
+    return discrete_ ? 1 : low_.size();
+}
+
+const std::vector<double> &
+Space::low() const
+{
+    e3_assert(!discrete_, "low() on a Discrete space");
+    return low_;
+}
+
+const std::vector<double> &
+Space::high() const
+{
+    e3_assert(!discrete_, "high() on a Discrete space");
+    return high_;
+}
+
+std::vector<double>
+Space::clamp(std::vector<double> v) const
+{
+    if (discrete_)
+        return v;
+    e3_assert(v.size() == low_.size(), "clamp dimension mismatch");
+    for (size_t i = 0; i < v.size(); ++i)
+        v[i] = std::clamp(v[i], low_[i], high_[i]);
+    return v;
+}
+
+std::string
+Space::describe() const
+{
+    std::ostringstream oss;
+    if (discrete_)
+        oss << "Discrete(" << count_ << ")";
+    else
+        oss << "Box(" << low_.size() << ")";
+    return oss.str();
+}
+
+} // namespace e3

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Observation/action space descriptions, mirroring OpenAI gym's
+ * Discrete and Box spaces.
+ */
+
+#ifndef E3_ENV_SPACE_HH
+#define E3_ENV_SPACE_HH
+
+#include <string>
+#include <vector>
+
+namespace e3 {
+
+/**
+ * A gym-style space: either Discrete(n) or Box(low, high, dim).
+ *
+ * For Discrete spaces, size() is 1 (one scalar action index) while
+ * count() is the number of choices. For Box spaces, size() is the vector
+ * dimension and low()/high() give per-element bounds.
+ */
+class Space
+{
+  public:
+    /** Make a discrete space with n choices. */
+    static Space discrete(int n);
+
+    /** Make a box space with uniform bounds. */
+    static Space box(size_t dim, double lo, double hi);
+
+    /** Make a box space with per-element bounds. */
+    static Space box(std::vector<double> lo, std::vector<double> hi);
+
+    bool isDiscrete() const { return discrete_; }
+
+    /** Number of choices of a discrete space. @pre isDiscrete(). */
+    int count() const;
+
+    /** Vector dimension (1 for discrete). */
+    size_t size() const;
+
+    /** Per-element lower bounds. @pre !isDiscrete(). */
+    const std::vector<double> &low() const;
+
+    /** Per-element upper bounds. @pre !isDiscrete(). */
+    const std::vector<double> &high() const;
+
+    /** Clamp a box action into bounds (no-op for discrete). */
+    std::vector<double> clamp(std::vector<double> v) const;
+
+    /** Human-readable description, e.g. "Discrete(3)" or "Box(4)". */
+    std::string describe() const;
+
+  private:
+    Space() = default;
+
+    bool discrete_ = false;
+    int count_ = 0;
+    std::vector<double> low_;
+    std::vector<double> high_;
+};
+
+} // namespace e3
+
+#endif // E3_ENV_SPACE_HH

@@ -1,0 +1,89 @@
+#include "env/vector_env.hh"
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+VectorEnv::VectorEnv(const EnvSpec &spec, size_t lanes, uint64_t seed)
+    : spec_(spec)
+{
+    e3_assert(lanes > 0, "VectorEnv needs at least one lane");
+    Rng master(seed);
+    lanes_.reserve(lanes);
+    for (size_t i = 0; i < lanes; ++i)
+        lanes_.emplace_back(spec.make(), master.split());
+}
+
+void
+VectorEnv::resetAll()
+{
+    for (auto &lane : lanes_) {
+        lane.observation = lane.env->reset(lane.rng);
+        lane.fitness = 0.0;
+        lane.steps = 0;
+        lane.done = false;
+    }
+}
+
+void
+VectorEnv::stepAll(const std::vector<Action> &actions)
+{
+    e3_assert(actions.size() == lanes_.size(),
+              "need ", lanes_.size(), " actions, got ", actions.size());
+    for (size_t i = 0; i < lanes_.size(); ++i) {
+        Lane &lane = lanes_[i];
+        if (lane.done)
+            continue;
+        StepResult r = lane.env->step(actions[i]);
+        lane.observation = std::move(r.observation);
+        lane.fitness += r.reward;
+        ++lane.steps;
+        lane.done =
+            r.done || lane.steps >= lane.env->maxEpisodeSteps();
+    }
+}
+
+const Observation &
+VectorEnv::observation(size_t lane) const
+{
+    return lanes_.at(lane).observation;
+}
+
+bool
+VectorEnv::done(size_t lane) const
+{
+    return lanes_.at(lane).done;
+}
+
+double
+VectorEnv::fitness(size_t lane) const
+{
+    return lanes_.at(lane).fitness;
+}
+
+int
+VectorEnv::steps(size_t lane) const
+{
+    return lanes_.at(lane).steps;
+}
+
+bool
+VectorEnv::allDone() const
+{
+    for (const auto &lane : lanes_) {
+        if (!lane.done)
+            return false;
+    }
+    return true;
+}
+
+size_t
+VectorEnv::liveCount() const
+{
+    size_t n = 0;
+    for (const auto &lane : lanes_)
+        n += lane.done ? 0 : 1;
+    return n;
+}
+
+} // namespace e3

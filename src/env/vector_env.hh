@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A batch of independent environment instances stepped in lockstep.
+ *
+ * E3 evaluates a whole population per generation: one environment per
+ * individual, all advanced together, each terminating on its own schedule
+ * ("some bad performance individuals can fail, terminate early, and stay
+ * idle while the other populations are still running" — paper Sec. V-B).
+ * VectorEnv tracks per-lane episode state so both the software baseline
+ * and the INAX model see identical episode-length variance.
+ */
+
+#ifndef E3_ENV_VECTOR_ENV_HH
+#define E3_ENV_VECTOR_ENV_HH
+
+#include <memory>
+#include <vector>
+
+#include "env/env_registry.hh"
+#include "env/environment.hh"
+
+namespace e3 {
+
+/** Lockstep batch of environments of one kind. */
+class VectorEnv
+{
+  public:
+    /**
+     * @param spec environment kind for every lane
+     * @param lanes number of parallel episodes (population size)
+     * @param seed master seed; each lane derives an independent stream
+     */
+    VectorEnv(const EnvSpec &spec, size_t lanes, uint64_t seed);
+
+    /** Restart every lane's episode. */
+    void resetAll();
+
+    /**
+     * Step every live lane with its action; finished lanes ignore their
+     * action and stay idle.
+     * @param actions one action per lane (size() entries)
+     */
+    void stepAll(const std::vector<Action> &actions);
+
+    size_t size() const { return lanes_.size(); }
+    const EnvSpec &spec() const { return spec_; }
+
+    /** Latest observation of a lane (valid while the lane is live). */
+    const Observation &observation(size_t lane) const;
+
+    /** Whether a lane's episode has ended (terminated or truncated). */
+    bool done(size_t lane) const;
+
+    /** Cumulative episode reward of a lane. */
+    double fitness(size_t lane) const;
+
+    /** Steps taken in the lane's current episode. */
+    int steps(size_t lane) const;
+
+    /** True once every lane is done. */
+    bool allDone() const;
+
+    /** Number of lanes still live. */
+    size_t liveCount() const;
+
+  private:
+    struct Lane
+    {
+        std::unique_ptr<Environment> env;
+        Rng rng;
+        Observation observation;
+        double fitness = 0.0;
+        int steps = 0;
+        bool done = true;
+
+        Lane(std::unique_ptr<Environment> e, Rng r)
+            : env(std::move(e)), rng(r)
+        {
+        }
+    };
+
+    EnvSpec spec_;
+    std::vector<Lane> lanes_;
+};
+
+} // namespace e3
+
+#endif // E3_ENV_VECTOR_ENV_HH

@@ -1,0 +1,162 @@
+#include "inax/dataflow.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "inax/schedule.hh"
+#include "nn/layering.hh"
+
+namespace e3 {
+
+namespace {
+
+/** Egress fan-out per producer (inputs and required nodes). */
+std::map<int, size_t>
+egressCounts(const NetworkDef &def)
+{
+    const std::set<int> required = requiredNodes(def);
+    const std::set<int> inputs(def.inputIds.begin(),
+                               def.inputIds.end());
+    std::map<int, size_t> egress;
+    for (const auto &c : def.conns) {
+        if (!required.count(c.to))
+            continue;
+        if (inputs.count(c.from) || required.count(c.from))
+            ++egress[c.from];
+    }
+    return egress;
+}
+
+/**
+ * Peak count of simultaneously-live partial sums when values are
+ * consumed producer-by-producer: a destination's partial sum is live
+ * from its first contribution until its last. Upper-bounded here by
+ * the widest "destinations fed by producers processed so far but not
+ * yet complete" cut, computed with a simple forward sweep in layer
+ * order.
+ */
+uint64_t
+peakLivePartialSums(const NetworkDef &def)
+{
+    const std::set<int> required = requiredNodes(def);
+    const std::set<int> inputs(def.inputIds.begin(),
+                               def.inputIds.end());
+    const auto layers = feedForwardLayers(def);
+
+    // Producer processing order: inputs, then layer by layer.
+    std::vector<int> order(def.inputIds.begin(), def.inputIds.end());
+    for (const auto &layer : layers)
+        order.insert(order.end(), layer.begin(), layer.end());
+
+    std::map<int, size_t> position;
+    for (size_t i = 0; i < order.size(); ++i)
+        position[order[i]] = i;
+
+    // A destination's partial sum is live over [first producer pos,
+    // last producer pos].
+    std::map<int, std::pair<size_t, size_t>> window;
+    for (const auto &c : def.conns) {
+        if (!required.count(c.to))
+            continue;
+        if (!inputs.count(c.from) && !required.count(c.from))
+            continue;
+        const size_t pos = position.at(c.from);
+        auto [it, inserted] =
+            window.try_emplace(c.to, std::make_pair(pos, pos));
+        if (!inserted) {
+            it->second.first = std::min(it->second.first, pos);
+            it->second.second = std::max(it->second.second, pos);
+        }
+    }
+
+    uint64_t peak = 0;
+    for (size_t t = 0; t < order.size(); ++t) {
+        uint64_t live = 0;
+        for (const auto &[dst, w] : window)
+            live += (w.first <= t && t <= w.second) ? 1 : 0;
+        peak = std::max(peak, live);
+    }
+    return peak;
+}
+
+} // namespace
+
+DataflowRequirements
+analyzeOutputStationary(const NetworkDef &def, const InaxConfig &cfg)
+{
+    cfg.validate();
+    const auto net = FeedForwardNetwork::create(def);
+    DataflowRequirements req;
+    req.name = "output-stationary";
+    // One accumulator per PE, full stop.
+    req.accumulators = cfg.numPEs;
+    req.peakLiveAccumulators = std::min<uint64_t>(
+        cfg.numPEs, std::max<size_t>(net.nodeCount(), 1));
+    // Value buffer holds every activation (irregular nets may read any
+    // earlier value).
+    req.bufferWords = net.valueSlots();
+    req.inferenceCycles = scheduleInference(net, cfg).cycles;
+    return req;
+}
+
+DataflowRequirements
+analyzeInputStationary(const NetworkDef &def, const InaxConfig &cfg)
+{
+    cfg.validate();
+    const auto net = FeedForwardNetwork::create(def);
+    const auto egress = egressCounts(def);
+
+    DataflowRequirements req;
+    req.name = "input-stationary";
+    // Provisioning is decided at design time for the worst case: any
+    // supported node could be an egress destination of the value being
+    // held, so a partial-sum slot must exist for every node the PU can
+    // host — not just the ones this network uses.
+    req.accumulators = cfg.maxSupportedNodes;
+    req.peakLiveAccumulators = peakLivePartialSums(def);
+    // Buffer: partial sums for the full capacity plus the held values.
+    req.bufferWords = cfg.maxSupportedNodes + net.valueSlots();
+
+    // Cycles: each producer broadcasts to its egress destinations,
+    // numPEs partial-sum updates per cycle; activation pipeline per
+    // node at the end of its window.
+    uint64_t cycles = 0;
+    for (const auto &[producer, count] : egress)
+        cycles += (count + cfg.numPEs - 1) / cfg.numPEs;
+    cycles += net.nodeCount() * cfg.pePipelineLatency / cfg.numPEs;
+    cycles += net.layers().size() * cfg.layerSyncCycles;
+    req.inferenceCycles = std::max<uint64_t>(cycles, 1);
+    return req;
+}
+
+DataflowRequirements
+analyzeWeightStationary(const NetworkDef &def, const InaxConfig &cfg)
+{
+    cfg.validate();
+    const auto net = FeedForwardNetwork::create(def);
+
+    DataflowRequirements req;
+    req.name = "weight-stationary";
+    // Same design-time worst-case destination partial sums as IS, plus
+    // the weights pinned in PEs buy nothing: every weight is used
+    // exactly once per inference, so the array reloads weights
+    // ceil(conns / numPEs) times.
+    req.accumulators = cfg.maxSupportedNodes;
+    req.peakLiveAccumulators = peakLivePartialSums(def);
+    req.bufferWords = cfg.maxSupportedNodes + net.valueSlots();
+
+    const uint64_t conns = net.connectionCount();
+    const uint64_t reloadRounds =
+        (conns + cfg.numPEs - 1) / cfg.numPEs;
+    // Each round: load numPEs weights over the weight channel, then
+    // one MAC cycle.
+    req.inferenceCycles =
+        reloadRounds *
+            (1 + cfg.numPEs / cfg.weightChannelWidth) +
+        net.nodeCount() * cfg.pePipelineLatency / cfg.numPEs +
+        net.layers().size() * cfg.layerSyncCycles;
+    return req;
+}
+
+} // namespace e3

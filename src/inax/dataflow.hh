@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Dataflow-choice analysis (paper Sec. IV-E).
+ *
+ * The paper argues for the output-stationary (OS) dataflow by analysis:
+ * weight-stationary (WS) is pointless because MLP weights have no
+ * within-inference reuse, and input-stationary (IS) must provision a
+ * partial-sum slot for every possible egress node — the worst case is
+ * every node in the network, so the hardware is over-provisioned most
+ * of its lifetime. This module quantifies that argument for concrete
+ * networks so the ablation bench can print it.
+ */
+
+#ifndef E3_INAX_DATAFLOW_HH
+#define E3_INAX_DATAFLOW_HH
+
+#include <string>
+
+#include "inax/hw_config.hh"
+#include "nn/network.hh"
+
+namespace e3 {
+
+/** Per-dataflow resource and cycle requirements for one network. */
+struct DataflowRequirements
+{
+    std::string name;
+
+    /** Partial-sum registers/accumulators a PU must provision. */
+    uint64_t accumulators = 0;
+
+    /** Scratch (value / partial-sum) buffer words per PU. */
+    uint64_t bufferWords = 0;
+
+    /** Single-inference cycles on cfg.numPEs PEs. */
+    uint64_t inferenceCycles = 0;
+
+    /**
+     * Accumulators the network actually keeps live at once; the gap to
+     * `accumulators` is the over-provisioning the paper warns about.
+     */
+    uint64_t peakLiveAccumulators = 0;
+};
+
+/** The paper's chosen dataflow: one accumulator per PE. */
+DataflowRequirements analyzeOutputStationary(const NetworkDef &def,
+                                             const InaxConfig &cfg);
+
+/**
+ * Input-stationary: each input/activation value is held while its
+ * egress contributions stream out, so every destination needs a live
+ * partial sum.
+ */
+DataflowRequirements analyzeInputStationary(const NetworkDef &def,
+                                            const InaxConfig &cfg);
+
+/**
+ * Weight-stationary: weights pinned to PEs. With zero within-inference
+ * weight reuse in MLP-type networks, the array re-loads constantly and
+ * destination partial sums must be buffered like IS.
+ */
+DataflowRequirements analyzeWeightStationary(const NetworkDef &def,
+                                             const InaxConfig &cfg);
+
+} // namespace e3
+
+#endif // E3_INAX_DATAFLOW_HH

@@ -1,0 +1,50 @@
+#include "inax/dma.hh"
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+uint64_t
+dmaTransferCycles(uint64_t words, size_t width, size_t latency)
+{
+    e3_assert(width > 0, "zero-width DMA channel");
+    if (words == 0)
+        return 0;
+    return latency + (words + width - 1) / width;
+}
+
+uint64_t
+configWords(size_t nodes, size_t connections)
+{
+    // Per connection: source id, destination id, weight. Per node: bias
+    // plus a packed activation/aggregation descriptor.
+    return 3 * static_cast<uint64_t>(connections) +
+           2 * static_cast<uint64_t>(nodes);
+}
+
+uint64_t
+setupCycles(size_t nodes, size_t connections, const InaxConfig &cfg)
+{
+    return dmaTransferCycles(configWords(nodes, connections),
+                             cfg.weightChannelWidth, cfg.dmaLatency);
+}
+
+uint64_t
+inputTransferCycles(size_t numInputs, size_t liveLanes,
+                    const InaxConfig &cfg)
+{
+    return dmaTransferCycles(
+        static_cast<uint64_t>(numInputs) * liveLanes,
+        cfg.ioChannelWidth, cfg.dmaLatency);
+}
+
+uint64_t
+outputTransferCycles(size_t numOutputs, size_t liveLanes,
+                     const InaxConfig &cfg)
+{
+    return dmaTransferCycles(
+        static_cast<uint64_t>(numOutputs) * liveLanes,
+        cfg.ioChannelWidth, cfg.dmaLatency);
+}
+
+} // namespace e3

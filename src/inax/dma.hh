@@ -1,0 +1,39 @@
+/**
+ * @file
+ * DMA channel cost model. The CPU master moves data to and from INAX
+ * through weight / input / output channels (paper Fig. 5); each
+ * transfer pays a fixed transaction latency plus streaming cycles at
+ * the channel width.
+ */
+
+#ifndef E3_INAX_DMA_HH
+#define E3_INAX_DMA_HH
+
+#include <cstdint>
+
+#include "inax/hw_config.hh"
+
+namespace e3 {
+
+/** Cycles to move `words` over a channel `width` words wide. */
+uint64_t dmaTransferCycles(uint64_t words, size_t width,
+                           size_t latency);
+
+/** Configuration-stream size of one individual, in words. */
+uint64_t configWords(size_t nodes, size_t connections);
+
+/** Set-up phase cycles to stream one individual's configuration. */
+uint64_t setupCycles(size_t nodes, size_t connections,
+                     const InaxConfig &cfg);
+
+/** Per-evaluate-iteration input-scatter cycles. */
+uint64_t inputTransferCycles(size_t numInputs, size_t liveLanes,
+                             const InaxConfig &cfg);
+
+/** Per-evaluate-iteration output-gather cycles. */
+uint64_t outputTransferCycles(size_t numOutputs, size_t liveLanes,
+                              const InaxConfig &cfg);
+
+} // namespace e3
+
+#endif // E3_INAX_DMA_HH

@@ -1,0 +1,41 @@
+#include "inax/hw_config.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+void
+InaxConfig::validate() const
+{
+    if (numPUs == 0 || numPEs == 0)
+        e3_fatal("INAX needs at least one PU and one PE");
+    if (clockMhz <= 0.0)
+        e3_fatal("non-positive INAX clock");
+    if (weightChannelWidth == 0 || ioChannelWidth == 0)
+        e3_fatal("zero-width DMA channel");
+    if (activationDensity <= 0.0 || activationDensity > 1.0)
+        e3_fatal("activation density must be in (0, 1]");
+}
+
+std::string
+InaxConfig::describe() const
+{
+    std::ostringstream oss;
+    oss << "INAX{PU=" << numPUs << ", PE=" << numPEs << ", "
+        << clockMhz << " MHz}";
+    return oss.str();
+}
+
+InaxConfig
+InaxConfig::paperDefault(size_t numOutputs)
+{
+    InaxConfig cfg;
+    cfg.numPEs = numOutputs > 0 ? numOutputs : 1;
+    cfg.numPUs = 50;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace e3

@@ -1,0 +1,28 @@
+#include "inax/pu.hh"
+
+#include "inax/dma.hh"
+#include "nn/net_stats.hh"
+
+namespace e3 {
+
+IndividualCost
+puIndividualCost(const NetworkDef &def, const InaxConfig &cfg)
+{
+    cfg.validate();
+    const auto net = FeedForwardNetwork::create(def);
+    const InferenceCost inference = scheduleInference(net, cfg);
+
+    IndividualCost cost;
+    cost.inferenceCycles = inference.cycles;
+    cost.peActiveCycles = inference.peActiveCycles;
+    cost.setupCycles =
+        setupCycles(net.nodeCount(), net.connectionCount(), cfg);
+    cost.numInputs = net.numInputs();
+    cost.numOutputs = net.numOutputs();
+    cost.weightBufferWords =
+        configWords(net.nodeCount(), net.connectionCount());
+    cost.valueBufferWords = net.valueSlots();
+    return cost;
+}
+
+} // namespace e3

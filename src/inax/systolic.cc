@@ -1,0 +1,66 @@
+#include "inax/systolic.hh"
+
+#include "common/logging.hh"
+#include "inax/dma.hh"
+#include "nn/net_stats.hh"
+
+namespace e3 {
+
+uint64_t
+systolicInferenceCycles(const DenseEquivalent &eq, size_t k,
+                        const InaxConfig &cfg)
+{
+    e3_assert(k > 0, "zero-wide systolic array");
+    uint64_t cycles = 0;
+    for (size_t l = 0; l + 1 < eq.layerSizes.size(); ++l) {
+        const uint64_t nIn = eq.layerSizes[l];
+        const uint64_t nOut = eq.layerSizes[l + 1];
+        if (nOut == 0)
+            continue;
+        const uint64_t tiles = (nOut + k - 1) / k;
+        // Each output tile streams every input once plus the array
+        // fill/drain; the alignment pass re-fetches and orders the
+        // previous layer's values (dummy nodes included).
+        cycles += tiles * (nIn + k);
+        cycles += nIn; // input-data alignment
+        cycles += cfg.layerSyncCycles;
+    }
+    return cycles;
+}
+
+IndividualCost
+systolicIndividualCost(const NetworkDef &def, const InaxConfig &cfg)
+{
+    cfg.validate();
+    const DenseEquivalent eq = denseEquivalent(def);
+    const NetStats stats = computeNetStats(def);
+
+    IndividualCost cost;
+    cost.inferenceCycles =
+        systolicInferenceCycles(eq, cfg.numPEs, cfg);
+    // Useful work is only the irregular network's real MACs plus its
+    // real nodes' activation; everything else is zero-fill and padding.
+    cost.peActiveCycles =
+        stats.activeConnections +
+        static_cast<uint64_t>(stats.activeNodes) *
+            cfg.pePipelineLatency;
+
+    // The array streams the full dense weight matrices.
+    const uint64_t denseWords =
+        eq.denseConnections() +
+        2 * static_cast<uint64_t>(eq.realNodes + eq.dummyNodes);
+    cost.setupCycles = dmaTransferCycles(
+        denseWords, cfg.weightChannelWidth, cfg.dmaLatency);
+    cost.weightBufferWords = denseWords;
+    cost.valueBufferWords = 0;
+    for (size_t s : eq.layerSizes)
+        cost.valueBufferWords = std::max<uint64_t>(
+            cost.valueBufferWords, s); // double-buffered adjacent layers
+    cost.valueBufferWords *= 2;
+
+    cost.numInputs = def.inputIds.size();
+    cost.numOutputs = def.outputIds.size();
+    return cost;
+}
+
+} // namespace e3

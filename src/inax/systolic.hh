@@ -1,0 +1,38 @@
+/**
+ * @file
+ * GeneSys-style systolic-array baseline (paper Sec. VI-F).
+ *
+ * A 1-D systolic array of k PEs executes MLP-type matrix-vector
+ * products layer by layer. To run an *irregular* network it must first
+ * be regularized into its dense MLP counterpart (Fig. 4(d)): dummy
+ * passthrough nodes relay values across skipped layers, and absent
+ * connections become zero weights that the array still streams
+ * ("zero filling"). The model charges, per layer of the padded
+ * network, ceil(n_out / k) output tiles of (n_in + k) cycles (stream +
+ * pipeline fill) plus an input-alignment pass — the two inefficiency
+ * sources the paper names.
+ */
+
+#ifndef E3_INAX_SYSTOLIC_HH
+#define E3_INAX_SYSTOLIC_HH
+
+#include "inax/pu.hh"
+#include "nn/dense_equivalent.hh"
+
+namespace e3 {
+
+/**
+ * Cost of one individual on a systolic-array PU of cfg.numPEs MACs.
+ * Interchangeable with puIndividualCost() so the same session machinery
+ * drives both accelerators.
+ */
+IndividualCost systolicIndividualCost(const NetworkDef &def,
+                                      const InaxConfig &cfg);
+
+/** Per-inference cycles of the dense counterpart on a k-wide array. */
+uint64_t systolicInferenceCycles(const DenseEquivalent &eq, size_t k,
+                                 const InaxConfig &cfg);
+
+} // namespace e3
+
+#endif // E3_INAX_SYSTOLIC_HH

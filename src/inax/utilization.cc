@@ -1,0 +1,33 @@
+#include "inax/utilization.hh"
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+void
+UtilizationTracker::record(uint64_t active, uint64_t provisioned)
+{
+    e3_assert(active <= provisioned,
+              "active cycles ", active, " exceed provisioned ",
+              provisioned);
+    active_ += active;
+    provisioned_ += provisioned;
+}
+
+double
+UtilizationTracker::rate() const
+{
+    if (provisioned_ == 0)
+        return 1.0;
+    return static_cast<double>(active_) /
+           static_cast<double>(provisioned_);
+}
+
+void
+UtilizationTracker::merge(const UtilizationTracker &other)
+{
+    active_ += other.active_;
+    provisioned_ += other.provisioned_;
+}
+
+} // namespace e3

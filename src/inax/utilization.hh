@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Utilization-rate accounting, Eq. (1) of the paper:
+ * U(r) = T_active(r) / T_total(r).
+ */
+
+#ifndef E3_INAX_UTILIZATION_HH
+#define E3_INAX_UTILIZATION_HH
+
+#include <cstdint>
+
+namespace e3 {
+
+/** Accumulates active vs provisioned cycles for one resource class. */
+class UtilizationTracker
+{
+  public:
+    /**
+     * Record one scheduling window.
+     * @param active cycles the resource instances actually computed
+     * @param provisioned instance-count x window-length cycles offered
+     */
+    void record(uint64_t active, uint64_t provisioned);
+
+    uint64_t activeCycles() const { return active_; }
+    uint64_t provisionedCycles() const { return provisioned_; }
+
+    /** U(r); 1.0 when nothing has been provisioned yet. */
+    double rate() const;
+
+    /** Merge another tracker. */
+    void merge(const UtilizationTracker &other);
+
+  private:
+    uint64_t active_ = 0;
+    uint64_t provisioned_ = 0;
+};
+
+} // namespace e3
+
+#endif // E3_INAX_UTILIZATION_HH

@@ -1,0 +1,152 @@
+#include "mlp/distributions.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+Categorical::Categorical(std::vector<double> logits)
+    : logits_(std::move(logits))
+{
+    e3_assert(!logits_.empty(), "categorical over zero actions");
+    const double peak = *std::max_element(logits_.begin(), logits_.end());
+    probs_.resize(logits_.size());
+    double total = 0.0;
+    for (size_t i = 0; i < logits_.size(); ++i) {
+        probs_[i] = std::exp(logits_[i] - peak);
+        total += probs_[i];
+    }
+    for (double &p : probs_)
+        p /= total;
+}
+
+int
+Categorical::sample(Rng &rng) const
+{
+    return static_cast<int>(rng.weightedIndex(probs_));
+}
+
+int
+Categorical::mode() const
+{
+    return static_cast<int>(
+        std::max_element(probs_.begin(), probs_.end()) - probs_.begin());
+}
+
+double
+Categorical::logProb(int action) const
+{
+    e3_assert(action >= 0 && action < static_cast<int>(probs_.size()),
+              "action ", action, " out of range");
+    return std::log(std::max(probs_[action], 1e-300));
+}
+
+double
+Categorical::entropy() const
+{
+    double h = 0.0;
+    for (double p : probs_) {
+        if (p > 0.0)
+            h -= p * std::log(p);
+    }
+    return h;
+}
+
+std::vector<double>
+Categorical::nllGradient(int action) const
+{
+    e3_assert(action >= 0 && action < static_cast<int>(probs_.size()),
+              "action ", action, " out of range");
+    std::vector<double> g = probs_;
+    g[action] -= 1.0;
+    return g;
+}
+
+std::vector<double>
+Categorical::negEntropyGradient() const
+{
+    // dH/dlogit_i = -p_i * (log p_i + H); we return -dH/dlogit.
+    const double h = entropy();
+    std::vector<double> g(probs_.size());
+    for (size_t i = 0; i < probs_.size(); ++i) {
+        const double logp = std::log(std::max(probs_[i], 1e-300));
+        g[i] = probs_[i] * (logp + h);
+    }
+    return g;
+}
+
+DiagGaussian::DiagGaussian(std::vector<double> mean,
+                           std::vector<double> logStd)
+    : mean_(std::move(mean)), logStd_(std::move(logStd))
+{
+    e3_assert(mean_.size() == logStd_.size() && !mean_.empty(),
+              "gaussian mean/logStd size mismatch");
+}
+
+std::vector<double>
+DiagGaussian::sample(Rng &rng) const
+{
+    std::vector<double> a(mean_.size());
+    for (size_t i = 0; i < mean_.size(); ++i)
+        a[i] = mean_[i] + std::exp(logStd_[i]) * rng.normal();
+    return a;
+}
+
+double
+DiagGaussian::logProb(const std::vector<double> &action) const
+{
+    e3_assert(action.size() == mean_.size(), "action size mismatch");
+    double lp = 0.0;
+    for (size_t i = 0; i < mean_.size(); ++i) {
+        const double std = std::exp(logStd_[i]);
+        const double z = (action[i] - mean_[i]) / std;
+        lp += -0.5 * z * z - logStd_[i] -
+              0.5 * std::log(2.0 * std::numbers::pi);
+    }
+    return lp;
+}
+
+double
+DiagGaussian::entropy() const
+{
+    double h = 0.0;
+    for (double ls : logStd_)
+        h += ls + 0.5 * std::log(2.0 * std::numbers::pi * std::numbers::e);
+    return h;
+}
+
+std::vector<double>
+DiagGaussian::nllGradientMean(const std::vector<double> &action) const
+{
+    e3_assert(action.size() == mean_.size(), "action size mismatch");
+    std::vector<double> g(mean_.size());
+    for (size_t i = 0; i < mean_.size(); ++i) {
+        const double var = std::exp(2.0 * logStd_[i]);
+        g[i] = (mean_[i] - action[i]) / var;
+    }
+    return g;
+}
+
+std::vector<double>
+DiagGaussian::nllGradientLogStd(const std::vector<double> &action) const
+{
+    e3_assert(action.size() == mean_.size(), "action size mismatch");
+    std::vector<double> g(mean_.size());
+    for (size_t i = 0; i < mean_.size(); ++i) {
+        const double var = std::exp(2.0 * logStd_[i]);
+        const double d = action[i] - mean_[i];
+        g[i] = 1.0 - d * d / var;
+    }
+    return g;
+}
+
+std::vector<double>
+DiagGaussian::negEntropyGradientLogStd() const
+{
+    return std::vector<double>(logStd_.size(), -1.0);
+}
+
+} // namespace e3

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Policy output distributions for the RL baselines: categorical over
+ * discrete actions and diagonal Gaussian over continuous actions, with
+ * the log-probability and entropy terms the A2C/PPO2 losses need, plus
+ * analytic gradients w.r.t. the distribution parameters.
+ */
+
+#ifndef E3_MLP_DISTRIBUTIONS_HH
+#define E3_MLP_DISTRIBUTIONS_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace e3 {
+
+/** Softmax-categorical distribution over n discrete actions. */
+class Categorical
+{
+  public:
+    /** @param logits unnormalized log-probabilities */
+    explicit Categorical(std::vector<double> logits);
+
+    /** Normalized probabilities. */
+    const std::vector<double> &probs() const { return probs_; }
+
+    /** Sample an action index. */
+    int sample(Rng &rng) const;
+
+    /** Greedy (argmax) action. */
+    int mode() const;
+
+    /** log P(action). */
+    double logProb(int action) const;
+
+    /** Shannon entropy. */
+    double entropy() const;
+
+    /**
+     * d(-logProb(action))/d(logits): the softmax-cross-entropy gradient
+     * probs - onehot(action).
+     */
+    std::vector<double> nllGradient(int action) const;
+
+    /**
+     * d(-entropy)/d(logits), for the entropy-bonus term of the loss.
+     */
+    std::vector<double> negEntropyGradient() const;
+
+  private:
+    std::vector<double> logits_;
+    std::vector<double> probs_;
+};
+
+/** Diagonal Gaussian over continuous actions. */
+class DiagGaussian
+{
+  public:
+    /**
+     * @param mean per-dimension means
+     * @param logStd per-dimension log standard deviations
+     */
+    DiagGaussian(std::vector<double> mean, std::vector<double> logStd);
+
+    /** Sample an action vector. */
+    std::vector<double> sample(Rng &rng) const;
+
+    /** Distribution mode (the mean). */
+    const std::vector<double> &mode() const { return mean_; }
+
+    /** log p(action). */
+    double logProb(const std::vector<double> &action) const;
+
+    /** Differential entropy. */
+    double entropy() const;
+
+    /** d(-logProb)/d(mean). */
+    std::vector<double>
+    nllGradientMean(const std::vector<double> &action) const;
+
+    /** d(-logProb)/d(logStd). */
+    std::vector<double>
+    nllGradientLogStd(const std::vector<double> &action) const;
+
+    /** d(-entropy)/d(logStd) == -1 per dimension. */
+    std::vector<double> negEntropyGradientLogStd() const;
+
+  private:
+    std::vector<double> mean_;
+    std::vector<double> logStd_;
+};
+
+} // namespace e3
+
+#endif // E3_MLP_DISTRIBUTIONS_HH

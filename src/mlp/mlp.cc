@@ -1,0 +1,165 @@
+#include "mlp/mlp.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+Mlp::Mlp(std::vector<size_t> sizes, Rng &rng) : sizes_(std::move(sizes))
+{
+    e3_assert(sizes_.size() >= 2, "MLP needs at least input and output");
+    for (size_t s : sizes_)
+        e3_assert(s > 0, "zero-width MLP layer");
+
+    layers_.resize(sizes_.size() - 1);
+    for (size_t l = 0; l < layers_.size(); ++l) {
+        const size_t in = sizes_[l];
+        const size_t out = sizes_[l + 1];
+        // Xavier-style scale keeps tanh activations in range.
+        const double stdev = std::sqrt(2.0 / static_cast<double>(in + out));
+        layers_[l].w = Mat::randn(in, out, stdev, rng);
+        layers_[l].b = Mat(1, out, 0.0);
+        layers_[l].gw = Mat(in, out, 0.0);
+        layers_[l].gb = Mat(1, out, 0.0);
+    }
+}
+
+Mat
+Mlp::forward(const Mat &x)
+{
+    e3_assert(x.cols() == sizes_.front(),
+              "expected input width ", sizes_.front(), ", got ",
+              x.cols());
+    Mat h = x;
+    for (size_t l = 0; l < layers_.size(); ++l) {
+        Layer &layer = layers_[l];
+        layer.input = h;
+        h = h.matmul(layer.w);
+        h.addRowBroadcast(layer.b);
+        layer.preact = h;
+        if (l + 1 < layers_.size())
+            h.apply([](double v) { return std::tanh(v); });
+    }
+    return h;
+}
+
+std::vector<double>
+Mlp::forward1(const std::vector<double> &x)
+{
+    return forward(Mat::rowVector(x)).row(0);
+}
+
+void
+Mlp::backward(const Mat &gradOut)
+{
+    e3_assert(!layers_.empty() && !layers_.back().preact.empty(),
+              "backward() before forward()");
+    e3_assert(gradOut.rows() == layers_.back().preact.rows() &&
+                  gradOut.cols() == sizes_.back(),
+              "output gradient shape mismatch");
+
+    Mat grad = gradOut;
+    for (size_t l = layers_.size(); l-- > 0;) {
+        Layer &layer = layers_[l];
+        if (l + 1 < layers_.size()) {
+            // Undo the tanh: dtanh(z) = 1 - tanh(z)^2.
+            Mat dact = layer.preact;
+            dact.apply([](double z) {
+                const double t = std::tanh(z);
+                return 1.0 - t * t;
+            });
+            grad = grad.hadamard(dact);
+        }
+        layer.gw = layer.gw + layer.input.transposed().matmul(grad);
+        layer.gb = layer.gb + grad.sumRows();
+        if (l > 0)
+            grad = grad.matmul(layer.w.transposed());
+    }
+}
+
+void
+Mlp::zeroGrad()
+{
+    for (auto &layer : layers_) {
+        layer.gw.zero();
+        layer.gb.zero();
+    }
+}
+
+std::vector<Mat *>
+Mlp::parameters()
+{
+    std::vector<Mat *> ps;
+    for (auto &layer : layers_) {
+        ps.push_back(&layer.w);
+        ps.push_back(&layer.b);
+    }
+    return ps;
+}
+
+std::vector<Mat *>
+Mlp::gradients()
+{
+    std::vector<Mat *> gs;
+    for (auto &layer : layers_) {
+        gs.push_back(&layer.gw);
+        gs.push_back(&layer.gb);
+    }
+    return gs;
+}
+
+size_t
+Mlp::parameterCount() const
+{
+    size_t n = 0;
+    for (const auto &layer : layers_)
+        n += layer.w.size() + layer.b.size();
+    return n;
+}
+
+size_t
+Mlp::nodeCount() const
+{
+    size_t n = 0;
+    for (size_t s : sizes_)
+        n += s;
+    return n;
+}
+
+uint64_t
+Mlp::connectionCount() const
+{
+    uint64_t n = 0;
+    for (size_t l = 0; l + 1 < sizes_.size(); ++l)
+        n += static_cast<uint64_t>(sizes_[l]) * sizes_[l + 1];
+    return n;
+}
+
+uint64_t
+Mlp::backwardOpsPerSample() const
+{
+    // Per layer: weight-gradient matmul (in x out) and, except for the
+    // first layer, the input-gradient matmul (in x out again).
+    uint64_t n = 0;
+    for (size_t l = 0; l + 1 < sizes_.size(); ++l) {
+        const uint64_t macs =
+            static_cast<uint64_t>(sizes_[l]) * sizes_[l + 1];
+        n += macs;            // dL/dW
+        if (l > 0)
+            n += macs;        // dL/dInput
+    }
+    return n;
+}
+
+uint64_t
+Mlp::activationBytesPerSample(size_t bytesPerWord) const
+{
+    // backward() needs every layer's input plus its pre-activation.
+    uint64_t words = 0;
+    for (size_t l = 0; l + 1 < sizes_.size(); ++l)
+        words += sizes_[l] + sizes_[l + 1];
+    return words * bytesPerWord;
+}
+
+} // namespace e3

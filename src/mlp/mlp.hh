@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Dense multi-layer perceptron with manual backpropagation.
+ *
+ * This is the training substrate under the RL baselines: tanh hidden
+ * layers (stable-baselines' MlpPolicy default) and a linear output.
+ * forward() caches per-layer activations; backward() consumes the loss
+ * gradient w.r.t. the output and accumulates parameter gradients —
+ * exactly the "store the intermediate values along the forward path"
+ * memory behaviour the paper charges against BP methods (Table IV).
+ */
+
+#ifndef E3_MLP_MLP_HH
+#define E3_MLP_MLP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mlp/tensor.hh"
+
+namespace e3 {
+
+/** Dense feed-forward network with tanh hidden layers. */
+class Mlp
+{
+  public:
+    /**
+     * @param sizes layer widths, e.g. {4, 64, 64, 2} for the paper's
+     *        Small networks; at least {in, out}
+     * @param rng weight init source (orthogonal-ish scaled gaussians)
+     */
+    Mlp(std::vector<size_t> sizes, Rng &rng);
+
+    /**
+     * Batched forward pass.
+     * @param x batch x inputDim
+     * @return batch x outputDim (linear outputs)
+     */
+    Mat forward(const Mat &x);
+
+    /** Forward pass for a single observation. */
+    std::vector<double> forward1(const std::vector<double> &x);
+
+    /**
+     * Backpropagate from the output gradient of the *last* forward()
+     * call, accumulating parameter gradients.
+     * @param gradOut batch x outputDim, dLoss/dOutput
+     */
+    void backward(const Mat &gradOut);
+
+    /** Clear accumulated gradients. */
+    void zeroGrad();
+
+    /** Flat list of parameter matrices (weights and biases). */
+    std::vector<Mat *> parameters();
+
+    /** Gradients, index-aligned with parameters(). */
+    std::vector<Mat *> gradients();
+
+    size_t inputSize() const { return sizes_.front(); }
+    size_t outputSize() const { return sizes_.back(); }
+    const std::vector<size_t> &sizes() const { return sizes_; }
+
+    /** Total scalar parameters. */
+    size_t parameterCount() const;
+
+    /** Node count (all layers incl. input), as Table V counts it. */
+    size_t nodeCount() const;
+
+    /** Connection count = sum of adjacent layer products (Table V). */
+    uint64_t connectionCount() const;
+
+    /** Multiply-accumulate ops for one sample's forward pass. */
+    uint64_t forwardOpsPerSample() const { return connectionCount(); }
+
+    /**
+     * MAC ops for one sample's backward pass: roughly two matmuls per
+     * layer (input gradient + weight gradient), minus the input-layer
+     * gradient nobody needs.
+     */
+    uint64_t backwardOpsPerSample() const;
+
+    /**
+     * Bytes of activation storage backward() needs per sample (the BP
+     * memory overhead of Table IV), at the given word size.
+     */
+    uint64_t activationBytesPerSample(size_t bytesPerWord = 4) const;
+
+  private:
+    struct Layer
+    {
+        Mat w;  ///< in x out
+        Mat b;  ///< 1 x out
+        Mat gw; ///< gradient of w
+        Mat gb; ///< gradient of b
+        Mat input;  ///< cached forward input (batch x in)
+        Mat preact; ///< cached pre-activation (batch x out)
+    };
+
+    std::vector<size_t> sizes_;
+    std::vector<Layer> layers_;
+};
+
+} // namespace e3
+
+#endif // E3_MLP_MLP_HH

@@ -1,0 +1,94 @@
+#include "mlp/optimizer.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+Optimizer::Optimizer(std::vector<Mat *> params, std::vector<Mat *> grads)
+    : params_(std::move(params)), grads_(std::move(grads))
+{
+    e3_assert(params_.size() == grads_.size(),
+              "parameter/gradient list size mismatch");
+    for (size_t i = 0; i < params_.size(); ++i) {
+        e3_assert(params_[i]->size() == grads_[i]->size(),
+                  "parameter ", i, " shape mismatch with its gradient");
+    }
+}
+
+double
+Optimizer::clipGradNorm(double maxNorm)
+{
+    double sq = 0.0;
+    for (Mat *g : grads_) {
+        for (double v : g->data())
+            sq += v * v;
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > maxNorm && norm > 0.0) {
+        const double scale = maxNorm / norm;
+        for (Mat *g : grads_) {
+            for (double &v : g->data())
+                v *= scale;
+        }
+    }
+    return norm;
+}
+
+RmsProp::RmsProp(std::vector<Mat *> params, std::vector<Mat *> grads,
+                 double lr, double decay, double eps)
+    : Optimizer(std::move(params), std::move(grads)), lr_(lr),
+      decay_(decay), eps_(eps)
+{
+    for (Mat *p : params_)
+        meanSquare_.emplace_back(p->rows(), p->cols(), 0.0);
+}
+
+void
+RmsProp::step()
+{
+    for (size_t i = 0; i < params_.size(); ++i) {
+        auto &ms = meanSquare_[i].data();
+        auto &p = params_[i]->data();
+        const auto &g = grads_[i]->data();
+        for (size_t j = 0; j < p.size(); ++j) {
+            ms[j] = decay_ * ms[j] + (1.0 - decay_) * g[j] * g[j];
+            p[j] -= lr_ * g[j] / std::sqrt(ms[j] + eps_);
+        }
+    }
+}
+
+Adam::Adam(std::vector<Mat *> params, std::vector<Mat *> grads,
+           double lr, double beta1, double beta2, double eps)
+    : Optimizer(std::move(params), std::move(grads)), lr_(lr),
+      beta1_(beta1), beta2_(beta2), eps_(eps)
+{
+    for (Mat *p : params_) {
+        m_.emplace_back(p->rows(), p->cols(), 0.0);
+        v_.emplace_back(p->rows(), p->cols(), 0.0);
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    const double c1 = 1.0 - std::pow(beta1_, t_);
+    const double c2 = 1.0 - std::pow(beta2_, t_);
+    for (size_t i = 0; i < params_.size(); ++i) {
+        auto &m = m_[i].data();
+        auto &v = v_[i].data();
+        auto &p = params_[i]->data();
+        const auto &g = grads_[i]->data();
+        for (size_t j = 0; j < p.size(); ++j) {
+            m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
+            v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
+            const double mhat = m[j] / c1;
+            const double vhat = v[j] / c2;
+            p[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+        }
+    }
+}
+
+} // namespace e3

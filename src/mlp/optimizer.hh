@@ -1,0 +1,83 @@
+/**
+ * @file
+ * First-order optimizers for the MLP substrate: RMSProp (stable-baselines
+ * A2C default) and Adam (PPO2 default).
+ */
+
+#ifndef E3_MLP_OPTIMIZER_HH
+#define E3_MLP_OPTIMIZER_HH
+
+#include <vector>
+
+#include "mlp/tensor.hh"
+
+namespace e3 {
+
+/** Abstract gradient-descent step over a fixed parameter list. */
+class Optimizer
+{
+  public:
+    /**
+     * @param params parameter matrices updated in place
+     * @param grads gradient matrices, index-aligned with params
+     */
+    Optimizer(std::vector<Mat *> params, std::vector<Mat *> grads);
+    virtual ~Optimizer() = default;
+
+    /** Apply one update step from the current gradients. */
+    virtual void step() = 0;
+
+    /**
+     * Scale gradients so their global L2 norm is at most maxNorm
+     * (stable-baselines' max_grad_norm). Returns the pre-clip norm.
+     */
+    double clipGradNorm(double maxNorm);
+
+  protected:
+    std::vector<Mat *> params_;
+    std::vector<Mat *> grads_;
+};
+
+/** RMSProp with epsilon inside the root, as TF1/stable-baselines. */
+class RmsProp : public Optimizer
+{
+  public:
+    RmsProp(std::vector<Mat *> params, std::vector<Mat *> grads,
+            double lr = 7e-4, double decay = 0.99, double eps = 1e-5);
+
+    void step() override;
+
+    void setLearningRate(double lr) { lr_ = lr; }
+
+  private:
+    double lr_;
+    double decay_;
+    double eps_;
+    std::vector<Mat> meanSquare_;
+};
+
+/** Adam with bias correction. */
+class Adam : public Optimizer
+{
+  public:
+    Adam(std::vector<Mat *> params, std::vector<Mat *> grads,
+         double lr = 2.5e-4, double beta1 = 0.9, double beta2 = 0.999,
+         double eps = 1e-8);
+
+    void step() override;
+
+    void setLearningRate(double lr) { lr_ = lr; }
+
+  private:
+    double lr_;
+    double beta1_;
+    double beta2_;
+    double eps_;
+    int t_ = 0;
+    std::vector<Mat> m_;
+    std::vector<Mat> v_;
+};
+
+} // namespace e3
+
+#endif // E3_MLP_OPTIMIZER_HH

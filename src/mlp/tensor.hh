@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal dense matrix type for the MLP training substrate.
+ *
+ * The RL baselines (A2C/PPO2) need batched dense linear algebra with
+ * backpropagation — exactly the workload the paper contrasts NEAT
+ * against in Table IV. Mat is a row-major double matrix with the small
+ * set of operations the MLP and optimizers require; no BLAS, no views,
+ * no broadcasting magic beyond row-vector addition.
+ */
+
+#ifndef E3_MLP_TENSOR_HH
+#define E3_MLP_TENSOR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace e3 {
+
+/** Row-major dense matrix of doubles. */
+class Mat
+{
+  public:
+    Mat() = default;
+
+    /** rows x cols matrix filled with `init`. */
+    Mat(size_t rows, size_t cols, double init = 0.0);
+
+    /** Matrix with i.i.d. N(0, stdev^2) entries. */
+    static Mat randn(size_t rows, size_t cols, double stdev, Rng &rng);
+
+    /** 1 x n row vector from values. */
+    static Mat rowVector(const std::vector<double> &values);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    double &at(size_t r, size_t c);
+    double at(size_t r, size_t c) const;
+
+    std::vector<double> &data() { return data_; }
+    const std::vector<double> &data() const { return data_; }
+
+    /** Extract row r as a plain vector. */
+    std::vector<double> row(size_t r) const;
+
+    /** this (m x k) times other (k x n) -> m x n. */
+    Mat matmul(const Mat &other) const;
+
+    /** Transpose copy. */
+    Mat transposed() const;
+
+    /** Elementwise sum; shapes must match. */
+    Mat operator+(const Mat &other) const;
+
+    /** Elementwise difference; shapes must match. */
+    Mat operator-(const Mat &other) const;
+
+    /** Elementwise (Hadamard) product; shapes must match. */
+    Mat hadamard(const Mat &other) const;
+
+    /** Multiply every element by s. */
+    Mat scaled(double s) const;
+
+    /** Add a 1 x cols row vector to every row (bias broadcast). */
+    void addRowBroadcast(const Mat &rowVec);
+
+    /** Column-wise sum -> 1 x cols (bias gradient reduction). */
+    Mat sumRows() const;
+
+    /** Apply f elementwise in place. */
+    template <typename F>
+    void
+    apply(F &&f)
+    {
+        for (double &v : data_)
+            v = f(v);
+    }
+
+    /** Fill with zeros. */
+    void zero();
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace e3
+
+#endif // E3_MLP_TENSOR_HH

@@ -1,0 +1,46 @@
+#include "neat/config.hh"
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+NeatConfig
+NeatConfig::forTask(size_t numInputs, size_t numOutputs,
+                    double fitnessThreshold)
+{
+    NeatConfig cfg;
+    cfg.numInputs = numInputs;
+    cfg.numOutputs = numOutputs;
+    cfg.fitnessThreshold = fitnessThreshold;
+    cfg.validate();
+    return cfg;
+}
+
+void
+NeatConfig::validate() const
+{
+    if (numInputs == 0 || numOutputs == 0)
+        e3_fatal("NEAT needs at least one input and one output");
+    if (populationSize < 2)
+        e3_fatal("population size must be at least 2");
+    if (biasMin > biasMax || weightMin > weightMax)
+        e3_fatal("inverted bias/weight bounds");
+    auto probability = [](double p) { return p >= 0.0 && p <= 1.0; };
+    if (!probability(biasMutateRate) || !probability(biasReplaceRate) ||
+        !probability(weightMutateRate) ||
+        !probability(weightReplaceRate) ||
+        !probability(enabledMutateRate) ||
+        !probability(activationMutateRate) ||
+        !probability(aggregationMutateRate) ||
+        !probability(connAddProb) || !probability(connDeleteProb) ||
+        !probability(nodeAddProb) || !probability(nodeDeleteProb) ||
+        !probability(initialConnectionFraction) ||
+        !probability(survivalThreshold) || !probability(crossoverRate))
+        e3_fatal("a NEAT probability parameter is outside [0, 1]");
+    if (activationOptions.empty() || aggregationOptions.empty())
+        e3_fatal("activation/aggregation option lists must be non-empty");
+    if (compatibilityThreshold <= 0.0)
+        e3_fatal("compatibility threshold must be positive");
+}
+
+} // namespace e3

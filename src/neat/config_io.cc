@@ -1,0 +1,325 @@
+#include "neat/config_io.hh"
+
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+namespace {
+
+const char *neatSection = "NEAT";
+const char *genomeSection = "DefaultGenome";
+const char *speciesSection = "DefaultSpeciesSet";
+const char *reproSection = "DefaultReproduction";
+const char *stagnationSection = "DefaultStagnation";
+
+/** Split a space/comma separated token list. */
+std::vector<std::string>
+splitTokens(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string token;
+    std::istringstream iss(text);
+    while (iss >> token) {
+        if (!token.empty() && token.back() == ',')
+            token.pop_back();
+        if (!token.empty())
+            out.push_back(token);
+    }
+    return out;
+}
+
+/** Parse a space/comma separated activation list. */
+std::vector<Activation>
+parseActivationList(const std::string &text)
+{
+    std::vector<Activation> out;
+    for (const auto &token : splitTokens(text))
+        out.push_back(parseActivation(token));
+    if (out.empty())
+        e3_fatal("empty activation list '", text, "'");
+    return out;
+}
+
+std::vector<Aggregation>
+parseAggregationList(const std::string &text)
+{
+    std::vector<Aggregation> out;
+    for (const auto &token : splitTokens(text))
+        out.push_back(parseAggregation(token));
+    if (out.empty())
+        e3_fatal("empty aggregation list '", text, "'");
+    return out;
+}
+
+std::string
+activationListToString(const std::vector<Activation> &list)
+{
+    std::string out;
+    for (const auto &a : list) {
+        if (!out.empty())
+            out += ' ';
+        out += activationName(a);
+    }
+    return out;
+}
+
+std::string
+aggregationListToString(const std::vector<Aggregation> &list)
+{
+    std::string out;
+    for (const auto &a : list) {
+        if (!out.empty())
+            out += ' ';
+        out += aggregationName(a);
+    }
+    return out;
+}
+
+void
+rejectUnknownKeys(const IniFile &ini, const std::string &section,
+                  const std::set<std::string> &known)
+{
+    for (const auto &key : ini.keys(section)) {
+        if (!known.count(key))
+            e3_fatal("unknown key '", key, "' in [", section, "]");
+    }
+}
+
+} // namespace
+
+NeatConfig
+neatConfigFromIni(const IniFile &ini, const NeatConfig &base)
+{
+    NeatConfig cfg = base;
+
+    rejectUnknownKeys(ini, neatSection,
+                      {"pop_size", "fitness_threshold"});
+    cfg.populationSize = static_cast<size_t>(ini.getInt(
+        neatSection, "pop_size",
+        static_cast<long>(base.populationSize)));
+    cfg.fitnessThreshold = ini.getDouble(
+        neatSection, "fitness_threshold", base.fitnessThreshold);
+
+    rejectUnknownKeys(
+        ini, genomeSection,
+        {"num_inputs", "num_outputs", "num_hidden", "feed_forward",
+         "bias_init_mean", "bias_init_stdev", "bias_min_value",
+         "bias_max_value", "bias_mutate_power", "bias_mutate_rate",
+         "bias_replace_rate", "weight_init_mean", "weight_init_stdev",
+         "weight_min_value", "weight_max_value", "weight_mutate_power",
+         "weight_mutate_rate", "weight_replace_rate",
+         "enabled_mutate_rate", "activation_default",
+         "activation_mutate_rate", "activation_options",
+         "aggregation_default", "aggregation_mutate_rate",
+         "aggregation_options", "conn_add_prob", "conn_delete_prob",
+         "node_add_prob", "node_delete_prob",
+         "initial_connection_fraction"});
+
+    auto gi = [&](const char *key, long fallback) {
+        return ini.getInt(genomeSection, key, fallback);
+    };
+    auto gd = [&](const char *key, double fallback) {
+        return ini.getDouble(genomeSection, key, fallback);
+    };
+
+    cfg.numInputs = static_cast<size_t>(
+        gi("num_inputs", static_cast<long>(base.numInputs)));
+    cfg.numOutputs = static_cast<size_t>(
+        gi("num_outputs", static_cast<long>(base.numOutputs)));
+    cfg.numHidden = static_cast<size_t>(
+        gi("num_hidden", static_cast<long>(base.numHidden)));
+    cfg.feedForward =
+        ini.getBool(genomeSection, "feed_forward", base.feedForward);
+
+    cfg.biasInitMean = gd("bias_init_mean", base.biasInitMean);
+    cfg.biasInitStdev = gd("bias_init_stdev", base.biasInitStdev);
+    cfg.biasMin = gd("bias_min_value", base.biasMin);
+    cfg.biasMax = gd("bias_max_value", base.biasMax);
+    cfg.biasMutatePower = gd("bias_mutate_power", base.biasMutatePower);
+    cfg.biasMutateRate = gd("bias_mutate_rate", base.biasMutateRate);
+    cfg.biasReplaceRate = gd("bias_replace_rate", base.biasReplaceRate);
+
+    cfg.weightInitMean = gd("weight_init_mean", base.weightInitMean);
+    cfg.weightInitStdev = gd("weight_init_stdev", base.weightInitStdev);
+    cfg.weightMin = gd("weight_min_value", base.weightMin);
+    cfg.weightMax = gd("weight_max_value", base.weightMax);
+    cfg.weightMutatePower =
+        gd("weight_mutate_power", base.weightMutatePower);
+    cfg.weightMutateRate =
+        gd("weight_mutate_rate", base.weightMutateRate);
+    cfg.weightReplaceRate =
+        gd("weight_replace_rate", base.weightReplaceRate);
+
+    cfg.enabledMutateRate =
+        gd("enabled_mutate_rate", base.enabledMutateRate);
+
+    if (ini.has(genomeSection, "activation_default")) {
+        cfg.defaultActivation = parseActivation(
+            ini.get(genomeSection, "activation_default", ""));
+    }
+    cfg.activationMutateRate =
+        gd("activation_mutate_rate", base.activationMutateRate);
+    if (ini.has(genomeSection, "activation_options")) {
+        cfg.activationOptions = parseActivationList(
+            ini.get(genomeSection, "activation_options", ""));
+    }
+
+    if (ini.has(genomeSection, "aggregation_default")) {
+        cfg.defaultAggregation = parseAggregation(
+            ini.get(genomeSection, "aggregation_default", ""));
+    }
+    cfg.aggregationMutateRate =
+        gd("aggregation_mutate_rate", base.aggregationMutateRate);
+    if (ini.has(genomeSection, "aggregation_options")) {
+        cfg.aggregationOptions = parseAggregationList(
+            ini.get(genomeSection, "aggregation_options", ""));
+    }
+
+    cfg.connAddProb = gd("conn_add_prob", base.connAddProb);
+    cfg.connDeleteProb = gd("conn_delete_prob", base.connDeleteProb);
+    cfg.nodeAddProb = gd("node_add_prob", base.nodeAddProb);
+    cfg.nodeDeleteProb = gd("node_delete_prob", base.nodeDeleteProb);
+    cfg.initialConnectionFraction = gd(
+        "initial_connection_fraction", base.initialConnectionFraction);
+
+    rejectUnknownKeys(ini, speciesSection,
+                      {"compatibility_threshold",
+                       "compatibility_disjoint_coefficient",
+                       "compatibility_weight_coefficient"});
+    cfg.compatibilityThreshold =
+        ini.getDouble(speciesSection, "compatibility_threshold",
+                      base.compatibilityThreshold);
+    cfg.compatibilityDisjointCoefficient = ini.getDouble(
+        speciesSection, "compatibility_disjoint_coefficient",
+        base.compatibilityDisjointCoefficient);
+    cfg.compatibilityWeightCoefficient = ini.getDouble(
+        speciesSection, "compatibility_weight_coefficient",
+        base.compatibilityWeightCoefficient);
+
+    rejectUnknownKeys(ini, reproSection,
+                      {"elitism", "survival_threshold",
+                       "min_species_size", "crossover_rate"});
+    cfg.elitism = static_cast<size_t>(ini.getInt(
+        reproSection, "elitism", static_cast<long>(base.elitism)));
+    cfg.survivalThreshold = ini.getDouble(
+        reproSection, "survival_threshold", base.survivalThreshold);
+    cfg.minSpeciesSize = static_cast<size_t>(
+        ini.getInt(reproSection, "min_species_size",
+                   static_cast<long>(base.minSpeciesSize)));
+    cfg.crossoverRate = ini.getDouble(reproSection, "crossover_rate",
+                                      base.crossoverRate);
+
+    rejectUnknownKeys(ini, stagnationSection,
+                      {"max_stagnation", "species_elitism"});
+    cfg.maxStagnation = static_cast<size_t>(
+        ini.getInt(stagnationSection, "max_stagnation",
+                   static_cast<long>(base.maxStagnation)));
+    cfg.speciesElitism = static_cast<size_t>(
+        ini.getInt(stagnationSection, "species_elitism",
+                   static_cast<long>(base.speciesElitism)));
+
+    cfg.validate();
+    return cfg;
+}
+
+NeatConfig
+loadNeatConfig(const std::string &path, const NeatConfig &base)
+{
+    return neatConfigFromIni(IniFile::load(path), base);
+}
+
+std::string
+neatConfigToIni(const NeatConfig &cfg)
+{
+    IniFile ini;
+    auto num = [](double v) {
+        std::ostringstream oss;
+        oss.precision(17);
+        oss << v;
+        return oss.str();
+    };
+
+    ini.set(neatSection, "pop_size",
+            std::to_string(cfg.populationSize));
+    ini.set(neatSection, "fitness_threshold",
+            num(cfg.fitnessThreshold));
+
+    ini.set(genomeSection, "num_inputs",
+            std::to_string(cfg.numInputs));
+    ini.set(genomeSection, "num_outputs",
+            std::to_string(cfg.numOutputs));
+    ini.set(genomeSection, "num_hidden",
+            std::to_string(cfg.numHidden));
+    ini.set(genomeSection, "feed_forward",
+            cfg.feedForward ? "true" : "false");
+    ini.set(genomeSection, "bias_init_mean", num(cfg.biasInitMean));
+    ini.set(genomeSection, "bias_init_stdev", num(cfg.biasInitStdev));
+    ini.set(genomeSection, "bias_min_value", num(cfg.biasMin));
+    ini.set(genomeSection, "bias_max_value", num(cfg.biasMax));
+    ini.set(genomeSection, "bias_mutate_power",
+            num(cfg.biasMutatePower));
+    ini.set(genomeSection, "bias_mutate_rate",
+            num(cfg.biasMutateRate));
+    ini.set(genomeSection, "bias_replace_rate",
+            num(cfg.biasReplaceRate));
+    ini.set(genomeSection, "weight_init_mean",
+            num(cfg.weightInitMean));
+    ini.set(genomeSection, "weight_init_stdev",
+            num(cfg.weightInitStdev));
+    ini.set(genomeSection, "weight_min_value", num(cfg.weightMin));
+    ini.set(genomeSection, "weight_max_value", num(cfg.weightMax));
+    ini.set(genomeSection, "weight_mutate_power",
+            num(cfg.weightMutatePower));
+    ini.set(genomeSection, "weight_mutate_rate",
+            num(cfg.weightMutateRate));
+    ini.set(genomeSection, "weight_replace_rate",
+            num(cfg.weightReplaceRate));
+    ini.set(genomeSection, "enabled_mutate_rate",
+            num(cfg.enabledMutateRate));
+    ini.set(genomeSection, "activation_default",
+            activationName(cfg.defaultActivation));
+    ini.set(genomeSection, "activation_mutate_rate",
+            num(cfg.activationMutateRate));
+    ini.set(genomeSection, "activation_options",
+            activationListToString(cfg.activationOptions));
+    ini.set(genomeSection, "aggregation_default",
+            aggregationName(cfg.defaultAggregation));
+    ini.set(genomeSection, "aggregation_mutate_rate",
+            num(cfg.aggregationMutateRate));
+    ini.set(genomeSection, "aggregation_options",
+            aggregationListToString(cfg.aggregationOptions));
+    ini.set(genomeSection, "conn_add_prob", num(cfg.connAddProb));
+    ini.set(genomeSection, "conn_delete_prob",
+            num(cfg.connDeleteProb));
+    ini.set(genomeSection, "node_add_prob", num(cfg.nodeAddProb));
+    ini.set(genomeSection, "node_delete_prob",
+            num(cfg.nodeDeleteProb));
+    ini.set(genomeSection, "initial_connection_fraction",
+            num(cfg.initialConnectionFraction));
+
+    ini.set(speciesSection, "compatibility_threshold",
+            num(cfg.compatibilityThreshold));
+    ini.set(speciesSection, "compatibility_disjoint_coefficient",
+            num(cfg.compatibilityDisjointCoefficient));
+    ini.set(speciesSection, "compatibility_weight_coefficient",
+            num(cfg.compatibilityWeightCoefficient));
+
+    ini.set(reproSection, "elitism", std::to_string(cfg.elitism));
+    ini.set(reproSection, "survival_threshold",
+            num(cfg.survivalThreshold));
+    ini.set(reproSection, "min_species_size",
+            std::to_string(cfg.minSpeciesSize));
+    ini.set(reproSection, "crossover_rate", num(cfg.crossoverRate));
+
+    ini.set(stagnationSection, "max_stagnation",
+            std::to_string(cfg.maxStagnation));
+    ini.set(stagnationSection, "species_elitism",
+            std::to_string(cfg.speciesElitism));
+
+    return ini.str();
+}
+
+} // namespace e3

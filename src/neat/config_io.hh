@@ -1,0 +1,45 @@
+/**
+ * @file
+ * NeatConfig <-> INI file mapping, in the naming style of neat-python's
+ * config sections:
+ *
+ *   [NEAT]
+ *   pop_size = 200
+ *   fitness_threshold = 475
+ *
+ *   [DefaultGenome]
+ *   num_inputs = 4
+ *   num_outputs = 1
+ *   conn_add_prob = 0.5
+ *   ...
+ *
+ * Unknown keys are rejected (typos in experiment configs should fail
+ * loudly, not silently fall back to defaults).
+ */
+
+#ifndef E3_NEAT_CONFIG_IO_HH
+#define E3_NEAT_CONFIG_IO_HH
+
+#include "common/ini.hh"
+#include "neat/config.hh"
+
+namespace e3 {
+
+/**
+ * Build a NeatConfig from an INI document, starting from `base` (so
+ * callers can layer a file over task defaults). fatal() on unknown
+ * keys or invalid values.
+ */
+NeatConfig neatConfigFromIni(const IniFile &ini,
+                             const NeatConfig &base = NeatConfig{});
+
+/** Load from a file path. */
+NeatConfig loadNeatConfig(const std::string &path,
+                          const NeatConfig &base = NeatConfig{});
+
+/** Serialize a config to INI text (round-trips with the loader). */
+std::string neatConfigToIni(const NeatConfig &cfg);
+
+} // namespace e3
+
+#endif // E3_NEAT_CONFIG_IO_HH

@@ -1,0 +1,45 @@
+#include "neat/crossover.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+Genome
+crossoverGenomes(int childKey, const Genome &a, const Genome &b,
+                 Rng &rng)
+{
+    e3_assert(a.evaluated() && b.evaluated(),
+              "crossover requires evaluated parents");
+
+    const Genome &fit = a.fitness >= b.fitness ? a : b;
+    const Genome &weak = a.fitness >= b.fitness ? b : a;
+
+    Genome child(childKey);
+    child.fitness = std::numeric_limits<double>::quiet_NaN();
+
+    for (const auto &[key, gene] : fit.conns) {
+        auto it = weak.conns.find(key);
+        if (it == weak.conns.end()) {
+            // Disjoint/excess: inherited from the fitter parent.
+            child.conns.emplace(key, gene);
+        } else {
+            child.conns.emplace(
+                key, ConnGene::crossover(gene, it->second, rng));
+        }
+    }
+
+    for (const auto &[id, gene] : fit.nodes) {
+        auto it = weak.nodes.find(id);
+        if (it == weak.nodes.end()) {
+            child.nodes.emplace(id, gene);
+        } else {
+            child.nodes.emplace(
+                id, NodeGene::crossover(gene, it->second, rng));
+        }
+    }
+    return child;
+}
+
+} // namespace e3

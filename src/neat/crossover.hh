@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Genome crossover ("Crossover" in the paper's Table III): blend two
+ * elite parents' genes to reproduce a child. Following neat-python,
+ * homologous genes (same key in both parents) mix per-attribute
+ * uniformly; disjoint and excess genes are inherited from the fitter
+ * parent only.
+ */
+
+#ifndef E3_NEAT_CROSSOVER_HH
+#define E3_NEAT_CROSSOVER_HH
+
+#include "neat/genome.hh"
+
+namespace e3 {
+
+/**
+ * Produce a child genome from two evaluated parents.
+ * @param childKey key for the new genome
+ * @param a first parent
+ * @param b second parent
+ * @pre both parents have been evaluated
+ */
+Genome crossoverGenomes(int childKey, const Genome &a, const Genome &b,
+                        Rng &rng);
+
+} // namespace e3
+
+#endif // E3_NEAT_CROSSOVER_HH

@@ -1,0 +1,23 @@
+#include "neat/distance_cache.hh"
+
+#include <algorithm>
+
+namespace e3 {
+
+double
+DistanceCache::distance(const Genome &a, const Genome &b)
+{
+    const std::pair<int, int> key{std::min(a.key(), b.key()),
+                                  std::max(a.key(), b.key())};
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++hits_;
+        return it->second;
+    }
+    ++misses_;
+    const double d = a.distance(b, cfg_);
+    cache_.emplace(key, d);
+    return d;
+}
+
+} // namespace e3

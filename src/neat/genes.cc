@@ -1,0 +1,125 @@
+#include "neat/genes.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+namespace {
+
+/** Clamped gaussian perturbation / replacement shared by bias & weight. */
+double
+mutateScalar(double value, double mutateRate, double replaceRate,
+             double power, double initMean, double initStdev, double lo,
+             double hi, Rng &rng)
+{
+    const double r = rng.uniform();
+    if (r < mutateRate) {
+        value += rng.normal(0.0, power);
+    } else if (r < mutateRate + replaceRate) {
+        value = rng.normal(initMean, initStdev);
+    }
+    return std::clamp(value, lo, hi);
+}
+
+} // namespace
+
+NodeGene
+NodeGene::create(int id, const NeatConfig &cfg, Rng &rng)
+{
+    NodeGene g;
+    g.id = id;
+    g.bias = std::clamp(rng.normal(cfg.biasInitMean, cfg.biasInitStdev),
+                        cfg.biasMin, cfg.biasMax);
+    g.act = cfg.defaultActivation;
+    g.agg = cfg.defaultAggregation;
+    return g;
+}
+
+void
+NodeGene::mutate(const NeatConfig &cfg, Rng &rng)
+{
+    bias = mutateScalar(bias, cfg.biasMutateRate, cfg.biasReplaceRate,
+                        cfg.biasMutatePower, cfg.biasInitMean,
+                        cfg.biasInitStdev, cfg.biasMin, cfg.biasMax,
+                        rng);
+    if (rng.chance(cfg.activationMutateRate)) {
+        act = cfg.activationOptions[rng.uniformInt(
+            cfg.activationOptions.size())];
+    }
+    if (rng.chance(cfg.aggregationMutateRate)) {
+        agg = cfg.aggregationOptions[rng.uniformInt(
+            cfg.aggregationOptions.size())];
+    }
+}
+
+NodeGene
+NodeGene::crossover(const NodeGene &a, const NodeGene &b, Rng &rng)
+{
+    e3_assert(a.id == b.id, "crossover of non-homologous node genes");
+    NodeGene g;
+    g.id = a.id;
+    g.bias = rng.chance(0.5) ? a.bias : b.bias;
+    g.act = rng.chance(0.5) ? a.act : b.act;
+    g.agg = rng.chance(0.5) ? a.agg : b.agg;
+    return g;
+}
+
+double
+NodeGene::distance(const NodeGene &other) const
+{
+    double d = std::fabs(bias - other.bias);
+    if (act != other.act)
+        d += 1.0;
+    if (agg != other.agg)
+        d += 1.0;
+    return d;
+}
+
+ConnGene
+ConnGene::create(ConnKey k, const NeatConfig &cfg, Rng &rng)
+{
+    ConnGene g;
+    g.key = k;
+    g.weight =
+        std::clamp(rng.normal(cfg.weightInitMean, cfg.weightInitStdev),
+                   cfg.weightMin, cfg.weightMax);
+    g.enabled = true;
+    return g;
+}
+
+void
+ConnGene::mutate(const NeatConfig &cfg, Rng &rng)
+{
+    weight = mutateScalar(weight, cfg.weightMutateRate,
+                          cfg.weightReplaceRate, cfg.weightMutatePower,
+                          cfg.weightInitMean, cfg.weightInitStdev,
+                          cfg.weightMin, cfg.weightMax, rng);
+    if (rng.chance(cfg.enabledMutateRate))
+        enabled = !enabled;
+}
+
+ConnGene
+ConnGene::crossover(const ConnGene &a, const ConnGene &b, Rng &rng)
+{
+    e3_assert(a.key == b.key,
+              "crossover of non-homologous connection genes");
+    ConnGene g;
+    g.key = a.key;
+    g.weight = rng.chance(0.5) ? a.weight : b.weight;
+    g.enabled = rng.chance(0.5) ? a.enabled : b.enabled;
+    return g;
+}
+
+double
+ConnGene::distance(const ConnGene &other) const
+{
+    double d = std::fabs(weight - other.weight);
+    if (enabled != other.enabled)
+        d += 1.0;
+    return d;
+}
+
+} // namespace e3

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * NEAT genes: the basic building blocks of an evolved network
+ * (paper Table II). A node gene carries bias, activation and
+ * aggregation; a connection gene carries a weight, an enabled flag, and
+ * is identified by its (from, to) endpoint pair as in neat-python.
+ */
+
+#ifndef E3_NEAT_GENES_HH
+#define E3_NEAT_GENES_HH
+
+#include <utility>
+
+#include "common/rng.hh"
+#include "neat/config.hh"
+
+namespace e3 {
+
+/** Connection identity: (source node id, destination node id). */
+using ConnKey = std::pair<int, int>;
+
+/** Gene describing one computing node. */
+struct NodeGene
+{
+    int id = 0;
+    double bias = 0.0;
+    Activation act = Activation::Sigmoid;
+    Aggregation agg = Aggregation::Sum;
+
+    /** Fresh gene with config-distributed attributes. */
+    static NodeGene create(int id, const NeatConfig &cfg, Rng &rng);
+
+    /** Perturb/replace attributes per the config's mutation rates. */
+    void mutate(const NeatConfig &cfg, Rng &rng);
+
+    /** Per-attribute uniform mix of two homologous genes. */
+    static NodeGene crossover(const NodeGene &a, const NodeGene &b,
+                              Rng &rng);
+
+    /**
+     * Genetic distance of homologous node genes: |bias difference| plus
+     * 1 for each differing categorical attribute (neat-python).
+     */
+    double distance(const NodeGene &other) const;
+};
+
+/** Gene describing one weighted connection. */
+struct ConnGene
+{
+    ConnKey key{0, 0};
+    double weight = 0.0;
+    bool enabled = true;
+
+    /** Fresh gene with config-distributed weight. */
+    static ConnGene create(ConnKey key, const NeatConfig &cfg, Rng &rng);
+
+    /** Perturb/replace weight and maybe toggle enabled. */
+    void mutate(const NeatConfig &cfg, Rng &rng);
+
+    /** Per-attribute uniform mix of two homologous genes. */
+    static ConnGene crossover(const ConnGene &a, const ConnGene &b,
+                              Rng &rng);
+
+    /**
+     * Genetic distance of homologous connection genes:
+     * |weight difference| plus 1 if the enabled flags differ.
+     */
+    double distance(const ConnGene &other) const;
+};
+
+} // namespace e3
+
+#endif // E3_NEAT_GENES_HH

@@ -1,0 +1,140 @@
+#include "neat/genome.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+void
+Genome::configureNew(const NeatConfig &cfg, Rng &rng)
+{
+    fitness = std::numeric_limits<double>::quiet_NaN();
+    nodes.clear();
+    conns.clear();
+
+    for (size_t o = 0; o < cfg.numOutputs; ++o) {
+        const int id = static_cast<int>(o);
+        nodes.emplace(id, NodeGene::create(id, cfg, rng));
+    }
+    std::vector<int> hiddenIds;
+    for (size_t h = 0; h < cfg.numHidden; ++h) {
+        const int id = static_cast<int>(cfg.numOutputs + h);
+        nodes.emplace(id, NodeGene::create(id, cfg, rng));
+        hiddenIds.push_back(id);
+    }
+
+    auto maybeConnect = [&](int from, int to) {
+        if (rng.chance(cfg.initialConnectionFraction)) {
+            const ConnKey key{from, to};
+            conns.emplace(key, ConnGene::create(key, cfg, rng));
+        }
+    };
+
+    for (size_t i = 0; i < cfg.numInputs; ++i) {
+        const int in = -1 - static_cast<int>(i);
+        if (hiddenIds.empty()) {
+            for (size_t o = 0; o < cfg.numOutputs; ++o)
+                maybeConnect(in, static_cast<int>(o));
+        } else {
+            for (int h : hiddenIds)
+                maybeConnect(in, h);
+        }
+    }
+    for (int h : hiddenIds) {
+        for (size_t o = 0; o < cfg.numOutputs; ++o)
+            maybeConnect(h, static_cast<int>(o));
+    }
+}
+
+NetworkDef
+Genome::toNetworkDef(const NeatConfig &cfg) const
+{
+    NetworkDef def;
+    for (size_t i = 0; i < cfg.numInputs; ++i)
+        def.inputIds.push_back(-1 - static_cast<int>(i));
+    for (size_t o = 0; o < cfg.numOutputs; ++o)
+        def.outputIds.push_back(static_cast<int>(o));
+
+    for (const auto &[id, gene] : nodes)
+        def.nodes.push_back({id, gene.bias, gene.act, gene.agg});
+    for (const auto &[key, gene] : conns) {
+        if (gene.enabled)
+            def.conns.push_back({key.first, key.second, gene.weight});
+    }
+    return def;
+}
+
+double
+Genome::distance(const Genome &other, const NeatConfig &cfg) const
+{
+    double nodeDistance = 0.0;
+    if (!nodes.empty() || !other.nodes.empty()) {
+        size_t disjoint = 0;
+        double d = 0.0;
+        for (const auto &[id, gene] : other.nodes) {
+            if (!nodes.count(id))
+                ++disjoint;
+        }
+        for (const auto &[id, gene] : nodes) {
+            auto it = other.nodes.find(id);
+            if (it == other.nodes.end()) {
+                ++disjoint;
+            } else {
+                d += gene.distance(it->second) *
+                     cfg.compatibilityWeightCoefficient;
+            }
+        }
+        const double maxNodes = static_cast<double>(
+            std::max(nodes.size(), other.nodes.size()));
+        nodeDistance =
+            (d + cfg.compatibilityDisjointCoefficient *
+                     static_cast<double>(disjoint)) /
+            maxNodes;
+    }
+
+    double connDistance = 0.0;
+    if (!conns.empty() || !other.conns.empty()) {
+        size_t disjoint = 0;
+        double d = 0.0;
+        for (const auto &[key, gene] : other.conns) {
+            if (!conns.count(key))
+                ++disjoint;
+        }
+        for (const auto &[key, gene] : conns) {
+            auto it = other.conns.find(key);
+            if (it == other.conns.end()) {
+                ++disjoint;
+            } else {
+                d += gene.distance(it->second) *
+                     cfg.compatibilityWeightCoefficient;
+            }
+        }
+        const double maxConns = static_cast<double>(
+            std::max(conns.size(), other.conns.size()));
+        connDistance =
+            (d + cfg.compatibilityDisjointCoefficient *
+                     static_cast<double>(disjoint)) /
+            maxConns;
+    }
+
+    return nodeDistance + connDistance;
+}
+
+std::pair<size_t, size_t>
+Genome::size() const
+{
+    size_t enabled = 0;
+    for (const auto &[key, gene] : conns)
+        enabled += gene.enabled ? 1 : 0;
+    return {nodes.size(), enabled};
+}
+
+bool
+Genome::evaluated() const
+{
+    return !std::isnan(fitness);
+}
+
+} // namespace e3

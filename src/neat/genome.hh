@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A NEAT genome: the genetic encoding of one individual network
+ * (paper Table II). Node genes cover output and hidden nodes (inputs
+ * are implicit sources with ids -1..-n); connection genes are keyed by
+ * their endpoints. The genome exposes decoding to a NetworkDef
+ * ("CreateNet") and the compatibility distance used for speciation.
+ */
+
+#ifndef E3_NEAT_GENOME_HH
+#define E3_NEAT_GENOME_HH
+
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "neat/genes.hh"
+#include "nn/network.hh"
+
+namespace e3 {
+
+/** Genetic encoding of one individual. */
+class Genome
+{
+  public:
+    explicit Genome(int key) : key_(key) {}
+
+    int key() const { return key_; }
+
+    /** Evaluated fitness; NaN until the individual has been evaluated. */
+    double fitness = std::numeric_limits<double>::quiet_NaN();
+
+    /** Node genes by id (outputs 0..o-1 plus hidden). */
+    std::map<int, NodeGene> nodes;
+
+    /** Connection genes by (from, to). */
+    std::map<ConnKey, ConnGene> conns;
+
+    /**
+     * Initialize a fresh genome: output node genes, cfg.numHidden hidden
+     * genes, and direct input->output connections (each present with
+     * probability cfg.initialConnectionFraction; with hidden nodes the
+     * initial links run input->hidden->output instead).
+     */
+    void configureNew(const NeatConfig &cfg, Rng &rng);
+
+    /** Decode to a network definition (enabled connections only). */
+    NetworkDef toNetworkDef(const NeatConfig &cfg) const;
+
+    /**
+     * Compatibility distance to another genome
+     * (neat-python DefaultGenome.distance).
+     */
+    double distance(const Genome &other, const NeatConfig &cfg) const;
+
+    /** (node gene count, enabled connection gene count). */
+    std::pair<size_t, size_t> size() const;
+
+    /** True once fitness has been assigned. */
+    bool evaluated() const;
+
+  private:
+    int key_;
+};
+
+} // namespace e3
+
+#endif // E3_NEAT_GENOME_HH

@@ -1,0 +1,20 @@
+#include "neat/innovation.hh"
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+InnovationTracker::InnovationTracker(int firstHiddenId)
+    : next_(firstHiddenId)
+{
+    e3_assert(firstHiddenId >= 0,
+              "hidden ids must start at or above 0");
+}
+
+int
+InnovationTracker::newNodeId()
+{
+    return next_++;
+}
+
+} // namespace e3

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Global id allocation for structural innovations.
+ *
+ * Following neat-python, hidden-node ids are drawn from a single
+ * monotonically increasing counter shared by the whole population, so a
+ * node id never aliases two different structural origins across genomes
+ * of one run. Connection genes need no separate innovation number — they
+ * are identified by their (from, to) pair.
+ */
+
+#ifndef E3_NEAT_INNOVATION_HH
+#define E3_NEAT_INNOVATION_HH
+
+namespace e3 {
+
+/** Monotonic allocator for new hidden-node ids. */
+class InnovationTracker
+{
+  public:
+    /**
+     * @param firstHiddenId first id available for hidden nodes; output
+     *        nodes occupy 0..numOutputs-1, so this is numOutputs.
+     */
+    explicit InnovationTracker(int firstHiddenId);
+
+    /** Allocate a fresh node id. */
+    int newNodeId();
+
+    /** Highest id handed out so far (firstHiddenId-1 if none). */
+    int lastNodeId() const { return next_ - 1; }
+
+  private:
+    int next_;
+};
+
+} // namespace e3
+
+#endif // E3_NEAT_INNOVATION_HH

@@ -1,0 +1,154 @@
+#include "neat/mutation.hh"
+
+#include <set>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+bool
+createsCycle(const Genome &genome, ConnKey key)
+{
+    const auto [from, to] = key;
+    if (from == to)
+        return true;
+
+    // Forward reachability from `to`: a path back to `from` means the
+    // new edge closes a cycle.
+    std::set<int> visited{to};
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        for (const auto &[k, gene] : genome.conns) {
+            if (visited.count(k.first) && !visited.count(k.second)) {
+                if (k.second == from)
+                    return true;
+                visited.insert(k.second);
+                grew = true;
+            }
+        }
+    }
+    return false;
+}
+
+int
+mutateAddNode(Genome &genome, const NeatConfig &cfg, Rng &rng,
+              InnovationTracker &innovation)
+{
+    std::vector<ConnKey> enabled;
+    for (const auto &[key, gene] : genome.conns) {
+        if (gene.enabled)
+            enabled.push_back(key);
+    }
+    if (enabled.empty())
+        return -1;
+
+    const ConnKey split = enabled[rng.uniformInt(enabled.size())];
+    ConnGene &old = genome.conns.at(split);
+    old.enabled = false;
+
+    const int nodeId = innovation.newNodeId();
+    genome.nodes.emplace(nodeId, NodeGene::create(nodeId, cfg, rng));
+
+    ConnGene inHalf;
+    inHalf.key = {split.first, nodeId};
+    inHalf.weight = 1.0;
+    inHalf.enabled = true;
+    genome.conns.emplace(inHalf.key, inHalf);
+
+    ConnGene outHalf;
+    outHalf.key = {nodeId, split.second};
+    outHalf.weight = old.weight;
+    outHalf.enabled = true;
+    genome.conns.emplace(outHalf.key, outHalf);
+
+    return nodeId;
+}
+
+bool
+mutateAddConnection(Genome &genome, const NeatConfig &cfg, Rng &rng)
+{
+    // Destination: any computing node. Source: any input or computing
+    // node. (Connections into inputs are meaningless.)
+    std::vector<int> dests;
+    for (const auto &[id, gene] : genome.nodes)
+        dests.push_back(id);
+    e3_assert(!dests.empty(), "genome without output nodes");
+
+    std::vector<int> sources = dests;
+    for (size_t i = 0; i < cfg.numInputs; ++i)
+        sources.push_back(-1 - static_cast<int>(i));
+
+    const int from = sources[rng.uniformInt(sources.size())];
+    const int to = dests[rng.uniformInt(dests.size())];
+
+    const ConnKey key{from, to};
+    auto it = genome.conns.find(key);
+    if (it != genome.conns.end()) {
+        // Re-enable an existing (possibly disabled) gene.
+        const bool was = it->second.enabled;
+        it->second.enabled = true;
+        return !was;
+    }
+    if (cfg.feedForward && createsCycle(genome, key))
+        return false;
+
+    genome.conns.emplace(key, ConnGene::create(key, cfg, rng));
+    return true;
+}
+
+int
+mutateDeleteNode(Genome &genome, const NeatConfig &cfg, Rng &rng)
+{
+    std::vector<int> hidden;
+    for (const auto &[id, gene] : genome.nodes) {
+        if (id >= static_cast<int>(cfg.numOutputs))
+            hidden.push_back(id);
+    }
+    if (hidden.empty())
+        return -1;
+
+    const int victim = hidden[rng.uniformInt(hidden.size())];
+    genome.nodes.erase(victim);
+    for (auto it = genome.conns.begin(); it != genome.conns.end();) {
+        if (it->first.first == victim || it->first.second == victim)
+            it = genome.conns.erase(it);
+        else
+            ++it;
+    }
+    return victim;
+}
+
+bool
+mutateDeleteConnection(Genome &genome, Rng &rng)
+{
+    if (genome.conns.empty())
+        return false;
+    const size_t target = rng.uniformInt(genome.conns.size());
+    auto it = genome.conns.begin();
+    std::advance(it, static_cast<long>(target));
+    genome.conns.erase(it);
+    return true;
+}
+
+void
+mutateGenome(Genome &genome, const NeatConfig &cfg, Rng &rng,
+             InnovationTracker &innovation)
+{
+    if (rng.chance(cfg.nodeAddProb))
+        mutateAddNode(genome, cfg, rng, innovation);
+    if (rng.chance(cfg.nodeDeleteProb))
+        mutateDeleteNode(genome, cfg, rng);
+    if (rng.chance(cfg.connAddProb))
+        mutateAddConnection(genome, cfg, rng);
+    if (rng.chance(cfg.connDeleteProb))
+        mutateDeleteConnection(genome, rng);
+
+    for (auto &[id, gene] : genome.nodes)
+        gene.mutate(cfg, rng);
+    for (auto &[key, gene] : genome.conns)
+        gene.mutate(cfg, rng);
+}
+
+} // namespace e3

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Structural and parametric mutation of genomes
+ * ("Mutate" in the paper's Table III).
+ *
+ * Mutation operators are free functions over Genome so they can be unit
+ * tested and benchmarked in isolation. Feed-forward validity is
+ * maintained by rejecting any connection that would create a cycle.
+ */
+
+#ifndef E3_NEAT_MUTATION_HH
+#define E3_NEAT_MUTATION_HH
+
+#include "neat/genome.hh"
+#include "neat/innovation.hh"
+
+namespace e3 {
+
+/**
+ * Full mutation pass: each structural operator fires with its configured
+ * probability, then every node and connection gene attribute-mutates.
+ */
+void mutateGenome(Genome &genome, const NeatConfig &cfg, Rng &rng,
+                  InnovationTracker &innovation);
+
+/**
+ * Split a random enabled connection with a new hidden node: the old
+ * connection is disabled, from->new gets weight 1, new->to inherits the
+ * old weight (Stanley & Miikkulainen's add-node). No-op if the genome
+ * has no enabled connection.
+ * @return id of the new node, or -1 if nothing was added
+ */
+int mutateAddNode(Genome &genome, const NeatConfig &cfg, Rng &rng,
+                  InnovationTracker &innovation);
+
+/**
+ * Add a connection between a random (input|hidden|output) source and a
+ * random (hidden|output) destination. Re-enables the gene if it already
+ * exists; rejects cycles to stay feed-forward.
+ * @return true if a connection was added or re-enabled
+ */
+bool mutateAddConnection(Genome &genome, const NeatConfig &cfg,
+                         Rng &rng);
+
+/**
+ * Remove a random hidden node (id >= cfg.numOutputs) and all
+ * connections touching it. Output nodes are part of the interface
+ * contract and are never deleted.
+ * @return id of the removed node, or -1 if there is no hidden node
+ */
+int mutateDeleteNode(Genome &genome, const NeatConfig &cfg, Rng &rng);
+
+/**
+ * Remove a random connection gene.
+ * @return true if one was removed
+ */
+bool mutateDeleteConnection(Genome &genome, Rng &rng);
+
+/**
+ * Would adding (from, to) create a cycle among the genome's
+ * connections? Self-loops count as cycles. Considers disabled genes
+ * too, since they may be re-enabled later.
+ */
+bool createsCycle(const Genome &genome, ConnKey key);
+
+} // namespace e3
+
+#endif // E3_NEAT_MUTATION_HH

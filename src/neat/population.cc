@@ -1,0 +1,92 @@
+#include "neat/population.hh"
+
+#include "neat/reporter.hh"
+
+#include "common/logging.hh"
+#include "nn/net_stats.hh"
+
+namespace e3 {
+
+Population::Population(const NeatConfig &cfg, uint64_t seed)
+    : cfg_(cfg), rng_(seed),
+      innovation_(static_cast<int>(cfg.numOutputs + cfg.numHidden)),
+      reproduction_(rng_.split())
+{
+    cfg_.validate();
+    genomes_ = reproduction_.createNew(cfg_, cfg_.populationSize);
+    species_.speciate(genomes_, cfg_, generation_);
+}
+
+void
+Population::evaluateAll(
+    const std::function<double(const Genome &)> &fitnessFn)
+{
+    for (auto &[key, genome] : genomes_)
+        genome.fitness = fitnessFn(genome);
+    for (Reporter *reporter : reporters_)
+        reporter->onEvaluated(*this);
+}
+
+const Genome &
+Population::best() const
+{
+    const Genome *best = nullptr;
+    for (const auto &[key, genome] : genomes_) {
+        e3_assert(genome.evaluated(),
+                  "best() before genome ", key, " was evaluated");
+        if (!best || genome.fitness > best->fitness)
+            best = &genome;
+    }
+    e3_assert(best, "empty population");
+    return *best;
+}
+
+bool
+Population::solved() const
+{
+    return best().fitness >= cfg_.fitnessThreshold;
+}
+
+void
+Population::advance()
+{
+    genomes_ = reproduction_.reproduce(cfg_, species_, genomes_,
+                                       generation_, innovation_);
+    ++generation_;
+    species_.speciate(genomes_, cfg_, generation_);
+    for (Reporter *reporter : reporters_)
+        reporter->onAdvanced(*this);
+}
+
+void
+Population::addReporter(Reporter *reporter)
+{
+    e3_assert(reporter, "null reporter");
+    reporters_.push_back(reporter);
+}
+
+GenerationStats
+Population::stats() const
+{
+    GenerationStats gs;
+    gs.generation = generation_;
+    gs.numSpecies = species_.count();
+
+    double sum = 0.0;
+    double best = -1e300;
+    for (const auto &[key, genome] : genomes_) {
+        if (genome.evaluated()) {
+            sum += genome.fitness;
+            best = std::max(best, genome.fitness);
+        }
+        const NetStats ns = computeNetStats(genome.toNetworkDef(cfg_));
+        gs.nodeCounts.add(static_cast<double>(ns.activeNodes));
+        gs.connCounts.add(static_cast<double>(ns.activeConnections));
+        gs.densities.add(ns.density);
+    }
+    gs.bestFitness = best;
+    gs.meanFitness = sum / static_cast<double>(genomes_.size());
+    return gs;
+}
+
+} // namespace e3

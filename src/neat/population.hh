@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The NEAT population driver: owns the genomes, species set, innovation
+ * tracker and RNG, and exposes the evaluate/evolve cycle of the paper's
+ * Fig. 1(a). Evaluation is external — a backend (software, INAX model,
+ * GPU model) assigns fitness to every genome, then advance() performs
+ * one "evolve" step.
+ */
+
+#ifndef E3_NEAT_POPULATION_HH
+#define E3_NEAT_POPULATION_HH
+
+#include <functional>
+#include <map>
+
+#include "common/stats.hh"
+#include "neat/innovation.hh"
+#include "neat/reproduction.hh"
+#include "neat/species.hh"
+
+namespace e3 {
+
+/** Per-generation summary used by the convergence/irregularity benches. */
+struct GenerationStats
+{
+    int generation = 0;
+    double bestFitness = 0.0;
+    double meanFitness = 0.0;
+    size_t numSpecies = 0;
+    Distribution nodeCounts;    ///< active nodes per individual
+    Distribution connCounts;    ///< active connections per individual
+    Distribution densities;     ///< paper's density metric
+};
+
+/** Population of genomes evolving toward a fitness threshold. */
+class Population
+{
+  public:
+    /**
+     * Create generation 0 and speciate it.
+     * @param cfg validated NEAT configuration
+     * @param seed master seed for all evolutionary randomness
+     */
+    Population(const NeatConfig &cfg, uint64_t seed);
+
+    /** Mutable access for evaluators to assign fitness. */
+    std::map<int, Genome> &genomes() { return genomes_; }
+    const std::map<int, Genome> &genomes() const { return genomes_; }
+
+    const NeatConfig &config() const { return cfg_; }
+    int generation() const { return generation_; }
+    const SpeciesSet &speciesSet() const { return species_; }
+
+    /**
+     * Evaluate every genome with the callback (assigning fitness), in
+     * genome-key order.
+     */
+    void evaluateAll(
+        const std::function<double(const Genome &)> &fitnessFn);
+
+    /** Best genome of the current (evaluated) generation. */
+    const Genome &best() const;
+
+    /** True once best().fitness >= cfg.fitnessThreshold. */
+    bool solved() const;
+
+    /**
+     * One "evolve" step: stagnation, reproduction, speciation.
+     * @pre every genome has been evaluated
+     */
+    void advance();
+
+    /** Structural summary of the current generation (Fig. 2/4 data). */
+    GenerationStats stats() const;
+
+    /**
+     * Attach a non-owning observer, notified after evaluateAll() and
+     * after advance(). The reporter must outlive the population.
+     */
+    void addReporter(class Reporter *reporter);
+
+  private:
+    std::vector<class Reporter *> reporters_;
+    NeatConfig cfg_;
+    Rng rng_;
+    InnovationTracker innovation_;
+    Reproduction reproduction_;
+    SpeciesSet species_;
+    std::map<int, Genome> genomes_;
+    int generation_ = 0;
+};
+
+} // namespace e3
+
+#endif // E3_NEAT_POPULATION_HH

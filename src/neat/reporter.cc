@@ -1,0 +1,58 @@
+#include "neat/reporter.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/csv.hh"
+
+namespace e3 {
+
+void
+StdOutReporter::onEvaluated(const Population &population)
+{
+    const GenerationStats stats = population.stats();
+    std::ostringstream oss;
+    oss.precision(4);
+    oss << "gen " << stats.generation << ": best " << stats.bestFitness
+        << ", mean " << stats.meanFitness << ", species "
+        << stats.numSpecies << ", avg nodes "
+        << stats.nodeCounts.mean() << ", avg conns "
+        << stats.connCounts.mean();
+    out_ << oss.str() << '\n';
+}
+
+void
+StatisticsReporter::onEvaluated(const Population &population)
+{
+    history_.push_back(population.stats());
+}
+
+double
+StatisticsReporter::bestFitnessEver() const
+{
+    double best = -std::numeric_limits<double>::infinity();
+    for (const auto &stats : history_)
+        best = std::max(best, stats.bestFitness);
+    return best;
+}
+
+std::string
+StatisticsReporter::csv() const
+{
+    CsvWriter csv;
+    csv.header({"generation", "best", "mean", "species", "avg_nodes",
+                "avg_conns", "avg_density"});
+    for (const auto &s : history_) {
+        csv.row({std::to_string(s.generation),
+                 std::to_string(s.bestFitness),
+                 std::to_string(s.meanFitness),
+                 std::to_string(s.numSpecies),
+                 std::to_string(s.nodeCounts.mean()),
+                 std::to_string(s.connCounts.mean()),
+                 std::to_string(s.densities.mean())});
+    }
+    return csv.str();
+}
+
+} // namespace e3

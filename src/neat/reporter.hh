@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Observation hooks for evolution runs, in the spirit of neat-python's
+ * reporter set: attach reporters to a Population and they are invoked
+ * as the run progresses. Reporters are non-owning observers; the
+ * caller keeps them alive for the Population's lifetime.
+ */
+
+#ifndef E3_NEAT_REPORTER_HH
+#define E3_NEAT_REPORTER_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "neat/population.hh"
+
+namespace e3 {
+
+/** Callback interface for evolution progress. */
+class Reporter
+{
+  public:
+    virtual ~Reporter() = default;
+
+    /** After evaluateAll() assigned every fitness. */
+    virtual void onEvaluated(const Population &population)
+    {
+        (void)population;
+    }
+
+    /** After advance() produced and speciated the next generation. */
+    virtual void onAdvanced(const Population &population)
+    {
+        (void)population;
+    }
+};
+
+/** Prints a one-line summary per generation (neat-python StdOut). */
+class StdOutReporter : public Reporter
+{
+  public:
+    /** @param out destination stream (e.g. std::cout) */
+    explicit StdOutReporter(std::ostream &out) : out_(out) {}
+
+    void onEvaluated(const Population &population) override;
+
+  private:
+    std::ostream &out_;
+};
+
+/** Accumulates per-generation statistics for later export. */
+class StatisticsReporter : public Reporter
+{
+  public:
+    void onEvaluated(const Population &population) override;
+
+    const std::vector<GenerationStats> &history() const
+    {
+        return history_;
+    }
+
+    /** Best fitness seen across all recorded generations. */
+    double bestFitnessEver() const;
+
+    /** CSV with one row per generation. */
+    std::string csv() const;
+
+  private:
+    std::vector<GenerationStats> history_;
+};
+
+} // namespace e3
+
+#endif // E3_NEAT_REPORTER_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduction ("Evolve" in the paper's Table III): stagnation culling,
+ * fitness sharing via species-level adjusted fitness, elitism, parent
+ * selection under a survival threshold, and offspring creation through
+ * crossover and mutation — following neat-python's DefaultReproduction
+ * and DefaultStagnation.
+ */
+
+#ifndef E3_NEAT_REPRODUCTION_HH
+#define E3_NEAT_REPRODUCTION_HH
+
+#include <map>
+
+#include "neat/innovation.hh"
+#include "neat/species.hh"
+
+namespace e3 {
+
+/** Creates generation zero and every subsequent generation. */
+class Reproduction
+{
+  public:
+    explicit Reproduction(Rng rng) : rng_(rng) {}
+
+    /** Fresh random population of n genomes. */
+    std::map<int, Genome> createNew(const NeatConfig &cfg, size_t n);
+
+    /**
+     * Produce the next generation from the current speciated, evaluated
+     * population.
+     *
+     * Steps: (1) cull species stagnant for cfg.maxStagnation
+     * generations, sparing the cfg.speciesElitism best; (2) compute each
+     * surviving species' adjusted fitness (member-mean, min-max
+     * normalized across species); (3) apportion offspring proportional
+     * to adjusted fitness with a cfg.minSpeciesSize floor; (4) per
+     * species, copy cfg.elitism best members verbatim, truncate parents
+     * to the cfg.survivalThreshold fraction, and fill the remainder with
+     * mutated crossover/clone children.
+     *
+     * @param population current generation (all genomes evaluated)
+     * @return the next generation's genomes
+     */
+    std::map<int, Genome> reproduce(const NeatConfig &cfg,
+                                    SpeciesSet &speciesSet,
+                                    const std::map<int, Genome> &population,
+                                    int generation,
+                                    InnovationTracker &innovation);
+
+    /** Number of genome keys handed out so far. */
+    int genomesCreated() const { return nextGenomeKey_; }
+
+  private:
+    int nextGenomeKey_ = 0;
+    Rng rng_;
+};
+
+} // namespace e3
+
+#endif // E3_NEAT_REPRODUCTION_HH

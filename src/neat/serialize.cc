@@ -1,0 +1,136 @@
+#include "neat/serialize.hh"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+void
+saveGenome(const Genome &genome, std::ostream &out)
+{
+    out << std::setprecision(17);
+    out << "genome " << genome.key() << ' ';
+    if (genome.evaluated())
+        out << genome.fitness << '\n';
+    else
+        out << "nan\n";
+    for (const auto &[id, node] : genome.nodes) {
+        out << "node " << id << ' ' << node.bias << ' '
+            << activationName(node.act) << ' '
+            << aggregationName(node.agg) << '\n';
+    }
+    for (const auto &[key, conn] : genome.conns) {
+        out << "conn " << key.first << ' ' << key.second << ' '
+            << conn.weight << ' ' << (conn.enabled ? 1 : 0) << '\n';
+    }
+    out << "end\n";
+}
+
+std::string
+genomeToString(const Genome &genome)
+{
+    std::ostringstream oss;
+    saveGenome(genome, oss);
+    return oss.str();
+}
+
+Genome
+loadGenome(std::istream &in)
+{
+    std::string line;
+    // Find the header, skipping blanks and comments.
+    int key = 0;
+    double fitness = std::numeric_limits<double>::quiet_NaN();
+    bool haveHeader = false;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string tag;
+        if (!(ls >> tag) || tag[0] == '#')
+            continue;
+        if (tag != "genome")
+            e3_fatal("expected 'genome' header, got '", tag, "'");
+        std::string fit;
+        if (!(ls >> key >> fit))
+            e3_fatal("malformed genome header: '", line, "'");
+        if (fit != "nan")
+            fitness = std::stod(fit);
+        haveHeader = true;
+        break;
+    }
+    if (!haveHeader)
+        e3_fatal("no genome found in stream");
+
+    Genome genome(key);
+    genome.fitness = fitness;
+
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string tag;
+        if (!(ls >> tag) || tag[0] == '#')
+            continue;
+        if (tag == "end")
+            return genome;
+        if (tag == "node") {
+            int id;
+            double bias;
+            std::string act, agg;
+            if (!(ls >> id >> bias >> act >> agg))
+                e3_fatal("malformed node line: '", line, "'");
+            NodeGene gene;
+            gene.id = id;
+            gene.bias = bias;
+            gene.act = parseActivation(act);
+            gene.agg = parseAggregation(agg);
+            if (!genome.nodes.emplace(id, gene).second)
+                e3_fatal("duplicate node ", id, " in genome");
+        } else if (tag == "conn") {
+            int from, to, enabled;
+            double weight;
+            if (!(ls >> from >> to >> weight >> enabled))
+                e3_fatal("malformed conn line: '", line, "'");
+            ConnGene gene;
+            gene.key = {from, to};
+            gene.weight = weight;
+            gene.enabled = enabled != 0;
+            if (!genome.conns.emplace(gene.key, gene).second)
+                e3_fatal("duplicate connection ", from, "->", to);
+        } else {
+            e3_fatal("unknown record '", tag, "' in genome stream");
+        }
+    }
+    e3_fatal("genome stream ended before 'end'");
+}
+
+Genome
+genomeFromString(const std::string &text)
+{
+    std::istringstream iss(text);
+    return loadGenome(iss);
+}
+
+bool
+saveGenomeFile(const Genome &genome, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot open '", path, "' for writing");
+        return false;
+    }
+    saveGenome(genome, out);
+    return static_cast<bool>(out);
+}
+
+Genome
+loadGenomeFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        e3_fatal("cannot open genome file '", path, "'");
+    return loadGenome(in);
+}
+
+} // namespace e3

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Genome serialization: save an evolved controller to a portable text
+ * format and load it back — the deployment step of the paper's
+ * model-replacement story (evolve on device, persist the champion,
+ * reload after power cycles).
+ *
+ * Format (line oriented, '#' comments allowed):
+ *
+ *   genome <key> <fitness|nan>
+ *   node <id> <bias> <activation> <aggregation>
+ *   conn <from> <to> <weight> <0|1>
+ *   end
+ */
+
+#ifndef E3_NEAT_SERIALIZE_HH
+#define E3_NEAT_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "neat/genome.hh"
+
+namespace e3 {
+
+/** Write one genome in the text format. */
+void saveGenome(const Genome &genome, std::ostream &out);
+
+/** Serialize to a string. */
+std::string genomeToString(const Genome &genome);
+
+/**
+ * Read one genome from a stream.
+ * fatal() on malformed input.
+ */
+Genome loadGenome(std::istream &in);
+
+/** Parse from a string produced by genomeToString(). */
+Genome genomeFromString(const std::string &text);
+
+/**
+ * Save to a file.
+ * @return true on success; warn() and false otherwise.
+ */
+bool saveGenomeFile(const Genome &genome, const std::string &path);
+
+/** Load from a file; fatal() if the file cannot be opened or parsed. */
+Genome loadGenomeFile(const std::string &path);
+
+} // namespace e3
+
+#endif // E3_NEAT_SERIALIZE_HH

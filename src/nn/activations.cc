@@ -1,0 +1,78 @@
+#include "nn/activations.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+double
+applyActivation(Activation act, double x)
+{
+    switch (act) {
+      case Activation::Sigmoid: {
+        // neat-python clamps the argument to keep exp() in range.
+        const double z = std::clamp(4.9 * x, -60.0, 60.0);
+        return 1.0 / (1.0 + std::exp(-z));
+      }
+      case Activation::Tanh: {
+        const double z = std::clamp(2.5 * x, -60.0, 60.0);
+        return std::tanh(z);
+      }
+      case Activation::ReLU:
+        return x > 0.0 ? x : 0.0;
+      case Activation::Identity:
+        return x;
+      case Activation::Sin: {
+        const double z = std::clamp(5.0 * x, -60.0, 60.0);
+        return std::sin(z);
+      }
+      case Activation::Gauss: {
+        const double z = std::clamp(x, -3.4, 3.4);
+        return std::exp(-5.0 * z * z);
+      }
+      case Activation::Abs:
+        return std::fabs(x);
+      case Activation::Clamped:
+        return std::clamp(x, -1.0, 1.0);
+    }
+    e3_panic("unhandled activation");
+}
+
+std::string
+activationName(Activation act)
+{
+    switch (act) {
+      case Activation::Sigmoid: return "sigmoid";
+      case Activation::Tanh: return "tanh";
+      case Activation::ReLU: return "relu";
+      case Activation::Identity: return "identity";
+      case Activation::Sin: return "sin";
+      case Activation::Gauss: return "gauss";
+      case Activation::Abs: return "abs";
+      case Activation::Clamped: return "clamped";
+    }
+    e3_panic("unhandled activation");
+}
+
+Activation
+parseActivation(const std::string &name)
+{
+    for (int i = 0; i < numActivations; ++i) {
+        const Activation act = activationFromIndex(i);
+        if (activationName(act) == name)
+            return act;
+    }
+    e3_fatal("unknown activation '", name, "'");
+}
+
+Activation
+activationFromIndex(int index)
+{
+    e3_assert(index >= 0 && index < numActivations,
+              "activation index ", index, " out of range");
+    return static_cast<Activation>(index);
+}
+
+} // namespace e3

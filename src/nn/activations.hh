@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Node activation functions for evolved networks.
+ *
+ * The set mirrors neat-python's default activation repertoire; NEAT's
+ * activation mutation picks among whichever subset the experiment config
+ * allows. Each PE in INAX contains one activation unit applying exactly
+ * these functions (paper Sec. IV-E).
+ */
+
+#ifndef E3_NN_ACTIVATIONS_HH
+#define E3_NN_ACTIVATIONS_HH
+
+#include <string>
+
+namespace e3 {
+
+/** Supported node activation functions. */
+enum class Activation
+{
+    Sigmoid,  ///< 1 / (1 + exp(-4.9 x)) — neat-python's scaled sigmoid
+    Tanh,     ///< tanh(2.5 x), matching neat-python's scaling
+    ReLU,
+    Identity,
+    Sin,      ///< sin(5 x)
+    Gauss,    ///< exp(-5 x^2)
+    Abs,
+    Clamped,  ///< clamp(x, -1, 1)
+};
+
+/** Apply an activation to a pre-activation value. */
+double applyActivation(Activation act, double x);
+
+/** Stable lowercase name, e.g. "sigmoid". */
+std::string activationName(Activation act);
+
+/** Parse a name produced by activationName(). fatal() on unknown. */
+Activation parseActivation(const std::string &name);
+
+/** Number of distinct activations (for mutation sampling). */
+constexpr int numActivations = 8;
+
+/** Map a dense index [0, numActivations) to an Activation. */
+Activation activationFromIndex(int index);
+
+} // namespace e3
+
+#endif // E3_NN_ACTIVATIONS_HH

@@ -1,0 +1,73 @@
+#include "nn/dense_equivalent.hh"
+
+#include <map>
+#include <set>
+
+#include "common/logging.hh"
+#include "nn/layering.hh"
+
+namespace e3 {
+
+uint64_t
+DenseEquivalent::denseConnections() const
+{
+    uint64_t total = 0;
+    for (size_t i = 0; i + 1 < layerSizes.size(); ++i) {
+        total += static_cast<uint64_t>(layerSizes[i]) *
+                 static_cast<uint64_t>(layerSizes[i + 1]);
+    }
+    return total;
+}
+
+DenseEquivalent
+denseEquivalent(const NetworkDef &def)
+{
+    const std::set<int> required = requiredNodes(def);
+    const std::set<int> inputs(def.inputIds.begin(), def.inputIds.end());
+    const auto layers = feedForwardLayers(def);
+
+    // Layer index per node: inputs at 0, dependency layers at 1..k.
+    std::map<int, size_t> layerOf;
+    for (int id : def.inputIds)
+        layerOf[id] = 0;
+    for (size_t l = 0; l < layers.size(); ++l) {
+        for (int id : layers[l])
+            layerOf[id] = l + 1;
+    }
+
+    DenseEquivalent eq;
+    eq.layerSizes.assign(layers.size() + 1, 0);
+    eq.layerSizes[0] = def.inputIds.size();
+    for (size_t l = 0; l < layers.size(); ++l) {
+        eq.layerSizes[l + 1] = layers[l].size();
+        eq.realNodes += layers[l].size();
+    }
+
+    // A value produced in layer L(u) and consumed in layer L(v) > L(u)+1
+    // must be relayed by a dummy node in every intermediate layer. Each
+    // producer needs at most one relay per layer, up to its furthest
+    // consumer.
+    std::map<int, size_t> furthestConsumer;
+    for (const auto &c : def.conns) {
+        if (!required.count(c.to))
+            continue;
+        if (!inputs.count(c.from) && !required.count(c.from))
+            continue;
+        const size_t lv = layerOf.at(c.to);
+        auto [it, inserted] = furthestConsumer.try_emplace(c.from, lv);
+        if (!inserted && lv > it->second)
+            it->second = lv;
+    }
+
+    for (const auto &[u, far] : furthestConsumer) {
+        const size_t lu = layerOf.at(u);
+        e3_assert(far > lu, "connection does not point forward");
+        for (size_t l = lu + 1; l < far; ++l) {
+            ++eq.layerSizes[l];
+            ++eq.dummyNodes;
+        }
+    }
+    return eq;
+}
+
+} // namespace e3

@@ -1,0 +1,124 @@
+#include "nn/layering.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+std::set<int>
+requiredNodes(const NetworkDef &def)
+{
+    // Backward reachability from the outputs, as in neat-python's
+    // required_for_output(): walk connections in reverse until no new
+    // node is discovered. Inputs are never "required" (they are sources,
+    // not computed nodes).
+    std::set<int> inputs(def.inputIds.begin(), def.inputIds.end());
+    std::set<int> required(def.outputIds.begin(), def.outputIds.end());
+
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        for (const auto &c : def.conns) {
+            if (required.count(c.to) && !required.count(c.from) &&
+                !inputs.count(c.from)) {
+                required.insert(c.from);
+                grew = true;
+            }
+        }
+    }
+    return required;
+}
+
+std::vector<std::vector<int>>
+feedForwardLayers(const NetworkDef &def)
+{
+    const std::set<int> required = requiredNodes(def);
+
+    // Ingress lists restricted to required nodes; connections from
+    // unrequired nodes can never fire and are ignored.
+    std::map<int, std::vector<int>> ingress;
+    for (int id : required)
+        ingress[id]; // ensure every required node has an entry
+    std::set<int> inputs(def.inputIds.begin(), def.inputIds.end());
+    for (const auto &c : def.conns) {
+        if (!required.count(c.to))
+            continue;
+        if (inputs.count(c.from) || required.count(c.from))
+            ingress[c.to].push_back(c.from);
+    }
+
+    std::set<int> placed(inputs); // inputs are available from the start
+    std::vector<std::vector<int>> layers;
+
+    while (true) {
+        std::vector<int> layer;
+        for (const auto &[id, sources] : ingress) {
+            if (placed.count(id))
+                continue;
+            // Readiness is vacuously true for ingress-free nodes (e.g.
+            // an output whose last in-connection was deleted): they are
+            // placed immediately since others may depend on them.
+            const bool ready = std::all_of(
+                sources.begin(), sources.end(),
+                [&](int src) { return placed.count(src) > 0; });
+            if (ready)
+                layer.push_back(id);
+        }
+        if (layer.empty())
+            break;
+        for (int id : layer)
+            placed.insert(id);
+        layers.push_back(std::move(layer));
+    }
+
+    for (const auto &[id, sources] : ingress) {
+        e3_assert(placed.count(id),
+                  "unplaceable node ", id, " implies a cycle");
+    }
+    return layers;
+}
+
+bool
+isAcyclic(const NetworkDef &def)
+{
+    // feedForwardLayers places every required node iff the graph is
+    // acyclic over required nodes; detect the cycle case directly with
+    // the same fixed-point but without the orphan panic.
+    const std::set<int> required = requiredNodes(def);
+    std::set<int> inputs(def.inputIds.begin(), def.inputIds.end());
+
+    std::map<int, std::vector<int>> ingress;
+    for (int id : required)
+        ingress[id];
+    for (const auto &c : def.conns) {
+        if (!required.count(c.to))
+            continue;
+        if (inputs.count(c.from) || required.count(c.from))
+            ingress[c.to].push_back(c.from);
+    }
+
+    std::set<int> placed(inputs);
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        for (const auto &[id, sources] : ingress) {
+            if (placed.count(id))
+                continue;
+            const bool ready = std::all_of(
+                sources.begin(), sources.end(),
+                [&](int src) { return placed.count(src) > 0; });
+            if (ready) {
+                placed.insert(id);
+                grew = true;
+            }
+        }
+    }
+    return std::all_of(ingress.begin(), ingress.end(),
+                       [&](const auto &kv) {
+                           return placed.count(kv.first) > 0;
+                       });
+}
+
+} // namespace e3

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Required-node analysis and dependency layering for irregular networks,
+ * following neat-python's feed_forward_layers algorithm.
+ */
+
+#ifndef E3_NN_LAYERING_HH
+#define E3_NN_LAYERING_HH
+
+#include <set>
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace e3 {
+
+/**
+ * Nodes required to compute the outputs: every non-input node from which
+ * an output is reachable. Output nodes are always required.
+ */
+std::set<int> requiredNodes(const NetworkDef &def);
+
+/**
+ * Partition required non-input nodes into dependency layers.
+ *
+ * Layer k contains every not-yet-placed required node all of whose
+ * ingress connections originate from inputs or layers < k. Connections
+ * from unrequired nodes are ignored. Outputs with no ingress at all are
+ * placed in a final layer so they always execute.
+ *
+ * @return layers of node ids, in execution order
+ */
+std::vector<std::vector<int>> feedForwardLayers(const NetworkDef &def);
+
+/**
+ * True if the connection set is acyclic over the required nodes (a
+ * precondition for feed-forward execution).
+ */
+bool isAcyclic(const NetworkDef &def);
+
+} // namespace e3
+
+#endif // E3_NN_LAYERING_HH

@@ -1,0 +1,120 @@
+#include "nn/net_stats.hh"
+
+#include <set>
+
+#include "common/logging.hh"
+#include "nn/layering.hh"
+
+namespace e3 {
+
+NetStats
+computeNetStats(const NetworkDef &def)
+{
+    NetStats stats;
+
+    const std::set<int> required = requiredNodes(def);
+    const std::set<int> inputs(def.inputIds.begin(), def.inputIds.end());
+
+    // Cyclic (recurrent) definitions have no dependency layering; all
+    // required nodes form one synchronous wave set per tick.
+    const bool acyclic = isAcyclic(def);
+    std::vector<std::vector<int>> layers;
+    if (acyclic) {
+        layers = feedForwardLayers(def);
+    } else {
+        layers.emplace_back(required.begin(), required.end());
+    }
+
+    stats.activeNodes = 0;
+    for (const auto &layer : layers) {
+        stats.layerSizes.push_back(layer.size());
+        stats.activeNodes += layer.size();
+    }
+
+    // Count active connections and per-node in-degree.
+    std::vector<size_t> degreeOf;
+    for (const auto &layer : layers) {
+        for (int id : layer) {
+            size_t deg = 0;
+            for (const auto &c : def.conns) {
+                if (c.to != id)
+                    continue;
+                if (inputs.count(c.from) || required.count(c.from))
+                    ++deg;
+            }
+            degreeOf.push_back(deg);
+            stats.activeConnections += deg;
+        }
+    }
+    stats.inDegrees = std::move(degreeOf);
+
+    uint64_t dense = 0;
+    if (acyclic) {
+        std::vector<size_t> denseLayers;
+        denseLayers.push_back(def.inputIds.size());
+        for (size_t s : stats.layerSizes)
+            denseLayers.push_back(s);
+        dense = denseConnectionCount(denseLayers);
+    } else {
+        // Recurrent counterpart: every node may read every input and
+        // every node's previous-tick value.
+        dense = static_cast<uint64_t>(stats.activeNodes) *
+                (def.inputIds.size() + stats.activeNodes);
+    }
+    stats.density = dense > 0
+                        ? static_cast<double>(stats.activeConnections) /
+                              static_cast<double>(dense)
+                        : 0.0;
+    return stats;
+}
+
+double
+measureActivationDensity(FeedForwardNetwork &net, size_t samples,
+                         Rng &rng)
+{
+    e3_assert(samples > 0, "need at least one sample");
+
+    uint64_t totalMacs = 0;
+    uint64_t liveMacs = 0;
+    std::vector<double> values(net.valueSlots(), 0.0);
+    std::vector<double> inputs(net.numInputs());
+
+    for (size_t s = 0; s < samples; ++s) {
+        for (auto &x : inputs)
+            x = rng.uniform(-1.0, 1.0);
+        for (size_t i = 0; i < inputs.size(); ++i)
+            values[i] = inputs[i];
+        // Re-run the layer evaluation here so per-link operand values
+        // are observable (FeedForwardNetwork only exposes outputs).
+        for (const auto &layer : net.layers()) {
+            for (const auto &node : layer) {
+                Aggregator agg(node.agg);
+                for (const auto &link : node.links) {
+                    const double v = values[link.srcSlot];
+                    ++totalMacs;
+                    liveMacs += v != 0.0 ? 1 : 0;
+                    agg.add(v * link.weight);
+                }
+                values[node.slot] = applyActivation(
+                    node.act, agg.result() + node.bias);
+            }
+        }
+    }
+    if (totalMacs == 0)
+        return 1.0;
+    return static_cast<double>(liveMacs) /
+           static_cast<double>(totalMacs);
+}
+
+uint64_t
+denseConnectionCount(const std::vector<size_t> &layerSizes)
+{
+    uint64_t total = 0;
+    for (size_t i = 0; i + 1 < layerSizes.size(); ++i) {
+        total += static_cast<uint64_t>(layerSizes[i]) *
+                 static_cast<uint64_t>(layerSizes[i + 1]);
+    }
+    return total;
+}
+
+} // namespace e3

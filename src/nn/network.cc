@@ -1,0 +1,146 @@
+#include "nn/network.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+#include "nn/layering.hh"
+
+namespace e3 {
+
+NetworkDef
+NetworkDef::empty(size_t numInputs, size_t numOutputs)
+{
+    NetworkDef def;
+    for (size_t i = 0; i < numInputs; ++i)
+        def.inputIds.push_back(-1 - static_cast<int>(i));
+    for (size_t o = 0; o < numOutputs; ++o) {
+        def.outputIds.push_back(static_cast<int>(o));
+        def.nodes.push_back({static_cast<int>(o), 0.0,
+                             Activation::Sigmoid, Aggregation::Sum});
+    }
+    return def;
+}
+
+FeedForwardNetwork
+FeedForwardNetwork::create(const NetworkDef &def)
+{
+    e3_assert(!def.inputIds.empty(), "network needs at least one input");
+    e3_assert(!def.outputIds.empty(),
+              "network needs at least one output");
+
+    FeedForwardNetwork net;
+    net.numInputs_ = def.inputIds.size();
+
+    // Slot assignment: inputs first, then compiled nodes in layer order.
+    std::map<int, uint32_t> slotOf;
+    for (size_t i = 0; i < def.inputIds.size(); ++i)
+        slotOf[def.inputIds[i]] = static_cast<uint32_t>(i);
+
+    std::map<int, const NetworkDef::Node *> nodeOf;
+    for (const auto &n : def.nodes) {
+        e3_assert(!nodeOf.count(n.id), "duplicate node id ", n.id);
+        nodeOf[n.id] = &n;
+    }
+    for (int id : def.outputIds)
+        e3_assert(nodeOf.count(id), "output node ", id, " missing");
+
+    const auto layerIds = feedForwardLayers(def);
+
+    uint32_t nextSlot = static_cast<uint32_t>(def.inputIds.size());
+    for (const auto &layer : layerIds) {
+        for (int id : layer)
+            slotOf[id] = nextSlot++;
+    }
+    // Outputs pruned as unreachable-from-required still need slots: an
+    // output always exists. (feedForwardLayers keeps them, so this is a
+    // consistency check rather than a fixup.)
+    for (int id : def.outputIds)
+        e3_assert(slotOf.count(id), "output ", id, " was not layered");
+
+    net.slotCount_ = nextSlot;
+
+    // Compile each layer's nodes with their ingress links.
+    const std::set<int> required = requiredNodes(def);
+    std::map<int, std::vector<EvalLink>> linksOf;
+    std::set<int> inputSet(def.inputIds.begin(), def.inputIds.end());
+    for (const auto &c : def.conns) {
+        if (!required.count(c.to))
+            continue;
+        if (!inputSet.count(c.from) && !required.count(c.from))
+            continue;
+        linksOf[c.to].push_back({slotOf.at(c.from), c.weight});
+    }
+
+    for (const auto &layer : layerIds) {
+        std::vector<EvalNode> compiled;
+        compiled.reserve(layer.size());
+        for (int id : layer) {
+            const auto *src = nodeOf.count(id) ? nodeOf.at(id) : nullptr;
+            e3_assert(src, "connection references unknown node ", id);
+            EvalNode en;
+            en.id = id;
+            en.slot = slotOf.at(id);
+            en.bias = src->bias;
+            en.act = src->act;
+            en.agg = src->agg;
+            en.links = linksOf.count(id) ? linksOf.at(id)
+                                         : std::vector<EvalLink>{};
+            compiled.push_back(std::move(en));
+        }
+        net.layers_.push_back(std::move(compiled));
+    }
+
+    for (int id : def.outputIds)
+        net.outputSlots_.push_back(slotOf.at(id));
+
+    net.values_.assign(net.slotCount_, 0.0);
+    return net;
+}
+
+std::vector<double>
+FeedForwardNetwork::activate(const std::vector<double> &inputs)
+{
+    e3_assert(inputs.size() == numInputs_,
+              "expected ", numInputs_, " inputs, got ", inputs.size());
+
+    for (size_t i = 0; i < numInputs_; ++i)
+        values_[i] = inputs[i];
+
+    for (const auto &layer : layers_) {
+        for (const auto &node : layer) {
+            Aggregator agg(node.agg);
+            for (const auto &link : node.links)
+                agg.add(values_[link.srcSlot] * link.weight);
+            values_[node.slot] =
+                applyActivation(node.act, agg.result() + node.bias);
+        }
+    }
+
+    std::vector<double> out;
+    out.reserve(outputSlots_.size());
+    for (uint32_t slot : outputSlots_)
+        out.push_back(values_[slot]);
+    return out;
+}
+
+size_t
+FeedForwardNetwork::nodeCount() const
+{
+    size_t n = 0;
+    for (const auto &layer : layers_)
+        n += layer.size();
+    return n;
+}
+
+uint64_t
+FeedForwardNetwork::connectionCount() const
+{
+    uint64_t n = 0;
+    for (const auto &layer : layers_) {
+        for (const auto &node : layer)
+            n += node.links.size();
+    }
+    return n;
+}
+
+} // namespace e3

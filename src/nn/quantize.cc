@@ -1,0 +1,126 @@
+#include "nn/quantize.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+double
+FixedPointFormat::maxValue() const
+{
+    const double steps =
+        std::ldexp(1.0, totalBits - 1) - 1.0; // 2^(t-1) - 1
+    return steps * resolution();
+}
+
+double
+FixedPointFormat::minValue() const
+{
+    return -std::ldexp(1.0, totalBits - 1) * resolution();
+}
+
+double
+FixedPointFormat::resolution() const
+{
+    return std::ldexp(1.0, -fracBits);
+}
+
+double
+FixedPointFormat::quantize(double v) const
+{
+    const double scaled = std::round(v / resolution());
+    const double lo = -std::ldexp(1.0, totalBits - 1);
+    const double hi = std::ldexp(1.0, totalBits - 1) - 1.0;
+    return std::clamp(scaled, lo, hi) * resolution();
+}
+
+void
+FixedPointFormat::validate() const
+{
+    if (totalBits < 2 || totalBits > 64)
+        e3_fatal("fixed-point total bits ", totalBits,
+                 " out of range [2, 64]");
+    if (fracBits < 0 || fracBits >= totalBits)
+        e3_fatal("fractional bits ", fracBits,
+                 " must be in [0, totalBits)");
+}
+
+std::string
+FixedPointFormat::describe() const
+{
+    std::ostringstream oss;
+    oss << 'Q' << (totalBits - 1 - fracBits) << '.' << fracBits;
+    return oss.str();
+}
+
+NetworkDef
+quantizeDef(const NetworkDef &def, const FixedPointFormat &format)
+{
+    format.validate();
+    NetworkDef out = def;
+    for (auto &node : out.nodes)
+        node.bias = format.quantize(node.bias);
+    for (auto &conn : out.conns)
+        conn.weight = format.quantize(conn.weight);
+    return out;
+}
+
+QuantizedNetwork::QuantizedNetwork(FeedForwardNetwork net,
+                                   FixedPointFormat format)
+    : net_(std::move(net)), format_(format)
+{
+    values_.assign(net_.valueSlots(), 0.0);
+    // Output slots: the nodes with ids 0..numOutputs-1.
+    outputSlots_.assign(net_.numOutputs(), 0);
+    for (const auto &layer : net_.layers()) {
+        for (const auto &node : layer) {
+            if (node.id >= 0 &&
+                node.id < static_cast<int>(net_.numOutputs()))
+                outputSlots_[static_cast<size_t>(node.id)] = node.slot;
+        }
+    }
+}
+
+QuantizedNetwork
+QuantizedNetwork::create(const NetworkDef &def,
+                         const FixedPointFormat &format)
+{
+    format.validate();
+    return QuantizedNetwork(
+        FeedForwardNetwork::create(quantizeDef(def, format)), format);
+}
+
+std::vector<double>
+QuantizedNetwork::activate(const std::vector<double> &inputs)
+{
+    e3_assert(inputs.size() == net_.numInputs(),
+              "expected ", net_.numInputs(), " inputs, got ",
+              inputs.size());
+    for (size_t i = 0; i < inputs.size(); ++i)
+        values_[i] = format_.quantize(inputs[i]);
+
+    for (const auto &layer : net_.layers()) {
+        for (const auto &node : layer) {
+            // Full-precision accumulation (wide DSP accumulator), then
+            // quantize the activated output as it enters the value
+            // buffer.
+            Aggregator agg(node.agg);
+            for (const auto &link : node.links)
+                agg.add(values_[link.srcSlot] * link.weight);
+            const double activated =
+                applyActivation(node.act, agg.result() + node.bias);
+            values_[node.slot] = format_.quantize(activated);
+        }
+    }
+
+    std::vector<double> out;
+    out.reserve(outputSlots_.size());
+    for (uint32_t slot : outputSlots_)
+        out.push_back(values_[slot]);
+    return out;
+}
+
+} // namespace e3

@@ -1,0 +1,131 @@
+#include "nn/recurrent.hh"
+
+#include <map>
+#include <set>
+
+#include "common/logging.hh"
+#include "nn/layering.hh"
+
+namespace e3 {
+
+RecurrentNetwork
+RecurrentNetwork::create(const NetworkDef &def)
+{
+    e3_assert(!def.inputIds.empty(), "network needs at least one input");
+    e3_assert(!def.outputIds.empty(),
+              "network needs at least one output");
+
+    RecurrentNetwork net;
+    net.numInputs_ = def.inputIds.size();
+
+    const std::set<int> required = requiredNodes(def);
+    const std::set<int> inputs(def.inputIds.begin(),
+                               def.inputIds.end());
+
+    // Slot assignment: inputs first, then required nodes in id order
+    // (no topological constraint exists for recurrent evaluation).
+    std::map<int, uint32_t> slotOf;
+    for (size_t i = 0; i < def.inputIds.size(); ++i)
+        slotOf[def.inputIds[i]] = static_cast<uint32_t>(i);
+    uint32_t nextSlot = static_cast<uint32_t>(def.inputIds.size());
+
+    std::map<int, const NetworkDef::Node *> nodeOf;
+    for (const auto &n : def.nodes) {
+        e3_assert(!nodeOf.count(n.id), "duplicate node id ", n.id);
+        nodeOf[n.id] = &n;
+    }
+    for (int id : def.outputIds)
+        e3_assert(nodeOf.count(id), "output node ", id, " missing");
+
+    for (int id : required) {
+        e3_assert(nodeOf.count(id),
+                  "connection references unknown node ", id);
+        slotOf[id] = nextSlot++;
+    }
+
+    std::map<int, std::vector<EvalLink>> linksOf;
+    for (const auto &c : def.conns) {
+        if (!required.count(c.to))
+            continue;
+        if (!inputs.count(c.from) && !required.count(c.from))
+            continue;
+        linksOf[c.to].push_back({slotOf.at(c.from), c.weight});
+    }
+
+    for (int id : required) {
+        const auto *src = nodeOf.at(id);
+        EvalNode en;
+        en.id = id;
+        en.slot = slotOf.at(id);
+        en.bias = src->bias;
+        en.act = src->act;
+        en.agg = src->agg;
+        en.links = linksOf.count(id) ? linksOf.at(id)
+                                     : std::vector<EvalLink>{};
+        net.nodes_.push_back(std::move(en));
+    }
+
+    for (int id : def.outputIds)
+        net.outputSlots_.push_back(slotOf.at(id));
+
+    net.prev_.assign(nextSlot, 0.0);
+    net.next_.assign(nextSlot, 0.0);
+    return net;
+}
+
+std::vector<double>
+RecurrentNetwork::activate(const std::vector<double> &inputs)
+{
+    e3_assert(inputs.size() == numInputs_,
+              "expected ", numInputs_, " inputs, got ", inputs.size());
+
+    // Inputs are visible within the tick; node reads see the previous
+    // tick's activations (neat-python RecurrentNetwork semantics).
+    for (size_t i = 0; i < numInputs_; ++i) {
+        prev_[i] = inputs[i];
+        next_[i] = inputs[i];
+    }
+
+    for (const auto &node : nodes_) {
+        Aggregator agg(node.agg);
+        for (const auto &link : node.links)
+            agg.add(prev_[link.srcSlot] * link.weight);
+        next_[node.slot] =
+            applyActivation(node.act, agg.result() + node.bias);
+    }
+    std::swap(prev_, next_);
+
+    std::vector<double> out;
+    out.reserve(outputSlots_.size());
+    for (uint32_t slot : outputSlots_)
+        out.push_back(prev_[slot]);
+    return out;
+}
+
+void
+RecurrentNetwork::reset()
+{
+    std::fill(prev_.begin(), prev_.end(), 0.0);
+    std::fill(next_.begin(), next_.end(), 0.0);
+}
+
+uint64_t
+RecurrentNetwork::connectionCount() const
+{
+    uint64_t n = 0;
+    for (const auto &node : nodes_)
+        n += node.links.size();
+    return n;
+}
+
+std::vector<size_t>
+RecurrentNetwork::inDegreeProfile() const
+{
+    std::vector<size_t> profile;
+    profile.reserve(nodes_.size());
+    for (const auto &node : nodes_)
+        profile.push_back(node.links.size());
+    return profile;
+}
+
+} // namespace e3

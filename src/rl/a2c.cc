@@ -1,0 +1,38 @@
+#include "rl/a2c.hh"
+
+namespace e3 {
+
+A2c::A2c(const EnvSpec &spec, std::vector<size_t> hidden,
+         const A2cConfig &cfg, uint64_t seed)
+    : OnPolicyAlgorithm(spec, std::move(hidden), cfg.numEnvs, seed),
+      cfg_(cfg),
+      optimizer_(policy_.parameters(), policy_.gradients(),
+                 cfg.learningRate)
+{
+}
+
+void
+A2c::update()
+{
+    const Batch batch =
+        collectRollout(cfg_.numSteps, cfg_.gamma, cfg_.gaeLambda);
+
+    std::vector<size_t> rows(batch.size());
+    for (size_t i = 0; i < rows.size(); ++i)
+        rows[i] = i;
+
+    {
+        PhaseTimer::Scope scope(profile_.timer, rl_phase::training);
+        policy_.zeroGrad();
+    }
+    accumulateGradients(batch, rows, cfg_.vfCoef, cfg_.entCoef,
+                        /*clipRange=*/0.0);
+    {
+        PhaseTimer::Scope scope(profile_.timer, rl_phase::training);
+        optimizer_.clipGradNorm(cfg_.maxGradNorm);
+        optimizer_.step();
+    }
+    ++profile_.updates;
+}
+
+} // namespace e3

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * A2C (Advantage Actor-Critic, Mnih et al. 2016), following
+ * stable-baselines' synchronous implementation and defaults: 5-step
+ * rollouts, RMSProp, gae_lambda = 1, entropy bonus 0.01.
+ */
+
+#ifndef E3_RL_A2C_HH
+#define E3_RL_A2C_HH
+
+#include "mlp/optimizer.hh"
+#include "rl/on_policy.hh"
+
+namespace e3 {
+
+/** A2C hyperparameters (stable-baselines defaults). */
+struct A2cConfig
+{
+    size_t numEnvs = 4;
+    size_t numSteps = 5;
+    double gamma = 0.99;
+    double gaeLambda = 1.0;
+    double learningRate = 7e-4;
+    double vfCoef = 0.25;
+    double entCoef = 0.01;
+    double maxGradNorm = 0.5;
+};
+
+/** Synchronous advantage actor-critic learner. */
+class A2c : public OnPolicyAlgorithm
+{
+  public:
+    A2c(const EnvSpec &spec, std::vector<size_t> hidden,
+        const A2cConfig &cfg, uint64_t seed);
+
+    /** Collect one 5-step rollout and apply one RMSProp update. */
+    void update() override;
+
+    const A2cConfig &config() const { return cfg_; }
+
+  private:
+    A2cConfig cfg_;
+    RmsProp optimizer_;
+};
+
+} // namespace e3
+
+#endif // E3_RL_A2C_HH

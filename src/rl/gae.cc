@@ -1,0 +1,55 @@
+#include "rl/gae.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+GaeResult
+computeGae(const std::vector<double> &rewards,
+           const std::vector<double> &values,
+           const std::vector<bool> &dones, double lastValue,
+           double gamma, double lambda)
+{
+    const size_t t = rewards.size();
+    e3_assert(values.size() == t && dones.size() == t,
+              "GAE input length mismatch");
+
+    GaeResult out;
+    out.advantages.assign(t, 0.0);
+    out.returns.assign(t, 0.0);
+
+    double gae = 0.0;
+    for (size_t i = t; i-- > 0;) {
+        const double nextValue =
+            i + 1 < t ? values[i + 1] : lastValue;
+        const double notDone = dones[i] ? 0.0 : 1.0;
+        const double delta =
+            rewards[i] + gamma * nextValue * notDone - values[i];
+        gae = delta + gamma * lambda * notDone * gae;
+        out.advantages[i] = gae;
+        out.returns[i] = gae + values[i];
+    }
+    return out;
+}
+
+void
+normalizeAdvantages(std::vector<double> &advantages)
+{
+    if (advantages.size() < 2)
+        return;
+    double mean = 0.0;
+    for (double a : advantages)
+        mean += a;
+    mean /= static_cast<double>(advantages.size());
+    double var = 0.0;
+    for (double a : advantages)
+        var += (a - mean) * (a - mean);
+    var /= static_cast<double>(advantages.size());
+    const double std = std::sqrt(var) + 1e-8;
+    for (double &a : advantages)
+        a = (a - mean) / std;
+}
+
+} // namespace e3

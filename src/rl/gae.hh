@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Generalized Advantage Estimation (Schulman et al.), used by both RL
+ * baselines: A2C with lambda = 1 (plain discounted returns) and PPO2
+ * with lambda = 0.95.
+ */
+
+#ifndef E3_RL_GAE_HH
+#define E3_RL_GAE_HH
+
+#include <vector>
+
+namespace e3 {
+
+/** Advantages and value targets for one trajectory segment. */
+struct GaeResult
+{
+    std::vector<double> advantages;
+    std::vector<double> returns; ///< advantage + value (critic target)
+};
+
+/**
+ * Compute GAE over one environment lane's segment.
+ *
+ * @param rewards   per-step rewards, length T
+ * @param values    critic estimates for each step's state, length T
+ * @param dones     whether the step ended its episode, length T
+ * @param lastValue bootstrap value of the state after the segment
+ * @param gamma     discount factor
+ * @param lambda    GAE mixing parameter (1 = MC-style returns)
+ */
+GaeResult computeGae(const std::vector<double> &rewards,
+                     const std::vector<double> &values,
+                     const std::vector<bool> &dones, double lastValue,
+                     double gamma, double lambda);
+
+/** In-place mean/std normalization; no-op on fewer than two items. */
+void normalizeAdvantages(std::vector<double> &advantages);
+
+} // namespace e3
+
+#endif // E3_RL_GAE_HH

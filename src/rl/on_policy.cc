@@ -1,0 +1,250 @@
+#include "rl/on_policy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+OnPolicyAlgorithm::OnPolicyAlgorithm(const EnvSpec &spec,
+                                     std::vector<size_t> hidden,
+                                     size_t numEnvs, uint64_t seed)
+    : spec_(spec), policy_(spec, std::move(hidden), seed), rng_(seed)
+{
+    e3_assert(numEnvs > 0, "need at least one environment lane");
+    for (size_t i = 0; i < numEnvs; ++i) {
+        Lane lane;
+        lane.env = spec.make();
+        lane.rng = rng_.split();
+        lanes_.push_back(std::move(lane));
+    }
+    for (auto &lane : lanes_)
+        resetLane(lane);
+}
+
+void
+OnPolicyAlgorithm::resetLane(Lane &lane)
+{
+    lane.obs = lane.env->reset(lane.rng);
+    lane.episodeReward = 0.0;
+    lane.episodeSteps = 0;
+}
+
+Batch
+OnPolicyAlgorithm::collectRollout(size_t numSteps, double gamma,
+                                  double lambda)
+{
+    RolloutBuffer buffer(lanes_.size(), numSteps);
+
+    for (size_t t = 0; t < numSteps; ++t) {
+        for (size_t l = 0; l < lanes_.size(); ++l) {
+            Lane &lane = lanes_[l];
+
+            ActorCritic::ActResult act;
+            {
+                PhaseTimer::Scope scope(profile_.timer,
+                                        rl_phase::forward);
+                act = policy_.act(lane.obs, rng_);
+                profile_.forwardOps += policy_.forwardOpsPerStep();
+            }
+
+            StepResult sr;
+            {
+                PhaseTimer::Scope scope(profile_.timer, rl_phase::env);
+                sr = lane.env->step(act.envAction);
+            }
+            ++profile_.envSteps;
+            lane.episodeReward += sr.reward;
+            ++lane.episodeSteps;
+            const bool truncated =
+                lane.episodeSteps >= lane.env->maxEpisodeSteps();
+            const bool done = sr.done || truncated;
+
+            Transition tr;
+            tr.obs = lane.obs;
+            tr.rawAction = act.rawAction;
+            tr.reward = sr.reward;
+            tr.done = done;
+            tr.value = act.value;
+            tr.logProb = act.logProb;
+            buffer.push(l, std::move(tr));
+
+            if (done) {
+                recentEpisodes_.push_back(lane.episodeReward);
+                if (recentEpisodes_.size() > 100)
+                    recentEpisodes_.pop_front();
+                ++profile_.episodes;
+                resetLane(lane);
+            } else {
+                lane.obs = std::move(sr.observation);
+            }
+        }
+    }
+
+    // Flatten with per-lane GAE.
+    Batch batch;
+    const size_t n = lanes_.size() * numSteps;
+    batch.obs = Mat(n, spec_.numInputs);
+    batch.rawActions.reserve(n);
+
+    size_t row = 0;
+    for (size_t l = 0; l < lanes_.size(); ++l) {
+        double lastValue;
+        {
+            PhaseTimer::Scope scope(profile_.timer, rl_phase::forward);
+            lastValue = policy_.value(lanes_[l].obs);
+            profile_.forwardOps += policy_.forwardOpsPerStep();
+        }
+        const auto gae =
+            computeGae(buffer.rewards(l), buffer.values(l),
+                       buffer.dones(l), lastValue, gamma, lambda);
+        for (size_t t = 0; t < numSteps; ++t, ++row) {
+            const Transition &tr = buffer.at(l, t);
+            for (size_t c = 0; c < tr.obs.size(); ++c)
+                batch.obs.at(row, c) = tr.obs[c];
+            batch.rawActions.push_back(tr.rawAction);
+            batch.advantages.push_back(gae.advantages[t]);
+            batch.returns.push_back(gae.returns[t]);
+            batch.oldLogProbs.push_back(tr.logProb);
+        }
+    }
+    return batch;
+}
+
+double
+OnPolicyAlgorithm::accumulateGradients(const Batch &batch,
+                                       const std::vector<size_t> &rows,
+                                       double vfCoef, double entCoef,
+                                       double clipRange)
+{
+    e3_assert(!rows.empty(), "empty gradient minibatch");
+    PhaseTimer::Scope scope(profile_.timer, rl_phase::training);
+
+    // Gather the minibatch into contiguous matrices.
+    const size_t n = rows.size();
+    Mat obs(n, spec_.numInputs);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < spec_.numInputs; ++c)
+            obs.at(i, c) = batch.obs.at(rows[i], c);
+    }
+
+    const Mat actorOut = policy_.actorForward(obs);
+    const Mat criticOut = policy_.criticForward(obs);
+    profile_.trainForwardOps += n * policy_.forwardOpsPerStep();
+
+    Mat gActor(n, actorOut.cols());
+    Mat gCritic(n, 1);
+    const double invN = 1.0 / static_cast<double>(n);
+    double lossSum = 0.0;
+
+    for (size_t i = 0; i < n; ++i) {
+        const size_t r = rows[i];
+        const double adv = batch.advantages[r];
+        const auto &action = batch.rawActions[r];
+
+        // --- policy-gradient weight (PPO ratio or plain advantage) ---
+        double newLogProb;
+        double entropy;
+        std::vector<double> nll;     // d(-logpi)/d(head)
+        std::vector<double> negEnt;  // d(-H)/d(head)
+        std::vector<double> nllLogStd;
+        std::vector<double> negEntLogStd;
+        if (policy_.discrete()) {
+            const Categorical dist = policy_.categoricalAt(actorOut, i);
+            const int a = static_cast<int>(action[0]);
+            newLogProb = dist.logProb(a);
+            entropy = dist.entropy();
+            nll = dist.nllGradient(a);
+            negEnt = dist.negEntropyGradient();
+        } else {
+            const DiagGaussian dist = policy_.gaussianAt(actorOut, i);
+            newLogProb = dist.logProb(action);
+            entropy = dist.entropy();
+            nll = dist.nllGradientMean(action);
+            nllLogStd = dist.nllGradientLogStd(action);
+            negEntLogStd = dist.negEntropyGradientLogStd();
+            negEnt.assign(nll.size(), 0.0); // entropy free of the mean
+        }
+
+        double pgWeight; // multiplies nll in the head gradient
+        if (clipRange > 0.0) {
+            const double ratio =
+                std::exp(newLogProb - batch.oldLogProbs[r]);
+            const bool clipped =
+                (adv >= 0.0 && ratio > 1.0 + clipRange) ||
+                (adv < 0.0 && ratio < 1.0 - clipRange);
+            pgWeight = clipped ? 0.0 : adv * ratio;
+            const double surr1 = ratio * adv;
+            const double surr2 =
+                std::clamp(ratio, 1.0 - clipRange, 1.0 + clipRange) *
+                adv;
+            lossSum += -std::min(surr1, surr2);
+        } else {
+            pgWeight = adv;
+            lossSum += -adv * newLogProb;
+        }
+
+        for (size_t c = 0; c < nll.size(); ++c) {
+            gActor.at(i, c) =
+                (pgWeight * nll[c] + entCoef * negEnt[c]) * invN;
+        }
+        if (!policy_.discrete()) {
+            auto &gls = policy_.logStdGrad();
+            for (size_t c = 0; c < nllLogStd.size(); ++c) {
+                gls.at(0, c) += (pgWeight * nllLogStd[c] +
+                                 entCoef * negEntLogStd[c]) *
+                                invN;
+            }
+        }
+        lossSum += -entCoef * entropy;
+
+        // --- value loss: 0.5 * vfCoef * (v - return)^2 ---
+        const double v = criticOut.at(i, 0);
+        const double err = v - batch.returns[r];
+        gCritic.at(i, 0) = vfCoef * err * invN;
+        lossSum += 0.5 * vfCoef * err * err;
+    }
+
+    policy_.actor().backward(gActor);
+    policy_.critic().backward(gCritic);
+    profile_.backwardOps += n * policy_.backwardOpsPerStep();
+
+    return lossSum * invN;
+}
+
+double
+OnPolicyAlgorithm::recentMeanReward() const
+{
+    if (recentEpisodes_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double r : recentEpisodes_)
+        sum += r;
+    return sum / static_cast<double>(recentEpisodes_.size());
+}
+
+double
+OnPolicyAlgorithm::evaluate(size_t episodes, uint64_t seed)
+{
+    e3_assert(episodes > 0, "evaluate() needs at least one episode");
+    Rng rng(seed);
+    double total = 0.0;
+    for (size_t e = 0; e < episodes; ++e) {
+        auto env = spec_.make();
+        Observation obs = env->reset(rng);
+        bool done = false;
+        int steps = 0;
+        while (!done && steps < env->maxEpisodeSteps()) {
+            const auto act = policy_.act(obs, rng, /*deterministic=*/true);
+            const auto sr = env->step(act.envAction);
+            obs = sr.observation;
+            total += sr.reward;
+            done = sr.done;
+            ++steps;
+        }
+    }
+    return total / static_cast<double>(episodes);
+}
+
+} // namespace e3

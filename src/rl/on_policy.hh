@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared machinery of the on-policy RL baselines (A2C, PPO2): parallel
+ * environment lanes, rollout collection with GAE, loss-gradient
+ * assembly, greedy evaluation, and the Forward/Training profile split.
+ */
+
+#ifndef E3_RL_ON_POLICY_HH
+#define E3_RL_ON_POLICY_HH
+
+#include <deque>
+#include <memory>
+
+#include "rl/gae.hh"
+#include "rl/policy.hh"
+#include "rl/rl_profile.hh"
+#include "rl/rollout.hh"
+
+namespace e3 {
+
+/** Flattened training batch over all lanes of one rollout. */
+struct Batch
+{
+    Mat obs;                                 ///< N x obsDim
+    std::vector<std::vector<double>> rawActions; ///< N entries
+    std::vector<double> advantages;
+    std::vector<double> returns;
+    std::vector<double> oldLogProbs;
+
+    size_t size() const { return rawActions.size(); }
+};
+
+/** Base class driving rollouts for an actor-critic learner. */
+class OnPolicyAlgorithm
+{
+  public:
+    /**
+     * @param spec environment to learn
+     * @param hidden policy hidden widths ({64,64} Small, {256,256,256}
+     *        Large)
+     * @param numEnvs parallel environment lanes
+     * @param seed all randomness (env resets, sampling, init)
+     */
+    OnPolicyAlgorithm(const EnvSpec &spec, std::vector<size_t> hidden,
+                      size_t numEnvs, uint64_t seed);
+    virtual ~OnPolicyAlgorithm() = default;
+
+    /** One rollout + one gradient update. */
+    virtual void update() = 0;
+
+    /** Mean reward of the last up-to-100 completed episodes. */
+    double recentMeanReward() const;
+
+    /** Deterministic-policy evaluation over fresh episodes. */
+    double evaluate(size_t episodes, uint64_t seed);
+
+    const RlProfile &profile() const { return profile_; }
+    ActorCritic &policy() { return policy_; }
+    const EnvSpec &spec() const { return spec_; }
+    int64_t envSteps() const { return profile_.envSteps; }
+
+  protected:
+    /**
+     * Advance every lane numSteps steps under the current policy,
+     * recording transitions; computes GAE and returns the flattened
+     * batch. Forward passes are charged to the "forward" phase, env
+     * stepping to "env".
+     */
+    Batch collectRollout(size_t numSteps, double gamma, double lambda);
+
+    /**
+     * Accumulate policy-gradient + value + entropy gradients for the
+     * given batch rows (PPO-clipped when clipRange > 0, plain advantage
+     * weighting otherwise). Caller zeroes grads and steps the optimizer.
+     * Charges op counts to the profile.
+     *
+     * @param rows indices into the batch (minibatch support)
+     * @return mean total loss over the rows (diagnostic)
+     */
+    double accumulateGradients(const Batch &batch,
+                               const std::vector<size_t> &rows,
+                               double vfCoef, double entCoef,
+                               double clipRange);
+
+    EnvSpec spec_;
+    ActorCritic policy_;
+    Rng rng_;
+    RlProfile profile_;
+
+  private:
+    struct Lane
+    {
+        std::unique_ptr<Environment> env;
+        Rng rng;
+        Observation obs;
+        double episodeReward = 0.0;
+        int episodeSteps = 0;
+    };
+
+    std::vector<Lane> lanes_;
+    std::deque<double> recentEpisodes_;
+
+    void resetLane(Lane &lane);
+};
+
+} // namespace e3
+
+#endif // E3_RL_ON_POLICY_HH

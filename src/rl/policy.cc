@@ -1,0 +1,177 @@
+#include "rl/policy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+namespace {
+
+/** Layer sizes: obs -> hidden... -> out. */
+std::vector<size_t>
+stack(size_t in, const std::vector<size_t> &hidden, size_t out)
+{
+    std::vector<size_t> sizes{in};
+    sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+    sizes.push_back(out);
+    return sizes;
+}
+
+/** Action dimensionality as the actor head sees it. */
+size_t
+headWidth(const EnvSpec &spec, bool discrete)
+{
+    if (discrete) {
+        const auto env = spec.make();
+        return static_cast<size_t>(env->actionSpace().count());
+    }
+    return spec.numOutputs;
+}
+
+bool
+isDiscrete(const EnvSpec &spec)
+{
+    return spec.decode != EnvSpec::Decode::Continuous;
+}
+
+Rng
+seeded(uint64_t seed, uint64_t salt)
+{
+    return Rng(seed ^ (salt * 0x9E3779B97F4A7C15ULL));
+}
+
+} // namespace
+
+ActorCritic::ActorCritic(const EnvSpec &spec,
+                         std::vector<size_t> hidden, uint64_t seed)
+    : spec_(spec), discrete_(isDiscrete(spec)),
+      actDim_(headWidth(spec, discrete_)),
+      actor_([&] {
+          Rng rng = seeded(seed, 1);
+          return Mlp(stack(spec.numInputs, hidden, actDim_), rng);
+      }()),
+      critic_([&] {
+          Rng rng = seeded(seed, 2);
+          return Mlp(stack(spec.numInputs, hidden, 1), rng);
+      }()),
+      logStd_(1, discrete_ ? 1 : actDim_, 0.0),
+      gLogStd_(1, discrete_ ? 1 : actDim_, 0.0)
+{
+}
+
+ActorCritic::ActResult
+ActorCritic::act(const Observation &obs, Rng &rng, bool deterministic)
+{
+    ActResult res;
+    const auto head = actor_.forward1(obs);
+    res.value = critic_.forward1(obs)[0];
+
+    if (discrete_) {
+        Categorical dist(head);
+        const int a = deterministic ? dist.mode() : dist.sample(rng);
+        res.rawAction = {static_cast<double>(a)};
+        res.logProb = dist.logProb(a);
+    } else {
+        DiagGaussian dist(head, logStd_.row(0));
+        res.rawAction = deterministic ? dist.mode() : dist.sample(rng);
+        res.logProb = dist.logProb(res.rawAction);
+    }
+    res.envAction = toEnvAction(res.rawAction);
+    return res;
+}
+
+double
+ActorCritic::value(const Observation &obs)
+{
+    return critic_.forward1(obs)[0];
+}
+
+Categorical
+ActorCritic::categoricalAt(const Mat &actorOut, size_t row) const
+{
+    e3_assert(discrete_, "categorical head on a continuous policy");
+    return Categorical(actorOut.row(row));
+}
+
+DiagGaussian
+ActorCritic::gaussianAt(const Mat &actorOut, size_t row) const
+{
+    e3_assert(!discrete_, "gaussian head on a discrete policy");
+    return DiagGaussian(actorOut.row(row), logStd_.row(0));
+}
+
+std::vector<Mat *>
+ActorCritic::parameters()
+{
+    auto ps = actor_.parameters();
+    const auto cs = critic_.parameters();
+    ps.insert(ps.end(), cs.begin(), cs.end());
+    if (!discrete_)
+        ps.push_back(&logStd_);
+    return ps;
+}
+
+std::vector<Mat *>
+ActorCritic::gradients()
+{
+    auto gs = actor_.gradients();
+    const auto cs = critic_.gradients();
+    gs.insert(gs.end(), cs.begin(), cs.end());
+    if (!discrete_)
+        gs.push_back(&gLogStd_);
+    return gs;
+}
+
+void
+ActorCritic::zeroGrad()
+{
+    actor_.zeroGrad();
+    critic_.zeroGrad();
+    gLogStd_.zero();
+}
+
+Action
+ActorCritic::toEnvAction(const std::vector<double> &rawAction) const
+{
+    if (discrete_)
+        return {rawAction[0]};
+    Action a(rawAction.size());
+    for (size_t i = 0; i < rawAction.size(); ++i)
+        a[i] = std::clamp(rawAction[i], spec_.actionLo, spec_.actionHi);
+    return a;
+}
+
+size_t
+ActorCritic::nodeCount() const
+{
+    return actor_.nodeCount() + critic_.nodeCount();
+}
+
+uint64_t
+ActorCritic::connectionCount() const
+{
+    return actor_.connectionCount() + critic_.connectionCount();
+}
+
+uint64_t
+ActorCritic::forwardOpsPerStep() const
+{
+    return actor_.forwardOpsPerSample() + critic_.forwardOpsPerSample();
+}
+
+uint64_t
+ActorCritic::backwardOpsPerStep() const
+{
+    return actor_.backwardOpsPerSample() +
+           critic_.backwardOpsPerSample();
+}
+
+uint64_t
+ActorCritic::activationBytesPerStep(size_t bytesPerWord) const
+{
+    return actor_.activationBytesPerSample(bytesPerWord) +
+           critic_.activationBytesPerSample(bytesPerWord);
+}
+
+} // namespace e3

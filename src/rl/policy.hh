@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Actor-critic policy for the RL baselines: an actor MLP emitting
+ * categorical logits (discrete envs) or Gaussian means with a learned
+ * state-independent log-std (continuous envs), and a separate critic MLP
+ * estimating state value — stable-baselines' MlpPolicy arrangement.
+ */
+
+#ifndef E3_RL_POLICY_HH
+#define E3_RL_POLICY_HH
+
+#include "env/env_registry.hh"
+#include "mlp/distributions.hh"
+#include "mlp/mlp.hh"
+
+namespace e3 {
+
+/** Actor + critic network pair over one environment's spaces. */
+class ActorCritic
+{
+  public:
+    /**
+     * @param spec environment whose spaces shape the networks
+     * @param hidden hidden-layer widths, e.g. {64, 64} (paper Small)
+     *        or {256, 256, 256} (paper Large)
+     * @param seed weight-init seed
+     */
+    ActorCritic(const EnvSpec &spec, std::vector<size_t> hidden,
+                uint64_t seed);
+
+    /** Result of acting in one state. */
+    struct ActResult
+    {
+        Action envAction;              ///< decoded for Environment::step
+        std::vector<double> rawAction; ///< distribution sample
+        double logProb = 0.0;
+        double value = 0.0;
+    };
+
+    /** Sample (or take the mode of) the policy in one state. */
+    ActResult act(const Observation &obs, Rng &rng,
+                  bool deterministic = false);
+
+    /** Value estimate for one state. */
+    double value(const Observation &obs);
+
+    bool discrete() const { return discrete_; }
+    size_t actionDim() const { return actDim_; }
+
+    Mlp &actor() { return actor_; }
+    Mlp &critic() { return critic_; }
+
+    /** Batched actor forward: logits or means, batch x actDim. */
+    Mat actorForward(const Mat &obs) { return actor_.forward(obs); }
+
+    /** Batched critic forward: values, batch x 1. */
+    Mat criticForward(const Mat &obs) { return critic_.forward(obs); }
+
+    /** Distribution at one actor output row. */
+    Categorical categoricalAt(const Mat &actorOut, size_t row) const;
+    DiagGaussian gaussianAt(const Mat &actorOut, size_t row) const;
+
+    /** Learned log-std parameter (continuous only). */
+    Mat &logStd() { return logStd_; }
+    Mat &logStdGrad() { return gLogStd_; }
+
+    /** All trainable parameters (actor + critic + logStd). */
+    std::vector<Mat *> parameters();
+
+    /** Gradients aligned with parameters(). */
+    std::vector<Mat *> gradients();
+
+    /** Zero every gradient. */
+    void zeroGrad();
+
+    /** Convert a raw sampled action into the env's action format. */
+    Action toEnvAction(const std::vector<double> &rawAction) const;
+
+    // --- complexity accounting (Tables IV/V) ---
+    size_t nodeCount() const;
+    uint64_t connectionCount() const;
+    uint64_t forwardOpsPerStep() const;
+    uint64_t backwardOpsPerStep() const;
+    uint64_t activationBytesPerStep(size_t bytesPerWord = 4) const;
+
+  private:
+    const EnvSpec &spec_;
+    bool discrete_;
+    size_t actDim_;
+    Mlp actor_;
+    Mlp critic_;
+    Mat logStd_;
+    Mat gLogStd_;
+};
+
+} // namespace e3
+
+#endif // E3_RL_POLICY_HH

@@ -1,0 +1,53 @@
+#include "rl/ppo2.hh"
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+Ppo2::Ppo2(const EnvSpec &spec, std::vector<size_t> hidden,
+           const Ppo2Config &cfg, uint64_t seed)
+    : OnPolicyAlgorithm(spec, std::move(hidden), cfg.numEnvs, seed),
+      cfg_(cfg),
+      optimizer_(policy_.parameters(), policy_.gradients(),
+                 cfg.learningRate)
+{
+    e3_assert(cfg.numMinibatches > 0 && cfg.numEpochs > 0,
+              "PPO2 needs positive minibatch/epoch counts");
+}
+
+void
+Ppo2::update()
+{
+    Batch batch =
+        collectRollout(cfg_.numSteps, cfg_.gamma, cfg_.gaeLambda);
+    normalizeAdvantages(batch.advantages);
+
+    const size_t n = batch.size();
+    const size_t mb =
+        std::max<size_t>(1, n / cfg_.numMinibatches);
+
+    for (size_t epoch = 0; epoch < cfg_.numEpochs; ++epoch) {
+        const auto order = rng_.permutation(n);
+        for (size_t start = 0; start < n; start += mb) {
+            std::vector<size_t> rows;
+            for (size_t i = start; i < std::min(start + mb, n); ++i)
+                rows.push_back(order[i]);
+            {
+                PhaseTimer::Scope scope(profile_.timer,
+                                        rl_phase::training);
+                policy_.zeroGrad();
+            }
+            accumulateGradients(batch, rows, cfg_.vfCoef, cfg_.entCoef,
+                                cfg_.clipRange);
+            {
+                PhaseTimer::Scope scope(profile_.timer,
+                                        rl_phase::training);
+                optimizer_.clipGradNorm(cfg_.maxGradNorm);
+                optimizer_.step();
+            }
+        }
+    }
+    ++profile_.updates;
+}
+
+} // namespace e3

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * PPO2 (Proximal Policy Optimization, Schulman et al. 2017), following
+ * stable-baselines' clipped-surrogate implementation and defaults:
+ * 128-step rollouts, 4 minibatches x 4 epochs, Adam, clip 0.2,
+ * gae_lambda = 0.95.
+ */
+
+#ifndef E3_RL_PPO2_HH
+#define E3_RL_PPO2_HH
+
+#include "mlp/optimizer.hh"
+#include "rl/on_policy.hh"
+
+namespace e3 {
+
+/** PPO2 hyperparameters (stable-baselines defaults). */
+struct Ppo2Config
+{
+    size_t numEnvs = 4;
+    size_t numSteps = 128;
+    size_t numMinibatches = 4;
+    size_t numEpochs = 4;
+    double gamma = 0.99;
+    double gaeLambda = 0.95;
+    double learningRate = 2.5e-4;
+    double clipRange = 0.2;
+    double vfCoef = 0.5;
+    double entCoef = 0.01;
+    double maxGradNorm = 0.5;
+};
+
+/** Clipped-surrogate proximal policy optimization learner. */
+class Ppo2 : public OnPolicyAlgorithm
+{
+  public:
+    Ppo2(const EnvSpec &spec, std::vector<size_t> hidden,
+         const Ppo2Config &cfg, uint64_t seed);
+
+    /**
+     * Collect one long rollout and run numEpochs passes of shuffled
+     * minibatch Adam updates over it.
+     */
+    void update() override;
+
+    const Ppo2Config &config() const { return cfg_; }
+
+  private:
+    Ppo2Config cfg_;
+    Adam optimizer_;
+};
+
+} // namespace e3
+
+#endif // E3_RL_PPO2_HH

@@ -1,0 +1,3 @@
+// rl_profile.hh is header-only; this TU anchors it in the library so a
+// future out-of-line addition has a home.
+#include "rl/rl_profile.hh"

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Runtime and operation-count accounting for the RL baselines.
+ *
+ * The paper's Fig. 3 splits RL runtime into "Forward" (action selection
+ * during rollout) and "Training" (backpropagation and update rules), and
+ * Table IV counts forward/backward operations and local memory. Both
+ * algorithms report through this one structure.
+ */
+
+#ifndef E3_RL_RL_PROFILE_HH
+#define E3_RL_RL_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/timing.hh"
+
+namespace e3 {
+
+/** Phase names used by the RL profilers. */
+namespace rl_phase {
+inline const std::string forward = "forward";
+inline const std::string training = "training";
+inline const std::string env = "env";
+} // namespace rl_phase
+
+/** Aggregated profile of one RL run. */
+struct RlProfile
+{
+    PhaseTimer timer;          ///< wall time per phase
+    uint64_t forwardOps = 0;   ///< MACs spent selecting actions
+    uint64_t backwardOps = 0;  ///< MACs spent in backprop
+    uint64_t trainForwardOps = 0; ///< MACs of re-forward inside updates
+    int64_t envSteps = 0;
+    int64_t updates = 0;
+    int64_t episodes = 0;
+
+    /** Fraction of measured time spent training (Fig. 3's split). */
+    double
+    trainingFraction() const
+    {
+        return timer.fraction(rl_phase::training);
+    }
+};
+
+} // namespace e3
+
+#endif // E3_RL_RL_PROFILE_HH

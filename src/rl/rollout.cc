@@ -1,0 +1,89 @@
+#include "rl/rollout.hh"
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+RolloutBuffer::RolloutBuffer(size_t numEnvs, size_t numSteps)
+    : numSteps_(numSteps), lanes_(numEnvs)
+{
+    e3_assert(numEnvs > 0 && numSteps > 0,
+              "rollout buffer needs positive dimensions");
+    for (auto &lane : lanes_)
+        lane.reserve(numSteps);
+}
+
+void
+RolloutBuffer::push(size_t lane, Transition t)
+{
+    e3_assert(lane < lanes_.size(), "lane ", lane, " out of range");
+    e3_assert(lanes_[lane].size() < numSteps_,
+              "lane ", lane, " already full");
+    lanes_[lane].push_back(std::move(t));
+}
+
+bool
+RolloutBuffer::full() const
+{
+    for (const auto &lane : lanes_) {
+        if (lane.size() < numSteps_)
+            return false;
+    }
+    return true;
+}
+
+void
+RolloutBuffer::clear()
+{
+    for (auto &lane : lanes_)
+        lane.clear();
+}
+
+const Transition &
+RolloutBuffer::at(size_t lane, size_t step) const
+{
+    return lanes_.at(lane).at(step);
+}
+
+std::vector<double>
+RolloutBuffer::rewards(size_t lane) const
+{
+    std::vector<double> out;
+    for (const auto &t : lanes_.at(lane))
+        out.push_back(t.reward);
+    return out;
+}
+
+std::vector<double>
+RolloutBuffer::values(size_t lane) const
+{
+    std::vector<double> out;
+    for (const auto &t : lanes_.at(lane))
+        out.push_back(t.value);
+    return out;
+}
+
+std::vector<bool>
+RolloutBuffer::dones(size_t lane) const
+{
+    std::vector<bool> out;
+    for (const auto &t : lanes_.at(lane))
+        out.push_back(t.done);
+    return out;
+}
+
+uint64_t
+RolloutBuffer::bytes() const
+{
+    uint64_t total = 0;
+    for (const auto &lane : lanes_) {
+        for (const auto &t : lane) {
+            total += sizeof(Transition);
+            total += t.obs.size() * sizeof(double);
+            total += t.rawAction.size() * sizeof(double);
+        }
+    }
+    return total;
+}
+
+} // namespace e3

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Rollout storage for on-policy RL: nSteps x nEnvs transitions, the
+ * "experience along the episodes" whose buffering the paper charges
+ * against RL's memory footprint.
+ */
+
+#ifndef E3_RL_ROLLOUT_HH
+#define E3_RL_ROLLOUT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "env/environment.hh"
+
+namespace e3 {
+
+/** One stored environment transition. */
+struct Transition
+{
+    Observation obs;
+    std::vector<double> rawAction;
+    double reward = 0.0;
+    bool done = false;
+    double value = 0.0;
+    double logProb = 0.0;
+};
+
+/** Fixed-capacity segment buffer for nEnvs parallel lanes. */
+class RolloutBuffer
+{
+  public:
+    RolloutBuffer(size_t numEnvs, size_t numSteps);
+
+    /** Append one step for one lane; lanes fill in lockstep. */
+    void push(size_t lane, Transition t);
+
+    /** All lanes have numSteps entries. */
+    bool full() const;
+
+    /** Drop all stored transitions. */
+    void clear();
+
+    size_t numEnvs() const { return lanes_.size(); }
+    size_t numSteps() const { return numSteps_; }
+
+    /** Lane-major access to a stored transition. */
+    const Transition &at(size_t lane, size_t step) const;
+
+    /** Per-lane reward sequence (for GAE). */
+    std::vector<double> rewards(size_t lane) const;
+
+    /** Per-lane value sequence. */
+    std::vector<double> values(size_t lane) const;
+
+    /** Per-lane done flags. */
+    std::vector<bool> dones(size_t lane) const;
+
+    /** Approximate resident bytes (Table IV memory accounting). */
+    uint64_t bytes() const;
+
+  private:
+    size_t numSteps_;
+    std::vector<std::vector<Transition>> lanes_;
+};
+
+} // namespace e3
+
+#endif // E3_RL_ROLLOUT_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Accelerator-session tests: batching, lockstep windows, PU/PE
+ * utilization accounting, and the paper's divisor-peak property of
+ * U(PU).
+ */
+
+#include <gtest/gtest.h>
+
+#include "inax/inax.hh"
+
+namespace e3 {
+namespace {
+
+/** Individual with fixed inference cycles; setup/io kept trivial. */
+IndividualCost
+individual(uint64_t inferCycles, uint64_t active = 0)
+{
+    IndividualCost c;
+    c.inferenceCycles = inferCycles;
+    c.peActiveCycles = active ? active : inferCycles;
+    c.setupCycles = 10;
+    c.numInputs = 4;
+    c.numOutputs = 2;
+    return c;
+}
+
+InaxConfig
+config(size_t pus, size_t pes = 1)
+{
+    InaxConfig cfg;
+    cfg.numPUs = pus;
+    cfg.numPEs = pes;
+    return cfg;
+}
+
+TEST(Accelerator, SetupSerializesOverWeightChannel)
+{
+    AcceleratorSession session(config(4));
+    session.loadBatch({individual(5), individual(5), individual(5)});
+    EXPECT_EQ(session.report().setupCycles, 30u);
+    EXPECT_EQ(session.report().batches, 1u);
+}
+
+TEST(Accelerator, StepWindowIsSlowestLivePu)
+{
+    AcceleratorSession session(config(2));
+    session.loadBatch({individual(10), individual(30)});
+    session.step({true, true});
+    const auto &r = session.report();
+    EXPECT_EQ(r.computeCycles, 30u);
+    // PU activity: 10 + 30 of 2 x 30 provisioned.
+    EXPECT_NEAR(r.pu.rate(), 40.0 / 60.0, 1e-12);
+}
+
+TEST(Accelerator, FinishedLanesIdleTheirPu)
+{
+    AcceleratorSession session(config(2));
+    session.loadBatch({individual(10), individual(10)});
+    session.step({true, false});
+    const auto &r = session.report();
+    EXPECT_EQ(r.computeCycles, 10u);
+    EXPECT_NEAR(r.pu.rate(), 0.5, 1e-12);
+}
+
+TEST(Accelerator, AllDeadStepIsNoop)
+{
+    AcceleratorSession session(config(2));
+    session.loadBatch({individual(10), individual(10)});
+    session.step({false, false});
+    EXPECT_EQ(session.report().computeCycles, 0u);
+    EXPECT_EQ(session.report().steps, 0u);
+}
+
+TEST(AcceleratorDeath, OversizedBatchPanics)
+{
+    AcceleratorSession session(config(2));
+    EXPECT_DEATH(
+        session.loadBatch({individual(1), individual(1),
+                           individual(1)}),
+        "exceeds");
+}
+
+TEST(AcceleratorDeath, LiveMaskSizePanics)
+{
+    AcceleratorSession session(config(2));
+    session.loadBatch({individual(1)});
+    EXPECT_DEATH(session.step({true, false}), "live mask");
+}
+
+TEST(RunAccelerator, BatchesWholePopulation)
+{
+    std::vector<IndividualCost> pop(10, individual(7));
+    std::vector<int> lens(10, 3);
+    const auto report = runAccelerator(pop, lens, config(4));
+    // ceil(10/4) = 3 batches, each stepping 3 times.
+    EXPECT_EQ(report.batches, 3u);
+    EXPECT_EQ(report.steps, 9u);
+    EXPECT_EQ(report.setupCycles, 100u); // 10 individuals x 10
+    EXPECT_EQ(report.computeCycles, 9u * 7);
+}
+
+TEST(RunAccelerator, EpisodeVarianceLowersPuUtilization)
+{
+    std::vector<IndividualCost> pop(8, individual(5));
+    const std::vector<int> uniform(8, 10);
+    std::vector<int> varied{1, 2, 3, 4, 5, 6, 7, 10};
+    const auto cfg = config(8);
+    const auto uniformReport = runAccelerator(pop, uniform, cfg);
+    const auto variedReport = runAccelerator(pop, varied, cfg);
+    EXPECT_NEAR(uniformReport.pu.rate(), 1.0, 1e-12);
+    EXPECT_LT(variedReport.pu.rate(), 0.6);
+}
+
+TEST(RunAccelerator, DivisorPuCountsPeakUtilization)
+{
+    // The paper's Fig. 7 property: with p individuals, U(PU) peaks at
+    // PU counts dividing p and dips just below them.
+    const size_t p = 60;
+    std::vector<IndividualCost> pop(p, individual(5));
+    const std::vector<int> lens(p, 4);
+
+    const double at30 = runAccelerator(pop, lens, config(30)).pu.rate();
+    const double at29 = runAccelerator(pop, lens, config(29)).pu.rate();
+    const double at20 = runAccelerator(pop, lens, config(20)).pu.rate();
+    EXPECT_NEAR(at30, 1.0, 1e-12);
+    EXPECT_NEAR(at20, 1.0, 1e-12);
+    EXPECT_LT(at29, 0.75);
+}
+
+TEST(RunAccelerator, PeUtilizationReflectsInternalIdle)
+{
+    // peActive half of inference cycles -> U(PE) capped at 0.5.
+    std::vector<IndividualCost> pop(4, individual(10, 5));
+    const std::vector<int> lens(4, 2);
+    const auto report = runAccelerator(pop, lens, config(4));
+    EXPECT_NEAR(report.pe.rate(), 0.5, 1e-12);
+}
+
+TEST(InaxReport, MergeAndTotals)
+{
+    InaxReport a;
+    a.setupCycles = 10;
+    a.computeCycles = 20;
+    a.ioCycles = 5;
+    a.syncCycles = 3;
+    InaxReport b = a;
+    a.merge(b);
+    EXPECT_EQ(a.setupCycles, 20u);
+    EXPECT_EQ(a.totalCycles(), 2u * 38);
+
+    InaxConfig cfg; // 200 MHz
+    EXPECT_NEAR(a.seconds(cfg), 76.0 * 5e-9, 1e-15);
+}
+
+TEST(InaxReport, EvaluateControlComplement)
+{
+    std::vector<IndividualCost> pop(4, individual(10, 5));
+    const std::vector<int> lens(4, 2);
+    const auto report = runAccelerator(pop, lens, config(4));
+    // setup + useful + control == total
+    const uint64_t useful = static_cast<uint64_t>(
+        report.pe.rate() *
+        static_cast<double>(report.computeCycles));
+    EXPECT_EQ(report.setupCycles + useful +
+                  report.evaluateControlCycles(),
+              report.totalCycles());
+}
+
+} // namespace
+} // namespace e3

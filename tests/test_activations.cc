@@ -1,0 +1,119 @@
+#include "nn/activations.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/aggregations.hh"
+
+namespace e3 {
+namespace {
+
+TEST(Activations, SigmoidMatchesNeatPythonScaling)
+{
+    EXPECT_DOUBLE_EQ(applyActivation(Activation::Sigmoid, 0.0), 0.5);
+    EXPECT_NEAR(applyActivation(Activation::Sigmoid, 1.0),
+                1.0 / (1.0 + std::exp(-4.9)), 1e-12);
+    // Saturation without overflow.
+    EXPECT_NEAR(applyActivation(Activation::Sigmoid, 100.0), 1.0, 1e-12);
+    EXPECT_NEAR(applyActivation(Activation::Sigmoid, -100.0), 0.0,
+                1e-12);
+}
+
+TEST(Activations, TanhScaledAndBounded)
+{
+    EXPECT_DOUBLE_EQ(applyActivation(Activation::Tanh, 0.0), 0.0);
+    EXPECT_NEAR(applyActivation(Activation::Tanh, 0.4),
+                std::tanh(1.0), 1e-12);
+    EXPECT_LE(applyActivation(Activation::Tanh, 50.0), 1.0);
+}
+
+TEST(Activations, ReluAndAbsAndClamped)
+{
+    EXPECT_DOUBLE_EQ(applyActivation(Activation::ReLU, -3.0), 0.0);
+    EXPECT_DOUBLE_EQ(applyActivation(Activation::ReLU, 3.0), 3.0);
+    EXPECT_DOUBLE_EQ(applyActivation(Activation::Abs, -2.5), 2.5);
+    EXPECT_DOUBLE_EQ(applyActivation(Activation::Clamped, -9.0), -1.0);
+    EXPECT_DOUBLE_EQ(applyActivation(Activation::Clamped, 0.3), 0.3);
+}
+
+TEST(Activations, IdentityPassesThrough)
+{
+    EXPECT_DOUBLE_EQ(applyActivation(Activation::Identity, 1.25), 1.25);
+}
+
+TEST(Activations, GaussPeaksAtZero)
+{
+    EXPECT_DOUBLE_EQ(applyActivation(Activation::Gauss, 0.0), 1.0);
+    EXPECT_LT(applyActivation(Activation::Gauss, 1.0), 0.01);
+}
+
+TEST(Activations, NameRoundTrip)
+{
+    for (int i = 0; i < numActivations; ++i) {
+        const Activation a = activationFromIndex(i);
+        EXPECT_EQ(parseActivation(activationName(a)), a);
+    }
+}
+
+TEST(ActivationsDeath, UnknownNameFatal)
+{
+    EXPECT_DEATH(parseActivation("softmax"), "unknown activation");
+}
+
+TEST(Aggregations, SumAndMean)
+{
+    EXPECT_DOUBLE_EQ(
+        applyAggregation(Aggregation::Sum, {1.0, 2.0, 3.0}), 6.0);
+    EXPECT_DOUBLE_EQ(
+        applyAggregation(Aggregation::Mean, {1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Aggregations, ProductMaxMin)
+{
+    EXPECT_DOUBLE_EQ(
+        applyAggregation(Aggregation::Product, {2.0, -3.0, 4.0}), -24.0);
+    EXPECT_DOUBLE_EQ(
+        applyAggregation(Aggregation::Max, {2.0, -3.0, 4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(
+        applyAggregation(Aggregation::Min, {2.0, -3.0, 4.0}), -3.0);
+}
+
+TEST(Aggregations, EmptyInputYieldsZero)
+{
+    for (int i = 0; i < numAggregations; ++i) {
+        EXPECT_DOUBLE_EQ(
+            applyAggregation(aggregationFromIndex(i), {}), 0.0);
+    }
+}
+
+TEST(Aggregations, SingleElementIsIdentityForAll)
+{
+    for (int i = 0; i < numAggregations; ++i) {
+        EXPECT_DOUBLE_EQ(
+            applyAggregation(aggregationFromIndex(i), {7.5}), 7.5);
+    }
+}
+
+TEST(Aggregations, StreamingMatchesBatch)
+{
+    const std::vector<double> xs{0.5, -1.5, 2.0, 0.25};
+    for (int i = 0; i < numAggregations; ++i) {
+        const Aggregation agg = aggregationFromIndex(i);
+        Aggregator stream(agg);
+        for (double x : xs)
+            stream.add(x);
+        EXPECT_DOUBLE_EQ(stream.result(), applyAggregation(agg, xs));
+    }
+}
+
+TEST(Aggregations, NameRoundTrip)
+{
+    for (int i = 0; i < numAggregations; ++i) {
+        const Aggregation a = aggregationFromIndex(i);
+        EXPECT_EQ(parseAggregation(aggregationName(a)), a);
+    }
+}
+
+} // namespace
+} // namespace e3

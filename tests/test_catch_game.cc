@@ -1,0 +1,194 @@
+#include "env/catch_game.hh"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "env/env_registry.hh"
+
+namespace e3 {
+namespace {
+
+/** Ball pixel (x, y) from an observation, or (-1, -1). */
+std::pair<int, int>
+findBall(const Observation &obs)
+{
+    for (int y = 0; y < CatchGame::height - 1; ++y) {
+        for (int x = 0; x < CatchGame::width; ++x) {
+            if (obs[static_cast<size_t>(y * CatchGame::width + x)] >
+                0.5)
+                return {x, y};
+        }
+    }
+    return {-1, -1};
+}
+
+/** Leftmost paddle pixel from an observation's bottom row. */
+int
+findPaddle(const Observation &obs)
+{
+    const int base = (CatchGame::height - 1) * CatchGame::width;
+    for (int x = 0; x < CatchGame::width; ++x) {
+        if (obs[static_cast<size_t>(base + x)] > 0.5)
+            return x;
+    }
+    return -1;
+}
+
+TEST(CatchGame, ObservationIsEightyBinaryPixels)
+{
+    CatchGame env;
+    Rng rng(1);
+    const auto obs = env.reset(rng);
+    ASSERT_EQ(obs.size(), 80u);
+    double lit = std::accumulate(obs.begin(), obs.end(), 0.0);
+    // One ball pixel + two paddle pixels.
+    EXPECT_DOUBLE_EQ(lit, 3.0);
+    for (double p : obs)
+        EXPECT_TRUE(p == 0.0 || p == 1.0);
+}
+
+TEST(CatchGame, PaddleMovesAndClampsAtWalls)
+{
+    CatchGame env;
+    Rng rng(2);
+    auto obs = env.reset(rng);
+    // Push left far beyond the wall.
+    for (int i = 0; i < 12; ++i)
+        obs = env.step({0.0}).observation;
+    EXPECT_EQ(findPaddle(obs), 0);
+    // Then right to the far wall.
+    for (int i = 0; i < 12; ++i)
+        obs = env.step({2.0}).observation;
+    EXPECT_EQ(findPaddle(obs),
+              CatchGame::width - CatchGame::paddleWidth);
+}
+
+TEST(CatchGame, BallFallsOneRowPerStep)
+{
+    CatchGame env;
+    Rng rng(3);
+    auto obs = env.reset(rng);
+    auto [x0, y0] = findBall(obs);
+    ASSERT_EQ(y0, 0);
+    obs = env.step({1.0}).observation;
+    auto [x1, y1] = findBall(obs);
+    EXPECT_EQ(y1, 1);
+    EXPECT_LE(std::abs(x1 - x0), 1); // drift is at most one column
+}
+
+TEST(CatchGame, PredictivePolicyCatchesMostBalls)
+{
+    // Estimate the drift from two consecutive frames, simulate the
+    // fall (with wall bounces) to the landing column, and steer the
+    // paddle there. Only the first frame after each spawn lacks a
+    // drift estimate, so nearly every ball is caught.
+    CatchGame env;
+    Rng rng(4);
+    auto obs = env.reset(rng);
+    auto prevBall = findBall(obs);
+    double total = 0.0;
+    bool done = false;
+    int steps = 0;
+    while (!done && steps < env.maxEpisodeSteps()) {
+        const auto ball = findBall(obs);
+        const int px = findPaddle(obs);
+
+        int target = ball.first;
+        const bool sameBall = ball.second == prevBall.second + 1;
+        if (ball.first >= 0 && sameBall) {
+            // Simulate the remaining fall with the observed drift.
+            int x = ball.first;
+            int d = ball.first - prevBall.first;
+            for (int y = ball.second; y < CatchGame::height - 1;
+                 ++y) {
+                x += d;
+                if (x < 0) {
+                    x = 0;
+                    d = -d;
+                } else if (x >= CatchGame::width) {
+                    x = CatchGame::width - 1;
+                    d = -d;
+                }
+            }
+            target = x;
+        }
+
+        double a = 1.0;
+        if (target >= 0) {
+            if (target < px)
+                a = 0.0;
+            else if (target > px + CatchGame::paddleWidth - 1)
+                a = 2.0;
+        }
+        prevBall = ball;
+        const auto r = env.step({a});
+        obs = r.observation;
+        total += r.reward;
+        done = r.done;
+        ++steps;
+    }
+    EXPECT_TRUE(done);
+    // Net score >= 6 means at least 8 of 10 balls caught.
+    EXPECT_GE(total, 6.0);
+}
+
+TEST(CatchGame, StationaryPaddleMissesSometimes)
+{
+    CatchGame env;
+    Rng rng(5);
+    env.reset(rng);
+    double total = 0.0;
+    bool done = false;
+    while (!done)
+        total += [&] {
+            const auto r = env.step({1.0});
+            done = r.done;
+            return r.reward;
+        }();
+    EXPECT_LT(total, CatchGame::ballsPerEpisode);
+}
+
+TEST(CatchGame, EpisodeIsExactlyTenBalls)
+{
+    CatchGame env;
+    Rng rng(6);
+    env.reset(rng);
+    int scoringEvents = 0;
+    bool done = false;
+    int steps = 0;
+    while (!done && steps < 1000) {
+        const auto r = env.step({1.0});
+        scoringEvents += r.reward != 0.0 ? 1 : 0;
+        done = r.done;
+        ++steps;
+    }
+    EXPECT_EQ(scoringEvents, CatchGame::ballsPerEpisode);
+}
+
+TEST(CatchGame, RegistrySpecIsConsistent)
+{
+    const EnvSpec &spec = envSpec("catch");
+    EXPECT_EQ(spec.paperIndex, 7);
+    EXPECT_EQ(spec.numInputs, 80u);
+    EXPECT_EQ(spec.numOutputs, 3u);
+    const auto &extended = envSuiteExtended();
+    EXPECT_EQ(extended.size(), 7u);
+    EXPECT_EQ(extended.back().name, "catch");
+    // The classic suite is untouched.
+    EXPECT_EQ(envSuite().size(), 6u);
+}
+
+TEST(CatchGameDeath, StepAfterDonePanics)
+{
+    CatchGame env;
+    Rng rng(7);
+    env.reset(rng);
+    bool done = false;
+    while (!done)
+        done = env.step({1.0}).done;
+    EXPECT_DEATH(env.step({1.0}), "finished");
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Physics and contract tests for the four classic-control environments,
+ * checked against the reference gym dynamics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "env/acrobot.hh"
+#include "env/cartpole.hh"
+#include "env/mountain_car.hh"
+#include "env/mountain_car_continuous.hh"
+#include "env/pendulum.hh"
+
+namespace e3 {
+namespace {
+
+TEST(CartPole, ResetWithinInitRange)
+{
+    CartPole env;
+    Rng rng(1);
+    const auto obs = env.reset(rng);
+    ASSERT_EQ(obs.size(), 4u);
+    for (double v : obs) {
+        EXPECT_GE(v, -0.05);
+        EXPECT_LE(v, 0.05);
+    }
+}
+
+TEST(CartPole, PushRightAcceleratesCart)
+{
+    CartPole env;
+    Rng rng(2);
+    env.reset(rng);
+    const auto r = env.step({1.0});
+    EXPECT_GT(r.observation[1], 0.0); // x_dot grows with rightward force
+    EXPECT_DOUBLE_EQ(r.reward, 1.0);
+}
+
+TEST(CartPole, ConstantPushEventuallyFails)
+{
+    CartPole env;
+    Rng rng(3);
+    env.reset(rng);
+    int steps = 0;
+    bool done = false;
+    while (!done && steps < 500) {
+        done = env.step({1.0}).done;
+        ++steps;
+    }
+    EXPECT_TRUE(done);
+    EXPECT_LT(steps, 200); // a one-sided policy tips over quickly
+}
+
+TEST(CartPole, KnownTrajectoryFromRestMatchesClosedForm)
+{
+    // From the exact zero state, one rightward push: theta_acc =
+    // -cos(0)*temp/(l*(4/3 - m_p/m_t)) with temp = F/m_t.
+    CartPole env;
+    Rng rng(4);
+    env.reset(rng);
+    // Overwrite state by stepping from near-zero start: use analytic
+    // tolerance instead. temp = 10/1.1; denominator = 0.5*(4/3-0.1/1.1).
+    const double temp = 10.0 / 1.1;
+    const double thetaAcc = -temp / (0.5 * (4.0 / 3.0 - 0.1 / 1.1));
+    const double xAcc = temp - 0.05 * thetaAcc / 1.1;
+    const auto r = env.step({1.0});
+    // Initial state is within +/-0.05, so velocities after one step are
+    // within tau*acc of the analytic values plus the initial speed.
+    EXPECT_NEAR(r.observation[1], 0.02 * xAcc, 0.08);
+    EXPECT_NEAR(r.observation[3], 0.02 * thetaAcc, 0.12);
+}
+
+TEST(CartPoleDeath, StepAfterDonePanics)
+{
+    CartPole env;
+    Rng rng(5);
+    env.reset(rng);
+    bool done = false;
+    for (int i = 0; i < 500 && !done; ++i)
+        done = env.step({1.0}).done;
+    ASSERT_TRUE(done);
+    EXPECT_DEATH(env.step({1.0}), "finished");
+}
+
+TEST(Acrobot, ObservationIsTrigEncoded)
+{
+    Acrobot env;
+    Rng rng(1);
+    const auto obs = env.reset(rng);
+    ASSERT_EQ(obs.size(), 6u);
+    // cos^2 + sin^2 == 1 for both joints.
+    EXPECT_NEAR(obs[0] * obs[0] + obs[1] * obs[1], 1.0, 1e-12);
+    EXPECT_NEAR(obs[2] * obs[2] + obs[3] * obs[3], 1.0, 1e-12);
+}
+
+TEST(Acrobot, RewardIsMinusOneUntilGoal)
+{
+    Acrobot env;
+    Rng rng(2);
+    env.reset(rng);
+    const auto r = env.step({1.0}); // zero torque
+    EXPECT_DOUBLE_EQ(r.reward, -1.0);
+    EXPECT_FALSE(r.done);
+}
+
+TEST(Acrobot, VelocitiesStayClamped)
+{
+    Acrobot env;
+    Rng rng(3);
+    env.reset(rng);
+    for (int i = 0; i < 200; ++i) {
+        const auto r = env.step({2.0}); // constant +1 torque
+        EXPECT_LE(std::fabs(r.observation[4]), 4 * M_PI + 1e-9);
+        EXPECT_LE(std::fabs(r.observation[5]), 9 * M_PI + 1e-9);
+        if (r.done)
+            break;
+    }
+}
+
+TEST(Acrobot, HangingStillNeverTerminates)
+{
+    Acrobot env;
+    Rng rng(4);
+    env.reset(rng);
+    for (int i = 0; i < 100; ++i) {
+        const auto r = env.step({1.0});
+        EXPECT_FALSE(r.done); // zero torque cannot reach the goal early
+    }
+}
+
+TEST(MountainCar, StartsInValleyAtRest)
+{
+    MountainCar env;
+    Rng rng(1);
+    const auto obs = env.reset(rng);
+    EXPECT_GE(obs[0], -0.6);
+    EXPECT_LE(obs[0], -0.4);
+    EXPECT_DOUBLE_EQ(obs[1], 0.0);
+}
+
+TEST(MountainCar, FullThrottleAloneCannotClimb)
+{
+    MountainCar env;
+    Rng rng(2);
+    env.reset(rng);
+    bool done = false;
+    for (int i = 0; i < 200 && !done; ++i)
+        done = env.step({2.0}).done;
+    EXPECT_FALSE(done); // the car is underpowered by construction
+}
+
+TEST(MountainCar, RockingPolicyReachesGoal)
+{
+    // Bang-bang on velocity sign is the textbook solution.
+    MountainCar env;
+    Rng rng(3);
+    auto obs = env.reset(rng);
+    bool done = false;
+    int steps = 0;
+    while (!done && steps < 200) {
+        const double a = obs[1] >= 0.0 ? 2.0 : 0.0;
+        const auto r = env.step({a});
+        obs = r.observation;
+        done = r.done;
+        ++steps;
+    }
+    EXPECT_TRUE(done);
+    EXPECT_GE(obs[0], 0.5);
+}
+
+TEST(MountainCar, LeftWallIsInelastic)
+{
+    MountainCar env;
+    Rng rng(4);
+    auto obs = env.reset(rng);
+    // Drive hard left until the wall.
+    for (int i = 0; i < 120; ++i) {
+        const auto r = env.step({0.0});
+        obs = r.observation;
+        if (obs[0] <= -1.2)
+            break;
+    }
+    EXPECT_GE(obs[0], -1.2);
+    if (obs[0] <= -1.2) {
+        EXPECT_GE(obs[1], 0.0);
+    }
+}
+
+TEST(MountainCarContinuous, QuadraticActionCost)
+{
+    MountainCarContinuous env;
+    Rng rng(1);
+    env.reset(rng);
+    const auto r = env.step({0.5});
+    EXPECT_NEAR(r.reward, -0.1 * 0.25, 1e-12);
+}
+
+TEST(MountainCarContinuous, GoalBonusAwarded)
+{
+    MountainCarContinuous env;
+    Rng rng(2);
+    auto obs = env.reset(rng);
+    bool done = false;
+    double lastReward = 0.0;
+    for (int i = 0; i < 999 && !done; ++i) {
+        const double a = obs[1] >= 0.0 ? 1.0 : -1.0;
+        const auto r = env.step({a});
+        obs = r.observation;
+        done = r.done;
+        lastReward = r.reward;
+    }
+    ASSERT_TRUE(done);
+    EXPECT_GT(lastReward, 99.0);
+}
+
+TEST(Pendulum, ObservationEncodesAngle)
+{
+    Pendulum env;
+    Rng rng(1);
+    const auto obs = env.reset(rng);
+    ASSERT_EQ(obs.size(), 3u);
+    EXPECT_NEAR(obs[0] * obs[0] + obs[1] * obs[1], 1.0, 1e-12);
+}
+
+TEST(Pendulum, NeverTerminatesEarly)
+{
+    Pendulum env;
+    Rng rng(2);
+    env.reset(rng);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_FALSE(env.step({2.0}).done);
+}
+
+TEST(Pendulum, RewardIsNegativeCost)
+{
+    Pendulum env;
+    Rng rng(3);
+    env.reset(rng);
+    const auto r = env.step({0.0});
+    EXPECT_LE(r.reward, 0.0);
+    EXPECT_GE(r.reward, -(M_PI * M_PI + 0.1 * 64.0));
+}
+
+TEST(Pendulum, UprightAtRestIsNearZeroCost)
+{
+    // The cost at theta=0, thetadot=0, u=0 is exactly 0; reset cannot
+    // force that state, but the analytic bound below checks the reward
+    // formula via the worst case of the reset distribution.
+    Pendulum env;
+    Rng rng(4);
+    const auto obs = env.reset(rng);
+    const double theta = std::atan2(obs[1], obs[0]);
+    const auto r = env.step({0.0});
+    EXPECT_NEAR(r.reward,
+                -(theta * theta + 0.1 * obs[2] * obs[2]), 1e-9);
+}
+
+TEST(Pendulum, TorqueIsClampedToLimits)
+{
+    Pendulum env;
+    Rng rngA(7), rngB(7);
+    Pendulum envB;
+    env.reset(rngA);
+    envB.reset(rngB);
+    // Identical seeds, one with in-range torque request and one far
+    // outside: the overshooting request must behave exactly like +/-2.
+    const auto ra = env.step({2.0});
+    const auto rb = envB.step({50.0});
+    EXPECT_DOUBLE_EQ(ra.observation[2], rb.observation[2]);
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,120 @@
+#include "neat/config_io.hh"
+
+#include <gtest/gtest.h>
+
+namespace e3 {
+namespace {
+
+TEST(ConfigIo, LoadsNeatPythonStyleFile)
+{
+    const auto ini = IniFile::parseString(
+        "[NEAT]\n"
+        "pop_size = 123\n"
+        "fitness_threshold = 475\n"
+        "[DefaultGenome]\n"
+        "num_inputs = 4\n"
+        "num_outputs = 2\n"
+        "conn_add_prob = 0.7\n"
+        "activation_default = tanh\n"
+        "activation_options = sigmoid tanh relu\n"
+        "feed_forward = false\n"
+        "[DefaultSpeciesSet]\n"
+        "compatibility_threshold = 2.5\n"
+        "[DefaultReproduction]\n"
+        "elitism = 3\n"
+        "crossover_rate = 0.25\n"
+        "[DefaultStagnation]\n"
+        "max_stagnation = 7\n");
+    const NeatConfig cfg = neatConfigFromIni(ini);
+    EXPECT_EQ(cfg.populationSize, 123u);
+    EXPECT_DOUBLE_EQ(cfg.fitnessThreshold, 475.0);
+    EXPECT_EQ(cfg.numInputs, 4u);
+    EXPECT_EQ(cfg.numOutputs, 2u);
+    EXPECT_DOUBLE_EQ(cfg.connAddProb, 0.7);
+    EXPECT_EQ(cfg.defaultActivation, Activation::Tanh);
+    ASSERT_EQ(cfg.activationOptions.size(), 3u);
+    EXPECT_EQ(cfg.activationOptions[2], Activation::ReLU);
+    EXPECT_FALSE(cfg.feedForward);
+    EXPECT_DOUBLE_EQ(cfg.compatibilityThreshold, 2.5);
+    EXPECT_EQ(cfg.elitism, 3u);
+    EXPECT_DOUBLE_EQ(cfg.crossoverRate, 0.25);
+    EXPECT_EQ(cfg.maxStagnation, 7u);
+}
+
+TEST(ConfigIo, UnsetKeysKeepBaseValues)
+{
+    NeatConfig base = NeatConfig::forTask(8, 4, 100.0);
+    base.weightMutatePower = 0.123;
+    const auto ini = IniFile::parseString("[NEAT]\npop_size = 50\n");
+    const NeatConfig cfg = neatConfigFromIni(ini, base);
+    EXPECT_EQ(cfg.populationSize, 50u);
+    EXPECT_EQ(cfg.numInputs, 8u);
+    EXPECT_DOUBLE_EQ(cfg.weightMutatePower, 0.123);
+    EXPECT_DOUBLE_EQ(cfg.fitnessThreshold, 100.0);
+}
+
+TEST(ConfigIo, AggregationKeys)
+{
+    const auto ini = IniFile::parseString(
+        "[DefaultGenome]\n"
+        "aggregation_default = max\n"
+        "aggregation_mutate_rate = 0.1\n"
+        "aggregation_options = sum max mean\n");
+    const NeatConfig cfg = neatConfigFromIni(ini);
+    EXPECT_EQ(cfg.defaultAggregation, Aggregation::Max);
+    EXPECT_DOUBLE_EQ(cfg.aggregationMutateRate, 0.1);
+    ASSERT_EQ(cfg.aggregationOptions.size(), 3u);
+    EXPECT_EQ(cfg.aggregationOptions[2], Aggregation::Mean);
+}
+
+TEST(ConfigIo, RoundTripsThroughIniText)
+{
+    NeatConfig original = NeatConfig::forTask(3, 2, -180.0);
+    original.populationSize = 77;
+    original.connAddProb = 0.35;
+    original.activationOptions = {Activation::Sigmoid,
+                                  Activation::Gauss};
+    original.defaultAggregation = Aggregation::Mean;
+    original.aggregationOptions = {Aggregation::Sum,
+                                   Aggregation::Mean};
+    original.feedForward = false;
+    original.crossoverRate = 0.9;
+
+    const std::string text = neatConfigToIni(original);
+    const NeatConfig copy =
+        neatConfigFromIni(IniFile::parseString(text));
+    EXPECT_EQ(copy.populationSize, original.populationSize);
+    EXPECT_DOUBLE_EQ(copy.connAddProb, original.connAddProb);
+    EXPECT_EQ(copy.activationOptions, original.activationOptions);
+    EXPECT_EQ(copy.defaultAggregation, original.defaultAggregation);
+    EXPECT_EQ(copy.aggregationOptions, original.aggregationOptions);
+    EXPECT_EQ(copy.feedForward, original.feedForward);
+    EXPECT_DOUBLE_EQ(copy.crossoverRate, original.crossoverRate);
+    EXPECT_DOUBLE_EQ(copy.fitnessThreshold,
+                     original.fitnessThreshold);
+}
+
+TEST(ConfigIoDeath, UnknownKeysFatal)
+{
+    const auto ini = IniFile::parseString(
+        "[DefaultGenome]\nconn_add_probability = 0.5\n");
+    EXPECT_DEATH(neatConfigFromIni(ini), "unknown key");
+}
+
+TEST(ConfigIoDeath, InvalidValuesFatal)
+{
+    const auto ini = IniFile::parseString(
+        "[DefaultGenome]\nconn_add_prob = 1.5\n");
+    // validate() rejects the out-of-range probability.
+    EXPECT_DEATH(neatConfigFromIni(ini), "probability");
+}
+
+TEST(ConfigIoDeath, BadActivationFatal)
+{
+    const auto ini = IniFile::parseString(
+        "[DefaultGenome]\nactivation_default = softmax\n");
+    EXPECT_DEATH(neatConfigFromIni(ini), "unknown activation");
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,94 @@
+#include "nn/dense_equivalent.hh"
+
+#include <gtest/gtest.h>
+
+namespace e3 {
+namespace {
+
+TEST(DenseEquivalent, NoSkipsMeansNoDummies)
+{
+    auto def = NetworkDef::empty(2, 1);
+    def.nodes.push_back({1, 0.0, Activation::Sigmoid,
+                         Aggregation::Sum});
+    def.conns = {{-1, 1, 1.0}, {-2, 1, 1.0}, {1, 0, 1.0}};
+    const auto eq = denseEquivalent(def);
+    EXPECT_EQ(eq.dummyNodes, 0u);
+    EXPECT_EQ(eq.layerSizes, (std::vector<size_t>{2, 1, 1}));
+    EXPECT_EQ(eq.denseConnections(), 2u * 1 + 1u * 1);
+}
+
+TEST(DenseEquivalent, SkipConnectionAddsRelay)
+{
+    // -1 -> h -> o with a skip -1 -> o: the input value must be relayed
+    // through the hidden layer (paper Fig. 4(d)).
+    auto def = NetworkDef::empty(1, 1);
+    def.nodes.push_back({1, 0.0, Activation::Sigmoid,
+                         Aggregation::Sum});
+    def.conns = {{-1, 1, 1.0}, {1, 0, 1.0}, {-1, 0, 1.0}};
+    const auto eq = denseEquivalent(def);
+    EXPECT_EQ(eq.dummyNodes, 1u);
+    EXPECT_EQ(eq.layerSizes, (std::vector<size_t>{1, 2, 1}));
+    EXPECT_EQ(eq.denseConnections(), 1u * 2 + 2u * 1);
+}
+
+TEST(DenseEquivalent, LongSkipRelaysThroughEveryLayer)
+{
+    // Chain -1 -> a -> b -> o plus skip -1 -> o: the input relays
+    // through both hidden layers.
+    auto def = NetworkDef::empty(1, 1);
+    def.nodes.push_back({1, 0.0, Activation::Sigmoid,
+                         Aggregation::Sum});
+    def.nodes.push_back({2, 0.0, Activation::Sigmoid,
+                         Aggregation::Sum});
+    def.conns = {{-1, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}, {-1, 0, 1.0}};
+    const auto eq = denseEquivalent(def);
+    EXPECT_EQ(eq.dummyNodes, 2u);
+    EXPECT_EQ(eq.layerSizes, (std::vector<size_t>{1, 2, 2, 1}));
+}
+
+TEST(DenseEquivalent, OneRelayPerProducerPerLayer)
+{
+    // Producer feeds two consumers in different later layers: it needs
+    // a single relay chain up to the furthest consumer, not one chain
+    // per consumer.
+    auto def = NetworkDef::empty(1, 2);
+    def.nodes.push_back({2, 0.0, Activation::Sigmoid,
+                         Aggregation::Sum});
+    def.nodes.push_back({3, 0.0, Activation::Sigmoid,
+                         Aggregation::Sum});
+    // -1 -> 2(layer1) -> 3(layer2) -> 0(layer3); -1 also feeds layer2's
+    // node 3 and layer3's output 1.
+    def.conns = {{-1, 2, 1.0}, {2, 3, 1.0}, {3, 0, 1.0},
+                 {-1, 3, 1.0}, {-1, 1, 1.0}, {3, 1, 1.0}};
+    const auto eq = denseEquivalent(def);
+    // Input relays through layer 1 and layer 2 exactly once each.
+    EXPECT_EQ(eq.dummyNodes, 2u);
+}
+
+TEST(DenseEquivalent, RealNodeCountExcludesDummies)
+{
+    auto def = NetworkDef::empty(1, 1);
+    def.nodes.push_back({1, 0.0, Activation::Sigmoid,
+                         Aggregation::Sum});
+    def.conns = {{-1, 1, 1.0}, {1, 0, 1.0}, {-1, 0, 1.0}};
+    const auto eq = denseEquivalent(def);
+    EXPECT_EQ(eq.realNodes, 2u);
+}
+
+TEST(DenseEquivalent, DenseWorkAlwaysCoversIrregularWork)
+{
+    // Property: the padded dense counterpart performs at least as many
+    // MACs as the irregular network has connections.
+    auto def = NetworkDef::empty(3, 2);
+    def.nodes.push_back({2, 0.0, Activation::Sigmoid,
+                         Aggregation::Sum});
+    def.nodes.push_back({3, 0.0, Activation::Sigmoid,
+                         Aggregation::Sum});
+    def.conns = {{-1, 2, 1.0}, {-2, 2, 1.0}, {2, 3, 1.0}, {-3, 3, 1.0},
+                 {3, 0, 1.0},  {2, 1, 1.0},  {-1, 1, 1.0}};
+    const auto eq = denseEquivalent(def);
+    EXPECT_GE(eq.denseConnections(), def.conns.size());
+}
+
+} // namespace
+} // namespace e3

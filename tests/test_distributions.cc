@@ -1,0 +1,149 @@
+#include "mlp/distributions.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace e3 {
+namespace {
+
+TEST(Categorical, UniformLogitsGiveUniformProbs)
+{
+    Categorical dist({0.0, 0.0, 0.0, 0.0});
+    for (double p : dist.probs())
+        EXPECT_NEAR(p, 0.25, 1e-12);
+    EXPECT_NEAR(dist.entropy(), std::log(4.0), 1e-12);
+}
+
+TEST(Categorical, ProbsAreSoftmax)
+{
+    Categorical dist({1.0, 2.0});
+    const double z = std::exp(1.0) + std::exp(2.0);
+    EXPECT_NEAR(dist.probs()[0], std::exp(1.0) / z, 1e-12);
+    EXPECT_NEAR(dist.probs()[1], std::exp(2.0) / z, 1e-12);
+    EXPECT_EQ(dist.mode(), 1);
+}
+
+TEST(Categorical, LargeLogitsAreStable)
+{
+    Categorical dist({1000.0, 999.0});
+    EXPECT_TRUE(std::isfinite(dist.logProb(0)));
+    EXPECT_GT(dist.probs()[0], dist.probs()[1]);
+}
+
+TEST(Categorical, SampleFrequenciesFollowProbs)
+{
+    Categorical dist({0.0, std::log(3.0)}); // probs 1/4, 3/4
+    Rng rng(1);
+    int ones = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ones += dist.sample(rng) == 1 ? 1 : 0;
+    EXPECT_NEAR(ones / static_cast<double>(n), 0.75, 0.01);
+}
+
+TEST(Categorical, NllGradientIsSoftmaxMinusOnehot)
+{
+    Categorical dist({0.5, -0.5, 0.0});
+    const auto g = dist.nllGradient(1);
+    EXPECT_NEAR(g[0], dist.probs()[0], 1e-12);
+    EXPECT_NEAR(g[1], dist.probs()[1] - 1.0, 1e-12);
+    EXPECT_NEAR(g[2], dist.probs()[2], 1e-12);
+}
+
+TEST(Categorical, GradientsMatchFiniteDifference)
+{
+    const std::vector<double> logits{0.3, -0.7, 1.1};
+    const double eps = 1e-6;
+    const Categorical base(logits);
+    const auto nll = base.nllGradient(2);
+    const auto negEnt = base.negEntropyGradient();
+    for (size_t i = 0; i < logits.size(); ++i) {
+        auto up = logits;
+        up[i] += eps;
+        auto down = logits;
+        down[i] -= eps;
+        const double dNll = (-Categorical(up).logProb(2) +
+                             Categorical(down).logProb(2)) /
+                            (2 * eps);
+        EXPECT_NEAR(nll[i], dNll, 1e-5);
+        const double dNegEnt = (-Categorical(up).entropy() +
+                                Categorical(down).entropy()) /
+                               (2 * eps);
+        EXPECT_NEAR(negEnt[i], dNegEnt, 1e-5);
+    }
+}
+
+TEST(DiagGaussian, LogProbMatchesClosedForm)
+{
+    DiagGaussian dist({0.0}, {0.0}); // N(0, 1)
+    EXPECT_NEAR(dist.logProb({0.0}),
+                -0.5 * std::log(2 * M_PI), 1e-12);
+    EXPECT_NEAR(dist.logProb({1.0}),
+                -0.5 - 0.5 * std::log(2 * M_PI), 1e-12);
+}
+
+TEST(DiagGaussian, EntropyGrowsWithStd)
+{
+    DiagGaussian narrow({0.0}, {-1.0});
+    DiagGaussian wide({0.0}, {1.0});
+    EXPECT_LT(narrow.entropy(), wide.entropy());
+}
+
+TEST(DiagGaussian, SampleMomentsMatch)
+{
+    DiagGaussian dist({2.0, -1.0}, {std::log(0.5), std::log(2.0)});
+    Rng rng(7);
+    double s0 = 0, s1 = 0, sq0 = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const auto a = dist.sample(rng);
+        s0 += a[0];
+        s1 += a[1];
+        sq0 += (a[0] - 2.0) * (a[0] - 2.0);
+    }
+    EXPECT_NEAR(s0 / n, 2.0, 0.02);
+    EXPECT_NEAR(s1 / n, -1.0, 0.05);
+    EXPECT_NEAR(sq0 / n, 0.25, 0.01);
+}
+
+TEST(DiagGaussian, GradientsMatchFiniteDifference)
+{
+    const std::vector<double> mean{0.4, -0.2};
+    const std::vector<double> logStd{0.1, -0.3};
+    const std::vector<double> action{1.0, 0.5};
+    const double eps = 1e-6;
+
+    const DiagGaussian base(mean, logStd);
+    const auto gMean = base.nllGradientMean(action);
+    const auto gLogStd = base.nllGradientLogStd(action);
+    for (size_t i = 0; i < mean.size(); ++i) {
+        auto up = mean;
+        up[i] += eps;
+        auto down = mean;
+        down[i] -= eps;
+        const double d =
+            (-DiagGaussian(up, logStd).logProb(action) +
+             DiagGaussian(down, logStd).logProb(action)) /
+            (2 * eps);
+        EXPECT_NEAR(gMean[i], d, 1e-5);
+
+        auto lup = logStd;
+        lup[i] += eps;
+        auto ldown = logStd;
+        ldown[i] -= eps;
+        const double dl =
+            (-DiagGaussian(mean, lup).logProb(action) +
+             DiagGaussian(mean, ldown).logProb(action)) /
+            (2 * eps);
+        EXPECT_NEAR(gLogStd[i], dl, 1e-5);
+    }
+}
+
+TEST(DiagGaussianDeath, SizeMismatchPanics)
+{
+    EXPECT_DEATH(DiagGaussian({0.0}, {0.0, 0.0}), "mismatch");
+}
+
+} // namespace
+} // namespace e3

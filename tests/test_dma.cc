@@ -1,0 +1,52 @@
+#include "inax/dma.hh"
+
+#include <gtest/gtest.h>
+
+namespace e3 {
+namespace {
+
+TEST(Dma, TransferCyclesRoundUp)
+{
+    EXPECT_EQ(dmaTransferCycles(0, 4, 8), 0u); // nothing to move
+    EXPECT_EQ(dmaTransferCycles(1, 4, 8), 8u + 1);
+    EXPECT_EQ(dmaTransferCycles(4, 4, 8), 8u + 1);
+    EXPECT_EQ(dmaTransferCycles(5, 4, 8), 8u + 2);
+    EXPECT_EQ(dmaTransferCycles(100, 10, 0), 10u);
+}
+
+TEST(Dma, ConfigWordsCountGenesAndNodes)
+{
+    // 3 words per connection (src, dst, weight) + 2 per node.
+    EXPECT_EQ(configWords(0, 0), 0u);
+    EXPECT_EQ(configWords(5, 10), 3u * 10 + 2u * 5);
+}
+
+TEST(Dma, SetupScalesWithNetworkSize)
+{
+    InaxConfig cfg;
+    const uint64_t small = setupCycles(2, 4, cfg);
+    const uint64_t large = setupCycles(20, 400, cfg);
+    EXPECT_GT(large, small);
+    EXPECT_EQ(small, dmaTransferCycles(configWords(2, 4),
+                                       cfg.weightChannelWidth,
+                                       cfg.dmaLatency));
+}
+
+TEST(Dma, IoTransfersScaleWithLiveLanes)
+{
+    InaxConfig cfg;
+    const uint64_t few = inputTransferCycles(8, 10, cfg);
+    const uint64_t many = inputTransferCycles(8, 50, cfg);
+    EXPECT_GT(many, few);
+    EXPECT_EQ(outputTransferCycles(4, 50, cfg),
+              dmaTransferCycles(4 * 50, cfg.ioChannelWidth,
+                                cfg.dmaLatency));
+}
+
+TEST(DmaDeath, ZeroWidthPanics)
+{
+    EXPECT_DEATH(dmaTransferCycles(10, 0, 0), "zero-width");
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "e3/energy_model.hh"
+#include "e3/fpga_resources.hh"
+
+namespace e3 {
+namespace {
+
+TEST(Energy, CpuOnlyRun)
+{
+    PowerModel power;
+    EnergyBreakdownInput in;
+    in.cpuSeconds = 10.0;
+    EXPECT_DOUBLE_EQ(power.joules(in), power.cpuActiveWatts * 10.0);
+}
+
+TEST(Energy, GpuRunChargesBothComponents)
+{
+    PowerModel power;
+    EnergyBreakdownInput in;
+    in.cpuSeconds = 2.0;
+    in.gpuSeconds = 8.0;
+    EXPECT_DOUBLE_EQ(power.joules(in),
+                     power.cpuActiveWatts * 10.0 +
+                         power.gpuActiveWatts * 8.0);
+}
+
+TEST(Energy, FasterInaxRunSavesEnergyDespiteExtraComponent)
+{
+    // The paper's 97% story: a 30x faster run on a 3 W accelerator
+    // beats the CPU-only run by a wide margin.
+    PowerModel power;
+    EnergyBreakdownInput cpuOnly;
+    cpuOnly.cpuSeconds = 30.0;
+    EnergyBreakdownInput inax;
+    inax.cpuSeconds = 0.6;
+    inax.fpgaSeconds = 0.4;
+    EXPECT_LT(power.joules(inax), 0.1 * power.joules(cpuOnly));
+}
+
+TEST(FpgaResources, Zcu104CapacityConstants)
+{
+    const auto cap = zcu104Capacity();
+    EXPECT_EQ(cap.lut, 230400u);
+    EXPECT_EQ(cap.ff, 460800u);
+    EXPECT_EQ(cap.bram36, 312u);
+    EXPECT_EQ(cap.dsp, 1728u);
+}
+
+TEST(FpgaResources, CostScalesWithParallelism)
+{
+    InaxConfig small;
+    small.numPUs = 10;
+    small.numPEs = 2;
+    InaxConfig big;
+    big.numPUs = 50;
+    big.numPEs = 4;
+    const auto a = inaxResourceCost(small);
+    const auto b = inaxResourceCost(big);
+    EXPECT_GT(b.lut, a.lut);
+    EXPECT_GT(b.dsp, a.dsp);
+    EXPECT_GT(b.bram36, a.bram36);
+    // One DSP per PE.
+    EXPECT_EQ(a.dsp, 20u);
+    EXPECT_EQ(b.dsp, 200u);
+}
+
+TEST(FpgaResources, PaperConfigFitsWithHeadroom)
+{
+    const auto u = inaxUtilization(InaxConfig::paperDefault(4));
+    u.checkFits("E3_a");
+    EXPECT_LT(u.lut, 0.5);
+    EXPECT_LT(u.dsp, 0.25);
+    EXPECT_GT(u.bram, 0.1); // per-PU buffers are the BRAM driver
+}
+
+TEST(FpgaResourcesDeath, OversizedDesignFatal)
+{
+    InaxConfig huge;
+    huge.numPUs = 2000;
+    huge.numPEs = 8;
+    const auto u = inaxUtilization(huge);
+    EXPECT_DEATH(u.checkFits("huge"), "exceeds");
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,110 @@
+#include "env/env_registry.hh"
+
+#include <gtest/gtest.h>
+
+namespace e3 {
+namespace {
+
+TEST(EnvRegistry, SuiteMatchesPaperOrdering)
+{
+    const auto &suite = envSuite();
+    ASSERT_EQ(suite.size(), 6u);
+    EXPECT_EQ(suite[0].name, "cartpole");
+    EXPECT_EQ(suite[1].name, "acrobot");
+    EXPECT_EQ(suite[2].name, "mountain_car");
+    EXPECT_EQ(suite[3].name, "bipedal_walker");
+    EXPECT_EQ(suite[4].name, "lunar_lander");
+    EXPECT_EQ(suite[5].name, "pendulum");
+    for (size_t i = 0; i < suite.size(); ++i)
+        EXPECT_EQ(suite[i].paperIndex, static_cast<int>(i + 1));
+}
+
+TEST(EnvRegistry, OutputCountsMatchPaperPeAssignments)
+{
+    // Fig. 10 footnote: PE number == output nodes per env.
+    EXPECT_EQ(envSpec("cartpole").numOutputs, 1u);
+    EXPECT_EQ(envSpec("acrobot").numOutputs, 3u);
+    EXPECT_EQ(envSpec("mountain_car").numOutputs, 3u);
+    EXPECT_EQ(envSpec("bipedal_walker").numOutputs, 4u);
+    EXPECT_EQ(envSpec("lunar_lander").numOutputs, 4u);
+    EXPECT_EQ(envSpec("pendulum").numOutputs, 1u);
+}
+
+TEST(EnvRegistry, SpecShapesMatchEnvironments)
+{
+    for (const auto &spec : envSuite()) {
+        auto env = spec.make();
+        EXPECT_EQ(env->observationSpace().size(), spec.numInputs)
+            << spec.name;
+        EXPECT_EQ(env->name(), spec.name);
+    }
+}
+
+TEST(EnvRegistry, NormalizeFitnessClampsToUnit)
+{
+    const auto &spec = envSpec("acrobot"); // floor -500, required -100
+    EXPECT_DOUBLE_EQ(spec.normalizeFitness(-500.0), 0.0);
+    EXPECT_DOUBLE_EQ(spec.normalizeFitness(-100.0), 1.0);
+    EXPECT_DOUBLE_EQ(spec.normalizeFitness(-300.0), 0.5);
+    EXPECT_DOUBLE_EQ(spec.normalizeFitness(-1000.0), 0.0);
+    EXPECT_DOUBLE_EQ(spec.normalizeFitness(0.0), 1.0);
+}
+
+TEST(EnvRegistry, DecodeBinaryThresholds)
+{
+    const auto &spec = envSpec("cartpole");
+    EXPECT_DOUBLE_EQ(decodeAction(spec, {0.49})[0], 0.0);
+    EXPECT_DOUBLE_EQ(decodeAction(spec, {0.51})[0], 1.0);
+}
+
+TEST(EnvRegistry, DecodeArgmaxPicksLargest)
+{
+    const auto &spec = envSpec("acrobot");
+    EXPECT_DOUBLE_EQ(decodeAction(spec, {0.1, 0.9, 0.3})[0], 1.0);
+    EXPECT_DOUBLE_EQ(decodeAction(spec, {0.7, 0.2, 0.3})[0], 0.0);
+    // Ties resolve to the first maximum.
+    EXPECT_DOUBLE_EQ(decodeAction(spec, {0.5, 0.5, 0.5})[0], 0.0);
+}
+
+TEST(EnvRegistry, DecodeContinuousScalesRange)
+{
+    const auto &spec = envSpec("pendulum"); // torque in [-2, 2]
+    EXPECT_DOUBLE_EQ(decodeAction(spec, {0.0})[0], -2.0);
+    EXPECT_DOUBLE_EQ(decodeAction(spec, {1.0})[0], 2.0);
+    EXPECT_DOUBLE_EQ(decodeAction(spec, {0.5})[0], 0.0);
+    // Out-of-range network outputs clamp.
+    EXPECT_DOUBLE_EQ(decodeAction(spec, {1.7})[0], 2.0);
+}
+
+TEST(EnvRegistry, DecodeContinuousMultiDim)
+{
+    const auto &spec = envSpec("bipedal_walker");
+    const auto a = decodeAction(spec, {0.0, 0.25, 0.75, 1.0});
+    ASSERT_EQ(a.size(), 4u);
+    EXPECT_DOUBLE_EQ(a[0], -1.0);
+    EXPECT_DOUBLE_EQ(a[1], -0.5);
+    EXPECT_DOUBLE_EQ(a[2], 0.5);
+    EXPECT_DOUBLE_EQ(a[3], 1.0);
+}
+
+TEST(EnvRegistryDeath, UnknownEnvFatal)
+{
+    EXPECT_DEATH(envSpec("atari_pong"), "unknown environment");
+}
+
+TEST(EnvRegistryDeath, TooFewOutputsPanics)
+{
+    const auto &spec = envSpec("acrobot");
+    EXPECT_DEATH(decodeAction(spec, {0.5}), "outputs");
+}
+
+TEST(EnvRegistry, NamesIncludeExtras)
+{
+    const auto names = envNames();
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        "mountain_car_continuous"),
+              names.end());
+}
+
+} // namespace
+} // namespace e3

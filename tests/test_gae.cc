@@ -1,0 +1,103 @@
+#include "rl/gae.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace e3 {
+namespace {
+
+TEST(Gae, LambdaOneGivesDiscountedReturns)
+{
+    // gamma=0.5, lambda=1: returns are plain discounted sums with
+    // bootstrap; advantages = returns - values.
+    const std::vector<double> rewards{1.0, 1.0, 1.0};
+    const std::vector<double> values{0.0, 0.0, 0.0};
+    const std::vector<bool> dones{false, false, false};
+    const auto out = computeGae(rewards, values, dones, 2.0, 0.5, 1.0);
+    // R2 = 1 + 0.5*2 = 2; R1 = 1 + 0.5*2 = 2; R0 = 1 + 0.5*2 = 2.
+    EXPECT_NEAR(out.returns[2], 2.0, 1e-12);
+    EXPECT_NEAR(out.returns[1], 2.0, 1e-12);
+    EXPECT_NEAR(out.returns[0], 2.0, 1e-12);
+    EXPECT_EQ(out.advantages, out.returns); // values are zero
+}
+
+TEST(Gae, DoneCutsBootstrap)
+{
+    const std::vector<double> rewards{1.0, 1.0};
+    const std::vector<double> values{0.0, 0.0};
+    const std::vector<bool> dones{true, false};
+    const auto out =
+        computeGae(rewards, values, dones, 100.0, 0.99, 0.95);
+    // Step 0 ends its episode: nothing after it leaks in.
+    EXPECT_NEAR(out.returns[0], 1.0, 1e-12);
+    // Step 1 bootstraps from lastValue.
+    EXPECT_NEAR(out.returns[1], 1.0 + 0.99 * 100.0, 1e-12);
+}
+
+TEST(Gae, ZeroLambdaIsOneStepTd)
+{
+    const std::vector<double> rewards{0.0, 0.0};
+    const std::vector<double> values{1.0, 2.0};
+    const std::vector<bool> dones{false, false};
+    const auto out = computeGae(rewards, values, dones, 3.0, 0.9, 0.0);
+    // delta_t = r + gamma * V(t+1) - V(t)
+    EXPECT_NEAR(out.advantages[0], 0.9 * 2.0 - 1.0, 1e-12);
+    EXPECT_NEAR(out.advantages[1], 0.9 * 3.0 - 2.0, 1e-12);
+}
+
+TEST(Gae, RecursionMatchesDirectExpansion)
+{
+    const std::vector<double> rewards{0.5, -1.0, 2.0};
+    const std::vector<double> values{0.3, 0.1, -0.2};
+    const std::vector<bool> dones{false, false, false};
+    const double gamma = 0.98, lambda = 0.9, last = 0.7;
+    const auto out =
+        computeGae(rewards, values, dones, last, gamma, lambda);
+
+    const double d2 = rewards[2] + gamma * last - values[2];
+    const double d1 = rewards[1] + gamma * values[2] - values[1];
+    const double d0 = rewards[0] + gamma * values[1] - values[0];
+    EXPECT_NEAR(out.advantages[2], d2, 1e-12);
+    EXPECT_NEAR(out.advantages[1], d1 + gamma * lambda * d2, 1e-12);
+    EXPECT_NEAR(out.advantages[0],
+                d0 + gamma * lambda * (d1 + gamma * lambda * d2),
+                1e-12);
+}
+
+TEST(GaeDeath, LengthMismatchPanics)
+{
+    const std::vector<double> rewards{1.0};
+    const std::vector<double> values{0.0, 0.0};
+    const std::vector<bool> dones{false};
+    EXPECT_DEATH(computeGae(rewards, values, dones, 0, 0.99, 0.95),
+                 "mismatch");
+}
+
+TEST(NormalizeAdvantages, ZeroMeanUnitStd)
+{
+    std::vector<double> adv{1.0, 2.0, 3.0, 4.0};
+    normalizeAdvantages(adv);
+    double mean = 0, var = 0;
+    for (double a : adv)
+        mean += a;
+    mean /= 4;
+    for (double a : adv)
+        var += (a - mean) * (a - mean);
+    var /= 4;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(std::sqrt(var), 1.0, 1e-6);
+}
+
+TEST(NormalizeAdvantages, TinyInputsAreNoops)
+{
+    std::vector<double> one{5.0};
+    normalizeAdvantages(one);
+    EXPECT_DOUBLE_EQ(one[0], 5.0);
+    std::vector<double> none;
+    normalizeAdvantages(none);
+    EXPECT_TRUE(none.empty());
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,163 @@
+#include "neat/genes.hh"
+
+#include <gtest/gtest.h>
+
+namespace e3 {
+namespace {
+
+NeatConfig
+cfg()
+{
+    return NeatConfig::forTask(2, 1, 1.0);
+}
+
+TEST(NodeGene, CreateRespectsBounds)
+{
+    const auto c = cfg();
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const auto g = NodeGene::create(i, c, rng);
+        EXPECT_EQ(g.id, i);
+        EXPECT_GE(g.bias, c.biasMin);
+        EXPECT_LE(g.bias, c.biasMax);
+        EXPECT_EQ(g.act, c.defaultActivation);
+        EXPECT_EQ(g.agg, c.defaultAggregation);
+    }
+}
+
+TEST(NodeGene, MutateStaysInBounds)
+{
+    auto c = cfg();
+    c.biasMutateRate = 1.0;
+    c.biasReplaceRate = 0.0;
+    Rng rng(2);
+    auto g = NodeGene::create(0, c, rng);
+    for (int i = 0; i < 500; ++i) {
+        g.mutate(c, rng);
+        EXPECT_GE(g.bias, c.biasMin);
+        EXPECT_LE(g.bias, c.biasMax);
+    }
+}
+
+TEST(NodeGene, ZeroRatesFreezeAttributes)
+{
+    auto c = cfg();
+    c.biasMutateRate = 0.0;
+    c.biasReplaceRate = 0.0;
+    c.activationMutateRate = 0.0;
+    c.aggregationMutateRate = 0.0;
+    Rng rng(3);
+    auto g = NodeGene::create(0, c, rng);
+    const auto before = g;
+    for (int i = 0; i < 100; ++i)
+        g.mutate(c, rng);
+    EXPECT_DOUBLE_EQ(g.bias, before.bias);
+    EXPECT_EQ(g.act, before.act);
+}
+
+TEST(NodeGene, ActivationMutationSamplesOptions)
+{
+    auto c = cfg();
+    c.activationMutateRate = 1.0;
+    c.activationOptions = {Activation::ReLU};
+    Rng rng(4);
+    auto g = NodeGene::create(0, c, rng);
+    g.mutate(c, rng);
+    EXPECT_EQ(g.act, Activation::ReLU);
+}
+
+TEST(NodeGene, CrossoverPicksFromEitherParent)
+{
+    Rng rng(5);
+    NodeGene a, b;
+    a.id = b.id = 3;
+    a.bias = 1.0;
+    b.bias = -1.0;
+    int fromA = 0;
+    for (int i = 0; i < 200; ++i) {
+        const auto child = NodeGene::crossover(a, b, rng);
+        EXPECT_TRUE(child.bias == 1.0 || child.bias == -1.0);
+        fromA += child.bias == 1.0 ? 1 : 0;
+    }
+    EXPECT_GT(fromA, 50);
+    EXPECT_LT(fromA, 150);
+}
+
+TEST(NodeGeneDeath, CrossoverDifferentIdsPanics)
+{
+    Rng rng(6);
+    NodeGene a, b;
+    a.id = 1;
+    b.id = 2;
+    EXPECT_DEATH(NodeGene::crossover(a, b, rng), "homologous");
+}
+
+TEST(NodeGene, DistanceCombinesBiasAndCategoricals)
+{
+    NodeGene a, b;
+    a.id = b.id = 0;
+    a.bias = 1.0;
+    b.bias = -0.5;
+    EXPECT_DOUBLE_EQ(a.distance(b), 1.5);
+    b.act = Activation::ReLU;
+    EXPECT_DOUBLE_EQ(a.distance(b), 2.5);
+    b.agg = Aggregation::Max;
+    EXPECT_DOUBLE_EQ(a.distance(b), 3.5);
+    EXPECT_DOUBLE_EQ(a.distance(a), 0.0);
+}
+
+TEST(ConnGene, CreateEnabledWithinBounds)
+{
+    const auto c = cfg();
+    Rng rng(7);
+    const auto g = ConnGene::create({-1, 0}, c, rng);
+    EXPECT_TRUE(g.enabled);
+    EXPECT_GE(g.weight, c.weightMin);
+    EXPECT_LE(g.weight, c.weightMax);
+    EXPECT_EQ(g.key, (ConnKey{-1, 0}));
+}
+
+TEST(ConnGene, EnabledToggleRate)
+{
+    auto c = cfg();
+    c.weightMutateRate = 0.0;
+    c.weightReplaceRate = 0.0;
+    c.enabledMutateRate = 1.0;
+    Rng rng(8);
+    auto g = ConnGene::create({-1, 0}, c, rng);
+    const bool before = g.enabled;
+    g.mutate(c, rng);
+    EXPECT_NE(g.enabled, before);
+}
+
+TEST(ConnGene, DistanceWeightsAndEnabled)
+{
+    ConnGene a, b;
+    a.key = b.key = {-1, 0};
+    a.weight = 2.0;
+    b.weight = -1.0;
+    EXPECT_DOUBLE_EQ(a.distance(b), 3.0);
+    b.enabled = false;
+    EXPECT_DOUBLE_EQ(a.distance(b), 4.0);
+}
+
+TEST(ConnGene, MutationDistributionIsPerturbationBiased)
+{
+    // With mutate 0.8 / replace 0.1, most mutations are small nudges:
+    // after one step the weight should usually stay within a few
+    // mutate-powers of the origin.
+    auto c = cfg();
+    Rng rng(9);
+    int nearby = 0;
+    for (int i = 0; i < 1000; ++i) {
+        auto g = ConnGene::create({-1, 0}, c, rng);
+        const double before = g.weight;
+        g.mutate(c, rng);
+        if (std::abs(g.weight - before) < 3 * c.weightMutatePower)
+            ++nearby;
+    }
+    EXPECT_GT(nearby, 800);
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,89 @@
+#include "common/ini.hh"
+
+#include <gtest/gtest.h>
+
+namespace e3 {
+namespace {
+
+TEST(Ini, ParsesSectionsAndTypes)
+{
+    const auto ini = IniFile::parseString(
+        "# header comment\n"
+        "[NEAT]\n"
+        "pop_size = 200\n"
+        "fitness_threshold = 475.5\n"
+        "; alt comment\n"
+        "[Genome]\n"
+        "feed_forward = true\n"
+        "name = hello world\n");
+    EXPECT_TRUE(ini.has("NEAT", "pop_size"));
+    EXPECT_EQ(ini.getInt("NEAT", "pop_size", 0), 200);
+    EXPECT_DOUBLE_EQ(ini.getDouble("NEAT", "fitness_threshold", 0),
+                     475.5);
+    EXPECT_TRUE(ini.getBool("Genome", "feed_forward", false));
+    EXPECT_EQ(ini.get("Genome", "name", ""), "hello world");
+}
+
+TEST(Ini, FallbacksWhenAbsent)
+{
+    const auto ini = IniFile::parseString("[A]\nx = 1\n");
+    EXPECT_EQ(ini.getInt("A", "missing", 7), 7);
+    EXPECT_EQ(ini.getInt("B", "x", 9), 9);
+    EXPECT_FALSE(ini.has("B", "x"));
+    EXPECT_TRUE(ini.keys("B").empty());
+}
+
+TEST(Ini, WhitespaceTolerant)
+{
+    const auto ini = IniFile::parseString(
+        "  [ Sec ]  \n   key   =   value with spaces   \n");
+    EXPECT_EQ(ini.get("Sec", "key", ""), "value with spaces");
+}
+
+TEST(Ini, BooleanSpellings)
+{
+    const auto ini = IniFile::parseString(
+        "[B]\na = yes\nb = 0\nc = False\nd = TRUE\n");
+    EXPECT_TRUE(ini.getBool("B", "a", false));
+    EXPECT_FALSE(ini.getBool("B", "b", true));
+    EXPECT_FALSE(ini.getBool("B", "c", true));
+    EXPECT_TRUE(ini.getBool("B", "d", false));
+}
+
+TEST(Ini, RoundTripThroughStr)
+{
+    IniFile ini;
+    ini.set("S", "k", "v");
+    ini.set("S", "n", "42");
+    const auto copy = IniFile::parseString(ini.str());
+    EXPECT_EQ(copy.get("S", "k", ""), "v");
+    EXPECT_EQ(copy.getInt("S", "n", 0), 42);
+}
+
+TEST(IniDeath, MalformedLinesFatal)
+{
+    EXPECT_DEATH(IniFile::parseString("[Sec]\nno equals sign\n"),
+                 "key = value");
+    EXPECT_DEATH(IniFile::parseString("[unclosed\nx = 1\n"),
+                 "section");
+    EXPECT_DEATH(IniFile::parseString("[S]\n= novalue\n"),
+                 "empty key");
+}
+
+TEST(IniDeath, TypeErrorsFatal)
+{
+    const auto ini = IniFile::parseString(
+        "[S]\nx = abc\ny = 1.5z\nz = maybe\n");
+    EXPECT_DEATH(ini.getInt("S", "x", 0), "not an integer");
+    EXPECT_DEATH(ini.getDouble("S", "y", 0), "not a number");
+    EXPECT_DEATH(ini.getBool("S", "z", false), "not a boolean");
+}
+
+TEST(IniDeath, MissingFileFatal)
+{
+    EXPECT_DEATH(IniFile::load("/nonexistent/config.ini"),
+                 "cannot open");
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Cross-module integration tests: the paper's headline claims, checked
+ * end-to-end on reduced workloads so they run in seconds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "e3/energy_model.hh"
+#include "e3/experiment.hh"
+#include "e3/synthetic.hh"
+#include "inax/systolic.hh"
+
+namespace e3 {
+namespace {
+
+TEST(Integration, NeatSolvesCartpoleOnThePlatform)
+{
+    ExperimentOptions opt;
+    opt.maxGenerations = 30;
+    opt.episodesPerEval = 3;
+    const RunResult r =
+        runExperiment("cartpole", BackendKind::Cpu, opt);
+    EXPECT_TRUE(r.solved);
+    // The evolved champion is a tiny network (Table V's point).
+    EXPECT_LT(r.bestNetStats.activeNodes, 20u);
+    EXPECT_LT(r.bestNetStats.activeConnections, 60u);
+}
+
+TEST(Integration, InaxSpeedupInPaperRegime)
+{
+    ExperimentOptions opt;
+    opt.maxGenerations = 15;
+    opt.episodesPerEval = 2;
+    const RunResult cpu =
+        runExperiment("mountain_car", BackendKind::Cpu, opt);
+    const RunResult inax =
+        runExperiment("mountain_car", BackendKind::Inax, opt);
+    const double speedup = cpu.totalSeconds() / inax.totalSeconds();
+    EXPECT_GT(speedup, 5.0);
+    EXPECT_LT(speedup, 500.0);
+}
+
+TEST(Integration, EvaluateDominatesCpuProfile)
+{
+    ExperimentOptions opt;
+    opt.maxGenerations = 10;
+    const RunResult cpu =
+        runExperiment("pendulum", BackendKind::Cpu, opt);
+    EXPECT_GT(cpu.modeled.fraction(e3_phase::evaluate), 0.75);
+    EXPECT_LT(cpu.modeled.fraction(e3_phase::evolve), 0.15);
+}
+
+TEST(Integration, InaxRebalancesTheProfile)
+{
+    ExperimentOptions opt;
+    opt.maxGenerations = 10;
+    const RunResult inax =
+        runExperiment("pendulum", BackendKind::Inax, opt);
+    // Fig. 9(d): evaluate drops to the same scale as the other
+    // functions instead of dominating.
+    EXPECT_LT(inax.modeled.fraction(e3_phase::evaluate), 0.5);
+}
+
+TEST(Integration, EnergySavingsOnInax)
+{
+    PowerModel power;
+    ExperimentOptions opt;
+    opt.maxGenerations = 15;
+    const RunResult cpu =
+        runExperiment("mountain_car", BackendKind::Cpu, opt);
+    const RunResult inax =
+        runExperiment("mountain_car", BackendKind::Inax, opt);
+    const double saving = 1.0 - power.joules(inax.energyInput) /
+                                    power.joules(cpu.energyInput);
+    EXPECT_GT(saving, 0.8); // paper: ~97%
+}
+
+TEST(Integration, InaxBeatsSystolicOnEvolvedWorkload)
+{
+    const auto defs = evolvedPopulation("lunar_lander", 8, 60, 11);
+    InaxConfig cfg;
+    cfg.numPUs = 20;
+    cfg.numPEs = 4;
+    Rng rng(12);
+    const auto lens =
+        syntheticEpisodeLengths(defs.size(), 50, 150, rng);
+
+    std::vector<IndividualCost> inaxCosts, saCosts;
+    for (const auto &def : defs) {
+        inaxCosts.push_back(puIndividualCost(def, cfg));
+        saCosts.push_back(systolicIndividualCost(def, cfg));
+    }
+    const auto inax = runAccelerator(inaxCosts, lens, cfg);
+    const auto sa = runAccelerator(saCosts, lens, cfg);
+    EXPECT_LT(inax.setupCycles + inax.computeCycles,
+              sa.setupCycles + sa.computeCycles);
+}
+
+TEST(Integration, PaperPeHeuristicIsNearOptimal)
+{
+    // Sec. V-A heuristic: PE = number of output nodes. Check that on a
+    // synthetic workload the heuristic's U(PE) beats its neighbors.
+    SyntheticParams params;
+    params.numOutputs = 6;
+    const auto population = syntheticPopulation(params, 21);
+    Rng rng(22);
+    const auto lens =
+        syntheticEpisodeLengths(population.size(), 60, 200, rng);
+
+    auto uPe = [&](size_t pes) {
+        InaxConfig cfg;
+        cfg.numPEs = pes;
+        std::vector<IndividualCost> costs;
+        for (const auto &def : population)
+            costs.push_back(puIndividualCost(def, cfg));
+        return runAccelerator(costs, lens, cfg).pe.rate();
+    };
+    const double atHeuristic = uPe(6);
+    EXPECT_GT(atHeuristic, uPe(7));
+    EXPECT_GT(atHeuristic, uPe(5) - 0.05); // local peak, small slack
+}
+
+TEST(Integration, DeterministicRunsAcrossProcessRestarts)
+{
+    // Same options -> bitwise-identical fitness traces. This is the
+    // reproducibility contract the benches rely on.
+    ExperimentOptions opt;
+    opt.maxGenerations = 5;
+    opt.populationSize = 40;
+    const RunResult a =
+        runExperiment("acrobot", BackendKind::Cpu, opt);
+    const RunResult b =
+        runExperiment("acrobot", BackendKind::Cpu, opt);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (size_t g = 0; g < a.trace.size(); ++g) {
+        EXPECT_DOUBLE_EQ(a.trace[g].bestFitness,
+                         b.trace[g].bestFitness);
+        EXPECT_DOUBLE_EQ(a.trace[g].meanFitness,
+                         b.trace[g].meanFitness);
+    }
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,47 @@
+#include "common/logging.hh"
+
+#include <gtest/gtest.h>
+
+namespace e3 {
+namespace {
+
+TEST(Logging, LevelRoundTrip)
+{
+    const LogLevel old = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(old);
+}
+
+TEST(Logging, FormatFoldsArguments)
+{
+    EXPECT_EQ(detail::format("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(detail::format(), "");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH({ e3_panic("boom ", 42); }, "boom 42");
+}
+
+TEST(LoggingDeath, AssertFiresOnFalse)
+{
+    EXPECT_DEATH({ e3_assert(1 == 2, "math broke"); }, "math broke");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    e3_assert(2 + 2 == 4, "never shown");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT({ e3_fatal("bad config"); },
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+} // namespace
+} // namespace e3

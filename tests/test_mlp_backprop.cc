@@ -1,0 +1,171 @@
+/**
+ * @file
+ * MLP forward/backward correctness, including the gold-standard
+ * finite-difference check of every parameter gradient.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mlp/mlp.hh"
+
+namespace e3 {
+namespace {
+
+/** 0.5 * sum((out - target)^2) over a batch. */
+double
+mseLoss(Mlp &net, const Mat &x, const Mat &target)
+{
+    const Mat out = net.forward(x);
+    double loss = 0.0;
+    for (size_t i = 0; i < out.size(); ++i) {
+        const double d = out.data()[i] - target.data()[i];
+        loss += 0.5 * d * d;
+    }
+    return loss;
+}
+
+TEST(Mlp, ShapesAndCounts)
+{
+    Rng rng(1);
+    Mlp net({4, 64, 64, 2}, rng);
+    EXPECT_EQ(net.inputSize(), 4u);
+    EXPECT_EQ(net.outputSize(), 2u);
+    EXPECT_EQ(net.nodeCount(), 4u + 64 + 64 + 2);
+    EXPECT_EQ(net.connectionCount(), 4u * 64 + 64u * 64 + 64u * 2);
+    EXPECT_EQ(net.parameterCount(),
+              net.connectionCount() + 64 + 64 + 2);
+    EXPECT_EQ(net.parameters().size(), 6u);
+}
+
+TEST(Mlp, ForwardIsDeterministic)
+{
+    Rng rng(2);
+    Mlp net({3, 8, 1}, rng);
+    const auto a = net.forward1({0.1, -0.5, 0.9});
+    const auto b = net.forward1({0.1, -0.5, 0.9});
+    EXPECT_EQ(a, b);
+}
+
+TEST(Mlp, LinearNetComputesAffineMap)
+{
+    // With no hidden layer the net is exactly x W + b.
+    Rng rng(3);
+    Mlp net({2, 1}, rng);
+    auto params = net.parameters();
+    params[0]->data() = {2.0, -3.0}; // W (2x1)
+    params[1]->data() = {0.5};       // b
+    const auto out = net.forward1({1.0, 1.0});
+    EXPECT_DOUBLE_EQ(out[0], 2.0 - 3.0 + 0.5);
+}
+
+TEST(Mlp, GradientsMatchFiniteDifferences)
+{
+    Rng rng(4);
+    Mlp net({3, 5, 4, 2}, rng);
+
+    Mat x = Mat::randn(4, 3, 1.0, rng);   // batch of 4
+    Mat target = Mat::randn(4, 2, 1.0, rng);
+
+    // Analytic gradients.
+    net.zeroGrad();
+    const Mat out = net.forward(x);
+    net.backward(out - target); // dMSE/dOut
+    const auto params = net.parameters();
+    const auto grads = net.gradients();
+
+    const double eps = 1e-6;
+    for (size_t p = 0; p < params.size(); ++p) {
+        for (size_t i = 0; i < params[p]->size(); i += 7) {
+            const double orig = params[p]->data()[i];
+            params[p]->data()[i] = orig + eps;
+            const double lossPlus = mseLoss(net, x, target);
+            params[p]->data()[i] = orig - eps;
+            const double lossMinus = mseLoss(net, x, target);
+            params[p]->data()[i] = orig;
+
+            const double numeric = (lossPlus - lossMinus) / (2 * eps);
+            EXPECT_NEAR(grads[p]->data()[i], numeric, 1e-5)
+                << "param " << p << " index " << i;
+        }
+    }
+}
+
+TEST(Mlp, BackwardAccumulatesUntilZeroGrad)
+{
+    Rng rng(5);
+    Mlp net({2, 3, 1}, rng);
+    Mat x = Mat::randn(1, 2, 1.0, rng);
+    Mat g(1, 1, 1.0);
+
+    net.zeroGrad();
+    net.forward(x);
+    net.backward(g);
+    const double once = net.gradients()[0]->data()[0];
+    net.forward(x);
+    net.backward(g);
+    EXPECT_NEAR(net.gradients()[0]->data()[0], 2 * once, 1e-12);
+
+    net.zeroGrad();
+    EXPECT_DOUBLE_EQ(net.gradients()[0]->data()[0], 0.0);
+}
+
+TEST(Mlp, OpAndMemoryAccounting)
+{
+    Rng rng(6);
+    Mlp net({4, 64, 64, 2}, rng);
+    EXPECT_EQ(net.forwardOpsPerSample(), net.connectionCount());
+    // Backward: every layer does the dW matmul; all but the first also
+    // propagate dInput.
+    EXPECT_EQ(net.backwardOpsPerSample(),
+              (4u * 64 + 64u * 64 + 64u * 2) +
+                  (64u * 64 + 64u * 2));
+    EXPECT_EQ(net.activationBytesPerSample(4),
+              4u * (4 + 64 + 64 + 64 + 64 + 2));
+}
+
+TEST(MlpDeath, BadInputWidthPanics)
+{
+    Rng rng(7);
+    Mlp net({3, 2}, rng);
+    Mat x(1, 4, 0.0);
+    EXPECT_DEATH(net.forward(x), "input width");
+}
+
+TEST(MlpDeath, BackwardBeforeForwardPanics)
+{
+    Rng rng(8);
+    Mlp net({3, 2}, rng);
+    Mat g(1, 2, 0.0);
+    EXPECT_DEATH(net.backward(g), "before forward");
+}
+
+TEST(Mlp, TrainsOnToyRegression)
+{
+    // y = 2*x0 - x1, learnable in a few hundred SGD-like steps.
+    Rng rng(9);
+    Mlp net({2, 16, 1}, rng);
+    Rng dataRng(10);
+    for (int step = 0; step < 2500; ++step) {
+        Mat x = Mat::randn(16, 2, 1.0, dataRng);
+        Mat y(16, 1);
+        for (size_t i = 0; i < 16; ++i)
+            y.at(i, 0) = 2 * x.at(i, 0) - x.at(i, 1);
+        net.zeroGrad();
+        const Mat out = net.forward(x);
+        net.backward((out - y).scaled(1.0 / 16.0));
+        const auto params = net.parameters();
+        const auto grads = net.gradients();
+        for (size_t p = 0; p < params.size(); ++p) {
+            for (size_t i = 0; i < params[p]->size(); ++i)
+                params[p]->data()[i] -= 0.05 * grads[p]->data()[i];
+        }
+    }
+    Mat probe(1, 2);
+    probe.data() = {0.5, -0.25};
+    EXPECT_NEAR(net.forward(probe).at(0, 0), 1.25, 0.1);
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,107 @@
+#include "nn/net_stats.hh"
+
+#include <gtest/gtest.h>
+
+namespace e3 {
+namespace {
+
+TEST(NetStats, PaperFigure4aDensityExample)
+{
+    // Fig. 4(a): 3 inputs, 3 hidden, 3 outputs, 9 of 18 possible
+    // adjacent connections present -> density 0.5.
+    auto def = NetworkDef::empty(3, 3);
+    for (int h = 3; h <= 5; ++h)
+        def.nodes.push_back({h, 0.0, Activation::Sigmoid,
+                             Aggregation::Sum});
+    def.conns = {
+        {-1, 3, 1.0}, {-2, 3, 1.0}, {-2, 4, 1.0}, {-3, 5, 1.0},
+        {3, 0, 1.0},  {3, 1, 1.0},  {4, 1, 1.0},  {4, 2, 1.0},
+        {5, 2, 1.0},
+    };
+    const auto stats = computeNetStats(def);
+    EXPECT_EQ(stats.activeNodes, 6u);
+    EXPECT_EQ(stats.activeConnections, 9u);
+    ASSERT_EQ(stats.layerSizes.size(), 2u);
+    EXPECT_EQ(stats.layerSizes[0], 3u);
+    EXPECT_EQ(stats.layerSizes[1], 3u);
+    EXPECT_DOUBLE_EQ(stats.density, 9.0 / 18.0);
+}
+
+TEST(NetStats, SkipLinksCanExceedUnitDensity)
+{
+    // 3 inputs -> 1 hidden -> 1 output, plus all inputs skipping to the
+    // output: 7 connections vs a 3x1x1 dense counterpart's 4.
+    auto def = NetworkDef::empty(3, 1);
+    def.nodes.push_back({1, 0.0, Activation::Sigmoid,
+                         Aggregation::Sum});
+    def.conns = {{-1, 1, 1.0}, {-2, 1, 1.0}, {-3, 1, 1.0}, {1, 0, 1.0},
+                 {-1, 0, 1.0}, {-2, 0, 1.0}, {-3, 0, 1.0}};
+    const auto stats = computeNetStats(def);
+    EXPECT_DOUBLE_EQ(stats.density, 7.0 / 4.0);
+    EXPECT_GT(stats.density, 1.0);
+}
+
+TEST(NetStats, InDegreesPerNode)
+{
+    auto def = NetworkDef::empty(2, 1);
+    def.nodes.push_back({1, 0.0, Activation::Sigmoid,
+                         Aggregation::Sum});
+    def.conns = {{-1, 1, 1.0}, {-2, 1, 1.0}, {1, 0, 1.0},
+                 {-1, 0, 1.0}};
+    const auto stats = computeNetStats(def);
+    ASSERT_EQ(stats.inDegrees.size(), 2u);
+    // Layer order: hidden (degree 2) then output (degree 2).
+    EXPECT_EQ(stats.inDegrees[0], 2u);
+    EXPECT_EQ(stats.inDegrees[1], 2u);
+}
+
+TEST(NetStats, PrunedStructureExcluded)
+{
+    auto def = NetworkDef::empty(1, 1);
+    def.nodes.push_back({1, 0.0, Activation::Sigmoid,
+                         Aggregation::Sum}); // dead-end
+    def.conns = {{-1, 0, 1.0}, {-1, 1, 1.0}};
+    const auto stats = computeNetStats(def);
+    EXPECT_EQ(stats.activeNodes, 1u);
+    EXPECT_EQ(stats.activeConnections, 1u);
+}
+
+TEST(NetStats, ForwardOpsAndMemoryScale)
+{
+    auto def = NetworkDef::empty(2, 1);
+    def.conns = {{-1, 0, 1.0}, {-2, 0, 1.0}};
+    const auto stats = computeNetStats(def);
+    EXPECT_EQ(stats.forwardMacs(), 2u);
+    EXPECT_EQ(stats.forwardOps(), 2 * 2 + 2 * 1);
+    EXPECT_EQ(stats.memoryBytes(4), 4u * (2 + 2));
+}
+
+TEST(NetStats, DenseConnectionCountHelper)
+{
+    EXPECT_EQ(denseConnectionCount({4, 64, 64, 1}),
+              4u * 64 + 64u * 64 + 64u * 1); // paper's cartpole Small
+    EXPECT_EQ(denseConnectionCount({5}), 0u);
+    EXPECT_EQ(denseConnectionCount({}), 0u);
+}
+
+TEST(NetStats, TableVSmallNetworkFormulas)
+{
+    // Table V: Small = two hidden layers of 64. Nodes include inputs
+    // and outputs; connections are the dense adjacent products.
+    struct Row { size_t in, out, nodes, conns; };
+    const Row rows[] = {
+        {6, 3, 137, 4672},   // Acrobot
+        {24, 4, 156, 5888},  // Bipedal
+        {4, 1, 133, 4416},   // Cartpole
+        {8, 4, 140, 4864},   // Lander
+        {2, 3, 133, 4416},   // Mountain car
+        {3, 1, 132, 4352},   // Pendulum
+    };
+    for (const auto &r : rows) {
+        EXPECT_EQ(r.in + 64 + 64 + r.out, r.nodes);
+        EXPECT_EQ(denseConnectionCount({r.in, 64, 64, r.out}), r.conns);
+    }
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,85 @@
+#include "mlp/optimizer.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace e3 {
+namespace {
+
+/** Minimize f(x) = (x - 3)^2 with an optimizer; df/dx = 2(x - 3). */
+template <typename Opt, typename... Args>
+double
+minimizeQuadratic(int steps, Args &&...args)
+{
+    Mat x(1, 1, 0.0);
+    Mat g(1, 1, 0.0);
+    Opt opt({&x}, {&g}, std::forward<Args>(args)...);
+    for (int i = 0; i < steps; ++i) {
+        g.at(0, 0) = 2.0 * (x.at(0, 0) - 3.0);
+        opt.step();
+    }
+    return x.at(0, 0);
+}
+
+TEST(Adam, ConvergesOnQuadratic)
+{
+    EXPECT_NEAR(minimizeQuadratic<Adam>(3000, 0.01), 3.0, 0.05);
+}
+
+TEST(RmsProp, ConvergesOnQuadratic)
+{
+    EXPECT_NEAR(minimizeQuadratic<RmsProp>(3000, 0.01), 3.0, 0.05);
+}
+
+TEST(Adam, FirstStepIsLearningRateSized)
+{
+    // With bias correction, the first Adam step is ~lr in the gradient
+    // direction regardless of gradient magnitude.
+    Mat x(1, 1, 0.0);
+    Mat g(1, 1, 1000.0);
+    Adam opt({&x}, {&g}, 0.1);
+    opt.step();
+    EXPECT_NEAR(x.at(0, 0), -0.1, 1e-6);
+}
+
+TEST(Optimizer, ClipGradNormScalesDown)
+{
+    Mat x(1, 2, 0.0);
+    Mat g(1, 2, 0.0);
+    g.data() = {3.0, 4.0}; // norm 5
+    Adam opt({&x}, {&g});
+    const double norm = opt.clipGradNorm(1.0);
+    EXPECT_DOUBLE_EQ(norm, 5.0);
+    EXPECT_NEAR(g.at(0, 0), 0.6, 1e-12);
+    EXPECT_NEAR(g.at(0, 1), 0.8, 1e-12);
+}
+
+TEST(Optimizer, ClipGradNormNoopBelowThreshold)
+{
+    Mat x(1, 1, 0.0);
+    Mat g(1, 1, 0.5);
+    RmsProp opt({&x}, {&g});
+    opt.clipGradNorm(1.0);
+    EXPECT_DOUBLE_EQ(g.at(0, 0), 0.5);
+}
+
+TEST(OptimizerDeath, MisalignedListsPanic)
+{
+    Mat x(1, 1, 0.0);
+    Mat g(2, 2, 0.0);
+    EXPECT_DEATH(Adam({&x}, {&g}), "shape mismatch");
+}
+
+TEST(Adam, MultipleParametersUpdateIndependently)
+{
+    Mat a(1, 1, 0.0), b(1, 1, 0.0);
+    Mat ga(1, 1, 1.0), gb(1, 1, -1.0);
+    Adam opt({&a, &b}, {&ga, &gb}, 0.1);
+    opt.step();
+    EXPECT_LT(a.at(0, 0), 0.0);
+    EXPECT_GT(b.at(0, 0), 0.0);
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,113 @@
+#include "rl/policy.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace e3 {
+namespace {
+
+TEST(ActorCritic, DiscreteShapes)
+{
+    ActorCritic policy(envSpec("acrobot"), {64, 64}, 1);
+    EXPECT_TRUE(policy.discrete());
+    EXPECT_EQ(policy.actionDim(), 3u); // acrobot has 3 actions
+    EXPECT_EQ(policy.actor().inputSize(), 6u);
+    EXPECT_EQ(policy.actor().outputSize(), 3u);
+    EXPECT_EQ(policy.critic().outputSize(), 1u);
+    // Discrete policies do not expose logStd as a parameter.
+    EXPECT_EQ(policy.parameters().size(),
+              policy.actor().parameters().size() +
+                  policy.critic().parameters().size());
+}
+
+TEST(ActorCritic, ContinuousShapesIncludeLogStd)
+{
+    ActorCritic policy(envSpec("pendulum"), {64, 64}, 1);
+    EXPECT_FALSE(policy.discrete());
+    EXPECT_EQ(policy.actionDim(), 1u);
+    EXPECT_EQ(policy.parameters().size(),
+              policy.actor().parameters().size() +
+                  policy.critic().parameters().size() + 1);
+}
+
+TEST(ActorCritic, TableVSmallNetworkCounts)
+{
+    // Table V's Small network is one 2x64 MLP; our ActorCritic holds
+    // two (actor + critic), so each individually matches the paper.
+    ActorCritic policy(envSpec("acrobot"), {64, 64}, 1);
+    EXPECT_EQ(policy.actor().nodeCount(), 137u);
+    EXPECT_EQ(policy.actor().connectionCount(), 4672u);
+}
+
+TEST(ActorCritic, ActProducesValidDiscreteActions)
+{
+    ActorCritic policy(envSpec("lunar_lander"), {32}, 2);
+    Rng rng(3);
+    auto env = envSpec("lunar_lander").make();
+    const auto obs = env->reset(rng);
+    for (int i = 0; i < 50; ++i) {
+        const auto act = policy.act(obs, rng);
+        const int a = static_cast<int>(act.envAction[0]);
+        EXPECT_GE(a, 0);
+        EXPECT_LT(a, 4);
+        EXPECT_LE(act.logProb, 0.0);
+        EXPECT_TRUE(std::isfinite(act.value));
+    }
+}
+
+TEST(ActorCritic, ContinuousActionsClampedToEnvBounds)
+{
+    ActorCritic policy(envSpec("pendulum"), {16}, 4);
+    Rng rng(5);
+    auto env = envSpec("pendulum").make();
+    const auto obs = env->reset(rng);
+    for (int i = 0; i < 100; ++i) {
+        const auto act = policy.act(obs, rng);
+        EXPECT_GE(act.envAction[0], -2.0);
+        EXPECT_LE(act.envAction[0], 2.0);
+    }
+}
+
+TEST(ActorCritic, DeterministicActIsMode)
+{
+    ActorCritic policy(envSpec("cartpole"), {16}, 6);
+    Rng rng(7);
+    const Observation obs{0.0, 0.1, -0.1, 0.0};
+    const auto a = policy.act(obs, rng, true);
+    const auto b = policy.act(obs, rng, true);
+    EXPECT_EQ(a.envAction, b.envAction);
+    EXPECT_DOUBLE_EQ(a.value, b.value);
+}
+
+TEST(ActorCritic, BatchedForwardMatchesSingle)
+{
+    ActorCritic policy(envSpec("cartpole"), {8, 8}, 8);
+    Mat obs(2, 4);
+    obs.data() = {0.1, 0.2, 0.3, 0.4, -0.1, -0.2, -0.3, -0.4};
+    const Mat out = policy.actorForward(obs);
+    const auto single = policy.actor().forward1({0.1, 0.2, 0.3, 0.4});
+    for (size_t c = 0; c < single.size(); ++c)
+        EXPECT_NEAR(out.at(0, c), single[c], 1e-12);
+}
+
+TEST(ActorCritic, ZeroGradClearsEverything)
+{
+    ActorCritic policy(envSpec("pendulum"), {8}, 9);
+    policy.logStdGrad().at(0, 0) = 5.0;
+    policy.zeroGrad();
+    EXPECT_DOUBLE_EQ(policy.logStdGrad().at(0, 0), 0.0);
+}
+
+TEST(ActorCritic, OpCountsComposeActorAndCritic)
+{
+    ActorCritic policy(envSpec("cartpole"), {64, 64}, 10);
+    EXPECT_EQ(policy.forwardOpsPerStep(),
+              policy.actor().forwardOpsPerSample() +
+                  policy.critic().forwardOpsPerSample());
+    EXPECT_GT(policy.backwardOpsPerStep(),
+              policy.forwardOpsPerStep());
+}
+
+} // namespace
+} // namespace e3

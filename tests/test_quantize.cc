@@ -1,0 +1,138 @@
+#include "nn/quantize.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "e3/synthetic.hh"
+
+namespace e3 {
+namespace {
+
+TEST(FixedPointFormat, RangeAndResolution)
+{
+    const FixedPointFormat q88{16, 8};
+    EXPECT_DOUBLE_EQ(q88.resolution(), 1.0 / 256.0);
+    EXPECT_DOUBLE_EQ(q88.maxValue(), (32768.0 - 1.0) / 256.0);
+    EXPECT_DOUBLE_EQ(q88.minValue(), -128.0);
+    EXPECT_EQ(q88.describe(), "Q7.8");
+}
+
+TEST(FixedPointFormat, QuantizeRoundsToGrid)
+{
+    const FixedPointFormat q44{8, 4}; // step 1/16
+    EXPECT_DOUBLE_EQ(q44.quantize(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(q44.quantize(0.26), 4.0 / 16.0);
+    EXPECT_DOUBLE_EQ(q44.quantize(-0.26), -4.0 / 16.0);
+    // Error never exceeds half a step inside the range.
+    for (double v = -7.0; v < 7.0; v += 0.037)
+        EXPECT_LE(std::fabs(q44.quantize(v) - v), 0.5 / 16.0 + 1e-12);
+}
+
+TEST(FixedPointFormat, Saturates)
+{
+    const FixedPointFormat q44{8, 4};
+    EXPECT_DOUBLE_EQ(q44.quantize(1000.0), q44.maxValue());
+    EXPECT_DOUBLE_EQ(q44.quantize(-1000.0), q44.minValue());
+}
+
+TEST(FixedPointFormatDeath, BadBitsFatal)
+{
+    FixedPointFormat bad{8, 9};
+    EXPECT_DEATH(bad.validate(), "fractional bits");
+    FixedPointFormat tiny{1, 0};
+    EXPECT_DEATH(tiny.validate(), "total bits");
+}
+
+TEST(QuantizeDef, WeightsAndBiasesLandOnGrid)
+{
+    Rng rng(1);
+    SyntheticParams params;
+    params.numIndividuals = 1;
+    const auto def = syntheticIrregularNet(params, rng);
+    const FixedPointFormat fmt{16, 8};
+    const auto q = quantizeDef(def, fmt);
+    for (const auto &node : q.nodes) {
+        EXPECT_DOUBLE_EQ(node.bias, fmt.quantize(node.bias));
+    }
+    for (const auto &conn : q.conns) {
+        EXPECT_DOUBLE_EQ(conn.weight, fmt.quantize(conn.weight));
+    }
+    EXPECT_EQ(q.conns.size(), def.conns.size());
+}
+
+TEST(QuantizedNetwork, WideFormatTracksFloat)
+{
+    Rng rng(2);
+    SyntheticParams params;
+    params.numIndividuals = 1;
+    const auto def = syntheticIrregularNet(params, rng);
+
+    auto floatNet = FeedForwardNetwork::create(def);
+    auto qnet = QuantizedNetwork::create(def, {32, 20});
+
+    Rng inputRng(3);
+    for (int s = 0; s < 20; ++s) {
+        std::vector<double> x(params.numInputs);
+        for (auto &v : x)
+            v = inputRng.uniform(-1.0, 1.0);
+        const auto a = floatNet.activate(x);
+        const auto b = qnet.activate(x);
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i)
+            EXPECT_NEAR(a[i], b[i], 1e-3);
+    }
+}
+
+TEST(QuantizedNetwork, ErrorShrinksWithMoreBits)
+{
+    Rng rng(4);
+    SyntheticParams params;
+    params.numIndividuals = 1;
+    const auto def = syntheticIrregularNet(params, rng);
+    auto floatNet = FeedForwardNetwork::create(def);
+
+    auto maxError = [&](int totalBits, int fracBits) {
+        auto qnet = QuantizedNetwork::create(
+            def, {totalBits, fracBits});
+        Rng inputRng(5);
+        double worst = 0.0;
+        for (int s = 0; s < 30; ++s) {
+            std::vector<double> x(params.numInputs);
+            for (auto &v : x)
+                v = inputRng.uniform(-1.0, 1.0);
+            const auto a = floatNet.activate(x);
+            const auto b = qnet.activate(x);
+            for (size_t i = 0; i < a.size(); ++i)
+                worst = std::max(worst, std::fabs(a[i] - b[i]));
+        }
+        return worst;
+    };
+    EXPECT_LT(maxError(24, 14), maxError(8, 4));
+    EXPECT_LE(maxError(16, 8), maxError(6, 3) + 1e-12);
+}
+
+TEST(QuantizedNetwork, OutputsAreOnTheGrid)
+{
+    Rng rng(6);
+    SyntheticParams params;
+    params.numIndividuals = 1;
+    const auto def = syntheticIrregularNet(params, rng);
+    const FixedPointFormat fmt{8, 4};
+    auto qnet = QuantizedNetwork::create(def, fmt);
+    const auto out = qnet.activate(
+        std::vector<double>(params.numInputs, 0.33));
+    for (double o : out)
+        EXPECT_DOUBLE_EQ(o, fmt.quantize(o));
+}
+
+TEST(QuantizedNetworkDeath, WrongArityPanics)
+{
+    auto def = NetworkDef::empty(2, 1);
+    def.conns = {{-1, 0, 1.0}};
+    auto qnet = QuantizedNetwork::create(def, {16, 8});
+    EXPECT_DEATH(qnet.activate({1.0}), "inputs");
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,129 @@
+#include "neat/reporter.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "neat/distance_cache.hh"
+
+namespace e3 {
+namespace {
+
+NeatConfig
+smallConfig()
+{
+    auto cfg = NeatConfig::forTask(2, 1, 1e18);
+    cfg.populationSize = 20;
+    return cfg;
+}
+
+TEST(Reporter, StdOutEmitsOneLinePerEvaluation)
+{
+    Population pop(smallConfig(), 1);
+    std::ostringstream out;
+    StdOutReporter reporter(out);
+    pop.addReporter(&reporter);
+
+    for (int gen = 0; gen < 3; ++gen) {
+        pop.evaluateAll([](const Genome &) { return 1.0; });
+        pop.advance();
+    }
+    const std::string text = out.str();
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+    EXPECT_NE(text.find("gen 0:"), std::string::npos);
+    EXPECT_NE(text.find("species"), std::string::npos);
+}
+
+TEST(Reporter, StatisticsAccumulateHistory)
+{
+    Population pop(smallConfig(), 2);
+    StatisticsReporter stats;
+    pop.addReporter(&stats);
+
+    for (int gen = 0; gen < 4; ++gen) {
+        pop.evaluateAll([gen](const Genome &) {
+            return static_cast<double>(gen);
+        });
+        pop.advance();
+    }
+    ASSERT_EQ(stats.history().size(), 4u);
+    EXPECT_EQ(stats.history()[2].generation, 2);
+    EXPECT_DOUBLE_EQ(stats.bestFitnessEver(), 3.0);
+
+    const std::string csv = stats.csv();
+    EXPECT_NE(csv.find("generation,best,mean"), std::string::npos);
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5); // hdr + 4
+}
+
+TEST(Reporter, MultipleReportersAllFire)
+{
+    Population pop(smallConfig(), 3);
+    StatisticsReporter a, b;
+    pop.addReporter(&a);
+    pop.addReporter(&b);
+    pop.evaluateAll([](const Genome &) { return 0.0; });
+    EXPECT_EQ(a.history().size(), 1u);
+    EXPECT_EQ(b.history().size(), 1u);
+}
+
+TEST(ReporterDeath, NullReporterPanics)
+{
+    Population pop(smallConfig(), 4);
+    EXPECT_DEATH(pop.addReporter(nullptr), "null");
+}
+
+TEST(DistanceCache, HitsOnRepeatedPairs)
+{
+    const NeatConfig cfg = smallConfig();
+    Rng rng(5);
+    Genome a(1), b(2);
+    a.configureNew(cfg, rng);
+    b.configureNew(cfg, rng);
+
+    DistanceCache cache(cfg);
+    const double d1 = cache.distance(a, b);
+    const double d2 = cache.distance(b, a); // symmetric key
+    EXPECT_DOUBLE_EQ(d1, d2);
+    EXPECT_DOUBLE_EQ(d1, a.distance(b, cfg));
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(DistanceCache, DistinctPairsMiss)
+{
+    const NeatConfig cfg = smallConfig();
+    Rng rng(6);
+    Genome a(1), b(2), c(3);
+    a.configureNew(cfg, rng);
+    b.configureNew(cfg, rng);
+    c.configureNew(cfg, rng);
+
+    DistanceCache cache(cfg);
+    cache.distance(a, b);
+    cache.distance(a, c);
+    cache.distance(b, c);
+    EXPECT_EQ(cache.misses(), 3u);
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(DistanceCache, SpeciationResultsUnchanged)
+{
+    // The cache is an optimization: speciation must partition exactly
+    // as before (checked indirectly via determinism across runs, which
+    // would break if cached distances differed from direct ones).
+    const NeatConfig cfg = smallConfig();
+    Population a(cfg, 7), b(cfg, 7);
+    for (int gen = 0; gen < 3; ++gen) {
+        auto fit = [](const Genome &g) {
+            return static_cast<double>(g.size().second);
+        };
+        a.evaluateAll(fit);
+        b.evaluateAll(fit);
+        EXPECT_EQ(a.speciesSet().count(), b.speciesSet().count());
+        a.advance();
+        b.advance();
+    }
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,81 @@
+#include "rl/rollout.hh"
+
+#include <gtest/gtest.h>
+
+namespace e3 {
+namespace {
+
+Transition
+makeTransition(double reward, bool done = false)
+{
+    Transition t;
+    t.obs = {1.0, 2.0};
+    t.rawAction = {0.0};
+    t.reward = reward;
+    t.done = done;
+    t.value = reward * 0.5;
+    t.logProb = -1.0;
+    return t;
+}
+
+TEST(RolloutBuffer, FillsToCapacity)
+{
+    RolloutBuffer buf(2, 3);
+    EXPECT_FALSE(buf.full());
+    for (size_t lane = 0; lane < 2; ++lane) {
+        for (int t = 0; t < 3; ++t)
+            buf.push(lane, makeTransition(t));
+    }
+    EXPECT_TRUE(buf.full());
+    EXPECT_EQ(buf.numEnvs(), 2u);
+    EXPECT_EQ(buf.numSteps(), 3u);
+}
+
+TEST(RolloutBuffer, PerLaneSequencesPreserved)
+{
+    RolloutBuffer buf(2, 2);
+    buf.push(0, makeTransition(1.0));
+    buf.push(1, makeTransition(10.0, true));
+    buf.push(0, makeTransition(2.0));
+    buf.push(1, makeTransition(20.0));
+
+    EXPECT_EQ(buf.rewards(0), (std::vector<double>{1.0, 2.0}));
+    EXPECT_EQ(buf.rewards(1), (std::vector<double>{10.0, 20.0}));
+    EXPECT_EQ(buf.values(1), (std::vector<double>{5.0, 10.0}));
+    EXPECT_EQ(buf.dones(1), (std::vector<bool>{true, false}));
+    EXPECT_DOUBLE_EQ(buf.at(0, 1).reward, 2.0);
+}
+
+TEST(RolloutBuffer, ClearEmpties)
+{
+    RolloutBuffer buf(1, 1);
+    buf.push(0, makeTransition(1.0));
+    EXPECT_TRUE(buf.full());
+    buf.clear();
+    EXPECT_FALSE(buf.full());
+    EXPECT_TRUE(buf.rewards(0).empty());
+}
+
+TEST(RolloutBuffer, BytesScaleWithContent)
+{
+    RolloutBuffer buf(1, 4);
+    const uint64_t empty = buf.bytes();
+    buf.push(0, makeTransition(1.0));
+    EXPECT_GT(buf.bytes(), empty);
+}
+
+TEST(RolloutBufferDeath, OverfillPanics)
+{
+    RolloutBuffer buf(1, 1);
+    buf.push(0, makeTransition(1.0));
+    EXPECT_DEATH(buf.push(0, makeTransition(2.0)), "full");
+}
+
+TEST(RolloutBufferDeath, BadLanePanics)
+{
+    RolloutBuffer buf(1, 1);
+    EXPECT_DEATH(buf.push(5, makeTransition(1.0)), "lane");
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,109 @@
+#include "neat/serialize.hh"
+
+#include <gtest/gtest.h>
+
+#include "neat/mutation.hh"
+
+namespace e3 {
+namespace {
+
+Genome
+sampleGenome(uint64_t seed, bool evaluated = true)
+{
+    NeatConfig cfg = NeatConfig::forTask(3, 2, 1.0);
+    cfg.activationOptions = {Activation::Sigmoid, Activation::ReLU};
+    cfg.activationMutateRate = 0.3;
+    Rng rng(seed);
+    InnovationTracker innovation(2);
+    Genome g(42);
+    g.configureNew(cfg, rng);
+    for (int i = 0; i < 15; ++i)
+        mutateGenome(g, cfg, rng, innovation);
+    if (evaluated)
+        g.fitness = -123.456;
+    return g;
+}
+
+TEST(Serialize, RoundTripPreservesEverything)
+{
+    const Genome original = sampleGenome(1);
+    const Genome copy = genomeFromString(genomeToString(original));
+
+    EXPECT_EQ(copy.key(), original.key());
+    EXPECT_DOUBLE_EQ(copy.fitness, original.fitness);
+    ASSERT_EQ(copy.nodes.size(), original.nodes.size());
+    for (const auto &[id, node] : original.nodes) {
+        const auto &loaded = copy.nodes.at(id);
+        EXPECT_DOUBLE_EQ(loaded.bias, node.bias);
+        EXPECT_EQ(loaded.act, node.act);
+        EXPECT_EQ(loaded.agg, node.agg);
+    }
+    ASSERT_EQ(copy.conns.size(), original.conns.size());
+    for (const auto &[key, conn] : original.conns) {
+        const auto &loaded = copy.conns.at(key);
+        EXPECT_DOUBLE_EQ(loaded.weight, conn.weight);
+        EXPECT_EQ(loaded.enabled, conn.enabled);
+    }
+}
+
+TEST(Serialize, UnevaluatedFitnessRoundTrips)
+{
+    const Genome original = sampleGenome(2, /*evaluated=*/false);
+    const Genome copy = genomeFromString(genomeToString(original));
+    EXPECT_FALSE(copy.evaluated());
+}
+
+TEST(Serialize, LoadedGenomeDecodesIdentically)
+{
+    const NeatConfig cfg = NeatConfig::forTask(3, 2, 1.0);
+    const Genome original = sampleGenome(3);
+    const Genome copy = genomeFromString(genomeToString(original));
+
+    auto netA = FeedForwardNetwork::create(original.toNetworkDef(cfg));
+    auto netB = FeedForwardNetwork::create(copy.toNetworkDef(cfg));
+    const std::vector<double> x{0.25, -0.5, 0.75};
+    EXPECT_EQ(netA.activate(x), netB.activate(x));
+}
+
+TEST(Serialize, CommentsAndBlanksIgnored)
+{
+    const Genome original = sampleGenome(4);
+    const std::string text =
+        "# champion from run 7\n\n" + genomeToString(original);
+    const Genome copy = genomeFromString(text);
+    EXPECT_EQ(copy.nodes.size(), original.nodes.size());
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    const Genome original = sampleGenome(5);
+    const std::string path = "/tmp/e3_test_genome.txt";
+    ASSERT_TRUE(saveGenomeFile(original, path));
+    const Genome copy = loadGenomeFile(path);
+    EXPECT_EQ(copy.conns.size(), original.conns.size());
+    EXPECT_FALSE(saveGenomeFile(original, "/nonexistent/x.genome"));
+}
+
+TEST(SerializeDeath, MissingFileFatal)
+{
+    EXPECT_DEATH(loadGenomeFile("/nonexistent/y.genome"),
+                 "cannot open");
+}
+
+TEST(SerializeDeath, TruncatedStreamFatal)
+{
+    std::string text = genomeToString(sampleGenome(6));
+    text.resize(text.size() - 5); // chop off "end\n"
+    EXPECT_DEATH(genomeFromString(text), "before 'end'");
+}
+
+TEST(SerializeDeath, GarbageFatal)
+{
+    EXPECT_DEATH(genomeFromString("genome 1 0\nblorp 3\nend\n"),
+                 "unknown record");
+    EXPECT_DEATH(genomeFromString("whatever\n"), "expected 'genome'");
+    EXPECT_DEATH(genomeFromString(""), "no genome");
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,65 @@
+#include "env/space.hh"
+
+#include <gtest/gtest.h>
+
+namespace e3 {
+namespace {
+
+TEST(Space, DiscreteBasics)
+{
+    const Space s = Space::discrete(3);
+    EXPECT_TRUE(s.isDiscrete());
+    EXPECT_EQ(s.count(), 3);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.describe(), "Discrete(3)");
+}
+
+TEST(Space, BoxUniformBounds)
+{
+    const Space s = Space::box(4, -1.0, 1.0);
+    EXPECT_FALSE(s.isDiscrete());
+    EXPECT_EQ(s.size(), 4u);
+    EXPECT_DOUBLE_EQ(s.low()[0], -1.0);
+    EXPECT_DOUBLE_EQ(s.high()[3], 1.0);
+    EXPECT_EQ(s.describe(), "Box(4)");
+}
+
+TEST(Space, BoxPerElementBounds)
+{
+    const Space s = Space::box({-1.0, 0.0}, {1.0, 10.0});
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s.high()[1], 10.0);
+}
+
+TEST(Space, ClampPullsIntoBounds)
+{
+    const Space s = Space::box(2, -1.0, 1.0);
+    const auto v = s.clamp({-5.0, 5.0});
+    EXPECT_DOUBLE_EQ(v[0], -1.0);
+    EXPECT_DOUBLE_EQ(v[1], 1.0);
+}
+
+TEST(SpaceDeath, CountOnBoxPanics)
+{
+    const Space s = Space::box(1, 0.0, 1.0);
+    EXPECT_DEATH(s.count(), "Box");
+}
+
+TEST(SpaceDeath, LowOnDiscretePanics)
+{
+    const Space s = Space::discrete(2);
+    EXPECT_DEATH(s.low(), "Discrete");
+}
+
+TEST(SpaceDeath, InvertedBoundsPanic)
+{
+    EXPECT_DEATH(Space::box({1.0}, {0.0}), "inverted");
+}
+
+TEST(SpaceDeath, ZeroActionDiscreteFatal)
+{
+    EXPECT_DEATH(Space::discrete(0), "at least one");
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,126 @@
+#include "neat/species.hh"
+
+#include <gtest/gtest.h>
+
+#include "neat/mutation.hh"
+
+namespace e3 {
+namespace {
+
+std::map<int, Genome>
+makePopulation(const NeatConfig &cfg, size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::map<int, Genome> pop;
+    for (size_t i = 0; i < n; ++i) {
+        Genome g(static_cast<int>(i));
+        g.configureNew(cfg, rng);
+        pop.emplace(g.key(), std::move(g));
+    }
+    return pop;
+}
+
+TEST(Species, EveryGenomeIsAssigned)
+{
+    const auto cfg = NeatConfig::forTask(4, 2, 1.0);
+    const auto pop = makePopulation(cfg, 30, 1);
+    SpeciesSet set;
+    set.speciate(pop, cfg, 0);
+    size_t members = 0;
+    for (const auto &[sid, sp] : set.species())
+        members += sp.members.size();
+    EXPECT_EQ(members, pop.size());
+    for (const auto &[key, genome] : pop)
+        EXPECT_GE(set.speciesOf(key), 0);
+}
+
+TEST(Species, IdenticalGenomesShareOneSpecies)
+{
+    const auto cfg = NeatConfig::forTask(2, 1, 1.0);
+    Rng rng(2);
+    Genome proto(0);
+    proto.configureNew(cfg, rng);
+    std::map<int, Genome> pop;
+    for (int i = 0; i < 10; ++i) {
+        Genome g = proto;
+        // Same genes, different key: zero distance to each other.
+        Genome copy(i);
+        copy.nodes = g.nodes;
+        copy.conns = g.conns;
+        pop.emplace(i, std::move(copy));
+    }
+    SpeciesSet set;
+    set.speciate(pop, cfg, 0);
+    EXPECT_EQ(set.count(), 1u);
+}
+
+TEST(Species, StructurallyDistantGenomesSplit)
+{
+    auto cfg = NeatConfig::forTask(2, 1, 1.0);
+    cfg.compatibilityThreshold = 0.5; // strict
+    Rng rng(3);
+    InnovationTracker innovation(1);
+
+    Genome base(0);
+    base.configureNew(cfg, rng);
+    Genome far(1);
+    far.nodes = base.nodes;
+    far.conns = base.conns;
+    for (int i = 0; i < 8; ++i)
+        mutateAddNode(far, cfg, rng, innovation);
+
+    std::map<int, Genome> pop;
+    pop.emplace(0, std::move(base));
+    pop.emplace(1, std::move(far));
+    SpeciesSet set;
+    set.speciate(pop, cfg, 0);
+    EXPECT_EQ(set.count(), 2u);
+}
+
+TEST(Species, RepresentativesFollowThePopulation)
+{
+    const auto cfg = NeatConfig::forTask(3, 1, 1.0);
+    auto pop = makePopulation(cfg, 20, 4);
+    SpeciesSet set;
+    set.speciate(pop, cfg, 0);
+    const size_t firstCount = set.count();
+
+    // Re-speciating the same population keeps assignments stable.
+    set.speciate(pop, cfg, 1);
+    EXPECT_EQ(set.count(), firstCount);
+}
+
+TEST(Species, RemoveDropsSpecies)
+{
+    const auto cfg = NeatConfig::forTask(2, 1, 1.0);
+    const auto pop = makePopulation(cfg, 10, 5);
+    SpeciesSet set;
+    set.speciate(pop, cfg, 0);
+    const int sid = set.species().begin()->first;
+    const size_t before = set.count();
+    set.remove(sid);
+    EXPECT_EQ(set.count(), before - 1);
+}
+
+TEST(Species, BestHistoricalFitness)
+{
+    const auto cfg = NeatConfig::forTask(2, 1, 1.0);
+    Rng rng(6);
+    Genome g(0);
+    g.configureNew(cfg, rng);
+    Species sp(1, 0, g);
+    EXPECT_FALSE(sp.bestHistoricalFitness().has_value());
+    sp.fitnessHistory = {1.0, 5.0, 3.0};
+    EXPECT_DOUBLE_EQ(sp.bestHistoricalFitness().value(), 5.0);
+}
+
+TEST(SpeciesDeath, EmptyPopulationPanics)
+{
+    const auto cfg = NeatConfig::forTask(2, 1, 1.0);
+    SpeciesSet set;
+    std::map<int, Genome> empty;
+    EXPECT_DEATH(set.speciate(empty, cfg, 0), "empty");
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,169 @@
+#include "common/stats.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace e3 {
+namespace {
+
+TEST(Distribution, EmptyIsSafe)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.variance(), 0.0);
+    EXPECT_EQ(d.summary(), "(empty)");
+}
+
+TEST(Distribution, BasicMoments)
+{
+    Distribution d;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.add(x);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    EXPECT_DOUBLE_EQ(d.sum(), 40.0);
+}
+
+TEST(Distribution, MergeMatchesCombinedStream)
+{
+    Distribution a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = 0.31 * i - 3.0;
+        a.add(x);
+        all.add(x);
+    }
+    for (int i = 0; i < 70; ++i) {
+        const double x = -0.17 * i + 9.0;
+        b.add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Distribution, MergeWithEmptySides)
+{
+    Distribution a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    Distribution b = a;
+    b.merge(empty);
+    EXPECT_EQ(b.count(), 2u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(DistributionDeath, MinOfEmptyPanics)
+{
+    Distribution d;
+    EXPECT_DEATH(d.min(), "empty");
+}
+
+TEST(Histogram, BinningAndEdges)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.0);  // bin 0
+    h.add(1.99); // bin 0
+    h.add(2.0);  // bin 1
+    h.add(9.99); // bin 4
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.binLo(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.binHi(1), 4.0);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-100.0);
+    h.add(100.0);
+    h.add(1.0); // exactly hi clamps into the last bin
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(3), 2u);
+}
+
+TEST(Histogram, FractionSumsToOne)
+{
+    Histogram h(0.0, 1.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(i / 100.0);
+    double total = 0.0;
+    for (size_t b = 0; b < h.bins(); ++b)
+        total += h.fraction(b);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, AsciiRendersEveryBin)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    const std::string art = h.ascii(10);
+    EXPECT_NE(art.find("#"), std::string::npos);
+    EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+}
+
+TEST(HistogramDeath, BadRangePanics)
+{
+    EXPECT_DEATH(Histogram(1.0, 1.0, 4), "empty");
+}
+
+TEST(Counters, AddAndGet)
+{
+    Counters c;
+    c.add("cycles", 10.0);
+    c.add("cycles", 5.0);
+    c.add("stalls", 2.0);
+    EXPECT_DOUBLE_EQ(c.get("cycles"), 15.0);
+    EXPECT_DOUBLE_EQ(c.get("stalls"), 2.0);
+    EXPECT_DOUBLE_EQ(c.get("missing"), 0.0);
+    EXPECT_DOUBLE_EQ(c.total(), 17.0);
+}
+
+TEST(Counters, NamesPreserveInsertionOrder)
+{
+    Counters c;
+    c.add("b", 1);
+    c.add("a", 1);
+    c.add("b", 1);
+    ASSERT_EQ(c.names().size(), 2u);
+    EXPECT_EQ(c.names()[0], "b");
+    EXPECT_EQ(c.names()[1], "a");
+}
+
+TEST(Counters, ResetKeepsNames)
+{
+    Counters c;
+    c.add("x", 3);
+    c.reset();
+    EXPECT_DOUBLE_EQ(c.get("x"), 0.0);
+    EXPECT_EQ(c.names().size(), 1u);
+}
+
+TEST(Counters, MergeUnionsNames)
+{
+    Counters a, b;
+    a.add("x", 1);
+    b.add("x", 2);
+    b.add("y", 5);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 5.0);
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,76 @@
+#include "common/table.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/csv.hh"
+
+namespace e3 {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t("demo");
+    t.header({"env", "runtime"});
+    t.row({"cartpole", "0.3"});
+    t.row({"pendulum", "527.0"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("== demo =="), std::string::npos);
+    EXPECT_NE(s.find("cartpole"), std::string::npos);
+    EXPECT_NE(s.find("527.0"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(static_cast<long long>(42)), "42");
+    EXPECT_EQ(TextTable::pct(0.9721, 1), "97.2%");
+}
+
+TEST(TextTableDeath, RowWidthMismatchPanics)
+{
+    TextTable t;
+    t.header({"a", "b"});
+    EXPECT_DEATH(t.row({"only-one"}), "width");
+}
+
+TEST(TextTable, CountsRowsAndColumns)
+{
+    TextTable t;
+    t.header({"a", "b", "c"});
+    t.row({"1", "2", "3"});
+    EXPECT_EQ(t.rows(), 1u);
+    EXPECT_EQ(t.columns(), 3u);
+}
+
+TEST(CsvWriter, EscapesSpecialCells)
+{
+    CsvWriter w;
+    w.header({"name", "note"});
+    w.row({"plain", "a,b"});
+    w.row({"quoted", "say \"hi\""});
+    const std::string s = w.str();
+    EXPECT_NE(s.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(s.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(CsvWriter, WritesFile)
+{
+    CsvWriter w;
+    w.header({"x"});
+    w.row({"1"});
+    const std::string path = "/tmp/e3_test_csv.csv";
+    EXPECT_TRUE(w.writeFile(path));
+    EXPECT_FALSE(w.writeFile("/nonexistent-dir/file.csv"));
+}
+
+TEST(CsvWriterDeath, RowWidthMismatchPanics)
+{
+    CsvWriter w;
+    w.header({"a", "b"});
+    EXPECT_DEATH(w.row({"1"}), "width");
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,103 @@
+#include "mlp/tensor.hh"
+
+#include <gtest/gtest.h>
+
+namespace e3 {
+namespace {
+
+TEST(Mat, ConstructionAndIndexing)
+{
+    Mat m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m.size(), 6u);
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+    m.at(0, 1) = -2.0;
+    EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+}
+
+TEST(Mat, RowVectorAndRowExtraction)
+{
+    const Mat v = Mat::rowVector({1.0, 2.0, 3.0});
+    EXPECT_EQ(v.rows(), 1u);
+    EXPECT_EQ(v.cols(), 3u);
+    EXPECT_EQ(v.row(0), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Mat, MatmulAgainstHandComputed)
+{
+    Mat a(2, 3);
+    a.data() = {1, 2, 3, 4, 5, 6};
+    Mat b(3, 2);
+    b.data() = {7, 8, 9, 10, 11, 12};
+    const Mat c = a.matmul(b);
+    // [1 2 3; 4 5 6] * [7 8; 9 10; 11 12] = [58 64; 139 154]
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 58);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 64);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 139);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 154);
+}
+
+TEST(MatDeath, MatmulShapeMismatchPanics)
+{
+    Mat a(2, 3), b(2, 3);
+    EXPECT_DEATH(a.matmul(b), "matmul");
+}
+
+TEST(Mat, TransposeRoundTrip)
+{
+    Rng rng(1);
+    const Mat m = Mat::randn(3, 5, 1.0, rng);
+    const Mat tt = m.transposed().transposed();
+    EXPECT_EQ(tt.data(), m.data());
+    EXPECT_DOUBLE_EQ(m.transposed().at(4, 2), m.at(2, 4));
+}
+
+TEST(Mat, ElementwiseOps)
+{
+    Mat a(1, 3), b(1, 3);
+    a.data() = {1, 2, 3};
+    b.data() = {4, 5, 6};
+    EXPECT_EQ((a + b).data(), (std::vector<double>{5, 7, 9}));
+    EXPECT_EQ((b - a).data(), (std::vector<double>{3, 3, 3}));
+    EXPECT_EQ(a.hadamard(b).data(), (std::vector<double>{4, 10, 18}));
+    EXPECT_EQ(a.scaled(2.0).data(), (std::vector<double>{2, 4, 6}));
+}
+
+TEST(Mat, BroadcastAndReduce)
+{
+    Mat m(2, 2, 1.0);
+    m.addRowBroadcast(Mat::rowVector({10.0, 20.0}));
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 11.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 1), 21.0);
+    const Mat s = m.sumRows();
+    EXPECT_DOUBLE_EQ(s.at(0, 0), 22.0);
+    EXPECT_DOUBLE_EQ(s.at(0, 1), 42.0);
+}
+
+TEST(Mat, ApplyAndZero)
+{
+    Mat m(1, 3);
+    m.data() = {-1, 0, 2};
+    m.apply([](double v) { return v * v; });
+    EXPECT_EQ(m.data(), (std::vector<double>{1, 0, 4}));
+    m.zero();
+    EXPECT_EQ(m.data(), (std::vector<double>{0, 0, 0}));
+}
+
+TEST(Mat, RandnMoments)
+{
+    Rng rng(5);
+    const Mat m = Mat::randn(100, 100, 2.0, rng);
+    double sum = 0, sumsq = 0;
+    for (double v : m.data()) {
+        sum += v;
+        sumsq += v * v;
+    }
+    const double n = static_cast<double>(m.size());
+    EXPECT_NEAR(sum / n, 0.0, 0.1);
+    EXPECT_NEAR(sumsq / n, 4.0, 0.2);
+}
+
+} // namespace
+} // namespace e3

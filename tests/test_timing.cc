@@ -1,0 +1,80 @@
+#include "common/timing.hh"
+
+#include <gtest/gtest.h>
+
+namespace e3 {
+namespace {
+
+TEST(Stopwatch, MeasuresForwardTime)
+{
+    Stopwatch w;
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i)
+        sink = sink + i;
+    EXPECT_GT(w.seconds(), 0.0);
+    (void)sink;
+}
+
+TEST(PhaseTimer, AddAndQuery)
+{
+    PhaseTimer t;
+    t.add("evaluate", 9.0);
+    t.add("evolve", 1.0);
+    t.add("evaluate", 1.0);
+    EXPECT_DOUBLE_EQ(t.seconds("evaluate"), 10.0);
+    EXPECT_DOUBLE_EQ(t.seconds("evolve"), 1.0);
+    EXPECT_DOUBLE_EQ(t.seconds("unknown"), 0.0);
+    EXPECT_DOUBLE_EQ(t.totalSeconds(), 11.0);
+}
+
+TEST(PhaseTimer, FractionMatchesPaperStyleBreakdown)
+{
+    PhaseTimer t;
+    t.add("evaluate", 92.0);
+    t.add("evolve", 3.0);
+    t.add("other", 5.0);
+    EXPECT_NEAR(t.fraction("evaluate"), 0.92, 1e-12);
+    EXPECT_NEAR(t.fraction("evolve"), 0.03, 1e-12);
+}
+
+TEST(PhaseTimer, FractionOfEmptyTimerIsZero)
+{
+    PhaseTimer t;
+    EXPECT_DOUBLE_EQ(t.fraction("anything"), 0.0);
+}
+
+TEST(PhaseTimer, ScopeAccumulates)
+{
+    PhaseTimer t;
+    {
+        PhaseTimer::Scope s(t, "work");
+        volatile double sink = 0.0;
+        for (int i = 0; i < 10000; ++i)
+            sink = sink + i;
+        (void)sink;
+    }
+    EXPECT_GT(t.seconds("work"), 0.0);
+}
+
+TEST(PhaseTimer, ResetZeroesButKeepsPhases)
+{
+    PhaseTimer t;
+    t.add("a", 5.0);
+    t.reset();
+    EXPECT_DOUBLE_EQ(t.seconds("a"), 0.0);
+    ASSERT_EQ(t.phases().size(), 1u);
+}
+
+TEST(PhaseTimer, MergeCombines)
+{
+    PhaseTimer a, b;
+    a.add("x", 1.0);
+    b.add("x", 2.0);
+    b.add("y", 3.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.seconds("x"), 3.0);
+    EXPECT_DOUBLE_EQ(a.seconds("y"), 3.0);
+}
+
+} // namespace
+} // namespace e3

@@ -1,0 +1,106 @@
+#include "e3/timing_model.hh"
+
+#include <gtest/gtest.h>
+
+namespace e3 {
+namespace {
+
+GenerationTrace
+makeTrace(size_t individuals, std::vector<int> lens)
+{
+    GenerationTrace trace;
+    for (size_t i = 0; i < individuals; ++i) {
+        NetworkDef def = NetworkDef::empty(4, 2);
+        def.conns = {{-1, 0, 1.0}, {-2, 1, 1.0}};
+        trace.individuals.push_back(computeNetStats(def));
+        trace.defs.push_back(std::move(def));
+    }
+    trace.episodes.push_back(std::move(lens));
+    trace.numInputs = 4;
+    trace.numOutputs = 2;
+    return trace;
+}
+
+TEST(GenerationTrace, InferenceAndLivenessAccounting)
+{
+    const auto trace = makeTrace(3, {5, 10, 2});
+    EXPECT_EQ(trace.totalInferences(), 17u);
+    EXPECT_EQ(trace.maxEpisodeLength(0), 10);
+    EXPECT_EQ(trace.liveLanesAt(0, 0), 3u);
+    EXPECT_EQ(trace.liveLanesAt(0, 4), 2u);
+    EXPECT_EQ(trace.liveLanesAt(0, 9), 1u);
+    EXPECT_EQ(trace.liveLanesAt(0, 10), 0u);
+}
+
+TEST(GenerationTraceDeath, MalformedTracePanics)
+{
+    auto trace = makeTrace(2, {5, 5});
+    trace.episodes.push_back({1});
+    EXPECT_DEATH(trace.validate(), "lane-count");
+}
+
+TEST(CpuTiming, ScalesWithStructureAndSteps)
+{
+    CpuTimingModel model;
+    NetStats small;
+    small.activeNodes = 2;
+    small.activeConnections = 2;
+    NetStats big;
+    big.activeNodes = 30;
+    big.activeConnections = 90;
+    EXPECT_GT(model.inferenceSeconds(big),
+              2 * model.inferenceSeconds(small));
+
+    const auto trace = makeTrace(2, {10, 20});
+    const double perInference =
+        model.inferenceSeconds(trace.individuals[0]);
+    EXPECT_NEAR(model.evaluateSeconds(trace), 30 * perInference,
+                1e-12);
+}
+
+TEST(GpuTiming, SlowerThanCpuOnTinyNets)
+{
+    // The paper's central GPU observation: on small irregular nets the
+    // launch/transfer overhead makes the GPU slower than the CPU.
+    CpuTimingModel cpu;
+    GpuTimingModel gpu;
+    const auto trace = makeTrace(10, std::vector<int>(10, 100));
+    EXPECT_GT(gpu.evaluateSeconds(trace),
+              5.0 * cpu.evaluateSeconds(trace));
+}
+
+TEST(GpuTiming, LaunchCostScalesWithDepth)
+{
+    GpuTimingModel gpu;
+    auto shallow = makeTrace(1, {100});
+
+    GenerationTrace deep = shallow;
+    deep.individuals[0].layerSizes = {1, 1, 1, 1, 1, 1};
+    EXPECT_GT(gpu.evaluateSeconds(deep),
+              gpu.evaluateSeconds(shallow));
+}
+
+TEST(HostTiming, PhaseCosts)
+{
+    HostTimingModel host;
+    const auto trace = makeTrace(4, {10, 10, 10, 10});
+    EXPECT_NEAR(host.envSeconds(trace), 40 * host.envStepSeconds,
+                1e-15);
+    EXPECT_NEAR(host.evolveSeconds(200),
+                200 * host.evolvePerGenomeSeconds, 1e-15);
+    EXPECT_GT(host.createNetSeconds(trace), 0.0);
+}
+
+TEST(MultiEpisodeTrace, EpisodesAccumulate)
+{
+    auto trace = makeTrace(2, {5, 5});
+    trace.episodes.push_back({7, 3});
+    EXPECT_EQ(trace.totalInferences(), 20u);
+    CpuTimingModel cpu;
+    const double perInference =
+        cpu.inferenceSeconds(trace.individuals[0]);
+    EXPECT_NEAR(cpu.evaluateSeconds(trace), 20 * perInference, 1e-12);
+}
+
+} // namespace
+} // namespace e3

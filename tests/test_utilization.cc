@@ -1,0 +1,40 @@
+#include "inax/utilization.hh"
+
+#include <gtest/gtest.h>
+
+namespace e3 {
+namespace {
+
+TEST(Utilization, FreshTrackerReportsFull)
+{
+    UtilizationTracker t;
+    EXPECT_DOUBLE_EQ(t.rate(), 1.0);
+    EXPECT_EQ(t.activeCycles(), 0u);
+}
+
+TEST(Utilization, RateIsActiveOverProvisioned)
+{
+    UtilizationTracker t;
+    t.record(30, 100);
+    EXPECT_DOUBLE_EQ(t.rate(), 0.3);
+    t.record(70, 100);
+    EXPECT_DOUBLE_EQ(t.rate(), 0.5);
+}
+
+TEST(Utilization, MergeCombinesWindows)
+{
+    UtilizationTracker a, b;
+    a.record(10, 20);
+    b.record(30, 40);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.rate(), 40.0 / 60.0);
+}
+
+TEST(UtilizationDeath, ActiveBeyondProvisionedPanics)
+{
+    UtilizationTracker t;
+    EXPECT_DEATH(t.record(11, 10), "exceed");
+}
+
+} // namespace
+} // namespace e3

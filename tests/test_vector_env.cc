@@ -1,0 +1,100 @@
+#include "env/vector_env.hh"
+
+#include <gtest/gtest.h>
+
+namespace e3 {
+namespace {
+
+TEST(VectorEnv, LanesStartLive)
+{
+    VectorEnv venv(envSpec("cartpole"), 8, 42);
+    venv.resetAll();
+    EXPECT_EQ(venv.size(), 8u);
+    EXPECT_FALSE(venv.allDone());
+    EXPECT_EQ(venv.liveCount(), 8u);
+    for (size_t i = 0; i < venv.size(); ++i) {
+        EXPECT_FALSE(venv.done(i));
+        EXPECT_EQ(venv.observation(i).size(), 4u);
+        EXPECT_EQ(venv.steps(i), 0);
+    }
+}
+
+TEST(VectorEnv, LanesAreIndependentlySeeded)
+{
+    VectorEnv venv(envSpec("cartpole"), 4, 7);
+    venv.resetAll();
+    // At least two lanes must differ in their initial observation.
+    bool anyDiffer = false;
+    for (size_t i = 1; i < venv.size(); ++i)
+        anyDiffer |= venv.observation(i) != venv.observation(0);
+    EXPECT_TRUE(anyDiffer);
+}
+
+TEST(VectorEnv, DeterministicAcrossInstances)
+{
+    VectorEnv a(envSpec("pendulum"), 4, 99), b(envSpec("pendulum"), 4, 99);
+    a.resetAll();
+    b.resetAll();
+    const std::vector<Action> actions(4, Action{0.5});
+    for (int t = 0; t < 10; ++t) {
+        a.stepAll(actions);
+        b.stepAll(actions);
+    }
+    for (size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(a.observation(i), b.observation(i));
+        EXPECT_DOUBLE_EQ(a.fitness(i), b.fitness(i));
+    }
+}
+
+TEST(VectorEnv, EpisodesTerminateIndependently)
+{
+    // Cartpole with a constant push: different initial states fail at
+    // different steps — the variance source behind the paper's U(PU)
+    // synchronization analysis.
+    VectorEnv venv(envSpec("cartpole"), 16, 5);
+    venv.resetAll();
+    const std::vector<Action> actions(16, Action{1.0});
+    while (!venv.allDone())
+        venv.stepAll(actions);
+
+    std::set<int> lengths;
+    for (size_t i = 0; i < venv.size(); ++i)
+        lengths.insert(venv.steps(i));
+    EXPECT_GT(lengths.size(), 1u);
+}
+
+TEST(VectorEnv, DoneLanesFreeze)
+{
+    VectorEnv venv(envSpec("mountain_car"), 2, 11);
+    venv.resetAll();
+    const std::vector<Action> actions(2, Action{1.0}); // idle throttle
+    for (int t = 0; t < 200; ++t)
+        venv.stepAll(actions);
+    // Truncated at maxEpisodeSteps.
+    EXPECT_TRUE(venv.allDone());
+    const double f0 = venv.fitness(0);
+    const int s0 = venv.steps(0);
+    venv.stepAll(actions); // no-op on finished lanes
+    EXPECT_DOUBLE_EQ(venv.fitness(0), f0);
+    EXPECT_EQ(venv.steps(0), s0);
+}
+
+TEST(VectorEnv, FitnessAccumulatesReward)
+{
+    VectorEnv venv(envSpec("mountain_car"), 1, 3);
+    venv.resetAll();
+    for (int t = 0; t < 10; ++t)
+        venv.stepAll({Action{1.0}});
+    EXPECT_DOUBLE_EQ(venv.fitness(0), -10.0);
+}
+
+TEST(VectorEnvDeath, WrongActionCountPanics)
+{
+    VectorEnv venv(envSpec("cartpole"), 3, 1);
+    venv.resetAll();
+    std::vector<Action> wrong(2, Action{0.0});
+    EXPECT_DEATH(venv.stepAll(wrong), "actions");
+}
+
+} // namespace
+} // namespace e3

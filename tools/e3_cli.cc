@@ -1,0 +1,270 @@
+/**
+ * @file
+ * e3_cli — command-line front end to the platform.
+ *
+ *   e3_cli list-envs
+ *   e3_cli run --env pendulum --backend inax [--pu 50] [--pe 4]
+ *          [--pop 200] [--generations 100] [--episodes 3] [--seed 1]
+ *          [--save champion.genome] [--csv trace.csv]
+ *   e3_cli replay --env pendulum --genome champion.genome
+ *          [--episodes 5] [--seed 1]
+ *
+ * `run` evolves a controller and prints the generation trace; `replay`
+ * loads a saved champion and flies fresh episodes with it.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "e3/experiment.hh"
+#include "neat/serialize.hh"
+
+using namespace e3;
+
+namespace {
+
+/** Tiny --key value parser; fatal() on unknown keys. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0)
+                e3_fatal("expected --option, got '", key, "'");
+            key = key.substr(2);
+            if (i + 1 >= argc)
+                e3_fatal("--", key, " needs a value");
+            values_[key] = argv[++i];
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        auto it = values_.find(key);
+        if (it != values_.end()) {
+            used_.insert(it->first);
+            return it->second;
+        }
+        return fallback;
+    }
+
+    long
+    getInt(const std::string &key, long fallback) const
+    {
+        auto it = values_.find(key);
+        if (it == values_.end())
+            return fallback;
+        used_.insert(it->first);
+        return std::stol(it->second);
+    }
+
+    /** fatal() on any unconsumed option (catches typos). */
+    void
+    checkAllUsed() const
+    {
+        for (const auto &[key, value] : values_) {
+            if (!used_.count(key))
+                e3_fatal("unknown option --", key);
+        }
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+    mutable std::set<std::string> used_;
+};
+
+int
+cmdListEnvs()
+{
+    std::printf("%-26s %6s %8s %9s %15s\n", "env", "inputs", "outputs",
+                "paperIdx", "requiredFitness");
+    for (const auto &name : envNames()) {
+        const EnvSpec &spec = envSpec(name);
+        std::printf("%-26s %6zu %8zu %9d %15.1f\n", spec.name.c_str(),
+                    spec.numInputs, spec.numOutputs, spec.paperIndex,
+                    spec.requiredFitness);
+    }
+    return 0;
+}
+
+BackendKind
+parseBackend(const std::string &name)
+{
+    if (name == "cpu")
+        return BackendKind::Cpu;
+    if (name == "gpu")
+        return BackendKind::Gpu;
+    if (name == "inax")
+        return BackendKind::Inax;
+    e3_fatal("unknown backend '", name, "' (cpu|gpu|inax)");
+}
+
+int
+cmdRun(const Args &args)
+{
+    const std::string envName = args.get("env", "cartpole");
+    const BackendKind backend = parseBackend(args.get("backend", "inax"));
+
+    ExperimentOptions options;
+    options.seed = static_cast<uint64_t>(args.getInt("seed", 1));
+    options.populationSize =
+        static_cast<size_t>(args.getInt("pop", 200));
+    options.episodesPerEval =
+        static_cast<size_t>(args.getInt("episodes", 3));
+    options.maxGenerations = static_cast<int>(
+        args.getInt("generations", suiteGenerationBudget(envName)));
+
+    const EnvSpec &spec = envSpec(envName);
+    InaxConfig inaxCfg = InaxConfig::paperDefault(spec.numOutputs);
+    inaxCfg.numPUs =
+        static_cast<size_t>(args.getInt("pu", inaxCfg.numPUs));
+    inaxCfg.numPEs =
+        static_cast<size_t>(args.getInt("pe", inaxCfg.numPEs));
+    options.inaxConfig = inaxCfg;
+
+    const std::string neatConfigPath = args.get("neat-config", "");
+    if (!neatConfigPath.empty())
+        options.neatConfigPath = neatConfigPath;
+
+    const std::string savePath = args.get("save", "");
+    const std::string csvPath = args.get("csv", "");
+    args.checkAllUsed();
+
+    std::printf("running %s on %s (pop %zu, %zu episode(s)/eval, "
+                "seed %llu)\n",
+                envName.c_str(), backendKindName(backend).c_str(),
+                options.populationSize, options.episodesPerEval,
+                static_cast<unsigned long long>(options.seed));
+
+    const RunResult result = runExperiment(envName, backend, options);
+
+    for (const auto &p : result.trace) {
+        std::printf("  gen %3d  best %9.2f  mean %9.2f  species %2zu  "
+                    "t=%.4fs\n",
+                    p.generation, p.bestFitness, p.meanFitness,
+                    p.numSpecies, p.cumulativeSeconds);
+    }
+    std::printf("%s after %d generations; best fitness %.2f "
+                "(required %.2f); modeled %.4f s\n",
+                result.solved ? "SOLVED" : "stopped",
+                result.generations, result.bestFitness,
+                spec.requiredFitness, result.totalSeconds());
+    if (backend == BackendKind::Inax) {
+        std::printf("INAX: %llu cycles, U(PE)=%.2f, U(PU)=%.2f\n",
+                    static_cast<unsigned long long>(
+                        result.inaxReport.totalCycles()),
+                    result.inaxReport.pe.rate(),
+                    result.inaxReport.pu.rate());
+    }
+
+    if (!csvPath.empty()) {
+        CsvWriter csv;
+        csv.header({"generation", "best", "mean", "species",
+                    "cumulative_seconds"});
+        for (const auto &p : result.trace) {
+            csv.row({std::to_string(p.generation),
+                     std::to_string(p.bestFitness),
+                     std::to_string(p.meanFitness),
+                     std::to_string(p.numSpecies),
+                     std::to_string(p.cumulativeSeconds)});
+        }
+        if (csv.writeFile(csvPath))
+            std::printf("trace written to %s\n", csvPath.c_str());
+    }
+
+    if (!savePath.empty()) {
+        const Genome champion = evolvedChampion(
+            envName, options.maxGenerations, options.populationSize,
+            options.seed);
+        if (saveGenomeFile(champion, savePath)) {
+            std::printf("champion (fitness %.2f, %zu nodes, %zu "
+                        "conns) saved to %s\n",
+                        champion.fitness, champion.size().first,
+                        champion.size().second, savePath.c_str());
+        }
+    }
+    return result.solved ? 0 : 2;
+}
+
+int
+cmdReplay(const Args &args)
+{
+    const std::string envName = args.get("env", "cartpole");
+    const std::string genomePath = args.get("genome", "");
+    const auto episodes =
+        static_cast<size_t>(args.getInt("episodes", 3));
+    const auto seed = static_cast<uint64_t>(args.getInt("seed", 1));
+    args.checkAllUsed();
+    if (genomePath.empty())
+        e3_fatal("replay needs --genome <file>");
+
+    const EnvSpec &spec = envSpec(envName);
+    const Genome genome = loadGenomeFile(genomePath);
+    const NeatConfig cfg = NeatConfig::forTask(
+        spec.numInputs, spec.numOutputs, spec.requiredFitness);
+    auto net = FeedForwardNetwork::create(genome.toNetworkDef(cfg));
+
+    Rng rng(seed);
+    double total = 0.0;
+    for (size_t e = 0; e < episodes; ++e) {
+        auto env = spec.make();
+        Observation obs = env->reset(rng);
+        double episodeReward = 0.0;
+        for (int t = 0; t < env->maxEpisodeSteps(); ++t) {
+            const StepResult r =
+                env->step(decodeAction(spec, net.activate(obs)));
+            obs = r.observation;
+            episodeReward += r.reward;
+            if (r.done)
+                break;
+        }
+        std::printf("episode %zu: reward %.2f\n", e, episodeReward);
+        total += episodeReward;
+    }
+    std::printf("mean reward over %zu episodes: %.2f (required %.2f)\n",
+                episodes, total / static_cast<double>(episodes),
+                spec.requiredFitness);
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage:\n"
+        "  e3_cli list-envs\n"
+        "  e3_cli run --env <name> --backend cpu|gpu|inax\n"
+        "         [--pu N] [--pe N] [--pop N] [--generations N]\n"
+        "         [--episodes N] [--seed N] [--csv file]\n"
+        "         [--neat-config file.ini] [--save champion.genome]\n"
+        "  e3_cli replay --env <name> --genome <file>\n"
+        "         [--episodes N] [--seed N]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string command = argv[1];
+    if (command == "list-envs")
+        return cmdListEnvs();
+    if (command == "run")
+        return cmdRun(Args(argc, argv, 2));
+    if (command == "replay")
+        return cmdReplay(Args(argc, argv, 2));
+    usage();
+    return 1;
+}
