@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_neat.dir/ablation_neat.cc.o"
+  "CMakeFiles/bench_ablation_neat.dir/ablation_neat.cc.o.d"
+  "bench_ablation_neat"
+  "bench_ablation_neat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_neat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_zero_skip.dir/ablation_zero_skip.cc.o"
+  "CMakeFiles/bench_ablation_zero_skip.dir/ablation_zero_skip.cc.o.d"
+  "bench_ablation_zero_skip"
+  "bench_ablation_zero_skip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_zero_skip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_inax_vs_sa.dir/fig11_inax_vs_sa.cc.o"
+  "CMakeFiles/bench_fig11_inax_vs_sa.dir/fig11_inax_vs_sa.cc.o.d"
+  "bench_fig11_inax_vs_sa"
+  "bench_fig11_inax_vs_sa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_inax_vs_sa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

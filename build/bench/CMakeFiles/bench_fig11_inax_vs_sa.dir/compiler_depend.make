@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig11_inax_vs_sa.
+# This may be replaced when dependencies are built.

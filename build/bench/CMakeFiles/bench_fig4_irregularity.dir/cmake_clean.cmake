@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_irregularity.dir/fig4_irregularity.cc.o"
+  "CMakeFiles/bench_fig4_irregularity.dir/fig4_irregularity.cc.o.d"
+  "bench_fig4_irregularity"
+  "bench_fig4_irregularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_irregularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lander_model_replacement.dir/lander_model_replacement.cpp.o"
+  "CMakeFiles/lander_model_replacement.dir/lander_model_replacement.cpp.o.d"
+  "lander_model_replacement"
+  "lander_model_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lander_model_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

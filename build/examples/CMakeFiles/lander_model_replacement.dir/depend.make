@@ -1,0 +1,2 @@
+# Empty dependencies file for lander_model_replacement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recurrent_memory.dir/recurrent_memory.cpp.o"
+  "CMakeFiles/recurrent_memory.dir/recurrent_memory.cpp.o.d"
+  "recurrent_memory"
+  "recurrent_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recurrent_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_vs_neat.dir/rl_vs_neat.cpp.o"
+  "CMakeFiles/rl_vs_neat.dir/rl_vs_neat.cpp.o.d"
+  "rl_vs_neat"
+  "rl_vs_neat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_vs_neat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

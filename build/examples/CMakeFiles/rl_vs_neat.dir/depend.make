@@ -1,0 +1,2 @@
+# Empty dependencies file for rl_vs_neat.
+# This may be replaced when dependencies are built.

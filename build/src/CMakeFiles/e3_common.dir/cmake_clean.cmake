@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_common.dir/common/csv.cc.o"
+  "CMakeFiles/e3_common.dir/common/csv.cc.o.d"
+  "CMakeFiles/e3_common.dir/common/ini.cc.o"
+  "CMakeFiles/e3_common.dir/common/ini.cc.o.d"
+  "CMakeFiles/e3_common.dir/common/logging.cc.o"
+  "CMakeFiles/e3_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/e3_common.dir/common/rng.cc.o"
+  "CMakeFiles/e3_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/e3_common.dir/common/stats.cc.o"
+  "CMakeFiles/e3_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/e3_common.dir/common/table.cc.o"
+  "CMakeFiles/e3_common.dir/common/table.cc.o.d"
+  "CMakeFiles/e3_common.dir/common/timing.cc.o"
+  "CMakeFiles/e3_common.dir/common/timing.cc.o.d"
+  "libe3_common.a"
+  "libe3_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

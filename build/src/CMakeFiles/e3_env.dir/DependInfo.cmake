@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/acrobot.cc" "src/CMakeFiles/e3_env.dir/env/acrobot.cc.o" "gcc" "src/CMakeFiles/e3_env.dir/env/acrobot.cc.o.d"
+  "/root/repo/src/env/bipedal_walker.cc" "src/CMakeFiles/e3_env.dir/env/bipedal_walker.cc.o" "gcc" "src/CMakeFiles/e3_env.dir/env/bipedal_walker.cc.o.d"
+  "/root/repo/src/env/cartpole.cc" "src/CMakeFiles/e3_env.dir/env/cartpole.cc.o" "gcc" "src/CMakeFiles/e3_env.dir/env/cartpole.cc.o.d"
+  "/root/repo/src/env/catch_game.cc" "src/CMakeFiles/e3_env.dir/env/catch_game.cc.o" "gcc" "src/CMakeFiles/e3_env.dir/env/catch_game.cc.o.d"
+  "/root/repo/src/env/env_registry.cc" "src/CMakeFiles/e3_env.dir/env/env_registry.cc.o" "gcc" "src/CMakeFiles/e3_env.dir/env/env_registry.cc.o.d"
+  "/root/repo/src/env/lunar_lander.cc" "src/CMakeFiles/e3_env.dir/env/lunar_lander.cc.o" "gcc" "src/CMakeFiles/e3_env.dir/env/lunar_lander.cc.o.d"
+  "/root/repo/src/env/mountain_car.cc" "src/CMakeFiles/e3_env.dir/env/mountain_car.cc.o" "gcc" "src/CMakeFiles/e3_env.dir/env/mountain_car.cc.o.d"
+  "/root/repo/src/env/mountain_car_continuous.cc" "src/CMakeFiles/e3_env.dir/env/mountain_car_continuous.cc.o" "gcc" "src/CMakeFiles/e3_env.dir/env/mountain_car_continuous.cc.o.d"
+  "/root/repo/src/env/pendulum.cc" "src/CMakeFiles/e3_env.dir/env/pendulum.cc.o" "gcc" "src/CMakeFiles/e3_env.dir/env/pendulum.cc.o.d"
+  "/root/repo/src/env/space.cc" "src/CMakeFiles/e3_env.dir/env/space.cc.o" "gcc" "src/CMakeFiles/e3_env.dir/env/space.cc.o.d"
+  "/root/repo/src/env/vector_env.cc" "src/CMakeFiles/e3_env.dir/env/vector_env.cc.o" "gcc" "src/CMakeFiles/e3_env.dir/env/vector_env.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_env.dir/env/acrobot.cc.o"
+  "CMakeFiles/e3_env.dir/env/acrobot.cc.o.d"
+  "CMakeFiles/e3_env.dir/env/bipedal_walker.cc.o"
+  "CMakeFiles/e3_env.dir/env/bipedal_walker.cc.o.d"
+  "CMakeFiles/e3_env.dir/env/cartpole.cc.o"
+  "CMakeFiles/e3_env.dir/env/cartpole.cc.o.d"
+  "CMakeFiles/e3_env.dir/env/catch_game.cc.o"
+  "CMakeFiles/e3_env.dir/env/catch_game.cc.o.d"
+  "CMakeFiles/e3_env.dir/env/env_registry.cc.o"
+  "CMakeFiles/e3_env.dir/env/env_registry.cc.o.d"
+  "CMakeFiles/e3_env.dir/env/lunar_lander.cc.o"
+  "CMakeFiles/e3_env.dir/env/lunar_lander.cc.o.d"
+  "CMakeFiles/e3_env.dir/env/mountain_car.cc.o"
+  "CMakeFiles/e3_env.dir/env/mountain_car.cc.o.d"
+  "CMakeFiles/e3_env.dir/env/mountain_car_continuous.cc.o"
+  "CMakeFiles/e3_env.dir/env/mountain_car_continuous.cc.o.d"
+  "CMakeFiles/e3_env.dir/env/pendulum.cc.o"
+  "CMakeFiles/e3_env.dir/env/pendulum.cc.o.d"
+  "CMakeFiles/e3_env.dir/env/space.cc.o"
+  "CMakeFiles/e3_env.dir/env/space.cc.o.d"
+  "CMakeFiles/e3_env.dir/env/vector_env.cc.o"
+  "CMakeFiles/e3_env.dir/env/vector_env.cc.o.d"
+  "libe3_env.a"
+  "libe3_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

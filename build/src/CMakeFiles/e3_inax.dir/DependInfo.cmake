@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inax/dataflow.cc" "src/CMakeFiles/e3_inax.dir/inax/dataflow.cc.o" "gcc" "src/CMakeFiles/e3_inax.dir/inax/dataflow.cc.o.d"
+  "/root/repo/src/inax/dma.cc" "src/CMakeFiles/e3_inax.dir/inax/dma.cc.o" "gcc" "src/CMakeFiles/e3_inax.dir/inax/dma.cc.o.d"
+  "/root/repo/src/inax/hw_config.cc" "src/CMakeFiles/e3_inax.dir/inax/hw_config.cc.o" "gcc" "src/CMakeFiles/e3_inax.dir/inax/hw_config.cc.o.d"
+  "/root/repo/src/inax/inax.cc" "src/CMakeFiles/e3_inax.dir/inax/inax.cc.o" "gcc" "src/CMakeFiles/e3_inax.dir/inax/inax.cc.o.d"
+  "/root/repo/src/inax/pe.cc" "src/CMakeFiles/e3_inax.dir/inax/pe.cc.o" "gcc" "src/CMakeFiles/e3_inax.dir/inax/pe.cc.o.d"
+  "/root/repo/src/inax/pu.cc" "src/CMakeFiles/e3_inax.dir/inax/pu.cc.o" "gcc" "src/CMakeFiles/e3_inax.dir/inax/pu.cc.o.d"
+  "/root/repo/src/inax/schedule.cc" "src/CMakeFiles/e3_inax.dir/inax/schedule.cc.o" "gcc" "src/CMakeFiles/e3_inax.dir/inax/schedule.cc.o.d"
+  "/root/repo/src/inax/systolic.cc" "src/CMakeFiles/e3_inax.dir/inax/systolic.cc.o" "gcc" "src/CMakeFiles/e3_inax.dir/inax/systolic.cc.o.d"
+  "/root/repo/src/inax/utilization.cc" "src/CMakeFiles/e3_inax.dir/inax/utilization.cc.o" "gcc" "src/CMakeFiles/e3_inax.dir/inax/utilization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e3_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_inax.dir/inax/dataflow.cc.o"
+  "CMakeFiles/e3_inax.dir/inax/dataflow.cc.o.d"
+  "CMakeFiles/e3_inax.dir/inax/dma.cc.o"
+  "CMakeFiles/e3_inax.dir/inax/dma.cc.o.d"
+  "CMakeFiles/e3_inax.dir/inax/hw_config.cc.o"
+  "CMakeFiles/e3_inax.dir/inax/hw_config.cc.o.d"
+  "CMakeFiles/e3_inax.dir/inax/inax.cc.o"
+  "CMakeFiles/e3_inax.dir/inax/inax.cc.o.d"
+  "CMakeFiles/e3_inax.dir/inax/pe.cc.o"
+  "CMakeFiles/e3_inax.dir/inax/pe.cc.o.d"
+  "CMakeFiles/e3_inax.dir/inax/pu.cc.o"
+  "CMakeFiles/e3_inax.dir/inax/pu.cc.o.d"
+  "CMakeFiles/e3_inax.dir/inax/schedule.cc.o"
+  "CMakeFiles/e3_inax.dir/inax/schedule.cc.o.d"
+  "CMakeFiles/e3_inax.dir/inax/systolic.cc.o"
+  "CMakeFiles/e3_inax.dir/inax/systolic.cc.o.d"
+  "CMakeFiles/e3_inax.dir/inax/utilization.cc.o"
+  "CMakeFiles/e3_inax.dir/inax/utilization.cc.o.d"
+  "libe3_inax.a"
+  "libe3_inax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_inax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mlp/distributions.cc" "src/CMakeFiles/e3_mlp.dir/mlp/distributions.cc.o" "gcc" "src/CMakeFiles/e3_mlp.dir/mlp/distributions.cc.o.d"
+  "/root/repo/src/mlp/mlp.cc" "src/CMakeFiles/e3_mlp.dir/mlp/mlp.cc.o" "gcc" "src/CMakeFiles/e3_mlp.dir/mlp/mlp.cc.o.d"
+  "/root/repo/src/mlp/optimizer.cc" "src/CMakeFiles/e3_mlp.dir/mlp/optimizer.cc.o" "gcc" "src/CMakeFiles/e3_mlp.dir/mlp/optimizer.cc.o.d"
+  "/root/repo/src/mlp/tensor.cc" "src/CMakeFiles/e3_mlp.dir/mlp/tensor.cc.o" "gcc" "src/CMakeFiles/e3_mlp.dir/mlp/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

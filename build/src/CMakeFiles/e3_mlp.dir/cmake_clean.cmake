@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_mlp.dir/mlp/distributions.cc.o"
+  "CMakeFiles/e3_mlp.dir/mlp/distributions.cc.o.d"
+  "CMakeFiles/e3_mlp.dir/mlp/mlp.cc.o"
+  "CMakeFiles/e3_mlp.dir/mlp/mlp.cc.o.d"
+  "CMakeFiles/e3_mlp.dir/mlp/optimizer.cc.o"
+  "CMakeFiles/e3_mlp.dir/mlp/optimizer.cc.o.d"
+  "CMakeFiles/e3_mlp.dir/mlp/tensor.cc.o"
+  "CMakeFiles/e3_mlp.dir/mlp/tensor.cc.o.d"
+  "libe3_mlp.a"
+  "libe3_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/neat/config.cc" "src/CMakeFiles/e3_neat.dir/neat/config.cc.o" "gcc" "src/CMakeFiles/e3_neat.dir/neat/config.cc.o.d"
+  "/root/repo/src/neat/config_io.cc" "src/CMakeFiles/e3_neat.dir/neat/config_io.cc.o" "gcc" "src/CMakeFiles/e3_neat.dir/neat/config_io.cc.o.d"
+  "/root/repo/src/neat/crossover.cc" "src/CMakeFiles/e3_neat.dir/neat/crossover.cc.o" "gcc" "src/CMakeFiles/e3_neat.dir/neat/crossover.cc.o.d"
+  "/root/repo/src/neat/distance_cache.cc" "src/CMakeFiles/e3_neat.dir/neat/distance_cache.cc.o" "gcc" "src/CMakeFiles/e3_neat.dir/neat/distance_cache.cc.o.d"
+  "/root/repo/src/neat/genes.cc" "src/CMakeFiles/e3_neat.dir/neat/genes.cc.o" "gcc" "src/CMakeFiles/e3_neat.dir/neat/genes.cc.o.d"
+  "/root/repo/src/neat/genome.cc" "src/CMakeFiles/e3_neat.dir/neat/genome.cc.o" "gcc" "src/CMakeFiles/e3_neat.dir/neat/genome.cc.o.d"
+  "/root/repo/src/neat/innovation.cc" "src/CMakeFiles/e3_neat.dir/neat/innovation.cc.o" "gcc" "src/CMakeFiles/e3_neat.dir/neat/innovation.cc.o.d"
+  "/root/repo/src/neat/mutation.cc" "src/CMakeFiles/e3_neat.dir/neat/mutation.cc.o" "gcc" "src/CMakeFiles/e3_neat.dir/neat/mutation.cc.o.d"
+  "/root/repo/src/neat/population.cc" "src/CMakeFiles/e3_neat.dir/neat/population.cc.o" "gcc" "src/CMakeFiles/e3_neat.dir/neat/population.cc.o.d"
+  "/root/repo/src/neat/reporter.cc" "src/CMakeFiles/e3_neat.dir/neat/reporter.cc.o" "gcc" "src/CMakeFiles/e3_neat.dir/neat/reporter.cc.o.d"
+  "/root/repo/src/neat/reproduction.cc" "src/CMakeFiles/e3_neat.dir/neat/reproduction.cc.o" "gcc" "src/CMakeFiles/e3_neat.dir/neat/reproduction.cc.o.d"
+  "/root/repo/src/neat/serialize.cc" "src/CMakeFiles/e3_neat.dir/neat/serialize.cc.o" "gcc" "src/CMakeFiles/e3_neat.dir/neat/serialize.cc.o.d"
+  "/root/repo/src/neat/species.cc" "src/CMakeFiles/e3_neat.dir/neat/species.cc.o" "gcc" "src/CMakeFiles/e3_neat.dir/neat/species.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e3_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_neat.dir/neat/config.cc.o"
+  "CMakeFiles/e3_neat.dir/neat/config.cc.o.d"
+  "CMakeFiles/e3_neat.dir/neat/config_io.cc.o"
+  "CMakeFiles/e3_neat.dir/neat/config_io.cc.o.d"
+  "CMakeFiles/e3_neat.dir/neat/crossover.cc.o"
+  "CMakeFiles/e3_neat.dir/neat/crossover.cc.o.d"
+  "CMakeFiles/e3_neat.dir/neat/distance_cache.cc.o"
+  "CMakeFiles/e3_neat.dir/neat/distance_cache.cc.o.d"
+  "CMakeFiles/e3_neat.dir/neat/genes.cc.o"
+  "CMakeFiles/e3_neat.dir/neat/genes.cc.o.d"
+  "CMakeFiles/e3_neat.dir/neat/genome.cc.o"
+  "CMakeFiles/e3_neat.dir/neat/genome.cc.o.d"
+  "CMakeFiles/e3_neat.dir/neat/innovation.cc.o"
+  "CMakeFiles/e3_neat.dir/neat/innovation.cc.o.d"
+  "CMakeFiles/e3_neat.dir/neat/mutation.cc.o"
+  "CMakeFiles/e3_neat.dir/neat/mutation.cc.o.d"
+  "CMakeFiles/e3_neat.dir/neat/population.cc.o"
+  "CMakeFiles/e3_neat.dir/neat/population.cc.o.d"
+  "CMakeFiles/e3_neat.dir/neat/reporter.cc.o"
+  "CMakeFiles/e3_neat.dir/neat/reporter.cc.o.d"
+  "CMakeFiles/e3_neat.dir/neat/reproduction.cc.o"
+  "CMakeFiles/e3_neat.dir/neat/reproduction.cc.o.d"
+  "CMakeFiles/e3_neat.dir/neat/serialize.cc.o"
+  "CMakeFiles/e3_neat.dir/neat/serialize.cc.o.d"
+  "CMakeFiles/e3_neat.dir/neat/species.cc.o"
+  "CMakeFiles/e3_neat.dir/neat/species.cc.o.d"
+  "libe3_neat.a"
+  "libe3_neat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_neat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/CMakeFiles/e3_nn.dir/nn/activations.cc.o" "gcc" "src/CMakeFiles/e3_nn.dir/nn/activations.cc.o.d"
+  "/root/repo/src/nn/aggregations.cc" "src/CMakeFiles/e3_nn.dir/nn/aggregations.cc.o" "gcc" "src/CMakeFiles/e3_nn.dir/nn/aggregations.cc.o.d"
+  "/root/repo/src/nn/dense_equivalent.cc" "src/CMakeFiles/e3_nn.dir/nn/dense_equivalent.cc.o" "gcc" "src/CMakeFiles/e3_nn.dir/nn/dense_equivalent.cc.o.d"
+  "/root/repo/src/nn/layering.cc" "src/CMakeFiles/e3_nn.dir/nn/layering.cc.o" "gcc" "src/CMakeFiles/e3_nn.dir/nn/layering.cc.o.d"
+  "/root/repo/src/nn/net_stats.cc" "src/CMakeFiles/e3_nn.dir/nn/net_stats.cc.o" "gcc" "src/CMakeFiles/e3_nn.dir/nn/net_stats.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/CMakeFiles/e3_nn.dir/nn/network.cc.o" "gcc" "src/CMakeFiles/e3_nn.dir/nn/network.cc.o.d"
+  "/root/repo/src/nn/quantize.cc" "src/CMakeFiles/e3_nn.dir/nn/quantize.cc.o" "gcc" "src/CMakeFiles/e3_nn.dir/nn/quantize.cc.o.d"
+  "/root/repo/src/nn/recurrent.cc" "src/CMakeFiles/e3_nn.dir/nn/recurrent.cc.o" "gcc" "src/CMakeFiles/e3_nn.dir/nn/recurrent.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_nn.dir/nn/activations.cc.o"
+  "CMakeFiles/e3_nn.dir/nn/activations.cc.o.d"
+  "CMakeFiles/e3_nn.dir/nn/aggregations.cc.o"
+  "CMakeFiles/e3_nn.dir/nn/aggregations.cc.o.d"
+  "CMakeFiles/e3_nn.dir/nn/dense_equivalent.cc.o"
+  "CMakeFiles/e3_nn.dir/nn/dense_equivalent.cc.o.d"
+  "CMakeFiles/e3_nn.dir/nn/layering.cc.o"
+  "CMakeFiles/e3_nn.dir/nn/layering.cc.o.d"
+  "CMakeFiles/e3_nn.dir/nn/net_stats.cc.o"
+  "CMakeFiles/e3_nn.dir/nn/net_stats.cc.o.d"
+  "CMakeFiles/e3_nn.dir/nn/network.cc.o"
+  "CMakeFiles/e3_nn.dir/nn/network.cc.o.d"
+  "CMakeFiles/e3_nn.dir/nn/quantize.cc.o"
+  "CMakeFiles/e3_nn.dir/nn/quantize.cc.o.d"
+  "CMakeFiles/e3_nn.dir/nn/recurrent.cc.o"
+  "CMakeFiles/e3_nn.dir/nn/recurrent.cc.o.d"
+  "libe3_nn.a"
+  "libe3_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

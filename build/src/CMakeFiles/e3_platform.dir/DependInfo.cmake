@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/e3/cpu_backend.cc" "src/CMakeFiles/e3_platform.dir/e3/cpu_backend.cc.o" "gcc" "src/CMakeFiles/e3_platform.dir/e3/cpu_backend.cc.o.d"
+  "/root/repo/src/e3/energy_model.cc" "src/CMakeFiles/e3_platform.dir/e3/energy_model.cc.o" "gcc" "src/CMakeFiles/e3_platform.dir/e3/energy_model.cc.o.d"
+  "/root/repo/src/e3/experiment.cc" "src/CMakeFiles/e3_platform.dir/e3/experiment.cc.o" "gcc" "src/CMakeFiles/e3_platform.dir/e3/experiment.cc.o.d"
+  "/root/repo/src/e3/fpga_resources.cc" "src/CMakeFiles/e3_platform.dir/e3/fpga_resources.cc.o" "gcc" "src/CMakeFiles/e3_platform.dir/e3/fpga_resources.cc.o.d"
+  "/root/repo/src/e3/gpu_backend.cc" "src/CMakeFiles/e3_platform.dir/e3/gpu_backend.cc.o" "gcc" "src/CMakeFiles/e3_platform.dir/e3/gpu_backend.cc.o.d"
+  "/root/repo/src/e3/inax_backend.cc" "src/CMakeFiles/e3_platform.dir/e3/inax_backend.cc.o" "gcc" "src/CMakeFiles/e3_platform.dir/e3/inax_backend.cc.o.d"
+  "/root/repo/src/e3/platform.cc" "src/CMakeFiles/e3_platform.dir/e3/platform.cc.o" "gcc" "src/CMakeFiles/e3_platform.dir/e3/platform.cc.o.d"
+  "/root/repo/src/e3/synthetic.cc" "src/CMakeFiles/e3_platform.dir/e3/synthetic.cc.o" "gcc" "src/CMakeFiles/e3_platform.dir/e3/synthetic.cc.o.d"
+  "/root/repo/src/e3/timing_model.cc" "src/CMakeFiles/e3_platform.dir/e3/timing_model.cc.o" "gcc" "src/CMakeFiles/e3_platform.dir/e3/timing_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e3_neat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_inax.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

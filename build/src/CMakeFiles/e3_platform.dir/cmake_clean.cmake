@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_platform.dir/e3/cpu_backend.cc.o"
+  "CMakeFiles/e3_platform.dir/e3/cpu_backend.cc.o.d"
+  "CMakeFiles/e3_platform.dir/e3/energy_model.cc.o"
+  "CMakeFiles/e3_platform.dir/e3/energy_model.cc.o.d"
+  "CMakeFiles/e3_platform.dir/e3/experiment.cc.o"
+  "CMakeFiles/e3_platform.dir/e3/experiment.cc.o.d"
+  "CMakeFiles/e3_platform.dir/e3/fpga_resources.cc.o"
+  "CMakeFiles/e3_platform.dir/e3/fpga_resources.cc.o.d"
+  "CMakeFiles/e3_platform.dir/e3/gpu_backend.cc.o"
+  "CMakeFiles/e3_platform.dir/e3/gpu_backend.cc.o.d"
+  "CMakeFiles/e3_platform.dir/e3/inax_backend.cc.o"
+  "CMakeFiles/e3_platform.dir/e3/inax_backend.cc.o.d"
+  "CMakeFiles/e3_platform.dir/e3/platform.cc.o"
+  "CMakeFiles/e3_platform.dir/e3/platform.cc.o.d"
+  "CMakeFiles/e3_platform.dir/e3/synthetic.cc.o"
+  "CMakeFiles/e3_platform.dir/e3/synthetic.cc.o.d"
+  "CMakeFiles/e3_platform.dir/e3/timing_model.cc.o"
+  "CMakeFiles/e3_platform.dir/e3/timing_model.cc.o.d"
+  "libe3_platform.a"
+  "libe3_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/CMakeFiles/e3_platform.dir/e3/energy_model.cc.o: \
+ /root/repo/src/e3/energy_model.cc /usr/include/stdc-predef.h \
+ /root/repo/src/e3/energy_model.hh

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/a2c.cc" "src/CMakeFiles/e3_rl.dir/rl/a2c.cc.o" "gcc" "src/CMakeFiles/e3_rl.dir/rl/a2c.cc.o.d"
+  "/root/repo/src/rl/gae.cc" "src/CMakeFiles/e3_rl.dir/rl/gae.cc.o" "gcc" "src/CMakeFiles/e3_rl.dir/rl/gae.cc.o.d"
+  "/root/repo/src/rl/on_policy.cc" "src/CMakeFiles/e3_rl.dir/rl/on_policy.cc.o" "gcc" "src/CMakeFiles/e3_rl.dir/rl/on_policy.cc.o.d"
+  "/root/repo/src/rl/policy.cc" "src/CMakeFiles/e3_rl.dir/rl/policy.cc.o" "gcc" "src/CMakeFiles/e3_rl.dir/rl/policy.cc.o.d"
+  "/root/repo/src/rl/ppo2.cc" "src/CMakeFiles/e3_rl.dir/rl/ppo2.cc.o" "gcc" "src/CMakeFiles/e3_rl.dir/rl/ppo2.cc.o.d"
+  "/root/repo/src/rl/rl_profile.cc" "src/CMakeFiles/e3_rl.dir/rl/rl_profile.cc.o" "gcc" "src/CMakeFiles/e3_rl.dir/rl/rl_profile.cc.o.d"
+  "/root/repo/src/rl/rollout.cc" "src/CMakeFiles/e3_rl.dir/rl/rollout.cc.o" "gcc" "src/CMakeFiles/e3_rl.dir/rl/rollout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e3_mlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_rl.dir/rl/a2c.cc.o"
+  "CMakeFiles/e3_rl.dir/rl/a2c.cc.o.d"
+  "CMakeFiles/e3_rl.dir/rl/gae.cc.o"
+  "CMakeFiles/e3_rl.dir/rl/gae.cc.o.d"
+  "CMakeFiles/e3_rl.dir/rl/on_policy.cc.o"
+  "CMakeFiles/e3_rl.dir/rl/on_policy.cc.o.d"
+  "CMakeFiles/e3_rl.dir/rl/policy.cc.o"
+  "CMakeFiles/e3_rl.dir/rl/policy.cc.o.d"
+  "CMakeFiles/e3_rl.dir/rl/ppo2.cc.o"
+  "CMakeFiles/e3_rl.dir/rl/ppo2.cc.o.d"
+  "CMakeFiles/e3_rl.dir/rl/rl_profile.cc.o"
+  "CMakeFiles/e3_rl.dir/rl/rl_profile.cc.o.d"
+  "CMakeFiles/e3_rl.dir/rl/rollout.cc.o"
+  "CMakeFiles/e3_rl.dir/rl/rollout.cc.o.d"
+  "libe3_rl.a"
+  "libe3_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

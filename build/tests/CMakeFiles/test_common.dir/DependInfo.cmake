@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ini.cc" "tests/CMakeFiles/test_common.dir/test_ini.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_ini.cc.o.d"
+  "/root/repo/tests/test_logging.cc" "tests/CMakeFiles/test_common.dir/test_logging.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_logging.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/test_common.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/test_common.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/test_common.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_timing.cc" "tests/CMakeFiles/test_common.dir/test_timing.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e3_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_mlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_neat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_inax.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

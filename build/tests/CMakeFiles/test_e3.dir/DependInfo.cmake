@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_energy_resources.cc" "tests/CMakeFiles/test_e3.dir/test_energy_resources.cc.o" "gcc" "tests/CMakeFiles/test_e3.dir/test_energy_resources.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/test_e3.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/test_e3.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_platform.cc" "tests/CMakeFiles/test_e3.dir/test_platform.cc.o" "gcc" "tests/CMakeFiles/test_e3.dir/test_platform.cc.o.d"
+  "/root/repo/tests/test_suite_solve.cc" "tests/CMakeFiles/test_e3.dir/test_suite_solve.cc.o" "gcc" "tests/CMakeFiles/test_e3.dir/test_suite_solve.cc.o.d"
+  "/root/repo/tests/test_synthetic.cc" "tests/CMakeFiles/test_e3.dir/test_synthetic.cc.o" "gcc" "tests/CMakeFiles/test_e3.dir/test_synthetic.cc.o.d"
+  "/root/repo/tests/test_timing_models.cc" "tests/CMakeFiles/test_e3.dir/test_timing_models.cc.o" "gcc" "tests/CMakeFiles/test_e3.dir/test_timing_models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e3_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_mlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_neat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_inax.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e3.dir/test_energy_resources.cc.o"
+  "CMakeFiles/test_e3.dir/test_energy_resources.cc.o.d"
+  "CMakeFiles/test_e3.dir/test_integration.cc.o"
+  "CMakeFiles/test_e3.dir/test_integration.cc.o.d"
+  "CMakeFiles/test_e3.dir/test_platform.cc.o"
+  "CMakeFiles/test_e3.dir/test_platform.cc.o.d"
+  "CMakeFiles/test_e3.dir/test_suite_solve.cc.o"
+  "CMakeFiles/test_e3.dir/test_suite_solve.cc.o.d"
+  "CMakeFiles/test_e3.dir/test_synthetic.cc.o"
+  "CMakeFiles/test_e3.dir/test_synthetic.cc.o.d"
+  "CMakeFiles/test_e3.dir/test_timing_models.cc.o"
+  "CMakeFiles/test_e3.dir/test_timing_models.cc.o.d"
+  "test_e3"
+  "test_e3.pdb"
+  "test_e3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_box2d_substitutes.cc" "tests/CMakeFiles/test_env.dir/test_box2d_substitutes.cc.o" "gcc" "tests/CMakeFiles/test_env.dir/test_box2d_substitutes.cc.o.d"
+  "/root/repo/tests/test_catch_game.cc" "tests/CMakeFiles/test_env.dir/test_catch_game.cc.o" "gcc" "tests/CMakeFiles/test_env.dir/test_catch_game.cc.o.d"
+  "/root/repo/tests/test_classic_control.cc" "tests/CMakeFiles/test_env.dir/test_classic_control.cc.o" "gcc" "tests/CMakeFiles/test_env.dir/test_classic_control.cc.o.d"
+  "/root/repo/tests/test_env_registry.cc" "tests/CMakeFiles/test_env.dir/test_env_registry.cc.o" "gcc" "tests/CMakeFiles/test_env.dir/test_env_registry.cc.o.d"
+  "/root/repo/tests/test_spaces.cc" "tests/CMakeFiles/test_env.dir/test_spaces.cc.o" "gcc" "tests/CMakeFiles/test_env.dir/test_spaces.cc.o.d"
+  "/root/repo/tests/test_vector_env.cc" "tests/CMakeFiles/test_env.dir/test_vector_env.cc.o" "gcc" "tests/CMakeFiles/test_env.dir/test_vector_env.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e3_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_mlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_neat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_inax.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

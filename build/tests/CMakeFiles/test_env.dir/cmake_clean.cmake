@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_env.dir/test_box2d_substitutes.cc.o"
+  "CMakeFiles/test_env.dir/test_box2d_substitutes.cc.o.d"
+  "CMakeFiles/test_env.dir/test_catch_game.cc.o"
+  "CMakeFiles/test_env.dir/test_catch_game.cc.o.d"
+  "CMakeFiles/test_env.dir/test_classic_control.cc.o"
+  "CMakeFiles/test_env.dir/test_classic_control.cc.o.d"
+  "CMakeFiles/test_env.dir/test_env_registry.cc.o"
+  "CMakeFiles/test_env.dir/test_env_registry.cc.o.d"
+  "CMakeFiles/test_env.dir/test_spaces.cc.o"
+  "CMakeFiles/test_env.dir/test_spaces.cc.o.d"
+  "CMakeFiles/test_env.dir/test_vector_env.cc.o"
+  "CMakeFiles/test_env.dir/test_vector_env.cc.o.d"
+  "test_env"
+  "test_env.pdb"
+  "test_env[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

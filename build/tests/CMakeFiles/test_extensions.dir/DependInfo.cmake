@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_batching.cc" "tests/CMakeFiles/test_extensions.dir/test_batching.cc.o" "gcc" "tests/CMakeFiles/test_extensions.dir/test_batching.cc.o.d"
+  "/root/repo/tests/test_config_io.cc" "tests/CMakeFiles/test_extensions.dir/test_config_io.cc.o" "gcc" "tests/CMakeFiles/test_extensions.dir/test_config_io.cc.o.d"
+  "/root/repo/tests/test_dataflow.cc" "tests/CMakeFiles/test_extensions.dir/test_dataflow.cc.o" "gcc" "tests/CMakeFiles/test_extensions.dir/test_dataflow.cc.o.d"
+  "/root/repo/tests/test_quantize.cc" "tests/CMakeFiles/test_extensions.dir/test_quantize.cc.o" "gcc" "tests/CMakeFiles/test_extensions.dir/test_quantize.cc.o.d"
+  "/root/repo/tests/test_serialize.cc" "tests/CMakeFiles/test_extensions.dir/test_serialize.cc.o" "gcc" "tests/CMakeFiles/test_extensions.dir/test_serialize.cc.o.d"
+  "/root/repo/tests/test_zero_skip.cc" "tests/CMakeFiles/test_extensions.dir/test_zero_skip.cc.o" "gcc" "tests/CMakeFiles/test_extensions.dir/test_zero_skip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e3_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_mlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_neat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_inax.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extensions.dir/test_batching.cc.o"
+  "CMakeFiles/test_extensions.dir/test_batching.cc.o.d"
+  "CMakeFiles/test_extensions.dir/test_config_io.cc.o"
+  "CMakeFiles/test_extensions.dir/test_config_io.cc.o.d"
+  "CMakeFiles/test_extensions.dir/test_dataflow.cc.o"
+  "CMakeFiles/test_extensions.dir/test_dataflow.cc.o.d"
+  "CMakeFiles/test_extensions.dir/test_quantize.cc.o"
+  "CMakeFiles/test_extensions.dir/test_quantize.cc.o.d"
+  "CMakeFiles/test_extensions.dir/test_serialize.cc.o"
+  "CMakeFiles/test_extensions.dir/test_serialize.cc.o.d"
+  "CMakeFiles/test_extensions.dir/test_zero_skip.cc.o"
+  "CMakeFiles/test_extensions.dir/test_zero_skip.cc.o.d"
+  "test_extensions"
+  "test_extensions.pdb"
+  "test_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

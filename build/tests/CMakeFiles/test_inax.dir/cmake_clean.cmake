@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inax.dir/test_accelerator.cc.o"
+  "CMakeFiles/test_inax.dir/test_accelerator.cc.o.d"
+  "CMakeFiles/test_inax.dir/test_dma.cc.o"
+  "CMakeFiles/test_inax.dir/test_dma.cc.o.d"
+  "CMakeFiles/test_inax.dir/test_pe_schedule.cc.o"
+  "CMakeFiles/test_inax.dir/test_pe_schedule.cc.o.d"
+  "CMakeFiles/test_inax.dir/test_systolic.cc.o"
+  "CMakeFiles/test_inax.dir/test_systolic.cc.o.d"
+  "CMakeFiles/test_inax.dir/test_utilization.cc.o"
+  "CMakeFiles/test_inax.dir/test_utilization.cc.o.d"
+  "test_inax"
+  "test_inax.pdb"
+  "test_inax[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mlp.dir/test_distributions.cc.o"
+  "CMakeFiles/test_mlp.dir/test_distributions.cc.o.d"
+  "CMakeFiles/test_mlp.dir/test_mlp_backprop.cc.o"
+  "CMakeFiles/test_mlp.dir/test_mlp_backprop.cc.o.d"
+  "CMakeFiles/test_mlp.dir/test_optimizer.cc.o"
+  "CMakeFiles/test_mlp.dir/test_optimizer.cc.o.d"
+  "CMakeFiles/test_mlp.dir/test_tensor.cc.o"
+  "CMakeFiles/test_mlp.dir/test_tensor.cc.o.d"
+  "test_mlp"
+  "test_mlp.pdb"
+  "test_mlp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_crossover.cc" "tests/CMakeFiles/test_neat.dir/test_crossover.cc.o" "gcc" "tests/CMakeFiles/test_neat.dir/test_crossover.cc.o.d"
+  "/root/repo/tests/test_genes.cc" "tests/CMakeFiles/test_neat.dir/test_genes.cc.o" "gcc" "tests/CMakeFiles/test_neat.dir/test_genes.cc.o.d"
+  "/root/repo/tests/test_genome.cc" "tests/CMakeFiles/test_neat.dir/test_genome.cc.o" "gcc" "tests/CMakeFiles/test_neat.dir/test_genome.cc.o.d"
+  "/root/repo/tests/test_mutation.cc" "tests/CMakeFiles/test_neat.dir/test_mutation.cc.o" "gcc" "tests/CMakeFiles/test_neat.dir/test_mutation.cc.o.d"
+  "/root/repo/tests/test_neat_xor.cc" "tests/CMakeFiles/test_neat.dir/test_neat_xor.cc.o" "gcc" "tests/CMakeFiles/test_neat.dir/test_neat_xor.cc.o.d"
+  "/root/repo/tests/test_population.cc" "tests/CMakeFiles/test_neat.dir/test_population.cc.o" "gcc" "tests/CMakeFiles/test_neat.dir/test_population.cc.o.d"
+  "/root/repo/tests/test_reporter.cc" "tests/CMakeFiles/test_neat.dir/test_reporter.cc.o" "gcc" "tests/CMakeFiles/test_neat.dir/test_reporter.cc.o.d"
+  "/root/repo/tests/test_reproduction.cc" "tests/CMakeFiles/test_neat.dir/test_reproduction.cc.o" "gcc" "tests/CMakeFiles/test_neat.dir/test_reproduction.cc.o.d"
+  "/root/repo/tests/test_species.cc" "tests/CMakeFiles/test_neat.dir/test_species.cc.o" "gcc" "tests/CMakeFiles/test_neat.dir/test_species.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e3_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_mlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_neat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_inax.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neat.dir/test_crossover.cc.o"
+  "CMakeFiles/test_neat.dir/test_crossover.cc.o.d"
+  "CMakeFiles/test_neat.dir/test_genes.cc.o"
+  "CMakeFiles/test_neat.dir/test_genes.cc.o.d"
+  "CMakeFiles/test_neat.dir/test_genome.cc.o"
+  "CMakeFiles/test_neat.dir/test_genome.cc.o.d"
+  "CMakeFiles/test_neat.dir/test_mutation.cc.o"
+  "CMakeFiles/test_neat.dir/test_mutation.cc.o.d"
+  "CMakeFiles/test_neat.dir/test_neat_xor.cc.o"
+  "CMakeFiles/test_neat.dir/test_neat_xor.cc.o.d"
+  "CMakeFiles/test_neat.dir/test_population.cc.o"
+  "CMakeFiles/test_neat.dir/test_population.cc.o.d"
+  "CMakeFiles/test_neat.dir/test_reporter.cc.o"
+  "CMakeFiles/test_neat.dir/test_reporter.cc.o.d"
+  "CMakeFiles/test_neat.dir/test_reproduction.cc.o"
+  "CMakeFiles/test_neat.dir/test_reproduction.cc.o.d"
+  "CMakeFiles/test_neat.dir/test_species.cc.o"
+  "CMakeFiles/test_neat.dir/test_species.cc.o.d"
+  "test_neat"
+  "test_neat.pdb"
+  "test_neat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_activations.cc" "tests/CMakeFiles/test_nn.dir/test_activations.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_activations.cc.o.d"
+  "/root/repo/tests/test_dense_equivalent.cc" "tests/CMakeFiles/test_nn.dir/test_dense_equivalent.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_dense_equivalent.cc.o.d"
+  "/root/repo/tests/test_layering.cc" "tests/CMakeFiles/test_nn.dir/test_layering.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_layering.cc.o.d"
+  "/root/repo/tests/test_net_stats.cc" "tests/CMakeFiles/test_nn.dir/test_net_stats.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_net_stats.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/test_nn.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_recurrent.cc" "tests/CMakeFiles/test_nn.dir/test_recurrent.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_recurrent.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/e3_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_mlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_neat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_inax.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/e3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

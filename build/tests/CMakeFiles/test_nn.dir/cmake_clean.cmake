@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/test_activations.cc.o"
+  "CMakeFiles/test_nn.dir/test_activations.cc.o.d"
+  "CMakeFiles/test_nn.dir/test_dense_equivalent.cc.o"
+  "CMakeFiles/test_nn.dir/test_dense_equivalent.cc.o.d"
+  "CMakeFiles/test_nn.dir/test_layering.cc.o"
+  "CMakeFiles/test_nn.dir/test_layering.cc.o.d"
+  "CMakeFiles/test_nn.dir/test_net_stats.cc.o"
+  "CMakeFiles/test_nn.dir/test_net_stats.cc.o.d"
+  "CMakeFiles/test_nn.dir/test_network.cc.o"
+  "CMakeFiles/test_nn.dir/test_network.cc.o.d"
+  "CMakeFiles/test_nn.dir/test_recurrent.cc.o"
+  "CMakeFiles/test_nn.dir/test_recurrent.cc.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

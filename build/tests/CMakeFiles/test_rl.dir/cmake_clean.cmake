@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl.dir/test_gae.cc.o"
+  "CMakeFiles/test_rl.dir/test_gae.cc.o.d"
+  "CMakeFiles/test_rl.dir/test_policy.cc.o"
+  "CMakeFiles/test_rl.dir/test_policy.cc.o.d"
+  "CMakeFiles/test_rl.dir/test_rl_learning.cc.o"
+  "CMakeFiles/test_rl.dir/test_rl_learning.cc.o.d"
+  "CMakeFiles/test_rl.dir/test_rollout.cc.o"
+  "CMakeFiles/test_rl.dir/test_rollout.cc.o.d"
+  "test_rl"
+  "test_rl.pdb"
+  "test_rl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

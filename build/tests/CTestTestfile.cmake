@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_env[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_neat[1]_include.cmake")
+include("/root/repo/build/tests/test_mlp[1]_include.cmake")
+include("/root/repo/build/tests/test_rl[1]_include.cmake")
+include("/root/repo/build/tests/test_inax[1]_include.cmake")
+include("/root/repo/build/tests/test_e3[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+add_test(cli.list_envs "/root/repo/build/tools/e3_cli" "list-envs")
+set_tests_properties(cli.list_envs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;85;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.run_solves_cartpole "/root/repo/build/tools/e3_cli" "run" "--env" "cartpole" "--backend" "inax" "--generations" "25" "--pop" "150" "--episodes" "3" "--seed" "1")
+set_tests_properties(cli.run_solves_cartpole PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;86;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.run_cpu_backend "/root/repo/build/tools/e3_cli" "run" "--env" "cartpole" "--backend" "cpu" "--generations" "10" "--pop" "100" "--seed" "1")
+set_tests_properties(cli.run_cpu_backend PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;89;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.rejects_unknown_option "/root/repo/build/tools/e3_cli" "run" "--env" "cartpole" "--bogus" "1")
+set_tests_properties(cli.rejects_unknown_option PROPERTIES  WILL_FAIL "ON" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;92;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.rejects_unknown_env "/root/repo/build/tools/e3_cli" "run" "--env" "atari_pong")
+set_tests_properties(cli.rejects_unknown_env PROPERTIES  WILL_FAIL "ON" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;95;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.save_then_replay "sh" "-c" "/root/repo/build/tools/e3_cli run --env cartpole --backend cpu               --generations 25 --pop 150 --seed 1               --save /root/repo/build/tests/champ.genome &&           /root/repo/build/tools/e3_cli replay --env cartpole               --genome /root/repo/build/tests/champ.genome               --episodes 2 --seed 3")
+set_tests_properties(cli.save_then_replay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;98;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_cli.dir/e3_cli.cc.o"
+  "CMakeFiles/e3_cli.dir/e3_cli.cc.o.d"
+  "e3_cli"
+  "e3_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
