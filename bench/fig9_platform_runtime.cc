@@ -16,11 +16,66 @@
 
 #include <cstdio>
 #include <iostream>
+#include <thread>
 
 #include "common/table.hh"
+#include "common/timing.hh"
 #include "e3/experiment.hh"
 
 using namespace e3;
+
+namespace {
+
+/**
+ * Wall-clock scaling of the src/runtime parallel evaluator: the same
+ * CartPole pop=200 run (bit-identical traces by construction) at
+ * 1/2/4/... worker threads, plus the async evolve/evaluate overlap.
+ */
+void
+runtimeScalingSection()
+{
+    TextTable table("Parallel evaluation runtime (real wall-clock, "
+                    "cartpole pop=200)");
+    table.header({"threads", "mode", "wall(s)", "speedup", "best",
+                  "tasks stolen"});
+
+    ExperimentOptions base;
+    base.populationSize = 200;
+    base.episodesPerEval = 3;
+    base.maxGenerations = 8;
+
+    auto cell = [&](size_t threads, bool async, double baseline) {
+        ExperimentOptions o = base;
+        o.threads = threads;
+        o.asyncOverlap = async;
+        Stopwatch watch;
+        const RunResult r =
+            runExperiment("cartpole", BackendKind::Cpu, o);
+        const double wall = watch.seconds();
+        table.row({TextTable::num(static_cast<long long>(threads)),
+                   async ? "async" : "sync",
+                   TextTable::num(wall, 3),
+                   baseline > 0.0
+                       ? TextTable::num(baseline / wall, 2) + "x"
+                       : "1.00x",
+                   TextTable::num(r.bestFitness, 2),
+                   TextTable::num(r.runtimeCounters.get(
+                       "runtime.tasks_stolen"), 0)});
+        return wall;
+    };
+
+    const double serialWall = cell(1, false, 0.0);
+    const size_t hw =
+        std::max<size_t>(std::thread::hardware_concurrency(), 1);
+    for (size_t threads = 2; threads <= 8 && threads <= 2 * hw;
+         threads *= 2) {
+        cell(threads, false, serialWall);
+        cell(threads, true, serialWall);
+    }
+    std::cout << table << '\n';
+}
+
+} // namespace
 
 int
 main()
@@ -115,5 +170,7 @@ main()
     std::printf("Shape check: average speedup in the paper's regime "
                 "(>15x): %s\n",
                 avgSpeedup > 15.0 ? "PASS" : "DIVERGES");
+
+    runtimeScalingSection();
     return 0;
 }

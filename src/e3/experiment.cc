@@ -32,6 +32,8 @@ runExperiment(const std::string &envName, BackendKind kind,
     cfg.episodesPerEval = options.episodesPerEval;
     cfg.maxGenerations = options.maxGenerations;
     cfg.modeledSecondsBudget = options.modeledSecondsBudget;
+    cfg.threads = options.threads;
+    cfg.asyncOverlap = options.asyncOverlap;
 
     std::unique_ptr<EvalBackend> backend;
     switch (kind) {

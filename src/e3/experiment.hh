@@ -34,6 +34,16 @@ struct ExperimentOptions
     size_t episodesPerEval = 1;
     int maxGenerations = 300;
     double modeledSecondsBudget = 1e9;
+
+    /**
+     * Evaluation worker threads (PlatformConfig::threads); functional
+     * results are bit-identical for every value, only wall-clock
+     * changes.
+     */
+    size_t threads = 1;
+
+    /** Async evolve/evaluate overlap (PlatformConfig::asyncOverlap). */
+    bool asyncOverlap = false;
     /** INAX config; defaults to the paper's heuristic (PE=#out, PU=50). */
     std::optional<InaxConfig> inaxConfig;
 

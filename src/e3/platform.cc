@@ -1,16 +1,31 @@
 #include "e3/platform.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "e3/inax_backend.hh"
 
 namespace e3 {
+
+namespace {
+
+runtime::RuntimeConfig
+runtimeConfigOf(const PlatformConfig &cfg)
+{
+    runtime::RuntimeConfig rt;
+    rt.threads = std::max<size_t>(cfg.threads, 1);
+    rt.asyncOverlap = cfg.asyncOverlap;
+    return rt;
+}
+
+} // namespace
 
 E3Platform::E3Platform(const PlatformConfig &cfg,
                        std::unique_ptr<EvalBackend> backend)
     : cfg_(cfg), spec_(envSpec(cfg.envName)),
       neatCfg_(NeatConfig::forTask(spec_.numInputs, spec_.numOutputs,
                                    spec_.requiredFitness)),
-      backend_(std::move(backend))
+      backend_(std::move(backend)), runtime_(runtimeConfigOf(cfg))
 {
     e3_assert(backend_, "platform needs a backend");
     e3_assert(cfg_.episodesPerEval >= 1, "need at least one episode");
@@ -19,7 +34,8 @@ E3Platform::E3Platform(const PlatformConfig &cfg,
 
 void
 E3Platform::evaluateFunctional(Population &pop, GenerationTrace &trace,
-                               int generation)
+                               int generation,
+                               std::map<int, SpeciesEvalSummary> &summaries)
 {
     const size_t n = pop.genomes().size();
 
@@ -50,40 +66,56 @@ E3Platform::evaluateFunctional(Population &pop, GenerationTrace &trace,
                                  : nets[i].activate(obs);
     };
 
-    std::vector<double> fitnessSum(n, 0.0);
+    runtime::EvalPlan plan;
+    plan.spec = &spec_;
+    plan.lanes = n;
+    plan.episodeSeeds.reserve(cfg_.episodesPerEval);
     for (size_t e = 0; e < cfg_.episodesPerEval; ++e) {
-        const uint64_t episodeSeed =
-            cfg_.seed ^ (0x9E3779B97F4A7C15ULL *
-                         (static_cast<uint64_t>(generation) * 31 + e + 1));
-        VectorEnv venv(spec_, n, episodeSeed);
-        venv.resetAll();
-        while (!venv.allDone()) {
-            std::vector<Action> actions(n);
-            for (size_t i = 0; i < n; ++i) {
-                if (venv.done(i)) {
-                    // Finished lanes ignore their action; provide a
-                    // correctly-shaped placeholder.
-                    actions[i] = Action(spec_.numOutputs, 0.0);
-                    continue;
-                }
-                actions[i] = decodeAction(
-                    spec_, infer(i, venv.observation(i)));
-            }
-            venv.stepAll(actions);
-        }
+        plan.episodeSeeds.push_back(
+            cfg_.seed ^
+            (0x9E3779B97F4A7C15ULL *
+             (static_cast<uint64_t>(generation) * 31 + e + 1)));
+    }
+    plan.act = [&](size_t i, const Observation &obs) {
+        return decodeAction(spec_, infer(i, obs));
+    };
 
-        std::vector<int> lengths(n);
-        for (size_t i = 0; i < n; ++i) {
-            lengths[i] = venv.steps(i);
-            fitnessSum[i] += venv.fitness(i);
+    // Async overlap: one lane group per species, so the evolve phase's
+    // per-species summaries (fitness mean/extrema, member ranking) are
+    // computed the moment that species' lanes finish — while the rest
+    // of the population is still rolling out.
+    summaries.clear();
+    std::map<int, size_t> laneOf;
+    if (cfg_.asyncOverlap) {
+        for (size_t i = 0; i < n; ++i)
+            laneOf.emplace(keys[i], i);
+        for (const auto &[sid, sp] : pop.speciesSet().species()) {
+            runtime::EvalPlan::Group group;
+            group.id = sid;
+            group.lanes.reserve(sp.members.size());
+            for (int key : sp.members)
+                group.lanes.push_back(laneOf.at(key));
+            plan.groups.push_back(std::move(group));
+            // Slots preallocated here; group callbacks fill them
+            // concurrently without mutating the map's structure.
+            summaries.emplace(sid, SpeciesEvalSummary{});
         }
-        trace.episodes.push_back(std::move(lengths));
+        plan.onGroupDone =
+            [&](const runtime::EvalPlan::Group &group,
+                const std::vector<double> &laneFitness) {
+                const auto &members =
+                    pop.speciesSet().species().at(group.id).members;
+                summaries.at(group.id) = Reproduction::summarizeSpecies(
+                    members, [&](int key) {
+                        return laneFitness[laneOf.at(key)];
+                    });
+            };
     }
 
-    for (size_t i = 0; i < n; ++i) {
-        pop.genomes().at(keys[i]).fitness =
-            fitnessSum[i] / static_cast<double>(cfg_.episodesPerEval);
-    }
+    runtime::EvalOutcome outcome = runtime_.evaluate(plan);
+    trace.episodes = std::move(outcome.episodeLengths);
+    for (size_t i = 0; i < n; ++i)
+        pop.genomes().at(keys[i]).fitness = outcome.fitness[i];
 }
 
 RunResult
@@ -97,7 +129,8 @@ E3Platform::run()
 
     for (int gen = 0; gen < cfg_.maxGenerations; ++gen) {
         GenerationTrace trace;
-        evaluateFunctional(pop, trace, gen);
+        std::map<int, SpeciesEvalSummary> summaries;
+        evaluateFunctional(pop, trace, gen, summaries);
         trace.validate();
 
         // --- modeled timing ---
@@ -146,7 +179,7 @@ E3Platform::run()
         result.modeled.add(
             e3_phase::evolve,
             host_.evolveSeconds(neatCfg_.populationSize));
-        pop.advance();
+        pop.advance(summaries.empty() ? nullptr : &summaries);
     }
 
     // Host-side phases always run on the CPU.
@@ -154,6 +187,8 @@ E3Platform::run()
         result.modeled.seconds(e3_phase::createNet) +
         result.modeled.seconds(e3_phase::env) +
         result.modeled.seconds(e3_phase::evolve);
+
+    result.runtimeCounters = runtime_.counters();
 
     if (auto *inax = dynamic_cast<InaxBackend *>(backend_.get()))
         result.inaxReport = inax->report();

@@ -23,6 +23,7 @@
 #include "inax/inax.hh"
 #include "neat/population.hh"
 #include "nn/quantize.hh"
+#include "runtime/parallel_eval.hh"
 
 namespace e3 {
 
@@ -43,6 +44,21 @@ struct PlatformConfig
      * work *after* quantization, not just in double precision.
      */
     std::optional<FixedPointFormat> quantization;
+
+    /**
+     * Evaluation worker threads; 1 keeps the whole loop on the calling
+     * thread. Functional results are bit-identical for every value —
+     * each lane's RNG stream is derived from (seed, generation, lane)
+     * up front, independent of scheduling.
+     */
+    size_t threads = 1;
+
+    /**
+     * Overlap the evolve phase's per-species fitness summaries with
+     * the tail of evaluation (CLAN-style async mode). Functionally
+     * identical to the synchronous path; only wall-clock differs.
+     */
+    bool asyncOverlap = false;
 };
 
 /** One generation's summary point (the Fig. 2(d) trace). */
@@ -72,6 +88,8 @@ struct RunResult
     std::vector<GenerationPoint> trace;
     EnergyBreakdownInput energyInput;
     InaxReport inaxReport;       ///< populated by the INAX backend
+    /** Worker utilization (tasks run/stolen, idle s); empty if serial. */
+    Counters runtimeCounters;
 
     /** Total modeled wall seconds. */
     double totalSeconds() const { return modeled.totalSeconds(); }
@@ -107,14 +125,19 @@ class E3Platform
     NeatConfig neatCfg_;
     std::unique_ptr<EvalBackend> backend_;
     HostTimingModel host_;
+    runtime::ParallelEval runtime_;
 
     /**
-     * Functionally evaluate the current population: one VectorEnv
-     * episode round per episodesPerEval, fitness = mean episode reward.
-     * Fills the trace's episode lengths.
+     * Functionally evaluate the current population through the
+     * parallel runtime: one episode round per episodesPerEval, fitness
+     * = mean episode reward. Fills the trace's episode lengths. In
+     * async-overlap mode, @p summaries receives every species'
+     * evaluation summary (computed while the evaluate tail drained);
+     * it is left empty otherwise.
      */
     void evaluateFunctional(Population &pop, GenerationTrace &trace,
-                            int generation);
+                            int generation,
+                            std::map<int, SpeciesEvalSummary> &summaries);
 };
 
 } // namespace e3

@@ -17,12 +17,8 @@ VectorEnv::VectorEnv(const EnvSpec &spec, size_t lanes, uint64_t seed)
 void
 VectorEnv::resetAll()
 {
-    for (auto &lane : lanes_) {
-        lane.observation = lane.env->reset(lane.rng);
-        lane.fitness = 0.0;
-        lane.steps = 0;
-        lane.done = false;
-    }
+    for (size_t i = 0; i < lanes_.size(); ++i)
+        resetLane(i);
 }
 
 void
@@ -31,16 +27,32 @@ VectorEnv::stepAll(const std::vector<Action> &actions)
     e3_assert(actions.size() == lanes_.size(),
               "need ", lanes_.size(), " actions, got ", actions.size());
     for (size_t i = 0; i < lanes_.size(); ++i) {
-        Lane &lane = lanes_[i];
-        if (lane.done)
-            continue;
-        StepResult r = lane.env->step(actions[i]);
-        lane.observation = std::move(r.observation);
-        lane.fitness += r.reward;
-        ++lane.steps;
-        lane.done =
-            r.done || lane.steps >= lane.env->maxEpisodeSteps();
+        if (!lanes_[i].done)
+            stepLane(i, actions[i]);
     }
+}
+
+void
+VectorEnv::resetLane(size_t lane)
+{
+    Lane &l = lanes_.at(lane);
+    l.observation = l.env->reset(l.rng);
+    l.fitness = 0.0;
+    l.steps = 0;
+    l.done = false;
+}
+
+bool
+VectorEnv::stepLane(size_t lane, const Action &action)
+{
+    Lane &l = lanes_.at(lane);
+    e3_assert(!l.done, "stepLane(", lane, ") on a finished episode");
+    StepResult r = l.env->step(action);
+    l.observation = std::move(r.observation);
+    l.fitness += r.reward;
+    ++l.steps;
+    l.done = r.done || l.steps >= l.env->maxEpisodeSteps();
+    return l.done;
 }
 
 const Observation &

@@ -42,6 +42,21 @@ class VectorEnv
      */
     void stepAll(const std::vector<Action> &actions);
 
+    /**
+     * Restart one lane's episode. Lanes are fully independent — each
+     * owns its environment and RNG stream — so distinct lanes may be
+     * reset and stepped concurrently from different threads, and
+     * per-lane stepping out of lockstep produces bit-identical
+     * episodes to resetAll()/stepAll().
+     */
+    void resetLane(size_t lane);
+
+    /**
+     * Step one live lane. @pre !done(lane).
+     * @return true once the lane's episode has ended
+     */
+    bool stepLane(size_t lane, const Action &action);
+
     size_t size() const { return lanes_.size(); }
     const EnvSpec &spec() const { return spec_; }
 

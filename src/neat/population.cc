@@ -48,10 +48,11 @@ Population::solved() const
 }
 
 void
-Population::advance()
+Population::advance(const std::map<int, SpeciesEvalSummary> *summaries)
 {
     genomes_ = reproduction_.reproduce(cfg_, species_, genomes_,
-                                       generation_, innovation_);
+                                       generation_, innovation_,
+                                       summaries);
     ++generation_;
     species_.speciate(genomes_, cfg_, generation_);
     for (Reporter *reporter : reporters_)

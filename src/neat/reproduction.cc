@@ -23,14 +23,57 @@ Reproduction::createNew(const NeatConfig &cfg, size_t n)
     return population;
 }
 
+SpeciesEvalSummary
+Reproduction::summarizeSpecies(
+    const std::vector<int> &members,
+    const std::function<double(int)> &fitnessOf)
+{
+    e3_assert(!members.empty(), "cannot summarize an empty species");
+    SpeciesEvalSummary summary;
+    double sum = 0.0;
+    summary.minMemberFitness = std::numeric_limits<double>::infinity();
+    summary.maxMemberFitness = -std::numeric_limits<double>::infinity();
+    for (int key : members) {
+        const double f = fitnessOf(key);
+        sum += f;
+        summary.minMemberFitness = std::min(summary.minMemberFitness, f);
+        summary.maxMemberFitness = std::max(summary.maxMemberFitness, f);
+    }
+    summary.meanFitness = sum / static_cast<double>(members.size());
+    summary.rankedMembers = members;
+    std::sort(summary.rankedMembers.begin(),
+              summary.rankedMembers.end(), [&](int a, int b) {
+                  return fitnessOf(a) > fitnessOf(b);
+              });
+    return summary;
+}
+
 std::map<int, Genome>
 Reproduction::reproduce(const NeatConfig &cfg, SpeciesSet &speciesSet,
                         const std::map<int, Genome> &population,
-                        int generation, InnovationTracker &innovation)
+                        int generation, InnovationTracker &innovation,
+                        const std::map<int, SpeciesEvalSummary> *summaries)
 {
     for (const auto &[key, genome] : population) {
         e3_assert(genome.evaluated(),
                   "genome ", key, " reproduced before evaluation");
+    }
+
+    // Summaries may arrive precomputed (async evolve/evaluate overlap)
+    // or be computed here — the same function either way.
+    std::map<int, SpeciesEvalSummary> local;
+    if (!summaries) {
+        for (const auto &[sid, sp] : speciesSet.species()) {
+            local.emplace(sid, summarizeSpecies(
+                                   sp.members, [&](int key) {
+                                       return population.at(key).fitness;
+                                   }));
+        }
+        summaries = &local;
+    }
+    for (const auto &[sid, sp] : speciesSet.species()) {
+        e3_assert(summaries->count(sid),
+                  "missing evaluation summary for species ", sid);
     }
 
     // --- Stagnation (neat-python DefaultStagnation) ---
@@ -43,10 +86,7 @@ Reproduction::reproduce(const NeatConfig &cfg, SpeciesSet &speciesSet,
     std::vector<SpeciesInfo> infos;
     for (auto &[sid, sp] : speciesSet.species()) {
         e3_assert(!sp.members.empty(), "species ", sid, " is empty");
-        double sum = 0.0;
-        for (int key : sp.members)
-            sum += population.at(key).fitness;
-        const double mean = sum / static_cast<double>(sp.members.size());
+        const double mean = summaries->at(sid).meanFitness;
 
         const auto prevBest = sp.bestHistoricalFitness();
         if (!prevBest || mean > *prevBest)
@@ -78,20 +118,16 @@ Reproduction::reproduce(const NeatConfig &cfg, SpeciesSet &speciesSet,
     double minFit = std::numeric_limits<double>::infinity();
     double maxFit = -std::numeric_limits<double>::infinity();
     for (const auto &[sid, sp] : speciesSet.species()) {
-        for (int key : sp.members) {
-            minFit = std::min(minFit, population.at(key).fitness);
-            maxFit = std::max(maxFit, population.at(key).fitness);
-        }
+        const SpeciesEvalSummary &summary = summaries->at(sid);
+        minFit = std::min(minFit, summary.minMemberFitness);
+        maxFit = std::max(maxFit, summary.maxMemberFitness);
     }
     const double span = std::max(maxFit - minFit, 1.0);
 
     double adjustedSum = 0.0;
     for (auto &[sid, sp] : speciesSet.species()) {
-        double sum = 0.0;
-        for (int key : sp.members)
-            sum += population.at(key).fitness;
-        const double mean = sum / static_cast<double>(sp.members.size());
-        sp.adjustedFitness = (mean - minFit) / span;
+        sp.adjustedFitness =
+            (summaries->at(sid).meanFitness - minFit) / span;
         adjustedSum += sp.adjustedFitness;
     }
 
@@ -161,14 +197,10 @@ Reproduction::reproduce(const NeatConfig &cfg, SpeciesSet &speciesSet,
     // --- Per-species reproduction ---
     std::map<int, Genome> next;
     for (int sid : sids) {
-        Species &sp = speciesSet.species().at(sid);
         size_t toSpawn = spawn.at(sid);
 
-        // Members best-first.
-        std::vector<int> ranked = sp.members;
-        std::sort(ranked.begin(), ranked.end(), [&](int a, int b) {
-            return population.at(a).fitness > population.at(b).fitness;
-        });
+        // Members best-first (precomputed by summarizeSpecies).
+        std::vector<int> ranked = summaries->at(sid).rankedMembers;
 
         // Elites survive verbatim.
         for (size_t e = 0; e < cfg.elitism && e < ranked.size() &&

@@ -1,0 +1,122 @@
+#include "runtime/parallel_eval.hh"
+
+#include "common/logging.hh"
+#include "runtime/task_graph.hh"
+
+namespace e3::runtime {
+
+ParallelEval::ParallelEval(const RuntimeConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.threads > 1)
+        pool_ = std::make_unique<ThreadPool>(cfg_.threads);
+}
+
+ParallelEval::~ParallelEval() = default;
+
+void
+ParallelEval::runLane(const EvalPlan &plan,
+                      std::vector<std::unique_ptr<VectorEnv>> &venvs,
+                      EvalOutcome &out, size_t lane) const
+{
+    // Episode rounds run in order within the lane, exactly like the
+    // lockstep path: reset consumes the lane's private stream, then
+    // the policy drives the episode to termination or the step cap.
+    double sum = 0.0;
+    for (size_t e = 0; e < venvs.size(); ++e) {
+        VectorEnv &venv = *venvs[e];
+        venv.resetLane(lane);
+        while (!venv.done(lane))
+            venv.stepLane(lane,
+                          plan.act(lane, venv.observation(lane)));
+        out.episodeLengths[e][lane] = venv.steps(lane);
+        sum += venv.fitness(lane);
+    }
+    out.fitness[lane] =
+        sum / static_cast<double>(venvs.size());
+}
+
+EvalOutcome
+ParallelEval::evaluate(const EvalPlan &plan)
+{
+    e3_assert(plan.spec, "evaluation plan needs an environment spec");
+    e3_assert(plan.act, "evaluation plan needs a policy");
+    e3_assert(!plan.episodeSeeds.empty(),
+              "evaluation plan needs at least one episode round");
+    for (const auto &group : plan.groups) {
+        for (size_t lane : group.lanes) {
+            e3_assert(lane < plan.lanes, "group ", group.id,
+                      " references lane ", lane, " of ", plan.lanes);
+        }
+    }
+
+    EvalOutcome out;
+    if (plan.lanes == 0)
+        return out;
+    out.fitness.assign(plan.lanes, 0.0);
+    out.episodeLengths.assign(plan.episodeSeeds.size(),
+                              std::vector<int>(plan.lanes, 0));
+
+    // VectorEnv construction derives every lane's RNG stream up front
+    // on this thread — the same split sequence the lockstep path uses,
+    // so streams are a pure function of (episode seed, lane index).
+    std::vector<std::unique_ptr<VectorEnv>> venvs;
+    venvs.reserve(plan.episodeSeeds.size());
+    for (uint64_t seed : plan.episodeSeeds)
+        venvs.push_back(
+            std::make_unique<VectorEnv>(*plan.spec, plan.lanes, seed));
+
+    if (!pool_) {
+        for (size_t i = 0; i < plan.lanes; ++i)
+            runLane(plan, venvs, out, i);
+        if (plan.onGroupDone) {
+            for (const auto &group : plan.groups)
+                plan.onGroupDone(group, out.fitness);
+        }
+        return out;
+    }
+
+    const bool overlap =
+        cfg_.asyncOverlap && plan.onGroupDone && !plan.groups.empty();
+    if (!overlap) {
+        pool_->parallelFor(plan.lanes, [&](size_t i) {
+            runLane(plan, venvs, out, i);
+        });
+        if (plan.onGroupDone) {
+            for (const auto &group : plan.groups)
+                plan.onGroupDone(group, out.fitness);
+        }
+        return out;
+    }
+
+    // Async overlap: each group's summary task depends only on its own
+    // lanes, so it runs while other groups' episodes are still going.
+    TaskGraph graph;
+    std::vector<TaskGraph::TaskId> laneTask(plan.lanes);
+    for (size_t i = 0; i < plan.lanes; ++i) {
+        laneTask[i] = graph.add(
+            "lane" + std::to_string(i),
+            [&, i] { runLane(plan, venvs, out, i); });
+    }
+    for (const auto &group : plan.groups) {
+        const TaskGraph::TaskId summary = graph.add(
+            "group" + std::to_string(group.id),
+            [&, &group = group] {
+                plan.onGroupDone(group, out.fitness);
+            });
+        for (size_t lane : group.lanes)
+            graph.dependsOn(summary, laneTask[lane]);
+    }
+    graph.run(*pool_);
+    return out;
+}
+
+Counters
+ParallelEval::counters() const
+{
+    Counters out;
+    if (pool_)
+        pool_->exportCounters(out);
+    return out;
+}
+
+} // namespace e3::runtime

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Parallel population evaluation with a bit-identical serial fallback.
+ *
+ * One evaluation "lane" per individual: the lane rolls its episodes to
+ * completion on whichever worker picks it up. Determinism comes from
+ * stream isolation, not scheduling: every lane's RNG stream is derived
+ * up front by the VectorEnv constructor (a pure function of the
+ * episode seed and the lane index — and the lane order is the genome
+ * key order, so effectively of (seed, generation, genome key)), lanes
+ * never share mutable state, and results land in per-lane slots. Any
+ * worker count, including the serial threads<=1 path, produces the
+ * same bits.
+ *
+ * Async overlap (CLAN-style): callers may group lanes (one group per
+ * NEAT species) and attach a group callback. The callback runs on a
+ * worker as soon as the last lane of its group finishes — while other
+ * groups are still evaluating — which lets the fitness-dependent but
+ * RNG-free prefix of "evolve" (per-species fitness summaries and
+ * member ranking) overlap the evaluate tail.
+ */
+
+#ifndef E3_RUNTIME_PARALLEL_EVAL_HH
+#define E3_RUNTIME_PARALLEL_EVAL_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "env/vector_env.hh"
+#include "runtime/thread_pool.hh"
+
+namespace e3::runtime {
+
+/** Execution knobs of the evaluation runtime. */
+struct RuntimeConfig
+{
+    /** Worker threads; <= 1 keeps everything on the calling thread. */
+    size_t threads = 1;
+
+    /**
+     * Overlap per-group (per-species) evolve-side summary work with
+     * the evaluate tail via the task graph. Functionally identical to
+     * the non-overlapped path; only wall-clock differs.
+     */
+    bool asyncOverlap = false;
+};
+
+/** One population evaluation request. */
+struct EvalPlan
+{
+    const EnvSpec *spec = nullptr; ///< environment for every lane
+    size_t lanes = 0;              ///< population size
+    /** One master seed per episode round (VectorEnv seeding). */
+    std::vector<uint64_t> episodeSeeds;
+
+    /**
+     * Policy of lane i: map an observation to an env action. Called
+     * concurrently for distinct lanes; must not share mutable state
+     * across lanes.
+     */
+    std::function<Action(size_t lane, const Observation &obs)> act;
+
+    /** A set of lanes whose completion unlocks follow-up work. */
+    struct Group
+    {
+        int id = 0;                ///< caller's key (e.g. species id)
+        std::vector<size_t> lanes; ///< member lane indices
+    };
+    std::vector<Group> groups;
+
+    /**
+     * Runs once per group after all its lanes finished — on a worker
+     * in async-overlap mode, inline after evaluation otherwise. The
+     * per-lane mean fitness of the group's lanes is final when called.
+     * Must write only group-private state.
+     */
+    std::function<void(const Group &group,
+                       const std::vector<double> &laneFitness)>
+        onGroupDone;
+};
+
+/** Per-lane results of one evaluation. */
+struct EvalOutcome
+{
+    /** Mean episode fitness per lane (over all episode rounds). */
+    std::vector<double> fitness;
+    /** episodeLengths[e][i] = env steps of lane i in episode round e. */
+    std::vector<std::vector<int>> episodeLengths;
+};
+
+/** Evaluation runtime: owns the worker pool and utilization counters. */
+class ParallelEval
+{
+  public:
+    explicit ParallelEval(const RuntimeConfig &cfg);
+    ~ParallelEval();
+
+    /** Evaluate every lane; blocks until fan-in. */
+    EvalOutcome evaluate(const EvalPlan &plan);
+
+    size_t threads() const { return cfg_.threads; }
+    bool asyncOverlap() const { return cfg_.asyncOverlap; }
+
+    /** Pool utilization counters accumulated so far (empty if serial). */
+    Counters counters() const;
+
+  private:
+    void runLane(const EvalPlan &plan,
+                 std::vector<std::unique_ptr<VectorEnv>> &venvs,
+                 EvalOutcome &out, size_t lane) const;
+
+    RuntimeConfig cfg_;
+    std::unique_ptr<ThreadPool> pool_; ///< null on the serial path
+};
+
+} // namespace e3::runtime
+
+#endif // E3_RUNTIME_PARALLEL_EVAL_HH

@@ -1,0 +1,126 @@
+#include "runtime/task_graph.hh"
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace e3::runtime {
+
+TaskGraph::TaskId
+TaskGraph::add(std::string label, ThreadPool::Task fn)
+{
+    e3_assert(!ran_, "TaskGraph is one-shot; cannot add after run()");
+    e3_assert(fn, "task '", label, "' has no body");
+    nodes_.push_back(Node{std::move(label), std::move(fn), {}, 0});
+    return nodes_.size() - 1;
+}
+
+void
+TaskGraph::dependsOn(TaskId task, TaskId prerequisite)
+{
+    e3_assert(task < nodes_.size(), "unknown task id ", task);
+    e3_assert(prerequisite < nodes_.size(), "unknown prerequisite id ",
+              prerequisite);
+    e3_assert(task != prerequisite, "task '", nodes_[task].label,
+              "' cannot depend on itself");
+    nodes_[prerequisite].successors.push_back(task);
+    ++nodes_[task].indegree;
+}
+
+void
+TaskGraph::run(ThreadPool &pool)
+{
+    e3_assert(!ran_, "TaskGraph is one-shot; run() already called");
+    ran_ = true;
+    if (nodes_.empty())
+        return;
+
+    // Kahn's algorithm up front: a cycle would otherwise deadlock the
+    // drain below.
+    {
+        std::vector<size_t> indegree(nodes_.size());
+        std::vector<TaskId> queue;
+        for (TaskId id = 0; id < nodes_.size(); ++id) {
+            indegree[id] = nodes_[id].indegree;
+            if (indegree[id] == 0)
+                queue.push_back(id);
+        }
+        size_t seen = 0;
+        while (seen < queue.size()) {
+            const TaskId id = queue[seen++];
+            for (TaskId next : nodes_[id].successors) {
+                if (--indegree[next] == 0)
+                    queue.push_back(next);
+            }
+        }
+        e3_assert(seen == nodes_.size(),
+                  "task graph has a dependency cycle");
+    }
+
+    struct Run
+    {
+        std::mutex mutex;
+        std::condition_variable done;
+        std::vector<size_t> indegree; ///< guarded by mutex
+        size_t remaining = 0;         ///< guarded by mutex
+        std::exception_ptr error;     ///< guarded by mutex
+        bool failed = false;          ///< guarded by mutex
+    } state;
+    state.indegree.resize(nodes_.size());
+    for (TaskId id = 0; id < nodes_.size(); ++id)
+        state.indegree[id] = nodes_[id].indegree;
+    state.remaining = nodes_.size();
+
+    // Recursive lambda: executing a node readies its successors.
+    std::function<void(TaskId)> execute = [&](TaskId id) {
+        bool skip;
+        {
+            std::lock_guard<std::mutex> lock(state.mutex);
+            skip = state.failed;
+        }
+        std::exception_ptr error;
+        if (!skip) {
+            try {
+                nodes_[id].fn();
+            } catch (...) {
+                error = std::current_exception();
+            }
+        }
+
+        std::vector<TaskId> ready;
+        {
+            std::lock_guard<std::mutex> lock(state.mutex);
+            if (error) {
+                if (!state.error)
+                    state.error = error;
+                state.failed = true;
+            }
+            for (TaskId next : nodes_[id].successors) {
+                if (--state.indegree[next] == 0)
+                    ready.push_back(next);
+            }
+            // Last node signals under the lock, then never touches
+            // `state` again — safe against the waiter returning.
+            if (--state.remaining == 0)
+                state.done.notify_all();
+        }
+        for (TaskId next : ready)
+            pool.submit([&execute, next] { execute(next); });
+    };
+
+    size_t rootCursor = 0;
+    for (TaskId id = 0; id < nodes_.size(); ++id) {
+        if (nodes_[id].indegree != 0)
+            continue;
+        pool.submitTo(rootCursor++ % pool.workerCount(),
+                      [&execute, id] { execute(id); });
+    }
+
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.done.wait(lock, [&] { return state.remaining == 0; });
+    if (state.error)
+        std::rethrow_exception(state.error);
+}
+
+} // namespace e3::runtime

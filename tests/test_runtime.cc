@@ -1,0 +1,301 @@
+/**
+ * @file
+ * src/runtime: worker pool lifecycle, exception propagation, work
+ * stealing, task-graph ordering, and the determinism contract — the
+ * parallel evaluator must produce bit-identical results to the serial
+ * path for every thread count, with and without async overlap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "e3/experiment.hh"
+#include "runtime/parallel_eval.hh"
+#include "runtime/task_graph.hh"
+#include "runtime/thread_pool.hh"
+
+using namespace e3;
+using namespace e3::runtime;
+
+TEST(ThreadPool, StartStopRepeatedly)
+{
+    for (int round = 0; round < 8; ++round) {
+        ThreadPool pool(3);
+        EXPECT_EQ(pool.workerCount(), 3u);
+    }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    const size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForGrainChunksCoverEverything)
+{
+    ThreadPool pool(3);
+    const size_t n = 1001; // deliberately not a multiple of the grain
+    std::vector<int> out(n, 0);
+    pool.parallelFor(n, [&](size_t i) { out[i] = static_cast<int>(i); },
+                     /*grain=*/64);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i));
+}
+
+TEST(ThreadPool, ParallelForPropagatesException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(256,
+                         [&](size_t i) {
+                             if (i == 37)
+                                 throw std::runtime_error("lane 37");
+                         }),
+        std::runtime_error);
+
+    // The pool survives a failed batch and runs the next one.
+    std::atomic<size_t> count{0};
+    pool.parallelFor(100, [&](size_t) {
+        count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPool, IdleWorkerStealsFromBusyVictim)
+{
+    ThreadPool pool(2);
+
+    // Both tasks go to worker 0's deque. The first blocks its worker
+    // until the second has run — which is only possible if worker 1
+    // steals one of them.
+    std::promise<void> unblock;
+    std::shared_future<void> gate = unblock.get_future().share();
+    std::promise<void> secondRan;
+    pool.submitTo(0, [gate] { gate.wait(); });
+    pool.submitTo(0, [&secondRan] { secondRan.set_value(); });
+
+    secondRan.get_future().wait();
+    unblock.set_value();
+
+    // Drain so counters are final before we read them.
+    pool.parallelFor(1, [](size_t) {});
+    uint64_t stolen = 0;
+    for (const WorkerStats &ws : pool.stats())
+        stolen += ws.tasksStolen;
+    EXPECT_GE(stolen, 1u);
+}
+
+TEST(ThreadPool, CountersAccountEveryTask)
+{
+    ThreadPool pool(4);
+    pool.parallelFor(500, [](size_t) {});
+    uint64_t run = 0;
+    for (const WorkerStats &ws : pool.stats())
+        run += ws.tasksRun;
+    EXPECT_EQ(run, 500u);
+
+    Counters exported;
+    pool.exportCounters(exported);
+    EXPECT_DOUBLE_EQ(exported.get("runtime.tasks_run"), 500.0);
+}
+
+TEST(TaskGraph, RespectsDependencies)
+{
+    ThreadPool pool(4);
+    TaskGraph graph;
+    // Diamond: a -> {b, c} -> d. Each node reads only finished inputs.
+    int va = 0;
+    int vb = 0;
+    int vc = 0;
+    int vd = 0;
+    const auto a = graph.add("a", [&] { va = 7; });
+    const auto b = graph.add("b", [&] { vb = va + 1; });
+    const auto c = graph.add("c", [&] { vc = va + 2; });
+    const auto d = graph.add("d", [&] { vd = vb + vc; });
+    graph.dependsOn(b, a);
+    graph.dependsOn(c, a);
+    graph.dependsOn(d, b);
+    graph.dependsOn(d, c);
+    graph.run(pool);
+    EXPECT_EQ(va, 7);
+    EXPECT_EQ(vb, 8);
+    EXPECT_EQ(vc, 9);
+    EXPECT_EQ(vd, 17);
+}
+
+TEST(TaskGraph, FailurePropagatesAndSkipsDependents)
+{
+    ThreadPool pool(2);
+    TaskGraph graph;
+    bool dependentRan = false;
+    const auto boom =
+        graph.add("boom", [] { throw std::runtime_error("boom"); });
+    const auto after = graph.add("after", [&] { dependentRan = true; });
+    graph.dependsOn(after, boom);
+    EXPECT_THROW(graph.run(pool), std::runtime_error);
+    EXPECT_FALSE(dependentRan);
+}
+
+namespace {
+
+/** Evaluate a tiny cartpole population with a fixed linear policy. */
+EvalOutcome
+evalCartpole(size_t threads, bool asyncOverlap)
+{
+    const EnvSpec &spec = envSpec("cartpole");
+    RuntimeConfig cfg;
+    cfg.threads = threads;
+    cfg.asyncOverlap = asyncOverlap;
+    ParallelEval runtime(cfg);
+
+    EvalPlan plan;
+    plan.spec = &spec;
+    plan.lanes = 24;
+    plan.episodeSeeds = {11, 22, 33};
+    plan.act = [&](size_t lane, const Observation &obs) {
+        // Lane-dependent deterministic policy, no shared state.
+        const double w = 0.1 * static_cast<double>(lane % 5) - 0.2;
+        std::vector<double> outputs = {
+            obs[2] * w + obs[0] > 0.0 ? 1.0 : 0.0};
+        return decodeAction(spec, outputs);
+    };
+    return runtime.evaluate(plan);
+}
+
+} // namespace
+
+TEST(ParallelEval, BitIdenticalAcrossThreadCounts)
+{
+    const EvalOutcome serial = evalCartpole(1, false);
+    ASSERT_EQ(serial.fitness.size(), 24u);
+    for (size_t threads : {2u, 4u, 8u}) {
+        const EvalOutcome parallel = evalCartpole(threads, false);
+        EXPECT_EQ(serial.fitness, parallel.fitness)
+            << threads << " threads";
+        EXPECT_EQ(serial.episodeLengths, parallel.episodeLengths)
+            << threads << " threads";
+    }
+}
+
+TEST(ParallelEval, GroupCallbackSeesFinalGroupFitness)
+{
+    const EnvSpec &spec = envSpec("cartpole");
+    RuntimeConfig cfg;
+    cfg.threads = 4;
+    cfg.asyncOverlap = true;
+    ParallelEval runtime(cfg);
+
+    EvalPlan plan;
+    plan.spec = &spec;
+    plan.lanes = 12;
+    plan.episodeSeeds = {5};
+    plan.act = [&](size_t, const Observation &obs) {
+        return decodeAction(spec,
+                            {obs[2] > 0.0 ? 1.0 : 0.0});
+    };
+    plan.groups = {{1, {0, 1, 2, 3}}, {2, {4, 5, 6, 7}},
+                   {3, {8, 9, 10, 11}}};
+    std::vector<double> groupMeans(4, -1.0);
+    plan.onGroupDone = [&](const EvalPlan::Group &group,
+                           const std::vector<double> &laneFitness) {
+        double sum = 0.0;
+        for (size_t lane : group.lanes)
+            sum += laneFitness[lane];
+        groupMeans[static_cast<size_t>(group.id)] =
+            sum / static_cast<double>(group.lanes.size());
+    };
+
+    const EvalOutcome out = runtime.evaluate(plan);
+    for (int gid = 1; gid <= 3; ++gid) {
+        double sum = 0.0;
+        for (size_t lane = (gid - 1) * 4u; lane < gid * 4u; ++lane)
+            sum += out.fitness[lane];
+        EXPECT_DOUBLE_EQ(groupMeans[static_cast<size_t>(gid)],
+                         sum / 4.0);
+    }
+}
+
+namespace {
+
+/** One platform run; returns the full generation trace. */
+std::vector<GenerationPoint>
+traceOf(const std::string &env, size_t threads, bool asyncOverlap)
+{
+    ExperimentOptions opt;
+    opt.seed = 3;
+    opt.populationSize = 64;
+    opt.episodesPerEval = 2;
+    opt.maxGenerations = 20;
+    opt.threads = threads;
+    opt.asyncOverlap = asyncOverlap;
+    return runExperiment(env, BackendKind::Cpu, opt).trace;
+}
+
+void
+expectIdenticalTraces(const std::vector<GenerationPoint> &a,
+                      const std::vector<GenerationPoint> &b,
+                      const std::string &what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (size_t g = 0; g < a.size(); ++g) {
+        SCOPED_TRACE(what + ", generation " + std::to_string(g));
+        // Bit-identical, not approximately equal: the parallel path
+        // must replay the exact serial arithmetic.
+        EXPECT_EQ(a[g].generation, b[g].generation);
+        EXPECT_EQ(a[g].bestFitness, b[g].bestFitness);
+        EXPECT_EQ(a[g].meanFitness, b[g].meanFitness);
+        EXPECT_EQ(a[g].normalizedBest, b[g].normalizedBest);
+        EXPECT_EQ(a[g].cumulativeSeconds, b[g].cumulativeSeconds);
+        EXPECT_EQ(a[g].meanNodes, b[g].meanNodes);
+        EXPECT_EQ(a[g].meanConnections, b[g].meanConnections);
+        EXPECT_EQ(a[g].meanDensity, b[g].meanDensity);
+        EXPECT_EQ(a[g].numSpecies, b[g].numSpecies);
+    }
+}
+
+} // namespace
+
+TEST(RuntimeDeterminism, CartpoleTraceIdenticalAcrossThreadCounts)
+{
+    const auto serial = traceOf("cartpole", 1, false);
+    ASSERT_FALSE(serial.empty());
+    for (size_t threads : {2u, 4u, 8u}) {
+        expectIdenticalTraces(
+            serial, traceOf("cartpole", threads, false),
+            "cartpole, " + std::to_string(threads) + " threads");
+    }
+    expectIdenticalTraces(serial, traceOf("cartpole", 4, true),
+                          "cartpole, 4 threads + async overlap");
+}
+
+TEST(RuntimeDeterminism, LunarLanderTraceIdenticalAcrossThreadCounts)
+{
+    const auto serial = traceOf("lunar_lander", 1, false);
+    ASSERT_FALSE(serial.empty());
+    for (size_t threads : {2u, 4u, 8u}) {
+        expectIdenticalTraces(
+            serial, traceOf("lunar_lander", threads, false),
+            "lunar_lander, " + std::to_string(threads) + " threads");
+    }
+    expectIdenticalTraces(serial, traceOf("lunar_lander", 4, true),
+                          "lunar_lander, 4 threads + async overlap");
+}
+
+TEST(RuntimeDeterminism, AsyncOverlapMatchesSerialOnSerialFallback)
+{
+    // threads=1 with async overlap requested: the serial fallback must
+    // still run the group callbacks and produce the same trace.
+    expectIdenticalTraces(traceOf("cartpole", 1, false),
+                          traceOf("cartpole", 1, true),
+                          "cartpole, serial async fallback");
+}

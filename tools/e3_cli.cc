@@ -121,6 +121,9 @@ cmdRun(const Args &args)
         static_cast<size_t>(args.getInt("episodes", 3));
     options.maxGenerations = static_cast<int>(
         args.getInt("generations", suiteGenerationBudget(envName)));
+    options.threads =
+        static_cast<size_t>(args.getInt("threads", 1));
+    options.asyncOverlap = args.getInt("async", 0) != 0;
 
     const EnvSpec &spec = envSpec(envName);
     InaxConfig inaxCfg = InaxConfig::paperDefault(spec.numOutputs);
@@ -139,10 +142,12 @@ cmdRun(const Args &args)
     args.checkAllUsed();
 
     std::printf("running %s on %s (pop %zu, %zu episode(s)/eval, "
-                "seed %llu)\n",
+                "seed %llu, %zu thread(s)%s)\n",
                 envName.c_str(), backendKindName(backend).c_str(),
                 options.populationSize, options.episodesPerEval,
-                static_cast<unsigned long long>(options.seed));
+                static_cast<unsigned long long>(options.seed),
+                options.threads,
+                options.asyncOverlap ? ", async overlap" : "");
 
     const RunResult result = runExperiment(envName, backend, options);
 
@@ -163,6 +168,14 @@ cmdRun(const Args &args)
                         result.inaxReport.totalCycles()),
                     result.inaxReport.pe.rate(),
                     result.inaxReport.pu.rate());
+    }
+    if (options.threads > 1) {
+        const Counters &rt = result.runtimeCounters;
+        std::printf("runtime: %zu workers, %.0f tasks run "
+                    "(%.0f stolen), %.2f s worker idle\n",
+                    options.threads, rt.get("runtime.tasks_run"),
+                    rt.get("runtime.tasks_stolen"),
+                    rt.get("runtime.idle_seconds"));
     }
 
     if (!csvPath.empty()) {
@@ -244,6 +257,7 @@ usage()
         "  e3_cli run --env <name> --backend cpu|gpu|inax\n"
         "         [--pu N] [--pe N] [--pop N] [--generations N]\n"
         "         [--episodes N] [--seed N] [--csv file]\n"
+        "         [--threads N] [--async 0|1]\n"
         "         [--neat-config file.ini] [--save champion.genome]\n"
         "  e3_cli replay --env <name> --genome <file>\n"
         "         [--episodes N] [--seed N]\n");
