@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared --trace/--trace-detail/--metrics plumbing for the fig*
+ * benches. Header-only so each bench stays one translation unit.
+ *
+ *   BenchObs bo(argc, argv);      // fatal()s on unknown options
+ *   bo.start();                   // arm tracing if --trace was given
+ *   ...run the bench...
+ *   bo.finishTrace();             // write the trace file
+ *   bo.writeMetrics(csvText);     // write --metrics if requested
+ */
+
+#ifndef E3_BENCH_BENCH_OBS_HH
+#define E3_BENCH_BENCH_OBS_HH
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "obs/trace.hh"
+
+namespace e3 {
+
+class BenchObs
+{
+  public:
+    BenchObs(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string key = argv[i];
+            auto value = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    e3_fatal(key, " needs a value");
+                return argv[++i];
+            };
+            if (key == "--trace") {
+                tracePath_ = value();
+            } else if (key == "--trace-detail") {
+                const std::string name = value();
+                if (!obs::parseTraceDetail(name, detail_))
+                    e3_fatal("unknown trace detail '", name,
+                             "' (phase|task|hw)");
+            } else if (key == "--metrics") {
+                metricsPath_ = value();
+            } else {
+                e3_fatal("unknown option ", key,
+                         " (--trace f.json | --trace-detail "
+                         "phase|task|hw | --metrics f.csv)");
+            }
+        }
+    }
+
+    void
+    start() const
+    {
+        if (!tracePath_.empty())
+            obs::traceStart(detail_);
+    }
+
+    void
+    finishTrace() const
+    {
+        if (tracePath_.empty())
+            return;
+        if (obs::traceStop(tracePath_))
+            std::printf("trace written to %s\n", tracePath_.c_str());
+    }
+
+    bool
+    wantMetrics() const
+    {
+        return !metricsPath_.empty();
+    }
+
+    void
+    writeMetrics(const std::string &csvText) const
+    {
+        if (metricsPath_.empty())
+            return;
+        std::ofstream out(metricsPath_);
+        if (!out) {
+            warn("cannot open metrics file '", metricsPath_,
+                 "' for writing");
+            return;
+        }
+        out << csvText;
+        std::printf("metrics written to %s\n", metricsPath_.c_str());
+    }
+
+  private:
+    std::string tracePath_;
+    std::string metricsPath_;
+    obs::TraceDetail detail_ = obs::TraceDetail::Phase;
+};
+
+} // namespace e3
+
+#endif // E3_BENCH_BENCH_OBS_HH

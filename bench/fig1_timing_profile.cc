@@ -11,14 +11,19 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_obs.hh"
 #include "common/table.hh"
 #include "e3/experiment.hh"
+#include "obs/metrics.hh"
 
 using namespace e3;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchObs bo(argc, argv);
+    bo.start();
+
     std::cout << "Fig. 1(b) reproduction: NEAT timing profile on "
                  "E3-CPU (modeled interpreted-software time)\n"
                  "Paper reference: evaluate ~92%, evolve ~3%, rest "
@@ -33,11 +38,14 @@ main()
 
     double sumEval = 0, sumEvolve = 0, sumCreate = 0, sumEnv = 0;
     size_t count = 0;
+    std::vector<std::pair<std::string, obs::MetricsRegistry>> perEnv;
     for (const auto &spec : envSuite()) {
         ExperimentOptions o = opt;
         o.maxGenerations = suiteGenerationBudget(spec.name);
         const RunResult r =
             runExperiment(spec.name, BackendKind::Cpu, o);
+        if (bo.wantMetrics())
+            perEnv.emplace_back(spec.name, r.metrics);
         const double evalF = r.modeled.fraction(e3_phase::evaluate);
         const double evolveF = r.modeled.fraction(e3_phase::evolve);
         const double createF = r.modeled.fraction(e3_phase::createNet);
@@ -63,5 +71,14 @@ main()
                 "evolve is small (paper ~3%%): %s\n",
                 sumEval / n > 0.80 && sumEvolve / n < 0.10 ? "PASS"
                                                            : "DIVERGES");
+
+    bo.finishTrace();
+    if (bo.wantMetrics()) {
+        std::vector<std::pair<std::string, const obs::MetricsRegistry *>>
+            labeled;
+        for (const auto &[label, reg] : perEnv)
+            labeled.emplace_back(label, &reg);
+        bo.writeMetrics(obs::combinedMetricsCsv(labeled));
+    }
     return 0;
 }

@@ -14,9 +14,11 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_obs.hh"
 #include "common/table.hh"
 #include "common/timing.hh"
 #include "e3/experiment.hh"
+#include "obs/metrics.hh"
 #include "rl/a2c.hh"
 #include "rl/ppo2.hh"
 
@@ -61,8 +63,11 @@ profileCell(const std::string &algo, const std::vector<size_t> &hidden)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchObs bo(argc, argv);
+    bo.start();
+
     std::cout << "Fig. 3 reproduction: measured Forward vs Training "
                  "runtime split of the RL baselines (" << runSeconds
               << " s of real training per cell)\n\n";
@@ -82,11 +87,20 @@ main()
         {"PPO2-small", "ppo", {64, 64}},
         {"PPO2-large", "ppo", {256, 256, 256}},
     };
+    std::vector<std::pair<std::string, obs::MetricsRegistry>> perCell;
     for (const auto &cell : cells) {
         const Split s = profileCell(cell.algo, cell.hidden);
         worstTraining = std::min(worstTraining, s.training);
         table.row({cell.name, TextTable::pct(s.forward),
                    TextTable::pct(s.training), TextTable::pct(s.env)});
+        if (bo.wantMetrics()) {
+            obs::MetricsRegistry reg;
+            reg.setGauge("rl.forward_share", s.forward);
+            reg.setGauge("rl.training_share", s.training);
+            reg.setGauge("rl.env_share", s.env);
+            reg.snapshotGeneration(0);
+            perCell.emplace_back(cell.name, std::move(reg));
+        }
     }
     std::cout << table << '\n';
 
@@ -95,5 +109,14 @@ main()
     std::printf("Shape check: Training is the majority share "
                 "everywhere: %s\n",
                 worstTraining > 0.5 ? "PASS" : "DIVERGES");
+
+    bo.finishTrace();
+    if (bo.wantMetrics()) {
+        std::vector<std::pair<std::string, const obs::MetricsRegistry *>>
+            labeled;
+        for (const auto &[label, reg] : perCell)
+            labeled.emplace_back(label, &reg);
+        bo.writeMetrics(obs::combinedMetricsCsv(labeled));
+    }
     return 0;
 }

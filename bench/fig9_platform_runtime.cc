@@ -18,9 +18,11 @@
 #include <iostream>
 #include <thread>
 
+#include "bench_obs.hh"
 #include "common/table.hh"
 #include "common/timing.hh"
 #include "e3/experiment.hh"
+#include "obs/metrics.hh"
 
 using namespace e3;
 
@@ -78,8 +80,11 @@ runtimeScalingSection()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchObs bo(argc, argv);
+    bo.start();
+
     std::cout
         << "Fig. 9(b-d) reproduction: platform runtimes across the "
            "suite (modeled seconds; see EXPERIMENTS.md calibration "
@@ -105,6 +110,7 @@ main()
 
     double speedupSum = 0.0;
     size_t count = 0;
+    std::vector<std::pair<std::string, obs::MetricsRegistry>> perCell;
     for (const auto &spec : envSuite()) {
         ExperimentOptions o = opt;
         o.maxGenerations = suiteGenerationBudget(spec.name);
@@ -114,6 +120,11 @@ main()
             runExperiment(spec.name, BackendKind::Gpu, o);
         const RunResult inax =
             runExperiment(spec.name, BackendKind::Inax, o);
+        if (bo.wantMetrics()) {
+            perCell.emplace_back(spec.name + "/cpu", cpu.metrics);
+            perCell.emplace_back(spec.name + "/gpu", gpu.metrics);
+            perCell.emplace_back(spec.name + "/inax", inax.metrics);
+        }
 
         const double speedup =
             cpu.totalSeconds() / inax.totalSeconds();
@@ -172,5 +183,14 @@ main()
                 avgSpeedup > 15.0 ? "PASS" : "DIVERGES");
 
     runtimeScalingSection();
+
+    bo.finishTrace();
+    if (bo.wantMetrics()) {
+        std::vector<std::pair<std::string, const obs::MetricsRegistry *>>
+            labeled;
+        for (const auto &[label, reg] : perCell)
+            labeled.emplace_back(label, &reg);
+        bo.writeMetrics(obs::combinedMetricsCsv(labeled));
+    }
     return 0;
 }

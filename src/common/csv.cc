@@ -26,7 +26,7 @@ std::string
 CsvWriter::escape(const std::string &cell)
 {
     const bool needsQuote =
-        cell.find_first_of(",\"\n") != std::string::npos;
+        cell.find_first_of(",\"\n\r") != std::string::npos;
     if (!needsQuote)
         return cell;
     std::string out = "\"";

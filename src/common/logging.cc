@@ -23,6 +23,23 @@ setLogLevel(LogLevel level)
     g_level.store(level, std::memory_order_relaxed);
 }
 
+bool
+parseLogLevel(const std::string &name, LogLevel &out)
+{
+    if (name == "debug") {
+        out = LogLevel::Debug;
+    } else if (name == "info") {
+        out = LogLevel::Inform;
+    } else if (name == "warn") {
+        out = LogLevel::Warn;
+    } else if (name == "error" || name == "silent") {
+        out = LogLevel::Silent;
+    } else {
+        return false;
+    }
+    return true;
+}
+
 namespace detail {
 
 void

@@ -32,6 +32,14 @@ LogLevel logLevel();
 /** Set the process-wide log level. */
 void setLogLevel(LogLevel level);
 
+/**
+ * Parse a CLI-style level name into @p out and return true, or return
+ * false for anything unrecognized. Accepted: "debug", "info", "warn",
+ * "error" (and "silent", an alias of "error" — panic/fatal always
+ * print regardless).
+ */
+bool parseLogLevel(const std::string &name, LogLevel &out);
+
 namespace detail {
 
 /** Emit a formatted message to stderr with a severity prefix. */

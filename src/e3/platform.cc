@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "e3/inax_backend.hh"
+#include "obs/trace.hh"
 
 namespace e3 {
 
@@ -46,17 +47,20 @@ E3Platform::evaluateFunctional(Population &pop, GenerationTrace &trace,
     std::vector<FeedForwardNetwork> nets;
     std::vector<QuantizedNetwork> qnets;
     keys.reserve(n);
-    for (const auto &[key, genome] : pop.genomes()) {
-        keys.push_back(key);
-        NetworkDef def = genome.toNetworkDef(neatCfg_);
-        if (cfg_.quantization) {
-            qnets.push_back(
-                QuantizedNetwork::create(def, *cfg_.quantization));
-        } else {
-            nets.push_back(FeedForwardNetwork::create(def));
+    {
+        obs::TraceSpan span("createnet");
+        for (const auto &[key, genome] : pop.genomes()) {
+            keys.push_back(key);
+            NetworkDef def = genome.toNetworkDef(neatCfg_);
+            if (cfg_.quantization) {
+                qnets.push_back(
+                    QuantizedNetwork::create(def, *cfg_.quantization));
+            } else {
+                nets.push_back(FeedForwardNetwork::create(def));
+            }
+            trace.individuals.push_back(computeNetStats(def));
+            trace.defs.push_back(std::move(def));
         }
-        trace.individuals.push_back(computeNetStats(def));
-        trace.defs.push_back(std::move(def));
     }
     trace.numInputs = spec_.numInputs;
     trace.numOutputs = spec_.numOutputs;
@@ -112,8 +116,16 @@ E3Platform::evaluateFunctional(Population &pop, GenerationTrace &trace,
             };
     }
 
-    runtime::EvalOutcome outcome = runtime_.evaluate(plan);
+    runtime::EvalOutcome outcome;
+    {
+        obs::TraceSpan span("evaluate");
+        outcome = runtime_.evaluate(plan);
+    }
     trace.episodes = std::move(outcome.episodeLengths);
+    for (const auto &round : trace.episodes) {
+        for (int steps : round)
+            envSteps_ += static_cast<uint64_t>(steps);
+    }
     for (size_t i = 0; i < n; ++i)
         pop.genomes().at(keys[i]).fitness = outcome.fitness[i];
 }
@@ -127,7 +139,39 @@ E3Platform::run()
 
     Population pop(neatCfg_, cfg_.seed);
 
+    // Cut one metrics row per generation: gauges carry the current
+    // value, counters the delta since the previous row, so every
+    // generation's spend is isolated (the fig9-style breakdown).
+    auto closeGeneration = [&](int gen, const GenerationStats &stats) {
+        metrics_.setGauge("fitness.best", stats.bestFitness);
+        metrics_.setGauge("fitness.mean", stats.meanFitness);
+        metrics_.setGauge("species.count",
+                          static_cast<double>(stats.numSpecies));
+        metrics_.setGauge("net.mean_nodes", stats.nodeCounts.mean());
+        metrics_.setGauge("net.mean_connections",
+                          stats.connCounts.mean());
+        metrics_.setCounter(
+            "modeled.createnet_seconds",
+            result.modeled.seconds(e3_phase::createNet));
+        metrics_.setCounter("modeled.env_seconds",
+                            result.modeled.seconds(e3_phase::env));
+        metrics_.setCounter(
+            "modeled.evaluate_seconds",
+            result.modeled.seconds(e3_phase::evaluate));
+        metrics_.setCounter("modeled.evolve_seconds",
+                            result.modeled.seconds(e3_phase::evolve));
+        metrics_.setCounter("env.steps",
+                            static_cast<double>(envSteps_));
+        // Pool counters already carry their "runtime." prefix.
+        metrics_.importCounters("", runtime_.counters());
+        metrics_.snapshotGeneration(gen);
+        obs::traceCounter("fitness.best", stats.bestFitness);
+        obs::traceCounter("species.count",
+                          static_cast<double>(stats.numSpecies));
+    };
+
     for (int gen = 0; gen < cfg_.maxGenerations; ++gen) {
+        obs::TraceSpan genSpan("generation");
         GenerationTrace trace;
         std::map<int, SpeciesEvalSummary> summaries;
         evaluateFunctional(pop, trace, gen, summaries);
@@ -137,7 +181,14 @@ E3Platform::run()
         result.modeled.add(e3_phase::createNet,
                            host_.createNetSeconds(trace));
         result.modeled.add(e3_phase::env, host_.envSeconds(trace));
-        const double evalSeconds = backend_->evaluateSeconds(trace);
+        double evalSeconds = 0.0;
+        {
+            // The backend's modeled replay (INAX session / GPU / CPU
+            // cost model); hw-detail traces emit the per-PU timelines
+            // from inside this span.
+            obs::TraceSpan span("backend_replay");
+            evalSeconds = backend_->evaluateSeconds(trace);
+        }
         result.modeled.add(e3_phase::evaluate, evalSeconds);
         backend_->attributeEnergy(evalSeconds, result.energyInput);
 
@@ -166,6 +217,7 @@ E3Platform::run()
 
         if (pop.solved()) {
             result.solved = true;
+            closeGeneration(gen, stats);
             break;
         }
         if (result.modeled.totalSeconds() >=
@@ -173,13 +225,18 @@ E3Platform::run()
             inform(backend_->name(), "/", cfg_.envName,
                    ": modeled-time budget exhausted at generation ",
                    gen);
+            closeGeneration(gen, stats);
             break;
         }
 
         result.modeled.add(
             e3_phase::evolve,
             host_.evolveSeconds(neatCfg_.populationSize));
-        pop.advance(summaries.empty() ? nullptr : &summaries);
+        {
+            obs::TraceSpan span("evolve");
+            pop.advance(summaries.empty() ? nullptr : &summaries);
+        }
+        closeGeneration(gen, stats);
     }
 
     // Host-side phases always run on the CPU.
@@ -189,6 +246,7 @@ E3Platform::run()
         result.modeled.seconds(e3_phase::evolve);
 
     result.runtimeCounters = runtime_.counters();
+    result.metrics = metrics_;
 
     if (auto *inax = dynamic_cast<InaxBackend *>(backend_.get()))
         result.inaxReport = inax->report();

@@ -23,6 +23,7 @@
 #include "inax/inax.hh"
 #include "neat/population.hh"
 #include "nn/quantize.hh"
+#include "obs/metrics.hh"
 #include "runtime/parallel_eval.hh"
 
 namespace e3 {
@@ -91,6 +92,15 @@ struct RunResult
     /** Worker utilization (tasks run/stolen, idle s); empty if serial. */
     Counters runtimeCounters;
 
+    /**
+     * Per-generation metrics: one snapshot row per generation with
+     * fitness/species gauges, modeled per-phase second deltas, env
+     * step counts and pool counter deltas. Export with toCsv()/
+     * toJson() (the CLI's --metrics flag) to regenerate fig9-style
+     * breakdowns offline.
+     */
+    obs::MetricsRegistry metrics;
+
     /** Total modeled wall seconds. */
     double totalSeconds() const { return modeled.totalSeconds(); }
 };
@@ -126,6 +136,8 @@ class E3Platform
     std::unique_ptr<EvalBackend> backend_;
     HostTimingModel host_;
     runtime::ParallelEval runtime_;
+    obs::MetricsRegistry metrics_;
+    uint64_t envSteps_ = 0; ///< functional env steps across the run
 
     /**
      * Functionally evaluate the current population through the

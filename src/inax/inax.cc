@@ -1,6 +1,7 @@
 #include "inax/inax.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/logging.hh"
 #include "inax/dma.hh"
@@ -43,6 +44,32 @@ AcceleratorSession::AcceleratorSession(const InaxConfig &cfg) : cfg_(cfg)
 }
 
 void
+AcceleratorSession::traceBatchSetup()
+{
+    usPerCycle_ = cfg_.secondsPerCycle() * 1e6;
+    puTracks_.clear();
+    puTracks_.reserve(batch_.size());
+    char name[24];
+    for (size_t i = 0; i < batch_.size(); ++i) {
+        std::snprintf(name, sizeof name, "pu%02zu", i);
+        puTracks_.push_back(obs::traceTrack("INAX (modeled)", name));
+    }
+    weightTrack_ = obs::traceTrack("INAX (modeled)", "weights");
+    dmaTrack_ = obs::traceTrack("INAX (modeled)", "io-dma");
+    ctrlTrack_ = obs::traceTrack("INAX (modeled)", "sig");
+
+    // The shared weight channel serializes the configuration streams:
+    // one setup span per individual, back to back.
+    for (const auto &ind : batch_) {
+        const uint64_t base = obs::traceClaimHwCycles(ind.setupCycles);
+        obs::traceCompleteOn(
+            weightTrack_, "setup",
+            static_cast<double>(base) * usPerCycle_,
+            static_cast<double>(ind.setupCycles) * usPerCycle_);
+    }
+}
+
+void
 AcceleratorSession::loadBatch(std::vector<IndividualCost> batch)
 {
     e3_assert(!batch.empty(), "empty accelerator batch");
@@ -53,6 +80,10 @@ AcceleratorSession::loadBatch(std::vector<IndividualCost> batch)
     for (const auto &ind : batch_)
         report_.setupCycles += ind.setupCycles;
     ++report_.batches;
+
+    tracing_ = obs::traceEnabled(obs::TraceDetail::Hw);
+    if (tracing_)
+        traceBatchSetup();
 }
 
 void
@@ -81,12 +112,54 @@ AcceleratorSession::step(const std::vector<bool> &live)
     if (liveLanes == 0)
         return; // nothing to do; the CPU would not raise "start"
 
-    report_.computeCycles += window;
-    report_.ioCycles +=
-        inputTransferCycles(maxInputs, liveLanes, cfg_) +
+    const uint64_t inCycles =
+        inputTransferCycles(maxInputs, liveLanes, cfg_);
+    const uint64_t outCycles =
         outputTransferCycles(maxOutputs, liveLanes, cfg_);
+
+    report_.computeCycles += window;
+    report_.ioCycles += inCycles + outCycles;
     report_.syncCycles += cfg_.stepSyncCycles;
     ++report_.steps;
+
+    if (tracing_) {
+        // One modeled step window: scatter -> lockstep compute ->
+        // gather -> handshake, laid out contiguously on the global
+        // modeled-cycle axis. Each live PU's inference span starts at
+        // the window's compute edge and ends on its own schedule; the
+        // gap to the slowest PU *is* the U(PU) loss of paper Sec. V-B,
+        // visible directly in Perfetto.
+        const uint64_t base = obs::traceClaimHwCycles(
+            inCycles + window + outCycles + cfg_.stepSyncCycles);
+        const double us = usPerCycle_;
+        const double inStart = static_cast<double>(base) * us;
+        const double computeStart =
+            static_cast<double>(base + inCycles) * us;
+        obs::traceCompleteOn(dmaTrack_, "scatter_in", inStart,
+                             static_cast<double>(inCycles) * us);
+        for (size_t i = 0; i < batch_.size(); ++i) {
+            if (!live[i])
+                continue;
+            obs::traceCompleteOn(
+                puTracks_[i], "infer", computeStart,
+                static_cast<double>(batch_[i].inferenceCycles) * us);
+        }
+        obs::traceCompleteOn(
+            dmaTrack_, "gather_out",
+            static_cast<double>(base + inCycles + window) * us,
+            static_cast<double>(outCycles) * us);
+        obs::traceCompleteOn(
+            ctrlTrack_, "sync",
+            static_cast<double>(base + inCycles + window + outCycles) *
+                us,
+            static_cast<double>(cfg_.stepSyncCycles) * us);
+        const obs::TraceTrack counterTrack{dmaTrack_.pid, 0};
+        obs::traceCounterOn(counterTrack, "live_pus", computeStart,
+                            static_cast<double>(liveLanes));
+        obs::traceCounterOn(counterTrack, "pe_active_cycles",
+                            computeStart,
+                            static_cast<double>(peActive));
+    }
 
     // Provisioning charges the whole PU array for the window, and the
     // whole PE array of every PU for the same window.

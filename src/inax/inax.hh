@@ -21,6 +21,7 @@
 
 #include "inax/pu.hh"
 #include "inax/utilization.hh"
+#include "obs/trace.hh"
 
 namespace e3 {
 
@@ -87,9 +88,21 @@ class AcceleratorSession
     size_t batchSize() const { return batch_.size(); }
 
   private:
+    /** Lay the batch's modeled timeline onto virtual trace tracks. */
+    void traceBatchSetup();
+
     InaxConfig cfg_;
     std::vector<IndividualCost> batch_;
     InaxReport report_;
+
+    // Modeled-timeline tracing (hw detail), latched per batch so the
+    // per-step fast path is a single bool check when tracing is off.
+    bool tracing_ = false;
+    double usPerCycle_ = 0.0;
+    std::vector<obs::TraceTrack> puTracks_;
+    obs::TraceTrack dmaTrack_;
+    obs::TraceTrack ctrlTrack_;
+    obs::TraceTrack weightTrack_;
 };
 
 /**

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "nn/net_stats.hh"
+#include "obs/trace.hh"
 
 namespace e3 {
 
@@ -50,11 +51,17 @@ Population::solved() const
 void
 Population::advance(const std::map<int, SpeciesEvalSummary> *summaries)
 {
-    genomes_ = reproduction_.reproduce(cfg_, species_, genomes_,
-                                       generation_, innovation_,
-                                       summaries);
+    {
+        obs::TraceSpan span("reproduce");
+        genomes_ = reproduction_.reproduce(cfg_, species_, genomes_,
+                                           generation_, innovation_,
+                                           summaries);
+    }
     ++generation_;
-    species_.speciate(genomes_, cfg_, generation_);
+    {
+        obs::TraceSpan span("speciate");
+        species_.speciate(genomes_, cfg_, generation_);
+    }
     for (Reporter *reporter : reporters_)
         reporter->onAdvanced(*this);
 }

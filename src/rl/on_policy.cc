@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace e3 {
 
@@ -35,6 +36,7 @@ Batch
 OnPolicyAlgorithm::collectRollout(size_t numSteps, double gamma,
                                   double lambda)
 {
+    obs::TraceSpan span("rollout");
     RolloutBuffer buffer(lanes_.size(), numSteps);
 
     for (size_t t = 0; t < numSteps; ++t) {
@@ -109,6 +111,12 @@ OnPolicyAlgorithm::collectRollout(size_t numSteps, double gamma,
             batch.oldLogProbs.push_back(tr.logProb);
         }
     }
+    // Cumulative env-step/episode counter tracks for the Fig. 3-style
+    // forward/training profile traces.
+    obs::traceCounter("rl.env_steps",
+                      static_cast<double>(profile_.envSteps));
+    obs::traceCounter("rl.episodes",
+                      static_cast<double>(profile_.episodes));
     return batch;
 }
 
@@ -118,6 +126,7 @@ OnPolicyAlgorithm::accumulateGradients(const Batch &batch,
                                        double vfCoef, double entCoef,
                                        double clipRange)
 {
+    obs::TraceSpan span("train");
     e3_assert(!rows.empty(), "empty gradient minibatch");
     PhaseTimer::Scope scope(profile_.timer, rl_phase::training);
 

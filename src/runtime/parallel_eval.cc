@@ -1,6 +1,7 @@
 #include "runtime/parallel_eval.hh"
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "runtime/task_graph.hh"
 
 namespace e3::runtime {
@@ -21,6 +22,7 @@ ParallelEval::runLane(const EvalPlan &plan,
     // Episode rounds run in order within the lane, exactly like the
     // lockstep path: reset consumes the lane's private stream, then
     // the policy drives the episode to termination or the step cap.
+    obs::TraceSpan span("lane", obs::TraceDetail::Task);
     double sum = 0.0;
     for (size_t e = 0; e < venvs.size(); ++e) {
         VectorEnv &venv = *venvs[e];
@@ -65,13 +67,31 @@ ParallelEval::evaluate(const EvalPlan &plan)
         venvs.push_back(
             std::make_unique<VectorEnv>(*plan.spec, plan.lanes, seed));
 
+    // One sample per evaluation on the env-step counter track: the
+    // rollout volume behind this generation's evaluate phase.
+    auto emitStepCounter = [&out] {
+        if (!obs::traceEnabled())
+            return;
+        double steps = 0.0;
+        for (const auto &round : out.episodeLengths) {
+            for (int s : round)
+                steps += static_cast<double>(s);
+        }
+        obs::traceCounter("eval.env_steps", steps,
+                          obs::TraceDetail::Phase);
+    };
+
     if (!pool_) {
         for (size_t i = 0; i < plan.lanes; ++i)
             runLane(plan, venvs, out, i);
         if (plan.onGroupDone) {
-            for (const auto &group : plan.groups)
+            for (const auto &group : plan.groups) {
+                obs::TraceSpan span("species_summary",
+                                    obs::TraceDetail::Task);
                 plan.onGroupDone(group, out.fitness);
+            }
         }
+        emitStepCounter();
         return out;
     }
 
@@ -82,9 +102,13 @@ ParallelEval::evaluate(const EvalPlan &plan)
             runLane(plan, venvs, out, i);
         });
         if (plan.onGroupDone) {
-            for (const auto &group : plan.groups)
+            for (const auto &group : plan.groups) {
+                obs::TraceSpan span("species_summary",
+                                    obs::TraceDetail::Task);
                 plan.onGroupDone(group, out.fitness);
+            }
         }
+        emitStepCounter();
         return out;
     }
 
@@ -107,6 +131,7 @@ ParallelEval::evaluate(const EvalPlan &plan)
             graph.dependsOn(summary, laneTask[lane]);
     }
     graph.run(*pool_);
+    emitStepCounter();
     return out;
 }
 

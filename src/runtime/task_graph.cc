@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace e3::runtime {
 
@@ -82,6 +83,8 @@ TaskGraph::run(ThreadPool &pool)
         std::exception_ptr error;
         if (!skip) {
             try {
+                obs::TraceSpan span(nodes_[id].label,
+                                    obs::TraceDetail::Task);
                 nodes_[id].fn();
             } catch (...) {
                 error = std::current_exception();

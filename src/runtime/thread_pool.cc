@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace e3::runtime {
 
@@ -38,6 +39,10 @@ ThreadPool::enqueue(size_t worker, Task task)
         std::lock_guard<std::mutex> lock(workers_[worker]->mutex);
         workers_[worker]->deque.push_back(std::move(task));
     }
+    const int64_t depth =
+        queued_.fetch_add(1, std::memory_order_relaxed) + 1;
+    obs::traceCounter("pool.queued", static_cast<double>(depth),
+                      obs::TraceDetail::Task);
     {
         std::lock_guard<std::mutex> lock(sleepMutex_);
         ++epoch_;
@@ -90,6 +95,7 @@ ThreadPool::stealFrom(size_t thief, Task &task)
             1, std::memory_order_relaxed);
         workers_[thief]->tasksStolen.fetch_add(
             1, std::memory_order_relaxed);
+        obs::traceInstant("steal", obs::TraceDetail::Task);
         return true;
     }
     return false;
@@ -98,6 +104,7 @@ ThreadPool::stealFrom(size_t thief, Task &task)
 void
 ThreadPool::workerLoop(size_t index)
 {
+    obs::traceSetThreadName("worker" + std::to_string(index));
     Worker &self = *workers_[index];
     for (;;) {
         uint64_t seen;
@@ -110,7 +117,15 @@ ThreadPool::workerLoop(size_t index)
 
         Task task;
         if (popOwn(index, task) || stealFrom(index, task)) {
-            task();
+            const int64_t depth =
+                queued_.fetch_sub(1, std::memory_order_relaxed) - 1;
+            obs::traceCounter("pool.queued",
+                              static_cast<double>(depth),
+                              obs::TraceDetail::Task);
+            {
+                obs::TraceSpan span("task", obs::TraceDetail::Task);
+                task();
+            }
             continue;
         }
 

@@ -113,6 +113,9 @@ class ThreadPool
     bool stop_ = false;
 
     std::atomic<size_t> nextWorker_{0}; ///< round-robin deal cursor
+
+    /** Tasks submitted but not yet claimed (trace queue-depth track). */
+    std::atomic<int64_t> queued_{0};
 };
 
 } // namespace e3::runtime

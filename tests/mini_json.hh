@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser for the observability tests:
+ * validates well-formedness of the emitted trace/metrics documents and
+ * exposes the parsed tree for structural assertions. Test-only — the
+ * product code never parses JSON.
+ */
+
+#ifndef E3_TESTS_MINI_JSON_HH
+#define E3_TESTS_MINI_JSON_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace e3::test {
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /** Object member by key; nullptr if absent or not an object. */
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        if (kind != Kind::Object)
+            return nullptr;
+        for (const auto &[k, v] : object) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    /** Parse the whole document; false on any syntax error. */
+    bool
+    parse(JsonValue &out)
+    {
+        pos_ = 0;
+        if (!value(out))
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        const char c = text_[pos_];
+        if (c == '{')
+            return object(out);
+        if (c == '[')
+            return array(out);
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return string(out.string);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+        }
+        return number(out);
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        out.number = std::strtod(start, &end);
+        if (end == start)
+            return false;
+        out.kind = JsonValue::Kind::Number;
+        pos_ += static_cast<size_t>(end - start);
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (text_[pos_] != '"')
+            return false;
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // raw control char: invalid JSON
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return false;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  if (pos_ + 4 > text_.size())
+                      return false;
+                  for (int i = 0; i < 4; ++i) {
+                      if (!std::isxdigit(static_cast<unsigned char>(
+                              text_[pos_ + static_cast<size_t>(i)])))
+                          return false;
+                  }
+                  // Tests only need validity, not codepoint decoding.
+                  out += '?';
+                  pos_ += 4;
+                  break;
+              }
+              default:
+                  return false;
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool
+    array(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue element;
+            if (!value(element))
+                return false;
+            out.array.push_back(std::move(element));
+            skipWs();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    object(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos_ >= text_.size() || !string(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return false;
+            ++pos_;
+            JsonValue member;
+            if (!value(member))
+                return false;
+            out.object.emplace_back(std::move(key), std::move(member));
+            skipWs();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+inline bool
+parseJson(const std::string &text, JsonValue &out)
+{
+    return JsonParser(text).parse(out);
+}
+
+} // namespace e3::test
+
+#endif // E3_TESTS_MINI_JSON_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * common/csv: RFC-4180 field escaping (commas, quotes, newlines,
+ * carriage returns), width checking, and file round-trips. Regression
+ * coverage for CR-containing fields, which previously escaped only
+ * ','/'"'/'\n' and emitted a bare CR into the output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/csv.hh"
+
+using namespace e3;
+
+namespace {
+
+/** Serialize a single-cell document and return the cell's encoding. */
+std::string
+encoded(const std::string &cell)
+{
+    CsvWriter csv;
+    csv.header({"h"});
+    csv.row({cell});
+    const std::string text = csv.str();
+    // Drop the "h\n" header line and the trailing newline.
+    const size_t start = text.find('\n') + 1;
+    return text.substr(start, text.size() - start - 1);
+}
+
+TEST(Csv, PlainFieldsPassThroughUnquoted)
+{
+    EXPECT_EQ(encoded("cartpole"), "cartpole");
+    EXPECT_EQ(encoded("3.14"), "3.14");
+    EXPECT_EQ(encoded(""), "");
+}
+
+TEST(Csv, CommaFieldsAreQuoted)
+{
+    EXPECT_EQ(encoded("a,b"), "\"a,b\"");
+}
+
+TEST(Csv, QuoteFieldsAreQuotedAndDoubled)
+{
+    EXPECT_EQ(encoded("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, NewlineFieldsAreQuoted)
+{
+    EXPECT_EQ(encoded("line1\nline2"), "\"line1\nline2\"");
+}
+
+TEST(Csv, CarriageReturnFieldsAreQuoted)
+{
+    // Regression: '\r' must trigger quoting like '\n' does, or CRLF
+    // payloads silently split rows in consumers.
+    EXPECT_EQ(encoded("a\rb"), "\"a\rb\"");
+    EXPECT_EQ(encoded("crlf\r\nend"), "\"crlf\r\nend\"");
+}
+
+TEST(Csv, HeaderCellsAreEscapedToo)
+{
+    CsvWriter csv;
+    csv.header({"plain", "with,comma"});
+    EXPECT_EQ(csv.str(), "plain,\"with,comma\"\n");
+}
+
+TEST(CsvDeathTest, RowWidthIsCheckedAgainstHeader)
+{
+    CsvWriter csv;
+    csv.header({"a", "b"});
+    csv.row({"1", "2"});
+    EXPECT_DEATH(csv.row({"only-one"}), "csv row width");
+}
+
+TEST(Csv, WriteFileRoundTrips)
+{
+    CsvWriter csv;
+    csv.header({"env", "note"});
+    csv.row({"cartpole", "solved, quickly"});
+
+    const std::string path = testing::TempDir() + "/e3_test_csv.csv";
+    ASSERT_TRUE(csv.writeFile(path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), "env,note\ncartpole,\"solved, quickly\"\n");
+    std::remove(path.c_str());
+}
+
+} // namespace

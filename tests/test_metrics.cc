@@ -1,0 +1,217 @@
+/**
+ * @file
+ * src/obs metrics registry: per-generation snapshot isolation (counters
+ * record deltas, gauges record current values), late-metric padding,
+ * CSV/JSON export (JSON verified by parsing), counter-group import,
+ * copy semantics, the labeled multi-registry CSV merge, and the
+ * platform integration that fills RunResult::metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "e3/experiment.hh"
+#include "mini_json.hh"
+#include "obs/metrics.hh"
+
+using namespace e3;
+using namespace e3::obs;
+using e3::test::JsonValue;
+using e3::test::parseJson;
+
+namespace {
+
+TEST(Metrics, CounterSnapshotsRecordPerGenerationDeltas)
+{
+    MetricsRegistry reg;
+    reg.add("env.steps", 5.0);
+    reg.snapshotGeneration(0);
+    reg.add("env.steps", 3.0);
+    reg.snapshotGeneration(1);
+    reg.snapshotGeneration(2); // no activity: delta is zero
+
+    ASSERT_EQ(reg.snapshotCount(), 3u);
+    EXPECT_DOUBLE_EQ(reg.snapshotValue(0, "env.steps"), 5.0);
+    EXPECT_DOUBLE_EQ(reg.snapshotValue(1, "env.steps"), 3.0);
+    EXPECT_DOUBLE_EQ(reg.snapshotValue(2, "env.steps"), 0.0);
+    EXPECT_DOUBLE_EQ(reg.value("env.steps"), 8.0); // cumulative
+}
+
+TEST(Metrics, SetCounterTakesCumulativeSources)
+{
+    MetricsRegistry reg;
+    reg.setCounter("modeled.seconds", 2.0);
+    reg.snapshotGeneration(0);
+    reg.setCounter("modeled.seconds", 5.0);
+    reg.snapshotGeneration(1);
+    EXPECT_DOUBLE_EQ(reg.snapshotValue(0, "modeled.seconds"), 2.0);
+    EXPECT_DOUBLE_EQ(reg.snapshotValue(1, "modeled.seconds"), 3.0);
+}
+
+TEST(Metrics, GaugesSnapshotCurrentValue)
+{
+    MetricsRegistry reg;
+    reg.setGauge("fitness.best", 10.0);
+    reg.snapshotGeneration(0);
+    reg.snapshotGeneration(1); // unchanged gauge repeats its value
+    reg.setGauge("fitness.best", 25.0);
+    reg.snapshotGeneration(2);
+    EXPECT_DOUBLE_EQ(reg.snapshotValue(0, "fitness.best"), 10.0);
+    EXPECT_DOUBLE_EQ(reg.snapshotValue(1, "fitness.best"), 10.0);
+    EXPECT_DOUBLE_EQ(reg.snapshotValue(2, "fitness.best"), 25.0);
+}
+
+TEST(Metrics, MetricsCreatedLateReadZeroInEarlierRows)
+{
+    MetricsRegistry reg;
+    reg.add("early", 1.0);
+    reg.snapshotGeneration(0);
+    reg.add("late", 7.0);
+    reg.snapshotGeneration(1);
+    EXPECT_DOUBLE_EQ(reg.snapshotValue(0, "late"), 0.0);
+    EXPECT_DOUBLE_EQ(reg.snapshotValue(1, "late"), 7.0);
+
+    // The CSV export pads the early row to full width.
+    const std::string csv = reg.toCsv();
+    EXPECT_NE(csv.find("generation,early,late"), std::string::npos);
+    EXPECT_NE(csv.find("0,1,0"), std::string::npos);
+    EXPECT_NE(csv.find("1,0,7"), std::string::npos);
+}
+
+TEST(Metrics, CsvQuotesHostileMetricNames)
+{
+    MetricsRegistry reg;
+    reg.setGauge("weird,name", 1.0);
+    reg.snapshotGeneration(0);
+    EXPECT_NE(reg.toCsv().find("\"weird,name\""), std::string::npos);
+}
+
+TEST(Metrics, JsonExportParsesAndRoundTripsValues)
+{
+    MetricsRegistry reg;
+    reg.add("a", 1.5);
+    reg.setGauge("b \"quoted\"", -2.0);
+    reg.snapshotGeneration(0);
+    reg.add("a", 0.5);
+    reg.snapshotGeneration(1);
+
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(reg.toJson(), doc));
+    const JsonValue *metricNames = doc.find("metrics");
+    ASSERT_NE(metricNames, nullptr);
+    ASSERT_EQ(metricNames->array.size(), 2u);
+    EXPECT_EQ(metricNames->array[0].string, "a");
+
+    const JsonValue *snapshots = doc.find("snapshots");
+    ASSERT_NE(snapshots, nullptr);
+    ASSERT_EQ(snapshots->array.size(), 2u);
+    const JsonValue *gen0a = snapshots->array[0].find("a");
+    ASSERT_NE(gen0a, nullptr);
+    EXPECT_DOUBLE_EQ(gen0a->number, 1.5);
+    const JsonValue *gen1a = snapshots->array[1].find("a");
+    ASSERT_NE(gen1a, nullptr);
+    EXPECT_DOUBLE_EQ(gen1a->number, 0.5);
+}
+
+TEST(Metrics, ImportCountersScopesNames)
+{
+    Counters src;
+    src.add("tasks_run", 4.0);
+    src.add("tasks_stolen", 1.0);
+
+    MetricsRegistry reg;
+    reg.importCounters("pool", src);
+    reg.snapshotGeneration(0);
+    EXPECT_DOUBLE_EQ(reg.snapshotValue(0, "pool.tasks_run"), 4.0);
+    EXPECT_DOUBLE_EQ(reg.snapshotValue(0, "pool.tasks_stolen"), 1.0);
+
+    // Empty scope imports names unchanged (for pre-scoped groups).
+    MetricsRegistry plain;
+    plain.importCounters("", src);
+    EXPECT_DOUBLE_EQ(plain.value("tasks_run"), 4.0);
+}
+
+TEST(Metrics, CopiesAreIndependent)
+{
+    MetricsRegistry reg;
+    reg.add("x", 1.0);
+    reg.snapshotGeneration(0);
+
+    MetricsRegistry copy(reg);
+    copy.add("x", 9.0);
+    copy.snapshotGeneration(1);
+
+    EXPECT_EQ(reg.snapshotCount(), 1u);
+    EXPECT_EQ(copy.snapshotCount(), 2u);
+    EXPECT_DOUBLE_EQ(reg.value("x"), 1.0);
+    EXPECT_DOUBLE_EQ(copy.value("x"), 10.0);
+
+    MetricsRegistry assigned;
+    assigned = reg;
+    EXPECT_EQ(assigned.snapshotCount(), 1u);
+    EXPECT_DOUBLE_EQ(assigned.snapshotValue(0, "x"), 1.0);
+}
+
+TEST(Metrics, ResetDropsEverything)
+{
+    MetricsRegistry reg;
+    reg.add("x", 1.0);
+    reg.snapshotGeneration(0);
+    reg.reset();
+    EXPECT_EQ(reg.metricCount(), 0u);
+    EXPECT_EQ(reg.snapshotCount(), 0u);
+    EXPECT_DOUBLE_EQ(reg.value("x"), 0.0);
+}
+
+TEST(Metrics, CombinedCsvMergesLabeledRegistries)
+{
+    MetricsRegistry a;
+    a.setGauge("shared", 1.0);
+    a.setGauge("only_a", 2.0);
+    a.snapshotGeneration(0);
+
+    MetricsRegistry b;
+    b.setGauge("shared", 3.0);
+    b.setGauge("only_b", 4.0);
+    b.snapshotGeneration(0);
+
+    const std::string csv =
+        combinedMetricsCsv({{"cartpole", &a}, {"pendulum", &b}});
+    EXPECT_NE(csv.find("label,generation,shared,only_a,only_b"),
+              std::string::npos);
+    // Metrics absent from a registry read as zero in its rows.
+    EXPECT_NE(csv.find("cartpole,0,1,2,0"), std::string::npos);
+    EXPECT_NE(csv.find("pendulum,0,3,0,4"), std::string::npos);
+}
+
+TEST(Metrics, PlatformRunFillsOneSnapshotPerGeneration)
+{
+    ExperimentOptions options;
+    options.populationSize = 60;
+    options.episodesPerEval = 1;
+    options.maxGenerations = 3;
+    const RunResult result =
+        runExperiment("cartpole", BackendKind::Cpu, options);
+
+    const MetricsRegistry &m = result.metrics;
+    ASSERT_GE(m.snapshotCount(), 1u);
+    EXPECT_LE(m.snapshotCount(),
+              static_cast<size_t>(options.maxGenerations));
+    EXPECT_EQ(m.snapshotGenerationAt(0), 0);
+
+    // The per-generation rows carry the fig9-style breakdown inputs.
+    EXPECT_GT(m.snapshotValue(0, "env.steps"), 0.0);
+    EXPECT_GT(m.snapshotValue(0, "modeled.evaluate_seconds"), 0.0);
+    EXPECT_GT(m.snapshotValue(0, "fitness.best"), 0.0);
+    EXPECT_GT(m.snapshotValue(0, "species.count"), 0.0);
+
+    // Gen 0's best fitness in the metrics matches the run trace.
+    ASSERT_FALSE(result.trace.empty());
+    EXPECT_DOUBLE_EQ(m.snapshotValue(0, "fitness.best"),
+                     result.trace[0].bestFitness);
+}
+
+} // namespace

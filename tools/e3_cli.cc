@@ -6,11 +6,17 @@
  *   e3_cli run --env pendulum --backend inax [--pu 50] [--pe 4]
  *          [--pop 200] [--generations 100] [--episodes 3] [--seed 1]
  *          [--save champion.genome] [--csv trace.csv]
+ *          [--trace out.json] [--trace-detail phase|task|hw]
+ *          [--metrics out.csv] [--log-level debug|info|warn|error]
+ *          [--quiet]
  *   e3_cli replay --env pendulum --genome champion.genome
  *          [--episodes 5] [--seed 1]
  *
  * `run` evolves a controller and prints the generation trace; `replay`
- * loads a saved champion and flies fresh episodes with it.
+ * loads a saved champion and flies fresh episodes with it. --trace
+ * records a Chrome trace-event JSON (open in Perfetto or
+ * chrome://tracing); --metrics exports the per-generation metrics
+ * registry as CSV (or JSON if the path ends in .json).
  */
 
 #include <cstdio>
@@ -23,6 +29,8 @@
 #include "common/logging.hh"
 #include "e3/experiment.hh"
 #include "neat/serialize.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 using namespace e3;
 
@@ -39,8 +47,13 @@ class Args
             if (key.rfind("--", 0) != 0)
                 e3_fatal("expected --option, got '", key, "'");
             key = key.substr(2);
-            if (i + 1 >= argc)
-                e3_fatal("--", key, " needs a value");
+            // A key followed by another --option (or nothing) is a
+            // boolean flag, stored as "1": e.g. --quiet.
+            if (i + 1 >= argc ||
+                std::string(argv[i + 1]).rfind("--", 0) == 0) {
+                values_[key] = "1";
+                continue;
+            }
             values_[key] = argv[++i];
         }
     }
@@ -139,37 +152,77 @@ cmdRun(const Args &args)
 
     const std::string savePath = args.get("save", "");
     const std::string csvPath = args.get("csv", "");
+
+    // Observability / verbosity knobs.
+    const std::string tracePath = args.get("trace", "");
+    const std::string traceDetailName = args.get("trace-detail", "phase");
+    const std::string metricsPath = args.get("metrics", "");
+    const std::string logLevelName = args.get("log-level", "");
+    const bool quiet = args.getInt("quiet", 0) != 0;
     args.checkAllUsed();
 
-    std::printf("running %s on %s (pop %zu, %zu episode(s)/eval, "
-                "seed %llu, %zu thread(s)%s)\n",
-                envName.c_str(), backendKindName(backend).c_str(),
-                options.populationSize, options.episodesPerEval,
-                static_cast<unsigned long long>(options.seed),
-                options.threads,
-                options.asyncOverlap ? ", async overlap" : "");
+    if (!logLevelName.empty()) {
+        LogLevel level;
+        if (!parseLogLevel(logLevelName, level))
+            e3_fatal("unknown log level '", logLevelName,
+                     "' (debug|info|warn|error)");
+        setLogLevel(level);
+    } else if (quiet) {
+        setLogLevel(LogLevel::Warn);
+    }
+
+    obs::TraceDetail detail;
+    if (!obs::parseTraceDetail(traceDetailName, detail))
+        e3_fatal("unknown trace detail '", traceDetailName,
+                 "' (phase|task|hw)");
+    if (!tracePath.empty())
+        obs::traceStart(detail);
+
+    if (!quiet) {
+        std::printf("running %s on %s (pop %zu, %zu episode(s)/eval, "
+                    "seed %llu, %zu thread(s)%s)\n",
+                    envName.c_str(), backendKindName(backend).c_str(),
+                    options.populationSize, options.episodesPerEval,
+                    static_cast<unsigned long long>(options.seed),
+                    options.threads,
+                    options.asyncOverlap ? ", async overlap" : "");
+    }
 
     const RunResult result = runExperiment(envName, backend, options);
 
-    for (const auto &p : result.trace) {
-        std::printf("  gen %3d  best %9.2f  mean %9.2f  species %2zu  "
-                    "t=%.4fs\n",
-                    p.generation, p.bestFitness, p.meanFitness,
-                    p.numSpecies, p.cumulativeSeconds);
+    if (!tracePath.empty() && obs::traceStop(tracePath) && !quiet)
+        std::printf("trace written to %s\n", tracePath.c_str());
+    if (!metricsPath.empty()) {
+        const bool json = metricsPath.size() > 5 &&
+                          metricsPath.compare(metricsPath.size() - 5, 5,
+                                              ".json") == 0;
+        const bool ok = json ? result.metrics.writeJson(metricsPath)
+                             : result.metrics.writeCsv(metricsPath);
+        if (ok && !quiet)
+            std::printf("metrics written to %s\n", metricsPath.c_str());
+    }
+
+    if (!quiet) {
+        for (const auto &p : result.trace) {
+            std::printf("  gen %3d  best %9.2f  mean %9.2f  "
+                        "species %2zu  t=%.4fs\n",
+                        p.generation, p.bestFitness, p.meanFitness,
+                        p.numSpecies, p.cumulativeSeconds);
+        }
     }
     std::printf("%s after %d generations; best fitness %.2f "
                 "(required %.2f); modeled %.4f s\n",
                 result.solved ? "SOLVED" : "stopped",
                 result.generations, result.bestFitness,
                 spec.requiredFitness, result.totalSeconds());
-    if (backend == BackendKind::Inax) {
+    if (!quiet && backend == BackendKind::Inax) {
         std::printf("INAX: %llu cycles, U(PE)=%.2f, U(PU)=%.2f\n",
                     static_cast<unsigned long long>(
                         result.inaxReport.totalCycles()),
                     result.inaxReport.pe.rate(),
                     result.inaxReport.pu.rate());
     }
-    if (options.threads > 1) {
+    if (!quiet && options.threads > 1) {
         const Counters &rt = result.runtimeCounters;
         std::printf("runtime: %zu workers, %.0f tasks run "
                     "(%.0f stolen), %.2f s worker idle\n",
@@ -259,6 +312,9 @@ usage()
         "         [--episodes N] [--seed N] [--csv file]\n"
         "         [--threads N] [--async 0|1]\n"
         "         [--neat-config file.ini] [--save champion.genome]\n"
+        "         [--trace out.json] [--trace-detail phase|task|hw]\n"
+        "         [--metrics out.csv|out.json]\n"
+        "         [--log-level debug|info|warn|error] [--quiet]\n"
         "  e3_cli replay --env <name> --genome <file>\n"
         "         [--episodes N] [--seed N]\n");
 }
