@@ -1,0 +1,95 @@
+#include "common/fs.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace e3 {
+
+namespace fs = std::filesystem;
+
+Status
+ensureDirectory(const std::string &dir)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        return Status::error("cannot create directory '", dir,
+                             "': ", ec.message());
+    return Status();
+}
+
+bool
+fileExists(const std::string &path)
+{
+    std::error_code ec;
+    return fs::is_regular_file(path, ec);
+}
+
+Result<std::string>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return Status::error("cannot open '", path, "' for reading");
+    std::ostringstream content;
+    content << in.rdbuf();
+    if (in.bad())
+        return Status::error("read error on '", path, "'");
+    return content.str();
+}
+
+Status
+atomicWriteFile(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp";
+
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return Status::error("cannot open '", tmp, "' for writing");
+    const size_t written =
+        content.empty()
+            ? 0
+            : std::fwrite(content.data(), 1, content.size(), f);
+    bool ok = written == content.size();
+    ok = std::fflush(f) == 0 && ok;
+#if defined(__unix__) || defined(__APPLE__)
+    // Flush file contents to stable storage before the rename makes
+    // them visible under the final name: otherwise a power cycle can
+    // leave a renamed-but-empty file.
+    ok = ::fsync(::fileno(f)) == 0 && ok;
+#endif
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        (void)removeFile(tmp);
+        return Status::error("write to '", tmp, "' failed");
+    }
+
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        (void)removeFile(tmp);
+        return Status::error("cannot rename '", tmp, "' to '", path,
+                             "': ", ec.message());
+    }
+    return Status();
+}
+
+Status
+removeFile(const std::string &path)
+{
+    std::error_code ec;
+    fs::remove(path, ec); // returns false (no error) if missing
+    if (ec)
+        return Status::error("cannot remove '", path,
+                             "': ", ec.message());
+    return Status();
+}
+
+} // namespace e3

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small filesystem helpers for the persistence layer.
+ *
+ * The one that matters is atomicWriteFile(): checkpoints are the
+ * platform's crash-safety story, so a write interrupted by a power
+ * cycle must never leave a half-written file under the final name.
+ * Content goes to a sibling temporary, is flushed to stable storage,
+ * and only then renamed over the target (rename within one directory
+ * is atomic on POSIX filesystems).
+ */
+
+#ifndef E3_COMMON_FS_HH
+#define E3_COMMON_FS_HH
+
+#include <string>
+
+#include "common/result.hh"
+
+namespace e3 {
+
+/** Create @p dir (and parents) if missing. */
+Status ensureDirectory(const std::string &dir);
+
+/** True if @p path names an existing regular file. */
+bool fileExists(const std::string &path);
+
+/** Read a whole file into a string. */
+Result<std::string> readFile(const std::string &path);
+
+/**
+ * Crash-safe whole-file write: write @p content to a temporary in the
+ * target's directory, flush it to disk, then atomically rename it to
+ * @p path. Readers observe either the old file or the complete new
+ * one, never a prefix.
+ */
+Status atomicWriteFile(const std::string &path,
+                       const std::string &content);
+
+/** Delete a file; missing files are not an error. */
+Status removeFile(const std::string &path);
+
+} // namespace e3
+
+#endif // E3_COMMON_FS_HH

@@ -159,4 +159,24 @@ Rng::split()
     return Rng(next() ^ 0xD6E8FEB86659FD93ULL);
 }
 
+RngState
+Rng::state() const
+{
+    RngState st;
+    for (size_t i = 0; i < 4; ++i)
+        st.s[i] = s_[i];
+    st.cachedNormal = cachedNormal_;
+    st.hasCachedNormal = hasCachedNormal_;
+    return st;
+}
+
+void
+Rng::setState(const RngState &state)
+{
+    for (size_t i = 0; i < 4; ++i)
+        s_[i] = state.s[i];
+    cachedNormal_ = state.cachedNormal;
+    hasCachedNormal_ = state.hasCachedNormal;
+}
+
 } // namespace e3

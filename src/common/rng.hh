@@ -21,6 +21,19 @@
 namespace e3 {
 
 /**
+ * Complete serializable state of an Rng: the xoshiro256** words plus
+ * the Box-Muller cache. Restoring it resumes the stream exactly where
+ * the snapshot was taken — the checkpoint subsystem's determinism
+ * contract depends on this.
+ */
+struct RngState
+{
+    uint64_t s[4] = {0, 0, 0, 0};
+    double cachedNormal = 0.0;
+    bool hasCachedNormal = false;
+};
+
+/**
  * xoshiro256** pseudo-random generator with convenience distributions.
  *
  * Distribution sampling (uniform, normal, ...) is implemented in-house so
@@ -67,6 +80,12 @@ class Rng
 
     /** Derive an independent child generator (for parallel streams). */
     Rng split();
+
+    /** Snapshot the generator state (for checkpointing). */
+    RngState state() const;
+
+    /** Resume exactly from a snapshot taken with state(). */
+    void setState(const RngState &state);
 
   private:
     uint64_t s_[4];

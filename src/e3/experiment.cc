@@ -9,18 +9,106 @@
 namespace e3 {
 
 std::string
+backendCliName(BackendKind kind)
+{
+    static const char *const names[] = {"cpu", "gpu", "inax"};
+    const auto idx = static_cast<size_t>(kind);
+    e3_assert(idx < std::size(names), "unhandled backend kind");
+    return names[idx];
+}
+
+std::string
 backendKindName(BackendKind kind)
 {
-    switch (kind) {
-      case BackendKind::Cpu: return "E3-CPU";
-      case BackendKind::Gpu: return "E3-GPU";
-      case BackendKind::Inax: return "E3-INAX";
+    return BackendRegistry::instance().displayName(backendCliName(kind));
+}
+
+BackendRegistry &
+BackendRegistry::instance()
+{
+    static BackendRegistry registry = [] {
+        BackendRegistry r;
+        r.registerBackend(
+            "cpu", "E3-CPU",
+            [](const ExperimentOptions &, const EnvSpec &) {
+                return std::make_unique<CpuBackend>();
+            });
+        r.registerBackend(
+            "gpu", "E3-GPU",
+            [](const ExperimentOptions &, const EnvSpec &) {
+                return std::make_unique<GpuBackend>();
+            });
+        r.registerBackend(
+            "inax", "E3-INAX",
+            [](const ExperimentOptions &options, const EnvSpec &spec) {
+                const InaxConfig cfg =
+                    options.inaxConfig
+                        ? *options.inaxConfig
+                        : InaxConfig::paperDefault(spec.numOutputs);
+                return std::make_unique<InaxBackend>(cfg);
+            });
+        return r;
+    }();
+    return registry;
+}
+
+void
+BackendRegistry::registerBackend(const std::string &cliName,
+                                 const std::string &displayName,
+                                 Factory factory)
+{
+    entries_[cliName] = Entry{displayName, std::move(factory)};
+}
+
+bool
+BackendRegistry::known(const std::string &cliName) const
+{
+    return entries_.count(cliName) > 0;
+}
+
+std::vector<std::string>
+BackendRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, entry] : entries_)
+        out.push_back(name);
+    return out;
+}
+
+std::string
+BackendRegistry::displayName(const std::string &cliName) const
+{
+    auto it = entries_.find(cliName);
+    return it == entries_.end() ? std::string() : it->second.displayName;
+}
+
+Result<std::unique_ptr<EvalBackend>>
+BackendRegistry::create(const std::string &cliName,
+                        const ExperimentOptions &options,
+                        const EnvSpec &spec) const
+{
+    auto it = entries_.find(cliName);
+    if (it == entries_.end()) {
+        std::string known;
+        for (const auto &name : names())
+            known += (known.empty() ? "" : "|") + name;
+        return Status::error("unknown backend '", cliName, "' (", known,
+                             ")");
     }
-    e3_panic("unhandled backend kind");
+    return it->second.factory(options, spec);
 }
 
 RunResult
 runExperiment(const std::string &envName, BackendKind kind,
+              const ExperimentOptions &options)
+{
+    return runExperiment(envName, backendCliName(kind), options);
+}
+
+RunResult
+runExperiment(const std::string &envName,
+              const std::string &backendCliName,
               const ExperimentOptions &options)
 {
     const EnvSpec &spec = envSpec(envName);
@@ -34,26 +122,18 @@ runExperiment(const std::string &envName, BackendKind kind,
     cfg.modeledSecondsBudget = options.modeledSecondsBudget;
     cfg.threads = options.threads;
     cfg.asyncOverlap = options.asyncOverlap;
+    cfg.checkpointDir = options.checkpointDir;
+    cfg.checkpointEvery = options.checkpointEvery;
+    cfg.checkpointKeep = options.checkpointKeep;
+    cfg.resume = options.resume;
 
-    std::unique_ptr<EvalBackend> backend;
-    switch (kind) {
-      case BackendKind::Cpu:
-        backend = std::make_unique<CpuBackend>();
-        break;
-      case BackendKind::Gpu:
-        backend = std::make_unique<GpuBackend>();
-        break;
-      case BackendKind::Inax: {
-        const InaxConfig inaxCfg =
-            options.inaxConfig
-                ? *options.inaxConfig
-                : InaxConfig::paperDefault(spec.numOutputs);
-        backend = std::make_unique<InaxBackend>(inaxCfg);
-        break;
-      }
-    }
+    Result<std::unique_ptr<EvalBackend>> backend =
+        BackendRegistry::instance().create(backendCliName, options,
+                                           spec);
+    if (!backend.ok())
+        e3_fatal(backend.message());
 
-    E3Platform platform(cfg, std::move(backend));
+    E3Platform platform(cfg, std::move(backend).value());
     if (options.neatConfigPath) {
         NeatConfig layered = loadNeatConfig(*options.neatConfigPath,
                                             platform.neatConfig());

@@ -8,8 +8,11 @@
 #ifndef E3_E3_EXPERIMENT_HH
 #define E3_E3_EXPERIMENT_HH
 
+#include <functional>
+#include <map>
 #include <optional>
 
+#include "common/result.hh"
 #include "e3/platform.hh"
 #include "inax/hw_config.hh"
 
@@ -25,6 +28,54 @@ enum class BackendKind
 
 /** Printable name, e.g. "E3-INAX". */
 std::string backendKindName(BackendKind kind);
+
+/** CLI name, e.g. "inax" (the registry key for the kind). */
+std::string backendCliName(BackendKind kind);
+
+struct ExperimentOptions;
+
+/**
+ * Factory registry mapping CLI backend names ("cpu", "gpu", "inax")
+ * to EvalBackend constructors. Consolidates backend construction in
+ * one place: the CLI, the experiment drivers and the benches all
+ * resolve backends here, so adding a backend means one registration —
+ * not another arm in every switch.
+ */
+class BackendRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<EvalBackend>(
+        const ExperimentOptions &, const EnvSpec &)>;
+
+    /** The process-wide registry, with the built-ins pre-registered. */
+    static BackendRegistry &instance();
+
+    /** Register (or replace) a backend under its CLI name. */
+    void registerBackend(const std::string &cliName,
+                         const std::string &displayName,
+                         Factory factory);
+
+    bool known(const std::string &cliName) const;
+
+    /** Registered CLI names, sorted (for usage/error messages). */
+    std::vector<std::string> names() const;
+
+    /** Printable name for a registered CLI name ("" if unknown). */
+    std::string displayName(const std::string &cliName) const;
+
+    /** Construct a backend; error status on an unknown name. */
+    Result<std::unique_ptr<EvalBackend>>
+    create(const std::string &cliName, const ExperimentOptions &options,
+           const EnvSpec &spec) const;
+
+  private:
+    struct Entry
+    {
+        std::string displayName;
+        Factory factory;
+    };
+    std::map<std::string, Entry> entries_;
+};
 
 /** Options for one experiment run. */
 struct ExperimentOptions
@@ -53,6 +104,15 @@ struct ExperimentOptions
      * inputs/outputs — always follows the environment).
      */
     std::optional<std::string> neatConfigPath;
+
+    /** Checkpoint directory (PlatformConfig::checkpointDir); "" off. */
+    std::string checkpointDir;
+    /** Snapshot cadence in generations (PlatformConfig). */
+    int checkpointEvery = 10;
+    /** Snapshot retention count (PlatformConfig). */
+    int checkpointKeep = 3;
+    /** Resume from checkpointDir before running (PlatformConfig). */
+    bool resume = false;
 };
 
 /**
@@ -63,6 +123,14 @@ struct ExperimentOptions
  * which is exactly the paper's controlled comparison.
  */
 RunResult runExperiment(const std::string &envName, BackendKind kind,
+                        const ExperimentOptions &options);
+
+/**
+ * Same, resolving the backend through BackendRegistry by CLI name;
+ * fatal on an unknown name (pre-check with instance().known()).
+ */
+RunResult runExperiment(const std::string &envName,
+                        const std::string &backendCliName,
                         const ExperimentOptions &options);
 
 /** Run the whole Env1..Env6 suite on one backend. */

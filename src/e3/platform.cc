@@ -1,10 +1,14 @@
 #include "e3/platform.hh"
 
 #include <algorithm>
+#include <optional>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "e3/inax_backend.hh"
+#include "nn/compile.hh"
 #include "obs/trace.hh"
+#include "persist/checkpoint.hh"
 
 namespace e3 {
 
@@ -17,6 +21,60 @@ runtimeConfigOf(const PlatformConfig &cfg)
     rt.threads = std::max<size_t>(cfg.threads, 1);
     rt.asyncOverlap = cfg.asyncOverlap;
     return rt;
+}
+
+/**
+ * Canonical string hashed into the checkpoint fingerprint. Only the
+ * knobs that shape functional evolution belong here: threads, async
+ * overlap, generation caps and time budgets are deliberately excluded
+ * so a run may be resumed with more generations or a different worker
+ * count and still replay bit-identically.
+ */
+std::string
+canonicalConfig(const PlatformConfig &cfg)
+{
+    std::ostringstream oss;
+    oss << "env=" << cfg.envName << ";seed=" << cfg.seed
+        << ";pop=" << cfg.populationSize
+        << ";episodes=" << cfg.episodesPerEval << ";quant=";
+    if (cfg.quantization)
+        oss << cfg.quantization->totalBits << '.'
+            << cfg.quantization->fracBits;
+    else
+        oss << "none";
+    return oss.str();
+}
+
+persist::TraceRow
+toTraceRow(const GenerationPoint &p)
+{
+    persist::TraceRow row;
+    row.generation = p.generation;
+    row.bestFitness = p.bestFitness;
+    row.meanFitness = p.meanFitness;
+    row.normalizedBest = p.normalizedBest;
+    row.cumulativeSeconds = p.cumulativeSeconds;
+    row.meanNodes = p.meanNodes;
+    row.meanConnections = p.meanConnections;
+    row.meanDensity = p.meanDensity;
+    row.numSpecies = p.numSpecies;
+    return row;
+}
+
+GenerationPoint
+fromTraceRow(const persist::TraceRow &row)
+{
+    GenerationPoint p;
+    p.generation = row.generation;
+    p.bestFitness = row.bestFitness;
+    p.meanFitness = row.meanFitness;
+    p.normalizedBest = row.normalizedBest;
+    p.cumulativeSeconds = row.cumulativeSeconds;
+    p.meanNodes = row.meanNodes;
+    p.meanConnections = row.meanConnections;
+    p.meanDensity = row.meanDensity;
+    p.numSpecies = row.numSpecies;
+    return p;
 }
 
 } // namespace
@@ -40,35 +98,28 @@ E3Platform::evaluateFunctional(Population &pop, GenerationTrace &trace,
 {
     const size_t n = pop.genomes().size();
 
-    // CreateNet: decode every genome once per generation. With
-    // quantized deployment enabled, inference runs through the
-    // fixed-point evaluator (the accelerator's datapath view).
+    // CreateNet: decode every genome once per generation, through the
+    // shared Network interface. With quantized deployment enabled, the
+    // compiler hands back the fixed-point evaluator (the accelerator's
+    // datapath view) instead of the double-precision one.
     std::vector<int> keys;
-    std::vector<FeedForwardNetwork> nets;
-    std::vector<QuantizedNetwork> qnets;
+    std::vector<std::unique_ptr<Network>> nets;
     keys.reserve(n);
+    nets.reserve(n);
+    NetworkCompileOptions compileOpts;
+    compileOpts.quantization = cfg_.quantization;
     {
         obs::TraceSpan span("createnet");
         for (const auto &[key, genome] : pop.genomes()) {
             keys.push_back(key);
             NetworkDef def = genome.toNetworkDef(neatCfg_);
-            if (cfg_.quantization) {
-                qnets.push_back(
-                    QuantizedNetwork::create(def, *cfg_.quantization));
-            } else {
-                nets.push_back(FeedForwardNetwork::create(def));
-            }
+            nets.push_back(compileNetwork(def, compileOpts));
             trace.individuals.push_back(computeNetStats(def));
             trace.defs.push_back(std::move(def));
         }
     }
     trace.numInputs = spec_.numInputs;
     trace.numOutputs = spec_.numOutputs;
-
-    auto infer = [&](size_t i, const Observation &obs) {
-        return cfg_.quantization ? qnets[i].activate(obs)
-                                 : nets[i].activate(obs);
-    };
 
     runtime::EvalPlan plan;
     plan.spec = &spec_;
@@ -81,7 +132,7 @@ E3Platform::evaluateFunctional(Population &pop, GenerationTrace &trace,
              (static_cast<uint64_t>(generation) * 31 + e + 1)));
     }
     plan.act = [&](size_t i, const Observation &obs) {
-        return decodeAction(spec_, infer(i, obs));
+        return decodeAction(spec_, nets[i]->activate(obs));
     };
 
     // Async overlap: one lane group per species, so the evolve phase's
@@ -137,7 +188,49 @@ E3Platform::run()
     result.backendName = backend_->name();
     result.envName = cfg_.envName;
 
-    Population pop(neatCfg_, cfg_.seed);
+    const bool checkpointing = !cfg_.checkpointDir.empty();
+    const uint64_t configHash =
+        persist::fingerprint(canonicalConfig(cfg_));
+
+    // Resume: restore the newest usable snapshot. Any failure here —
+    // missing directory, corrupt files, format or config mismatch —
+    // degrades to a warning and a fresh start; it never crashes.
+    std::optional<Genome> bestGenome;
+    std::optional<Population> restored;
+    int startGen = 0;
+    if (checkpointing && cfg_.resume) {
+        Result<persist::Checkpoint> loaded = persist::loadLatestCheckpoint(
+            cfg_.checkpointDir, configHash);
+        if (!loaded.ok()) {
+            warn("resume from '", cfg_.checkpointDir,
+                 "' failed (", loaded.message(), "); starting fresh");
+        } else {
+            persist::Checkpoint &ck = *loaded;
+            restored.emplace(neatCfg_, ck.population);
+            startGen = ck.generation;
+            envSteps_ = ck.envSteps;
+            result.bestFitness = ck.bestFitness;
+            bestGenome = ck.champion;
+            if (bestGenome) {
+                result.bestNetStats = computeNetStats(
+                    bestGenome->toNetworkDef(neatCfg_));
+            }
+            for (const auto &[phase, seconds] : ck.phaseSeconds)
+                result.modeled.add(phase, seconds);
+            result.trace.reserve(ck.trace.size());
+            for (const persist::TraceRow &row : ck.trace)
+                result.trace.push_back(fromTraceRow(row));
+            result.generations = static_cast<int>(result.trace.size());
+            inform("resumed '", cfg_.envName, "' from '",
+                   cfg_.checkpointDir, "' at generation ", startGen);
+        }
+    }
+
+    Population pop = restored ? std::move(*restored)
+                              : Population(neatCfg_, cfg_.seed);
+
+    double checkpointSeconds = 0.0;
+    uint64_t checkpointBytes = 0;
 
     // Cut one metrics row per generation: gauges carry the current
     // value, counters the delta since the previous row, so every
@@ -162,6 +255,13 @@ E3Platform::run()
                             result.modeled.seconds(e3_phase::evolve));
         metrics_.setCounter("env.steps",
                             static_cast<double>(envSteps_));
+        if (checkpointing) {
+            metrics_.setCounter("checkpoint.write_seconds",
+                                checkpointSeconds);
+            metrics_.setCounter(
+                "checkpoint.bytes",
+                static_cast<double>(checkpointBytes));
+        }
         // Pool counters already carry their "runtime." prefix.
         metrics_.importCounters("", runtime_.counters());
         metrics_.snapshotGeneration(gen);
@@ -170,7 +270,36 @@ E3Platform::run()
                           static_cast<double>(stats.numSpecies));
     };
 
-    for (int gen = 0; gen < cfg_.maxGenerations; ++gen) {
+    // Snapshot the complete evolve-loop state after advance(): the
+    // stored generation is the next one to run, so a resumed loop picks
+    // up exactly where the interrupted one would have continued.
+    auto writeCheckpoint = [&](int nextGen) {
+        obs::TraceSpan span("persist");
+        persist::Checkpoint ck;
+        ck.configHash = configHash;
+        ck.generation = nextGen;
+        ck.envSteps = envSteps_;
+        ck.bestFitness = result.bestFitness;
+        ck.champion = bestGenome;
+        ck.population = pop.saveState();
+        for (const std::string &phase : result.modeled.phases())
+            ck.phaseSeconds.emplace_back(
+                phase, result.modeled.seconds(phase));
+        ck.trace.reserve(result.trace.size());
+        for (const GenerationPoint &point : result.trace)
+            ck.trace.push_back(toTraceRow(point));
+        persist::WriteStats stats;
+        Status written = persist::writeCheckpoint(
+            cfg_.checkpointDir, ck, cfg_.checkpointKeep, &stats);
+        if (!written.ok()) {
+            warn("checkpoint write failed: ", written.message());
+            return;
+        }
+        checkpointSeconds += stats.seconds;
+        checkpointBytes += stats.bytes;
+    };
+
+    for (int gen = startGen; gen < cfg_.maxGenerations; ++gen) {
         obs::TraceSpan genSpan("generation");
         GenerationTrace trace;
         std::map<int, SpeciesEvalSummary> summaries;
@@ -209,10 +338,11 @@ E3Platform::run()
 
         result.generations = gen + 1;
         if (pop.best().fitness >= result.bestFitness ||
-            result.trace.size() == 1) {
+            (result.trace.size() == 1 && !bestGenome)) {
             result.bestFitness = pop.best().fitness;
             result.bestNetStats = computeNetStats(
                 pop.best().toNetworkDef(neatCfg_));
+            bestGenome = pop.best();
         }
 
         if (pop.solved()) {
@@ -235,6 +365,10 @@ E3Platform::run()
         {
             obs::TraceSpan span("evolve");
             pop.advance(summaries.empty() ? nullptr : &summaries);
+        }
+        if (checkpointing && cfg_.checkpointEvery > 0 &&
+            (gen + 1) % cfg_.checkpointEvery == 0) {
+            writeCheckpoint(gen + 1);
         }
         closeGeneration(gen, stats);
     }

@@ -60,6 +60,28 @@ struct PlatformConfig
      * identical to the synchronous path; only wall-clock differs.
      */
     bool asyncOverlap = false;
+
+    /**
+     * Directory for crash-safe snapshots of the whole evolve loop;
+     * empty disables checkpointing. A resumed run continues the
+     * per-generation fitness trace bit-identically (same seed, any
+     * thread count) — the power-cycle-tolerant deployment story.
+     */
+    std::string checkpointDir;
+
+    /** Write a snapshot every N generations (requires checkpointDir). */
+    int checkpointEvery = 10;
+
+    /** Retain at most this many snapshots (oldest deleted first). */
+    int checkpointKeep = 3;
+
+    /**
+     * Restore the newest usable snapshot from checkpointDir before
+     * running. A missing, corrupt, or configuration-mismatched
+     * checkpoint degrades to a warning and a fresh start — never a
+     * crash.
+     */
+    bool resume = false;
 };
 
 /** One generation's summary point (the Fig. 2(d) trace). */

@@ -30,6 +30,9 @@ class InnovationTracker
     /** Highest id handed out so far (firstHiddenId-1 if none). */
     int lastNodeId() const { return next_ - 1; }
 
+    /** Resume allocation after @p lastNodeId (checkpoint restore). */
+    void restore(int lastNodeId) { next_ = lastNodeId + 1; }
+
   private:
     int next_;
 };

@@ -18,6 +18,36 @@ Population::Population(const NeatConfig &cfg, uint64_t seed)
     species_.speciate(genomes_, cfg_, generation_);
 }
 
+Population::Population(const NeatConfig &cfg,
+                       const PopulationState &state)
+    : cfg_(cfg), rng_(0),
+      innovation_(static_cast<int>(cfg.numOutputs + cfg.numHidden)),
+      reproduction_(Rng(0))
+{
+    cfg_.validate();
+    rng_.setState(state.rng);
+    innovation_.restore(state.lastNodeId);
+    reproduction_.restore(state.reproductionRng, state.genomesCreated);
+    species_.restore(state.species, state.nextSpeciesId);
+    genomes_ = state.genomes;
+    generation_ = state.generation;
+}
+
+PopulationState
+Population::saveState() const
+{
+    PopulationState state;
+    state.generation = generation_;
+    state.rng = rng_.state();
+    state.reproductionRng = reproduction_.rngState();
+    state.genomesCreated = reproduction_.genomesCreated();
+    state.lastNodeId = innovation_.lastNodeId();
+    state.nextSpeciesId = species_.nextId();
+    state.genomes = genomes_;
+    state.species = species_.species();
+    return state;
+}
+
 void
 Population::evaluateAll(
     const std::function<double(const Genome &)> &fitnessFn)

@@ -32,6 +32,25 @@ struct GenerationStats
     Distribution densities;     ///< paper's density metric
 };
 
+/**
+ * Complete evolve-loop state of a Population, snapshotted between
+ * generations. Restoring it and continuing produces a genome stream
+ * bit-identical to the uninterrupted run: genomes, species membership
+ * and stagnation history, the innovation and genome-key allocators,
+ * and both RNG streams are all captured.
+ */
+struct PopulationState
+{
+    int generation = 0;
+    RngState rng;              ///< population-level stream
+    RngState reproductionRng;  ///< stream driving reproduce()
+    int genomesCreated = 0;    ///< genome-key allocator position
+    int lastNodeId = 0;        ///< innovation allocator position
+    int nextSpeciesId = 1;     ///< species-id allocator position
+    std::map<int, Genome> genomes;
+    std::map<int, Species> species;
+};
+
 /** Population of genomes evolving toward a fitness threshold. */
 class Population
 {
@@ -42,6 +61,16 @@ class Population
      * @param seed master seed for all evolutionary randomness
      */
     Population(const NeatConfig &cfg, uint64_t seed);
+
+    /**
+     * Restore a population from a checkpoint snapshot. Unlike the
+     * seeding constructor this consumes no randomness: evolution
+     * continues exactly where saveState() left off.
+     */
+    Population(const NeatConfig &cfg, const PopulationState &state);
+
+    /** Snapshot the complete evolve-loop state (checkpointing). */
+    PopulationState saveState() const;
 
     /** Mutable access for evaluators to assign fitness. */
     std::map<int, Genome> &genomes() { return genomes_; }

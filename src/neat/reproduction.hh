@@ -84,6 +84,17 @@ class Reproduction
     /** Number of genome keys handed out so far. */
     int genomesCreated() const { return nextGenomeKey_; }
 
+    /** Snapshot the reproduction RNG stream (checkpoint state). */
+    RngState rngState() const { return rng_.state(); }
+
+    /** Resume the RNG stream and key allocator (checkpoint restore). */
+    void
+    restore(const RngState &rng, int genomesCreated)
+    {
+        rng_.setState(rng);
+        nextGenomeKey_ = genomesCreated;
+    }
+
   private:
     int nextGenomeKey_ = 0;
     Rng rng_;

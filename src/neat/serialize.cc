@@ -1,13 +1,27 @@
 #include "neat/serialize.hh"
 
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 
-#include "common/logging.hh"
-
 namespace e3 {
+
+namespace {
+
+/** strtod with full-token consumption; handles "nan"/"inf". */
+bool
+parseDouble(const std::string &token, double &out)
+{
+    if (token.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(token.c_str(), &end);
+    return end == token.c_str() + token.size();
+}
+
+} // namespace
 
 void
 saveGenome(const Genome &genome, std::ostream &out)
@@ -38,7 +52,7 @@ genomeToString(const Genome &genome)
     return oss.str();
 }
 
-Genome
+Result<Genome>
 loadGenome(std::istream &in)
 {
     std::string line;
@@ -52,17 +66,20 @@ loadGenome(std::istream &in)
         if (!(ls >> tag) || tag[0] == '#')
             continue;
         if (tag != "genome")
-            e3_fatal("expected 'genome' header, got '", tag, "'");
+            return Status::error("expected 'genome' header, got '", tag,
+                                 "'");
         std::string fit;
         if (!(ls >> key >> fit))
-            e3_fatal("malformed genome header: '", line, "'");
-        if (fit != "nan")
-            fitness = std::stod(fit);
+            return Status::error("malformed genome header: '", line,
+                                 "'");
+        if (fit != "nan" && !parseDouble(fit, fitness))
+            return Status::error("bad fitness '", fit,
+                                 "' in genome header");
         haveHeader = true;
         break;
     }
     if (!haveHeader)
-        e3_fatal("no genome found in stream");
+        return Status::error("no genome found in stream");
 
     Genome genome(key);
     genome.fitness = fitness;
@@ -79,58 +96,94 @@ loadGenome(std::istream &in)
             double bias;
             std::string act, agg;
             if (!(ls >> id >> bias >> act >> agg))
-                e3_fatal("malformed node line: '", line, "'");
+                return Status::error("malformed node line: '", line,
+                                     "'");
             NodeGene gene;
             gene.id = id;
             gene.bias = bias;
-            gene.act = parseActivation(act);
-            gene.agg = parseAggregation(agg);
+            if (!tryParseActivation(act, gene.act))
+                return Status::error("unknown activation '", act,
+                                     "' in node ", id);
+            if (!tryParseAggregation(agg, gene.agg))
+                return Status::error("unknown aggregation '", agg,
+                                     "' in node ", id);
             if (!genome.nodes.emplace(id, gene).second)
-                e3_fatal("duplicate node ", id, " in genome");
+                return Status::error("duplicate node ", id,
+                                     " in genome");
         } else if (tag == "conn") {
             int from, to, enabled;
             double weight;
             if (!(ls >> from >> to >> weight >> enabled))
-                e3_fatal("malformed conn line: '", line, "'");
+                return Status::error("malformed conn line: '", line,
+                                     "'");
             ConnGene gene;
             gene.key = {from, to};
             gene.weight = weight;
             gene.enabled = enabled != 0;
             if (!genome.conns.emplace(gene.key, gene).second)
-                e3_fatal("duplicate connection ", from, "->", to);
+                return Status::error("duplicate connection ", from,
+                                     "->", to);
         } else {
-            e3_fatal("unknown record '", tag, "' in genome stream");
+            return Status::error("unknown record '", tag,
+                                 "' in genome stream");
         }
     }
-    e3_fatal("genome stream ended before 'end'");
+    return Status::error("genome stream ended before 'end'");
 }
 
-Genome
+Result<Genome>
 genomeFromString(const std::string &text)
 {
     std::istringstream iss(text);
     return loadGenome(iss);
 }
 
-bool
+Status
 saveGenomeFile(const Genome &genome, const std::string &path)
 {
     std::ofstream out(path);
-    if (!out) {
-        warn("cannot open '", path, "' for writing");
-        return false;
-    }
+    if (!out)
+        return Status::error("cannot open '", path, "' for writing");
     saveGenome(genome, out);
-    return static_cast<bool>(out);
+    if (!out)
+        return Status::error("write to '", path, "' failed");
+    return Status();
 }
 
-Genome
+Result<Genome>
 loadGenomeFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        e3_fatal("cannot open genome file '", path, "'");
+        return Status::error("cannot open genome file '", path, "'");
     return loadGenome(in);
+}
+
+Genome
+loadGenomeOrDie(std::istream &in)
+{
+    Result<Genome> genome = loadGenome(in);
+    if (!genome.ok())
+        e3_fatal(genome.message());
+    return std::move(genome).value();
+}
+
+Genome
+genomeFromStringOrDie(const std::string &text)
+{
+    Result<Genome> genome = genomeFromString(text);
+    if (!genome.ok())
+        e3_fatal(genome.message());
+    return std::move(genome).value();
+}
+
+Genome
+loadGenomeFileOrDie(const std::string &path)
+{
+    Result<Genome> genome = loadGenomeFile(path);
+    if (!genome.ok())
+        e3_fatal(genome.message());
+    return std::move(genome).value();
 }
 
 } // namespace e3

@@ -11,6 +11,12 @@
  *   node <id> <bias> <activation> <aggregation>
  *   conn <from> <to> <weight> <0|1>
  *   end
+ *
+ * All load paths report malformed input as an error value
+ * (Result<Genome>) instead of terminating the process, so callers —
+ * the checkpoint loader in particular — can degrade gracefully. The
+ * ...OrDie wrappers keep the old die-on-error convenience for
+ * application code that has nothing sensible to fall back to.
  */
 
 #ifndef E3_NEAT_SERIALIZE_HH
@@ -19,6 +25,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/result.hh"
 #include "neat/genome.hh"
 
 namespace e3 {
@@ -29,23 +36,26 @@ void saveGenome(const Genome &genome, std::ostream &out);
 /** Serialize to a string. */
 std::string genomeToString(const Genome &genome);
 
-/**
- * Read one genome from a stream.
- * fatal() on malformed input.
- */
-Genome loadGenome(std::istream &in);
+/** Read one genome from a stream; error on malformed input. */
+Result<Genome> loadGenome(std::istream &in);
 
 /** Parse from a string produced by genomeToString(). */
-Genome genomeFromString(const std::string &text);
+Result<Genome> genomeFromString(const std::string &text);
 
-/**
- * Save to a file.
- * @return true on success; warn() and false otherwise.
- */
-bool saveGenomeFile(const Genome &genome, const std::string &path);
+/** Save to a file (ordinary write; not atomic). */
+Status saveGenomeFile(const Genome &genome, const std::string &path);
 
-/** Load from a file; fatal() if the file cannot be opened or parsed. */
-Genome loadGenomeFile(const std::string &path);
+/** Load from a file; error if it cannot be opened or parsed. */
+Result<Genome> loadGenomeFile(const std::string &path);
+
+/** loadGenome() that fatal()s on error (application boundary). */
+Genome loadGenomeOrDie(std::istream &in);
+
+/** genomeFromString() that fatal()s on error. */
+Genome genomeFromStringOrDie(const std::string &text);
+
+/** loadGenomeFile() that fatal()s on error. */
+Genome loadGenomeFileOrDie(const std::string &path);
 
 } // namespace e3
 

@@ -64,6 +64,17 @@ class SpeciesSet
 
     size_t count() const { return species_.size(); }
 
+    /** Next id a new species would receive (checkpoint state). */
+    int nextId() const { return nextId_; }
+
+    /** Replace the whole partition (checkpoint restore). */
+    void
+    restore(std::map<int, Species> species, int nextId)
+    {
+        species_ = std::move(species);
+        nextId_ = nextId;
+    }
+
   private:
     int nextId_ = 1;
     std::map<int, Species> species_;

@@ -59,12 +59,23 @@ activationName(Activation act)
 Activation
 parseActivation(const std::string &name)
 {
+    Activation act;
+    if (!tryParseActivation(name, act))
+        e3_fatal("unknown activation '", name, "'");
+    return act;
+}
+
+bool
+tryParseActivation(const std::string &name, Activation &out)
+{
     for (int i = 0; i < numActivations; ++i) {
         const Activation act = activationFromIndex(i);
-        if (activationName(act) == name)
-            return act;
+        if (activationName(act) == name) {
+            out = act;
+            return true;
+        }
     }
-    e3_fatal("unknown activation '", name, "'");
+    return false;
 }
 
 Activation

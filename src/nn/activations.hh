@@ -37,6 +37,12 @@ std::string activationName(Activation act);
 /** Parse a name produced by activationName(). fatal() on unknown. */
 Activation parseActivation(const std::string &name);
 
+/**
+ * Parse a name into @p out and return true; false on unknown names
+ * (for load paths that must not terminate the process).
+ */
+bool tryParseActivation(const std::string &name, Activation &out);
+
 /** Number of distinct activations (for mutation sampling). */
 constexpr int numActivations = 8;
 

@@ -72,12 +72,23 @@ aggregationName(Aggregation agg)
 Aggregation
 parseAggregation(const std::string &name)
 {
+    Aggregation agg;
+    if (!tryParseAggregation(name, agg))
+        e3_fatal("unknown aggregation '", name, "'");
+    return agg;
+}
+
+bool
+tryParseAggregation(const std::string &name, Aggregation &out)
+{
     for (int i = 0; i < numAggregations; ++i) {
         const Aggregation agg = aggregationFromIndex(i);
-        if (aggregationName(agg) == name)
-            return agg;
+        if (aggregationName(agg) == name) {
+            out = agg;
+            return true;
+        }
     }
-    e3_fatal("unknown aggregation '", name, "'");
+    return false;
 }
 
 Aggregation

@@ -51,6 +51,12 @@ std::string aggregationName(Aggregation agg);
 /** Parse a name produced by aggregationName(). fatal() on unknown. */
 Aggregation parseAggregation(const std::string &name);
 
+/**
+ * Parse a name into @p out and return true; false on unknown names
+ * (for load paths that must not terminate the process).
+ */
+bool tryParseAggregation(const std::string &name, Aggregation &out);
+
 /** Number of distinct aggregations (for mutation sampling). */
 constexpr int numAggregations = 5;
 

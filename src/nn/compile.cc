@@ -1,0 +1,25 @@
+#include "nn/compile.hh"
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+std::unique_ptr<Network>
+compileNetwork(const NetworkDef &def,
+               const NetworkCompileOptions &options)
+{
+    e3_assert(!(options.recurrent && options.quantization),
+              "quantized recurrent evaluation is not supported");
+    if (options.quantization) {
+        return std::make_unique<QuantizedNetwork>(
+            QuantizedNetwork::create(def, *options.quantization));
+    }
+    if (options.recurrent) {
+        return std::make_unique<RecurrentNetwork>(
+            RecurrentNetwork::create(def));
+    }
+    return std::make_unique<FeedForwardNetwork>(
+        FeedForwardNetwork::create(def));
+}
+
+} // namespace e3

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * One front door for turning a NetworkDef into an executable Network.
+ *
+ * Callers describe *what* they need (recurrent evaluation? the
+ * fixed-point deployment view?) and get back the right implementation
+ * behind the shared Network interface — no more switching on concrete
+ * network types in evaluators, benches or the replay path.
+ */
+
+#ifndef E3_NN_COMPILE_HH
+#define E3_NN_COMPILE_HH
+
+#include <memory>
+#include <optional>
+
+#include "nn/quantize.hh"
+#include "nn/recurrent.hh"
+
+namespace e3 {
+
+/** How a NetworkDef should be compiled for execution. */
+struct NetworkCompileOptions
+{
+    /**
+     * Evaluate with synchronous-tick recurrent semantics (required
+     * when the genome was evolved with NeatConfig::feedForward off).
+     */
+    bool recurrent = false;
+
+    /**
+     * Run inference through the fixed-point evaluator at this format —
+     * the accelerator's datapath view. Feed-forward only.
+     */
+    std::optional<FixedPointFormat> quantization;
+};
+
+/**
+ * Compile a definition into the matching executable form:
+ * quantized feed-forward when a format is given, recurrent when
+ * requested, plain feed-forward otherwise.
+ * @pre recurrent and quantization are not combined (the fixed-point
+ *      evaluator models INAX's feed-forward datapath).
+ */
+std::unique_ptr<Network>
+compileNetwork(const NetworkDef &def,
+               const NetworkCompileOptions &options = {});
+
+} // namespace e3
+
+#endif // E3_NN_COMPILE_HH

@@ -75,13 +75,40 @@ struct EvalNode
 };
 
 /**
+ * Common interface of every executable network form (feed-forward,
+ * recurrent, quantized). Evaluators, benches and the replay path
+ * program against this contract instead of switching on concrete
+ * types; compileNetwork() (nn/compile.hh) picks the implementation.
+ *
+ * Contract: activate() takes one value per input in inputIds order and
+ * returns one value per output in outputIds order; reset() clears any
+ * cross-step state (a no-op for stateless networks) and must be called
+ * between episodes.
+ */
+class Network
+{
+  public:
+    virtual ~Network() = default;
+
+    /** Run one inference (one synchronous tick for stateful nets). */
+    virtual std::vector<double>
+    activate(const std::vector<double> &inputs) = 0;
+
+    /** Clear cross-step state; default is stateless. */
+    virtual void reset() {}
+
+    virtual size_t numInputs() const = 0;
+    virtual size_t numOutputs() const = 0;
+};
+
+/**
  * Compiled irregular feed-forward network.
  *
  * Invariants: layer k nodes only read slots written by inputs or layers
  * < k; every output id has a slot (an output never reached by any
  * connection still exists and emits its activated bias).
  */
-class FeedForwardNetwork
+class FeedForwardNetwork : public Network
 {
   public:
     /** Compile a definition (prunes nodes not required for outputs). */
@@ -92,10 +119,11 @@ class FeedForwardNetwork
      * @param inputs one value per input id, in inputIds order
      * @return output values in outputIds order
      */
-    std::vector<double> activate(const std::vector<double> &inputs);
+    std::vector<double>
+    activate(const std::vector<double> &inputs) override;
 
-    size_t numInputs() const { return numInputs_; }
-    size_t numOutputs() const { return outputSlots_.size(); }
+    size_t numInputs() const override { return numInputs_; }
+    size_t numOutputs() const override { return outputSlots_.size(); }
 
     /** Dependency layers, in execution order. */
     const std::vector<std::vector<EvalNode>> &layers() const

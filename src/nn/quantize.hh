@@ -52,7 +52,7 @@ NetworkDef quantizeDef(const NetworkDef &def,
  * and every node's activated output are quantized; MAC accumulation is
  * full-precision (wide DSP accumulator).
  */
-class QuantizedNetwork
+class QuantizedNetwork : public Network
 {
   public:
     /** Compile a (float) definition under a format. */
@@ -60,10 +60,11 @@ class QuantizedNetwork
                                    const FixedPointFormat &format);
 
     /** Run one inference; outputs are quantized values. */
-    std::vector<double> activate(const std::vector<double> &inputs);
+    std::vector<double>
+    activate(const std::vector<double> &inputs) override;
 
-    size_t numInputs() const { return net_.numInputs(); }
-    size_t numOutputs() const { return net_.numOutputs(); }
+    size_t numInputs() const override { return net_.numInputs(); }
+    size_t numOutputs() const override { return net_.numOutputs(); }
     const FixedPointFormat &format() const { return format_; }
 
   private:

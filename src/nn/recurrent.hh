@@ -28,7 +28,7 @@ namespace e3 {
  * buffer (inputs are updated immediately), then the buffers swap.
  * reset() zeroes the state between episodes.
  */
-class RecurrentNetwork
+class RecurrentNetwork : public Network
 {
   public:
     /**
@@ -38,13 +38,14 @@ class RecurrentNetwork
     static RecurrentNetwork create(const NetworkDef &def);
 
     /** Advance one tick; returns output values after the tick. */
-    std::vector<double> activate(const std::vector<double> &inputs);
+    std::vector<double>
+    activate(const std::vector<double> &inputs) override;
 
     /** Clear all state (start of an episode). */
-    void reset();
+    void reset() override;
 
-    size_t numInputs() const { return numInputs_; }
-    size_t numOutputs() const { return outputSlots_.size(); }
+    size_t numInputs() const override { return numInputs_; }
+    size_t numOutputs() const override { return outputSlots_.size(); }
     size_t nodeCount() const { return nodes_.size(); }
     uint64_t connectionCount() const;
 

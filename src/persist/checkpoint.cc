@@ -1,0 +1,587 @@
+#include "persist/checkpoint.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/fs.hh"
+#include "common/logging.hh"
+#include "common/timing.hh"
+#include "neat/serialize.hh"
+
+namespace e3 {
+namespace persist {
+
+namespace {
+
+const char *const kManifestName = "MANIFEST";
+
+/** Exact double formatting: C99 hex floats round-trip every value. */
+std::string
+hexDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+/** strtod with full-token consumption; handles hex, "nan", "inf". */
+bool
+parseDouble(const std::string &token, double &out)
+{
+    if (token.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(token.c_str(), &end);
+    return end == token.c_str() + token.size();
+}
+
+bool
+parseUint64(const std::string &token, uint64_t &out)
+{
+    if (token.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(token.c_str(), &end, 16);
+    return end == token.c_str() + token.size();
+}
+
+/**
+ * Advance to the next non-blank, non-comment line and split off its
+ * leading tag; false at end of stream.
+ */
+bool
+nextRecord(std::istream &in, std::string &tag, std::istringstream &rest)
+{
+    std::string line;
+    while (std::getline(in, line)) {
+        rest.clear();
+        rest.str(line);
+        tag.clear();
+        if (!(rest >> tag) || tag[0] == '#')
+            continue;
+        return true;
+    }
+    return false;
+}
+
+/** Read one expected record; error mentions what was wanted. */
+Status
+record(std::istream &in, const std::string &want,
+       std::istringstream &rest)
+{
+    std::string tag;
+    if (!nextRecord(in, tag, rest))
+        return Status::error("checkpoint truncated: expected '", want,
+                             "' record");
+    if (tag != want)
+        return Status::error("expected '", want, "' record, got '", tag,
+                             "'");
+    return Status();
+}
+
+/** Pull one hex-float token off a record. */
+Status
+readDouble(std::istringstream &rest, const std::string &what,
+           double &out)
+{
+    std::string token;
+    if (!(rest >> token) || !parseDouble(token, out))
+        return Status::error("bad ", what, " value");
+    return Status();
+}
+
+void
+saveRngState(const char *name, const RngState &state, std::ostream &out)
+{
+    out << "rng " << name;
+    for (uint64_t word : state.s)
+        out << ' ' << word;
+    out << ' ' << hexDouble(state.cachedNormal) << ' '
+        << (state.hasCachedNormal ? 1 : 0) << '\n';
+}
+
+Status
+loadRngState(std::istream &in, const std::string &name, RngState &out)
+{
+    std::istringstream rest;
+    if (Status st = record(in, "rng", rest); !st.ok())
+        return st;
+    std::string streamName;
+    if (!(rest >> streamName) || streamName != name)
+        return Status::error("expected rng stream '", name, "'");
+    int hasCached = 0;
+    for (uint64_t &word : out.s) {
+        if (!(rest >> word))
+            return Status::error("bad rng state for '", name, "'");
+    }
+    if (Status st = readDouble(rest, "rng cached normal",
+                               out.cachedNormal);
+        !st.ok())
+        return st;
+    if (!(rest >> hasCached))
+        return Status::error("bad rng state for '", name, "'");
+    out.hasCachedNormal = hasCached != 0;
+    return Status();
+}
+
+/** The manifest: format header plus retained snapshots, oldest first. */
+struct Manifest
+{
+    int version = kFormatVersion;
+    uint64_t configHash = 0;
+    std::vector<std::pair<int, std::string>> entries;
+};
+
+Result<Manifest>
+parseManifest(const std::string &text)
+{
+    std::istringstream in(text);
+    Manifest manifest;
+    std::istringstream rest;
+    if (Status st = record(in, "e3-checkpoint-manifest", rest);
+        !st.ok())
+        return st;
+    std::string hash;
+    if (!(rest >> manifest.version >> hash) ||
+        !parseUint64(hash, manifest.configHash))
+        return Status::error("malformed manifest header");
+
+    std::string tag;
+    while (nextRecord(in, tag, rest)) {
+        if (tag != "checkpoint")
+            return Status::error("unknown manifest record '", tag, "'");
+        int generation = 0;
+        std::string file;
+        if (!(rest >> generation >> file))
+            return Status::error("malformed manifest entry");
+        manifest.entries.emplace_back(generation, file);
+    }
+    return manifest;
+}
+
+std::string
+manifestToString(const Manifest &manifest)
+{
+    std::ostringstream out;
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016" PRIx64,
+                  manifest.configHash);
+    out << "e3-checkpoint-manifest " << manifest.version << ' ' << hash
+        << '\n';
+    for (const auto &[generation, file] : manifest.entries)
+        out << "checkpoint " << generation << ' ' << file << '\n';
+    return out.str();
+}
+
+std::string
+joinPath(const std::string &dir, const std::string &file)
+{
+    return dir + "/" + file;
+}
+
+} // namespace
+
+uint64_t
+fingerprint(const std::string &canonical)
+{
+    uint64_t hash = 0xCBF29CE484222325ULL;
+    for (unsigned char c : canonical) {
+        hash ^= c;
+        hash *= 0x100000001B3ULL;
+    }
+    return hash;
+}
+
+std::string
+checkpointFileName(int generation)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "ckpt-%06d.e3", generation);
+    return buf;
+}
+
+void
+saveCheckpoint(const Checkpoint &checkpoint, std::ostream &out)
+{
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016" PRIx64,
+                  checkpoint.configHash);
+    out << "e3-checkpoint " << kFormatVersion << ' ' << hash << '\n';
+    out << "generation " << checkpoint.generation << '\n';
+    out << "envsteps " << checkpoint.envSteps << '\n';
+    out << "best-fitness " << hexDouble(checkpoint.bestFitness) << '\n';
+
+    const PopulationState &pop = checkpoint.population;
+    out << "pop-generation " << pop.generation << '\n';
+    saveRngState("population", pop.rng, out);
+    saveRngState("reproduction", pop.reproductionRng, out);
+    out << "genomes-created " << pop.genomesCreated << '\n';
+    out << "innovation " << pop.lastNodeId << '\n';
+    out << "next-species-id " << pop.nextSpeciesId << '\n';
+
+    out << "phases " << checkpoint.phaseSeconds.size() << '\n';
+    for (const auto &[name, seconds] : checkpoint.phaseSeconds)
+        out << "phase " << name << ' ' << hexDouble(seconds) << '\n';
+
+    out << "trace " << checkpoint.trace.size() << '\n';
+    for (const TraceRow &row : checkpoint.trace) {
+        out << "row " << row.generation << ' '
+            << hexDouble(row.bestFitness) << ' '
+            << hexDouble(row.meanFitness) << ' '
+            << hexDouble(row.normalizedBest) << ' '
+            << hexDouble(row.cumulativeSeconds) << ' '
+            << hexDouble(row.meanNodes) << ' '
+            << hexDouble(row.meanConnections) << ' '
+            << hexDouble(row.meanDensity) << ' ' << row.numSpecies
+            << '\n';
+    }
+
+    out << "champion " << (checkpoint.champion ? 1 : 0) << '\n';
+    if (checkpoint.champion)
+        saveGenome(*checkpoint.champion, out);
+
+    out << "population " << pop.genomes.size() << '\n';
+    for (const auto &[key, genome] : pop.genomes)
+        saveGenome(genome, out);
+
+    out << "species " << pop.species.size() << '\n';
+    for (const auto &[sid, sp] : pop.species) {
+        out << "species-begin " << sid << ' ' << sp.created << ' '
+            << sp.lastImproved << ' ' << hexDouble(sp.adjustedFitness)
+            << '\n';
+        out << "members " << sp.members.size();
+        for (int member : sp.members)
+            out << ' ' << member;
+        out << '\n';
+        out << "history " << sp.fitnessHistory.size();
+        for (double h : sp.fitnessHistory)
+            out << ' ' << hexDouble(h);
+        out << '\n';
+        saveGenome(sp.representative, out);
+        out << "species-end\n";
+    }
+    out << "end-checkpoint\n";
+}
+
+std::string
+checkpointToString(const Checkpoint &checkpoint)
+{
+    std::ostringstream oss;
+    saveCheckpoint(checkpoint, oss);
+    return oss.str();
+}
+
+Result<Checkpoint>
+loadCheckpoint(std::istream &in)
+{
+    Checkpoint ck;
+    std::istringstream rest;
+
+    if (Status st = record(in, "e3-checkpoint", rest); !st.ok())
+        return st;
+    int version = 0;
+    std::string hash;
+    if (!(rest >> version >> hash) ||
+        !parseUint64(hash, ck.configHash))
+        return Status::error("malformed checkpoint header");
+    if (version != kFormatVersion)
+        return Status::error("checkpoint format version ", version,
+                             ", this build reads version ",
+                             kFormatVersion);
+
+    if (Status st = record(in, "generation", rest); !st.ok())
+        return st;
+    if (!(rest >> ck.generation))
+        return Status::error("bad generation");
+    if (Status st = record(in, "envsteps", rest); !st.ok())
+        return st;
+    if (!(rest >> ck.envSteps))
+        return Status::error("bad envsteps");
+    if (Status st = record(in, "best-fitness", rest); !st.ok())
+        return st;
+    if (Status st = readDouble(rest, "best-fitness", ck.bestFitness);
+        !st.ok())
+        return st;
+
+    PopulationState &pop = ck.population;
+    if (Status st = record(in, "pop-generation", rest); !st.ok())
+        return st;
+    if (!(rest >> pop.generation))
+        return Status::error("bad pop-generation");
+    if (Status st = loadRngState(in, "population", pop.rng); !st.ok())
+        return st;
+    if (Status st = loadRngState(in, "reproduction",
+                                 pop.reproductionRng);
+        !st.ok())
+        return st;
+    if (Status st = record(in, "genomes-created", rest); !st.ok())
+        return st;
+    if (!(rest >> pop.genomesCreated))
+        return Status::error("bad genomes-created");
+    if (Status st = record(in, "innovation", rest); !st.ok())
+        return st;
+    if (!(rest >> pop.lastNodeId))
+        return Status::error("bad innovation");
+    if (Status st = record(in, "next-species-id", rest); !st.ok())
+        return st;
+    if (!(rest >> pop.nextSpeciesId))
+        return Status::error("bad next-species-id");
+
+    size_t phaseCount = 0;
+    if (Status st = record(in, "phases", rest); !st.ok())
+        return st;
+    if (!(rest >> phaseCount))
+        return Status::error("bad phase count");
+    for (size_t i = 0; i < phaseCount; ++i) {
+        if (Status st = record(in, "phase", rest); !st.ok())
+            return st;
+        std::string name;
+        double seconds = 0.0;
+        if (!(rest >> name))
+            return Status::error("bad phase name");
+        if (Status st = readDouble(rest, "phase seconds", seconds);
+            !st.ok())
+            return st;
+        ck.phaseSeconds.emplace_back(name, seconds);
+    }
+
+    size_t rowCount = 0;
+    if (Status st = record(in, "trace", rest); !st.ok())
+        return st;
+    if (!(rest >> rowCount))
+        return Status::error("bad trace count");
+    for (size_t i = 0; i < rowCount; ++i) {
+        if (Status st = record(in, "row", rest); !st.ok())
+            return st;
+        TraceRow row;
+        if (!(rest >> row.generation))
+            return Status::error("bad trace row");
+        for (double *field :
+             {&row.bestFitness, &row.meanFitness, &row.normalizedBest,
+              &row.cumulativeSeconds, &row.meanNodes,
+              &row.meanConnections, &row.meanDensity}) {
+            if (Status st = readDouble(rest, "trace row", *field);
+                !st.ok())
+                return st;
+        }
+        if (!(rest >> row.numSpecies))
+            return Status::error("bad trace row");
+        ck.trace.push_back(row);
+    }
+
+    int hasChampion = 0;
+    if (Status st = record(in, "champion", rest); !st.ok())
+        return st;
+    if (!(rest >> hasChampion))
+        return Status::error("bad champion flag");
+    if (hasChampion) {
+        Result<Genome> champion = loadGenome(in);
+        if (!champion.ok())
+            return Status::error("bad champion genome: ",
+                                 champion.message());
+        ck.champion = std::move(champion).value();
+    }
+
+    size_t genomeCount = 0;
+    if (Status st = record(in, "population", rest); !st.ok())
+        return st;
+    if (!(rest >> genomeCount))
+        return Status::error("bad population count");
+    for (size_t i = 0; i < genomeCount; ++i) {
+        Result<Genome> genome = loadGenome(in);
+        if (!genome.ok())
+            return Status::error("bad population genome: ",
+                                 genome.message());
+        const int key = genome.value().key();
+        if (!pop.genomes.emplace(key, std::move(genome).value()).second)
+            return Status::error("duplicate genome key ", key);
+    }
+
+    size_t speciesCount = 0;
+    if (Status st = record(in, "species", rest); !st.ok())
+        return st;
+    if (!(rest >> speciesCount))
+        return Status::error("bad species count");
+    for (size_t i = 0; i < speciesCount; ++i) {
+        if (Status st = record(in, "species-begin", rest); !st.ok())
+            return st;
+        int sid = 0, created = 0, lastImproved = 0;
+        double adjusted = 0.0;
+        if (!(rest >> sid >> created >> lastImproved))
+            return Status::error("bad species header");
+        if (Status st = readDouble(rest, "species adjusted fitness",
+                                   adjusted);
+            !st.ok())
+            return st;
+
+        if (Status st = record(in, "members", rest); !st.ok())
+            return st;
+        size_t memberCount = 0;
+        if (!(rest >> memberCount))
+            return Status::error("bad species member count");
+        std::vector<int> members(memberCount);
+        for (int &member : members) {
+            if (!(rest >> member))
+                return Status::error("bad species member list");
+        }
+
+        if (Status st = record(in, "history", rest); !st.ok())
+            return st;
+        size_t historyCount = 0;
+        if (!(rest >> historyCount))
+            return Status::error("bad species history count");
+        std::vector<double> history(historyCount);
+        for (double &h : history) {
+            std::string token;
+            if (!(rest >> token) || !parseDouble(token, h))
+                return Status::error("bad species history value");
+        }
+
+        Result<Genome> representative = loadGenome(in);
+        if (!representative.ok())
+            return Status::error("bad species representative: ",
+                                 representative.message());
+        if (Status st = record(in, "species-end", rest); !st.ok())
+            return st;
+
+        Species sp(sid, created, std::move(representative).value());
+        sp.lastImproved = lastImproved;
+        sp.adjustedFitness = adjusted;
+        sp.members = std::move(members);
+        sp.fitnessHistory = std::move(history);
+        if (!pop.species.emplace(sid, std::move(sp)).second)
+            return Status::error("duplicate species id ", sid);
+    }
+
+    if (Status st = record(in, "end-checkpoint", rest); !st.ok())
+        return st;
+    return ck;
+}
+
+Result<Checkpoint>
+checkpointFromString(const std::string &text)
+{
+    std::istringstream iss(text);
+    return loadCheckpoint(iss);
+}
+
+Status
+writeCheckpoint(const std::string &dir, const Checkpoint &checkpoint,
+                int keep, WriteStats *stats)
+{
+    Stopwatch watch;
+    if (Status st = ensureDirectory(dir); !st.ok())
+        return st;
+
+    const std::string file = checkpointFileName(checkpoint.generation);
+    const std::string content = checkpointToString(checkpoint);
+    if (Status st = atomicWriteFile(joinPath(dir, file), content);
+        !st.ok())
+        return st;
+
+    // Carry over the existing manifest only if it belongs to this run
+    // configuration and format; anything else starts a fresh timeline.
+    Manifest manifest;
+    manifest.configHash = checkpoint.configHash;
+    const std::string manifestPath = joinPath(dir, kManifestName);
+    if (fileExists(manifestPath)) {
+        if (Result<std::string> text = readFile(manifestPath);
+            text.ok()) {
+            if (Result<Manifest> old = parseManifest(text.value());
+                old.ok() && old.value().version == kFormatVersion &&
+                old.value().configHash == checkpoint.configHash) {
+                manifest.entries = std::move(old.value().entries);
+            }
+        }
+    }
+
+    // Entries at or past the new generation belong to an abandoned
+    // timeline (we resumed from an older snapshot); drop their files.
+    for (auto it = manifest.entries.begin();
+         it != manifest.entries.end();) {
+        if (it->first >= checkpoint.generation && it->second != file) {
+            (void)removeFile(joinPath(dir, it->second));
+            it = manifest.entries.erase(it);
+        } else if (it->first >= checkpoint.generation) {
+            it = manifest.entries.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    manifest.entries.emplace_back(checkpoint.generation, file);
+
+    // Retention: keep the newest `keep` snapshots.
+    const size_t retained = keep < 1 ? 1 : static_cast<size_t>(keep);
+    while (manifest.entries.size() > retained) {
+        (void)removeFile(joinPath(dir, manifest.entries.front().second));
+        manifest.entries.erase(manifest.entries.begin());
+    }
+
+    if (Status st =
+            atomicWriteFile(manifestPath, manifestToString(manifest));
+        !st.ok())
+        return st;
+
+    if (stats) {
+        stats->seconds = watch.seconds();
+        stats->bytes = content.size();
+        stats->path = joinPath(dir, file);
+    }
+    return Status();
+}
+
+Result<Checkpoint>
+loadLatestCheckpoint(const std::string &dir,
+                     uint64_t expectedConfigHash)
+{
+    const std::string manifestPath = joinPath(dir, kManifestName);
+    Result<std::string> text = readFile(manifestPath);
+    if (!text.ok())
+        return Status::error("no checkpoint manifest in '", dir,
+                             "': ", text.message());
+    Result<Manifest> parsed = parseManifest(text.value());
+    if (!parsed.ok())
+        return Status::error("unreadable manifest '", manifestPath,
+                             "': ", parsed.message());
+    const Manifest &manifest = parsed.value();
+    if (manifest.version != kFormatVersion)
+        return Status::error("manifest format version ",
+                             manifest.version,
+                             ", this build reads version ",
+                             kFormatVersion);
+    if (manifest.configHash != expectedConfigHash)
+        return Status::error(
+            "checkpoint was written by a different run configuration "
+            "(fingerprint mismatch)");
+    if (manifest.entries.empty())
+        return Status::error("manifest lists no checkpoints");
+
+    // Newest first; fall back to older snapshots if one is damaged.
+    for (auto it = manifest.entries.rbegin();
+         it != manifest.entries.rend(); ++it) {
+        const std::string path = joinPath(dir, it->second);
+        Result<std::string> bytes = readFile(path);
+        if (!bytes.ok()) {
+            warn("skipping checkpoint '", path,
+                 "': ", bytes.message());
+            continue;
+        }
+        Result<Checkpoint> ck = checkpointFromString(bytes.value());
+        if (!ck.ok()) {
+            warn("skipping checkpoint '", path, "': ", ck.message());
+            continue;
+        }
+        if (ck.value().configHash != expectedConfigHash) {
+            warn("skipping checkpoint '", path,
+                 "': config fingerprint mismatch");
+            continue;
+        }
+        return ck;
+    }
+    return Status::error("no usable checkpoint in '", dir, "'");
+}
+
+} // namespace persist
+} // namespace e3

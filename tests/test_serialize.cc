@@ -27,29 +27,32 @@ sampleGenome(uint64_t seed, bool evaluated = true)
 TEST(Serialize, RoundTripPreservesEverything)
 {
     const Genome original = sampleGenome(1);
-    const Genome copy = genomeFromString(genomeToString(original));
+    Result<Genome> loaded = genomeFromString(genomeToString(original));
+    ASSERT_TRUE(loaded.ok()) << loaded.message();
+    const Genome &copy = *loaded;
 
     EXPECT_EQ(copy.key(), original.key());
     EXPECT_DOUBLE_EQ(copy.fitness, original.fitness);
     ASSERT_EQ(copy.nodes.size(), original.nodes.size());
     for (const auto &[id, node] : original.nodes) {
-        const auto &loaded = copy.nodes.at(id);
-        EXPECT_DOUBLE_EQ(loaded.bias, node.bias);
-        EXPECT_EQ(loaded.act, node.act);
-        EXPECT_EQ(loaded.agg, node.agg);
+        const auto &loadedNode = copy.nodes.at(id);
+        EXPECT_DOUBLE_EQ(loadedNode.bias, node.bias);
+        EXPECT_EQ(loadedNode.act, node.act);
+        EXPECT_EQ(loadedNode.agg, node.agg);
     }
     ASSERT_EQ(copy.conns.size(), original.conns.size());
     for (const auto &[key, conn] : original.conns) {
-        const auto &loaded = copy.conns.at(key);
-        EXPECT_DOUBLE_EQ(loaded.weight, conn.weight);
-        EXPECT_EQ(loaded.enabled, conn.enabled);
+        const auto &loadedConn = copy.conns.at(key);
+        EXPECT_DOUBLE_EQ(loadedConn.weight, conn.weight);
+        EXPECT_EQ(loadedConn.enabled, conn.enabled);
     }
 }
 
 TEST(Serialize, UnevaluatedFitnessRoundTrips)
 {
     const Genome original = sampleGenome(2, /*evaluated=*/false);
-    const Genome copy = genomeFromString(genomeToString(original));
+    const Genome copy =
+        genomeFromStringOrDie(genomeToString(original));
     EXPECT_FALSE(copy.evaluated());
 }
 
@@ -57,7 +60,8 @@ TEST(Serialize, LoadedGenomeDecodesIdentically)
 {
     const NeatConfig cfg = NeatConfig::forTask(3, 2, 1.0);
     const Genome original = sampleGenome(3);
-    const Genome copy = genomeFromString(genomeToString(original));
+    const Genome copy =
+        genomeFromStringOrDie(genomeToString(original));
 
     auto netA = FeedForwardNetwork::create(original.toNetworkDef(cfg));
     auto netB = FeedForwardNetwork::create(copy.toNetworkDef(cfg));
@@ -70,7 +74,7 @@ TEST(Serialize, CommentsAndBlanksIgnored)
     const Genome original = sampleGenome(4);
     const std::string text =
         "# champion from run 7\n\n" + genomeToString(original);
-    const Genome copy = genomeFromString(text);
+    const Genome copy = genomeFromStringOrDie(text);
     EXPECT_EQ(copy.nodes.size(), original.nodes.size());
 }
 
@@ -78,31 +82,65 @@ TEST(Serialize, FileRoundTrip)
 {
     const Genome original = sampleGenome(5);
     const std::string path = "/tmp/e3_test_genome.txt";
-    ASSERT_TRUE(saveGenomeFile(original, path));
-    const Genome copy = loadGenomeFile(path);
-    EXPECT_EQ(copy.conns.size(), original.conns.size());
-    EXPECT_FALSE(saveGenomeFile(original, "/nonexistent/x.genome"));
+    ASSERT_TRUE(saveGenomeFile(original, path).ok());
+    Result<Genome> copy = loadGenomeFile(path);
+    ASSERT_TRUE(copy.ok()) << copy.message();
+    EXPECT_EQ(copy->conns.size(), original.conns.size());
+
+    const Status bad = saveGenomeFile(original, "/nonexistent/x.genome");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_NE(bad.message().find("cannot open"), std::string::npos);
 }
 
-TEST(SerializeDeath, MissingFileFatal)
+// Malformed input is an error status, never a crash: the library layer
+// reports, only the *OrDie wrappers terminate.
+TEST(Serialize, MissingFileIsError)
 {
-    EXPECT_DEATH(loadGenomeFile("/nonexistent/y.genome"),
-                 "cannot open");
+    Result<Genome> r = loadGenomeFile("/nonexistent/y.genome");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.message().find("cannot open"), std::string::npos);
 }
 
-TEST(SerializeDeath, TruncatedStreamFatal)
+TEST(Serialize, TruncatedStreamIsError)
 {
     std::string text = genomeToString(sampleGenome(6));
     text.resize(text.size() - 5); // chop off "end\n"
-    EXPECT_DEATH(genomeFromString(text), "before 'end'");
+    Result<Genome> r = genomeFromString(text);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.message().find("before 'end'"), std::string::npos);
 }
 
-TEST(SerializeDeath, GarbageFatal)
+TEST(Serialize, GarbageIsError)
 {
-    EXPECT_DEATH(genomeFromString("genome 1 0\nblorp 3\nend\n"),
-                 "unknown record");
-    EXPECT_DEATH(genomeFromString("whatever\n"), "expected 'genome'");
-    EXPECT_DEATH(genomeFromString(""), "no genome");
+    EXPECT_NE(genomeFromString("genome 1 0\nblorp 3\nend\n")
+                  .message()
+                  .find("unknown record"),
+              std::string::npos);
+    EXPECT_NE(genomeFromString("whatever\n")
+                  .message()
+                  .find("expected 'genome'"),
+              std::string::npos);
+    EXPECT_NE(genomeFromString("").message().find("no genome"),
+              std::string::npos);
+    EXPECT_NE(genomeFromString("genome 1 0\nnode 3 0.5 blorp sum\nend\n")
+                  .message()
+                  .find("unknown activation"),
+              std::string::npos);
+    EXPECT_NE(
+        genomeFromString(
+            "genome 1 0\nnode 3 0.5 sigmoid sum\nnode 3 0.5 sigmoid "
+            "sum\nend\n")
+            .message()
+            .find("duplicate node"),
+        std::string::npos);
+}
+
+TEST(SerializeDeath, OrDieWrappersTerminateOnBadInput)
+{
+    EXPECT_DEATH(loadGenomeFileOrDie("/nonexistent/y.genome"),
+                 "cannot open");
+    EXPECT_DEATH(genomeFromStringOrDie("whatever\n"),
+                 "expected 'genome'");
 }
 
 } // namespace

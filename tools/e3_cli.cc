@@ -5,6 +5,8 @@
  *   e3_cli list-envs
  *   e3_cli run --env pendulum --backend inax [--pu 50] [--pe 4]
  *          [--pop 200] [--generations 100] [--episodes 3] [--seed 1]
+ *          [--checkpoint-dir ckpt] [--checkpoint-every 10]
+ *          [--checkpoint-keep 3] [--resume]
  *          [--save champion.genome] [--csv trace.csv]
  *          [--trace out.json] [--trace-detail phase|task|hw]
  *          [--metrics out.csv] [--log-level debug|info|warn|error]
@@ -29,6 +31,7 @@
 #include "common/logging.hh"
 #include "e3/experiment.hh"
 #include "neat/serialize.hh"
+#include "nn/compile.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -108,23 +111,25 @@ cmdListEnvs()
     return 0;
 }
 
-BackendKind
+/** Resolve a --backend name against the registry; fatal if unknown. */
+std::string
 parseBackend(const std::string &name)
 {
-    if (name == "cpu")
-        return BackendKind::Cpu;
-    if (name == "gpu")
-        return BackendKind::Gpu;
-    if (name == "inax")
-        return BackendKind::Inax;
-    e3_fatal("unknown backend '", name, "' (cpu|gpu|inax)");
+    const BackendRegistry &registry = BackendRegistry::instance();
+    if (!registry.known(name)) {
+        std::string known;
+        for (const auto &n : registry.names())
+            known += (known.empty() ? "" : "|") + n;
+        e3_fatal("unknown backend '", name, "' (", known, ")");
+    }
+    return name;
 }
 
 int
 cmdRun(const Args &args)
 {
     const std::string envName = args.get("env", "cartpole");
-    const BackendKind backend = parseBackend(args.get("backend", "inax"));
+    const std::string backend = parseBackend(args.get("backend", "inax"));
 
     ExperimentOptions options;
     options.seed = static_cast<uint64_t>(args.getInt("seed", 1));
@@ -149,6 +154,15 @@ cmdRun(const Args &args)
     const std::string neatConfigPath = args.get("neat-config", "");
     if (!neatConfigPath.empty())
         options.neatConfigPath = neatConfigPath;
+
+    options.checkpointDir = args.get("checkpoint-dir", "");
+    options.checkpointEvery =
+        static_cast<int>(args.getInt("checkpoint-every", 10));
+    options.checkpointKeep =
+        static_cast<int>(args.getInt("checkpoint-keep", 3));
+    options.resume = args.getInt("resume", 0) != 0;
+    if (options.resume && options.checkpointDir.empty())
+        e3_fatal("--resume needs --checkpoint-dir <dir>");
 
     const std::string savePath = args.get("save", "");
     const std::string csvPath = args.get("csv", "");
@@ -181,7 +195,10 @@ cmdRun(const Args &args)
     if (!quiet) {
         std::printf("running %s on %s (pop %zu, %zu episode(s)/eval, "
                     "seed %llu, %zu thread(s)%s)\n",
-                    envName.c_str(), backendKindName(backend).c_str(),
+                    envName.c_str(),
+                    BackendRegistry::instance()
+                        .displayName(backend)
+                        .c_str(),
                     options.populationSize, options.episodesPerEval,
                     static_cast<unsigned long long>(options.seed),
                     options.threads,
@@ -215,7 +232,7 @@ cmdRun(const Args &args)
                 result.solved ? "SOLVED" : "stopped",
                 result.generations, result.bestFitness,
                 spec.requiredFitness, result.totalSeconds());
-    if (!quiet && backend == BackendKind::Inax) {
+    if (!quiet && backend == "inax") {
         std::printf("INAX: %llu cycles, U(PE)=%.2f, U(PU)=%.2f\n",
                     static_cast<unsigned long long>(
                         result.inaxReport.totalCycles()),
@@ -250,12 +267,13 @@ cmdRun(const Args &args)
         const Genome champion = evolvedChampion(
             envName, options.maxGenerations, options.populationSize,
             options.seed);
-        if (saveGenomeFile(champion, savePath)) {
-            std::printf("champion (fitness %.2f, %zu nodes, %zu "
-                        "conns) saved to %s\n",
-                        champion.fitness, champion.size().first,
-                        champion.size().second, savePath.c_str());
-        }
+        const Status saved = saveGenomeFile(champion, savePath);
+        if (!saved.ok())
+            e3_fatal(saved.message());
+        std::printf("champion (fitness %.2f, %zu nodes, %zu "
+                    "conns) saved to %s\n",
+                    champion.fitness, champion.size().first,
+                    champion.size().second, savePath.c_str());
     }
     return result.solved ? 0 : 2;
 }
@@ -273,10 +291,14 @@ cmdReplay(const Args &args)
         e3_fatal("replay needs --genome <file>");
 
     const EnvSpec &spec = envSpec(envName);
-    const Genome genome = loadGenomeFile(genomePath);
+    Result<Genome> loaded = loadGenomeFile(genomePath);
+    if (!loaded.ok())
+        e3_fatal(loaded.message());
+    const Genome genome = *std::move(loaded);
     const NeatConfig cfg = NeatConfig::forTask(
         spec.numInputs, spec.numOutputs, spec.requiredFitness);
-    auto net = FeedForwardNetwork::create(genome.toNetworkDef(cfg));
+    const std::unique_ptr<Network> net =
+        compileNetwork(genome.toNetworkDef(cfg));
 
     Rng rng(seed);
     double total = 0.0;
@@ -286,7 +308,7 @@ cmdReplay(const Args &args)
         double episodeReward = 0.0;
         for (int t = 0; t < env->maxEpisodeSteps(); ++t) {
             const StepResult r =
-                env->step(decodeAction(spec, net.activate(obs)));
+                env->step(decodeAction(spec, net->activate(obs)));
             obs = r.observation;
             episodeReward += r.reward;
             if (r.done)
@@ -311,6 +333,8 @@ usage()
         "         [--pu N] [--pe N] [--pop N] [--generations N]\n"
         "         [--episodes N] [--seed N] [--csv file]\n"
         "         [--threads N] [--async 0|1]\n"
+        "         [--checkpoint-dir dir] [--checkpoint-every N]\n"
+        "         [--checkpoint-keep K] [--resume]\n"
         "         [--neat-config file.ini] [--save champion.genome]\n"
         "         [--trace out.json] [--trace-detail phase|task|hw]\n"
         "         [--metrics out.csv|out.json]\n"
