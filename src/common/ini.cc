@@ -36,6 +36,7 @@ IniFile::parse(std::istream &in)
             continue;
         if (t.front() == '[') {
             if (t.back() != ']' || t.size() < 3)
+                // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
                 e3_fatal("ini line ", lineNo, ": malformed section '",
                          t, "'");
             section = trim(t.substr(1, t.size() - 2));
@@ -43,11 +44,13 @@ IniFile::parse(std::istream &in)
         }
         const auto eq = t.find('=');
         if (eq == std::string::npos)
+            // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
             e3_fatal("ini line ", lineNo, ": expected key = value, "
                      "got '", t, "'");
         const std::string key = trim(t.substr(0, eq));
         const std::string value = trim(t.substr(eq + 1));
         if (key.empty())
+            // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
             e3_fatal("ini line ", lineNo, ": empty key");
         ini.data_[section][key] = value;
     }
@@ -66,6 +69,7 @@ IniFile::load(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
+        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
         e3_fatal("cannot open config file '", path, "'");
     return parse(in);
 }
@@ -102,6 +106,7 @@ IniFile::getDouble(const std::string &section, const std::string &key,
             throw std::invalid_argument(v);
         return parsed;
     } catch (const std::exception &) {
+        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
         e3_fatal("[", section, "] ", key, " = '", v,
                  "' is not a number");
     }
@@ -121,6 +126,7 @@ IniFile::getInt(const std::string &section, const std::string &key,
             throw std::invalid_argument(v);
         return parsed;
     } catch (const std::exception &) {
+        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
         e3_fatal("[", section, "] ", key, " = '", v,
                  "' is not an integer");
     }
@@ -138,6 +144,7 @@ IniFile::getBool(const std::string &section, const std::string &key,
         return true;
     if (v == "false" || v == "0" || v == "no")
         return false;
+    // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
     e3_fatal("[", section, "] ", key, " = '", v,
              "' is not a boolean");
 }

@@ -27,6 +27,24 @@ rotl(uint64_t x, int k)
 
 } // namespace
 
+void
+RngAudit::mix(uint64_t v)
+{
+    // FNV-1a folded a word at a time: xor-then-multiply keeps the
+    // whole sentinel at two arithmetic ops per draw, cheap enough to
+    // leave on in every build.
+    hash = (hash ^ v) * 1099511628211ULL; // FNV prime
+    ++draws;
+}
+
+void
+RngAudit::mixAudit(const RngAudit &other)
+{
+    mix(other.hash);
+    --draws; // mix() counts a draw; folding a digest is not one
+    draws += other.draws;
+}
+
 Rng::Rng(uint64_t seed)
 {
     // xoshiro state must not be all-zero; SplitMix64 guarantees a good
@@ -34,6 +52,32 @@ Rng::Rng(uint64_t seed)
     uint64_t sm = seed;
     for (auto &s : s_)
         s = splitmix64(sm);
+}
+
+Rng::Rng(const Rng &other)
+{
+    e3_assert(other.audit_.draws == 0,
+              "copying an Rng stream after ", other.audit_.draws,
+              " draws duplicates its future; use split() or move");
+    for (size_t i = 0; i < 4; ++i)
+        s_[i] = other.s_[i];
+    cachedNormal_ = other.cachedNormal_;
+    hasCachedNormal_ = other.hasCachedNormal_;
+    audit_ = other.audit_;
+}
+
+Rng &
+Rng::operator=(const Rng &other)
+{
+    e3_assert(other.audit_.draws == 0,
+              "copy-assigning an Rng stream after ", other.audit_.draws,
+              " draws duplicates its future; use split() or move");
+    for (size_t i = 0; i < 4; ++i)
+        s_[i] = other.s_[i];
+    cachedNormal_ = other.cachedNormal_;
+    hasCachedNormal_ = other.hasCachedNormal_;
+    audit_ = other.audit_;
+    return *this;
 }
 
 uint64_t
@@ -49,6 +93,7 @@ Rng::next()
     s_[2] ^= t;
     s_[3] = rotl(s_[3], 45);
 
+    audit_.mix(result);
     return result;
 }
 
@@ -177,6 +222,10 @@ Rng::setState(const RngState &state)
         s_[i] = state.s[i];
     cachedNormal_ = state.cachedNormal;
     hasCachedNormal_ = state.hasCachedNormal;
+    // Re-base the sentinel: RngState deliberately excludes the audit
+    // fields (checkpoint format stability), so a restored stream
+    // digests its post-restore draws only.
+    audit_ = RngAudit{};
 }
 
 } // namespace e3

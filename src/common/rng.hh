@@ -34,16 +34,57 @@ struct RngState
 };
 
 /**
+ * Determinism-sentinel digest of an RNG stream (or a fold of many):
+ * how many raw draws were consumed and an FNV-1a hash of the exact
+ * draw sequence. Two runs that consumed identical streams have equal
+ * digests; a single scheduling-dependent draw diverges both fields.
+ */
+struct RngAudit
+{
+    uint64_t draws = 0;
+    uint64_t hash = 14695981039346656037ULL; ///< FNV-1a offset basis
+
+    /** Fold one 64-bit word into the digest (FNV-1a over words). */
+    void mix(uint64_t v);
+
+    /** Fold another digest in (order-sensitive, like the draws). */
+    void mixAudit(const RngAudit &other);
+
+    bool operator==(const RngAudit &other) const
+    {
+        return draws == other.draws && hash == other.hash;
+    }
+};
+
+/**
  * xoshiro256** pseudo-random generator with convenience distributions.
  *
  * Distribution sampling (uniform, normal, ...) is implemented in-house so
  * streams are reproducible across standard libraries.
+ *
+ * Every generator carries a determinism sentinel: a draw counter and an
+ * FNV-1a hash over the raw draw sequence (see audit()). The runtime
+ * cross-checks these digests between serial and parallel evaluation, so
+ * a scheduling-dependent draw is caught at its source instead of
+ * twenty generations later in a fitness trace. The sentinel costs two
+ * arithmetic ops per draw and is therefore always on.
+ *
+ * Copying an in-use stream is a silent determinism foot-gun (two
+ * owners replay identical "random" sequences); the copy constructor
+ * and copy assignment panic unless the source is fresh. Moves and
+ * split() are the sanctioned ways to hand a stream around.
  */
 class Rng
 {
   public:
     /** Seed the generator; equal seeds give equal streams. */
     explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /** Copying a stream that already drew panics (foot-gun guard). */
+    Rng(const Rng &other);
+    Rng &operator=(const Rng &other);
+    Rng(Rng &&other) noexcept = default;
+    Rng &operator=(Rng &&other) noexcept = default;
 
     /** Next raw 64-bit value. */
     uint64_t next();
@@ -84,13 +125,27 @@ class Rng
     /** Snapshot the generator state (for checkpointing). */
     RngState state() const;
 
-    /** Resume exactly from a snapshot taken with state(). */
+    /**
+     * Resume exactly from a snapshot taken with state(). Re-bases the
+     * determinism sentinel: drawCount()/streamHash() then digest the
+     * draws consumed since the restore, not since the original seed.
+     */
     void setState(const RngState &state);
+
+    /** Raw draws consumed since seeding (or the last setState()). */
+    uint64_t drawCount() const { return audit_.draws; }
+
+    /** FNV-1a hash of the raw draw sequence since seeding/restore. */
+    uint64_t streamHash() const { return audit_.hash; }
+
+    /** Both sentinel fields as one digest. */
+    const RngAudit &audit() const { return audit_; }
 
   private:
     uint64_t s_[4];
     double cachedNormal_ = 0.0;
     bool hasCachedNormal_ = false;
+    RngAudit audit_;
 };
 
 } // namespace e3

@@ -131,6 +131,7 @@ runExperiment(const std::string &envName,
         BackendRegistry::instance().create(backendCliName, options,
                                            spec);
     if (!backend.ok())
+        // e3-lint: fatal-ok -- *OrDie boundary: registry misuse is a caller bug
         e3_fatal(backend.message());
 
     E3Platform platform(cfg, std::move(backend).value());
@@ -187,7 +188,9 @@ evolveAgainstEnv(const EnvSpec &spec, int generations,
             nets.push_back(FeedForwardNetwork::create(
                 genome.toNetworkDef(cfg)));
         }
-        VectorEnv venv(spec, n, seed ^ (0x51ED270B * (gen + 1)));
+        VectorEnv venv(spec, n,
+                       seed ^ (0x51ED270BULL *
+                               (static_cast<uint64_t>(gen) + 1)));
         venv.resetAll();
         while (!venv.allDone()) {
             std::vector<Action> actions(n);

@@ -53,6 +53,7 @@ void
 FpgaUtilization::checkFits(const std::string &designName) const
 {
     if (lut > 1.0 || ff > 1.0 || bram > 1.0 || dsp > 1.0) {
+        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
         e3_fatal("design '", designName,
                  "' exceeds ZCU104 capacity (lut=", lut, ", ff=", ff,
                  ", bram=", bram, ", dsp=", dsp, ")");

@@ -380,6 +380,7 @@ E3Platform::run()
         result.modeled.seconds(e3_phase::evolve);
 
     result.runtimeCounters = runtime_.counters();
+    result.rngAudit = runtime_.auditDeterminism();
     result.metrics = metrics_;
 
     if (auto *inax = dynamic_cast<InaxBackend *>(backend_.get()))

@@ -115,6 +115,16 @@ struct RunResult
     Counters runtimeCounters;
 
     /**
+     * Determinism-sentinel digest of every RNG stream the evaluation
+     * runtime consumed: (total draws, FNV-1a hash of the draw
+     * sequences) folded in canonical (generation, episode round,
+     * lane) order. Identical configs must produce identical digests
+     * at every worker count — serial vs 2/4/8-thread vs async — which
+     * is exactly what the determinism-sentinel test and CI job assert.
+     */
+    RngAudit rngAudit;
+
+    /**
      * Per-generation metrics: one snapshot row per generation with
      * fitness/species gauges, modeled per-phase second deltas, env
      * step counts and pool counter deltas. Export with toCsv()/

@@ -117,6 +117,7 @@ envSpec(const std::string &name)
         if (spec.name == name)
             return spec;
     }
+    // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
     e3_fatal("unknown environment '", name, "'");
 }
 

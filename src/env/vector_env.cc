@@ -89,6 +89,12 @@ VectorEnv::allDone() const
     return true;
 }
 
+const RngAudit &
+VectorEnv::laneAudit(size_t lane) const
+{
+    return lanes_.at(lane).rng.audit();
+}
+
 size_t
 VectorEnv::liveCount() const
 {

@@ -78,6 +78,15 @@ class VectorEnv
     /** Number of lanes still live. */
     size_t liveCount() const;
 
+    /**
+     * Determinism-sentinel digest of one lane's RNG stream: raw draws
+     * consumed and an FNV-1a hash of the exact sequence. Two runs
+     * replayed identical lane randomness iff the digests are equal —
+     * the hook the runtime's auditDeterminism() cross-check folds
+     * over.
+     */
+    const RngAudit &laneAudit(size_t lane) const;
+
   private:
     struct Lane
     {

@@ -10,12 +10,16 @@ void
 InaxConfig::validate() const
 {
     if (numPUs == 0 || numPEs == 0)
+        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
         e3_fatal("INAX needs at least one PU and one PE");
     if (clockMhz <= 0.0)
+        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
         e3_fatal("non-positive INAX clock");
     if (weightChannelWidth == 0 || ioChannelWidth == 0)
+        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
         e3_fatal("zero-width DMA channel");
     if (activationDensity <= 0.0 || activationDensity > 1.0)
+        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
         e3_fatal("activation density must be in (0, 1]");
 }
 

@@ -61,6 +61,7 @@ Mat::matmul(const Mat &other) const
     for (size_t i = 0; i < rows_; ++i) {
         for (size_t k = 0; k < cols_; ++k) {
             const double a = data_[i * cols_ + k];
+            // e3-lint: float-eq-ok -- exact zero-skip check, not a tolerance bug
             if (a == 0.0)
                 continue;
             const double *brow = &other.data_[k * other.cols_];

@@ -20,10 +20,13 @@ void
 NeatConfig::validate() const
 {
     if (numInputs == 0 || numOutputs == 0)
+        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
         e3_fatal("NEAT needs at least one input and one output");
     if (populationSize < 2)
+        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
         e3_fatal("population size must be at least 2");
     if (biasMin > biasMax || weightMin > weightMax)
+        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
         e3_fatal("inverted bias/weight bounds");
     auto probability = [](double p) { return p >= 0.0 && p <= 1.0; };
     if (!probability(biasMutateRate) || !probability(biasReplaceRate) ||
@@ -36,10 +39,13 @@ NeatConfig::validate() const
         !probability(nodeAddProb) || !probability(nodeDeleteProb) ||
         !probability(initialConnectionFraction) ||
         !probability(survivalThreshold) || !probability(crossoverRate))
+        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
         e3_fatal("a NEAT probability parameter is outside [0, 1]");
     if (activationOptions.empty() || aggregationOptions.empty())
+        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
         e3_fatal("activation/aggregation option lists must be non-empty");
     if (compatibilityThreshold <= 0.0)
+        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
         e3_fatal("compatibility threshold must be positive");
 }
 

@@ -39,6 +39,7 @@ parseActivationList(const std::string &text)
     for (const auto &token : splitTokens(text))
         out.push_back(parseActivation(token));
     if (out.empty())
+        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
         e3_fatal("empty activation list '", text, "'");
     return out;
 }
@@ -50,6 +51,7 @@ parseAggregationList(const std::string &text)
     for (const auto &token : splitTokens(text))
         out.push_back(parseAggregation(token));
     if (out.empty())
+        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
         e3_fatal("empty aggregation list '", text, "'");
     return out;
 }
@@ -84,6 +86,7 @@ rejectUnknownKeys(const IniFile &ini, const std::string &section,
 {
     for (const auto &key : ini.keys(section)) {
         if (!known.count(key))
+            // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
             e3_fatal("unknown key '", key, "' in [", section, "]");
     }
 }

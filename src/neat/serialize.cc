@@ -164,6 +164,7 @@ loadGenomeOrDie(std::istream &in)
 {
     Result<Genome> genome = loadGenome(in);
     if (!genome.ok())
+        // e3-lint: fatal-ok -- *OrDie wrapper: dying on error is the contract
         e3_fatal(genome.message());
     return std::move(genome).value();
 }
@@ -173,6 +174,7 @@ genomeFromStringOrDie(const std::string &text)
 {
     Result<Genome> genome = genomeFromString(text);
     if (!genome.ok())
+        // e3-lint: fatal-ok -- *OrDie wrapper: dying on error is the contract
         e3_fatal(genome.message());
     return std::move(genome).value();
 }
@@ -182,6 +184,7 @@ loadGenomeFileOrDie(const std::string &path)
 {
     Result<Genome> genome = loadGenomeFile(path);
     if (!genome.ok())
+        // e3-lint: fatal-ok -- *OrDie wrapper: dying on error is the contract
         e3_fatal(genome.message());
     return std::move(genome).value();
 }

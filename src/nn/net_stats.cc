@@ -92,6 +92,7 @@ measureActivationDensity(FeedForwardNetwork &net, size_t samples,
                 for (const auto &link : node.links) {
                     const double v = values[link.srcSlot];
                     ++totalMacs;
+                    // e3-lint: float-eq-ok -- exact zero-skip check, not a tolerance bug
                     liveMacs += v != 0.0 ? 1 : 0;
                     agg.add(v * link.weight);
                 }

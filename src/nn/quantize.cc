@@ -41,9 +41,11 @@ void
 FixedPointFormat::validate() const
 {
     if (totalBits < 2 || totalBits > 64)
+        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
         e3_fatal("fixed-point total bits ", totalBits,
                  " out of range [2, 64]");
     if (fracBits < 0 || fracBits >= totalBits)
+        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
         e3_fatal("fractional bits ", fracBits,
                  " must be in [0, totalBits)");
 }

@@ -67,6 +67,18 @@ ParallelEval::evaluate(const EvalPlan &plan)
         venvs.push_back(
             std::make_unique<VectorEnv>(*plan.spec, plan.lanes, seed));
 
+    // Determinism sentinel: fold every lane's stream digest in fixed
+    // (episode round, lane) order — independent of which worker ran
+    // what when — and accumulate into the run-level digest. Runs once
+    // per evaluation, after fan-in, on the calling thread.
+    auto foldAudit = [&] {
+        for (const auto &venv : venvs) {
+            for (size_t i = 0; i < plan.lanes; ++i)
+                out.rngAudit.mixAudit(venv->laneAudit(i));
+        }
+        audit_.mixAudit(out.rngAudit);
+    };
+
     // One sample per evaluation on the env-step counter track: the
     // rollout volume behind this generation's evaluate phase.
     auto emitStepCounter = [&out] {
@@ -91,6 +103,7 @@ ParallelEval::evaluate(const EvalPlan &plan)
                 plan.onGroupDone(group, out.fitness);
             }
         }
+        foldAudit();
         emitStepCounter();
         return out;
     }
@@ -108,6 +121,7 @@ ParallelEval::evaluate(const EvalPlan &plan)
                 plan.onGroupDone(group, out.fitness);
             }
         }
+        foldAudit();
         emitStepCounter();
         return out;
     }
@@ -131,6 +145,7 @@ ParallelEval::evaluate(const EvalPlan &plan)
             graph.dependsOn(summary, laneTask[lane]);
     }
     graph.run(*pool_);
+    foldAudit();
     emitStepCounter();
     return out;
 }

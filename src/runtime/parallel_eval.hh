@@ -87,6 +87,13 @@ struct EvalOutcome
     std::vector<double> fitness;
     /** episodeLengths[e][i] = env steps of lane i in episode round e. */
     std::vector<std::vector<int>> episodeLengths;
+    /**
+     * Determinism-sentinel digest: every lane's RNG stream digest
+     * folded in (episode round, lane) order. A pure function of
+     * (seed, generation, genome key) when evaluation is correct;
+     * any scheduling-dependent draw diverges it immediately.
+     */
+    RngAudit rngAudit;
 };
 
 /** Evaluation runtime: owns the worker pool and utilization counters. */
@@ -105,6 +112,16 @@ class ParallelEval
     /** Pool utilization counters accumulated so far (empty if serial). */
     Counters counters() const;
 
+    /**
+     * The determinism sentinel: RNG stream digests of every
+     * evaluate() call so far, folded in submission order. Serial,
+     * 2/4/8-thread and async runs of the same experiment must return
+     * identical digests — compare them across configurations (the
+     * determinism-sentinel test and CI job do) to catch
+     * scheduling-dependent draws at the source.
+     */
+    RngAudit auditDeterminism() const { return audit_; }
+
   private:
     void runLane(const EvalPlan &plan,
                  std::vector<std::unique_ptr<VectorEnv>> &venvs,
@@ -112,6 +129,7 @@ class ParallelEval
 
     RuntimeConfig cfg_;
     std::unique_ptr<ThreadPool> pool_; ///< null on the serial path
+    RngAudit audit_; ///< fold of every evaluation's rngAudit
 };
 
 } // namespace e3::runtime

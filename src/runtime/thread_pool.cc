@@ -133,10 +133,12 @@ ThreadPool::workerLoop(size_t index)
         // task pushed after the scan above bumped the epoch past
         // `seen`, so the predicate fails and we rescan immediately.
         std::unique_lock<std::mutex> lock(sleepMutex_);
+        // e3-lint: wall-clock-ok -- idle-time measurement; never feeds RNG
         const auto idleStart = std::chrono::steady_clock::now();
         workAvailable_.wait(
             lock, [&] { return stop_ || epoch_ != seen; });
         const std::chrono::duration<double> idle =
+            // e3-lint: wall-clock-ok -- idle-time measurement; never feeds RNG
             std::chrono::steady_clock::now() - idleStart;
         self.idleSeconds.fetch_add(idle.count(),
                                    std::memory_order_relaxed);

@@ -1,0 +1,24 @@
+// Deliberately broken fixture for the e3_lint process test: the
+// linter must exit nonzero when pointed at this file. The directory
+// is excluded from repo-wide walks (Policy::skipTree), but explicitly
+// named files are always linted. Only rules that apply everywhere are
+// exercised here — per-directory rules are unit-tested in
+// tests/test_lint.cc with synthetic paths.
+
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <set>
+
+struct Node;
+
+int
+badSeed()
+{
+    std::random_device entropy; // E3L003
+    srand(entropy());           // E3L001
+    return std::rand();         // E3L001
+}
+
+std::map<Node *, int> byAddress;      // E3L005
+std::set<const Node *> seenPointers;  // E3L005

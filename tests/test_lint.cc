@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Unit tests for the e3_lint rule engine: every rule gets a violating
+ * and a clean inline fixture, waivers are honoured (same-line and
+ * standalone-line form), the per-directory policy scopes rules to the
+ * right trees, and the JSON output is well-formed per the mini JSON
+ * parser. Process-level behaviour (exit codes on the seeded bad
+ * fixture, repo-wide cleanliness) is covered by ctest entries in
+ * tests/CMakeLists.txt.
+ */
+
+#include "lint/lint.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mini_json.hh"
+
+namespace e3::lint {
+namespace {
+
+std::vector<Diagnostic>
+lint(const std::string &path, const std::string &src)
+{
+    return lintSource(path, src, defaultPolicy());
+}
+
+bool
+hasRule(const std::vector<Diagnostic> &diags, const std::string &id)
+{
+    return std::any_of(diags.begin(), diags.end(),
+                       [&](const Diagnostic &d) {
+                           return d.ruleId == id;
+                       });
+}
+
+// --- tokenizer ---
+
+TEST(LintLexer, ClassifiesBasicTokens)
+{
+    const auto toks = tokenize("int x = 42; // note\nfoo(1.5e-3);");
+    ASSERT_GE(toks.size(), 10u);
+    EXPECT_EQ(toks[0].kind, TokKind::Identifier);
+    EXPECT_EQ(toks[0].text, "int");
+    EXPECT_EQ(toks[3].kind, TokKind::Number);
+    EXPECT_EQ(toks[3].text, "42");
+    EXPECT_EQ(toks[5].kind, TokKind::Comment);
+    EXPECT_EQ(toks[5].line, 1);
+    // Second line: foo ( 1.5e-3 ) ;
+    EXPECT_EQ(toks[6].text, "foo");
+    EXPECT_EQ(toks[6].line, 2);
+    EXPECT_EQ(toks[8].kind, TokKind::Number);
+    EXPECT_EQ(toks[8].text, "1.5e-3");
+}
+
+TEST(LintLexer, BannedNamesInsideStringsAreNotIdentifiers)
+{
+    const auto diags =
+        lint("src/neat/x.cc", "const char *s = \"std::rand()\";\n");
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintLexer, RawStringsAreSwallowedWhole)
+{
+    const auto diags = lint(
+        "src/neat/x.cc",
+        "const char *s = R\"(srand(time(nullptr)))\";\nint y = 0;\n");
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintLexer, BlockCommentsTrackLines)
+{
+    const auto toks = tokenize("/* a\nb\nc */ x");
+    ASSERT_EQ(toks.size(), 2u);
+    EXPECT_EQ(toks[0].kind, TokKind::Comment);
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[1].text, "x");
+    EXPECT_EQ(toks[1].line, 3);
+}
+
+// --- E3L001 no-std-rand ---
+
+TEST(LintRules, StdRandViolates)
+{
+    const auto diags =
+        lint("src/nn/x.cc", "int v = std::rand();\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].ruleId, "E3L001");
+    EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(LintRules, SrandViolatesAnywhere)
+{
+    EXPECT_TRUE(hasRule(lint("bench/x.cc", "srand(42);\n"), "E3L001"));
+    EXPECT_TRUE(
+        hasRule(lint("tools/x.cc", "drand48();\n"), "E3L001"));
+}
+
+TEST(LintRules, VariableNamedRandIsClean)
+{
+    const auto diags =
+        lint("src/nn/x.cc", "int rand = 3; use(rand);\n");
+    EXPECT_TRUE(diags.empty());
+}
+
+// --- E3L002 no-wall-clock ---
+
+TEST(LintRules, WallClockSeedViolatesInDeterminismDirs)
+{
+    const auto diags = lint("src/neat/x.cc",
+                            "auto seed = time(nullptr);\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].ruleId, "E3L002");
+}
+
+TEST(LintRules, ChronoNowViolatesInDeterminismDirs)
+{
+    EXPECT_TRUE(hasRule(
+        lint("src/runtime/x.cc",
+             "auto t = std::chrono::steady_clock::now();\n"),
+        "E3L002"));
+}
+
+TEST(LintRules, WallClockIsFineOutsideDeterminismDirs)
+{
+    EXPECT_TRUE(lint("src/obs/x.cc",
+                     "auto t = std::chrono::steady_clock::now();\n")
+                    .empty());
+    EXPECT_TRUE(
+        lint("src/common/timing.cc", "auto t = Clock::now();\n")
+            .empty());
+}
+
+// --- E3L003 no-random-device ---
+
+TEST(LintRules, RandomDeviceViolatesEverywhereButRng)
+{
+    EXPECT_TRUE(hasRule(
+        lint("tests/x.cc", "std::random_device rd;\n"), "E3L003"));
+    EXPECT_TRUE(
+        lint("src/common/rng.cc", "std::random_device rd;\n")
+            .empty());
+}
+
+// --- E3L004 no-unordered-iter ---
+
+TEST(LintRules, UnorderedMapViolatesInDeterminismDirs)
+{
+    const auto diags = lint(
+        "src/e3/x.cc", "std::unordered_map<int, double> fitness;\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].ruleId, "E3L004");
+    EXPECT_EQ(diags[0].ruleName, "no-unordered-iter");
+}
+
+TEST(LintRules, UnorderedMapIsFineOutsideDeterminismDirs)
+{
+    EXPECT_TRUE(
+        lint("src/obs/x.cc", "std::unordered_map<int, int> m;\n")
+            .empty());
+    EXPECT_TRUE(
+        lint("tools/x.cc", "std::unordered_set<int> s;\n").empty());
+}
+
+TEST(LintRules, OrderedOkWaiverOnSameLineHonoured)
+{
+    const auto diags = lint(
+        "src/neat/x.cc",
+        "std::unordered_map<int, int> m; // e3-lint: ordered-ok\n");
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRules, StandaloneWaiverCoversNextLine)
+{
+    const auto diags =
+        lint("src/neat/x.cc",
+             "// e3-lint: ordered-ok — never iterated, key lookups "
+             "only\nstd::unordered_map<int, int> m;\n");
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRules, WaiverForOneRuleDoesNotSilenceAnother)
+{
+    // ordered-ok must not waive the wall-clock diagnostic.
+    const auto diags =
+        lint("src/neat/x.cc",
+             "auto t = time(nullptr); // e3-lint: ordered-ok\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].ruleId, "E3L002");
+}
+
+// --- E3L005 no-pointer-key ---
+
+TEST(LintRules, PointerKeyedMapViolates)
+{
+    const auto diags = lint(
+        "src/neat/x.cc", "std::map<Genome *, double> scores;\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].ruleId, "E3L005");
+}
+
+TEST(LintRules, PointerKeyedSetViolatesOutsideDeterminismDirsToo)
+{
+    EXPECT_TRUE(hasRule(
+        lint("tools/x.cc", "std::set<const Node *> seen;\n"),
+        "E3L005"));
+}
+
+TEST(LintRules, ValueKeyedMapWithPointerValueIsClean)
+{
+    // The pointer is in the mapped type, not the key: ordering is
+    // still by the stable int key.
+    const auto diags = lint(
+        "src/neat/x.cc", "std::map<int, Genome *> byKey;\n");
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRules, NestedTemplateKeyIsScannedAtDepthOne)
+{
+    // The pointer sits inside the nested pair, not at key depth.
+    EXPECT_TRUE(
+        lint("src/neat/x.cc",
+             "std::map<std::pair<int, Genome *>, int> m;\n")
+            .empty());
+}
+
+// --- E3L006 no-float-eq ---
+
+TEST(LintRules, FloatLiteralEqualityViolates)
+{
+    const auto diags =
+        lint("src/nn/x.cc", "if (x == 0.3) { fix(); }\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].ruleId, "E3L006");
+}
+
+TEST(LintRules, FloatEqIsRelaxedUnderTests)
+{
+    EXPECT_TRUE(
+        lint("tests/x.cc", "EXPECT_TRUE(x == 0.3);\n").empty());
+}
+
+TEST(LintRules, IntegerEqualityIsClean)
+{
+    EXPECT_TRUE(lint("src/nn/x.cc", "if (n == 3) { go(); }\n")
+                    .empty());
+    EXPECT_TRUE(
+        lint("src/nn/x.cc", "if (mask == 0xFF) { go(); }\n")
+            .empty());
+}
+
+TEST(LintRules, FloatEqWaiverHonoured)
+{
+    EXPECT_TRUE(
+        lint("src/nn/x.cc",
+             "live += v != 0.0; // e3-lint: float-eq-ok exact zero\n")
+            .empty());
+}
+
+// --- E3L007 header-guard ---
+
+TEST(LintRules, UnguardedHeaderViolates)
+{
+    const auto diags =
+        lint("src/nn/x.hh", "int f();\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].ruleId, "E3L007");
+    EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(LintRules, IfndefGuardIsClean)
+{
+    EXPECT_TRUE(lint("src/nn/x.hh",
+                     "// comment first is fine\n#ifndef A_HH\n"
+                     "#define A_HH\nint f();\n#endif\n")
+                    .empty());
+}
+
+TEST(LintRules, PragmaOnceIsClean)
+{
+    EXPECT_TRUE(
+        lint("src/nn/x.hh", "#pragma once\nint f();\n").empty());
+}
+
+TEST(LintRules, MismatchedGuardNamesViolate)
+{
+    EXPECT_TRUE(hasRule(lint("src/nn/x.hh",
+                             "#ifndef A_HH\n#define B_HH\nint f();\n"
+                             "#endif\n"),
+                        "E3L007"));
+}
+
+TEST(LintRules, SourceFilesNeedNoGuard)
+{
+    EXPECT_TRUE(lint("src/nn/x.cc", "int f() { return 1; }\n")
+                    .empty());
+}
+
+// --- E3L008 no-fatal-in-lib ---
+
+TEST(LintRules, FatalInLibraryViolates)
+{
+    const auto diags = lint(
+        "src/neat/x.cc", "if (bad) e3_fatal(\"bad input\");\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].ruleId, "E3L008");
+}
+
+TEST(LintRules, FatalInToolsAndTestsIsFine)
+{
+    EXPECT_TRUE(
+        lint("tools/x.cc", "e3_fatal(\"usage\");\n").empty());
+    EXPECT_TRUE(
+        lint("tests/x.cc", "e3_fatal(\"fixture\");\n").empty());
+}
+
+TEST(LintRules, PanicAndAssertStayLegalInLibraries)
+{
+    EXPECT_TRUE(lint("src/neat/x.cc",
+                     "e3_assert(n > 0, \"n\"); e3_panic(\"bug\");\n")
+                    .empty());
+}
+
+// --- policy mechanics ---
+
+TEST(LintPolicy, LastMatchingDirectiveWins)
+{
+    Policy p;
+    p.add("", "E3L004", true);
+    p.add("src/obs", "E3L004", false);
+    EXPECT_TRUE(p.enabled("E3L004", "src/neat/genome.cc"));
+    EXPECT_FALSE(p.enabled("E3L004", "src/obs/trace.cc"));
+}
+
+TEST(LintPolicy, PrefixMatchingIsComponentWise)
+{
+    Policy p;
+    p.add("src/nn", "E3L004", false);
+    EXPECT_FALSE(p.enabled("E3L004", "src/nn/network.cc"));
+    // "src/nn" must not swallow a sibling directory's prefix.
+    EXPECT_TRUE(p.enabled("E3L004", "src/nn_extras/x.cc"));
+}
+
+TEST(LintPolicy, SkippedTreesAreSkipped)
+{
+    const Policy p = defaultPolicy();
+    EXPECT_TRUE(p.skipped("tests/fixtures/lint_bad.cc"));
+    EXPECT_FALSE(p.skipped("tests/test_lint.cc"));
+}
+
+// --- registry & output ---
+
+TEST(LintRegistry, AllRulesHaveUniqueIdsAndWaivers)
+{
+    std::vector<std::string> ids, waivers;
+    for (const auto &rule : allRules()) {
+        ids.push_back(rule->id());
+        waivers.push_back(rule->waiver());
+        EXPECT_FALSE(rule->summary().empty()) << rule->id();
+    }
+    std::sort(ids.begin(), ids.end());
+    EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) ==
+                ids.end());
+    std::sort(waivers.begin(), waivers.end());
+    EXPECT_TRUE(std::adjacent_find(waivers.begin(), waivers.end()) ==
+                waivers.end());
+}
+
+TEST(LintRegistry, CatalogNamesEveryRule)
+{
+    const std::string catalog = ruleCatalog();
+    for (const auto &rule : allRules()) {
+        EXPECT_NE(catalog.find(rule->id()), std::string::npos);
+        EXPECT_NE(catalog.find(rule->waiver()), std::string::npos);
+    }
+}
+
+TEST(LintJson, OutputIsWellFormedAndComplete)
+{
+    const auto diags = lint(
+        "src/neat/x.cc",
+        "std::unordered_map<int, int> m;\nauto s = time(nullptr);\n"
+        "if (x == 0.5) e3_fatal(\"a \\\"quoted\\\" message\");\n");
+    ASSERT_EQ(diags.size(), 4u);
+
+    const std::string json = toJson(diags);
+    test::JsonValue doc;
+    ASSERT_TRUE(test::JsonParser(json).parse(doc));
+    const test::JsonValue *count = doc.find("count");
+    ASSERT_NE(count, nullptr);
+    EXPECT_EQ(count->number, 4.0);
+    const test::JsonValue *list = doc.find("diagnostics");
+    ASSERT_NE(list, nullptr);
+    ASSERT_EQ(list->array.size(), 4u);
+    for (const auto &entry : list->array) {
+        ASSERT_NE(entry.find("file"), nullptr);
+        EXPECT_EQ(entry.find("file")->string, "src/neat/x.cc");
+        ASSERT_NE(entry.find("line"), nullptr);
+        ASSERT_NE(entry.find("rule"), nullptr);
+        ASSERT_NE(entry.find("message"), nullptr);
+    }
+}
+
+TEST(LintJson, EmptyDiagnosticsStillParse)
+{
+    test::JsonValue doc;
+    ASSERT_TRUE(test::JsonParser(toJson({})).parse(doc));
+    EXPECT_EQ(doc.find("count")->number, 0.0);
+}
+
+TEST(LintDriver, DiagnosticsAreSortedByLine)
+{
+    const auto diags = lint("src/neat/x.cc",
+                            "auto a = time(nullptr);\n"
+                            "std::unordered_set<int> s;\n"
+                            "auto b = time(nullptr);\n");
+    ASSERT_EQ(diags.size(), 3u);
+    EXPECT_EQ(diags[0].line, 1);
+    EXPECT_EQ(diags[1].line, 2);
+    EXPECT_EQ(diags[2].line, 3);
+}
+
+} // namespace
+} // namespace e3::lint

@@ -167,5 +167,108 @@ TEST(Rng, SplitStreamsAreIndependent)
     EXPECT_LT(same, 4);
 }
 
+// --- determinism sentinel -------------------------------------------
+
+TEST(RngAudit, DrawCountAndHashAdvancePerDraw)
+{
+    Rng rng(101);
+    EXPECT_EQ(rng.drawCount(), 0u);
+    const uint64_t fresh = rng.streamHash();
+    rng.next();
+    EXPECT_EQ(rng.drawCount(), 1u);
+    EXPECT_NE(rng.streamHash(), fresh);
+    // Every public distribution consumes through next(), so all of
+    // them advance the sentinel.
+    rng.uniform();
+    rng.normal();
+    rng.chance(0.5);
+    EXPECT_GE(rng.drawCount(), 4u);
+}
+
+TEST(RngAudit, EqualSeedsProduceEqualDigests)
+{
+    Rng a(202), b(202);
+    for (int i = 0; i < 1000; ++i) {
+        a.next();
+        b.next();
+    }
+    EXPECT_EQ(a.audit(), b.audit());
+
+    Rng c(203);
+    for (int i = 0; i < 1000; ++i)
+        c.next();
+    EXPECT_EQ(c.drawCount(), a.drawCount());
+    EXPECT_NE(c.streamHash(), a.streamHash());
+}
+
+TEST(RngAudit, CopyOfFreshStreamIsAllowed)
+{
+    Rng a(303);
+    Rng b(a); // zero draws consumed: copy is safe
+    EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngDeath, CopyOfInUseStreamPanics)
+{
+    Rng a(304);
+    a.next();
+    EXPECT_DEATH({ Rng b(a); (void)b; }, "duplicates its future");
+}
+
+TEST(RngDeath, CopyAssignOfInUseStreamPanics)
+{
+    Rng a(305);
+    a.next();
+    Rng b(306);
+    EXPECT_DEATH(b = a, "duplicates its future");
+}
+
+TEST(RngAudit, SetStateRebasesSentinel)
+{
+    Rng a(404);
+    for (int i = 0; i < 10; ++i)
+        a.next();
+    const RngState snap = a.state();
+    for (int i = 0; i < 10; ++i)
+        a.next();
+
+    // Restoring a checkpoint snapshot starts a fresh audit epoch: the
+    // serialized RngState deliberately excludes the sentinel.
+    a.setState(snap);
+    EXPECT_EQ(a.drawCount(), 0u);
+
+    Rng b(405);
+    b.setState(snap);
+    for (int i = 0; i < 50; ++i) {
+        a.next();
+        b.next();
+    }
+    EXPECT_EQ(a.audit(), b.audit());
+}
+
+TEST(RngAudit, MixAuditFoldsDrawsAndHash)
+{
+    Rng parent(505);
+    Rng childA = parent.split();
+    Rng childB = parent.split();
+    for (int i = 0; i < 7; ++i)
+        childA.next();
+    for (int i = 0; i < 11; ++i)
+        childB.next();
+
+    RngAudit fold;
+    fold.mixAudit(childA.audit());
+    fold.mixAudit(childB.audit());
+    EXPECT_EQ(fold.draws, 18u);
+
+    // The fold is order-sensitive by design: lane order is part of
+    // the determinism contract.
+    RngAudit reversed;
+    reversed.mixAudit(childB.audit());
+    reversed.mixAudit(childA.audit());
+    EXPECT_EQ(reversed.draws, 18u);
+    EXPECT_NE(reversed.hash, fold.hash);
+}
+
 } // namespace
 } // namespace e3

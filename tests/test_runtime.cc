@@ -187,6 +187,24 @@ TEST(ParallelEval, BitIdenticalAcrossThreadCounts)
     }
 }
 
+TEST(ParallelEval, RngAuditIdenticalAcrossThreadCounts)
+{
+    // The determinism sentinel: every lane stream's (draws, hash)
+    // digest is folded in fixed lane order, so any scheduling-
+    // dependent RNG consumption shows up as a digest mismatch even
+    // when fitness happens to agree.
+    const EvalOutcome serial = evalCartpole(1, false);
+    EXPECT_GT(serial.rngAudit.draws, 0u);
+    for (size_t threads : {2u, 4u, 8u}) {
+        const EvalOutcome parallel = evalCartpole(threads, false);
+        EXPECT_EQ(serial.rngAudit, parallel.rngAudit)
+            << threads << " threads";
+    }
+    const EvalOutcome async = evalCartpole(4, true);
+    EXPECT_EQ(serial.rngAudit, async.rngAudit)
+        << "4 threads + async overlap";
+}
+
 TEST(ParallelEval, GroupCallbackSeesFinalGroupFitness)
 {
     const EnvSpec &spec = envSpec("cartpole");
@@ -289,6 +307,30 @@ TEST(RuntimeDeterminism, LunarLanderTraceIdenticalAcrossThreadCounts)
     }
     expectIdenticalTraces(serial, traceOf("lunar_lander", 4, true),
                           "lunar_lander, 4 threads + async overlap");
+}
+
+TEST(RuntimeDeterminism, RngAuditIdenticalAcrossFullRuns)
+{
+    // End-to-end sentinel: a whole evolve run folds every evaluation's
+    // audit into RunResult::rngAudit. Serial, threaded, and async runs
+    // must report the same (draws, hash) digest.
+    auto auditOf = [](size_t threads, bool asyncOverlap) {
+        ExperimentOptions opt;
+        opt.seed = 3;
+        opt.populationSize = 64;
+        opt.episodesPerEval = 2;
+        opt.maxGenerations = 8;
+        opt.threads = threads;
+        opt.asyncOverlap = asyncOverlap;
+        return runExperiment("cartpole", BackendKind::Cpu, opt).rngAudit;
+    };
+    const RngAudit serial = auditOf(1, false);
+    EXPECT_GT(serial.draws, 0u);
+    for (size_t threads : {2u, 4u, 8u}) {
+        EXPECT_EQ(serial, auditOf(threads, false))
+            << threads << " threads";
+    }
+    EXPECT_EQ(serial, auditOf(4, true)) << "4 threads + async overlap";
 }
 
 TEST(RuntimeDeterminism, AsyncOverlapMatchesSerialOnSerialFallback)

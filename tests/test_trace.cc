@@ -40,6 +40,12 @@ std::atomic<long> g_allocations{0};
 
 } // namespace
 
+// Every replaced form below funnels through malloc/free consistently,
+// but once the nothrow news are visible in this TU, GCC inlines both
+// sides of libstdc++'s temporary buffers and flags the underlying
+// free() as mismatched with "operator new". False positive here.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
 void *
 operator new(std::size_t size)
 {
@@ -56,6 +62,37 @@ operator new[](std::size_t size)
     if (void *p = std::malloc(size ? size : 1))
         return p;
     throw std::bad_alloc();
+}
+
+// The nothrow forms must be replaced too: libstdc++'s temporary
+// buffers (std::stable_sort) allocate via new(nothrow) but release
+// via plain operator delete, so leaving these to the default
+// implementation splits an allocation across two allocators (ASan's
+// alloc-dealloc-mismatch check catches exactly that).
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size ? size : 1);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size ? size : 1);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
 }
 
 void

@@ -7,7 +7,7 @@
  *          [--pop 200] [--generations 100] [--episodes 3] [--seed 1]
  *          [--checkpoint-dir ckpt] [--checkpoint-every 10]
  *          [--checkpoint-keep 3] [--resume]
- *          [--save champion.genome] [--csv trace.csv]
+ *          [--save champion.genome] [--csv trace.csv] [--audit file]
  *          [--trace out.json] [--trace-detail phase|task|hw]
  *          [--metrics out.csv] [--log-level debug|info|warn|error]
  *          [--quiet]
@@ -28,6 +28,7 @@
 #include <string>
 
 #include "common/csv.hh"
+#include "common/fs.hh"
 #include "common/logging.hh"
 #include "e3/experiment.hh"
 #include "neat/serialize.hh"
@@ -166,6 +167,7 @@ cmdRun(const Args &args)
 
     const std::string savePath = args.get("save", "");
     const std::string csvPath = args.get("csv", "");
+    const std::string auditPath = args.get("audit", "");
 
     // Observability / verbosity knobs.
     const std::string tracePath = args.get("trace", "");
@@ -246,6 +248,22 @@ cmdRun(const Args &args)
                     options.threads, rt.get("runtime.tasks_run"),
                     rt.get("runtime.tasks_stolen"),
                     rt.get("runtime.idle_seconds"));
+    }
+
+    // Determinism-sentinel digest: the same experiment must write the
+    // same two numbers at every --threads/--async setting, so CI can
+    // `cmp` the files across worker counts.
+    if (!auditPath.empty()) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "draws=%llu hash=%016llx\n",
+                      static_cast<unsigned long long>(
+                          result.rngAudit.draws),
+                      static_cast<unsigned long long>(
+                          result.rngAudit.hash));
+        const Status written = atomicWriteFile(auditPath, buf);
+        if (!written.ok())
+            e3_fatal(written.message());
+        std::printf("rng audit: %s", buf);
     }
 
     if (!csvPath.empty()) {
@@ -332,7 +350,7 @@ usage()
         "  e3_cli run --env <name> --backend cpu|gpu|inax\n"
         "         [--pu N] [--pe N] [--pop N] [--generations N]\n"
         "         [--episodes N] [--seed N] [--csv file]\n"
-        "         [--threads N] [--async 0|1]\n"
+        "         [--threads N] [--async 0|1] [--audit file]\n"
         "         [--checkpoint-dir dir] [--checkpoint-every N]\n"
         "         [--checkpoint-keep K] [--resume]\n"
         "         [--neat-config file.ini] [--save champion.genome]\n"

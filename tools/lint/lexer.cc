@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The e3_lint tokenizer.
+ *
+ * Deliberately simpler than a real C++ lexer — rules only need to tell
+ * identifiers, literals, comments, preprocessor directives and a few
+ * multi-char operators apart. It is exact about the things that would
+ * otherwise cause false positives: string and character literals
+ * (including raw strings and escapes) are swallowed whole so a banned
+ * identifier inside a string never fires, and comments are kept as
+ * tokens so the waiver scanner can see them.
+ */
+
+#include "lint/lint.hh"
+
+#include <cctype>
+
+namespace e3::lint {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+numberChar(char c)
+{
+    // Permissive: covers digits, hex, binary, exponents, digit
+    // separators, and the f/l/u/z suffixes. pp-number style.
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+           c == '\'';
+}
+
+/** Multi-char operators emitted as single Punct tokens. */
+const char *const kOperators[] = {
+    "==", "!=", "<=", ">=", "&&", "||", "::", "->", "++", "--",
+    "+=", "-=", "*=", "/=",
+};
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &src)
+{
+    std::vector<Token> out;
+    const size_t n = src.size();
+    size_t i = 0;
+    int line = 1;
+    bool lineStart = true; // only whitespace seen since the newline
+
+    auto push = [&](TokKind kind, std::string text, int tokLine) {
+        out.push_back(Token{kind, std::move(text), tokLine});
+    };
+
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            lineStart = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Comments (kept: the waiver scanner reads them).
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            const int tokLine = line;
+            size_t j = i;
+            while (j < n && src[j] != '\n')
+                ++j;
+            push(TokKind::Comment, src.substr(i, j - i), tokLine);
+            i = j;
+            lineStart = false;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            const int tokLine = line;
+            size_t j = i + 2;
+            while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+                if (src[j] == '\n')
+                    ++line;
+                ++j;
+            }
+            j = j + 1 < n ? j + 2 : n;
+            push(TokKind::Comment, src.substr(i, j - i), tokLine);
+            i = j;
+            lineStart = false;
+            continue;
+        }
+
+        // Preprocessor directive: '#' first on its line becomes a
+        // Directive token carrying the keyword; the rest of the line
+        // lexes normally (so `#ifndef GUARD` yields the guard name).
+        if (c == '#' && lineStart) {
+            size_t j = i + 1;
+            while (j < n && (src[j] == ' ' || src[j] == '\t'))
+                ++j;
+            size_t k = j;
+            while (k < n && identChar(src[k]))
+                ++k;
+            push(TokKind::Directive, src.substr(j, k - j), line);
+            i = k;
+            lineStart = false;
+            continue;
+        }
+
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+            size_t j = i + 2;
+            std::string delim;
+            while (j < n && src[j] != '(' && src[j] != '\n')
+                delim += src[j++];
+            const std::string close = ")" + delim + "\"";
+            const size_t end = src.find(close, j);
+            const int tokLine = line;
+            const size_t stop =
+                end == std::string::npos ? n : end + close.size();
+            for (size_t p = i; p < stop; ++p) {
+                if (src[p] == '\n')
+                    ++line;
+            }
+            push(TokKind::String, "<raw-string>", tokLine);
+            i = stop;
+            lineStart = false;
+            continue;
+        }
+
+        // String / char literals with escapes.
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            const int tokLine = line;
+            size_t j = i + 1;
+            while (j < n && src[j] != quote) {
+                if (src[j] == '\\' && j + 1 < n)
+                    ++j;
+                else if (src[j] == '\n')
+                    ++line; // tolerate unterminated literals
+                ++j;
+            }
+            j = j < n ? j + 1 : n;
+            push(quote == '"' ? TokKind::String : TokKind::Char,
+                 "<literal>", tokLine);
+            i = j;
+            lineStart = false;
+            continue;
+        }
+
+        if (identStart(c)) {
+            size_t j = i;
+            while (j < n && identChar(src[j]))
+                ++j;
+            push(TokKind::Identifier, src.substr(i, j - i), line);
+            i = j;
+            lineStart = false;
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+            size_t j = i;
+            while (j < n && numberChar(src[j])) {
+                // An exponent sign belongs to the number: 1.5e-3.
+                if ((src[j] == 'e' || src[j] == 'E' || src[j] == 'p' ||
+                     src[j] == 'P') &&
+                    j + 1 < n && (src[j + 1] == '+' || src[j + 1] == '-'))
+                    ++j;
+                ++j;
+            }
+            push(TokKind::Number, src.substr(i, j - i), line);
+            i = j;
+            lineStart = false;
+            continue;
+        }
+
+        // Multi-char operators, longest match first.
+        bool matched = false;
+        for (const char *op : kOperators) {
+            const size_t len = 2;
+            if (i + len <= n && src.compare(i, len, op) == 0) {
+                push(TokKind::Punct, op, line);
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if (matched) {
+            lineStart = false;
+            continue;
+        }
+
+        push(TokKind::Punct, std::string(1, c), line);
+        ++i;
+        lineStart = false;
+    }
+    return out;
+}
+
+} // namespace e3::lint

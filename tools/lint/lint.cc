@@ -1,0 +1,276 @@
+/**
+ * @file
+ * e3_lint driver: policy evaluation, waiver filtering, file
+ * collection, and output formatting. The linter core is kept free of
+ * process concerns (no exit(), no stdout) so tests can drive it on
+ * in-memory snippets; tools/e3_lint.cc owns the CLI.
+ */
+
+#include "lint/lint.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace e3::lint {
+
+namespace {
+
+bool
+hasPrefix(const std::string &path, const std::string &prefix)
+{
+    if (prefix.empty())
+        return true;
+    if (path.rfind(prefix, 0) != 0)
+        return false;
+    // "src/nn" must not match "src/nn_extras/foo.cc".
+    return path.size() == prefix.size() ||
+           path[prefix.size()] == '/' || prefix.back() == '/';
+}
+
+bool
+lintableExtension(const std::string &path)
+{
+    static const char *const kExts[] = {".cc", ".hh", ".cpp", ".hpp",
+                                        ".h"};
+    for (const char *ext : kExts) {
+        const size_t len = std::string(ext).size();
+        if (path.size() > len &&
+            path.compare(path.size() - len, len, ext) == 0)
+            return true;
+    }
+    return false;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::set<int>
+FileContext::waivedLines(const std::string &waiverToken) const
+{
+    std::set<int> lines;
+    int prevCodeLine = 0; // last line holding a code token so far
+    size_t codeIdx = 0;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        while (codeIdx < code.size() && code[codeIdx] < i) {
+            prevCodeLine = tokens[code[codeIdx]].line;
+            ++codeIdx;
+        }
+        const Token &t = tokens[i];
+        if (t.kind != TokKind::Comment)
+            continue;
+        const size_t marker = t.text.find("e3-lint:");
+        if (marker == std::string::npos)
+            continue;
+        const std::string rest = t.text.substr(marker + 8);
+        if (rest.find(waiverToken) == std::string::npos)
+            continue;
+        lines.insert(t.line);
+        // A standalone waiver comment (no code before it on its own
+        // line) also covers the line that follows.
+        if (prevCodeLine != t.line)
+            lines.insert(t.line + 1);
+    }
+    return lines;
+}
+
+void
+Policy::add(const std::string &pathPrefix, const std::string &ruleId,
+            bool enabled)
+{
+    directives_.push_back(Directive{pathPrefix, ruleId, enabled});
+}
+
+void
+Policy::skipTree(const std::string &pathPrefix)
+{
+    skips_.push_back(pathPrefix);
+}
+
+bool
+Policy::enabled(const std::string &ruleId,
+                const std::string &path) const
+{
+    bool on = true;
+    for (const Directive &d : directives_) {
+        if (!d.ruleId.empty() && d.ruleId != ruleId)
+            continue;
+        if (hasPrefix(path, d.prefix))
+            on = d.enabled;
+    }
+    return on;
+}
+
+bool
+Policy::skipped(const std::string &path) const
+{
+    return std::any_of(skips_.begin(), skips_.end(),
+                       [&](const std::string &prefix) {
+                           return hasPrefix(path, prefix);
+                       });
+}
+
+Policy
+defaultPolicy()
+{
+    Policy p;
+    // Determinism-scoped rules are off by default and switched on for
+    // the evolve/evaluate path. src/env joins the issue's five: lane
+    // episode dynamics feed fitness directly.
+    static const char *const kDeterminismDirs[] = {
+        "src/neat", "src/nn", "src/e3", "src/runtime", "src/persist",
+        "src/env"};
+    p.add("", "E3L002", false);
+    p.add("", "E3L004", false);
+    for (const char *dir : kDeterminismDirs) {
+        p.add(dir, "E3L002", true);
+        p.add(dir, "E3L004", true);
+    }
+
+    // random_device: the rng module is its one sanctioned home.
+    p.add("src/common/rng.hh", "E3L003", false);
+    p.add("src/common/rng.cc", "E3L003", false);
+
+    // Float equality: tests assert bit-exactness on purpose.
+    p.add("tests", "E3L006", false);
+
+    // Library-exit rule: src/ only — tools, benches, examples and
+    // tests are application code where fatal() is the right call.
+    p.add("", "E3L008", false);
+    p.add("src", "E3L008", true);
+    p.add("src/common/logging.hh", "E3L008", false); // defines it
+
+    // Deliberately-broken lint fixtures live here.
+    p.skipTree("tests/fixtures");
+    return p;
+}
+
+std::vector<Diagnostic>
+lintSource(const std::string &path, const std::string &source,
+           const Policy &policy)
+{
+    FileContext ctx;
+    ctx.path = path;
+    ctx.tokens = tokenize(source);
+    ctx.code.reserve(ctx.tokens.size());
+    for (size_t i = 0; i < ctx.tokens.size(); ++i) {
+        if (ctx.tokens[i].kind != TokKind::Comment)
+            ctx.code.push_back(i);
+    }
+
+    std::vector<Diagnostic> out;
+    for (const auto &rule : allRules()) {
+        if (!policy.enabled(rule->id(), path))
+            continue;
+        std::vector<Diagnostic> found;
+        rule->check(ctx, found);
+        if (found.empty())
+            continue;
+        const std::set<int> waived = ctx.waivedLines(rule->waiver());
+        for (Diagnostic &d : found) {
+            if (!waived.count(d.line))
+                out.push_back(std::move(d));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.ruleId < b.ruleId;
+              });
+    return out;
+}
+
+std::vector<std::string>
+collectSources(const std::string &rootDir,
+               const std::vector<std::string> &roots,
+               const Policy &policy)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> out;
+    const fs::path base(rootDir);
+    for (const std::string &root : roots) {
+        const fs::path abs = base / root;
+        std::error_code ec;
+        if (fs::is_directory(abs, ec)) {
+            for (fs::recursive_directory_iterator
+                     it(abs, fs::directory_options::skip_permission_denied,
+                        ec),
+                 end;
+                 it != end; it.increment(ec)) {
+                if (ec)
+                    break;
+                if (!it->is_regular_file(ec))
+                    continue;
+                const std::string rel =
+                    fs::relative(it->path(), base, ec).generic_string();
+                if (lintableExtension(rel) && !policy.skipped(rel))
+                    out.push_back(rel);
+            }
+        } else if (fs::is_regular_file(abs, ec)) {
+            // Explicitly named files are always linted, even inside
+            // skipped trees (the fixture process test relies on this).
+            out.push_back(fs::path(root).generic_string());
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::string
+toJson(const std::vector<Diagnostic> &diags)
+{
+    std::ostringstream oss;
+    oss << "{\"diagnostics\":[";
+    for (size_t i = 0; i < diags.size(); ++i) {
+        const Diagnostic &d = diags[i];
+        if (i)
+            oss << ',';
+        oss << "{\"file\":\"" << jsonEscape(d.file) << "\""
+            << ",\"line\":" << d.line << ",\"rule\":\"" << d.ruleId
+            << "\"" << ",\"name\":\"" << d.ruleName << "\""
+            << ",\"message\":\"" << jsonEscape(d.message) << "\"}";
+    }
+    oss << "],\"count\":" << diags.size() << "}\n";
+    return oss.str();
+}
+
+std::string
+ruleCatalog()
+{
+    std::ostringstream oss;
+    for (const auto &rule : allRules()) {
+        oss << rule->id() << "  " << rule->name() << "\n"
+            << "    waiver: // e3-lint: " << rule->waiver() << "\n"
+            << "    " << rule->summary() << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace e3::lint

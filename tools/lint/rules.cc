@@ -1,0 +1,442 @@
+/**
+ * @file
+ * The e3_lint rule registry.
+ *
+ * Every rule is a small pass over one file's token stream. Rules are
+ * conservative approximations by design — a linter without semantic
+ * analysis cannot prove "this loop iterates an unordered container",
+ * so E3L004 flags any unordered-container use in determinism-critical
+ * directories and lets an audited `// e3-lint: ordered-ok` waiver
+ * record why a specific use is safe. The full catalog, the waiver
+ * policy and each rule's rationale live in DESIGN.md §10.
+ */
+
+#include "lint/lint.hh"
+
+#include <algorithm>
+
+namespace e3::lint {
+
+namespace {
+
+bool
+isIdent(const Token &t, const char *text)
+{
+    return t.kind == TokKind::Identifier && t.text == text;
+}
+
+bool
+isPunct(const Token &t, const char *text)
+{
+    return t.kind == TokKind::Punct && t.text == text;
+}
+
+/** Is code token i preceded by `std ::` (or just `::`)? */
+bool
+stdQualified(const FileContext &ctx, size_t i)
+{
+    if (i < 1 || !isPunct(ctx.codeTok(i - 1), "::"))
+        return false;
+    return i < 2 || isIdent(ctx.codeTok(i - 2), "std");
+}
+
+/**
+ * E3L001 — libc random number generators.
+ *
+ * rand()/srand() share hidden global state, have terrible statistical
+ * quality, and (worse, here) seed from whatever the call site felt
+ * like. Every draw in this codebase must come from an explicit
+ * e3::Rng so streams are a pure function of the experiment seed.
+ */
+class NoStdRand : public Rule
+{
+  public:
+    NoStdRand()
+        : Rule("E3L001", "no-std-rand", "rand-ok",
+               "libc rand/srand/rand_r/drand48 are banned; draw from "
+               "an explicit e3::Rng stream instead")
+    {
+    }
+
+    void
+    check(const FileContext &ctx, std::vector<Diagnostic> &out) const
+        override
+    {
+        static const char *const kBanned[] = {"rand", "srand", "rand_r",
+                                              "drand48", "lrand48"};
+        for (size_t i = 0; i < ctx.code.size(); ++i) {
+            const Token &t = ctx.codeTok(i);
+            if (t.kind != TokKind::Identifier)
+                continue;
+            const bool banned =
+                std::any_of(std::begin(kBanned), std::end(kBanned),
+                            [&](const char *b) { return t.text == b; });
+            if (!banned)
+                continue;
+            // Require a call or std:: qualification so a local
+            // variable named `rand` does not fire.
+            const bool call = i + 1 < ctx.code.size() &&
+                              isPunct(ctx.codeTok(i + 1), "(");
+            if (call || stdQualified(ctx, i)) {
+                out.push_back(diag(ctx, t.line,
+                                   "'" + t.text +
+                                       "' draws from hidden global "
+                                       "state; use e3::Rng"));
+            }
+        }
+    }
+};
+
+/**
+ * E3L002 — wall-clock reads in determinism-critical code.
+ *
+ * time(nullptr) seeding and chrono ::now() reads are how runs become
+ * irreproducible. In the evolve/evaluate path the only sanctioned
+ * clock is the modeled timing layer; real-time measurement belongs in
+ * common/timing and src/obs. Measurement-only sites (e.g. the thread
+ * pool's idle accounting) carry a wall-clock-ok waiver.
+ */
+class NoWallClock : public Rule
+{
+  public:
+    NoWallClock()
+        : Rule("E3L002", "no-wall-clock", "wall-clock-ok",
+               "wall-clock reads (time(), clock(), chrono ::now(), "
+               "gettimeofday) are banned in determinism-critical "
+               "directories")
+    {
+    }
+
+    void
+    check(const FileContext &ctx, std::vector<Diagnostic> &out) const
+        override
+    {
+        for (size_t i = 0; i < ctx.code.size(); ++i) {
+            const Token &t = ctx.codeTok(i);
+            if (t.kind != TokKind::Identifier)
+                continue;
+            const bool call = i + 1 < ctx.code.size() &&
+                              isPunct(ctx.codeTok(i + 1), "(");
+            const bool clockFn =
+                call && (t.text == "time" || t.text == "clock" ||
+                         t.text == "gettimeofday" ||
+                         t.text == "localtime" || t.text == "mktime");
+            const bool chronoNow =
+                call && t.text == "now" && i >= 1 &&
+                isPunct(ctx.codeTok(i - 1), "::");
+            if (clockFn || chronoNow) {
+                out.push_back(
+                    diag(ctx, t.line,
+                         "wall-clock read '" + t.text +
+                             "' in a determinism-critical path"));
+            }
+        }
+    }
+};
+
+/**
+ * E3L003 — std::random_device outside common/rng.
+ *
+ * random_device is the canonical "seed from entropy" footgun: one call
+ * and the run is unreproducible. Only the rng module may ever touch
+ * it (it currently does not — seeds always come from configuration).
+ */
+class NoRandomDevice : public Rule
+{
+  public:
+    NoRandomDevice()
+        : Rule("E3L003", "no-random-device", "random-device-ok",
+               "std::random_device is banned outside common/rng; "
+               "seeds come from configuration")
+    {
+    }
+
+    void
+    check(const FileContext &ctx, std::vector<Diagnostic> &out) const
+        override
+    {
+        for (size_t i = 0; i < ctx.code.size(); ++i) {
+            const Token &t = ctx.codeTok(i);
+            if (isIdent(t, "random_device")) {
+                out.push_back(diag(
+                    ctx, t.line,
+                    "std::random_device makes runs unreproducible"));
+            }
+        }
+    }
+};
+
+/**
+ * E3L004 — unordered containers in determinism-critical directories.
+ *
+ * unordered_map/unordered_set iteration order depends on the standard
+ * library, the hash seed and the insertion history; one range-for in
+ * the evolve path and reproduce() draws RNG in a different order on a
+ * different libstdc++. Without semantic analysis "declares" is the
+ * conservative proxy for "iterates": any unordered-container use in
+ * these directories needs an ordered-ok waiver stating why its
+ * iteration order can never reach an RNG draw or an output.
+ */
+class NoUnorderedIter : public Rule
+{
+  public:
+    NoUnorderedIter()
+        : Rule("E3L004", "no-unordered-iter", "ordered-ok",
+               "unordered_map/unordered_set are banned in "
+               "determinism-critical directories (iteration order is "
+               "implementation-defined)")
+    {
+    }
+
+    void
+    check(const FileContext &ctx, std::vector<Diagnostic> &out) const
+        override
+    {
+        static const char *const kBanned[] = {
+            "unordered_map", "unordered_set", "unordered_multimap",
+            "unordered_multiset"};
+        for (size_t i = 0; i < ctx.code.size(); ++i) {
+            const Token &t = ctx.codeTok(i);
+            if (t.kind != TokKind::Identifier)
+                continue;
+            for (const char *b : kBanned) {
+                if (t.text == b) {
+                    out.push_back(
+                        diag(ctx, t.line,
+                             "'" + t.text +
+                                 "' in a determinism-critical "
+                                 "directory; use std::map or a "
+                                 "sorted vector"));
+                    break;
+                }
+            }
+        }
+    }
+};
+
+/**
+ * E3L005 — ordered containers keyed by pointer.
+ *
+ * std::map<T*, ...> iterates in address order, and addresses change
+ * run to run (ASLR, allocation history). Key by a stable id — genome
+ * key, species id, name — never by pointer.
+ */
+class NoPointerKey : public Rule
+{
+  public:
+    NoPointerKey()
+        : Rule("E3L005", "no-pointer-key", "pointer-key-ok",
+               "std::map/std::set keyed by a pointer iterate in "
+               "address order, which differs run to run; key by a "
+               "stable id")
+    {
+    }
+
+    void
+    check(const FileContext &ctx, std::vector<Diagnostic> &out) const
+        override
+    {
+        static const char *const kContainers[] = {"map", "set",
+                                                  "multimap",
+                                                  "multiset"};
+        for (size_t i = 0; i + 1 < ctx.code.size(); ++i) {
+            const Token &t = ctx.codeTok(i);
+            if (t.kind != TokKind::Identifier ||
+                !isPunct(ctx.codeTok(i + 1), "<"))
+                continue;
+            const bool container = std::any_of(
+                std::begin(kContainers), std::end(kContainers),
+                [&](const char *c) { return t.text == c; });
+            if (!container)
+                continue;
+            // Scan the first template argument (up to a ',' or the
+            // matching '>' at depth 1) for a raw pointer declarator.
+            int depth = 1;
+            for (size_t j = i + 2;
+                 j < ctx.code.size() && depth > 0; ++j) {
+                const Token &a = ctx.codeTok(j);
+                if (isPunct(a, "<"))
+                    ++depth;
+                else if (isPunct(a, ">"))
+                    --depth;
+                else if (depth == 1 && isPunct(a, ","))
+                    break;
+                else if (depth == 1 && isPunct(a, "*")) {
+                    out.push_back(
+                        diag(ctx, t.line,
+                             "'" + t.text +
+                                 "' keyed by a pointer iterates in "
+                                 "address order"));
+                    break;
+                }
+                else if (isPunct(a, ";") || isPunct(a, "{"))
+                    break; // not a template argument list after all
+            }
+        }
+    }
+};
+
+/**
+ * E3L006 — floating-point equality against a literal.
+ *
+ * `x == 0.3` is almost always a rounding bug. The rule fires when
+ * either operand of ==/!= is a floating literal; exact-representation
+ * comparisons (sparsity checks against 0.0) carry a float-eq-ok
+ * waiver. Tests are exempt by policy — bit-exactness assertions are
+ * their job.
+ */
+class NoFloatEq : public Rule
+{
+  public:
+    NoFloatEq()
+        : Rule("E3L006", "no-float-eq", "float-eq-ok",
+               "==/!= against a floating-point literal; compare with "
+               "a tolerance (or waive an intentional exact check)")
+    {
+    }
+
+    static bool
+    isFloatLiteral(const Token &t)
+    {
+        if (t.kind != TokKind::Number)
+            return false;
+        if (t.text.size() > 1 && t.text[0] == '0' &&
+            (t.text[1] == 'x' || t.text[1] == 'X'))
+            return false; // hex integer
+        const bool hasPoint =
+            t.text.find('.') != std::string::npos;
+        const bool hasExp =
+            t.text.find('e') != std::string::npos ||
+            t.text.find('E') != std::string::npos;
+        const bool floatSuffix =
+            t.text.back() == 'f' || t.text.back() == 'F';
+        return hasPoint || hasExp || floatSuffix;
+    }
+
+    void
+    check(const FileContext &ctx, std::vector<Diagnostic> &out) const
+        override
+    {
+        for (size_t i = 0; i < ctx.code.size(); ++i) {
+            const Token &t = ctx.codeTok(i);
+            if (t.kind != TokKind::Punct ||
+                (t.text != "==" && t.text != "!="))
+                continue;
+            const bool floaty =
+                (i >= 1 && isFloatLiteral(ctx.codeTok(i - 1))) ||
+                (i + 1 < ctx.code.size() &&
+                 isFloatLiteral(ctx.codeTok(i + 1)));
+            if (floaty) {
+                out.push_back(
+                    diag(ctx, t.line,
+                         "floating-point '" + t.text +
+                             "' against a literal"));
+            }
+        }
+    }
+};
+
+/**
+ * E3L007 — headers must open with an include guard.
+ *
+ * Accepts either `#pragma once` or a classic `#ifndef X` / `#define X`
+ * pair as the first preprocessor business of the file (this repo uses
+ * the classic style; both are machine-checkable).
+ */
+class HeaderGuard : public Rule
+{
+  public:
+    HeaderGuard()
+        : Rule("E3L007", "header-guard", "header-guard-ok",
+               "headers must open with #pragma once or a matching "
+               "#ifndef/#define guard")
+    {
+    }
+
+    void
+    check(const FileContext &ctx, std::vector<Diagnostic> &out) const
+        override
+    {
+        const bool header =
+            ctx.path.size() > 3 &&
+            (ctx.path.rfind(".hh") == ctx.path.size() - 3 ||
+             ctx.path.rfind(".hpp") == ctx.path.size() - 4 ||
+             ctx.path.rfind(".h") == ctx.path.size() - 2);
+        if (!header || ctx.code.empty())
+            return;
+        const auto &c = ctx.code;
+        const Token &first = ctx.tokens[c[0]];
+        if (first.kind == TokKind::Directive) {
+            if (first.text == "pragma" && c.size() > 1 &&
+                isIdent(ctx.tokens[c[1]], "once"))
+                return;
+            if (first.text == "ifndef" && c.size() > 3 &&
+                ctx.tokens[c[1]].kind == TokKind::Identifier &&
+                ctx.tokens[c[2]].kind == TokKind::Directive &&
+                ctx.tokens[c[2]].text == "define" &&
+                ctx.tokens[c[3]].text == ctx.tokens[c[1]].text)
+                return;
+        }
+        out.push_back(diag(ctx, 1,
+                           "header is not guarded (#pragma once or "
+                           "#ifndef/#define pair)"));
+    }
+};
+
+/**
+ * E3L008 — e3_fatal in library code.
+ *
+ * Library code (src/) has no business calling exit(): a user-caused
+ * error must surface as Result<T>/Status so embedding applications
+ * (and the checkpoint-resume path, which degrades errors to warnings)
+ * can decide. e3_panic/e3_assert stay legal — an internal invariant
+ * violation has no meaningful recovery. Pre-existing app-boundary
+ * sites carry audited fatal-ok waivers until they are ported.
+ */
+class NoFatalInLib : public Rule
+{
+  public:
+    NoFatalInLib()
+        : Rule("E3L008", "no-fatal-in-lib", "fatal-ok",
+               "e3_fatal (exit(1)) in library code; return "
+               "Result<T>/Status and keep process exit at the app "
+               "boundary")
+    {
+    }
+
+    void
+    check(const FileContext &ctx, std::vector<Diagnostic> &out) const
+        override
+    {
+        for (size_t i = 0; i < ctx.code.size(); ++i) {
+            const Token &t = ctx.codeTok(i);
+            if (isIdent(t, "e3_fatal")) {
+                out.push_back(diag(ctx, t.line,
+                                   "library code exits the process; "
+                                   "return Result<T> instead"));
+            }
+        }
+    }
+};
+
+} // namespace
+
+const std::vector<std::unique_ptr<Rule>> &
+allRules()
+{
+    static const std::vector<std::unique_ptr<Rule>> rules = [] {
+        std::vector<std::unique_ptr<Rule>> r;
+        r.push_back(std::make_unique<NoStdRand>());
+        r.push_back(std::make_unique<NoWallClock>());
+        r.push_back(std::make_unique<NoRandomDevice>());
+        r.push_back(std::make_unique<NoUnorderedIter>());
+        r.push_back(std::make_unique<NoPointerKey>());
+        r.push_back(std::make_unique<NoFloatEq>());
+        r.push_back(std::make_unique<HeaderGuard>());
+        r.push_back(std::make_unique<NoFatalInLib>());
+        return r;
+    }();
+    return rules;
+}
+
+} // namespace e3::lint
