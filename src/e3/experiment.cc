@@ -126,6 +126,7 @@ runExperiment(const std::string &envName,
     cfg.checkpointEvery = options.checkpointEvery;
     cfg.checkpointKeep = options.checkpointKeep;
     cfg.resume = options.resume;
+    cfg.verifyGenomes = options.verifyGenomes;
 
     Result<std::unique_ptr<EvalBackend>> backend =
         BackendRegistry::instance().create(backendCliName, options,

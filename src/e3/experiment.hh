@@ -113,6 +113,10 @@ struct ExperimentOptions
     int checkpointKeep = 3;
     /** Resume from checkpointDir before running (PlatformConfig). */
     bool resume = false;
+
+    /** Structural-verifier gate on every decoded network
+     *  (PlatformConfig::verifyGenomes, the CLI's `run --verify`). */
+    bool verifyGenomes = false;
 };
 
 /**

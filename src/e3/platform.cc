@@ -9,6 +9,7 @@
 #include "nn/compile.hh"
 #include "obs/trace.hh"
 #include "persist/checkpoint.hh"
+#include "verify/verify.hh"
 
 namespace e3 {
 
@@ -59,6 +60,18 @@ toTraceRow(const GenerationPoint &p)
     row.meanDensity = p.meanDensity;
     row.numSpecies = p.numSpecies;
     return row;
+}
+
+/** First error diagnostic of a report, formatted for a warn() line. */
+std::string
+firstErrorLine(const verify::Report &report)
+{
+    for (const verify::Diagnostic &d : report.diagnostics) {
+        if (d.severity != verify::Severity::Error)
+            continue;
+        return d.ruleId + " [" + d.locus + "] " + d.message;
+    }
+    return {};
 }
 
 GenerationPoint
@@ -113,6 +126,29 @@ E3Platform::evaluateFunctional(Population &pop, GenerationTrace &trace,
         for (const auto &[key, genome] : pop.genomes()) {
             keys.push_back(key);
             NetworkDef def = genome.toNetworkDef(neatCfg_);
+            if (cfg_.verifyGenomes) {
+                // The --verify gate: an evolved def failing structural
+                // verification is an evolution-loop bug. Errors only —
+                // pruned hidden nodes (E3V008) are normal NEAT debris.
+                verify::Report report =
+                    verify::verifyNetworkDef(def, neatCfg_.feedForward);
+                report.diagnostics.erase(
+                    std::remove_if(report.diagnostics.begin(),
+                                   report.diagnostics.end(),
+                                   [](const verify::Diagnostic &d) {
+                                       return d.severity !=
+                                              verify::Severity::Error;
+                                   }),
+                    report.diagnostics.end());
+                if (!report.empty()) {
+                    report.setArtifact(
+                        "gen " + std::to_string(generation) +
+                        " genome " + std::to_string(key));
+                    warn("verify: genome ", key, " at generation ",
+                         generation, ": ", firstErrorLine(report));
+                    verifyReport_.merge(std::move(report));
+                }
+            }
             nets.push_back(compileNetwork(def, compileOpts));
             trace.individuals.push_back(computeNetStats(def));
             trace.defs.push_back(std::move(def));
@@ -206,23 +242,48 @@ E3Platform::run()
                  "' failed (", loaded.message(), "); starting fresh");
         } else {
             persist::Checkpoint &ck = *loaded;
-            restored.emplace(neatCfg_, ck.population);
-            startGen = ck.generation;
-            envSteps_ = ck.envSteps;
-            result.bestFitness = ck.bestFitness;
-            bestGenome = ck.champion;
-            if (bestGenome) {
-                result.bestNetStats = computeNetStats(
-                    bestGenome->toNetworkDef(neatCfg_));
+            // The checkpoint loader already ran the interface-agnostic
+            // structural pass; here the run configuration is known, so
+            // every restored genome must satisfy this env's full
+            // interface (I/O shape, feed-forward legality). A failure
+            // degrades like any other unusable checkpoint.
+            const verify::GenomeInterface iface =
+                verify::interfaceFor(spec_, neatCfg_.feedForward);
+            bool genomesOk = true;
+            auto checkRestored = [&](const Genome &g, const char *what) {
+                verify::Report report = verify::verifyGenome(g, iface);
+                if (report.hasErrors()) {
+                    warn("resume: ", what, " genome ", g.key(),
+                         " fails verification (",
+                         firstErrorLine(report), "); starting fresh");
+                    genomesOk = false;
+                }
+            };
+            for (const auto &[key, genome] : ck.population.genomes)
+                checkRestored(genome, "restored");
+            if (ck.champion)
+                checkRestored(*ck.champion, "champion");
+            if (genomesOk) {
+                restored.emplace(neatCfg_, ck.population);
+                startGen = ck.generation;
+                envSteps_ = ck.envSteps;
+                result.bestFitness = ck.bestFitness;
+                bestGenome = ck.champion;
+                if (bestGenome) {
+                    result.bestNetStats = computeNetStats(
+                        bestGenome->toNetworkDef(neatCfg_));
+                }
+                for (const auto &[phase, seconds] : ck.phaseSeconds)
+                    result.modeled.add(phase, seconds);
+                result.trace.reserve(ck.trace.size());
+                for (const persist::TraceRow &row : ck.trace)
+                    result.trace.push_back(fromTraceRow(row));
+                result.generations =
+                    static_cast<int>(result.trace.size());
+                inform("resumed '", cfg_.envName, "' from '",
+                       cfg_.checkpointDir, "' at generation ",
+                       startGen);
             }
-            for (const auto &[phase, seconds] : ck.phaseSeconds)
-                result.modeled.add(phase, seconds);
-            result.trace.reserve(ck.trace.size());
-            for (const persist::TraceRow &row : ck.trace)
-                result.trace.push_back(fromTraceRow(row));
-            result.generations = static_cast<int>(result.trace.size());
-            inform("resumed '", cfg_.envName, "' from '",
-                   cfg_.checkpointDir, "' at generation ", startGen);
         }
     }
 
@@ -382,6 +443,7 @@ E3Platform::run()
     result.runtimeCounters = runtime_.counters();
     result.rngAudit = runtime_.auditDeterminism();
     result.metrics = metrics_;
+    result.verifyReport = verifyReport_;
 
     if (auto *inax = dynamic_cast<InaxBackend *>(backend_.get()))
         result.inaxReport = inax->report();

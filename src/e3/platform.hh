@@ -25,6 +25,7 @@
 #include "nn/quantize.hh"
 #include "obs/metrics.hh"
 #include "runtime/parallel_eval.hh"
+#include "verify/diagnostics.hh"
 
 namespace e3 {
 
@@ -82,6 +83,17 @@ struct PlatformConfig
      * crash.
      */
     bool resume = false;
+
+    /**
+     * Run the structural verifier over every decoded network before it
+     * enters the evaluate phase (the `e3_cli run --verify` gate).
+     * Structural errors are collected into RunResult::verifyReport —
+     * an evolved genome should never produce one, so any finding is
+     * evidence of an evolution-loop bug. Off by default: decoded defs
+     * are verifier-clean by construction and the check costs a full
+     * structural pass per genome per generation.
+     */
+    bool verifyGenomes = false;
 };
 
 /** One generation's summary point (the Fig. 2(d) trace). */
@@ -133,6 +145,14 @@ struct RunResult
      */
     obs::MetricsRegistry metrics;
 
+    /**
+     * Structural errors found by the PlatformConfig::verifyGenomes
+     * gate, stamped with the generation and genome they came from.
+     * Empty when the gate is off or every decoded network verified
+     * clean.
+     */
+    verify::Report verifyReport;
+
     /** Total modeled wall seconds. */
     double totalSeconds() const { return modeled.totalSeconds(); }
 };
@@ -170,6 +190,7 @@ class E3Platform
     runtime::ParallelEval runtime_;
     obs::MetricsRegistry metrics_;
     uint64_t envSteps_ = 0; ///< functional env steps across the run
+    verify::Report verifyReport_; ///< verifyGenomes-gate findings
 
     /**
      * Functionally evaluate the current population through the

@@ -29,9 +29,14 @@ constexpr double safeAngle = 0.35;
 } // namespace
 
 LunarLander::LunarLander()
+    // The angle bound must be truthful for the verifier's interval
+    // analysis to be sound: the angle integrates unwrapped, and at the
+    // maximum angular rate (|vAngle| capped only by side-engine torque
+    // over a 1000-step episode) it stays within +-201 rad. All other
+    // elements are genuine dynamic ranges.
     : obsSpace_(Space::box(
-          {-2, -1, -5, -5, -M_PI, -8, 0, 0},
-          {2, 3, 5, 5, M_PI, 8, 1, 1})),
+          {-2, -1, -5, -5, -201, -8, 0, 0},
+          {2, 3, 5, 5, 201, 8, 1, 1})),
       actSpace_(Space::discrete(4))
 {
 }

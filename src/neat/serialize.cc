@@ -21,6 +21,42 @@ parseDouble(const std::string &token, double &out)
     return end == token.c_str() + token.size();
 }
 
+/**
+ * Structural audit of a parsed genome (GenomeLoadMode::Validated).
+ * Defects that the line parser cannot see — endpoints referencing
+ * absent node genes, connections targeting inputs, non-finite
+ * parameters — reject the load with the matching verifier rule ID.
+ */
+Status
+auditLoadedGenome(const Genome &genome)
+{
+    for (const auto &[id, node] : genome.nodes) {
+        if (!std::isfinite(node.bias))
+            return Status::error("[E3V007] non-finite bias on node ",
+                                 id);
+    }
+    for (const auto &[key, gene] : genome.conns) {
+        if (key.second < 0)
+            return Status::error("[E3V002] connection ", key.first,
+                                 "->", key.second,
+                                 " targets input id ", key.second);
+        if (!genome.nodes.count(key.second))
+            return Status::error("[E3V001] connection ", key.first,
+                                 "->", key.second,
+                                 " targets undefined node ",
+                                 key.second);
+        if (key.first >= 0 && !genome.nodes.count(key.first))
+            return Status::error("[E3V001] connection ", key.first,
+                                 "->", key.second,
+                                 " reads undefined node ", key.first);
+        if (!std::isfinite(gene.weight))
+            return Status::error("[E3V007] non-finite weight on "
+                                 "connection ",
+                                 key.first, "->", key.second);
+    }
+    return Status();
+}
+
 } // namespace
 
 void
@@ -53,7 +89,7 @@ genomeToString(const Genome &genome)
 }
 
 Result<Genome>
-loadGenome(std::istream &in)
+loadGenome(std::istream &in, GenomeLoadMode mode)
 {
     std::string line;
     // Find the header, skipping blanks and comments.
@@ -89,13 +125,24 @@ loadGenome(std::istream &in)
         std::string tag;
         if (!(ls >> tag) || tag[0] == '#')
             continue;
-        if (tag == "end")
+        if (tag == "end") {
+            if (mode == GenomeLoadMode::Validated) {
+                if (Status audit = auditLoadedGenome(genome);
+                    !audit.ok())
+                    return audit;
+            }
             return genome;
+        }
         if (tag == "node") {
             int id;
             double bias;
-            std::string act, agg;
-            if (!(ls >> id >> bias >> act >> agg))
+            std::string biasTok, act, agg;
+            // The bias goes through parseDouble, not operator>>:
+            // saveGenome writes non-finite values as "inf"/"nan" and
+            // they must round-trip so the verifier can report them as
+            // E3V007 instead of the load failing outright.
+            if (!(ls >> id >> biasTok >> act >> agg) ||
+                !parseDouble(biasTok, bias))
                 return Status::error("malformed node line: '", line,
                                      "'");
             NodeGene gene;
@@ -108,12 +155,14 @@ loadGenome(std::istream &in)
                 return Status::error("unknown aggregation '", agg,
                                      "' in node ", id);
             if (!genome.nodes.emplace(id, gene).second)
-                return Status::error("duplicate node ", id,
+                return Status::error("[E3V006] duplicate node ", id,
                                      " in genome");
         } else if (tag == "conn") {
             int from, to, enabled;
             double weight;
-            if (!(ls >> from >> to >> weight >> enabled))
+            std::string weightTok;
+            if (!(ls >> from >> to >> weightTok >> enabled) ||
+                !parseDouble(weightTok, weight))
                 return Status::error("malformed conn line: '", line,
                                      "'");
             ConnGene gene;
@@ -121,8 +170,8 @@ loadGenome(std::istream &in)
             gene.weight = weight;
             gene.enabled = enabled != 0;
             if (!genome.conns.emplace(gene.key, gene).second)
-                return Status::error("duplicate connection ", from,
-                                     "->", to);
+                return Status::error("[E3V006] duplicate connection ",
+                                     from, "->", to);
         } else {
             return Status::error("unknown record '", tag,
                                  "' in genome stream");
@@ -132,10 +181,10 @@ loadGenome(std::istream &in)
 }
 
 Result<Genome>
-genomeFromString(const std::string &text)
+genomeFromString(const std::string &text, GenomeLoadMode mode)
 {
     std::istringstream iss(text);
-    return loadGenome(iss);
+    return loadGenome(iss, mode);
 }
 
 Status
@@ -151,12 +200,12 @@ saveGenomeFile(const Genome &genome, const std::string &path)
 }
 
 Result<Genome>
-loadGenomeFile(const std::string &path)
+loadGenomeFile(const std::string &path, GenomeLoadMode mode)
 {
     std::ifstream in(path);
     if (!in)
         return Status::error("cannot open genome file '", path, "'");
-    return loadGenome(in);
+    return loadGenome(in, mode);
 }
 
 Genome

@@ -30,6 +30,23 @@
 
 namespace e3 {
 
+/**
+ * How much semantic checking a load path performs. Validated (the
+ * default) rejects genomes that parse but are structurally broken —
+ * dangling connection endpoints, input-targeting connections,
+ * non-finite parameters — with the matching verifier rule ID (E3V0xx)
+ * in the error message, so a corrupt artifact cannot silently reach
+ * the compiler's asserts. Raw accepts anything that parses; the
+ * `e3_cli verify` front end uses it to load deliberately broken
+ * genomes and report every defect as a diagnostic instead of stopping
+ * at the first.
+ */
+enum class GenomeLoadMode
+{
+    Validated,
+    Raw,
+};
+
 /** Write one genome in the text format. */
 void saveGenome(const Genome &genome, std::ostream &out);
 
@@ -37,16 +54,21 @@ void saveGenome(const Genome &genome, std::ostream &out);
 std::string genomeToString(const Genome &genome);
 
 /** Read one genome from a stream; error on malformed input. */
-Result<Genome> loadGenome(std::istream &in);
+Result<Genome> loadGenome(std::istream &in,
+                          GenomeLoadMode mode = GenomeLoadMode::Validated);
 
 /** Parse from a string produced by genomeToString(). */
-Result<Genome> genomeFromString(const std::string &text);
+Result<Genome>
+genomeFromString(const std::string &text,
+                 GenomeLoadMode mode = GenomeLoadMode::Validated);
 
 /** Save to a file (ordinary write; not atomic). */
 Status saveGenomeFile(const Genome &genome, const std::string &path);
 
 /** Load from a file; error if it cannot be opened or parsed. */
-Result<Genome> loadGenomeFile(const std::string &path);
+Result<Genome>
+loadGenomeFile(const std::string &path,
+               GenomeLoadMode mode = GenomeLoadMode::Validated);
 
 /** loadGenome() that fatal()s on error (application boundary). */
 Genome loadGenomeOrDie(std::istream &in);

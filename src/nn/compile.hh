@@ -14,6 +14,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/result.hh"
 #include "nn/quantize.hh"
 #include "nn/recurrent.hh"
 
@@ -45,6 +46,18 @@ struct NetworkCompileOptions
 std::unique_ptr<Network>
 compileNetwork(const NetworkDef &def,
                const NetworkCompileOptions &options = {});
+
+/**
+ * Structural invariants every compilable definition must satisfy:
+ * unique node ids and connection keys, every output id defined,
+ * connection endpoints resolving to inputs or nodes, finite weights
+ * and biases, and (unless @p recurrent) acyclicity. Returns the first
+ * violation as an error Status. compileNetwork() checks this in debug
+ * builds before handing the def to the evaluators, whose own
+ * e3_asserts are narrower; the full verifier (src/verify) reports the
+ * same defects as cataloged diagnostics.
+ */
+Status checkDefInvariants(const NetworkDef &def, bool recurrent = false);
 
 } // namespace e3
 

@@ -140,6 +140,14 @@ class FeedForwardNetwork : public Network
     /** Total value-array slots (inputs + compiled nodes). */
     size_t valueSlots() const { return slotCount_; }
 
+    /**
+     * The value array of the most recent activate() call: input slots
+     * first, then one slot per compiled node. Indexed exactly like the
+     * verifier's networkValueBounds(), which is what makes per-node
+     * bound checks possible from the outside.
+     */
+    const std::vector<double> &values() const { return values_; }
+
   private:
     FeedForwardNetwork() = default;
 

@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "common/timing.hh"
 #include "neat/serialize.hh"
+#include "verify/structural.hh"
 
 namespace e3 {
 namespace persist {
@@ -90,6 +91,45 @@ readDouble(std::istringstream &rest, const std::string &what,
     if (!(rest >> token) || !parseDouble(token, out))
         return Status::error("bad ", what, " value");
     return Status();
+}
+
+/**
+ * Structural verification of a genome pulled out of a snapshot: a
+ * corrupt or hand-edited checkpoint must degrade to an error value
+ * (loadLatestCheckpoint then falls back to the next-newest snapshot),
+ * never reach the compiler's asserts. Interface-agnostic — the
+ * checkpoint does not record what environment its genomes were
+ * evolved for.
+ */
+Status
+verifyStoredGenome(const Genome &genome, const char *what)
+{
+    verify::Report report =
+        verify::verifyGenome(genome, verify::GenomeInterface::lenient());
+    if (!report.hasErrors())
+        return Status();
+    for (const verify::Diagnostic &d : report.diagnostics) {
+        if (d.severity != verify::Severity::Error)
+            continue;
+        return Status::error(
+            what, " genome ", genome.key(),
+            " fails structural verification: ", d.ruleId, " [",
+            d.locus, "] ", d.message,
+            report.errorCount() > 1 ? " (and more)" : "");
+    }
+    return Status();
+}
+
+/** loadGenome + structural verification for one stored genome. */
+Result<Genome>
+loadStoredGenome(std::istream &in, const char *what)
+{
+    Result<Genome> genome = loadGenome(in, GenomeLoadMode::Raw);
+    if (!genome.ok())
+        return genome;
+    if (Status st = verifyStoredGenome(genome.value(), what); !st.ok())
+        return st;
+    return genome;
 }
 
 void
@@ -377,7 +417,7 @@ loadCheckpoint(std::istream &in)
     if (!(rest >> hasChampion))
         return Status::error("bad champion flag");
     if (hasChampion) {
-        Result<Genome> champion = loadGenome(in);
+        Result<Genome> champion = loadStoredGenome(in, "champion");
         if (!champion.ok())
             return Status::error("bad champion genome: ",
                                  champion.message());
@@ -390,7 +430,7 @@ loadCheckpoint(std::istream &in)
     if (!(rest >> genomeCount))
         return Status::error("bad population count");
     for (size_t i = 0; i < genomeCount; ++i) {
-        Result<Genome> genome = loadGenome(in);
+        Result<Genome> genome = loadStoredGenome(in, "population");
         if (!genome.ok())
             return Status::error("bad population genome: ",
                                  genome.message());
@@ -439,7 +479,8 @@ loadCheckpoint(std::istream &in)
                 return Status::error("bad species history value");
         }
 
-        Result<Genome> representative = loadGenome(in);
+        Result<Genome> representative =
+            loadStoredGenome(in, "species representative");
         if (!representative.ok())
             return Status::error("bad species representative: ",
                                  representative.message());
@@ -581,6 +622,25 @@ loadLatestCheckpoint(const std::string &dir,
         return ck;
     }
     return Status::error("no usable checkpoint in '", dir, "'");
+}
+
+Result<std::vector<std::pair<int, std::string>>>
+listCheckpointFiles(const std::string &dir)
+{
+    const std::string manifestPath = joinPath(dir, kManifestName);
+    Result<std::string> text = readFile(manifestPath);
+    if (!text.ok())
+        return Status::error("no checkpoint manifest in '", dir,
+                             "': ", text.message());
+    Result<Manifest> parsed = parseManifest(text.value());
+    if (!parsed.ok())
+        return Status::error("unreadable manifest '", manifestPath,
+                             "': ", parsed.message());
+    std::vector<std::pair<int, std::string>> out;
+    out.reserve(parsed.value().entries.size());
+    for (const auto &[generation, file] : parsed.value().entries)
+        out.emplace_back(generation, joinPath(dir, file));
+    return out;
 }
 
 } // namespace persist

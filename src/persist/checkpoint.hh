@@ -134,6 +134,16 @@ Status writeCheckpoint(const std::string &dir,
 Result<Checkpoint> loadLatestCheckpoint(const std::string &dir,
                                         uint64_t expectedConfigHash);
 
+/**
+ * Enumerate the snapshot files @p dir's MANIFEST lists, oldest first,
+ * as (generation, full path) pairs. Unlike loadLatestCheckpoint this
+ * performs no fingerprint or version check — it is the audit-tool
+ * entry point (`e3_cli verify --checkpoint-dir` walks every listed
+ * snapshot regardless of which run configuration wrote it).
+ */
+Result<std::vector<std::pair<int, std::string>>>
+listCheckpointFiles(const std::string &dir);
+
 } // namespace persist
 } // namespace e3
 

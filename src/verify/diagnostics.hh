@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Typed diagnostics for the e3_verify static analyzer.
+ *
+ * Every finding the verifier can produce carries a stable rule ID
+ * (E3V0xx structural, E3V1xx quantization/interval, E3V2xx INAX
+ * schedule legality), a severity, the artifact it was found in (a
+ * genome file, a checkpoint snapshot, an in-memory def) and a gene
+ * locus ("conn 3->7", "node 5"), so CI can grep reports by rule and a
+ * human can find the offending gene. The catalog below is the single
+ * source of truth: constructing a diagnostic with an unknown rule ID
+ * panics, which keeps IDs stable and typo-free.
+ */
+
+#ifndef E3_VERIFY_DIAGNOSTICS_HH
+#define E3_VERIFY_DIAGNOSTICS_HH
+
+#include <string>
+#include <vector>
+
+namespace e3::verify {
+
+/**
+ * Finding severity. Errors describe artifacts that are structurally
+ * broken or guaranteed-unsafe and fail verification (nonzero exit);
+ * warnings describe may-happen hazards (an interval that *can* reach
+ * saturation, an unreachable hidden node NEAT routinely leaves behind)
+ * and fail only under --strict.
+ */
+enum class Severity
+{
+    Warning,
+    Error,
+};
+
+/** One verifier finding. */
+struct Diagnostic
+{
+    std::string ruleId;   ///< e.g. "E3V001"
+    std::string ruleName; ///< e.g. "dangling-endpoint"
+    Severity severity = Severity::Error;
+    std::string artifact; ///< file / checkpoint / def the finding is in
+    std::string locus;    ///< gene locus, e.g. "conn 3->7"
+    std::string message;  ///< human-readable explanation
+};
+
+/** Catalog entry describing one rule. */
+struct RuleInfo
+{
+    const char *id;
+    const char *name;
+    Severity severity;
+    const char *summary;
+};
+
+/** The full rule catalog, in rule-ID order. */
+const std::vector<RuleInfo> &ruleCatalog();
+
+/** Catalog entry for @p ruleId; panics on an unknown ID. */
+const RuleInfo &ruleInfo(const std::string &ruleId);
+
+/**
+ * Build a diagnostic for a cataloged rule (name and severity are
+ * filled from the catalog). @p artifact may be left empty and set
+ * later via Report::setArtifact().
+ */
+Diagnostic makeDiagnostic(const std::string &ruleId, std::string locus,
+                          std::string message);
+
+/** An ordered collection of findings from one or more passes. */
+struct Report
+{
+    std::vector<Diagnostic> diagnostics;
+
+    void add(Diagnostic d) { diagnostics.push_back(std::move(d)); }
+
+    /** Append another report's findings. */
+    void merge(Report other);
+
+    /** Stamp every finding with the artifact it came from. */
+    void setArtifact(const std::string &artifact);
+
+    size_t errorCount() const;
+    size_t warningCount() const;
+    bool hasErrors() const { return errorCount() > 0; }
+    bool empty() const { return diagnostics.empty(); }
+
+    /**
+     * True if the report fails verification: any error, or any
+     * finding at all under @p strict.
+     */
+    bool failed(bool strict) const
+    {
+        return strict ? !empty() : hasErrors();
+    }
+};
+
+/** Stable "E3V001 dangling-endpoint" rule IDs, structural pass. */
+namespace rules {
+inline constexpr const char *kDanglingEndpoint = "E3V001";
+inline constexpr const char *kInputAsDestination = "E3V002";
+inline constexpr const char *kMissingOutputNode = "E3V003";
+inline constexpr const char *kFeedForwardCycle = "E3V004";
+inline constexpr const char *kSelfLoop = "E3V005";
+inline constexpr const char *kDuplicateElement = "E3V006";
+inline constexpr const char *kNonfiniteParameter = "E3V007";
+inline constexpr const char *kUnreachableHidden = "E3V008";
+inline constexpr const char *kInputOutOfRange = "E3V009";
+inline constexpr const char *kLoadError = "E3V010";
+// Interval / quantization pass.
+inline constexpr const char *kParameterSaturates = "E3V101";
+inline constexpr const char *kParameterUnderflows = "E3V102";
+inline constexpr const char *kInputMaySaturate = "E3V103";
+inline constexpr const char *kActivationMaySaturate = "E3V104";
+// INAX schedule-legality pass.
+inline constexpr const char *kInvalidHwConfig = "E3V201";
+inline constexpr const char *kNodeCapacityExceeded = "E3V202";
+inline constexpr const char *kBatchOverflow = "E3V203";
+inline constexpr const char *kImpossiblePeSchedule = "E3V204";
+inline constexpr const char *kIoShapeMismatch = "E3V205";
+} // namespace rules
+
+/** "warning" / "error". */
+std::string severityName(Severity severity);
+
+/** One finding per line: "artifact: E3V001 dangling-endpoint ...". */
+std::string formatText(const Report &report);
+
+/** Machine-readable JSON document (the --json output). */
+std::string toJson(const Report &report);
+
+} // namespace e3::verify
+
+#endif // E3_VERIFY_DIAGNOSTICS_HH

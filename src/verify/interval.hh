@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Interval abstract interpretation over compiled networks.
+ *
+ * The verifier's numeric pass propagates [lo, hi] bounds from an
+ * environment's observation space through every aggregation and
+ * activation of a compiled FeedForwardNetwork, yielding a sound static
+ * bound for every value-array slot. "Sound" leans on two facts about
+ * IEEE round-to-nearest: rounding is monotone (so folding the same
+ * +,*,min,max chain over interval endpoints in the runtime's exact
+ * link order bounds the runtime's folds), and activation endpoints are
+ * evaluated with the very applyActivation() the runtime uses, so
+ * monotone activations are bounded bit-exactly. The non-monotone
+ * activations (sin, gauss) are bounded by endpoint + critical-point
+ * analysis, tight to a library ulp.
+ */
+
+#ifndef E3_VERIFY_INTERVAL_HH
+#define E3_VERIFY_INTERVAL_HH
+
+#include <vector>
+
+#include "env/space.hh"
+#include "nn/network.hh"
+
+namespace e3::verify {
+
+/** A closed interval [lo, hi]; lo <= hi for every constructed value. */
+struct Interval
+{
+    double lo = 0.0;
+    double hi = 0.0;
+
+    static Interval point(double v) { return {v, v}; }
+
+    /** Ordered construction from two unordered endpoints. */
+    static Interval of(double a, double b);
+
+    bool contains(double v, double eps = 0.0) const
+    {
+        return v >= lo - eps && v <= hi + eps;
+    }
+
+    /** max(|lo|, |hi|). */
+    double maxAbs() const;
+};
+
+/** [a.lo + b.lo, a.hi + b.hi]. */
+Interval addIntervals(Interval a, Interval b);
+
+/** Shift both endpoints by a constant (the bias add). */
+Interval shiftInterval(Interval v, double c);
+
+/**
+ * Multiply by a constant weight (sign-aware). 0 * x is 0 even for
+ * infinite bounds: runtime values are always finite, so the real-math
+ * identity holds for containment.
+ */
+Interval scaleInterval(Interval v, double w);
+
+/** Interval product (4-corner, 0-safe). */
+Interval mulIntervals(Interval a, Interval b);
+
+/** Bound of max(a, b) over independent variables. */
+Interval maxIntervals(Interval a, Interval b);
+
+/** Bound of min(a, b) over independent variables. */
+Interval minIntervals(Interval a, Interval b);
+
+/**
+ * Bound an aggregation over per-link contribution intervals,
+ * mirroring the runtime Aggregator fold (seed from the first element,
+ * fold in order; empty aggregations yield 0).
+ */
+Interval aggregateInterval(Aggregation agg,
+                           const std::vector<Interval> &contribs);
+
+/** Bound applyActivation(act, x) over x in @p pre. */
+Interval activationInterval(Activation act, Interval pre);
+
+/**
+ * Per-element observation bounds of a space. Box spaces use their
+ * declared low/high; a Discrete space is the single index interval
+ * [0, count - 1].
+ */
+std::vector<Interval> observationIntervals(const Space &space);
+
+/**
+ * Propagate input bounds through a compiled network and bound every
+ * value-array slot: slots [0, numInputs) carry the given input bounds,
+ * each compiled node's slot the bound of its post-activation value.
+ * The result is indexed exactly like FeedForwardNetwork::values(), so
+ * a runtime activation can be checked against its static bound slot
+ * for slot.
+ * @pre inputBounds.size() == net.numInputs()
+ */
+std::vector<Interval>
+networkValueBounds(const FeedForwardNetwork &net,
+                   const std::vector<Interval> &inputBounds);
+
+} // namespace e3::verify
+
+#endif // E3_VERIFY_INTERVAL_HH

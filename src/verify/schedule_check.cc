@@ -1,0 +1,118 @@
+#include "verify/schedule_check.hh"
+
+#include <string>
+
+namespace e3::verify {
+
+Report
+verifyHwConfig(const InaxConfig &cfg)
+{
+    Report report;
+    if (cfg.numPUs == 0) {
+        report.add(makeDiagnostic(rules::kInvalidHwConfig, "numPUs",
+                                  "accelerator needs at least one PU"));
+    }
+    if (cfg.numPEs == 0) {
+        report.add(makeDiagnostic(rules::kInvalidHwConfig, "numPEs",
+                                  "a PU needs at least one PE"));
+    }
+    if (!(cfg.clockMhz > 0.0)) {
+        report.add(makeDiagnostic(rules::kInvalidHwConfig, "clockMhz",
+                                  "fabric clock must be positive"));
+    }
+    if (cfg.weightChannelWidth == 0) {
+        report.add(makeDiagnostic(rules::kInvalidHwConfig,
+                                  "weightChannelWidth",
+                                  "zero-width weight DMA channel"));
+    }
+    if (cfg.ioChannelWidth == 0) {
+        report.add(makeDiagnostic(rules::kInvalidHwConfig,
+                                  "ioChannelWidth",
+                                  "zero-width I/O DMA channel"));
+    }
+    if (!(cfg.activationDensity > 0.0) || cfg.activationDensity > 1.0) {
+        report.add(makeDiagnostic(
+            rules::kInvalidHwConfig, "activationDensity",
+            "activation density must be in (0, 1]"));
+    }
+    return report;
+}
+
+Report
+verifyIndividualCost(const IndividualCost &cost, const InaxConfig &cfg,
+                     size_t numInputs, size_t numOutputs,
+                     const std::string &locus)
+{
+    Report report;
+    const uint64_t peBudget =
+        cost.inferenceCycles * static_cast<uint64_t>(cfg.numPEs);
+    if (cost.peActiveCycles > peBudget) {
+        report.add(makeDiagnostic(
+            rules::kImpossiblePeSchedule, locus,
+            "claimed " + std::to_string(cost.peActiveCycles) +
+                " PE-active cycles but " + std::to_string(cfg.numPEs) +
+                " PEs deliver at most " + std::to_string(peBudget) +
+                " in a " + std::to_string(cost.inferenceCycles) +
+                "-cycle inference window"));
+    }
+    if (numInputs > 0 && cost.numInputs != numInputs) {
+        report.add(makeDiagnostic(
+            rules::kIoShapeMismatch, locus,
+            "individual has " + std::to_string(cost.numInputs) +
+                " inputs but the schedule is sized for " +
+                std::to_string(numInputs)));
+    }
+    if (numOutputs > 0 && cost.numOutputs != numOutputs) {
+        report.add(makeDiagnostic(
+            rules::kIoShapeMismatch, locus,
+            "individual has " + std::to_string(cost.numOutputs) +
+                " outputs but the schedule is sized for " +
+                std::to_string(numOutputs)));
+    }
+    return report;
+}
+
+Report
+verifyBatch(const std::vector<IndividualCost> &costs,
+            const InaxConfig &cfg, size_t numInputs, size_t numOutputs)
+{
+    Report report = verifyHwConfig(cfg);
+    if (report.hasErrors())
+        return report;
+    if (costs.size() > cfg.numPUs) {
+        report.add(makeDiagnostic(
+            rules::kBatchOverflow, "batch",
+            std::to_string(costs.size()) +
+                " individuals in one batch but only " +
+                std::to_string(cfg.numPUs) + " PUs"));
+    }
+    for (size_t i = 0; i < costs.size(); ++i) {
+        report.merge(verifyIndividualCost(
+            costs[i], cfg, numInputs, numOutputs,
+            "individual " + std::to_string(i)));
+    }
+    return report;
+}
+
+Report
+verifyDefOnHardware(const NetworkDef &def, const InaxConfig &cfg,
+                    size_t numInputs, size_t numOutputs)
+{
+    Report report = verifyHwConfig(cfg);
+    if (report.hasErrors())
+        return report; // the cost model fatals on an invalid config
+
+    const FeedForwardNetwork net = FeedForwardNetwork::create(def);
+    if (net.nodeCount() > cfg.maxSupportedNodes) {
+        report.add(makeDiagnostic(
+            rules::kNodeCapacityExceeded, "network",
+            "compiled network has " + std::to_string(net.nodeCount()) +
+                " non-input nodes but the PU buffers support " +
+                std::to_string(cfg.maxSupportedNodes)));
+    }
+    report.merge(verifyIndividualCost(puIndividualCost(def, cfg), cfg,
+                                      numInputs, numOutputs, "network"));
+    return report;
+}
+
+} // namespace e3::verify

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Umbrella header for the e3_verify static analyzer: diagnostics,
+ * structural pass, interval/quantization pass, and INAX schedule
+ * legality, plus the glue binding a GenomeInterface to a registered
+ * environment.
+ */
+
+#ifndef E3_VERIFY_VERIFY_HH
+#define E3_VERIFY_VERIFY_HH
+
+#include "env/env_registry.hh"
+#include "verify/diagnostics.hh"
+#include "verify/interval.hh"
+#include "verify/saturation.hh"
+#include "verify/schedule_check.hh"
+#include "verify/structural.hh"
+
+namespace e3::verify {
+
+/** The interface a genome evolved for @p spec must satisfy. */
+inline GenomeInterface
+interfaceFor(const EnvSpec &spec, bool feedForward = true)
+{
+    GenomeInterface iface;
+    iface.numInputs = spec.numInputs;
+    iface.numOutputs = spec.numOutputs;
+    iface.feedForward = feedForward;
+    return iface;
+}
+
+} // namespace e3::verify
+
+#endif // E3_VERIFY_VERIFY_HH

@@ -322,6 +322,105 @@ TEST(LintRules, PanicAndAssertStayLegalInLibraries)
                     .empty());
 }
 
+// --- E3L009 module-deps ---
+
+TEST(LintLexer, StringTokensKeepTheirText)
+{
+    const auto toks = tokenize("#include \"common/result.hh\"\n");
+    ASSERT_EQ(toks.size(), 2u);
+    EXPECT_EQ(toks[0].kind, TokKind::Directive);
+    EXPECT_EQ(toks[0].text, "include");
+    EXPECT_EQ(toks[1].kind, TokKind::String);
+    EXPECT_EQ(toks[1].text, "common/result.hh");
+}
+
+TEST(LintRules, UpwardModuleIncludeViolates)
+{
+    const auto diags = lint("src/nn/x.cc",
+                            "#include \"e3/platform.hh\"\nint x;\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].ruleId, "E3L009");
+    EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(LintRules, SiblingModuleIncludeViolates)
+{
+    // neat may see nn but never persist (which sits above it).
+    EXPECT_TRUE(hasRule(
+        lint("src/neat/x.cc", "#include \"persist/checkpoint.hh\"\n"),
+        "E3L009"));
+}
+
+TEST(LintRules, DownwardAndSelfIncludesAreClean)
+{
+    EXPECT_TRUE(lint("src/neat/x.cc",
+                     "#include \"common/rng.hh\"\n"
+                     "#include \"nn/network.hh\"\n"
+                     "#include \"neat/genome.hh\"\n")
+                    .empty());
+    EXPECT_TRUE(lint("src/verify/x.cc",
+                     "#include \"neat/genome.hh\"\n"
+                     "#include \"inax/hw_config.hh\"\n")
+                    .empty());
+}
+
+TEST(LintRules, SystemAndNonModuleIncludesAreIgnored)
+{
+    EXPECT_TRUE(lint("src/nn/x.cc",
+                     "#include <vector>\n"
+                     "#include \"somewhere/else.hh\"\n")
+                    .empty());
+}
+
+TEST(LintRules, ModuleDepsOnlyAppliesUnderSrc)
+{
+    EXPECT_TRUE(lint("tools/x.cc", "#include \"e3/platform.hh\"\n")
+                    .empty());
+    EXPECT_TRUE(lint("tests/x.cc", "#include \"e3/platform.hh\"\n")
+                    .empty());
+}
+
+TEST(LintRules, LayeringWaiverHonoured)
+{
+    const auto diags = lint(
+        "src/nn/x.cc",
+        "// e3-lint: layering-ok -- sanctioned exception for the test\n"
+        "#include \"e3/platform.hh\"\n");
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRules, ModuleDepsTableIsAcyclic)
+{
+    // The allow-list must stay a DAG: a module may only allow modules
+    // whose own allow-lists never (transitively) reach back to it.
+    const Policy p = defaultPolicy();
+    for (const char *m :
+         {"common", "obs", "env", "nn", "mlp", "neat", "rl", "inax",
+          "runtime", "verify", "persist", "e3"}) {
+        for (const char *other :
+             {"common", "obs", "env", "nn", "mlp", "neat", "rl",
+              "inax", "runtime", "verify", "persist", "e3"}) {
+            if (std::string(m) == other)
+                continue;
+            const std::string fwd =
+                lint(std::string("src/") + m + "/x.cc",
+                     std::string("#include \"") + other + "/a.hh\"\n")
+                        .empty()
+                    ? "ok"
+                    : "bad";
+            const std::string rev =
+                lint(std::string("src/") + other + "/x.cc",
+                     std::string("#include \"") + m + "/a.hh\"\n")
+                        .empty()
+                    ? "ok"
+                    : "bad";
+            // No pair may be mutually allowed.
+            EXPECT_FALSE(fwd == "ok" && rev == "ok")
+                << m << " <-> " << other;
+        }
+    }
+}
+
 // --- policy mechanics ---
 
 TEST(LintPolicy, LastMatchingDirectiveWins)

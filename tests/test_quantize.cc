@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "e3/synthetic.hh"
+#include "verify/saturation.hh"
 
 namespace e3 {
 namespace {
@@ -124,6 +125,96 @@ TEST(QuantizedNetwork, OutputsAreOnTheGrid)
         std::vector<double>(params.numInputs, 0.33));
     for (double o : out)
         EXPECT_DOUBLE_EQ(o, fmt.quantize(o));
+}
+
+TEST(FixedPointFormat, SaturationEdges)
+{
+    // The exact representable extremes survive quantization; one step
+    // beyond saturates back to them (matching the verifier's
+    // formatClips() definition of "clips" — cross-checked below).
+    const FixedPointFormat q44{8, 4};
+    EXPECT_DOUBLE_EQ(q44.quantize(q44.maxValue()), q44.maxValue());
+    EXPECT_DOUBLE_EQ(q44.quantize(q44.minValue()), q44.minValue());
+    EXPECT_DOUBLE_EQ(q44.quantize(q44.maxValue() + q44.resolution()),
+                     q44.maxValue());
+    EXPECT_DOUBLE_EQ(q44.quantize(q44.minValue() - q44.resolution()),
+                     q44.minValue());
+    // Less than half a step past the edge rounds back inside, not out.
+    EXPECT_DOUBLE_EQ(
+        q44.quantize(q44.maxValue() + 0.4 * q44.resolution()),
+        q44.maxValue());
+}
+
+TEST(FixedPointFormat, SubResolutionValuesVanish)
+{
+    const FixedPointFormat q44{8, 4}; // step 1/16
+    EXPECT_DOUBLE_EQ(q44.quantize(0.03), 0.0);
+    EXPECT_DOUBLE_EQ(q44.quantize(-0.03), 0.0);
+    // Exactly half a step rounds away from zero (round-to-nearest).
+    EXPECT_NE(q44.quantize(0.5 / 16.0), 0.0);
+}
+
+TEST(FixedPointFormat, SignBoundaryRounding)
+{
+    const FixedPointFormat q44{8, 4};
+    // Values straddling zero round toward the nearer grid point and
+    // never flip sign past a full step.
+    EXPECT_DOUBLE_EQ(q44.quantize(0.02), 0.0);
+    EXPECT_DOUBLE_EQ(q44.quantize(-0.05), -1.0 / 16.0);
+    EXPECT_LE(std::fabs(q44.quantize(-1e-9)), 0.0);
+}
+
+TEST(FixedPointFormat, ClipPredicateMatchesQuantizeError)
+{
+    // verify::formatClips(fmt, v) must hold exactly when quantize(v)
+    // moved v by more than rounding alone can (half a step): the
+    // verifier's notion of saturation and the datapath's agree.
+    const FixedPointFormat q44{8, 4};
+    const double halfStep = q44.resolution() / 2.0;
+    for (double v = -10.0; v < 10.0; v += 0.0317) {
+        const bool clipped =
+            std::fabs(q44.quantize(v) - v) > halfStep + 1e-12;
+        EXPECT_EQ(verify::formatClips(q44, v), clipped) << "v=" << v;
+    }
+}
+
+TEST(QuantizedNetwork, StaysInsideVerifierIntervals)
+{
+    // Satellite cross-check: sampled executions of the quantized
+    // network never escape the bounds analyzeQuantization() predicts.
+    Rng rng(8);
+    SyntheticParams params;
+    params.numIndividuals = 1;
+    const auto def = syntheticIrregularNet(params, rng);
+    const FixedPointFormat fmt{16, 8};
+    const std::vector<verify::Interval> inputBounds(
+        params.numInputs, verify::Interval{-1.0, 1.0});
+    const verify::QuantizationAnalysis analysis =
+        verify::analyzeQuantization(def, inputBounds, fmt);
+
+    auto qnet = QuantizedNetwork::create(def, fmt);
+    // Output bounds: postActivation of the nodes owning output slots
+    // is quantized on the way out, so check the quantized interval.
+    Rng inputRng(9);
+    for (int s = 0; s < 50; ++s) {
+        std::vector<double> x(params.numInputs);
+        for (auto &v : x)
+            v = inputRng.uniform(-1.0, 1.0);
+        const auto out = qnet.activate(x);
+        for (size_t i = 0; i < out.size(); ++i) {
+            bool bounded = false;
+            for (const verify::NodeBound &nb : analysis.nodes) {
+                if (nb.id != def.outputIds[i])
+                    continue;
+                const verify::Interval q = verify::quantizeInterval(
+                    fmt, nb.postActivation);
+                EXPECT_TRUE(q.contains(out[i], 1e-9))
+                    << "output " << i << " value " << out[i];
+                bounded = true;
+            }
+            EXPECT_TRUE(bounded);
+        }
+    }
 }
 
 TEST(QuantizedNetworkDeath, WrongArityPanics)

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "neat/mutation.hh"
 
 namespace e3 {
@@ -133,6 +136,103 @@ TEST(Serialize, GarbageIsError)
             .message()
             .find("duplicate node"),
         std::string::npos);
+}
+
+// The load-time structural audit (GenomeLoadMode::Validated, the
+// default): defects the line parser accepts syntactically are rejected
+// with the matching verifier rule ID; Raw mode admits the same text so
+// audit tools can load the artifact and report on it.
+TEST(SerializeAudit, DanglingEndpointRejectedByDefault)
+{
+    const std::string text = "genome 1 nan\n"
+                             "node 0 0.0 sigmoid sum\n"
+                             "conn 7 0 1.0 1\n"
+                             "end\n";
+    Result<Genome> validated = genomeFromString(text);
+    ASSERT_FALSE(validated.ok());
+    EXPECT_NE(validated.message().find("E3V001"), std::string::npos)
+        << validated.message();
+
+    Result<Genome> raw = genomeFromString(text, GenomeLoadMode::Raw);
+    ASSERT_TRUE(raw.ok()) << raw.message();
+    EXPECT_EQ(raw->conns.size(), 1u);
+}
+
+TEST(SerializeAudit, InputDestinationRejectedByDefault)
+{
+    const std::string text = "genome 1 nan\n"
+                             "node 0 0.0 sigmoid sum\n"
+                             "conn 0 -1 1.0 1\n"
+                             "end\n";
+    Result<Genome> validated = genomeFromString(text);
+    ASSERT_FALSE(validated.ok());
+    EXPECT_NE(validated.message().find("E3V002"), std::string::npos);
+    EXPECT_TRUE(genomeFromString(text, GenomeLoadMode::Raw).ok());
+}
+
+TEST(SerializeAudit, NonfiniteParametersRejectedByDefault)
+{
+    const std::string weightText = "genome 1 nan\n"
+                                   "node 0 0.0 sigmoid sum\n"
+                                   "conn -1 0 inf 1\n"
+                                   "end\n";
+    Result<Genome> badWeight = genomeFromString(weightText);
+    ASSERT_FALSE(badWeight.ok());
+    EXPECT_NE(badWeight.message().find("E3V007"), std::string::npos);
+
+    const std::string biasText = "genome 1 nan\n"
+                                 "node 0 nan sigmoid sum\n"
+                                 "conn -1 0 1.0 1\n"
+                                 "end\n";
+    Result<Genome> badBias = genomeFromString(biasText);
+    ASSERT_FALSE(badBias.ok());
+    EXPECT_NE(badBias.message().find("E3V007"), std::string::npos);
+
+    // Raw mode loads them, preserving the non-finite values for the
+    // verifier to diagnose.
+    Result<Genome> raw =
+        genomeFromString(weightText, GenomeLoadMode::Raw);
+    ASSERT_TRUE(raw.ok());
+    EXPECT_TRUE(std::isinf(raw->conns.begin()->second.weight));
+}
+
+TEST(SerializeAudit, DuplicateConnectionKeyIsParseError)
+{
+    // Duplicate keys cannot silently last-write-win: the text format
+    // is rejected in *both* modes (a std::map would have swallowed the
+    // first weight without this check).
+    const std::string text = "genome 1 nan\n"
+                             "node 0 0.0 sigmoid sum\n"
+                             "conn -1 0 1.0 1\n"
+                             "conn -1 0 2.0 1\n"
+                             "end\n";
+    for (GenomeLoadMode mode :
+         {GenomeLoadMode::Validated, GenomeLoadMode::Raw}) {
+        Result<Genome> r = genomeFromString(text, mode);
+        ASSERT_FALSE(r.ok());
+        EXPECT_NE(r.message().find("E3V006"), std::string::npos)
+            << r.message();
+    }
+}
+
+TEST(SerializeAudit, NonfiniteValuesRoundTripThroughSave)
+{
+    Genome g(9);
+    NodeGene node;
+    node.id = 0;
+    node.bias = std::numeric_limits<double>::infinity();
+    g.nodes.emplace(0, node);
+    ConnGene conn;
+    conn.key = {-1, 0};
+    conn.weight = std::numeric_limits<double>::quiet_NaN();
+    g.conns.emplace(conn.key, conn);
+
+    Result<Genome> copy =
+        genomeFromString(genomeToString(g), GenomeLoadMode::Raw);
+    ASSERT_TRUE(copy.ok()) << copy.message();
+    EXPECT_TRUE(std::isinf(copy->nodes.at(0).bias));
+    EXPECT_TRUE(
+        std::isnan(copy->conns.at(ConnKey{-1, 0}).weight));
 }
 
 TEST(SerializeDeath, OrDieWrappersTerminateOnBadInput)

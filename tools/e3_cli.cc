@@ -13,12 +13,22 @@
  *          [--quiet]
  *   e3_cli replay --env pendulum --genome champion.genome
  *          [--episodes 5] [--seed 1]
+ *   e3_cli verify --env pendulum --genome champion.genome [--json]
+ *   e3_cli verify --env pendulum --checkpoint-dir ckpt [--strict]
  *
  * `run` evolves a controller and prints the generation trace; `replay`
  * loads a saved champion and flies fresh episodes with it. --trace
  * records a Chrome trace-event JSON (open in Perfetto or
  * chrome://tracing); --metrics exports the per-generation metrics
  * registry as CSV (or JSON if the path ends in .json).
+ *
+ * `verify` is the offline static analyzer: structural genome rules
+ * (E3V0xx), interval/quantization safety (E3V1xx, with --bits/--frac)
+ * and INAX schedule legality (E3V2xx) over a saved genome or every
+ * snapshot in a checkpoint directory. Exit 0 means clean, 1 means
+ * findings (errors; or any finding under --strict). `run --verify`
+ * gates every decoded network through the structural pass and exits 3
+ * if anything fired.
  */
 
 #include <cstdio>
@@ -35,6 +45,8 @@
 #include "nn/compile.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "persist/checkpoint.hh"
+#include "verify/verify.hh"
 
 using namespace e3;
 
@@ -55,10 +67,10 @@ class Args
             // boolean flag, stored as "1": e.g. --quiet.
             if (i + 1 >= argc ||
                 std::string(argv[i + 1]).rfind("--", 0) == 0) {
-                values_[key] = "1";
+                values_[key] = std::string("1");
                 continue;
             }
-            values_[key] = argv[++i];
+            values_[key] = std::string(argv[++i]);
         }
     }
 
@@ -143,6 +155,7 @@ cmdRun(const Args &args)
     options.threads =
         static_cast<size_t>(args.getInt("threads", 1));
     options.asyncOverlap = args.getInt("async", 0) != 0;
+    options.verifyGenomes = args.getInt("verify", 0) != 0;
 
     const EnvSpec &spec = envSpec(envName);
     InaxConfig inaxCfg = InaxConfig::paperDefault(spec.numOutputs);
@@ -293,6 +306,16 @@ cmdRun(const Args &args)
                     champion.fitness, champion.size().first,
                     champion.size().second, savePath.c_str());
     }
+
+    // The --verify gate: an evolved genome should never produce a
+    // structural error, so any finding outranks the solved/unsolved
+    // exit distinction.
+    if (!result.verifyReport.empty()) {
+        std::fputs(verify::formatText(result.verifyReport).c_str(),
+                   stderr);
+        if (result.verifyReport.hasErrors())
+            return 3;
+    }
     return result.solved ? 0 : 2;
 }
 
@@ -341,6 +364,140 @@ cmdReplay(const Args &args)
     return 0;
 }
 
+/**
+ * Static analyzer front end. One genome file or a whole checkpoint
+ * directory is verified against the environment's interface, the INAX
+ * hardware description, and (optionally) a fixed-point format; every
+ * finding is printed with its stable rule ID. Malformed artifacts
+ * degrade to E3V010 diagnostics — this command never crashes on bad
+ * input, that is its whole point.
+ */
+int
+cmdVerify(const Args &args)
+{
+    const std::string envName = args.get("env", "cartpole");
+    const std::string genomePath = args.get("genome", "");
+    const std::string checkpointDir = args.get("checkpoint-dir", "");
+    const bool recurrent = args.getInt("recurrent", 0) != 0;
+    const long bits = args.getInt("bits", 0);
+    const long frac = args.getInt("frac", 8);
+    const bool json = args.getInt("json", 0) != 0;
+    const bool strict = args.getInt("strict", 0) != 0;
+
+    const EnvSpec &spec = envSpec(envName);
+    InaxConfig inaxCfg = InaxConfig::paperDefault(spec.numOutputs);
+    inaxCfg.numPUs =
+        static_cast<size_t>(args.getInt("pu", inaxCfg.numPUs));
+    inaxCfg.numPEs =
+        static_cast<size_t>(args.getInt("pe", inaxCfg.numPEs));
+    inaxCfg.maxSupportedNodes = static_cast<size_t>(
+        args.getInt("max-nodes", inaxCfg.maxSupportedNodes));
+    args.checkAllUsed();
+
+    if (genomePath.empty() == checkpointDir.empty())
+        e3_fatal("verify needs exactly one of --genome <file> or "
+                 "--checkpoint-dir <dir>");
+
+    std::optional<FixedPointFormat> format;
+    if (bits > 0) {
+        format = FixedPointFormat{static_cast<int>(bits),
+                                  static_cast<int>(frac)};
+        format->validate();
+    }
+    const verify::GenomeInterface iface =
+        verify::interfaceFor(spec, !recurrent);
+    const std::vector<verify::Interval> inputBounds =
+        verify::observationIntervals(spec.make()->observationSpace());
+
+    verify::Report full;
+    size_t artifacts = 0;
+
+    // All three passes over one genome, stamped with its artifact
+    // name. Compile-dependent passes (hardware, quantization) only run
+    // on structurally clean genomes: toNetworkDef/create assert the
+    // invariants the structural pass just reported as diagnostics.
+    const auto verifyOne = [&](const Genome &genome,
+                               const std::string &artifact) {
+        ++artifacts;
+        verify::Report report = verify::verifyGenome(genome, iface);
+        if (!report.hasErrors()) {
+            const NeatConfig cfg = NeatConfig::forTask(
+                spec.numInputs, spec.numOutputs, spec.requiredFitness);
+            const NetworkDef def = genome.toNetworkDef(cfg);
+            report.merge(verify::verifyDefOnHardware(
+                def, inaxCfg, spec.numInputs, spec.numOutputs));
+            if (format && !report.hasErrors()) {
+                verify::QuantizationAnalysis analysis =
+                    verify::analyzeQuantization(def, inputBounds,
+                                                *format);
+                report.merge(std::move(analysis.report));
+                if (!json && analysis.suggestionValid &&
+                    !analysis.guaranteedSafe) {
+                    std::printf("%s: note: minimal safe format at "
+                                "%d fractional bits is %s\n",
+                                artifact.c_str(), format->fracBits,
+                                analysis.suggested.describe().c_str());
+                }
+            }
+        }
+        report.setArtifact(artifact);
+        full.merge(std::move(report));
+    };
+
+    const auto loadFailure = [&](const std::string &artifact,
+                                 const std::string &message) {
+        ++artifacts;
+        verify::Diagnostic d =
+            verify::makeDiagnostic(verify::rules::kLoadError, "", message);
+        d.artifact = artifact;
+        full.add(std::move(d));
+    };
+
+    if (!genomePath.empty()) {
+        Result<Genome> loaded =
+            loadGenomeFile(genomePath, GenomeLoadMode::Raw);
+        if (!loaded.ok())
+            loadFailure(genomePath, loaded.message());
+        else
+            verifyOne(*loaded, genomePath);
+    } else {
+        Result<std::vector<std::pair<int, std::string>>> files =
+            persist::listCheckpointFiles(checkpointDir);
+        if (!files.ok())
+            e3_fatal(files.message());
+        for (const auto &[generation, path] : *files) {
+            Result<std::string> text = readFile(path);
+            if (!text.ok()) {
+                loadFailure(path, text.message());
+                continue;
+            }
+            Result<persist::Checkpoint> ck =
+                persist::checkpointFromString(*text);
+            if (!ck.ok()) {
+                loadFailure(path, ck.message());
+                continue;
+            }
+            for (const auto &[key, genome] : ck->population.genomes)
+                verifyOne(genome,
+                          path + ":genome " + std::to_string(key));
+            if (ck->champion)
+                verifyOne(*ck->champion, path + ":champion");
+        }
+    }
+
+    if (json) {
+        std::fputs(verify::toJson(full).c_str(), stdout);
+    } else {
+        if (!full.empty())
+            std::fputs(verify::formatText(full).c_str(), stdout);
+        std::printf("verify: %zu artifact(s), %zu error(s), "
+                    "%zu warning(s)%s\n",
+                    artifacts, full.errorCount(), full.warningCount(),
+                    full.failed(strict) ? "" : " -- clean");
+    }
+    return full.failed(strict) ? 1 : 0;
+}
+
 void
 usage()
 {
@@ -357,8 +514,14 @@ usage()
         "         [--trace out.json] [--trace-detail phase|task|hw]\n"
         "         [--metrics out.csv|out.json]\n"
         "         [--log-level debug|info|warn|error] [--quiet]\n"
+        "         [--verify]\n"
         "  e3_cli replay --env <name> --genome <file>\n"
-        "         [--episodes N] [--seed N]\n");
+        "         [--episodes N] [--seed N]\n"
+        "  e3_cli verify --env <name>\n"
+        "         (--genome <file> | --checkpoint-dir <dir>)\n"
+        "         [--recurrent] [--bits N] [--frac N]\n"
+        "         [--pu N] [--pe N] [--max-nodes N]\n"
+        "         [--json] [--strict]\n");
 }
 
 } // namespace
@@ -377,6 +540,8 @@ main(int argc, char **argv)
         return cmdRun(Args(argc, argv, 2));
     if (command == "replay")
         return cmdReplay(Args(argc, argv, 2));
+    if (command == "verify")
+        return cmdVerify(Args(argc, argv, 2));
     usage();
     return 1;
 }

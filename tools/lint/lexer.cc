@@ -137,7 +137,11 @@ tokenize(const std::string &src)
             continue;
         }
 
-        // String / char literals with escapes.
+        // String / char literals with escapes. String tokens keep
+        // their (un-unescaped) contents — the module-dependency rule
+        // reads #include paths from them; char literals stay
+        // collapsed. Rules match on TokKind, so a banned identifier
+        // inside a string still never fires.
         if (c == '"' || c == '\'') {
             const char quote = c;
             const int tokLine = line;
@@ -149,9 +153,13 @@ tokenize(const std::string &src)
                     ++line; // tolerate unterminated literals
                 ++j;
             }
+            const size_t contentEnd = j; // closing quote (or n)
             j = j < n ? j + 1 : n;
             push(quote == '"' ? TokKind::String : TokKind::Char,
-                 "<literal>", tokLine);
+                 quote == '"'
+                     ? src.substr(i + 1, contentEnd - (i + 1))
+                     : std::string("<literal>"),
+                 tokLine);
             i = j;
             lineStart = false;
             continue;

@@ -40,7 +40,7 @@ namespace e3::lint {
 enum class TokKind {
     Identifier, ///< [A-Za-z_][A-Za-z0-9_]*
     Number,     ///< integer or floating literal (suffixes included)
-    String,     ///< "..." or R"(...)" (contents collapsed)
+    String,     ///< "..." (verbatim contents) or R"(...)" (collapsed)
     Char,       ///< '...'
     Punct,      ///< single punctuation or multi-char operator
     Directive,  ///< preprocessor keyword: text is e.g. "pragma"

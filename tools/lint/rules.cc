@@ -419,6 +419,112 @@ class NoFatalInLib : public Rule
     }
 };
 
+/**
+ * E3L009 — module dependency layering under src/.
+ *
+ * The build encodes a strict module DAG (common at the bottom, the e3
+ * platform at the top); one stray `#include "e3/..."` from a leaf
+ * module and the layering — and with it, what the verifier may verify
+ * and what neat/nn may know about — silently erodes. The rule reads
+ * every quoted #include in files under src/<module>/ and checks the
+ * included module against an allow-list mirroring the CMake link
+ * graph. Genuinely sanctioned exceptions carry a layering-ok waiver.
+ */
+class ModuleDeps : public Rule
+{
+  public:
+    ModuleDeps()
+        : Rule("E3L009", "module-deps", "layering-ok",
+               "#include crossing the src/ module DAG (e.g. nn "
+               "including e3); depend only on lower layers")
+    {
+    }
+
+    /** Allowed quoted-include targets per src module (self implied). */
+    struct ModuleRule
+    {
+        const char *module;
+        std::vector<const char *> allowed;
+    };
+
+    static const std::vector<ModuleRule> &
+    table()
+    {
+        // Keep in sync with target_link_libraries in src/CMakeLists.txt
+        // and the DAG documented in DESIGN.md §11.
+        static const std::vector<ModuleRule> t = {
+            {"common", {}},
+            {"obs", {"common"}},
+            {"env", {"common", "obs"}},
+            {"nn", {"common"}},
+            {"mlp", {"common"}},
+            {"neat", {"common", "nn", "obs"}},
+            {"rl", {"common", "env", "mlp", "obs"}},
+            {"inax", {"common", "nn", "obs"}},
+            {"runtime", {"common", "env", "obs"}},
+            {"verify", {"common", "env", "inax", "neat", "nn", "obs"}},
+            {"persist", {"common", "neat", "nn", "obs", "verify"}},
+            {"e3",
+             {"common", "env", "inax", "mlp", "neat", "nn", "obs",
+              "persist", "rl", "runtime", "verify"}},
+        };
+        return t;
+    }
+
+    static const ModuleRule *
+    findModule(const std::string &name)
+    {
+        for (const ModuleRule &m : table()) {
+            if (name == m.module)
+                return &m;
+        }
+        return nullptr;
+    }
+
+    void
+    check(const FileContext &ctx, std::vector<Diagnostic> &out) const
+        override
+    {
+        // Only files under src/<module>/ participate; tools, tests,
+        // benches and examples may include anything.
+        if (ctx.path.rfind("src/", 0) != 0)
+            return;
+        const size_t slash = ctx.path.find('/', 4);
+        if (slash == std::string::npos)
+            return;
+        const std::string own = ctx.path.substr(4, slash - 4);
+        const ModuleRule *rule = findModule(own);
+        if (!rule)
+            return; // unknown module: nothing to enforce yet
+
+        for (size_t i = 0; i + 1 < ctx.code.size(); ++i) {
+            const Token &t = ctx.codeTok(i);
+            if (t.kind != TokKind::Directive || t.text != "include")
+                continue;
+            const Token &path = ctx.codeTok(i + 1);
+            if (path.kind != TokKind::String)
+                continue; // <system> includes are not module paths
+            const size_t sep = path.text.find('/');
+            if (sep == std::string::npos)
+                continue;
+            const std::string target = path.text.substr(0, sep);
+            if (target == own || !findModule(target))
+                continue;
+            const bool allowed = std::any_of(
+                rule->allowed.begin(), rule->allowed.end(),
+                [&](const char *a) { return target == a; });
+            if (!allowed) {
+                out.push_back(
+                    diag(ctx, path.line,
+                         "src/" + own + " must not include \"" +
+                             path.text + "\": '" + target +
+                             "' is not among its allowed "
+                             "dependencies"));
+            }
+        }
+    }
+};
+
 } // namespace
 
 const std::vector<std::unique_ptr<Rule>> &
@@ -434,6 +540,7 @@ allRules()
         r.push_back(std::make_unique<NoFloatEq>());
         r.push_back(std::make_unique<HeaderGuard>());
         r.push_back(std::make_unique<NoFatalInLib>());
+        r.push_back(std::make_unique<ModuleDeps>());
         return r;
     }();
     return rules;
