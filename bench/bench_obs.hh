@@ -43,10 +43,13 @@ class BenchObs
                              "' (phase|task|hw)");
             } else if (key == "--metrics") {
                 metricsPath_ = value();
+            } else if (key == "--json") {
+                jsonPath_ = value();
             } else {
                 e3_fatal("unknown option ", key,
                          " (--trace f.json | --trace-detail "
-                         "phase|task|hw | --metrics f.csv)");
+                         "phase|task|hw | --metrics f.csv | "
+                         "--json f.json)");
             }
         }
     }
@@ -88,9 +91,32 @@ class BenchObs
         std::printf("metrics written to %s\n", metricsPath_.c_str());
     }
 
+    bool
+    wantJson() const
+    {
+        return !jsonPath_.empty();
+    }
+
+    /** Write a bench-assembled JSON summary if --json was given. */
+    void
+    writeJson(const std::string &jsonText) const
+    {
+        if (jsonPath_.empty())
+            return;
+        std::ofstream out(jsonPath_);
+        if (!out) {
+            warn("cannot open json file '", jsonPath_,
+                 "' for writing");
+            return;
+        }
+        out << jsonText;
+        std::printf("json written to %s\n", jsonPath_.c_str());
+    }
+
   private:
     std::string tracePath_;
     std::string metricsPath_;
+    std::string jsonPath_;
     obs::TraceDetail detail_ = obs::TraceDetail::Phase;
 };
 

@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "e3/fpga_resources.hh"
 
@@ -22,7 +23,8 @@ void
 addRow(TextTable &table, const std::string &name, const InaxConfig &cfg)
 {
     const FpgaUtilization u = inaxUtilization(cfg);
-    u.checkFits(name);
+    if (Status fits = u.checkFits(name); !fits.ok())
+        e3_fatal(fits.message());
     table.row({name, cfg.describe(), TextTable::pct(u.lut),
                TextTable::pct(u.ff), TextTable::pct(u.bram),
                TextTable::pct(u.dsp)});

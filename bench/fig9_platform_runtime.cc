@@ -111,6 +111,7 @@ main(int argc, char **argv)
     double speedupSum = 0.0;
     size_t count = 0;
     std::vector<std::pair<std::string, obs::MetricsRegistry>> perCell;
+    std::string jsonRows;
     for (const auto &spec : envSuite()) {
         ExperimentOptions o = opt;
         o.maxGenerations = suiteGenerationBudget(spec.name);
@@ -138,6 +139,18 @@ main(int argc, char **argv)
                      TextTable::num(inax.totalSeconds(), 3),
                      TextTable::num(speedup, 1) + "x",
                      TextTable::num(slowdown, 1) + "x"});
+        if (bo.wantJson()) {
+            char row[256];
+            std::snprintf(
+                row, sizeof row,
+                "%s    {\"env\": \"%s\", \"cpu_s\": %.3f, "
+                "\"gpu_s\": %.3f, \"inax_s\": %.4f, "
+                "\"inax_speedup\": %.2f}",
+                jsonRows.empty() ? "" : ",\n", spec.name.c_str(),
+                cpu.totalSeconds(), gpu.totalSeconds(),
+                inax.totalSeconds(), speedup);
+            jsonRows += row;
+        }
 
         // Fig. 9(c): absolute per-function seconds normalized to the
         // CPU baseline's total, so the INAX rows show the "evaluate"
@@ -185,6 +198,17 @@ main(int argc, char **argv)
     runtimeScalingSection();
 
     bo.finishTrace();
+    if (bo.wantJson()) {
+        char summary[128];
+        std::snprintf(summary, sizeof summary,
+                      "  \"average_inax_speedup\": %.2f,\n"
+                      "  \"paper_speedup\": 30.0,\n",
+                      avgSpeedup);
+        bo.writeJson(std::string("{\n  \"bench\": "
+                                 "\"fig9_platform_runtime\",\n") +
+                     summary + "  \"envs\": [\n" + jsonRows +
+                     "\n  ]\n}\n");
+    }
     if (bo.wantMetrics()) {
         std::vector<std::pair<std::string, const obs::MetricsRegistry *>>
             labeled;

@@ -4,8 +4,6 @@
 #include <fstream>
 #include <sstream>
 
-#include "common/logging.hh"
-
 namespace e3 {
 
 namespace {
@@ -22,7 +20,7 @@ trim(const std::string &s)
 
 } // namespace
 
-IniFile
+Result<IniFile>
 IniFile::parse(std::istream &in)
 {
     IniFile ini;
@@ -36,41 +34,38 @@ IniFile::parse(std::istream &in)
             continue;
         if (t.front() == '[') {
             if (t.back() != ']' || t.size() < 3)
-                // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-                e3_fatal("ini line ", lineNo, ": malformed section '",
-                         t, "'");
+                return Status::error("ini line ", lineNo,
+                                     ": malformed section '", t, "'");
             section = trim(t.substr(1, t.size() - 2));
             continue;
         }
         const auto eq = t.find('=');
         if (eq == std::string::npos)
-            // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-            e3_fatal("ini line ", lineNo, ": expected key = value, "
-                     "got '", t, "'");
+            return Status::error("ini line ", lineNo,
+                                 ": expected key = value, got '", t,
+                                 "'");
         const std::string key = trim(t.substr(0, eq));
         const std::string value = trim(t.substr(eq + 1));
         if (key.empty())
-            // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-            e3_fatal("ini line ", lineNo, ": empty key");
+            return Status::error("ini line ", lineNo, ": empty key");
         ini.data_[section][key] = value;
     }
     return ini;
 }
 
-IniFile
+Result<IniFile>
 IniFile::parseString(const std::string &text)
 {
     std::istringstream iss(text);
     return parse(iss);
 }
 
-IniFile
+Result<IniFile>
 IniFile::load(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-        e3_fatal("cannot open config file '", path, "'");
+        return Status::error("cannot open config file '", path, "'");
     return parse(in);
 }
 
@@ -92,7 +87,7 @@ IniFile::get(const std::string &section, const std::string &key,
     return kit == sit->second.end() ? fallback : kit->second;
 }
 
-double
+Result<double>
 IniFile::getDouble(const std::string &section, const std::string &key,
                    double fallback) const
 {
@@ -106,13 +101,12 @@ IniFile::getDouble(const std::string &section, const std::string &key,
             throw std::invalid_argument(v);
         return parsed;
     } catch (const std::exception &) {
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-        e3_fatal("[", section, "] ", key, " = '", v,
-                 "' is not a number");
+        return Status::error("[", section, "] ", key, " = '", v,
+                             "' is not a number");
     }
 }
 
-long
+Result<long>
 IniFile::getInt(const std::string &section, const std::string &key,
                 long fallback) const
 {
@@ -126,13 +120,12 @@ IniFile::getInt(const std::string &section, const std::string &key,
             throw std::invalid_argument(v);
         return parsed;
     } catch (const std::exception &) {
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-        e3_fatal("[", section, "] ", key, " = '", v,
-                 "' is not an integer");
+        return Status::error("[", section, "] ", key, " = '", v,
+                             "' is not an integer");
     }
 }
 
-bool
+Result<bool>
 IniFile::getBool(const std::string &section, const std::string &key,
                  bool fallback) const
 {
@@ -144,9 +137,8 @@ IniFile::getBool(const std::string &section, const std::string &key,
         return true;
     if (v == "false" || v == "0" || v == "no")
         return false;
-    // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-    e3_fatal("[", section, "] ", key, " = '", v,
-             "' is not a boolean");
+    return Status::error("[", section, "] ", key, " = '", v,
+                         "' is not a boolean");
 }
 
 void

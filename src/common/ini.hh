@@ -9,6 +9,10 @@
  *   fitness_threshold = 475.0
  *
  * Sections group keys; values are strings with typed accessors.
+ * Malformed input — an unclosed section header, a line without '=',
+ * a value that fails numeric parsing — is reported as an error value
+ * (Result<T>), never by terminating the process: config files are
+ * user-supplied bytes and the caller decides how to degrade.
  */
 
 #ifndef E3_COMMON_INI_HH
@@ -19,20 +23,24 @@
 #include <set>
 #include <string>
 
+#include "common/result.hh"
+
 namespace e3 {
 
 /** Parsed INI document. */
 class IniFile
 {
   public:
-    /** Parse from a stream; fatal() on malformed lines. */
-    static IniFile parse(std::istream &in);
+    IniFile() = default;
+
+    /** Parse from a stream; malformed lines are an error. */
+    static Result<IniFile> parse(std::istream &in);
 
     /** Parse from a string. */
-    static IniFile parseString(const std::string &text);
+    static Result<IniFile> parseString(const std::string &text);
 
-    /** Load from a file; fatal() if unreadable. */
-    static IniFile load(const std::string &path);
+    /** Load from a file; error if unreadable or malformed. */
+    static Result<IniFile> load(const std::string &path);
 
     /** True if [section] key exists. */
     bool has(const std::string &section, const std::string &key) const;
@@ -41,17 +49,18 @@ class IniFile
     std::string get(const std::string &section, const std::string &key,
                     const std::string &fallback) const;
 
-    /** Double value; fatal() if present but unparsable. */
-    double getDouble(const std::string &section, const std::string &key,
-                     double fallback) const;
+    /** Double value; fallback when absent, error if unparsable. */
+    Result<double> getDouble(const std::string &section,
+                             const std::string &key,
+                             double fallback) const;
 
-    /** Integer value; fatal() if present but unparsable. */
-    long getInt(const std::string &section, const std::string &key,
-                long fallback) const;
+    /** Integer value; fallback when absent, error if unparsable. */
+    Result<long> getInt(const std::string &section,
+                        const std::string &key, long fallback) const;
 
-    /** Boolean value: true/false/1/0/yes/no. */
-    bool getBool(const std::string &section, const std::string &key,
-                 bool fallback) const;
+    /** Boolean value: true/false/1/0/yes/no; error on anything else. */
+    Result<bool> getBool(const std::string &section,
+                         const std::string &key, bool fallback) const;
 
     /** Set (or overwrite) a value. */
     void set(const std::string &section, const std::string &key,

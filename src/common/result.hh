@@ -121,6 +121,17 @@ class [[nodiscard]] Result
     std::optional<T> value_;
 };
 
+/**
+ * Panic unless @p status is ok. For library-internal preconditions:
+ * user input is validated at the boundary with a Status-returning
+ * check, so an invalid value reaching deeper layers is a caller bug.
+ */
+inline void
+assertOk(const Status &status)
+{
+    e3_assert(status.ok(), status.message());
+}
+
 } // namespace e3
 
 #endif // E3_COMMON_RESULT_HH

@@ -137,8 +137,12 @@ runExperiment(const std::string &envName,
 
     E3Platform platform(cfg, std::move(backend).value());
     if (options.neatConfigPath) {
-        NeatConfig layered = loadNeatConfig(*options.neatConfigPath,
-                                            platform.neatConfig());
+        Result<NeatConfig> loaded = loadNeatConfig(
+            *options.neatConfigPath, platform.neatConfig());
+        if (!loaded.ok())
+            // e3-lint: fatal-ok -- *OrDie boundary: config errors end the run
+            e3_fatal(loaded.message());
+        NeatConfig layered = *std::move(loaded);
         // The interface shape is the environment's contract; a config
         // file cannot change it.
         layered.numInputs = spec.numInputs;

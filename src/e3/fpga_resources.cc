@@ -1,7 +1,5 @@
 #include "e3/fpga_resources.hh"
 
-#include "common/logging.hh"
-
 namespace e3 {
 
 namespace {
@@ -36,7 +34,7 @@ zcu104Capacity()
 FpgaResources
 inaxResourceCost(const InaxConfig &cfg)
 {
-    cfg.validate();
+    assertOk(cfg.validate());
     const uint64_t pes =
         static_cast<uint64_t>(cfg.numPUs) * cfg.numPEs;
     FpgaResources r;
@@ -49,15 +47,15 @@ inaxResourceCost(const InaxConfig &cfg)
     return r;
 }
 
-void
+Status
 FpgaUtilization::checkFits(const std::string &designName) const
 {
-    if (lut > 1.0 || ff > 1.0 || bram > 1.0 || dsp > 1.0) {
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-        e3_fatal("design '", designName,
-                 "' exceeds ZCU104 capacity (lut=", lut, ", ff=", ff,
-                 ", bram=", bram, ", dsp=", dsp, ")");
-    }
+    if (lut > 1.0 || ff > 1.0 || bram > 1.0 || dsp > 1.0)
+        return Status::error("design '", designName,
+                             "' exceeds ZCU104 capacity (lut=", lut,
+                             ", ff=", ff, ", bram=", bram,
+                             ", dsp=", dsp, ")");
+    return Status();
 }
 
 FpgaUtilization

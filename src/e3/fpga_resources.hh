@@ -41,8 +41,8 @@ struct FpgaUtilization
     double bram = 0.0;
     double dsp = 0.0;
 
-    /** fatal() if the design does not fit. */
-    void checkFits(const std::string &designName) const;
+    /** Error if the design does not fit. */
+    Status checkFits(const std::string &designName) const;
 };
 
 /** Utilization of an INAX config on the ZCU104. */

@@ -40,7 +40,7 @@ debugVerifyBatch(const std::vector<IndividualCost> &batch,
 
 InaxBackend::InaxBackend(InaxConfig cfg) : cfg_(cfg)
 {
-    cfg_.validate();
+    assertOk(cfg_.validate());
 }
 
 double

@@ -110,14 +110,22 @@ envSuiteExtended()
     return suite;
 }
 
-const EnvSpec &
-envSpec(const std::string &name)
+const EnvSpec *
+findEnvSpec(const std::string &name)
 {
     for (const auto &spec : allSpecs()) {
         if (spec.name == name)
-            return spec;
+            return &spec;
     }
-    // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
+    return nullptr;
+}
+
+const EnvSpec &
+envSpec(const std::string &name)
+{
+    if (const EnvSpec *spec = findEnvSpec(name))
+        return *spec;
+    // e3-lint: fatal-ok -- *OrDie boundary over findEnvSpec for CLI use
     e3_fatal("unknown environment '", name, "'");
 }
 

@@ -60,7 +60,13 @@ const std::vector<EnvSpec> &envSuite();
  */
 const std::vector<EnvSpec> &envSuiteExtended();
 
-/** Look up any registered environment (suite + extras) by name. */
+/**
+ * Look up any registered environment (suite + extras) by name;
+ * nullptr if the name is unknown.
+ */
+const EnvSpec *findEnvSpec(const std::string &name);
+
+/** As findEnvSpec, but fatal() on an unknown name (CLI boundary). */
 const EnvSpec &envSpec(const std::string &name);
 
 /** All registered names. */

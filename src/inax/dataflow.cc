@@ -85,7 +85,7 @@ peakLivePartialSums(const NetworkDef &def)
 DataflowRequirements
 analyzeOutputStationary(const NetworkDef &def, const InaxConfig &cfg)
 {
-    cfg.validate();
+    assertOk(cfg.validate());
     const auto net = FeedForwardNetwork::create(def);
     DataflowRequirements req;
     req.name = "output-stationary";
@@ -103,7 +103,7 @@ analyzeOutputStationary(const NetworkDef &def, const InaxConfig &cfg)
 DataflowRequirements
 analyzeInputStationary(const NetworkDef &def, const InaxConfig &cfg)
 {
-    cfg.validate();
+    assertOk(cfg.validate());
     const auto net = FeedForwardNetwork::create(def);
     const auto egress = egressCounts(def);
 
@@ -133,7 +133,7 @@ analyzeInputStationary(const NetworkDef &def, const InaxConfig &cfg)
 DataflowRequirements
 analyzeWeightStationary(const NetworkDef &def, const InaxConfig &cfg)
 {
-    cfg.validate();
+    assertOk(cfg.validate());
     const auto net = FeedForwardNetwork::create(def);
 
     DataflowRequirements req;

@@ -2,25 +2,20 @@
 
 #include <sstream>
 
-#include "common/logging.hh"
-
 namespace e3 {
 
-void
+Status
 InaxConfig::validate() const
 {
     if (numPUs == 0 || numPEs == 0)
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-        e3_fatal("INAX needs at least one PU and one PE");
+        return Status::error("INAX needs at least one PU and one PE");
     if (clockMhz <= 0.0)
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-        e3_fatal("non-positive INAX clock");
+        return Status::error("non-positive INAX clock");
     if (weightChannelWidth == 0 || ioChannelWidth == 0)
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-        e3_fatal("zero-width DMA channel");
+        return Status::error("zero-width DMA channel");
     if (activationDensity <= 0.0 || activationDensity > 1.0)
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-        e3_fatal("activation density must be in (0, 1]");
+        return Status::error("activation density must be in (0, 1]");
+    return Status();
 }
 
 std::string
@@ -38,7 +33,7 @@ InaxConfig::paperDefault(size_t numOutputs)
     InaxConfig cfg;
     cfg.numPEs = numOutputs > 0 ? numOutputs : 1;
     cfg.numPUs = 50;
-    cfg.validate();
+    assertOk(cfg.validate());
     return cfg;
 }
 

@@ -15,6 +15,8 @@
 #include <cstddef>
 #include <string>
 
+#include "common/result.hh"
+
 namespace e3 {
 
 /** Design-time configuration of the accelerator. */
@@ -64,8 +66,8 @@ struct InaxConfig
     /** Seconds per cycle. */
     double secondsPerCycle() const { return 1e-6 / clockMhz; }
 
-    /** fatal() if any knob is out of range. */
-    void validate() const;
+    /** Error if any knob is out of range. */
+    Status validate() const;
 
     /** One-line description for bench output. */
     std::string describe() const;

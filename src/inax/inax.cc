@@ -40,7 +40,7 @@ InaxReport::merge(const InaxReport &other)
 
 AcceleratorSession::AcceleratorSession(const InaxConfig &cfg) : cfg_(cfg)
 {
-    cfg_.validate();
+    assertOk(cfg_.validate());
 }
 
 void

@@ -8,7 +8,7 @@ namespace e3 {
 IndividualCost
 puIndividualCost(const NetworkDef &def, const InaxConfig &cfg)
 {
-    cfg.validate();
+    assertOk(cfg.validate());
     const auto net = FeedForwardNetwork::create(def);
     const InferenceCost inference = scheduleInference(net, cfg);
 

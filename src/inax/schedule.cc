@@ -32,7 +32,7 @@ scheduleLayer(const std::vector<uint64_t> &nodeCycles, size_t numPEs,
 InferenceCost
 scheduleInference(const FeedForwardNetwork &net, const InaxConfig &cfg)
 {
-    cfg.validate();
+    assertOk(cfg.validate());
     InferenceCost cost;
     for (const auto &layer : net.layers()) {
         std::vector<uint64_t> nodeCycles;
@@ -50,7 +50,7 @@ scheduleInference(
     const std::vector<std::vector<size_t>> &layerInDegrees,
     const InaxConfig &cfg)
 {
-    cfg.validate();
+    assertOk(cfg.validate());
     InferenceCost cost;
     for (const auto &layer : layerInDegrees) {
         std::vector<uint64_t> nodeCycles;

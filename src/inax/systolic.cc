@@ -31,7 +31,7 @@ systolicInferenceCycles(const DenseEquivalent &eq, size_t k,
 IndividualCost
 systolicIndividualCost(const NetworkDef &def, const InaxConfig &cfg)
 {
-    cfg.validate();
+    assertOk(cfg.validate());
     const DenseEquivalent eq = denseEquivalent(def);
     const NetStats stats = computeNetStats(def);
 

@@ -1,6 +1,6 @@
 #include "neat/config.hh"
 
-#include "common/logging.hh"
+#include "common/result.hh"
 
 namespace e3 {
 
@@ -12,22 +12,20 @@ NeatConfig::forTask(size_t numInputs, size_t numOutputs,
     cfg.numInputs = numInputs;
     cfg.numOutputs = numOutputs;
     cfg.fitnessThreshold = fitnessThreshold;
-    cfg.validate();
+    assertOk(cfg.validate());
     return cfg;
 }
 
-void
+Status
 NeatConfig::validate() const
 {
     if (numInputs == 0 || numOutputs == 0)
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-        e3_fatal("NEAT needs at least one input and one output");
+        return Status::error(
+            "NEAT needs at least one input and one output");
     if (populationSize < 2)
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-        e3_fatal("population size must be at least 2");
+        return Status::error("population size must be at least 2");
     if (biasMin > biasMax || weightMin > weightMax)
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-        e3_fatal("inverted bias/weight bounds");
+        return Status::error("inverted bias/weight bounds");
     auto probability = [](double p) { return p >= 0.0 && p <= 1.0; };
     if (!probability(biasMutateRate) || !probability(biasReplaceRate) ||
         !probability(weightMutateRate) ||
@@ -39,14 +37,14 @@ NeatConfig::validate() const
         !probability(nodeAddProb) || !probability(nodeDeleteProb) ||
         !probability(initialConnectionFraction) ||
         !probability(survivalThreshold) || !probability(crossoverRate))
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-        e3_fatal("a NEAT probability parameter is outside [0, 1]");
+        return Status::error(
+            "a NEAT probability parameter is outside [0, 1]");
     if (activationOptions.empty() || aggregationOptions.empty())
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-        e3_fatal("activation/aggregation option lists must be non-empty");
+        return Status::error(
+            "activation/aggregation option lists must be non-empty");
     if (compatibilityThreshold <= 0.0)
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-        e3_fatal("compatibility threshold must be positive");
+        return Status::error("compatibility threshold must be positive");
+    return Status();
 }
 
 } // namespace e3

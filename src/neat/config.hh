@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hh"
 #include "nn/activations.hh"
 #include "nn/aggregations.hh"
 
@@ -98,8 +99,8 @@ struct NeatConfig
     static NeatConfig forTask(size_t numInputs, size_t numOutputs,
                               double fitnessThreshold);
 
-    /** fatal() if any field is out of its valid range. */
-    void validate() const;
+    /** Error if any field is out of its valid range. */
+    Status validate() const;
 };
 
 } // namespace e3

@@ -3,8 +3,6 @@
 #include <set>
 #include <sstream>
 
-#include "common/logging.hh"
-
 namespace e3 {
 
 namespace {
@@ -32,27 +30,33 @@ splitTokens(const std::string &text)
 }
 
 /** Parse a space/comma separated activation list. */
-std::vector<Activation>
+Result<std::vector<Activation>>
 parseActivationList(const std::string &text)
 {
     std::vector<Activation> out;
-    for (const auto &token : splitTokens(text))
-        out.push_back(parseActivation(token));
+    for (const auto &token : splitTokens(text)) {
+        Activation act;
+        if (!tryParseActivation(token, act))
+            return Status::error("unknown activation '", token, "'");
+        out.push_back(act);
+    }
     if (out.empty())
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-        e3_fatal("empty activation list '", text, "'");
+        return Status::error("empty activation list '", text, "'");
     return out;
 }
 
-std::vector<Aggregation>
+Result<std::vector<Aggregation>>
 parseAggregationList(const std::string &text)
 {
     std::vector<Aggregation> out;
-    for (const auto &token : splitTokens(text))
-        out.push_back(parseAggregation(token));
+    for (const auto &token : splitTokens(text)) {
+        Aggregation agg;
+        if (!tryParseAggregation(token, agg))
+            return Status::error("unknown aggregation '", token, "'");
+        out.push_back(agg);
+    }
     if (out.empty())
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-        e3_fatal("empty aggregation list '", text, "'");
+        return Status::error("empty aggregation list '", text, "'");
     return out;
 }
 
@@ -80,34 +84,95 @@ aggregationListToString(const std::vector<Aggregation> &list)
     return out;
 }
 
-void
-rejectUnknownKeys(const IniFile &ini, const std::string &section,
-                  const std::set<std::string> &known)
+/**
+ * Typed reads off an IniFile that latch the first error instead of
+ * forcing a Result check at all ~30 call sites: once a read fails,
+ * later reads return their fallback and the loader reports the latched
+ * Status at the end.
+ */
+class IniReader
 {
-    for (const auto &key : ini.keys(section)) {
-        if (!known.count(key))
-            // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-            e3_fatal("unknown key '", key, "' in [", section, "]");
+  public:
+    explicit IniReader(const IniFile &ini) : ini_(ini) {}
+
+    long
+    getInt(const std::string &section, const char *key, long fallback)
+    {
+        return take(ini_.getInt(section, key, fallback), fallback);
     }
-}
+
+    double
+    getDouble(const std::string &section, const char *key,
+              double fallback)
+    {
+        return take(ini_.getDouble(section, key, fallback), fallback);
+    }
+
+    bool
+    getBool(const std::string &section, const char *key, bool fallback)
+    {
+        return take(ini_.getBool(section, key, fallback), fallback);
+    }
+
+    void
+    rejectUnknownKeys(const std::string &section,
+                      const std::set<std::string> &known)
+    {
+        if (!status_.ok())
+            return;
+        for (const auto &key : ini_.keys(section)) {
+            if (!known.count(key)) {
+                status_ = Status::error("unknown key '", key, "' in [",
+                                        section, "]");
+                return;
+            }
+        }
+    }
+
+    /** Latch @p status if it is the first error. */
+    void
+    note(const Status &status)
+    {
+        if (status_.ok() && !status.ok())
+            status_ = status;
+    }
+
+    const Status &status() const { return status_; }
+
+  private:
+    template <typename T>
+    T
+    take(Result<T> r, T fallback)
+    {
+        if (!r.ok()) {
+            note(r.status());
+            return fallback;
+        }
+        return *r;
+    }
+
+    const IniFile &ini_;
+    Status status_;
+};
 
 } // namespace
 
-NeatConfig
+Result<NeatConfig>
 neatConfigFromIni(const IniFile &ini, const NeatConfig &base)
 {
     NeatConfig cfg = base;
+    IniReader in(ini);
 
-    rejectUnknownKeys(ini, neatSection,
-                      {"pop_size", "fitness_threshold"});
-    cfg.populationSize = static_cast<size_t>(ini.getInt(
+    in.rejectUnknownKeys(neatSection,
+                         {"pop_size", "fitness_threshold"});
+    cfg.populationSize = static_cast<size_t>(in.getInt(
         neatSection, "pop_size",
         static_cast<long>(base.populationSize)));
-    cfg.fitnessThreshold = ini.getDouble(
+    cfg.fitnessThreshold = in.getDouble(
         neatSection, "fitness_threshold", base.fitnessThreshold);
 
-    rejectUnknownKeys(
-        ini, genomeSection,
+    in.rejectUnknownKeys(
+        genomeSection,
         {"num_inputs", "num_outputs", "num_hidden", "feed_forward",
          "bias_init_mean", "bias_init_stdev", "bias_min_value",
          "bias_max_value", "bias_mutate_power", "bias_mutate_rate",
@@ -122,10 +187,10 @@ neatConfigFromIni(const IniFile &ini, const NeatConfig &base)
          "initial_connection_fraction"});
 
     auto gi = [&](const char *key, long fallback) {
-        return ini.getInt(genomeSection, key, fallback);
+        return in.getInt(genomeSection, key, fallback);
     };
     auto gd = [&](const char *key, double fallback) {
-        return ini.getDouble(genomeSection, key, fallback);
+        return in.getDouble(genomeSection, key, fallback);
     };
 
     cfg.numInputs = static_cast<size_t>(
@@ -135,7 +200,7 @@ neatConfigFromIni(const IniFile &ini, const NeatConfig &base)
     cfg.numHidden = static_cast<size_t>(
         gi("num_hidden", static_cast<long>(base.numHidden)));
     cfg.feedForward =
-        ini.getBool(genomeSection, "feed_forward", base.feedForward);
+        in.getBool(genomeSection, "feed_forward", base.feedForward);
 
     cfg.biasInitMean = gd("bias_init_mean", base.biasInitMean);
     cfg.biasInitStdev = gd("bias_init_stdev", base.biasInitStdev);
@@ -160,25 +225,37 @@ neatConfigFromIni(const IniFile &ini, const NeatConfig &base)
         gd("enabled_mutate_rate", base.enabledMutateRate);
 
     if (ini.has(genomeSection, "activation_default")) {
-        cfg.defaultActivation = parseActivation(
-            ini.get(genomeSection, "activation_default", ""));
+        const std::string name =
+            ini.get(genomeSection, "activation_default", "");
+        if (!tryParseActivation(name, cfg.defaultActivation))
+            in.note(Status::error("unknown activation '", name, "'"));
     }
     cfg.activationMutateRate =
         gd("activation_mutate_rate", base.activationMutateRate);
     if (ini.has(genomeSection, "activation_options")) {
-        cfg.activationOptions = parseActivationList(
+        Result<std::vector<Activation>> list = parseActivationList(
             ini.get(genomeSection, "activation_options", ""));
+        if (list.ok())
+            cfg.activationOptions = *std::move(list);
+        else
+            in.note(list.status());
     }
 
     if (ini.has(genomeSection, "aggregation_default")) {
-        cfg.defaultAggregation = parseAggregation(
-            ini.get(genomeSection, "aggregation_default", ""));
+        const std::string name =
+            ini.get(genomeSection, "aggregation_default", "");
+        if (!tryParseAggregation(name, cfg.defaultAggregation))
+            in.note(Status::error("unknown aggregation '", name, "'"));
     }
     cfg.aggregationMutateRate =
         gd("aggregation_mutate_rate", base.aggregationMutateRate);
     if (ini.has(genomeSection, "aggregation_options")) {
-        cfg.aggregationOptions = parseAggregationList(
+        Result<std::vector<Aggregation>> list = parseAggregationList(
             ini.get(genomeSection, "aggregation_options", ""));
+        if (list.ok())
+            cfg.aggregationOptions = *std::move(list);
+        else
+            in.note(list.status());
     }
 
     cfg.connAddProb = gd("conn_add_prob", base.connAddProb);
@@ -188,50 +265,56 @@ neatConfigFromIni(const IniFile &ini, const NeatConfig &base)
     cfg.initialConnectionFraction = gd(
         "initial_connection_fraction", base.initialConnectionFraction);
 
-    rejectUnknownKeys(ini, speciesSection,
-                      {"compatibility_threshold",
-                       "compatibility_disjoint_coefficient",
-                       "compatibility_weight_coefficient"});
+    in.rejectUnknownKeys(speciesSection,
+                         {"compatibility_threshold",
+                          "compatibility_disjoint_coefficient",
+                          "compatibility_weight_coefficient"});
     cfg.compatibilityThreshold =
-        ini.getDouble(speciesSection, "compatibility_threshold",
-                      base.compatibilityThreshold);
-    cfg.compatibilityDisjointCoefficient = ini.getDouble(
+        in.getDouble(speciesSection, "compatibility_threshold",
+                     base.compatibilityThreshold);
+    cfg.compatibilityDisjointCoefficient = in.getDouble(
         speciesSection, "compatibility_disjoint_coefficient",
         base.compatibilityDisjointCoefficient);
-    cfg.compatibilityWeightCoefficient = ini.getDouble(
+    cfg.compatibilityWeightCoefficient = in.getDouble(
         speciesSection, "compatibility_weight_coefficient",
         base.compatibilityWeightCoefficient);
 
-    rejectUnknownKeys(ini, reproSection,
-                      {"elitism", "survival_threshold",
-                       "min_species_size", "crossover_rate"});
-    cfg.elitism = static_cast<size_t>(ini.getInt(
+    in.rejectUnknownKeys(reproSection,
+                         {"elitism", "survival_threshold",
+                          "min_species_size", "crossover_rate"});
+    cfg.elitism = static_cast<size_t>(in.getInt(
         reproSection, "elitism", static_cast<long>(base.elitism)));
-    cfg.survivalThreshold = ini.getDouble(
+    cfg.survivalThreshold = in.getDouble(
         reproSection, "survival_threshold", base.survivalThreshold);
     cfg.minSpeciesSize = static_cast<size_t>(
-        ini.getInt(reproSection, "min_species_size",
-                   static_cast<long>(base.minSpeciesSize)));
-    cfg.crossoverRate = ini.getDouble(reproSection, "crossover_rate",
-                                      base.crossoverRate);
+        in.getInt(reproSection, "min_species_size",
+                  static_cast<long>(base.minSpeciesSize)));
+    cfg.crossoverRate = in.getDouble(reproSection, "crossover_rate",
+                                     base.crossoverRate);
 
-    rejectUnknownKeys(ini, stagnationSection,
-                      {"max_stagnation", "species_elitism"});
+    in.rejectUnknownKeys(stagnationSection,
+                         {"max_stagnation", "species_elitism"});
     cfg.maxStagnation = static_cast<size_t>(
-        ini.getInt(stagnationSection, "max_stagnation",
-                   static_cast<long>(base.maxStagnation)));
+        in.getInt(stagnationSection, "max_stagnation",
+                  static_cast<long>(base.maxStagnation)));
     cfg.speciesElitism = static_cast<size_t>(
-        ini.getInt(stagnationSection, "species_elitism",
-                   static_cast<long>(base.speciesElitism)));
+        in.getInt(stagnationSection, "species_elitism",
+                  static_cast<long>(base.speciesElitism)));
 
-    cfg.validate();
+    if (!in.status().ok())
+        return in.status();
+    if (Status valid = cfg.validate(); !valid.ok())
+        return valid;
     return cfg;
 }
 
-NeatConfig
+Result<NeatConfig>
 loadNeatConfig(const std::string &path, const NeatConfig &base)
 {
-    return neatConfigFromIni(IniFile::load(path), base);
+    Result<IniFile> ini = IniFile::load(path);
+    if (!ini.ok())
+        return ini.status();
+    return neatConfigFromIni(*ini, base);
 }
 
 std::string

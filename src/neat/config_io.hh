@@ -14,28 +14,33 @@
  *   ...
  *
  * Unknown keys are rejected (typos in experiment configs should fail
- * loudly, not silently fall back to defaults).
+ * loudly, not silently fall back to defaults). All load paths report
+ * bad input as an error value — unknown keys, unparsable numbers,
+ * values a NeatConfig::validate() pass rejects — so callers choose
+ * whether to die (the CLI) or degrade.
  */
 
 #ifndef E3_NEAT_CONFIG_IO_HH
 #define E3_NEAT_CONFIG_IO_HH
 
 #include "common/ini.hh"
+#include "common/result.hh"
 #include "neat/config.hh"
 
 namespace e3 {
 
 /**
  * Build a NeatConfig from an INI document, starting from `base` (so
- * callers can layer a file over task defaults). fatal() on unknown
+ * callers can layer a file over task defaults). Error on unknown
  * keys or invalid values.
  */
-NeatConfig neatConfigFromIni(const IniFile &ini,
-                             const NeatConfig &base = NeatConfig{});
+Result<NeatConfig>
+neatConfigFromIni(const IniFile &ini,
+                  const NeatConfig &base = NeatConfig{});
 
-/** Load from a file path. */
-NeatConfig loadNeatConfig(const std::string &path,
-                          const NeatConfig &base = NeatConfig{});
+/** Load from a file path; error if unreadable or invalid. */
+Result<NeatConfig> loadNeatConfig(const std::string &path,
+                                  const NeatConfig &base = NeatConfig{});
 
 /** Serialize a config to INI text (round-trips with the loader). */
 std::string neatConfigToIni(const NeatConfig &cfg);

@@ -13,7 +13,7 @@ Population::Population(const NeatConfig &cfg, uint64_t seed)
       innovation_(static_cast<int>(cfg.numOutputs + cfg.numHidden)),
       reproduction_(rng_.split())
 {
-    cfg_.validate();
+    assertOk(cfg_.validate());
     genomes_ = reproduction_.createNew(cfg_, cfg_.populationSize);
     species_.speciate(genomes_, cfg_, generation_);
 }
@@ -24,7 +24,7 @@ Population::Population(const NeatConfig &cfg,
       innovation_(static_cast<int>(cfg.numOutputs + cfg.numHidden)),
       reproduction_(Rng(0))
 {
-    cfg_.validate();
+    assertOk(cfg_.validate());
     rng_.setState(state.rng);
     innovation_.restore(state.lastNodeId);
     reproduction_.restore(state.reproductionRng, state.genomesCreated);

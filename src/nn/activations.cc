@@ -61,7 +61,7 @@ parseActivation(const std::string &name)
 {
     Activation act;
     if (!tryParseActivation(name, act))
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
+        // e3-lint: fatal-ok -- *OrDie boundary over tryParseActivation
         e3_fatal("unknown activation '", name, "'");
     return act;
 }

@@ -74,7 +74,7 @@ parseAggregation(const std::string &name)
 {
     Aggregation agg;
     if (!tryParseAggregation(name, agg))
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
+        // e3-lint: fatal-ok -- *OrDie boundary over tryParseAggregation
         e3_fatal("unknown aggregation '", name, "'");
     return agg;
 }

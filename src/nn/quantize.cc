@@ -37,17 +37,16 @@ FixedPointFormat::quantize(double v) const
     return std::clamp(scaled, lo, hi) * resolution();
 }
 
-void
+Status
 FixedPointFormat::validate() const
 {
     if (totalBits < 2 || totalBits > 64)
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-        e3_fatal("fixed-point total bits ", totalBits,
-                 " out of range [2, 64]");
+        return Status::error("fixed-point total bits ", totalBits,
+                             " out of range [2, 64]");
     if (fracBits < 0 || fracBits >= totalBits)
-        // e3-lint: fatal-ok -- user-input validation; Result<T> port pending
-        e3_fatal("fractional bits ", fracBits,
-                 " must be in [0, totalBits)");
+        return Status::error("fractional bits ", fracBits,
+                             " must be in [0, totalBits)");
+    return Status();
 }
 
 std::string
@@ -61,7 +60,7 @@ FixedPointFormat::describe() const
 NetworkDef
 quantizeDef(const NetworkDef &def, const FixedPointFormat &format)
 {
-    format.validate();
+    assertOk(format.validate());
     NetworkDef out = def;
     for (auto &node : out.nodes)
         node.bias = format.quantize(node.bias);
@@ -90,7 +89,7 @@ QuantizedNetwork
 QuantizedNetwork::create(const NetworkDef &def,
                          const FixedPointFormat &format)
 {
-    format.validate();
+    assertOk(format.validate());
     return QuantizedNetwork(
         FeedForwardNetwork::create(quantizeDef(def, format)), format);
 }

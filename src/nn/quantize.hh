@@ -14,6 +14,7 @@
 #ifndef E3_NN_QUANTIZE_HH
 #define E3_NN_QUANTIZE_HH
 
+#include "common/result.hh"
 #include "nn/network.hh"
 
 namespace e3 {
@@ -36,8 +37,8 @@ struct FixedPointFormat
     /** Round-to-nearest with saturation. */
     double quantize(double v) const;
 
-    /** fatal() on nonsensical bit allocations. */
-    void validate() const;
+    /** Error on nonsensical bit allocations. */
+    Status validate() const;
 
     /** e.g. "Q7.8". */
     std::string describe() const;

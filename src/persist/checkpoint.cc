@@ -624,6 +624,21 @@ loadLatestCheckpoint(const std::string &dir,
     return Status::error("no usable checkpoint in '", dir, "'");
 }
 
+Result<uint64_t>
+manifestFingerprint(const std::string &dir)
+{
+    const std::string manifestPath = joinPath(dir, kManifestName);
+    Result<std::string> text = readFile(manifestPath);
+    if (!text.ok())
+        return Status::error("no checkpoint manifest in '", dir,
+                             "': ", text.message());
+    Result<Manifest> parsed = parseManifest(text.value());
+    if (!parsed.ok())
+        return Status::error("unreadable manifest '", manifestPath,
+                             "': ", parsed.message());
+    return parsed.value().configHash;
+}
+
 Result<std::vector<std::pair<int, std::string>>>
 listCheckpointFiles(const std::string &dir)
 {

@@ -135,6 +135,14 @@ Result<Checkpoint> loadLatestCheckpoint(const std::string &dir,
                                         uint64_t expectedConfigHash);
 
 /**
+ * Read the configuration fingerprint recorded in @p dir's MANIFEST
+ * without loading any snapshot. This is the stable identity of the
+ * run that produced the directory's champion — the serving layer keys
+ * its compiled-network cache on it.
+ */
+Result<uint64_t> manifestFingerprint(const std::string &dir);
+
+/**
  * Enumerate the snapshot files @p dir's MANIFEST lists, oldest first,
  * as (generation, full path) pairs. Unlike loadLatestCheckpoint this
  * performs no fingerprint or version check — it is the audit-tool

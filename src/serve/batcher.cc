@@ -1,0 +1,136 @@
+#include "serve/batcher.hh"
+
+#include <algorithm>
+
+namespace e3::serve {
+
+Batcher::Batcher(const Options &options, Evaluator evaluator)
+    : options_(options), evaluator_(std::move(evaluator))
+{
+    if (options_.maxBatchSize == 0)
+        options_.maxBatchSize = 1;
+    if (options_.maxQueueDepth == 0)
+        options_.maxQueueDepth = 1;
+    const size_t threads = std::max<size_t>(1, options_.threads);
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+Batcher::~Batcher()
+{
+    drain();
+}
+
+bool
+Batcher::submit(PendingRequest &&pending, StatusCode &reason)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (draining_) {
+            ++stats_.rejectedDraining;
+            reason = StatusCode::Draining;
+            return false;
+        }
+        if (queue_.size() >= options_.maxQueueDepth) {
+            ++stats_.rejectedOverload;
+            reason = StatusCode::Overloaded;
+            return false;
+        }
+        ++stats_.accepted;
+        queue_.push_back(std::move(pending));
+        stats_.queueDepth = queue_.size();
+    }
+    cv_.notify_all();
+    return true;
+}
+
+void
+Batcher::drain()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (draining_ && workers_.empty())
+            return;
+        draining_ = true;
+    }
+    cv_.notify_all();
+    for (auto &worker : workers_) {
+        if (worker.joinable())
+            worker.join();
+    }
+    workers_.clear();
+}
+
+BatcherStats
+Batcher::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+size_t
+Batcher::countFor(uint64_t fingerprint) const
+{
+    size_t n = 0;
+    for (const auto &pending : queue_) {
+        if (pending.request.fingerprint == fingerprint)
+            ++n;
+    }
+    return n;
+}
+
+void
+Batcher::workerLoop()
+{
+    for (;;) {
+        std::vector<PendingRequest> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return draining_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // draining and dry
+
+            // The oldest request pins the group's champion; wait out
+            // the coalescing window for same-champion company unless
+            // the group is already full or the server is draining.
+            const uint64_t fingerprint =
+                queue_.front().request.fingerprint;
+            const auto deadline =
+                queue_.front().enqueued + options_.maxBatchDelay;
+            while (!draining_ &&
+                   countFor(fingerprint) < options_.maxBatchSize &&
+                   std::chrono::steady_clock::now() < deadline) {
+                if (cv_.wait_until(lock, deadline) ==
+                    std::cv_status::timeout)
+                    break;
+            }
+
+            for (auto it = queue_.begin();
+                 it != queue_.end() &&
+                 batch.size() < options_.maxBatchSize;) {
+                if (it->request.fingerprint == fingerprint) {
+                    batch.push_back(std::move(*it));
+                    it = queue_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            // Another worker may have raced us to this group while we
+            // waited out the window; nothing left is not a batch.
+            if (batch.empty())
+                continue;
+            ++stats_.batches;
+            stats_.batchedRequests += batch.size();
+            stats_.maxBatchSize =
+                std::max(stats_.maxBatchSize, batch.size());
+            stats_.queueDepth = queue_.size();
+        }
+        // Other groups may still be runnable; let another worker in.
+        cv_.notify_all();
+        evaluator_(batch);
+    }
+}
+
+} // namespace e3::serve

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Request-coalescing batcher with admission control.
+ *
+ * Incoming inference requests land in one bounded FIFO. Worker threads
+ * pull *groups*: the oldest request pins the champion fingerprint, and
+ * the worker waits up to a bounded window (maxBatchDelay) for more
+ * requests to the same champion before dispatching, up to maxBatchSize
+ * per group. Grouping amortizes the cache lookup and the champion's
+ * eval-mutex acquisition across requests; the window bounds the
+ * latency cost a request can pay for that amortization.
+ *
+ * Admission control: when the queue holds maxQueueDepth requests,
+ * submit() rejects with Overloaded — a retriable condition — instead
+ * of queueing unboundedly. After drain() begins, submissions reject
+ * with Draining and the workers run the queue dry before exiting, so
+ * every accepted request is answered exactly once.
+ *
+ * Batching never changes results: the evaluator activates the network
+ * once per request, and activation is a pure function of (champion
+ * definition, observation) — so a response is bit-identical whether
+ * its request rode alone or in a full group.
+ */
+
+#ifndef E3_SERVE_BATCHER_HH
+#define E3_SERVE_BATCHER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace e3::serve {
+
+/** A queued request plus its completion callback. */
+struct PendingRequest
+{
+    InferRequest request;
+    std::function<void(const InferResponse &)> done;
+    std::chrono::steady_clock::time_point enqueued;
+};
+
+/** Counters the batcher maintains (all monotonic except depth). */
+struct BatcherStats
+{
+    uint64_t accepted = 0;
+    uint64_t rejectedOverload = 0;
+    uint64_t rejectedDraining = 0;
+    uint64_t batches = 0;
+    uint64_t batchedRequests = 0;
+    size_t maxBatchSize = 0;
+    size_t queueDepth = 0;
+};
+
+class Batcher
+{
+  public:
+    struct Options
+    {
+        size_t maxBatchSize = 16;
+        std::chrono::microseconds maxBatchDelay{200};
+        size_t maxQueueDepth = 256;
+        size_t threads = 1;
+    };
+
+    /**
+     * Called on a worker thread with a group of requests that all
+     * share one champion fingerprint. Must invoke every request's
+     * done callback exactly once.
+     */
+    using Evaluator = std::function<void(std::vector<PendingRequest> &)>;
+
+    Batcher(const Options &options, Evaluator evaluator);
+
+    /** Drains and joins (equivalent to drain()). */
+    ~Batcher();
+
+    Batcher(const Batcher &) = delete;
+    Batcher &operator=(const Batcher &) = delete;
+
+    /**
+     * Enqueue a request. On rejection (queue full, or draining) the
+     * request is NOT consumed — @p pending stays intact, @p reason is
+     * set, and false returns so the caller can answer the client
+     * through the still-valid callback.
+     */
+    bool submit(PendingRequest &&pending, StatusCode &reason);
+
+    /**
+     * Stop accepting, run the queue dry, and join the workers.
+     * Idempotent.
+     */
+    void drain();
+
+    BatcherStats stats() const;
+
+  private:
+    void workerLoop();
+
+    /** Queued requests for @p fingerprint (caller holds the lock). */
+    size_t countFor(uint64_t fingerprint) const;
+
+    Options options_;
+    Evaluator evaluator_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<PendingRequest> queue_;
+    bool draining_ = false;
+    BatcherStats stats_;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace e3::serve
+
+#endif // E3_SERVE_BATCHER_HH

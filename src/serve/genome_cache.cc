@@ -1,0 +1,92 @@
+#include "serve/genome_cache.hh"
+
+namespace e3::serve {
+
+std::shared_ptr<CompiledChampion>
+GenomeCache::acquire(uint64_t fingerprint, const NetworkDef &def,
+                     const NetworkCompileOptions &options)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = slots_.find(fingerprint);
+        if (it != slots_.end()) {
+            ++hits_;
+            order_.erase(it->second.pos);
+            order_.push_front(fingerprint);
+            it->second.pos = order_.begin();
+            return it->second.entry;
+        }
+        ++misses_;
+    }
+
+    // Compile outside the cache lock: a large champion's compile must
+    // not stall hits for other champions. A concurrent miss on the
+    // same fingerprint may compile twice; the second insert wins the
+    // slot and the first compilation dies with its batch's reference.
+    auto entry = std::make_shared<CompiledChampion>();
+    entry->fingerprint = fingerprint;
+    entry->net = compileNetwork(def, options);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = slots_.find(fingerprint);
+    if (it != slots_.end()) {
+        order_.erase(it->second.pos);
+        order_.push_front(fingerprint);
+        it->second.pos = order_.begin();
+        return it->second.entry;
+    }
+    order_.push_front(fingerprint);
+    slots_[fingerprint] = Slot{entry, order_.begin()};
+    while (slots_.size() > capacity_) {
+        const uint64_t victim = order_.back();
+        order_.pop_back();
+        slots_.erase(victim);
+        ++evictions_;
+    }
+    return entry;
+}
+
+size_t
+GenomeCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.size();
+}
+
+uint64_t
+GenomeCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+uint64_t
+GenomeCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+uint64_t
+GenomeCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+bool
+GenomeCache::contains(uint64_t fingerprint) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.count(fingerprint) > 0;
+}
+
+void
+GenomeCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_.clear();
+    order_.clear();
+}
+
+} // namespace e3::serve

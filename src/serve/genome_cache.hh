@@ -1,0 +1,93 @@
+/**
+ * @file
+ * LRU cache of compiled champion networks, keyed by the checkpoint
+ * manifest fingerprint.
+ *
+ * The server retains every loaded champion's *definition* (a NetworkDef
+ * is a few KB), but a compiled, executable Network carries layer
+ * structure and a value array, and an edge box serving many champions
+ * cannot keep them all resident. The cache compiles on first use and
+ * evicts least-recently-used entries beyond its capacity; hit/miss/
+ * eviction counters feed the serve metrics.
+ *
+ * Entries are handed out as shared_ptr, so an eviction never pulls a
+ * network out from under a batch that is mid-inference — the batch
+ * keeps its reference and the entry is destroyed when the last user
+ * drops it. Each entry carries its own eval mutex: Network::activate()
+ * mutates internal value storage, so concurrent batches for the same
+ * champion serialize on it (and, activate() being a pure function of
+ * (definition, observation), responses stay bit-identical at any
+ * batch size or thread count).
+ */
+
+#ifndef E3_SERVE_GENOME_CACHE_HH
+#define E3_SERVE_GENOME_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "nn/compile.hh"
+#include "nn/network.hh"
+
+namespace e3::serve {
+
+/** A compiled champion ready to answer observations. */
+struct CompiledChampion
+{
+    uint64_t fingerprint = 0;
+    std::unique_ptr<Network> net;
+    std::mutex evalMutex; ///< serializes activate() calls
+};
+
+/** Thread-safe LRU cache of compiled networks. */
+class GenomeCache
+{
+  public:
+    explicit GenomeCache(size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    /**
+     * Fetch the compiled network for @p fingerprint, compiling
+     * @p def on a miss. The returned entry stays valid even if a
+     * later insertion evicts it from the cache.
+     */
+    std::shared_ptr<CompiledChampion>
+    acquire(uint64_t fingerprint, const NetworkDef &def,
+            const NetworkCompileOptions &options);
+
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+    uint64_t hits() const;
+    uint64_t misses() const;
+    uint64_t evictions() const;
+
+    /** True if @p fingerprint is currently resident (no LRU touch). */
+    bool contains(uint64_t fingerprint) const;
+
+    /** Drop everything (entries in use stay alive via shared_ptr). */
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    size_t capacity_;
+    /** Most-recently-used at the front. */
+    std::list<uint64_t> order_;
+    struct Slot
+    {
+        std::shared_ptr<CompiledChampion> entry;
+        std::list<uint64_t>::iterator pos;
+    };
+    std::unordered_map<uint64_t, Slot> slots_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+};
+
+} // namespace e3::serve
+
+#endif // E3_SERVE_GENOME_CACHE_HH

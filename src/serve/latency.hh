@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Latency sample recorder with percentile extraction.
+ *
+ * The serving loop records one sample per answered request; the bench
+ * and the metrics export ask for p50/p95/p99. Samples are kept exactly
+ * up to a cap, then reservoir-style thinning keeps the memory bounded
+ * on long-running servers while every sample still has a chance to
+ * land (deterministic stride, no RNG — the linter's determinism rules
+ * stay trivially satisfied).
+ */
+
+#ifndef E3_SERVE_LATENCY_HH
+#define E3_SERVE_LATENCY_HH
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace e3::serve {
+
+/** p50/p95/p99 plus extremes, in the recorder's unit (seconds). */
+struct LatencySummary
+{
+    size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/** Thread-safe sample sink. */
+class LatencyRecorder
+{
+  public:
+    explicit LatencyRecorder(size_t maxSamples = 1 << 18)
+        : maxSamples_(maxSamples == 0 ? 1 : maxSamples)
+    {
+    }
+
+    /** Record one latency sample (seconds). */
+    void record(double seconds);
+
+    /** Total samples offered (including thinned-away ones). */
+    size_t count() const;
+
+    /** Summarize what is currently retained. */
+    LatencySummary summarize() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<double> samples_;
+    size_t offered_ = 0;
+    size_t stride_ = 1; ///< keep every stride-th sample once full
+    size_t maxSamples_;
+};
+
+/**
+ * Percentile by linear interpolation over a sorted copy of @p samples
+ * (q in [0, 1]); 0 for an empty set. Exposed for the bench's own
+ * per-connection aggregation.
+ */
+double percentile(std::vector<double> samples, double q);
+
+} // namespace e3::serve
+
+#endif // E3_SERVE_LATENCY_HH

@@ -1,0 +1,239 @@
+#include "serve/protocol.hh"
+
+#include <cstring>
+
+namespace e3::serve {
+
+namespace {
+
+void
+putU32(std::string &out, uint32_t v)
+{
+    char b[4];
+    b[0] = static_cast<char>(v & 0xff);
+    b[1] = static_cast<char>((v >> 8) & 0xff);
+    b[2] = static_cast<char>((v >> 16) & 0xff);
+    b[3] = static_cast<char>((v >> 24) & 0xff);
+    out.append(b, 4);
+}
+
+void
+putU64(std::string &out, uint64_t v)
+{
+    putU32(out, static_cast<uint32_t>(v & 0xffffffffu));
+    putU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void
+putDouble(std::string &out, double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+/** Bounds-checked little-endian reads off a payload. */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &data) : data_(data) {}
+
+    bool
+    u32(uint32_t &out)
+    {
+        if (pos_ + 4 > data_.size())
+            return false;
+        const auto *p =
+            reinterpret_cast<const unsigned char *>(data_.data() + pos_);
+        out = static_cast<uint32_t>(p[0]) |
+              (static_cast<uint32_t>(p[1]) << 8) |
+              (static_cast<uint32_t>(p[2]) << 16) |
+              (static_cast<uint32_t>(p[3]) << 24);
+        pos_ += 4;
+        return true;
+    }
+
+    bool
+    u64(uint64_t &out)
+    {
+        uint32_t lo = 0;
+        uint32_t hi = 0;
+        if (!u32(lo) || !u32(hi))
+            return false;
+        out = static_cast<uint64_t>(lo) |
+              (static_cast<uint64_t>(hi) << 32);
+        return true;
+    }
+
+    bool
+    f64(double &out)
+    {
+        uint64_t bits = 0;
+        if (!u64(bits))
+            return false;
+        std::memcpy(&out, &bits, sizeof(out));
+        return true;
+    }
+
+    bool
+    bytes(size_t n, std::string &out)
+    {
+        if (pos_ + n > data_.size())
+            return false;
+        out.assign(data_, pos_, n);
+        pos_ += n;
+        return true;
+    }
+
+    bool exhausted() const { return pos_ == data_.size(); }
+
+  private:
+    const std::string &data_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "ok";
+      case StatusCode::Overloaded: return "overloaded";
+      case StatusCode::UnknownChampion: return "unknown-champion";
+      case StatusCode::BadRequest: return "bad-request";
+      case StatusCode::Draining: return "draining";
+    }
+    return "invalid-status";
+}
+
+std::string
+encodeRequest(const InferRequest &request)
+{
+    std::string out;
+    out.reserve(24 + request.observation.size() * 8);
+    putU32(out, kInferKind);
+    putU64(out, request.requestId);
+    putU64(out, request.fingerprint);
+    putU32(out, static_cast<uint32_t>(request.observation.size()));
+    for (double v : request.observation)
+        putDouble(out, v);
+    return out;
+}
+
+Result<InferRequest>
+decodeRequest(const std::string &payload)
+{
+    Cursor cur(payload);
+    uint32_t kind = 0;
+    InferRequest request;
+    uint32_t numObs = 0;
+    if (!cur.u32(kind) || !cur.u64(request.requestId) ||
+        !cur.u64(request.fingerprint) || !cur.u32(numObs))
+        return Status::error("truncated request header");
+    if (kind != kInferKind)
+        return Status::error("unknown request kind ", kind);
+    if (numObs > kMaxFrameBytes / 8)
+        return Status::error("implausible observation count ", numObs);
+    request.observation.resize(numObs);
+    for (double &v : request.observation) {
+        if (!cur.f64(v))
+            return Status::error("truncated observation vector");
+    }
+    if (!cur.exhausted())
+        return Status::error("trailing bytes after request");
+    return request;
+}
+
+std::string
+encodeResponse(const InferResponse &response)
+{
+    std::string out;
+    out.reserve(20 + response.action.size() * 8 +
+                response.message.size());
+    putU32(out, static_cast<uint32_t>(response.status));
+    putU64(out, response.requestId);
+    putU32(out, static_cast<uint32_t>(response.action.size()));
+    for (double v : response.action)
+        putDouble(out, v);
+    putU32(out, static_cast<uint32_t>(response.message.size()));
+    out += response.message;
+    return out;
+}
+
+Result<InferResponse>
+decodeResponse(const std::string &payload)
+{
+    Cursor cur(payload);
+    uint32_t status = 0;
+    InferResponse response;
+    uint32_t numActions = 0;
+    if (!cur.u32(status) || !cur.u64(response.requestId) ||
+        !cur.u32(numActions))
+        return Status::error("truncated response header");
+    if (status > static_cast<uint32_t>(StatusCode::Draining))
+        return Status::error("unknown response status ", status);
+    response.status = static_cast<StatusCode>(status);
+    if (numActions > kMaxFrameBytes / 8)
+        return Status::error("implausible action count ", numActions);
+    response.action.resize(numActions);
+    for (double &v : response.action) {
+        if (!cur.f64(v))
+            return Status::error("truncated action vector");
+    }
+    uint32_t msgLen = 0;
+    if (!cur.u32(msgLen) ||
+        !cur.bytes(msgLen, response.message))
+        return Status::error("truncated response message");
+    if (!cur.exhausted())
+        return Status::error("trailing bytes after response");
+    return response;
+}
+
+std::string
+frame(const std::string &payload)
+{
+    std::string out;
+    out.reserve(4 + payload.size());
+    putU32(out, static_cast<uint32_t>(payload.size()));
+    out += payload;
+    return out;
+}
+
+void
+FrameReader::feed(const char *data, size_t size)
+{
+    if (!poisoned_)
+        buffer_.append(data, size);
+}
+
+Result<bool>
+FrameReader::next(std::string &payload)
+{
+    if (poisoned_)
+        return Status::error(poisonReason_);
+    if (buffer_.size() < 4)
+        return false;
+    const auto *p =
+        reinterpret_cast<const unsigned char *>(buffer_.data());
+    const uint32_t len = static_cast<uint32_t>(p[0]) |
+                         (static_cast<uint32_t>(p[1]) << 8) |
+                         (static_cast<uint32_t>(p[2]) << 16) |
+                         (static_cast<uint32_t>(p[3]) << 24);
+    if (len > kMaxFrameBytes) {
+        poisoned_ = true;
+        poisonReason_ = detail::format("frame of ", len,
+                                       " bytes exceeds the ",
+                                       kMaxFrameBytes, "-byte cap");
+        buffer_.clear();
+        return Status::error(poisonReason_);
+    }
+    if (buffer_.size() < 4 + static_cast<size_t>(len))
+        return false;
+    payload.assign(buffer_, 4, len);
+    buffer_.erase(0, 4 + static_cast<size_t>(len));
+    return true;
+}
+
+} // namespace e3::serve

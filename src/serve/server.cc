@@ -1,0 +1,469 @@
+#include "serve/server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <future>
+
+#include "common/logging.hh"
+#include "neat/config.hh"
+#include "obs/trace.hh"
+#include "persist/checkpoint.hh"
+#include "verify/verify.hh"
+
+namespace e3::serve {
+
+/** One accepted TCP client. */
+struct ChampionServer::Connection
+{
+    int fd = -1;
+    std::mutex writeMutex;
+    bool open = true;
+
+    /** Frame and send @p response; drops silently once closed. */
+    void
+    send(const InferResponse &response)
+    {
+        const std::string bytes = frame(encodeResponse(response));
+        std::lock_guard<std::mutex> lock(writeMutex);
+        if (!open)
+            return;
+        size_t sent = 0;
+        while (sent < bytes.size()) {
+            const ssize_t n = ::send(fd, bytes.data() + sent,
+                                     bytes.size() - sent, MSG_NOSIGNAL);
+            if (n <= 0) {
+                open = false;
+                return;
+            }
+            sent += static_cast<size_t>(n);
+        }
+    }
+
+    void
+    shutdownAndClose()
+    {
+        std::lock_guard<std::mutex> lock(writeMutex);
+        if (fd >= 0) {
+            ::shutdown(fd, SHUT_RDWR);
+            open = false;
+        }
+    }
+};
+
+ChampionServer::ChampionServer(const ServeOptions &options)
+    : options_(options),
+      cache_(std::make_unique<GenomeCache>(options.cacheCapacity))
+{
+    Batcher::Options batcherOptions;
+    batcherOptions.maxBatchSize = options.maxBatchSize;
+    batcherOptions.maxBatchDelay = options.maxBatchDelay;
+    batcherOptions.maxQueueDepth = options.maxQueueDepth;
+    batcherOptions.threads = options.threads;
+    batcher_ = std::make_unique<Batcher>(
+        batcherOptions, [this](std::vector<PendingRequest> &batch) {
+            evaluateBatch(batch);
+        });
+}
+
+Result<std::unique_ptr<ChampionServer>>
+ChampionServer::create(const ServeOptions &options)
+{
+    if (options.sources.empty())
+        return Status::error("serve needs at least one champion "
+                             "(checkpoint dir + env)");
+
+    auto server =
+        std::unique_ptr<ChampionServer>(new ChampionServer(options));
+
+    for (const ChampionSource &source : options.sources) {
+        const EnvSpec *spec = findEnvSpec(source.envName);
+        if (!spec)
+            return Status::error("unknown environment '",
+                                 source.envName, "' for champion '",
+                                 source.checkpointDir, "'");
+
+        Result<uint64_t> fingerprint =
+            persist::manifestFingerprint(source.checkpointDir);
+        if (!fingerprint.ok())
+            return fingerprint.status();
+
+        Result<persist::Checkpoint> checkpoint =
+            persist::loadLatestCheckpoint(source.checkpointDir,
+                                          *fingerprint);
+        if (!checkpoint.ok())
+            return Status::error("cannot load champion from '",
+                                 source.checkpointDir,
+                                 "': ", checkpoint.message());
+        if (!checkpoint->champion)
+            return Status::error("checkpoint '", source.checkpointDir,
+                                 "' records no champion genome yet");
+
+        // The verify gate: an uncertified genome is never served.
+        const verify::Report report = verify::verifyGenome(
+            *checkpoint->champion, verify::interfaceFor(*spec));
+        if (report.failed(options.strictVerify))
+            return Status::error(
+                "champion in '", source.checkpointDir,
+                "' failed verification (", report.errorCount(),
+                " errors, ", report.warningCount(),
+                " warnings):\n", verify::formatText(report));
+
+        if (server->findChampion(*fingerprint))
+            return Status::error("duplicate champion fingerprint for '",
+                                 source.checkpointDir, "'");
+
+        const NeatConfig cfg = NeatConfig::forTask(
+            spec->numInputs, spec->numOutputs, spec->requiredFitness);
+
+        ChampionEntry entry;
+        entry.def = checkpoint->champion->toNetworkDef(cfg);
+        entry.info.fingerprint = *fingerprint;
+        entry.info.envName = source.envName;
+        entry.info.checkpointDir = source.checkpointDir;
+        entry.info.numInputs = spec->numInputs;
+        entry.info.numOutputs = spec->numOutputs;
+        entry.info.generation = checkpoint->generation;
+        entry.info.bestFitness = checkpoint->bestFitness;
+        server->entries_.push_back(std::move(entry));
+        server->champions_.push_back(server->entries_.back().info);
+    }
+    return server;
+}
+
+ChampionServer::~ChampionServer()
+{
+    stop();
+}
+
+const ChampionServer::ChampionEntry *
+ChampionServer::findChampion(uint64_t fingerprint) const
+{
+    for (const ChampionEntry &entry : entries_) {
+        if (entry.info.fingerprint == fingerprint)
+            return &entry;
+    }
+    return nullptr;
+}
+
+void
+ChampionServer::submit(const InferRequest &request,
+                       std::function<void(const InferResponse &)> done)
+{
+    {
+        std::lock_guard<std::mutex> lock(countersMutex_);
+        ++counters_.requests;
+    }
+
+    InferResponse reject;
+    reject.requestId = request.requestId;
+
+    const ChampionEntry *entry = findChampion(request.fingerprint);
+    if (!entry) {
+        reject.status = StatusCode::UnknownChampion;
+        reject.message = detail::format("no champion with fingerprint ",
+                                        request.fingerprint);
+        std::lock_guard<std::mutex> lock(countersMutex_);
+        ++counters_.rejectedUnknown;
+    } else if (request.observation.size() != entry->info.numInputs) {
+        reject.status = StatusCode::BadRequest;
+        reject.message = detail::format(
+            "expected ", entry->info.numInputs, " observations for ",
+            entry->info.envName, ", got ", request.observation.size());
+        std::lock_guard<std::mutex> lock(countersMutex_);
+        ++counters_.rejectedBadRequest;
+    } else {
+        PendingRequest pending;
+        pending.request = request;
+        pending.done = std::move(done);
+        pending.enqueued = std::chrono::steady_clock::now();
+        StatusCode reason = StatusCode::Ok;
+        if (batcher_->submit(std::move(pending), reason))
+            return;
+        // Rejection leaves `pending` (and its callback) intact.
+        reject.status = reason;
+        reject.message = reason == StatusCode::Draining
+                             ? "server is draining"
+                             : "queue full, retry later";
+        {
+            std::lock_guard<std::mutex> lock(countersMutex_);
+            if (reason == StatusCode::Draining)
+                ++counters_.rejectedDraining;
+            else
+                ++counters_.rejectedOverload;
+        }
+        pending.done(reject);
+        return;
+    }
+    done(reject);
+}
+
+InferResponse
+ChampionServer::infer(const InferRequest &request)
+{
+    std::promise<InferResponse> promise;
+    std::future<InferResponse> future = promise.get_future();
+    submit(request, [&promise](const InferResponse &response) {
+        promise.set_value(response);
+    });
+    return future.get();
+}
+
+void
+ChampionServer::evaluateBatch(std::vector<PendingRequest> &batch)
+{
+    obs::TraceSpan batchSpan("serve.batch", obs::TraceDetail::Task);
+    const ChampionEntry *entry =
+        findChampion(batch.front().request.fingerprint);
+    // submit() verified the fingerprint before queueing; entries are
+    // immutable after create(), so this lookup cannot fail.
+    e3_assert(entry != nullptr, "batched request for an unknown champion");
+
+    const std::shared_ptr<CompiledChampion> compiled = cache_->acquire(
+        entry->info.fingerprint, entry->def, NetworkCompileOptions{});
+
+    // One activation per request under the champion's eval mutex:
+    // activate() is a pure function of (def, observation), so each
+    // response is bit-identical no matter how requests were grouped.
+    std::lock_guard<std::mutex> evalLock(compiled->evalMutex);
+    for (PendingRequest &pending : batch) {
+        obs::TraceSpan requestSpan("serve.infer",
+                                   obs::TraceDetail::Task);
+        InferResponse response;
+        response.status = StatusCode::Ok;
+        response.requestId = pending.request.requestId;
+        compiled->net->reset();
+        response.action =
+            compiled->net->activate(pending.request.observation);
+
+        const auto now = std::chrono::steady_clock::now();
+        latency_.record(
+            std::chrono::duration<double>(now - pending.enqueued)
+                .count());
+        {
+            std::lock_guard<std::mutex> lock(countersMutex_);
+            ++counters_.ok;
+        }
+        pending.done(response);
+    }
+}
+
+Status
+ChampionServer::listen(uint16_t port)
+{
+    if (listenFd_ >= 0)
+        return Status::error("serve: listen() already called");
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return Status::error("serve: socket(): ",
+                             std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const Status st = Status::error("serve: bind(", port,
+                                        "): ", std::strerror(errno));
+        ::close(fd);
+        return st;
+    }
+    if (::listen(fd, 64) != 0) {
+        const Status st = Status::error("serve: listen(): ",
+                                        std::strerror(errno));
+        ::close(fd);
+        return st;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) !=
+        0) {
+        const Status st = Status::error("serve: getsockname(): ",
+                                        std::strerror(errno));
+        ::close(fd);
+        return st;
+    }
+    listenFd_ = fd;
+    port_ = ntohs(addr.sin_port);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return Status();
+}
+
+void
+ChampionServer::acceptLoop()
+{
+    obs::traceSetThreadName("serve-accept");
+    for (;;) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            return; // listener closed: shutting down
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        if (stopped_) {
+            ::close(fd);
+            return;
+        }
+        connections_.push_back(conn);
+        connectionThreads_.emplace_back(
+            [this, conn] { connectionLoop(conn); });
+    }
+}
+
+void
+ChampionServer::connectionLoop(std::shared_ptr<Connection> conn)
+{
+    obs::traceSetThreadName("serve-conn");
+    FrameReader reader;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        reader.feed(buf, static_cast<size_t>(n));
+        for (;;) {
+            std::string payload;
+            Result<bool> got = reader.next(payload);
+            if (!got.ok()) {
+                // Oversized/garbled framing: answer once, then hang
+                // up — the stream cannot be resynchronized.
+                InferResponse bad;
+                bad.status = StatusCode::BadRequest;
+                bad.message = got.message();
+                {
+                    std::lock_guard<std::mutex> lock(countersMutex_);
+                    ++counters_.protocolErrors;
+                }
+                conn->send(bad);
+                conn->shutdownAndClose();
+                return;
+            }
+            if (!*got)
+                break;
+            Result<InferRequest> request = decodeRequest(payload);
+            if (!request.ok()) {
+                InferResponse bad;
+                bad.status = StatusCode::BadRequest;
+                bad.message = request.message();
+                {
+                    std::lock_guard<std::mutex> lock(countersMutex_);
+                    ++counters_.protocolErrors;
+                }
+                conn->send(bad);
+                continue;
+            }
+            submit(*request, [conn](const InferResponse &response) {
+                conn->send(response);
+            });
+        }
+    }
+    conn->shutdownAndClose();
+}
+
+void
+ChampionServer::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        if (stopped_)
+            return;
+        stopped_ = true;
+    }
+    // Wake and close the listener first so no new connections arrive,
+    // then drain: everything already accepted is answered before the
+    // workers exit, and new submissions answer Draining.
+    if (listenFd_ >= 0) {
+        ::shutdown(listenFd_, SHUT_RDWR);
+        ::close(listenFd_);
+    }
+    batcher_->drain();
+    {
+        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        for (auto &conn : connections_)
+            conn->shutdownAndClose();
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    for (auto &thread : connectionThreads_) {
+        if (thread.joinable())
+            thread.join();
+    }
+    connectionThreads_.clear();
+    {
+        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        for (auto &conn : connections_) {
+            if (conn->fd >= 0)
+                ::close(conn->fd);
+            conn->fd = -1;
+        }
+        connections_.clear();
+    }
+    listenFd_ = -1;
+}
+
+ServerCounters
+ChampionServer::counters() const
+{
+    std::lock_guard<std::mutex> lock(countersMutex_);
+    return counters_;
+}
+
+BatcherStats
+ChampionServer::batcherStats() const
+{
+    return batcher_->stats();
+}
+
+void
+ChampionServer::exportMetrics(obs::MetricsRegistry &registry) const
+{
+    const ServerCounters c = counters();
+    registry.setCounter("serve.requests",
+                        static_cast<double>(c.requests));
+    registry.setCounter("serve.ok", static_cast<double>(c.ok));
+    registry.setCounter("serve.rejected_overload",
+                        static_cast<double>(c.rejectedOverload));
+    registry.setCounter("serve.rejected_unknown",
+                        static_cast<double>(c.rejectedUnknown));
+    registry.setCounter("serve.rejected_bad_request",
+                        static_cast<double>(c.rejectedBadRequest));
+    registry.setCounter("serve.rejected_draining",
+                        static_cast<double>(c.rejectedDraining));
+    registry.setCounter("serve.protocol_errors",
+                        static_cast<double>(c.protocolErrors));
+
+    const BatcherStats b = batcherStats();
+    registry.setCounter("serve.batches",
+                        static_cast<double>(b.batches));
+    registry.setGauge("serve.batch_max",
+                      static_cast<double>(b.maxBatchSize));
+    registry.setGauge("serve.queue_depth",
+                      static_cast<double>(b.queueDepth));
+
+    registry.setCounter("serve.cache.hits",
+                        static_cast<double>(cache_->hits()));
+    registry.setCounter("serve.cache.misses",
+                        static_cast<double>(cache_->misses()));
+    registry.setCounter("serve.cache.evictions",
+                        static_cast<double>(cache_->evictions()));
+    registry.setGauge("serve.cache.resident",
+                      static_cast<double>(cache_->size()));
+
+    const LatencySummary l = latency();
+    registry.setGauge("serve.latency_p50_ms", l.p50 * 1e3);
+    registry.setGauge("serve.latency_p95_ms", l.p95 * 1e3);
+    registry.setGauge("serve.latency_p99_ms", l.p99 * 1e3);
+    registry.setGauge("serve.latency_max_ms", l.max * 1e3);
+}
+
+} // namespace e3::serve

@@ -5,9 +5,25 @@
 namespace e3 {
 namespace {
 
+IniFile
+parseOk(const std::string &text)
+{
+    Result<IniFile> ini = IniFile::parseString(text);
+    EXPECT_TRUE(ini.ok()) << ini.message();
+    return *std::move(ini);
+}
+
+NeatConfig
+fromIniOk(const IniFile &ini, const NeatConfig &base = NeatConfig{})
+{
+    Result<NeatConfig> cfg = neatConfigFromIni(ini, base);
+    EXPECT_TRUE(cfg.ok()) << cfg.message();
+    return *std::move(cfg);
+}
+
 TEST(ConfigIo, LoadsNeatPythonStyleFile)
 {
-    const auto ini = IniFile::parseString(
+    const IniFile ini = parseOk(
         "[NEAT]\n"
         "pop_size = 123\n"
         "fitness_threshold = 475\n"
@@ -25,7 +41,7 @@ TEST(ConfigIo, LoadsNeatPythonStyleFile)
         "crossover_rate = 0.25\n"
         "[DefaultStagnation]\n"
         "max_stagnation = 7\n");
-    const NeatConfig cfg = neatConfigFromIni(ini);
+    const NeatConfig cfg = fromIniOk(ini);
     EXPECT_EQ(cfg.populationSize, 123u);
     EXPECT_DOUBLE_EQ(cfg.fitnessThreshold, 475.0);
     EXPECT_EQ(cfg.numInputs, 4u);
@@ -45,8 +61,8 @@ TEST(ConfigIo, UnsetKeysKeepBaseValues)
 {
     NeatConfig base = NeatConfig::forTask(8, 4, 100.0);
     base.weightMutatePower = 0.123;
-    const auto ini = IniFile::parseString("[NEAT]\npop_size = 50\n");
-    const NeatConfig cfg = neatConfigFromIni(ini, base);
+    const IniFile ini = parseOk("[NEAT]\npop_size = 50\n");
+    const NeatConfig cfg = fromIniOk(ini, base);
     EXPECT_EQ(cfg.populationSize, 50u);
     EXPECT_EQ(cfg.numInputs, 8u);
     EXPECT_DOUBLE_EQ(cfg.weightMutatePower, 0.123);
@@ -55,12 +71,12 @@ TEST(ConfigIo, UnsetKeysKeepBaseValues)
 
 TEST(ConfigIo, AggregationKeys)
 {
-    const auto ini = IniFile::parseString(
+    const IniFile ini = parseOk(
         "[DefaultGenome]\n"
         "aggregation_default = max\n"
         "aggregation_mutate_rate = 0.1\n"
         "aggregation_options = sum max mean\n");
-    const NeatConfig cfg = neatConfigFromIni(ini);
+    const NeatConfig cfg = fromIniOk(ini);
     EXPECT_EQ(cfg.defaultAggregation, Aggregation::Max);
     EXPECT_DOUBLE_EQ(cfg.aggregationMutateRate, 0.1);
     ASSERT_EQ(cfg.aggregationOptions.size(), 3u);
@@ -81,8 +97,7 @@ TEST(ConfigIo, RoundTripsThroughIniText)
     original.crossoverRate = 0.9;
 
     const std::string text = neatConfigToIni(original);
-    const NeatConfig copy =
-        neatConfigFromIni(IniFile::parseString(text));
+    const NeatConfig copy = fromIniOk(parseOk(text));
     EXPECT_EQ(copy.populationSize, original.populationSize);
     EXPECT_DOUBLE_EQ(copy.connAddProb, original.connAddProb);
     EXPECT_EQ(copy.activationOptions, original.activationOptions);
@@ -94,26 +109,49 @@ TEST(ConfigIo, RoundTripsThroughIniText)
                      original.fitnessThreshold);
 }
 
-TEST(ConfigIoDeath, UnknownKeysFatal)
+TEST(ConfigIo, UnknownKeysError)
 {
-    const auto ini = IniFile::parseString(
+    const IniFile ini = parseOk(
         "[DefaultGenome]\nconn_add_probability = 0.5\n");
-    EXPECT_DEATH(neatConfigFromIni(ini), "unknown key");
+    const Result<NeatConfig> cfg = neatConfigFromIni(ini);
+    ASSERT_FALSE(cfg.ok());
+    EXPECT_NE(cfg.message().find("unknown key"), std::string::npos);
 }
 
-TEST(ConfigIoDeath, InvalidValuesFatal)
+TEST(ConfigIo, InvalidValuesError)
 {
-    const auto ini = IniFile::parseString(
+    const IniFile ini = parseOk(
         "[DefaultGenome]\nconn_add_prob = 1.5\n");
     // validate() rejects the out-of-range probability.
-    EXPECT_DEATH(neatConfigFromIni(ini), "probability");
+    const Result<NeatConfig> cfg = neatConfigFromIni(ini);
+    ASSERT_FALSE(cfg.ok());
+    EXPECT_NE(cfg.message().find("probability"), std::string::npos);
 }
 
-TEST(ConfigIoDeath, BadActivationFatal)
+TEST(ConfigIo, BadActivationError)
 {
-    const auto ini = IniFile::parseString(
+    const IniFile ini = parseOk(
         "[DefaultGenome]\nactivation_default = softmax\n");
-    EXPECT_DEATH(neatConfigFromIni(ini), "unknown activation");
+    const Result<NeatConfig> cfg = neatConfigFromIni(ini);
+    ASSERT_FALSE(cfg.ok());
+    EXPECT_NE(cfg.message().find("unknown activation"),
+              std::string::npos);
+}
+
+TEST(ConfigIo, UnparsableNumberError)
+{
+    const IniFile ini = parseOk("[NEAT]\npop_size = many\n");
+    const Result<NeatConfig> cfg = neatConfigFromIni(ini);
+    ASSERT_FALSE(cfg.ok());
+    EXPECT_NE(cfg.message().find("not an integer"), std::string::npos);
+}
+
+TEST(ConfigIo, MissingConfigFileError)
+{
+    const Result<NeatConfig> cfg =
+        loadNeatConfig("/nonexistent/neat.ini");
+    ASSERT_FALSE(cfg.ok());
+    EXPECT_NE(cfg.message().find("cannot open"), std::string::npos);
 }
 
 } // namespace

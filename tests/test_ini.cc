@@ -5,9 +5,17 @@
 namespace e3 {
 namespace {
 
+IniFile
+parseOk(const std::string &text)
+{
+    Result<IniFile> ini = IniFile::parseString(text);
+    EXPECT_TRUE(ini.ok()) << ini.message();
+    return *std::move(ini);
+}
+
 TEST(Ini, ParsesSectionsAndTypes)
 {
-    const auto ini = IniFile::parseString(
+    const IniFile ini = parseOk(
         "# header comment\n"
         "[NEAT]\n"
         "pop_size = 200\n"
@@ -17,37 +25,37 @@ TEST(Ini, ParsesSectionsAndTypes)
         "feed_forward = true\n"
         "name = hello world\n");
     EXPECT_TRUE(ini.has("NEAT", "pop_size"));
-    EXPECT_EQ(ini.getInt("NEAT", "pop_size", 0), 200);
-    EXPECT_DOUBLE_EQ(ini.getDouble("NEAT", "fitness_threshold", 0),
+    EXPECT_EQ(*ini.getInt("NEAT", "pop_size", 0), 200);
+    EXPECT_DOUBLE_EQ(*ini.getDouble("NEAT", "fitness_threshold", 0),
                      475.5);
-    EXPECT_TRUE(ini.getBool("Genome", "feed_forward", false));
+    EXPECT_TRUE(*ini.getBool("Genome", "feed_forward", false));
     EXPECT_EQ(ini.get("Genome", "name", ""), "hello world");
 }
 
 TEST(Ini, FallbacksWhenAbsent)
 {
-    const auto ini = IniFile::parseString("[A]\nx = 1\n");
-    EXPECT_EQ(ini.getInt("A", "missing", 7), 7);
-    EXPECT_EQ(ini.getInt("B", "x", 9), 9);
+    const IniFile ini = parseOk("[A]\nx = 1\n");
+    EXPECT_EQ(*ini.getInt("A", "missing", 7), 7);
+    EXPECT_EQ(*ini.getInt("B", "x", 9), 9);
     EXPECT_FALSE(ini.has("B", "x"));
     EXPECT_TRUE(ini.keys("B").empty());
 }
 
 TEST(Ini, WhitespaceTolerant)
 {
-    const auto ini = IniFile::parseString(
+    const IniFile ini = parseOk(
         "  [ Sec ]  \n   key   =   value with spaces   \n");
     EXPECT_EQ(ini.get("Sec", "key", ""), "value with spaces");
 }
 
 TEST(Ini, BooleanSpellings)
 {
-    const auto ini = IniFile::parseString(
+    const IniFile ini = parseOk(
         "[B]\na = yes\nb = 0\nc = False\nd = TRUE\n");
-    EXPECT_TRUE(ini.getBool("B", "a", false));
-    EXPECT_FALSE(ini.getBool("B", "b", true));
-    EXPECT_FALSE(ini.getBool("B", "c", true));
-    EXPECT_TRUE(ini.getBool("B", "d", false));
+    EXPECT_TRUE(*ini.getBool("B", "a", false));
+    EXPECT_FALSE(*ini.getBool("B", "b", true));
+    EXPECT_FALSE(*ini.getBool("B", "c", true));
+    EXPECT_TRUE(*ini.getBool("B", "d", false));
 }
 
 TEST(Ini, RoundTripThroughStr)
@@ -55,34 +63,53 @@ TEST(Ini, RoundTripThroughStr)
     IniFile ini;
     ini.set("S", "k", "v");
     ini.set("S", "n", "42");
-    const auto copy = IniFile::parseString(ini.str());
+    const IniFile copy = parseOk(ini.str());
     EXPECT_EQ(copy.get("S", "k", ""), "v");
-    EXPECT_EQ(copy.getInt("S", "n", 0), 42);
+    EXPECT_EQ(*copy.getInt("S", "n", 0), 42);
 }
 
-TEST(IniDeath, MalformedLinesFatal)
+TEST(Ini, MalformedLinesError)
 {
-    EXPECT_DEATH(IniFile::parseString("[Sec]\nno equals sign\n"),
-                 "key = value");
-    EXPECT_DEATH(IniFile::parseString("[unclosed\nx = 1\n"),
-                 "section");
-    EXPECT_DEATH(IniFile::parseString("[S]\n= novalue\n"),
-                 "empty key");
+    const Result<IniFile> noEquals =
+        IniFile::parseString("[Sec]\nno equals sign\n");
+    ASSERT_FALSE(noEquals.ok());
+    EXPECT_NE(noEquals.message().find("key = value"),
+              std::string::npos);
+
+    const Result<IniFile> unclosed =
+        IniFile::parseString("[unclosed\nx = 1\n");
+    ASSERT_FALSE(unclosed.ok());
+    EXPECT_NE(unclosed.message().find("section"), std::string::npos);
+
+    const Result<IniFile> emptyKey =
+        IniFile::parseString("[S]\n= novalue\n");
+    ASSERT_FALSE(emptyKey.ok());
+    EXPECT_NE(emptyKey.message().find("empty key"), std::string::npos);
 }
 
-TEST(IniDeath, TypeErrorsFatal)
+TEST(Ini, TypeErrorsReportAsErrors)
 {
-    const auto ini = IniFile::parseString(
-        "[S]\nx = abc\ny = 1.5z\nz = maybe\n");
-    EXPECT_DEATH(ini.getInt("S", "x", 0), "not an integer");
-    EXPECT_DEATH(ini.getDouble("S", "y", 0), "not a number");
-    EXPECT_DEATH(ini.getBool("S", "z", false), "not a boolean");
+    const IniFile ini = parseOk("[S]\nx = abc\ny = 1.5z\nz = maybe\n");
+
+    const Result<long> i = ini.getInt("S", "x", 0);
+    ASSERT_FALSE(i.ok());
+    EXPECT_NE(i.message().find("not an integer"), std::string::npos);
+
+    const Result<double> d = ini.getDouble("S", "y", 0);
+    ASSERT_FALSE(d.ok());
+    EXPECT_NE(d.message().find("not a number"), std::string::npos);
+
+    const Result<bool> b = ini.getBool("S", "z", false);
+    ASSERT_FALSE(b.ok());
+    EXPECT_NE(b.message().find("not a boolean"), std::string::npos);
 }
 
-TEST(IniDeath, MissingFileFatal)
+TEST(Ini, MissingFileErrors)
 {
-    EXPECT_DEATH(IniFile::load("/nonexistent/config.ini"),
-                 "cannot open");
+    const Result<IniFile> ini =
+        IniFile::load("/nonexistent/config.ini");
+    ASSERT_FALSE(ini.ok());
+    EXPECT_NE(ini.message().find("cannot open"), std::string::npos);
 }
 
 } // namespace

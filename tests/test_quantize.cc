@@ -37,12 +37,18 @@ TEST(FixedPointFormat, Saturates)
     EXPECT_DOUBLE_EQ(q44.quantize(-1000.0), q44.minValue());
 }
 
-TEST(FixedPointFormatDeath, BadBitsFatal)
+TEST(FixedPointFormat, BadBitsError)
 {
-    FixedPointFormat bad{8, 9};
-    EXPECT_DEATH(bad.validate(), "fractional bits");
-    FixedPointFormat tiny{1, 0};
-    EXPECT_DEATH(tiny.validate(), "total bits");
+    const FixedPointFormat bad{8, 9};
+    const Status badFrac = bad.validate();
+    ASSERT_FALSE(badFrac.ok());
+    EXPECT_NE(badFrac.message().find("fractional bits"),
+              std::string::npos);
+    const FixedPointFormat tiny{1, 0};
+    const Status badTotal = tiny.validate();
+    ASSERT_FALSE(badTotal.ok());
+    EXPECT_NE(badTotal.message().find("total bits"),
+              std::string::npos);
 }
 
 TEST(QuantizeDef, WeightsAndBiasesLandOnGrid)

@@ -1,0 +1,821 @@
+/**
+ * @file
+ * src/serve: wire-protocol round-trips (including truncated and
+ * oversized frames), LRU cache behavior, admission control under
+ * overload, the verify gate at champion load, the TCP front end, and
+ * the headline guarantee — a response is a pure function of (champion
+ * fingerprint, observation), bit-identical at any batch size, thread
+ * count, or cache state.
+ */
+
+#include "serve/server.hh"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <limits>
+#include <map>
+
+#include "common/fs.hh"
+#include "env/env_registry.hh"
+#include "neat/population.hh"
+#include "persist/checkpoint.hh"
+#include "serve/batcher.hh"
+#include "serve/genome_cache.hh"
+#include "serve/latency.hh"
+#include "serve/protocol.hh"
+
+using namespace e3;
+using namespace e3::serve;
+
+namespace {
+
+/** Fresh, empty scratch directory under the test temp root. */
+std::string
+scratchDir(const std::string &tag)
+{
+    const std::string dir = ::testing::TempDir() + "e3_serve_" + tag;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/** Deterministic stand-in fitness: a pure function of the genome. */
+void
+assignFitness(Population &pop)
+{
+    for (auto &[key, genome] : pop.genomes())
+        genome.fitness = 0.125 * key +
+                         static_cast<double>(genome.nodes.size());
+}
+
+/**
+ * Evolve a tiny population against @p envName's interface and write
+ * its champion as a checkpoint directory the server can load.
+ * @return the directory; the fingerprint is manifestFingerprint(dir).
+ */
+std::string
+championDir(const std::string &envName, const std::string &tag,
+            uint64_t seed = 7)
+{
+    const EnvSpec *spec = findEnvSpec(envName);
+    EXPECT_NE(spec, nullptr) << envName;
+    NeatConfig cfg = NeatConfig::forTask(
+        spec->numInputs, spec->numOutputs, spec->requiredFitness);
+    cfg.populationSize = 16;
+    Population pop(cfg, seed);
+    for (int gen = 0; gen < 3; ++gen) {
+        assignFitness(pop);
+        pop.advance();
+    }
+    assignFitness(pop);
+
+    persist::Checkpoint ck;
+    ck.configHash =
+        persist::fingerprint("serve-test;" + envName + ";" + tag);
+    ck.generation = 3;
+    ck.bestFitness = pop.best().fitness;
+    ck.champion = pop.best();
+    ck.population = pop.saveState();
+
+    const std::string dir = scratchDir(tag);
+    EXPECT_TRUE(persist::writeCheckpoint(dir, ck, 2, nullptr).ok());
+    return dir;
+}
+
+uint64_t
+fingerprintOf(const std::string &dir)
+{
+    Result<uint64_t> fp = persist::manifestFingerprint(dir);
+    EXPECT_TRUE(fp.ok()) << fp.message();
+    return fp.ok() ? *fp : 0;
+}
+
+std::unique_ptr<ChampionServer>
+serverFor(const std::vector<ChampionSource> &sources,
+          size_t cacheCapacity = 8, size_t maxBatchSize = 16,
+          size_t threads = 1)
+{
+    ServeOptions opt;
+    opt.sources = sources;
+    opt.cacheCapacity = cacheCapacity;
+    opt.maxBatchSize = maxBatchSize;
+    opt.threads = threads;
+    Result<std::unique_ptr<ChampionServer>> server =
+        ChampionServer::create(opt);
+    EXPECT_TRUE(server.ok()) << server.message();
+    return server.ok() ? std::move(*server) : nullptr;
+}
+
+std::vector<double>
+observationFor(const std::string &envName, double fill = 0.25)
+{
+    const EnvSpec *spec = findEnvSpec(envName);
+    std::vector<double> obs(spec->numInputs);
+    for (size_t i = 0; i < obs.size(); ++i)
+        obs[i] = fill + 0.0625 * static_cast<double>(i);
+    return obs;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------
+
+TEST(ServeProtocol, RequestRoundTripIsBitExact)
+{
+    InferRequest req;
+    req.requestId = 0x1122334455667788ULL;
+    req.fingerprint = 0xdeadbeefcafef00dULL;
+    // Values chosen to catch any text/precision shortcut: negative
+    // zero, a denormal, and an irrational double must survive bit-for-
+    // bit, not just approximately.
+    req.observation = {-0.0, 5e-324, 1.0 / 3.0, -1e308};
+
+    Result<InferRequest> back = decodeRequest(encodeRequest(req));
+    ASSERT_TRUE(back.ok()) << back.message();
+    EXPECT_EQ(back->requestId, req.requestId);
+    EXPECT_EQ(back->fingerprint, req.fingerprint);
+    ASSERT_EQ(back->observation.size(), req.observation.size());
+    for (size_t i = 0; i < req.observation.size(); ++i) {
+        uint64_t a = 0, b = 0;
+        std::memcpy(&a, &req.observation[i], sizeof a);
+        std::memcpy(&b, &back->observation[i], sizeof b);
+        EXPECT_EQ(a, b) << "observation " << i;
+    }
+}
+
+TEST(ServeProtocol, ResponseRoundTrip)
+{
+    InferResponse resp;
+    resp.status = StatusCode::Overloaded;
+    resp.requestId = 42;
+    resp.action = {0.5, -0.25};
+    resp.message = "queue full";
+
+    Result<InferResponse> back = decodeResponse(encodeResponse(resp));
+    ASSERT_TRUE(back.ok()) << back.message();
+    EXPECT_EQ(back->status, StatusCode::Overloaded);
+    EXPECT_EQ(back->requestId, 42u);
+    EXPECT_EQ(back->action, resp.action);
+    EXPECT_EQ(back->message, "queue full");
+}
+
+TEST(ServeProtocol, TruncatedPayloadIsErrorNotCrash)
+{
+    InferRequest req;
+    req.requestId = 1;
+    req.fingerprint = 2;
+    req.observation = {1.0, 2.0, 3.0};
+    const std::string full = encodeRequest(req);
+    for (size_t cut = 0; cut < full.size(); ++cut)
+        EXPECT_FALSE(decodeRequest(full.substr(0, cut)).ok())
+            << "cut at " << cut;
+
+    // Declared arity larger than the bytes actually present.
+    std::string lying = full;
+    lying[20] = 0x7f; // numObs field (after kind + id + fingerprint)
+    EXPECT_FALSE(decodeRequest(lying).ok());
+
+    EXPECT_FALSE(decodeRequest("").ok());
+    EXPECT_FALSE(decodeResponse("xy").ok());
+}
+
+TEST(ServeProtocol, UnknownKindRejected)
+{
+    InferRequest req;
+    req.observation = {1.0};
+    std::string payload = encodeRequest(req);
+    payload[0] = 9; // not kInferKind
+    EXPECT_FALSE(decodeRequest(payload).ok());
+}
+
+TEST(ServeProtocol, FrameReaderReassemblesByteByByte)
+{
+    InferRequest req;
+    req.requestId = 77;
+    req.fingerprint = 88;
+    req.observation = {0.5, 0.75};
+    const std::string wire =
+        frame(encodeRequest(req)) + frame(encodeRequest(req));
+
+    FrameReader reader;
+    std::vector<std::string> payloads;
+    for (char c : wire) {
+        reader.feed(&c, 1);
+        std::string payload;
+        Result<bool> got = reader.next(payload);
+        ASSERT_TRUE(got.ok()) << got.message();
+        if (*got)
+            payloads.push_back(payload);
+    }
+    ASSERT_EQ(payloads.size(), 2u);
+    EXPECT_EQ(payloads[0], payloads[1]);
+    EXPECT_TRUE(decodeRequest(payloads[0]).ok());
+    EXPECT_EQ(reader.pending(), 0u);
+}
+
+TEST(ServeProtocol, OversizedFramePoisonsStream)
+{
+    // A length header above kMaxFrameBytes must fail before any
+    // allocation and keep failing (no resync inside a byte stream).
+    uint32_t huge = kMaxFrameBytes + 1;
+    char header[4];
+    std::memcpy(header, &huge, 4);
+
+    FrameReader reader;
+    reader.feed(header, 4);
+    std::string payload;
+    EXPECT_FALSE(reader.next(payload).ok());
+    // Still poisoned after more (valid-looking) bytes arrive.
+    const std::string good = frame(encodeRequest(InferRequest{}));
+    reader.feed(good.data(), good.size());
+    EXPECT_FALSE(reader.next(payload).ok());
+}
+
+// ---------------------------------------------------------------------
+// Latency recorder
+// ---------------------------------------------------------------------
+
+TEST(ServeLatency, PercentilesOfKnownDistribution)
+{
+    std::vector<double> samples;
+    for (int i = 1; i <= 100; ++i)
+        samples.push_back(static_cast<double>(i));
+    EXPECT_NEAR(percentile(samples, 0.50), 50.5, 1e-9);
+    EXPECT_NEAR(percentile(samples, 0.0), 1.0, 1e-9);
+    EXPECT_NEAR(percentile(samples, 1.0), 100.0, 1e-9);
+    EXPECT_EQ(percentile({}, 0.5), 0.0);
+
+    LatencyRecorder rec;
+    for (double s : samples)
+        rec.record(s * 1e-3);
+    const LatencySummary sum = rec.summarize();
+    EXPECT_EQ(sum.count, 100u);
+    EXPECT_NEAR(sum.p50, 50.5e-3, 1e-9);
+    EXPECT_NEAR(sum.min, 1e-3, 1e-12);
+    EXPECT_NEAR(sum.max, 100e-3, 1e-12);
+}
+
+TEST(ServeLatency, ThinningKeepsMemoryBounded)
+{
+    LatencyRecorder rec(/*maxSamples=*/64);
+    for (int i = 0; i < 10000; ++i)
+        rec.record(1e-3);
+    EXPECT_EQ(rec.count(), 10000u);
+    const LatencySummary sum = rec.summarize();
+    EXPECT_EQ(sum.count, 10000u); // counts every offered sample
+    // The retained (thinned) set still reproduces the distribution.
+    EXPECT_NEAR(sum.p50, 1e-3, 1e-12);
+    EXPECT_NEAR(sum.min, 1e-3, 1e-12);
+    EXPECT_NEAR(sum.max, 1e-3, 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// LRU genome cache
+// ---------------------------------------------------------------------
+
+namespace {
+
+NetworkDef
+tinyDef(const std::string &envName)
+{
+    const EnvSpec *spec = findEnvSpec(envName);
+    NeatConfig cfg = NeatConfig::forTask(
+        spec->numInputs, spec->numOutputs, spec->requiredFitness);
+    cfg.populationSize = 4;
+    Population pop(cfg, 3);
+    assignFitness(pop);
+    return pop.best().toNetworkDef(cfg);
+}
+
+} // namespace
+
+TEST(ServeCache, LruEvictionOrderAndCounters)
+{
+    const NetworkDef def = tinyDef("cartpole");
+    const NetworkCompileOptions copt;
+    GenomeCache cache(/*capacity=*/2);
+
+    auto a = cache.acquire(1, def, copt);
+    auto b = cache.acquire(2, def, copt);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 0u);
+
+    // Touch 1 so 2 becomes the LRU victim.
+    EXPECT_EQ(cache.acquire(1, def, copt).get(), a.get());
+    EXPECT_EQ(cache.hits(), 1u);
+
+    auto c = cache.acquire(3, def, copt);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(2));
+    EXPECT_TRUE(cache.contains(3));
+
+    // Fingerprint-keyed: re-acquiring an evicted key recompiles.
+    auto b2 = cache.acquire(2, def, copt);
+    EXPECT_NE(b2.get(), b.get());
+    EXPECT_EQ(cache.misses(), 4u);
+
+    // The evicted entry stays usable via its shared_ptr — eviction
+    // must never pull a network out from under a running batch.
+    ASSERT_NE(b->net, nullptr);
+    b->net->reset();
+    const std::vector<double> out =
+        b->net->activate(observationFor("cartpole"));
+    EXPECT_EQ(out.size(), findEnvSpec("cartpole")->numOutputs);
+}
+
+// ---------------------------------------------------------------------
+// Batcher admission control
+// ---------------------------------------------------------------------
+
+TEST(ServeBatcher, OverloadRejectsAndDrainAnswersEverything)
+{
+    // A gated evaluator holds the single worker inside a batch so the
+    // queue backs up deterministically.
+    std::promise<void> gate;
+    std::shared_future<void> gateReached = gate.get_future().share();
+    std::promise<void> release;
+    std::shared_future<void> released = release.get_future().share();
+    std::atomic<int> answered{0};
+
+    Batcher::Options opt;
+    opt.maxBatchSize = 1;
+    opt.maxQueueDepth = 2;
+    opt.threads = 1;
+    Batcher batcher(opt, [&](std::vector<PendingRequest> &batch) {
+        gate.set_value();
+        released.wait();
+        for (PendingRequest &p : batch) {
+            InferResponse resp;
+            resp.requestId = p.request.requestId;
+            p.done(resp);
+        }
+        // Only the first batch holds the gate.
+        gate = std::promise<void>();
+    });
+
+    auto pend = [&](uint64_t id) {
+        PendingRequest p;
+        p.request.requestId = id;
+        p.request.fingerprint = 5;
+        p.done = [&](const InferResponse &) { ++answered; };
+        p.enqueued = std::chrono::steady_clock::now();
+        return p;
+    };
+
+    StatusCode reason = StatusCode::Ok;
+    ASSERT_TRUE(batcher.submit(pend(1), reason));
+    gateReached.wait(); // worker is now stuck inside batch #1
+    ASSERT_TRUE(batcher.submit(pend(2), reason));
+    ASSERT_TRUE(batcher.submit(pend(3), reason));
+    // Queue now holds maxQueueDepth: admission control kicks in.
+    EXPECT_FALSE(batcher.submit(pend(4), reason));
+    EXPECT_EQ(reason, StatusCode::Overloaded);
+    EXPECT_EQ(batcher.stats().rejectedOverload, 1u);
+
+    release.set_value();
+    batcher.drain();
+    // Every accepted request was answered exactly once; the rejected
+    // one was not.
+    EXPECT_EQ(answered.load(), 3);
+    EXPECT_EQ(batcher.stats().accepted, 3u);
+
+    // After drain, submissions reject with Draining.
+    EXPECT_FALSE(batcher.submit(pend(5), reason));
+    EXPECT_EQ(reason, StatusCode::Draining);
+}
+
+// ---------------------------------------------------------------------
+// Champion loading: the verify gate
+// ---------------------------------------------------------------------
+
+TEST(ServeLoad, LoadsVerifiedChampion)
+{
+    const std::string dir = championDir("cartpole", "load_ok");
+    auto server = serverFor({{dir, "cartpole"}});
+    ASSERT_NE(server, nullptr);
+    ASSERT_EQ(server->champions().size(), 1u);
+    const ChampionInfo &info = server->champions()[0];
+    EXPECT_EQ(info.fingerprint, fingerprintOf(dir));
+    EXPECT_EQ(info.envName, "cartpole");
+    EXPECT_EQ(info.numInputs, 4u);
+}
+
+TEST(ServeLoad, RefusesChampionFailingVerify)
+{
+    // A champion wired to input -10, which cartpole (4 inputs) does
+    // not have. The lenient checkpoint-load verification (unknown
+    // interface) accepts it, so the genome reaches the serve gate —
+    // which checks against the env's actual interface (E3V009) and
+    // must refuse to serve it.
+    const EnvSpec *spec = findEnvSpec("cartpole");
+    NeatConfig cfg = NeatConfig::forTask(
+        spec->numInputs, spec->numOutputs, spec->requiredFitness);
+    cfg.populationSize = 8;
+    Population pop(cfg, 5);
+    assignFitness(pop);
+
+    Genome corrupt = pop.best();
+    ConnGene phantom;
+    phantom.key = {-10, 0};
+    phantom.weight = 0.5;
+    corrupt.conns[phantom.key] = phantom;
+
+    persist::Checkpoint ck;
+    ck.configHash = persist::fingerprint("serve-test;bad-verify");
+    ck.generation = 1;
+    ck.champion = corrupt;
+    ck.population = pop.saveState();
+    const std::string dir = scratchDir("load_bad_verify");
+    ASSERT_TRUE(persist::writeCheckpoint(dir, ck, 2, nullptr).ok());
+
+    ServeOptions opt;
+    opt.sources = {{dir, "cartpole"}};
+    Result<std::unique_ptr<ChampionServer>> server =
+        ChampionServer::create(opt);
+    ASSERT_FALSE(server.ok());
+    EXPECT_NE(server.message().find("failed verification"),
+              std::string::npos)
+        << server.message();
+}
+
+TEST(ServeLoad, RefusesCorruptCheckpointDir)
+{
+    const std::string dir = scratchDir("load_corrupt");
+    ASSERT_TRUE(ensureDirectory(dir).ok());
+    ASSERT_TRUE(
+        atomicWriteFile(dir + "/MANIFEST", "not a manifest\n").ok());
+    ServeOptions opt;
+    opt.sources = {{dir, "cartpole"}};
+    EXPECT_FALSE(ChampionServer::create(opt).ok());
+
+    ServeOptions missing;
+    missing.sources = {{scratchDir("never_created"), "cartpole"}};
+    EXPECT_FALSE(ChampionServer::create(missing).ok());
+
+    ServeOptions badEnv;
+    badEnv.sources = {{championDir("cartpole", "load_badenv"),
+                       "no_such_env"}};
+    Result<std::unique_ptr<ChampionServer>> r =
+        ChampionServer::create(badEnv);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.message().find("unknown environment"),
+              std::string::npos);
+}
+
+TEST(ServeLoad, RefusesCheckpointWithoutChampion)
+{
+    NeatConfig cfg = NeatConfig::forTask(4, 1, 1e18);
+    cfg.populationSize = 8;
+    Population pop(cfg, 5);
+    assignFitness(pop);
+    persist::Checkpoint ck;
+    ck.configHash = persist::fingerprint("serve-test;no-champ");
+    ck.population = pop.saveState();
+    const std::string dir = scratchDir("load_no_champion");
+    ASSERT_TRUE(persist::writeCheckpoint(dir, ck, 2, nullptr).ok());
+
+    ServeOptions opt;
+    opt.sources = {{dir, "cartpole"}};
+    Result<std::unique_ptr<ChampionServer>> r =
+        ChampionServer::create(opt);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.message().find("champion"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// In-process request path
+// ---------------------------------------------------------------------
+
+TEST(ServeRequests, OkUnknownAndBadRequest)
+{
+    const std::string dir = championDir("cartpole", "req_basic");
+    auto server = serverFor({{dir, "cartpole"}});
+    ASSERT_NE(server, nullptr);
+    const uint64_t fp = server->champions()[0].fingerprint;
+
+    InferRequest req;
+    req.requestId = 1;
+    req.fingerprint = fp;
+    req.observation = observationFor("cartpole");
+    const InferResponse ok = server->infer(req);
+    EXPECT_EQ(ok.status, StatusCode::Ok);
+    EXPECT_EQ(ok.requestId, 1u);
+    EXPECT_EQ(ok.action.size(),
+              findEnvSpec("cartpole")->numOutputs);
+
+    InferRequest unknown = req;
+    unknown.requestId = 2;
+    unknown.fingerprint = fp + 1;
+    EXPECT_EQ(server->infer(unknown).status,
+              StatusCode::UnknownChampion);
+
+    InferRequest badArity = req;
+    badArity.requestId = 3;
+    badArity.observation.pop_back();
+    EXPECT_EQ(server->infer(badArity).status, StatusCode::BadRequest);
+
+    const ServerCounters counters = server->counters();
+    EXPECT_EQ(counters.requests, 3u);
+    EXPECT_EQ(counters.ok, 1u);
+    EXPECT_EQ(counters.rejectedUnknown, 1u);
+    EXPECT_EQ(counters.rejectedBadRequest, 1u);
+}
+
+TEST(ServeRequests, DrainingAfterStop)
+{
+    const std::string dir = championDir("cartpole", "req_drain");
+    auto server = serverFor({{dir, "cartpole"}});
+    ASSERT_NE(server, nullptr);
+    InferRequest req;
+    req.fingerprint = server->champions()[0].fingerprint;
+    req.observation = observationFor("cartpole");
+    EXPECT_EQ(server->infer(req).status, StatusCode::Ok);
+    server->stop();
+    EXPECT_EQ(server->infer(req).status, StatusCode::Draining);
+}
+
+TEST(ServeRequests, CacheCountersVisibleThroughServer)
+{
+    // Three champions, capacity two: round-robin traffic must evict.
+    const std::string d1 = championDir("cartpole", "cache_1", 11);
+    const std::string d2 = championDir("pendulum", "cache_2", 12);
+    const std::string d3 = championDir("mountain_car", "cache_3", 13);
+    auto server = serverFor(
+        {{d1, "cartpole"}, {d2, "pendulum"}, {d3, "mountain_car"}},
+        /*cacheCapacity=*/2);
+    ASSERT_NE(server, nullptr);
+
+    auto ask = [&](size_t which) {
+        const ChampionInfo &info = server->champions()[which];
+        InferRequest req;
+        req.fingerprint = info.fingerprint;
+        req.observation = observationFor(info.envName);
+        EXPECT_EQ(server->infer(req).status, StatusCode::Ok)
+            << info.envName;
+    };
+    for (int round = 0; round < 2; ++round)
+        for (size_t which = 0; which < 3; ++which)
+            ask(which);
+
+    EXPECT_GE(server->cache().evictions(), 1u);
+    EXPECT_GE(server->cache().misses(), 3u);
+    EXPECT_LE(server->cache().size(), 2u);
+    EXPECT_EQ(server->counters().ok, 6u);
+    EXPECT_GE(server->latency().count, 6u);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: the acceptance criterion
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Bit patterns of an action vector, for exact comparison. */
+std::vector<uint64_t>
+bits(const std::vector<double> &action)
+{
+    std::vector<uint64_t> out(action.size());
+    for (size_t i = 0; i < action.size(); ++i)
+        std::memcpy(&out[i], &action[i], sizeof(uint64_t));
+    return out;
+}
+
+} // namespace
+
+TEST(ServeDeterminism, BitIdenticalAcrossBatchSizeAndThreads)
+{
+    const std::string dir = championDir("cartpole", "det", 17);
+    const uint64_t fp = fingerprintOf(dir);
+
+    // Distinct observations, each with a reference action from the
+    // simplest possible configuration (batch=1, one thread).
+    std::vector<std::vector<double>> observations;
+    for (int k = 0; k < 8; ++k)
+        observations.push_back(
+            observationFor("cartpole", 0.1 * k - 0.3));
+
+    std::map<size_t, std::vector<uint64_t>> reference;
+    {
+        auto server = serverFor({{dir, "cartpole"}},
+                                /*cache=*/8, /*batch=*/1,
+                                /*threads=*/1);
+        ASSERT_NE(server, nullptr);
+        for (size_t i = 0; i < observations.size(); ++i) {
+            InferRequest req;
+            req.requestId = i;
+            req.fingerprint = fp;
+            req.observation = observations[i];
+            const InferResponse resp = server->infer(req);
+            ASSERT_EQ(resp.status, StatusCode::Ok);
+            reference[i] = bits(resp.action);
+        }
+    }
+
+    // Now hammer the same observations through aggressive batching and
+    // multiple workers, many times each, asynchronously.
+    for (size_t batch : {4u, 16u}) {
+        for (size_t threads : {2u, 4u}) {
+            auto server = serverFor({{dir, "cartpole"}},
+                                    /*cache=*/8, batch, threads);
+            ASSERT_NE(server, nullptr);
+
+            const size_t repeats = 20;
+            const size_t total = observations.size() * repeats;
+            std::vector<InferResponse> responses(total);
+            std::atomic<size_t> doneCount{0};
+            std::promise<void> allDone;
+            for (size_t r = 0; r < repeats; ++r) {
+                for (size_t i = 0; i < observations.size(); ++i) {
+                    const size_t slot = r * observations.size() + i;
+                    InferRequest req;
+                    req.requestId = slot;
+                    req.fingerprint = fp;
+                    req.observation = observations[i];
+                    server->submit(
+                        req, [&, slot](const InferResponse &resp) {
+                            responses[slot] = resp;
+                            if (++doneCount == total)
+                                allDone.set_value();
+                        });
+                }
+            }
+            allDone.get_future().wait();
+
+            for (size_t slot = 0; slot < total; ++slot) {
+                const size_t i = slot % observations.size();
+                ASSERT_EQ(responses[slot].status, StatusCode::Ok)
+                    << "batch=" << batch << " threads=" << threads;
+                EXPECT_EQ(bits(responses[slot].action), reference[i])
+                    << "batch=" << batch << " threads=" << threads
+                    << " observation " << i;
+            }
+            EXPECT_GE(server->batcherStats().batches, 1u);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP front end
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Minimal blocking client: one framed request, one framed response. */
+class TestClient
+{
+  public:
+    explicit TestClient(uint16_t port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd_, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        EXPECT_EQ(::connect(fd_,
+                            reinterpret_cast<sockaddr *>(&addr),
+                            sizeof addr),
+                  0)
+            << strerror(errno);
+    }
+
+    ~TestClient()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    void
+    sendRaw(const std::string &bytes)
+    {
+        size_t off = 0;
+        while (off < bytes.size()) {
+            const ssize_t n = ::send(fd_, bytes.data() + off,
+                                     bytes.size() - off, 0);
+            ASSERT_GT(n, 0);
+            off += static_cast<size_t>(n);
+        }
+    }
+
+    /** Read one response frame; empty optional on peer hangup. */
+    Result<InferResponse>
+    readResponse()
+    {
+        char buf[4096];
+        while (true) {
+            std::string payload;
+            Result<bool> got = reader_.next(payload);
+            if (!got.ok())
+                return Status::error("poisoned: ", got.message());
+            if (*got)
+                return decodeResponse(payload);
+            const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+            if (n <= 0)
+                return Status::error("connection closed");
+            reader_.feed(buf, static_cast<size_t>(n));
+        }
+    }
+
+    Result<InferResponse>
+    roundTrip(const InferRequest &req)
+    {
+        sendRaw(frame(encodeRequest(req)));
+        return readResponse();
+    }
+
+  private:
+    int fd_ = -1;
+    FrameReader reader_;
+};
+
+} // namespace
+
+TEST(ServeTcp, RoundTripMatchesInProcess)
+{
+    const std::string dir = championDir("cartpole", "tcp", 23);
+    auto server = serverFor({{dir, "cartpole"}});
+    ASSERT_NE(server, nullptr);
+    ASSERT_TRUE(server->listen(0).ok());
+    ASSERT_NE(server->port(), 0);
+
+    InferRequest req;
+    req.requestId = 9;
+    req.fingerprint = server->champions()[0].fingerprint;
+    req.observation = observationFor("cartpole");
+    const InferResponse local = server->infer(req);
+    ASSERT_EQ(local.status, StatusCode::Ok);
+
+    TestClient client(server->port());
+    Result<InferResponse> remote = client.roundTrip(req);
+    ASSERT_TRUE(remote.ok()) << remote.message();
+    EXPECT_EQ(remote->status, StatusCode::Ok);
+    EXPECT_EQ(remote->requestId, 9u);
+    EXPECT_EQ(bits(remote->action), bits(local.action));
+
+    // Same connection, unknown champion: served an error, not hung up.
+    InferRequest unknown = req;
+    unknown.requestId = 10;
+    unknown.fingerprint = req.fingerprint + 1;
+    Result<InferResponse> miss = client.roundTrip(unknown);
+    ASSERT_TRUE(miss.ok()) << miss.message();
+    EXPECT_EQ(miss->status, StatusCode::UnknownChampion);
+
+    server->stop();
+}
+
+TEST(ServeTcp, UndecodablePayloadAnswersBadRequest)
+{
+    const std::string dir = championDir("cartpole", "tcp_bad", 29);
+    auto server = serverFor({{dir, "cartpole"}});
+    ASSERT_NE(server, nullptr);
+    ASSERT_TRUE(server->listen(0).ok());
+
+    TestClient client(server->port());
+    client.sendRaw(frame("garbage payload"));
+    Result<InferResponse> resp = client.readResponse();
+    ASSERT_TRUE(resp.ok()) << resp.message();
+    EXPECT_EQ(resp->status, StatusCode::BadRequest);
+
+    server->stop();
+    EXPECT_GE(server->counters().protocolErrors, 1u);
+}
+
+TEST(ServeTcp, OversizedFrameHangsUp)
+{
+    const std::string dir = championDir("cartpole", "tcp_huge", 31);
+    auto server = serverFor({{dir, "cartpole"}});
+    ASSERT_NE(server, nullptr);
+    ASSERT_TRUE(server->listen(0).ok());
+
+    TestClient client(server->port());
+    const uint32_t huge = kMaxFrameBytes + 1;
+    std::string header(4, '\0');
+    std::memcpy(header.data(), &huge, 4);
+    client.sendRaw(header);
+    // The server answers BadRequest once, then hangs up; either way
+    // the connection ends without a crash.
+    Result<InferResponse> first = client.readResponse();
+    if (first.ok()) {
+        EXPECT_EQ(first->status, StatusCode::BadRequest);
+    }
+    Result<InferResponse> second = client.readResponse();
+    EXPECT_FALSE(second.ok());
+
+    server->stop();
+}

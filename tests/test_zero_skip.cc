@@ -83,13 +83,17 @@ TEST(ZeroSkip, ReducesIndividualCost)
     EXPECT_EQ(skipped.setupCycles, baseline.setupCycles);
 }
 
-TEST(ZeroSkipDeath, BadDensityFatal)
+TEST(ZeroSkip, BadDensityError)
 {
     InaxConfig cfg;
     cfg.activationDensity = 0.0;
-    EXPECT_DEATH(cfg.validate(), "density");
+    Status s = cfg.validate();
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("density"), std::string::npos);
     cfg.activationDensity = 1.5;
-    EXPECT_DEATH(cfg.validate(), "density");
+    s = cfg.validate();
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("density"), std::string::npos);
 }
 
 } // namespace

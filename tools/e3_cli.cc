@@ -29,13 +29,24 @@
  * findings (errors; or any finding under --strict). `run --verify`
  * gates every decoded network through the structural pass and exits 3
  * if anything fired.
+ *
+ * `serve` loads verified champions from checkpoint directories and
+ * answers observation -> action requests over the length-prefixed TCP
+ * protocol (src/serve). --port 0 binds an ephemeral port; --port-file
+ * publishes whichever port was bound; --serve-seconds bounds the run
+ * (otherwise serve until SIGINT/SIGTERM, then drain gracefully).
  */
 
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "common/csv.hh"
 #include "common/fs.hh"
@@ -46,6 +57,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "persist/checkpoint.hh"
+#include "serve/server.hh"
 #include "verify/verify.hh"
 
 using namespace e3;
@@ -163,6 +175,8 @@ cmdRun(const Args &args)
         static_cast<size_t>(args.getInt("pu", inaxCfg.numPUs));
     inaxCfg.numPEs =
         static_cast<size_t>(args.getInt("pe", inaxCfg.numPEs));
+    if (Status valid = inaxCfg.validate(); !valid.ok())
+        e3_fatal(valid.message());
     options.inaxConfig = inaxCfg;
 
     const std::string neatConfigPath = args.get("neat-config", "");
@@ -392,6 +406,8 @@ cmdVerify(const Args &args)
         static_cast<size_t>(args.getInt("pe", inaxCfg.numPEs));
     inaxCfg.maxSupportedNodes = static_cast<size_t>(
         args.getInt("max-nodes", inaxCfg.maxSupportedNodes));
+    if (Status valid = inaxCfg.validate(); !valid.ok())
+        e3_fatal(valid.message());
     args.checkAllUsed();
 
     if (genomePath.empty() == checkpointDir.empty())
@@ -402,7 +418,8 @@ cmdVerify(const Args &args)
     if (bits > 0) {
         format = FixedPointFormat{static_cast<int>(bits),
                                   static_cast<int>(frac)};
-        format->validate();
+        if (Status valid = format->validate(); !valid.ok())
+            e3_fatal(valid.message());
     }
     const verify::GenomeInterface iface =
         verify::interfaceFor(spec, !recurrent);
@@ -498,6 +515,176 @@ cmdVerify(const Args &args)
     return full.failed(strict) ? 1 : 0;
 }
 
+std::atomic<bool> serveStopRequested{false};
+
+void
+serveSignalHandler(int)
+{
+    serveStopRequested.store(true);
+}
+
+/**
+ * Parse "--champion env=dir[,env=dir...]" (plus the --env/
+ * --checkpoint-dir single-champion shorthand) into sources.
+ */
+std::vector<serve::ChampionSource>
+parseChampionSources(const Args &args)
+{
+    std::vector<serve::ChampionSource> sources;
+    const std::string spec = args.get("champion", "");
+    size_t start = 0;
+    while (start < spec.size()) {
+        size_t end = spec.find(',', start);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string item = spec.substr(start, end - start);
+        start = end + 1;
+        if (item.empty())
+            continue;
+        const size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 == item.size())
+            e3_fatal("--champion expects env=checkpoint-dir, got '",
+                     item, "'");
+        sources.push_back({item.substr(eq + 1), item.substr(0, eq)});
+    }
+    const std::string envName = args.get("env", "");
+    const std::string dir = args.get("checkpoint-dir", "");
+    if (envName.empty() != dir.empty())
+        e3_fatal("serve needs both --env and --checkpoint-dir "
+                 "(or --champion env=dir)");
+    if (!envName.empty())
+        sources.push_back({dir, envName});
+    return sources;
+}
+
+int
+cmdServe(const Args &args)
+{
+    serve::ServeOptions options;
+    options.sources = parseChampionSources(args);
+    options.cacheCapacity =
+        static_cast<size_t>(args.getInt("cache", 8));
+    options.maxBatchSize =
+        static_cast<size_t>(args.getInt("batch", 16));
+    options.maxBatchDelay =
+        std::chrono::microseconds(args.getInt("batch-delay-us", 200));
+    options.maxQueueDepth =
+        static_cast<size_t>(args.getInt("queue", 256));
+    options.threads = static_cast<size_t>(args.getInt("threads", 1));
+    options.strictVerify = args.getInt("strict", 0) != 0;
+
+    const long port = args.getInt("port", 0);
+    const std::string portFile = args.get("port-file", "");
+    const double serveSeconds =
+        static_cast<double>(args.getInt("serve-seconds", 0));
+    const std::string metricsPath = args.get("metrics", "");
+    const std::string tracePath = args.get("trace", "");
+    const std::string traceDetailName =
+        args.get("trace-detail", "task");
+    const bool quiet = args.getInt("quiet", 0) != 0;
+    args.checkAllUsed();
+
+    if (quiet)
+        setLogLevel(LogLevel::Warn);
+    if (!tracePath.empty()) {
+        obs::TraceDetail detail;
+        if (!obs::parseTraceDetail(traceDetailName, detail))
+            e3_fatal("unknown trace detail '", traceDetailName,
+                     "' (phase|task|hw)");
+        obs::traceStart(detail);
+    }
+
+    Result<std::unique_ptr<serve::ChampionServer>> server =
+        serve::ChampionServer::create(options);
+    if (!server.ok())
+        e3_fatal(server.message());
+
+    if (Status st =
+            (*server)->listen(static_cast<uint16_t>(port));
+        !st.ok())
+        e3_fatal(st.message());
+
+    std::printf("serving on 127.0.0.1:%u\n", (*server)->port());
+    for (const auto &champion : (*server)->champions())
+        std::printf("  champion %016" PRIx64 "  %-16s gen %-5d "
+                    "best %.2f  (%s)\n",
+                    champion.fingerprint, champion.envName.c_str(),
+                    champion.generation, champion.bestFitness,
+                    champion.checkpointDir.c_str());
+    std::fflush(stdout);
+
+    if (!portFile.empty()) {
+        if (Status st = atomicWriteFile(
+                portFile, std::to_string((*server)->port()) + "\n");
+            !st.ok())
+            e3_fatal(st.message());
+    }
+
+    std::signal(SIGINT, serveSignalHandler);
+    std::signal(SIGTERM, serveSignalHandler);
+    const auto started = std::chrono::steady_clock::now();
+    while (!serveStopRequested.load()) {
+        if (serveSeconds > 0.0 &&
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - started)
+                    .count() >= serveSeconds)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    (*server)->stop();
+
+    const serve::ServerCounters counters = (*server)->counters();
+    const serve::BatcherStats batcher = (*server)->batcherStats();
+    const serve::LatencySummary lat = (*server)->latency();
+    std::printf("served %llu requests (%llu ok, %llu overloaded, "
+                "%llu unknown, %llu bad, %llu draining, "
+                "%llu protocol errors)\n",
+                static_cast<unsigned long long>(counters.requests),
+                static_cast<unsigned long long>(counters.ok),
+                static_cast<unsigned long long>(
+                    counters.rejectedOverload),
+                static_cast<unsigned long long>(
+                    counters.rejectedUnknown),
+                static_cast<unsigned long long>(
+                    counters.rejectedBadRequest),
+                static_cast<unsigned long long>(
+                    counters.rejectedDraining),
+                static_cast<unsigned long long>(
+                    counters.protocolErrors));
+    std::printf("batches %llu (max size %zu)  cache hit %llu / miss "
+                "%llu / evict %llu\n",
+                static_cast<unsigned long long>(batcher.batches),
+                batcher.maxBatchSize,
+                static_cast<unsigned long long>(
+                    (*server)->cache().hits()),
+                static_cast<unsigned long long>(
+                    (*server)->cache().misses()),
+                static_cast<unsigned long long>(
+                    (*server)->cache().evictions()));
+    if (lat.count > 0)
+        std::printf("latency ms: p50 %.3f  p95 %.3f  p99 %.3f  "
+                    "max %.3f\n",
+                    lat.p50 * 1e3, lat.p95 * 1e3, lat.p99 * 1e3,
+                    lat.max * 1e3);
+
+    if (!metricsPath.empty()) {
+        obs::MetricsRegistry registry;
+        (*server)->exportMetrics(registry);
+        registry.snapshotGeneration(0);
+        const bool isJson =
+            metricsPath.size() >= 5 &&
+            metricsPath.rfind(".json") == metricsPath.size() - 5;
+        if (!(isJson ? registry.writeJson(metricsPath)
+                     : registry.writeCsv(metricsPath)))
+            return 1;
+    }
+    if (!tracePath.empty() && !obs::traceStop(tracePath))
+        return 1;
+    return 0;
+}
+
 void
 usage()
 {
@@ -521,7 +708,14 @@ usage()
         "         (--genome <file> | --checkpoint-dir <dir>)\n"
         "         [--recurrent] [--bits N] [--frac N]\n"
         "         [--pu N] [--pe N] [--max-nodes N]\n"
-        "         [--json] [--strict]\n");
+        "         [--json] [--strict]\n"
+        "  e3_cli serve (--champion env=dir[,env=dir...] |\n"
+        "         --env <name> --checkpoint-dir <dir>)\n"
+        "         [--port N] [--port-file file] [--serve-seconds S]\n"
+        "         [--threads N] [--cache N] [--batch N]\n"
+        "         [--batch-delay-us N] [--queue N] [--strict]\n"
+        "         [--metrics out.csv|out.json] [--trace out.json]\n"
+        "         [--trace-detail phase|task|hw] [--quiet]\n");
 }
 
 } // namespace
@@ -542,6 +736,8 @@ main(int argc, char **argv)
         return cmdReplay(Args(argc, argv, 2));
     if (command == "verify")
         return cmdVerify(Args(argc, argv, 2));
+    if (command == "serve")
+        return cmdServe(Args(argc, argv, 2));
     usage();
     return 1;
 }

@@ -464,6 +464,9 @@ class ModuleDeps : public Rule
             {"runtime", {"common", "env", "obs"}},
             {"verify", {"common", "env", "inax", "neat", "nn", "obs"}},
             {"persist", {"common", "neat", "nn", "obs", "verify"}},
+            {"serve",
+             {"common", "env", "neat", "nn", "obs", "persist",
+              "verify"}},
             {"e3",
              {"common", "env", "inax", "mlp", "neat", "nn", "obs",
               "persist", "rl", "runtime", "verify"}},
