@@ -13,6 +13,7 @@
 #include "inax/systolic.hh"
 #include "neat/mutation.hh"
 #include "neat/population.hh"
+#include "nn/batch_eval.hh"
 
 using namespace e3;
 
@@ -40,6 +41,155 @@ BM_IrregularInference(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_IrregularInference)->Arg(10)->Arg(30)->Arg(100);
+
+/**
+ * The population-inference pair: same synthetic population once
+ * through the pre-batching platform shape (per-genome networks, the
+ * allocating activate() wrapper) and once through one SoA
+ * activateBatch(). Items = individual inferences, so items/s between
+ * the twins is the population-inference speedup the ablation gates on.
+ *
+ * Two workloads: the paper-default sigmoid population measures the
+ * end-to-end number (libm exp dominates, and that work is identical
+ * scalar math in both paths), while the ReLU "kernel" variant isolates
+ * the execution substrate — traversal, dispatch and allocation — which
+ * is what the batch engine actually replaces.
+ */
+enum PopWorkload { WorkloadSigmoid = 0, WorkloadReLU = 1 };
+
+std::vector<NetworkDef>
+populationWorkload(size_t individuals, int workload)
+{
+    SyntheticParams p;
+    p.numIndividuals = individuals;
+    p.numHidden = 30;
+    auto defs = syntheticPopulation(p, 11);
+    if (workload == WorkloadReLU)
+        for (auto &def : defs)
+            for (auto &node : def.nodes)
+                node.act = Activation::ReLU;
+    return defs;
+}
+
+void
+BM_PopulationInference(benchmark::State &state)
+{
+    const auto defs = populationWorkload(
+        static_cast<size_t>(state.range(0)), WorkloadSigmoid);
+    std::vector<FeedForwardNetwork> nets;
+    for (const auto &def : defs)
+        nets.push_back(FeedForwardNetwork::create(def));
+    std::vector<double> input(nets[0].numInputs(), 0.5);
+    for (auto _ : state)
+        for (auto &net : nets)
+            benchmark::DoNotOptimize(net.activate(input));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(nets.size()));
+}
+BENCHMARK(BM_PopulationInference)->Arg(128)->Arg(256);
+
+void
+BM_PopulationInferenceBatched(benchmark::State &state)
+{
+    const auto defs = populationWorkload(
+        static_cast<size_t>(state.range(0)), WorkloadSigmoid);
+    auto batch = BatchEvaluator::compile(defs).value();
+    const size_t lanes = batch->lanes();
+    std::vector<double> in(lanes * batch->numInputs(), 0.5);
+    std::vector<double> out(lanes * batch->numOutputs());
+    for (auto _ : state) {
+        batch->activateBatch(lanes, in.data(), batch->numInputs(),
+                             out.data(), batch->numOutputs());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(lanes));
+}
+BENCHMARK(BM_PopulationInferenceBatched)->Arg(128)->Arg(256);
+
+void
+BM_PopulationInferenceKernel(benchmark::State &state)
+{
+    const auto defs = populationWorkload(
+        static_cast<size_t>(state.range(0)), WorkloadReLU);
+    std::vector<FeedForwardNetwork> nets;
+    for (const auto &def : defs)
+        nets.push_back(FeedForwardNetwork::create(def));
+    std::vector<double> input(nets[0].numInputs(), 0.5);
+    for (auto _ : state)
+        for (auto &net : nets)
+            benchmark::DoNotOptimize(net.activate(input));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(nets.size()));
+}
+BENCHMARK(BM_PopulationInferenceKernel)->Arg(128)->Arg(256);
+
+void
+BM_PopulationInferenceKernelBatched(benchmark::State &state)
+{
+    const auto defs = populationWorkload(
+        static_cast<size_t>(state.range(0)), WorkloadReLU);
+    auto batch = BatchEvaluator::compile(defs).value();
+    const size_t lanes = batch->lanes();
+    std::vector<double> in(lanes * batch->numInputs(), 0.5);
+    std::vector<double> out(lanes * batch->numOutputs());
+    for (auto _ : state) {
+        batch->activateBatch(lanes, in.data(), batch->numInputs(),
+                             out.data(), batch->numOutputs());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(lanes));
+}
+BENCHMARK(BM_PopulationInferenceKernelBatched)->Arg(128)->Arg(256);
+
+/**
+ * Generation-grain comparison including compilation: the per-genome
+ * path pays one compileNetwork() per genome (the production entry,
+ * invariant checks included) plus allocating activates for an
+ * episode-scale step count; the batched path compiles the population once through
+ * compilePopulation() and runs the same steps with zero per-step
+ * allocation. This is the end-to-end cost evaluateFunctional sees.
+ */
+void
+BM_GenerationInferencePerGenome(benchmark::State &state)
+{
+    const auto defs = populationWorkload(128, WorkloadSigmoid);
+    const int steps = 200;
+    std::vector<double> input(8, 0.5);
+    for (auto _ : state) {
+        double sink = 0.0;
+        for (const auto &def : defs) {
+            auto net = compileNetwork(def).value();
+            for (int s = 0; s < steps; ++s)
+                sink += net->activate(input)[0];
+        }
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 128 * steps);
+}
+BENCHMARK(BM_GenerationInferencePerGenome);
+
+void
+BM_GenerationInferenceBatched(benchmark::State &state)
+{
+    const auto defs = populationWorkload(128, WorkloadSigmoid);
+    const int steps = 200;
+    for (auto _ : state) {
+        auto batch = compilePopulation(defs).value();
+        std::vector<double> in(128 * batch->numInputs(), 0.5);
+        std::vector<double> out(128 * batch->numOutputs());
+        double sink = 0.0;
+        for (int s = 0; s < steps; ++s) {
+            batch->activateBatch(128, in.data(), batch->numInputs(),
+                                 out.data(), batch->numOutputs());
+            sink += out[0];
+        }
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 128 * steps);
+}
+BENCHMARK(BM_GenerationInferenceBatched);
 
 void
 BM_CreateNet(benchmark::State &state)

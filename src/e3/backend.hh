@@ -35,6 +35,15 @@ class EvalBackend
     /** Attribute evaluate time to the right component. */
     virtual void attributeEnergy(double evalSeconds,
                                  EnergyBreakdownInput &energy) const = 0;
+
+    /**
+     * True when the platform should run functional evaluation through
+     * the SoA population batch engine (nn/batch_eval) instead of
+     * per-genome Network::activate. Functional results are
+     * bit-identical either way — this selects the host execution
+     * substrate, not the semantics.
+     */
+    virtual bool batchedFunctionalInference() const { return false; }
 };
 
 } // namespace e3

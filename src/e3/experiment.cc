@@ -34,6 +34,11 @@ BackendRegistry::instance()
                 return std::make_unique<CpuBackend>();
             });
         r.registerBackend(
+            "cpu-batch", "E3-CPU-BATCH",
+            [](const ExperimentOptions &, const EnvSpec &) {
+                return std::make_unique<CpuBatchBackend>();
+            });
+        r.registerBackend(
             "gpu", "E3-GPU",
             [](const ExperimentOptions &, const EnvSpec &) {
                 return std::make_unique<GpuBackend>();
@@ -103,15 +108,21 @@ RunResult
 runExperiment(const std::string &envName, BackendKind kind,
               const ExperimentOptions &options)
 {
-    return runExperiment(envName, backendCliName(kind), options);
+    // Built-in kinds are always registered, so an error here is a
+    // caller bug (unknown env, unreadable config) and value() panics.
+    return runExperiment(envName, backendCliName(kind), options)
+        .value();
 }
 
-RunResult
+Result<RunResult>
 runExperiment(const std::string &envName,
               const std::string &backendCliName,
               const ExperimentOptions &options)
 {
-    const EnvSpec &spec = envSpec(envName);
+    const EnvSpec *specPtr = findEnvSpec(envName);
+    if (!specPtr)
+        return Status::error("unknown environment '", envName, "'");
+    const EnvSpec &spec = *specPtr;
 
     PlatformConfig cfg;
     cfg.envName = envName;
@@ -132,16 +143,14 @@ runExperiment(const std::string &envName,
         BackendRegistry::instance().create(backendCliName, options,
                                            spec);
     if (!backend.ok())
-        // e3-lint: fatal-ok -- *OrDie boundary: registry misuse is a caller bug
-        e3_fatal(backend.message());
+        return backend.status();
 
     E3Platform platform(cfg, std::move(backend).value());
     if (options.neatConfigPath) {
         Result<NeatConfig> loaded = loadNeatConfig(
             *options.neatConfigPath, platform.neatConfig());
         if (!loaded.ok())
-            // e3-lint: fatal-ok -- *OrDie boundary: config errors end the run
-            e3_fatal(loaded.message());
+            return loaded.status();
         NeatConfig layered = *std::move(loaded);
         // The interface shape is the environment's contract; a config
         // file cannot change it.

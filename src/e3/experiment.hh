@@ -125,17 +125,24 @@ struct ExperimentOptions
  * Determinism: equal (envName, options.seed) pairs produce identical
  * functional results on every backend — only the modeled time differs,
  * which is exactly the paper's controlled comparison.
+ *
+ * @pre envName is registered and the options are valid (built-in
+ *      kinds are always registered); errors are caller bugs and
+ *      panic. Route user input through the CLI-name overload, which
+ *      reports them as error values instead.
  */
 RunResult runExperiment(const std::string &envName, BackendKind kind,
                         const ExperimentOptions &options);
 
 /**
- * Same, resolving the backend through BackendRegistry by CLI name;
- * fatal on an unknown name (pre-check with instance().known()).
+ * Same, resolving the backend through BackendRegistry by CLI name.
+ * An unknown environment or backend name, or an unreadable NEAT
+ * config file, comes back as an error Status — this is the overload
+ * for user-supplied input.
  */
-RunResult runExperiment(const std::string &envName,
-                        const std::string &backendCliName,
-                        const ExperimentOptions &options);
+Result<RunResult> runExperiment(const std::string &envName,
+                                const std::string &backendCliName,
+                                const ExperimentOptions &options);
 
 /** Run the whole Env1..Env6 suite on one backend. */
 std::vector<RunResult> runSuite(BackendKind kind,

@@ -6,7 +6,7 @@
 
 #include "common/logging.hh"
 #include "e3/inax_backend.hh"
-#include "nn/compile.hh"
+#include "nn/batch_eval.hh"
 #include "obs/trace.hh"
 #include "persist/checkpoint.hh"
 #include "verify/verify.hh"
@@ -111,14 +111,17 @@ E3Platform::evaluateFunctional(Population &pop, GenerationTrace &trace,
 {
     const size_t n = pop.genomes().size();
 
-    // CreateNet: decode every genome once per generation, through the
-    // shared Network interface. With quantized deployment enabled, the
-    // compiler hands back the fixed-point evaluator (the accelerator's
-    // datapath view) instead of the double-precision one.
+    // CreateNet: decode every genome once per generation, then compile
+    // the whole population through the one population-compile entry
+    // point (nn/batch_eval). A batch-capable backend routes this to
+    // the SoA engine; everything else gets the loop-over-Network
+    // adapter — functional results are bit-identical either way. With
+    // quantized deployment enabled, the adapter hands back fixed-point
+    // evaluators (the accelerator's datapath view).
     std::vector<int> keys;
-    std::vector<std::unique_ptr<Network>> nets;
+    std::vector<NetworkDef> defs;
     keys.reserve(n);
-    nets.reserve(n);
+    defs.reserve(n);
     NetworkCompileOptions compileOpts;
     compileOpts.quantization = cfg_.quantization;
     {
@@ -149,11 +152,25 @@ E3Platform::evaluateFunctional(Population &pop, GenerationTrace &trace,
                     verifyReport_.merge(std::move(report));
                 }
             }
-            nets.push_back(compileNetwork(def, compileOpts));
             trace.individuals.push_back(computeNetStats(def));
-            trace.defs.push_back(std::move(def));
+            defs.push_back(std::move(def));
         }
     }
+
+    const BatchEngine engine = backend_->batchedFunctionalInference()
+                                   ? BatchEngine::Auto
+                                   : BatchEngine::PerGenome;
+    Result<std::unique_ptr<BatchNetwork>> compiled =
+        compilePopulation(defs, compileOpts, engine);
+    // Evolved genomes satisfy the structural invariants by
+    // construction, so a compile failure here is an evolution-loop bug.
+    e3_assert(compiled.ok(),
+              "population compile failed: ", compiled.message());
+    const std::unique_ptr<BatchNetwork> batch =
+        std::move(compiled).value();
+
+    for (auto &def : defs)
+        trace.defs.push_back(std::move(def));
     trace.numInputs = spec_.numInputs;
     trace.numOutputs = spec_.numOutputs;
 
@@ -167,8 +184,13 @@ E3Platform::evaluateFunctional(Population &pop, GenerationTrace &trace,
             (0x9E3779B97F4A7C15ULL *
              (static_cast<uint64_t>(generation) * 31 + e + 1)));
     }
+    // Lanes hand observations straight to the batch engine; distinct
+    // lanes touch disjoint value regions, so out-of-lockstep parallel
+    // rollout stays safe.
     plan.act = [&](size_t i, const Observation &obs) {
-        return decodeAction(spec_, nets[i]->activate(obs));
+        std::vector<double> out(batch->numOutputs());
+        batch->activateLane(i, obs.data(), out.data());
+        return decodeAction(spec_, out);
     };
 
     // Async overlap: one lane group per species, so the evolve phase's

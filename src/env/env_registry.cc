@@ -125,8 +125,8 @@ envSpec(const std::string &name)
 {
     if (const EnvSpec *spec = findEnvSpec(name))
         return *spec;
-    // e3-lint: fatal-ok -- *OrDie boundary over findEnvSpec for CLI use
-    e3_fatal("unknown environment '", name, "'");
+    e3_panic("unknown environment '", name,
+             "' (validate user input with findEnvSpec)");
 }
 
 std::vector<std::string>

@@ -66,7 +66,12 @@ const std::vector<EnvSpec> &envSuiteExtended();
  */
 const EnvSpec *findEnvSpec(const std::string &name);
 
-/** As findEnvSpec, but fatal() on an unknown name (CLI boundary). */
+/**
+ * As findEnvSpec, for names already known to be registered.
+ * @pre the name is registered — validate user-supplied names with
+ *      findEnvSpec at the boundary; an unknown name here is a caller
+ *      bug and panics.
+ */
 const EnvSpec &envSpec(const std::string &name);
 
 /** All registered names. */

@@ -208,34 +208,4 @@ loadGenomeFile(const std::string &path, GenomeLoadMode mode)
     return loadGenome(in, mode);
 }
 
-Genome
-loadGenomeOrDie(std::istream &in)
-{
-    Result<Genome> genome = loadGenome(in);
-    if (!genome.ok())
-        // e3-lint: fatal-ok -- *OrDie wrapper: dying on error is the contract
-        e3_fatal(genome.message());
-    return std::move(genome).value();
-}
-
-Genome
-genomeFromStringOrDie(const std::string &text)
-{
-    Result<Genome> genome = genomeFromString(text);
-    if (!genome.ok())
-        // e3-lint: fatal-ok -- *OrDie wrapper: dying on error is the contract
-        e3_fatal(genome.message());
-    return std::move(genome).value();
-}
-
-Genome
-loadGenomeFileOrDie(const std::string &path)
-{
-    Result<Genome> genome = loadGenomeFile(path);
-    if (!genome.ok())
-        // e3-lint: fatal-ok -- *OrDie wrapper: dying on error is the contract
-        e3_fatal(genome.message());
-    return std::move(genome).value();
-}
-
 } // namespace e3

@@ -14,9 +14,9 @@
  *
  * All load paths report malformed input as an error value
  * (Result<Genome>) instead of terminating the process, so callers —
- * the checkpoint loader in particular — can degrade gracefully. The
- * ...OrDie wrappers keep the old die-on-error convenience for
- * application code that has nothing sensible to fall back to.
+ * the checkpoint loader in particular — can degrade gracefully;
+ * application code with nothing sensible to fall back to handles the
+ * error at its own boundary.
  */
 
 #ifndef E3_NEAT_SERIALIZE_HH
@@ -69,15 +69,6 @@ Status saveGenomeFile(const Genome &genome, const std::string &path);
 Result<Genome>
 loadGenomeFile(const std::string &path,
                GenomeLoadMode mode = GenomeLoadMode::Validated);
-
-/** loadGenome() that fatal()s on error (application boundary). */
-Genome loadGenomeOrDie(std::istream &in);
-
-/** genomeFromString() that fatal()s on error. */
-Genome genomeFromStringOrDie(const std::string &text);
-
-/** loadGenomeFile() that fatal()s on error. */
-Genome loadGenomeFileOrDie(const std::string &path);
 
 } // namespace e3
 

@@ -11,31 +11,22 @@ double
 applyActivation(Activation act, double x)
 {
     switch (act) {
-      case Activation::Sigmoid: {
-        // neat-python clamps the argument to keep exp() in range.
-        const double z = std::clamp(4.9 * x, -60.0, 60.0);
-        return 1.0 / (1.0 + std::exp(-z));
-      }
-      case Activation::Tanh: {
-        const double z = std::clamp(2.5 * x, -60.0, 60.0);
-        return std::tanh(z);
-      }
+      case Activation::Sigmoid:
+        return applyActivationT<Activation::Sigmoid>(x);
+      case Activation::Tanh:
+        return applyActivationT<Activation::Tanh>(x);
       case Activation::ReLU:
-        return x > 0.0 ? x : 0.0;
+        return applyActivationT<Activation::ReLU>(x);
       case Activation::Identity:
-        return x;
-      case Activation::Sin: {
-        const double z = std::clamp(5.0 * x, -60.0, 60.0);
-        return std::sin(z);
-      }
-      case Activation::Gauss: {
-        const double z = std::clamp(x, -3.4, 3.4);
-        return std::exp(-5.0 * z * z);
-      }
+        return applyActivationT<Activation::Identity>(x);
+      case Activation::Sin:
+        return applyActivationT<Activation::Sin>(x);
+      case Activation::Gauss:
+        return applyActivationT<Activation::Gauss>(x);
       case Activation::Abs:
-        return std::fabs(x);
+        return applyActivationT<Activation::Abs>(x);
       case Activation::Clamped:
-        return std::clamp(x, -1.0, 1.0);
+        return applyActivationT<Activation::Clamped>(x);
     }
     e3_panic("unhandled activation");
 }
@@ -56,13 +47,12 @@ activationName(Activation act)
     e3_panic("unhandled activation");
 }
 
-Activation
+Result<Activation>
 parseActivation(const std::string &name)
 {
     Activation act;
     if (!tryParseActivation(name, act))
-        // e3-lint: fatal-ok -- *OrDie boundary over tryParseActivation
-        e3_fatal("unknown activation '", name, "'");
+        return Status::error("unknown activation '", name, "'");
     return act;
 }
 

@@ -11,7 +11,11 @@
 #ifndef E3_NN_ACTIVATIONS_HH
 #define E3_NN_ACTIVATIONS_HH
 
+#include <algorithm>
+#include <cmath>
 #include <string>
+
+#include "common/result.hh"
 
 namespace e3 {
 
@@ -31,11 +35,47 @@ enum class Activation
 /** Apply an activation to a pre-activation value. */
 double applyActivation(Activation act, double x);
 
+/**
+ * Compile-time-dispatched twin of applyActivation() for inner loops
+ * that hoist the activation switch out of their node loop (the SoA
+ * batch engine dispatches once per segment). applyActivation()
+ * delegates to these instantiations, so the two are bit-identical by
+ * construction — there is exactly one copy of each formula.
+ */
+template <Activation A>
+inline double
+applyActivationT(double x)
+{
+    if constexpr (A == Activation::Sigmoid) {
+        // neat-python clamps the argument to keep exp() in range.
+        const double z = std::clamp(4.9 * x, -60.0, 60.0);
+        return 1.0 / (1.0 + std::exp(-z));
+    } else if constexpr (A == Activation::Tanh) {
+        const double z = std::clamp(2.5 * x, -60.0, 60.0);
+        return std::tanh(z);
+    } else if constexpr (A == Activation::ReLU) {
+        return x > 0.0 ? x : 0.0;
+    } else if constexpr (A == Activation::Identity) {
+        return x;
+    } else if constexpr (A == Activation::Sin) {
+        const double z = std::clamp(5.0 * x, -60.0, 60.0);
+        return std::sin(z);
+    } else if constexpr (A == Activation::Gauss) {
+        const double z = std::clamp(x, -3.4, 3.4);
+        return std::exp(-5.0 * z * z);
+    } else if constexpr (A == Activation::Abs) {
+        return std::fabs(x);
+    } else {
+        static_assert(A == Activation::Clamped, "unhandled activation");
+        return std::clamp(x, -1.0, 1.0);
+    }
+}
+
 /** Stable lowercase name, e.g. "sigmoid". */
 std::string activationName(Activation act);
 
-/** Parse a name produced by activationName(). fatal() on unknown. */
-Activation parseActivation(const std::string &name);
+/** Parse a name produced by activationName(); error on unknown. */
+Result<Activation> parseActivation(const std::string &name);
 
 /**
  * Parse a name into @p out and return true; false on unknown names

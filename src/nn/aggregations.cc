@@ -69,13 +69,12 @@ aggregationName(Aggregation agg)
     e3_panic("unhandled aggregation");
 }
 
-Aggregation
+Result<Aggregation>
 parseAggregation(const std::string &name)
 {
     Aggregation agg;
     if (!tryParseAggregation(name, agg))
-        // e3-lint: fatal-ok -- *OrDie boundary over tryParseAggregation
-        e3_fatal("unknown aggregation '", name, "'");
+        return Status::error("unknown aggregation '", name, "'");
     return agg;
 }
 

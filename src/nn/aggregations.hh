@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hh"
+
 namespace e3 {
 
 /** Supported aggregation functions. */
@@ -48,8 +50,8 @@ class Aggregator
 /** Stable lowercase name, e.g. "sum". */
 std::string aggregationName(Aggregation agg);
 
-/** Parse a name produced by aggregationName(). fatal() on unknown. */
-Aggregation parseAggregation(const std::string &name);
+/** Parse a name produced by aggregationName(); error on unknown. */
+Result<Aggregation> parseAggregation(const std::string &name);
 
 /**
  * Parse a name into @p out and return true; false on unknown names

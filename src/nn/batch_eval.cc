@@ -1,0 +1,399 @@
+#include "nn/batch_eval.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace e3 {
+
+namespace {
+
+/** Arity check shared by both engines' compile paths. */
+Status
+checkLaneArity(size_t lane, size_t numInputs, size_t numOutputs,
+               size_t expectedInputs, size_t expectedOutputs)
+{
+    if (numInputs != expectedInputs || numOutputs != expectedOutputs) {
+        return Status::error(
+            "batch lane ", lane, " has arity ", numInputs, "x",
+            numOutputs, " but the batch is ", expectedInputs, "x",
+            expectedOutputs,
+            " (all lanes must share input/output arity)");
+    }
+    return Status();
+}
+
+} // namespace
+
+namespace detail {
+
+/**
+ * Sum-segment kernel with the activation hoisted to a template
+ * parameter: each node's fold is a seeded multiply-add chain — the
+ * exact operation sequence Aggregator performs (seed from the first
+ * element, add the rest, 0.0 when empty) — with the activation inlined
+ * via applyActivationT, so a node costs no out-of-line call.
+ *
+ * The kernel is noinline and aligned to a fixed boundary: the op-fold
+ * loop's branches are hot enough that their placement relative to
+ * fetch/predictor boundaries measurably changes throughput, and
+ * keeping the kernel at a fixed alignment makes that placement (and
+ * so the measured speedup) independent of whatever else is linked
+ * into the binary.
+ *
+ * The node/op types are template parameters because they are private
+ * to BatchEvaluator; deduction at the member-function call site is the
+ * one place allowed to name them.
+ */
+template <Activation A, typename NodeRunT, typename OpT>
+__attribute__((noinline, aligned(256))) void
+runSumSegment(const NodeRunT *nodes, uint32_t nodeBegin,
+              uint32_t nodeEnd, const OpT *ops, double *v)
+{
+    for (uint32_t n = nodeBegin; n != nodeEnd; ++n) {
+        const NodeRunT &node = nodes[n];
+        const OpT *op = ops + node.opBegin;
+        const OpT *const end = ops + node.opEnd;
+        double acc = 0.0;
+        if (op != end) {
+            acc = v[op->srcSlot] * op->weight;
+            for (++op; op != end; ++op)
+                acc += v[op->srcSlot] * op->weight;
+        }
+        v[node.dstSlot] = applyActivationT<A>(acc + node.bias);
+    }
+}
+
+} // namespace detail
+
+Result<std::unique_ptr<BatchEvaluator>>
+BatchEvaluator::compile(const std::vector<NetworkDef> &defs,
+                        const NetworkCompileOptions &options)
+{
+    if (defs.empty())
+        return Status::error(
+            "batch compile needs at least one definition");
+    if (options.recurrent || options.quantization) {
+        return Status::error(
+            "the SoA batch evaluator supports plain feed-forward "
+            "networks; use the loop adapter for recurrent or "
+            "quantized evaluation");
+    }
+
+    auto eval = std::unique_ptr<BatchEvaluator>(new BatchEvaluator());
+    eval->numInputs_ = defs.front().inputIds.size();
+    eval->numOutputs_ = defs.front().outputIds.size();
+
+    for (size_t i = 0; i < defs.size(); ++i) {
+        if (Status invariants = checkDefInvariants(defs[i], false);
+            !invariants.ok()) {
+            return Status::error("genome ", i, ": malformed NetworkDef: ",
+                                 invariants.message());
+        }
+        if (Status arity = checkLaneArity(
+                i, defs[i].inputIds.size(), defs[i].outputIds.size(),
+                eval->numInputs_, eval->numOutputs_);
+            !arity.ok())
+            return arity;
+        eval->appendLane(FeedForwardNetwork::create(defs[i]));
+    }
+    eval->values_.assign(
+        eval->lanePrograms_.back().valueBase +
+            eval->lanePrograms_.back().slotCount,
+        0.0);
+    return eval;
+}
+
+Result<std::unique_ptr<BatchEvaluator>>
+BatchEvaluator::compileReplicated(const NetworkDef &def, size_t lanes,
+                                  const NetworkCompileOptions &options)
+{
+    if (lanes == 0)
+        return Status::error("replicated batch needs at least one lane");
+    if (options.recurrent || options.quantization) {
+        return Status::error(
+            "the SoA batch evaluator supports plain feed-forward "
+            "networks; use the loop adapter for recurrent or "
+            "quantized evaluation");
+    }
+    if (Status invariants = checkDefInvariants(def, false);
+        !invariants.ok())
+        return Status::error("malformed NetworkDef: ",
+                             invariants.message());
+
+    auto eval = std::unique_ptr<BatchEvaluator>(new BatchEvaluator());
+    eval->numInputs_ = def.inputIds.size();
+    eval->numOutputs_ = def.outputIds.size();
+    eval->appendLane(FeedForwardNetwork::create(def));
+
+    // One shared program; each further lane is just a fresh region of
+    // the value arena (the output-slot table is lane-local, so it is
+    // shared too).
+    const LaneProgram proto = eval->lanePrograms_.front();
+    for (size_t lane = 1; lane < lanes; ++lane) {
+        LaneProgram p = proto;
+        p.valueBase = static_cast<uint32_t>(lane) * proto.slotCount;
+        eval->lanePrograms_.push_back(p);
+    }
+    eval->values_.assign(static_cast<size_t>(proto.slotCount) * lanes,
+                         0.0);
+    return eval;
+}
+
+void
+BatchEvaluator::appendLane(const FeedForwardNetwork &net)
+{
+    LaneProgram p;
+    p.segBegin = static_cast<uint32_t>(segments_.size());
+    p.valueBase = lanePrograms_.empty()
+                      ? 0
+                      : lanePrograms_.back().valueBase +
+                            lanePrograms_.back().slotCount;
+    p.slotCount = static_cast<uint32_t>(net.valueSlots());
+    p.outBase = static_cast<uint32_t>(outputSlots_.size());
+
+    // Flatten in exactly FeedForwardNetwork's execution order — layer
+    // by layer, node by node, link by link — so the fold order (and
+    // thus every intermediate rounding) is preserved bit-for-bit.
+    // Segments merge across layer boundaries when (act, agg) carries
+    // over: the kernels execute in-segment nodes strictly in order, so
+    // a later-layer node reading an earlier node's destination slot is
+    // fine, and a uniform-activation lane collapses to one dispatch.
+    for (const auto &layer : net.layers()) {
+        for (const auto &node : layer) {
+            const bool openNewSegment =
+                segments_.size() == p.segBegin ||
+                segments_.back().act != node.act ||
+                segments_.back().agg != node.agg;
+            if (openNewSegment) {
+                segments_.push_back({static_cast<uint32_t>(nodes_.size()),
+                                     static_cast<uint32_t>(nodes_.size()),
+                                     node.act, node.agg});
+            }
+            NodeRun run;
+            run.dstSlot = node.slot;
+            run.opBegin = static_cast<uint32_t>(ops_.size());
+            for (const auto &link : node.links)
+                ops_.push_back({link.srcSlot, link.weight});
+            run.opEnd = static_cast<uint32_t>(ops_.size());
+            run.bias = node.bias;
+            nodes_.push_back(run);
+            segments_.back().nodeEnd =
+                static_cast<uint32_t>(nodes_.size());
+        }
+    }
+    p.segEnd = static_cast<uint32_t>(segments_.size());
+
+    for (uint32_t slot : net.outputSlots())
+        outputSlots_.push_back(slot);
+
+    lanePrograms_.push_back(p);
+}
+
+void
+BatchEvaluator::activateBatch(size_t count, const double *inputs,
+                              size_t inputStride, double *outputs,
+                              size_t outputStride)
+{
+    e3_assert(count <= lanePrograms_.size(), "batch count ", count,
+              " exceeds ", lanePrograms_.size(), " lanes");
+    // Qualified call: no per-lane virtual dispatch on the hot path.
+    for (size_t lane = 0; lane < count; ++lane) {
+        BatchEvaluator::activateLane(lane, inputs + lane * inputStride,
+                                     outputs + lane * outputStride);
+    }
+}
+
+void
+BatchEvaluator::activateLane(size_t lane, const double *inputs,
+                             double *outputs)
+{
+    const LaneProgram &p = lanePrograms_[lane];
+    double *v = values_.data() + p.valueBase;
+    for (size_t i = 0; i < numInputs_; ++i)
+        v[i] = inputs[i];
+
+    const NodeRun *const nodes = nodes_.data();
+    const Op *const ops = ops_.data();
+    for (uint32_t s = p.segBegin; s != p.segEnd; ++s) {
+        const Segment seg = segments_[s];
+        if (seg.agg == Aggregation::Sum) {
+            // Fast path for the dominant aggregation: one activation
+            // dispatch per *segment*, then a call-free inner loop
+            // (see detail::runSumSegment).
+            switch (seg.act) {
+              case Activation::Sigmoid:
+                detail::runSumSegment<Activation::Sigmoid>(
+                    nodes, seg.nodeBegin, seg.nodeEnd, ops, v);
+                break;
+              case Activation::Tanh:
+                detail::runSumSegment<Activation::Tanh>(
+                    nodes, seg.nodeBegin, seg.nodeEnd, ops, v);
+                break;
+              case Activation::ReLU:
+                detail::runSumSegment<Activation::ReLU>(
+                    nodes, seg.nodeBegin, seg.nodeEnd, ops, v);
+                break;
+              case Activation::Identity:
+                detail::runSumSegment<Activation::Identity>(
+                    nodes, seg.nodeBegin, seg.nodeEnd, ops, v);
+                break;
+              case Activation::Sin:
+                detail::runSumSegment<Activation::Sin>(
+                    nodes, seg.nodeBegin, seg.nodeEnd, ops, v);
+                break;
+              case Activation::Gauss:
+                detail::runSumSegment<Activation::Gauss>(
+                    nodes, seg.nodeBegin, seg.nodeEnd, ops, v);
+                break;
+              case Activation::Abs:
+                detail::runSumSegment<Activation::Abs>(
+                    nodes, seg.nodeBegin, seg.nodeEnd, ops, v);
+                break;
+              case Activation::Clamped:
+                detail::runSumSegment<Activation::Clamped>(
+                    nodes, seg.nodeBegin, seg.nodeEnd, ops, v);
+                break;
+            }
+        } else {
+            for (uint32_t n = seg.nodeBegin; n != seg.nodeEnd; ++n) {
+                const NodeRun &node = nodes[n];
+                Aggregator agg(seg.agg);
+                for (const Op *op = ops + node.opBegin;
+                     op != ops + node.opEnd; ++op)
+                    agg.add(v[op->srcSlot] * op->weight);
+                v[node.dstSlot] =
+                    applyActivation(seg.act, agg.result() + node.bias);
+            }
+        }
+    }
+
+    const uint32_t *const outSlots = outputSlots_.data() + p.outBase;
+    for (size_t o = 0; o < numOutputs_; ++o)
+        outputs[o] = v[outSlots[o]];
+}
+
+void
+BatchEvaluator::reset()
+{
+    std::fill(values_.begin(), values_.end(), 0.0);
+}
+
+Result<std::unique_ptr<NetworkBatchAdapter>>
+NetworkBatchAdapter::create(std::vector<std::unique_ptr<Network>> nets)
+{
+    if (nets.empty())
+        return Status::error("batch adapter needs at least one network");
+    for (size_t i = 0; i < nets.size(); ++i) {
+        if (!nets[i])
+            return Status::error("batch adapter lane ", i, " is null");
+        if (Status arity = checkLaneArity(
+                i, nets[i]->numInputs(), nets[i]->numOutputs(),
+                nets.front()->numInputs(), nets.front()->numOutputs());
+            !arity.ok())
+            return arity;
+    }
+    return std::unique_ptr<NetworkBatchAdapter>(
+        new NetworkBatchAdapter(std::move(nets)));
+}
+
+NetworkBatchAdapter::NetworkBatchAdapter(
+    std::vector<std::unique_ptr<Network>> nets)
+    : numInputs_(nets.front()->numInputs()),
+      numOutputs_(nets.front()->numOutputs()), nets_(std::move(nets))
+{
+}
+
+void
+NetworkBatchAdapter::activateBatch(size_t count, const double *inputs,
+                                   size_t inputStride, double *outputs,
+                                   size_t outputStride)
+{
+    e3_assert(count <= nets_.size(), "batch count ", count,
+              " exceeds ", nets_.size(), " lanes");
+    for (size_t lane = 0; lane < count; ++lane) {
+        nets_[lane]->activateInto(inputs + lane * inputStride,
+                                  outputs + lane * outputStride);
+    }
+}
+
+void
+NetworkBatchAdapter::activateLane(size_t lane, const double *inputs,
+                                  double *outputs)
+{
+    nets_[lane]->activateInto(inputs, outputs);
+}
+
+void
+NetworkBatchAdapter::reset()
+{
+    for (auto &net : nets_)
+        net->reset();
+}
+
+Result<std::unique_ptr<BatchNetwork>>
+compilePopulation(const std::vector<NetworkDef> &defs,
+                  const NetworkCompileOptions &options,
+                  BatchEngine engine)
+{
+    const bool soaCapable = !options.recurrent && !options.quantization;
+    if (engine == BatchEngine::Soa && !soaCapable) {
+        return Status::error(
+            "the SoA engine requires plain feed-forward compilation "
+            "options");
+    }
+    if (engine != BatchEngine::PerGenome && soaCapable) {
+        auto soa = BatchEvaluator::compile(defs, options);
+        if (!soa.ok())
+            return soa.status();
+        return std::unique_ptr<BatchNetwork>(std::move(soa.value()));
+    }
+
+    std::vector<std::unique_ptr<Network>> nets;
+    nets.reserve(defs.size());
+    for (const auto &def : defs) {
+        auto net = compileNetwork(def, options);
+        if (!net.ok())
+            return Status::error("genome ", nets.size(), ": ",
+                                 net.message());
+        nets.push_back(std::move(net.value()));
+    }
+    auto adapter = NetworkBatchAdapter::create(std::move(nets));
+    if (!adapter.ok())
+        return adapter.status();
+    return std::unique_ptr<BatchNetwork>(std::move(adapter.value()));
+}
+
+Result<std::unique_ptr<BatchNetwork>>
+compileReplicated(const NetworkDef &def, size_t lanes,
+                  const NetworkCompileOptions &options,
+                  BatchEngine engine)
+{
+    const bool soaCapable = !options.recurrent && !options.quantization;
+    if (engine == BatchEngine::Soa && !soaCapable) {
+        return Status::error(
+            "the SoA engine requires plain feed-forward compilation "
+            "options");
+    }
+    if (engine != BatchEngine::PerGenome && soaCapable) {
+        auto soa = BatchEvaluator::compileReplicated(def, lanes, options);
+        if (!soa.ok())
+            return soa.status();
+        return std::unique_ptr<BatchNetwork>(std::move(soa.value()));
+    }
+
+    std::vector<std::unique_ptr<Network>> nets;
+    nets.reserve(lanes);
+    for (size_t lane = 0; lane < lanes; ++lane) {
+        auto net = compileNetwork(def, options);
+        if (!net.ok())
+            return net.status();
+        nets.push_back(std::move(net.value()));
+    }
+    auto adapter = NetworkBatchAdapter::create(std::move(nets));
+    if (!adapter.ok())
+        return adapter.status();
+    return std::unique_ptr<BatchNetwork>(std::move(adapter.value()));
+}
+
+} // namespace e3

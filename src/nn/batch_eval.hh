@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Population-at-a-time batched inference (ROADMAP item 1).
+ *
+ * BatchNetwork is the batch-first counterpart of Network: N lanes,
+ * each an independent network instance — one genome of a population,
+ * or N replicas of one champion for request batching. BatchEvaluator
+ * is the structure-of-arrays engine behind it: the whole population is
+ * compiled once into flat computation lists (the burds-style
+ * (srcSlot, dstSlot, weight) triples, factored as per-node op runs so
+ * the destination slot is not repeated per edge), sorted at compile
+ * time into dependency order and grouped into segments of consecutive
+ * nodes sharing (activation, aggregation) so the inner loops are tight
+ * folds with zero per-step allocation. Values live in one contiguous
+ * arena with a disjoint region per lane, which is what makes
+ * activateLane() safe to call concurrently for distinct lanes.
+ *
+ * Fold-order guarantee: per genome, nodes execute in exactly the
+ * order FeedForwardNetwork compiles them (layer order, then node
+ * order within the layer) and each node folds its ingress ops in
+ * exactly FeedForwardNetwork's link order, seeding the accumulator
+ * from the first element like Aggregator does. Results are therefore
+ * bit-identical to per-genome FeedForwardNetwork::activate() at any
+ * batch size and thread count, keeping RngAudit digests and
+ * src/verify interval bounds valid unchanged.
+ */
+
+#ifndef E3_NN_BATCH_EVAL_HH
+#define E3_NN_BATCH_EVAL_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/result.hh"
+#include "nn/compile.hh"
+#include "nn/network.hh"
+
+namespace e3 {
+
+/**
+ * Batch-first evaluation interface: a fixed set of lanes, each lane an
+ * independent network evaluated from strided input/output rows.
+ *
+ * Contract: lane i reads numInputs() doubles at inputs + i*inputStride
+ * and writes numOutputs() doubles at outputs + i*outputStride;
+ * activateLane() is the single-lane entry and must be safe to call
+ * concurrently for *distinct* lanes (ParallelEval lanes run out of
+ * lockstep). reset() clears any cross-step state on every lane.
+ */
+class BatchNetwork
+{
+  public:
+    virtual ~BatchNetwork() = default;
+
+    /** Evaluate lanes [0, count) from strided rows; count <= lanes(). */
+    virtual void activateBatch(size_t count, const double *inputs,
+                               size_t inputStride, double *outputs,
+                               size_t outputStride) = 0;
+
+    /** Evaluate one lane; thread-safe across distinct lanes. */
+    virtual void activateLane(size_t lane, const double *inputs,
+                              double *outputs) = 0;
+
+    /** Clear cross-step state; default is stateless. */
+    virtual void reset() {}
+
+    virtual size_t lanes() const = 0;
+    virtual size_t numInputs() const = 0;
+    virtual size_t numOutputs() const = 0;
+};
+
+/**
+ * SoA batch engine for plain feed-forward networks. Compile once per
+ * generation (or once per champion, replicated), then activate with no
+ * allocation: the per-lane programs are flat arrays of ops, node runs
+ * and (activation, aggregation) segments over one contiguous value
+ * arena.
+ */
+class BatchEvaluator : public BatchNetwork
+{
+  public:
+    /**
+     * Compile one program per definition (a population). All defs must
+     * share input/output arity; options must be plain feed-forward
+     * (no recurrence, no quantization — use the adapter for those).
+     */
+    static Result<std::unique_ptr<BatchEvaluator>>
+    compile(const std::vector<NetworkDef> &defs,
+            const NetworkCompileOptions &options = {});
+
+    /**
+     * Compile one definition shared by @p lanes value lanes — the
+     * serve-side shape, where coalesced same-champion requests land in
+     * one activateBatch() call.
+     */
+    static Result<std::unique_ptr<BatchEvaluator>>
+    compileReplicated(const NetworkDef &def, size_t lanes,
+                      const NetworkCompileOptions &options = {});
+
+    void activateBatch(size_t count, const double *inputs,
+                       size_t inputStride, double *outputs,
+                       size_t outputStride) override;
+
+    void activateLane(size_t lane, const double *inputs,
+                      double *outputs) override;
+
+    void reset() override;
+
+    size_t lanes() const override { return lanePrograms_.size(); }
+    size_t numInputs() const override { return numInputs_; }
+    size_t numOutputs() const override { return numOutputs_; }
+
+    /**
+     * Distinct compiled ops across all lane programs. Replicated
+     * lanes share one program, so a full-batch activation performs
+     * totalOps() MACs for a population compile and lanes() *
+     * totalOps() for a replicated one.
+     */
+    uint64_t totalOps() const { return ops_.size(); }
+
+  private:
+    /** One compiled node: a run [opBegin, opEnd) folded into dstSlot. */
+    struct NodeRun
+    {
+        uint32_t dstSlot; ///< lane-local value slot written
+        uint32_t opBegin;
+        uint32_t opEnd;
+        double bias;
+    };
+
+    /** Consecutive nodes sharing (activation, aggregation). */
+    struct Segment
+    {
+        uint32_t nodeBegin;
+        uint32_t nodeEnd;
+        Activation act;
+        Aggregation agg;
+    };
+
+    /** One lane's slice of the flat arrays and the value arena. */
+    struct LaneProgram
+    {
+        uint32_t segBegin;
+        uint32_t segEnd;
+        uint32_t valueBase; ///< arena offset of this lane's slots
+        uint32_t slotCount;
+        uint32_t outBase; ///< offset into outputSlots_
+    };
+
+    BatchEvaluator() = default;
+
+    /** Flatten one compiled network into the SoA arrays as a lane. */
+    void appendLane(const FeedForwardNetwork &net);
+
+    /**
+     * One fold step: multiply a lane-local value slot by a weight.
+     * Kept as an {slot, weight} pair (one sequential 16-byte stream)
+     * rather than split parallel arrays — measured head-to-head on the
+     * target, the single-stream layout is faster at population 128 and
+     * no worse at 256.
+     */
+    struct Op
+    {
+        uint32_t srcSlot; ///< lane-local value slot read
+        double weight;
+    };
+
+    size_t numInputs_ = 0;
+    size_t numOutputs_ = 0;
+    std::vector<Op> ops_;
+    std::vector<NodeRun> nodes_;
+    std::vector<Segment> segments_;
+    std::vector<uint32_t> outputSlots_; ///< lane-local output slots
+    std::vector<LaneProgram> lanePrograms_;
+    std::vector<double> values_; ///< contiguous per-lane value arena
+};
+
+/**
+ * Loop-over-Network adapter: the same BatchNetwork contract backed by
+ * one compiled Network per lane, so recurrent and quantized options
+ * (and any future Network implementation) keep working behind the
+ * batch-first API.
+ */
+class NetworkBatchAdapter : public BatchNetwork
+{
+  public:
+    /** Wrap pre-compiled networks; all must share arity. */
+    static Result<std::unique_ptr<NetworkBatchAdapter>>
+    create(std::vector<std::unique_ptr<Network>> nets);
+
+    void activateBatch(size_t count, const double *inputs,
+                       size_t inputStride, double *outputs,
+                       size_t outputStride) override;
+
+    void activateLane(size_t lane, const double *inputs,
+                      double *outputs) override;
+
+    void reset() override;
+
+    size_t lanes() const override { return nets_.size(); }
+    size_t numInputs() const override { return numInputs_; }
+    size_t numOutputs() const override { return numOutputs_; }
+
+    /** The lane's underlying network (tests, replay introspection). */
+    Network &lane(size_t i) { return *nets_[i]; }
+
+  private:
+    explicit NetworkBatchAdapter(
+        std::vector<std::unique_ptr<Network>> nets);
+
+    size_t numInputs_ = 0;
+    size_t numOutputs_ = 0;
+    std::vector<std::unique_ptr<Network>> nets_;
+};
+
+/** Engine selection for the population-compile entry points. */
+enum class BatchEngine
+{
+    Auto,      ///< SoA when the options allow it, adapter otherwise
+    Soa,       ///< force the SoA engine (error on unsupported options)
+    PerGenome, ///< force the loop-over-Network adapter
+};
+
+/**
+ * The one population-compile entry point: turn a population of
+ * definitions into a BatchNetwork. Both the platform's evaluation
+ * path and serve go through here, so the batch engine can intercept
+ * whole populations regardless of caller.
+ */
+Result<std::unique_ptr<BatchNetwork>>
+compilePopulation(const std::vector<NetworkDef> &defs,
+                  const NetworkCompileOptions &options = {},
+                  BatchEngine engine = BatchEngine::Auto);
+
+/** Same, for one definition replicated across @p lanes lanes. */
+Result<std::unique_ptr<BatchNetwork>>
+compileReplicated(const NetworkDef &def, size_t lanes,
+                  const NetworkCompileOptions &options = {},
+                  BatchEngine engine = BatchEngine::Auto);
+
+} // namespace e3
+
+#endif // E3_NN_BATCH_EVAL_HH

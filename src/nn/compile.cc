@@ -57,31 +57,31 @@ checkDefInvariants(const NetworkDef &def, bool recurrent)
     return Status();
 }
 
-std::unique_ptr<Network>
+Result<std::unique_ptr<Network>>
 compileNetwork(const NetworkDef &def,
                const NetworkCompileOptions &options)
 {
-    e3_assert(!(options.recurrent && options.quantization),
-              "quantized recurrent evaluation is not supported");
-#ifndef NDEBUG
-    // Debug-build gate: a malformed def must be caught as a structural
-    // invariant here, not as an arbitrary downstream e3_assert.
+    if (options.recurrent && options.quantization)
+        return Status::error(
+            "quantized recurrent evaluation is not supported");
     if (Status invariants = checkDefInvariants(def, options.recurrent);
         !invariants.ok()) {
-        e3_panic("compileNetwork: malformed NetworkDef: ",
-                 invariants.message());
+        return Status::error("malformed NetworkDef: ",
+                             invariants.message());
     }
-#endif
     if (options.quantization) {
-        return std::make_unique<QuantizedNetwork>(
-            QuantizedNetwork::create(def, *options.quantization));
+        if (Status format = options.quantization->validate();
+            !format.ok())
+            return format;
+        return std::unique_ptr<Network>(std::make_unique<QuantizedNetwork>(
+            QuantizedNetwork::create(def, *options.quantization)));
     }
     if (options.recurrent) {
-        return std::make_unique<RecurrentNetwork>(
-            RecurrentNetwork::create(def));
+        return std::unique_ptr<Network>(std::make_unique<RecurrentNetwork>(
+            RecurrentNetwork::create(def)));
     }
-    return std::make_unique<FeedForwardNetwork>(
-        FeedForwardNetwork::create(def));
+    return std::unique_ptr<Network>(std::make_unique<FeedForwardNetwork>(
+        FeedForwardNetwork::create(def)));
 }
 
 } // namespace e3

@@ -39,11 +39,12 @@ struct NetworkCompileOptions
 /**
  * Compile a definition into the matching executable form:
  * quantized feed-forward when a format is given, recurrent when
- * requested, plain feed-forward otherwise.
- * @pre recurrent and quantization are not combined (the fixed-point
- *      evaluator models INAX's feed-forward datapath).
+ * requested, plain feed-forward otherwise. A malformed definition
+ * (checkDefInvariants), an invalid fixed-point format, or the
+ * unsupported recurrent+quantized combination comes back as an error
+ * Status — compiling user-supplied genomes never aborts the process.
  */
-std::unique_ptr<Network>
+Result<std::unique_ptr<Network>>
 compileNetwork(const NetworkDef &def,
                const NetworkCompileOptions &options = {});
 
@@ -52,10 +53,10 @@ compileNetwork(const NetworkDef &def,
  * unique node ids and connection keys, every output id defined,
  * connection endpoints resolving to inputs or nodes, finite weights
  * and biases, and (unless @p recurrent) acyclicity. Returns the first
- * violation as an error Status. compileNetwork() checks this in debug
- * builds before handing the def to the evaluators, whose own
- * e3_asserts are narrower; the full verifier (src/verify) reports the
- * same defects as cataloged diagnostics.
+ * violation as an error Status. compileNetwork() checks this before
+ * handing the def to the evaluators, whose own e3_asserts are
+ * narrower; the full verifier (src/verify) reports the same defects
+ * as cataloged diagnostics.
  */
 Status checkDefInvariants(const NetworkDef &def, bool recurrent = false);
 

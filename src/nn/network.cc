@@ -98,11 +98,18 @@ FeedForwardNetwork::create(const NetworkDef &def)
 }
 
 std::vector<double>
-FeedForwardNetwork::activate(const std::vector<double> &inputs)
+Network::activate(const std::vector<double> &inputs)
 {
-    e3_assert(inputs.size() == numInputs_,
-              "expected ", numInputs_, " inputs, got ", inputs.size());
+    e3_assert(inputs.size() == numInputs(),
+              "expected ", numInputs(), " inputs, got ", inputs.size());
+    std::vector<double> out(numOutputs());
+    activateInto(inputs.data(), out.data());
+    return out;
+}
 
+void
+FeedForwardNetwork::activateInto(const double *inputs, double *outputs)
+{
     for (size_t i = 0; i < numInputs_; ++i)
         values_[i] = inputs[i];
 
@@ -116,11 +123,8 @@ FeedForwardNetwork::activate(const std::vector<double> &inputs)
         }
     }
 
-    std::vector<double> out;
-    out.reserve(outputSlots_.size());
-    for (uint32_t slot : outputSlots_)
-        out.push_back(values_[slot]);
-    return out;
+    for (size_t o = 0; o < outputSlots_.size(); ++o)
+        outputs[o] = values_[outputSlots_[o]];
 }
 
 size_t

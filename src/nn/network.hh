@@ -80,19 +80,28 @@ struct EvalNode
  * program against this contract instead of switching on concrete
  * types; compileNetwork() (nn/compile.hh) picks the implementation.
  *
- * Contract: activate() takes one value per input in inputIds order and
- * returns one value per output in outputIds order; reset() clears any
- * cross-step state (a no-op for stateless networks) and must be called
- * between episodes.
+ * Contract: the span-style activateInto() core reads one value per
+ * input in inputIds order and writes one value per output in outputIds
+ * order; the std::vector activate() overload is a thin allocating
+ * wrapper over it. reset() clears any cross-step state (a no-op for
+ * stateless networks) and must be called between episodes.
  */
 class Network
 {
   public:
     virtual ~Network() = default;
 
-    /** Run one inference (one synchronous tick for stateful nets). */
-    virtual std::vector<double>
-    activate(const std::vector<double> &inputs) = 0;
+    /**
+     * Run one inference (one synchronous tick for stateful nets).
+     * Reads exactly numInputs() doubles from @p inputs and writes
+     * exactly numOutputs() doubles to @p outputs; implementations do
+     * not allocate. This is the core every batch evaluator drives.
+     */
+    virtual void activateInto(const double *inputs,
+                              double *outputs) = 0;
+
+    /** Convenience wrapper over activateInto(). */
+    std::vector<double> activate(const std::vector<double> &inputs);
 
     /** Clear cross-step state; default is stateless. */
     virtual void reset() {}
@@ -117,10 +126,9 @@ class FeedForwardNetwork : public Network
     /**
      * Run one inference.
      * @param inputs one value per input id, in inputIds order
-     * @return output values in outputIds order
+     * @param outputs one value per output id, in outputIds order
      */
-    std::vector<double>
-    activate(const std::vector<double> &inputs) override;
+    void activateInto(const double *inputs, double *outputs) override;
 
     size_t numInputs() const override { return numInputs_; }
     size_t numOutputs() const override { return outputSlots_.size(); }
@@ -139,6 +147,12 @@ class FeedForwardNetwork : public Network
 
     /** Total value-array slots (inputs + compiled nodes). */
     size_t valueSlots() const { return slotCount_; }
+
+    /** Value-array slot of each output, in outputIds order. */
+    const std::vector<uint32_t> &outputSlots() const
+    {
+        return outputSlots_;
+    }
 
     /**
      * The value array of the most recent activate() call: input slots

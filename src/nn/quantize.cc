@@ -94,13 +94,10 @@ QuantizedNetwork::create(const NetworkDef &def,
         FeedForwardNetwork::create(quantizeDef(def, format)), format);
 }
 
-std::vector<double>
-QuantizedNetwork::activate(const std::vector<double> &inputs)
+void
+QuantizedNetwork::activateInto(const double *inputs, double *outputs)
 {
-    e3_assert(inputs.size() == net_.numInputs(),
-              "expected ", net_.numInputs(), " inputs, got ",
-              inputs.size());
-    for (size_t i = 0; i < inputs.size(); ++i)
+    for (size_t i = 0; i < net_.numInputs(); ++i)
         values_[i] = format_.quantize(inputs[i]);
 
     for (const auto &layer : net_.layers()) {
@@ -117,11 +114,8 @@ QuantizedNetwork::activate(const std::vector<double> &inputs)
         }
     }
 
-    std::vector<double> out;
-    out.reserve(outputSlots_.size());
-    for (uint32_t slot : outputSlots_)
-        out.push_back(values_[slot]);
-    return out;
+    for (size_t o = 0; o < outputSlots_.size(); ++o)
+        outputs[o] = values_[outputSlots_[o]];
 }
 
 } // namespace e3

@@ -61,8 +61,7 @@ class QuantizedNetwork : public Network
                                    const FixedPointFormat &format);
 
     /** Run one inference; outputs are quantized values. */
-    std::vector<double>
-    activate(const std::vector<double> &inputs) override;
+    void activateInto(const double *inputs, double *outputs) override;
 
     size_t numInputs() const override { return net_.numInputs(); }
     size_t numOutputs() const override { return net_.numOutputs(); }

@@ -73,12 +73,9 @@ RecurrentNetwork::create(const NetworkDef &def)
     return net;
 }
 
-std::vector<double>
-RecurrentNetwork::activate(const std::vector<double> &inputs)
+void
+RecurrentNetwork::activateInto(const double *inputs, double *outputs)
 {
-    e3_assert(inputs.size() == numInputs_,
-              "expected ", numInputs_, " inputs, got ", inputs.size());
-
     // Inputs are visible within the tick; node reads see the previous
     // tick's activations (neat-python RecurrentNetwork semantics).
     for (size_t i = 0; i < numInputs_; ++i) {
@@ -95,11 +92,8 @@ RecurrentNetwork::activate(const std::vector<double> &inputs)
     }
     std::swap(prev_, next_);
 
-    std::vector<double> out;
-    out.reserve(outputSlots_.size());
-    for (uint32_t slot : outputSlots_)
-        out.push_back(prev_[slot]);
-    return out;
+    for (size_t o = 0; o < outputSlots_.size(); ++o)
+        outputs[o] = prev_[outputSlots_[o]];
 }
 
 void

@@ -37,9 +37,8 @@ class RecurrentNetwork : public Network
      */
     static RecurrentNetwork create(const NetworkDef &def);
 
-    /** Advance one tick; returns output values after the tick. */
-    std::vector<double>
-    activate(const std::vector<double> &inputs) override;
+    /** Advance one tick; writes output values after the tick. */
+    void activateInto(const double *inputs, double *outputs) override;
 
     /** Clear all state (start of an episode). */
     void reset() override;

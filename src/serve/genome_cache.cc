@@ -2,7 +2,7 @@
 
 namespace e3::serve {
 
-std::shared_ptr<CompiledChampion>
+Result<std::shared_ptr<CompiledChampion>>
 GenomeCache::acquire(uint64_t fingerprint, const NetworkDef &def,
                      const NetworkCompileOptions &options)
 {
@@ -23,9 +23,13 @@ GenomeCache::acquire(uint64_t fingerprint, const NetworkDef &def,
     // not stall hits for other champions. A concurrent miss on the
     // same fingerprint may compile twice; the second insert wins the
     // slot and the first compilation dies with its batch's reference.
+    Result<std::unique_ptr<BatchNetwork>> compiled =
+        compileReplicated(def, batchLanes_, options);
+    if (!compiled.ok())
+        return compiled.status();
     auto entry = std::make_shared<CompiledChampion>();
     entry->fingerprint = fingerprint;
-    entry->net = compileNetwork(def, options);
+    entry->batch = std::move(compiled).value();
 
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = slots_.find(fingerprint);

@@ -13,9 +13,12 @@
  * Entries are handed out as shared_ptr, so an eviction never pulls a
  * network out from under a batch that is mid-inference — the batch
  * keeps its reference and the entry is destroyed when the last user
- * drops it. Each entry carries its own eval mutex: Network::activate()
- * mutates internal value storage, so concurrent batches for the same
- * champion serialize on it (and, activate() being a pure function of
+ * drops it. Each champion compiles to a replicated BatchNetwork
+ * (compileReplicated) with one lane per batcher slot, so a coalesced
+ * group of same-champion requests is answered by ONE activateBatch()
+ * call. Each entry carries its own eval mutex: activation mutates the
+ * engine's value arena, so concurrent batches for the same champion
+ * serialize on it (and, activation being a pure function of
  * (definition, observation), responses stay bit-identical at any
  * batch size or thread count).
  */
@@ -29,36 +32,45 @@
 #include <mutex>
 #include <unordered_map>
 
-#include "nn/compile.hh"
-#include "nn/network.hh"
+#include "nn/batch_eval.hh"
 
 namespace e3::serve {
 
-/** A compiled champion ready to answer observations. */
+/** A compiled champion ready to answer observation batches. */
 struct CompiledChampion
 {
     uint64_t fingerprint = 0;
-    std::unique_ptr<Network> net;
-    std::mutex evalMutex; ///< serializes activate() calls
+    std::unique_ptr<BatchNetwork> batch;
+    std::mutex evalMutex; ///< serializes activateBatch() calls
 };
 
 /** Thread-safe LRU cache of compiled networks. */
 class GenomeCache
 {
   public:
-    explicit GenomeCache(size_t capacity)
-        : capacity_(capacity == 0 ? 1 : capacity)
+    /**
+     * @param capacity resident compiled champions (min 1)
+     * @param batchLanes value lanes per champion — size this to the
+     *        batcher's maximum group so one group is one
+     *        activateBatch() call (min 1)
+     */
+    explicit GenomeCache(size_t capacity, size_t batchLanes = 1)
+        : capacity_(capacity == 0 ? 1 : capacity),
+          batchLanes_(batchLanes == 0 ? 1 : batchLanes)
     {
     }
 
     /**
      * Fetch the compiled network for @p fingerprint, compiling
-     * @p def on a miss. The returned entry stays valid even if a
-     * later insertion evicts it from the cache.
+     * @p def on a miss (an error Status if it does not compile). The
+     * returned entry stays valid even if a later insertion evicts it
+     * from the cache.
      */
-    std::shared_ptr<CompiledChampion>
+    Result<std::shared_ptr<CompiledChampion>>
     acquire(uint64_t fingerprint, const NetworkDef &def,
             const NetworkCompileOptions &options);
+
+    size_t batchLanes() const { return batchLanes_; }
 
     size_t size() const;
     size_t capacity() const { return capacity_; }
@@ -75,6 +87,7 @@ class GenomeCache
   private:
     mutable std::mutex mutex_;
     size_t capacity_;
+    size_t batchLanes_;
     /** Most-recently-used at the front. */
     std::list<uint64_t> order_;
     struct Slot

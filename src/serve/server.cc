@@ -58,7 +58,8 @@ struct ChampionServer::Connection
 
 ChampionServer::ChampionServer(const ServeOptions &options)
     : options_(options),
-      cache_(std::make_unique<GenomeCache>(options.cacheCapacity))
+      cache_(std::make_unique<GenomeCache>(options.cacheCapacity,
+                                           options.maxBatchSize))
 {
     Batcher::Options batcherOptions;
     batcherOptions.maxBatchSize = options.maxBatchSize;
@@ -224,32 +225,75 @@ ChampionServer::evaluateBatch(std::vector<PendingRequest> &batch)
     // immutable after create(), so this lookup cannot fail.
     e3_assert(entry != nullptr, "batched request for an unknown champion");
 
-    const std::shared_ptr<CompiledChampion> compiled = cache_->acquire(
-        entry->info.fingerprint, entry->def, NetworkCompileOptions{});
-
-    // One activation per request under the champion's eval mutex:
-    // activate() is a pure function of (def, observation), so each
-    // response is bit-identical no matter how requests were grouped.
-    std::lock_guard<std::mutex> evalLock(compiled->evalMutex);
-    for (PendingRequest &pending : batch) {
-        obs::TraceSpan requestSpan("serve.infer",
-                                   obs::TraceDetail::Task);
-        InferResponse response;
-        response.status = StatusCode::Ok;
-        response.requestId = pending.request.requestId;
-        compiled->net->reset();
-        response.action =
-            compiled->net->activate(pending.request.observation);
-
-        const auto now = std::chrono::steady_clock::now();
-        latency_.record(
-            std::chrono::duration<double>(now - pending.enqueued)
-                .count());
-        {
-            std::lock_guard<std::mutex> lock(countersMutex_);
-            ++counters_.ok;
+    Result<std::shared_ptr<CompiledChampion>> acquired =
+        cache_->acquire(entry->info.fingerprint, entry->def,
+                        NetworkCompileOptions{});
+    if (!acquired.ok()) {
+        // Champions are verify-gated at load, so this is close to
+        // unreachable — but a def that no longer compiles must answer
+        // its requests, not crash the serving loop.
+        warn("serve: champion ", entry->info.fingerprint,
+             " failed to compile: ", acquired.message());
+        for (PendingRequest &pending : batch) {
+            InferResponse response;
+            response.status = StatusCode::BadRequest;
+            response.requestId = pending.request.requestId;
+            {
+                std::lock_guard<std::mutex> lock(countersMutex_);
+                ++counters_.rejectedBadRequest;
+            }
+            pending.done(response);
         }
-        pending.done(response);
+        return;
+    }
+    const std::shared_ptr<CompiledChampion> compiled =
+        std::move(acquired).value();
+
+    // The whole coalesced group lands in one activateBatch() call per
+    // chunk of lanes, under the champion's eval mutex: activation is a
+    // pure function of (def, observation), so each response is
+    // bit-identical no matter how requests were grouped.
+    BatchNetwork &net = *compiled->batch;
+    const size_t numIn = net.numInputs();
+    const size_t numOut = net.numOutputs();
+    std::lock_guard<std::mutex> evalLock(compiled->evalMutex);
+    std::vector<double> inBuf(net.lanes() * numIn);
+    std::vector<double> outBuf(net.lanes() * numOut);
+    for (size_t offset = 0; offset < batch.size();
+         offset += net.lanes()) {
+        const size_t count =
+            std::min(net.lanes(), batch.size() - offset);
+        for (size_t i = 0; i < count; ++i) {
+            const Observation &obs =
+                batch[offset + i].request.observation;
+            std::copy(obs.begin(), obs.end(),
+                      inBuf.begin() + static_cast<long>(i * numIn));
+        }
+        net.reset();
+        net.activateBatch(count, inBuf.data(), numIn, outBuf.data(),
+                          numOut);
+
+        for (size_t i = 0; i < count; ++i) {
+            obs::TraceSpan requestSpan("serve.infer",
+                                       obs::TraceDetail::Task);
+            PendingRequest &pending = batch[offset + i];
+            InferResponse response;
+            response.status = StatusCode::Ok;
+            response.requestId = pending.request.requestId;
+            response.action.assign(
+                outBuf.begin() + static_cast<long>(i * numOut),
+                outBuf.begin() + static_cast<long>((i + 1) * numOut));
+
+            const auto now = std::chrono::steady_clock::now();
+            latency_.record(
+                std::chrono::duration<double>(now - pending.enqueued)
+                    .count());
+            {
+                std::lock_guard<std::mutex> lock(countersMutex_);
+                ++counters_.ok;
+            }
+            pending.done(response);
+        }
     }
 }
 

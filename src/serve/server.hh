@@ -7,10 +7,11 @@
  * observation -> action requests. ChampionServer loads the champion of
  * each configured checkpoint directory, gates it through the src/verify
  * static analyzer (an artifact with verification errors is never
- * served — the load returns a tagged error instead), compiles it with
- * compileNetwork(), and serves it through a request-coalescing batcher
- * backed by an LRU compiled-network cache keyed on the checkpoint
- * manifest fingerprint.
+ * served — the load returns a tagged error instead), compiles it into
+ * a replicated batch engine (compileReplicated), and serves it through
+ * a request-coalescing batcher backed by an LRU compiled-network cache
+ * keyed on the checkpoint manifest fingerprint — each coalesced group
+ * of same-champion requests is answered by one activateBatch() call.
  *
  * Two front ends share one request path: submit()/infer() for
  * in-process callers (tests, the bench driver) and a length-prefixed

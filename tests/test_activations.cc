@@ -52,13 +52,18 @@ TEST(Activations, NameRoundTrip)
 {
     for (int i = 0; i < numActivations; ++i) {
         const Activation a = activationFromIndex(i);
-        EXPECT_EQ(parseActivation(activationName(a)), a);
+        Result<Activation> parsed = parseActivation(activationName(a));
+        ASSERT_TRUE(parsed.ok()) << parsed.message();
+        EXPECT_EQ(parsed.value(), a);
     }
 }
 
-TEST(ActivationsDeath, UnknownNameFatal)
+TEST(Activations, UnknownNameIsError)
 {
-    EXPECT_DEATH(parseActivation("softmax"), "unknown activation");
+    Result<Activation> parsed = parseActivation("softmax");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.message().find("unknown activation"),
+              std::string::npos);
 }
 
 TEST(Aggregations, SumAndMean)
@@ -111,7 +116,10 @@ TEST(Aggregations, NameRoundTrip)
 {
     for (int i = 0; i < numAggregations; ++i) {
         const Aggregation a = aggregationFromIndex(i);
-        EXPECT_EQ(parseAggregation(aggregationName(a)), a);
+        Result<Aggregation> parsed =
+            parseAggregation(aggregationName(a));
+        ASSERT_TRUE(parsed.ok()) << parsed.message();
+        EXPECT_EQ(parsed.value(), a);
     }
 }
 

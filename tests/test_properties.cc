@@ -118,7 +118,9 @@ TEST_P(ActivationProperty, DeterministicAndNameRoundTrips)
     const Activation act = activationFromIndex(GetParam());
     EXPECT_DOUBLE_EQ(applyActivation(act, 0.37),
                      applyActivation(act, 0.37));
-    EXPECT_EQ(parseActivation(activationName(act)), act);
+    Result<Activation> parsed = parseActivation(activationName(act));
+    ASSERT_TRUE(parsed.ok()) << parsed.message();
+    EXPECT_EQ(parsed.value(), act);
 }
 
 INSTANTIATE_TEST_SUITE_P(All, ActivationProperty,

@@ -54,20 +54,20 @@ TEST(Serialize, RoundTripPreservesEverything)
 TEST(Serialize, UnevaluatedFitnessRoundTrips)
 {
     const Genome original = sampleGenome(2, /*evaluated=*/false);
-    const Genome copy =
-        genomeFromStringOrDie(genomeToString(original));
-    EXPECT_FALSE(copy.evaluated());
+    Result<Genome> copy = genomeFromString(genomeToString(original));
+    ASSERT_TRUE(copy.ok()) << copy.message();
+    EXPECT_FALSE(copy->evaluated());
 }
 
 TEST(Serialize, LoadedGenomeDecodesIdentically)
 {
     const NeatConfig cfg = NeatConfig::forTask(3, 2, 1.0);
     const Genome original = sampleGenome(3);
-    const Genome copy =
-        genomeFromStringOrDie(genomeToString(original));
+    Result<Genome> copy = genomeFromString(genomeToString(original));
+    ASSERT_TRUE(copy.ok()) << copy.message();
 
     auto netA = FeedForwardNetwork::create(original.toNetworkDef(cfg));
-    auto netB = FeedForwardNetwork::create(copy.toNetworkDef(cfg));
+    auto netB = FeedForwardNetwork::create(copy->toNetworkDef(cfg));
     const std::vector<double> x{0.25, -0.5, 0.75};
     EXPECT_EQ(netA.activate(x), netB.activate(x));
 }
@@ -77,8 +77,9 @@ TEST(Serialize, CommentsAndBlanksIgnored)
     const Genome original = sampleGenome(4);
     const std::string text =
         "# champion from run 7\n\n" + genomeToString(original);
-    const Genome copy = genomeFromStringOrDie(text);
-    EXPECT_EQ(copy.nodes.size(), original.nodes.size());
+    Result<Genome> copy = genomeFromString(text);
+    ASSERT_TRUE(copy.ok()) << copy.message();
+    EXPECT_EQ(copy->nodes.size(), original.nodes.size());
 }
 
 TEST(Serialize, FileRoundTrip)
@@ -95,8 +96,7 @@ TEST(Serialize, FileRoundTrip)
     EXPECT_NE(bad.message().find("cannot open"), std::string::npos);
 }
 
-// Malformed input is an error status, never a crash: the library layer
-// reports, only the *OrDie wrappers terminate.
+// Malformed input is an error status, never a crash.
 TEST(Serialize, MissingFileIsError)
 {
     Result<Genome> r = loadGenomeFile("/nonexistent/y.genome");
@@ -235,12 +235,11 @@ TEST(SerializeAudit, NonfiniteValuesRoundTripThroughSave)
         std::isnan(copy->conns.at(ConnKey{-1, 0}).weight));
 }
 
-TEST(SerializeDeath, OrDieWrappersTerminateOnBadInput)
+TEST(Serialize, GarbageInputIsErrorNotCrash)
 {
-    EXPECT_DEATH(loadGenomeFileOrDie("/nonexistent/y.genome"),
-                 "cannot open");
-    EXPECT_DEATH(genomeFromStringOrDie("whatever\n"),
-                 "expected 'genome'");
+    Result<Genome> r = genomeFromString("whatever\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.message().find("expected 'genome'"), std::string::npos);
 }
 
 } // namespace

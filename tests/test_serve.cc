@@ -304,20 +304,20 @@ TEST(ServeCache, LruEvictionOrderAndCounters)
 {
     const NetworkDef def = tinyDef("cartpole");
     const NetworkCompileOptions copt;
-    GenomeCache cache(/*capacity=*/2);
+    GenomeCache cache(/*capacity=*/2, /*batchLanes=*/4);
 
-    auto a = cache.acquire(1, def, copt);
-    auto b = cache.acquire(2, def, copt);
+    auto a = cache.acquire(1, def, copt).value();
+    auto b = cache.acquire(2, def, copt).value();
     ASSERT_NE(a, nullptr);
     ASSERT_NE(b, nullptr);
     EXPECT_EQ(cache.misses(), 2u);
     EXPECT_EQ(cache.hits(), 0u);
 
     // Touch 1 so 2 becomes the LRU victim.
-    EXPECT_EQ(cache.acquire(1, def, copt).get(), a.get());
+    EXPECT_EQ(cache.acquire(1, def, copt).value().get(), a.get());
     EXPECT_EQ(cache.hits(), 1u);
 
-    auto c = cache.acquire(3, def, copt);
+    auto c = cache.acquire(3, def, copt).value();
     ASSERT_NE(c, nullptr);
     EXPECT_EQ(cache.evictions(), 1u);
     EXPECT_EQ(cache.size(), 2u);
@@ -326,17 +326,29 @@ TEST(ServeCache, LruEvictionOrderAndCounters)
     EXPECT_TRUE(cache.contains(3));
 
     // Fingerprint-keyed: re-acquiring an evicted key recompiles.
-    auto b2 = cache.acquire(2, def, copt);
+    auto b2 = cache.acquire(2, def, copt).value();
     EXPECT_NE(b2.get(), b.get());
     EXPECT_EQ(cache.misses(), 4u);
 
     // The evicted entry stays usable via its shared_ptr — eviction
     // must never pull a network out from under a running batch.
-    ASSERT_NE(b->net, nullptr);
-    b->net->reset();
-    const std::vector<double> out =
-        b->net->activate(observationFor("cartpole"));
+    ASSERT_NE(b->batch, nullptr);
+    EXPECT_EQ(b->batch->lanes(), 4u);
+    b->batch->reset();
+    const std::vector<double> obs = observationFor("cartpole");
+    std::vector<double> out(b->batch->numOutputs());
+    b->batch->activateLane(0, obs.data(), out.data());
     EXPECT_EQ(out.size(), findEnvSpec("cartpole")->numOutputs);
+}
+
+TEST(ServeCache, MalformedDefIsErrorNotCrash)
+{
+    NetworkDef def = tinyDef("cartpole");
+    def.conns.push_back({-1, 999, 1.0}); // dangling endpoint
+    GenomeCache cache(/*capacity=*/2);
+    auto r = cache.acquire(7, def, NetworkCompileOptions{});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(cache.size(), 0u);
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Guard the batched-inference speedup recorded by bench/micro_kernels.
+
+Compares a fresh ``bench_micro_kernels`` JSON run against the committed
+``BENCH_micro_kernels.json`` baseline. Raw throughput is not portable
+across machines (CI runners differ from the box that recorded the
+baseline), so the guarded quantity is the *speedup ratio* of each
+batched benchmark over its per-genome twin within the same run:
+
+    ratio = items_per_second(batched) / items_per_second(per-genome)
+
+The job fails when a batched kernel's ratio drops more than the
+tolerance (default 20%) below the baseline's ratio — i.e. when a change
+erodes what the batch engine buys over the per-genome path, regardless
+of how fast the runner happens to be.
+
+Usage:
+    bench_regression.py BASELINE.json NEW.json [--tolerance 0.2]
+"""
+
+import argparse
+import json
+import sys
+
+# (label, per-genome benchmark, batched benchmark, guarded) twins
+# measured by bench/micro_kernels.cc. items_per_second counts
+# individual inferences on both sides, so the ratio is the
+# population-inference speedup. The generation-grain pair is printed
+# but not guarded: it is dominated by compile cost shared by both
+# paths, so its ratio sits near 1x where run-to-run noise exceeds any
+# real regression signal.
+PAIRS = [
+    ("kernel pop=128", "BM_PopulationInferenceKernel/128",
+     "BM_PopulationInferenceKernelBatched/128", True),
+    ("kernel pop=256", "BM_PopulationInferenceKernel/256",
+     "BM_PopulationInferenceKernelBatched/256", True),
+    ("sigmoid pop=128", "BM_PopulationInference/128",
+     "BM_PopulationInferenceBatched/128", True),
+    ("sigmoid pop=256", "BM_PopulationInference/256",
+     "BM_PopulationInferenceBatched/256", True),
+    ("generation grain", "BM_GenerationInferencePerGenome",
+     "BM_GenerationInferenceBatched", False),
+]
+
+
+def load_items_per_second(path):
+    with open(path) as f:
+        report = json.load(f)
+    rates = {}
+    for bench in report.get("benchmarks", []):
+        rate = bench.get("items_per_second")
+        if rate:
+            rates[bench["name"]] = float(rate)
+    if not rates:
+        sys.exit(f"error: {path} has no items_per_second entries")
+    return rates
+
+
+def ratio(rates, per_genome, batched):
+    if per_genome not in rates or batched not in rates:
+        return None
+    return rates[batched] / rates[per_genome]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("fresh", help="JSON from the current build")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional ratio drop "
+                             "(default 0.2 = 20%%)")
+    args = parser.parse_args()
+
+    base = load_items_per_second(args.baseline)
+    fresh = load_items_per_second(args.fresh)
+
+    failures = []
+    print(f"{'pair':<18} {'baseline':>9} {'current':>9} {'floor':>7}")
+    for label, per_genome, batched, guarded in PAIRS:
+        base_ratio = ratio(base, per_genome, batched)
+        fresh_ratio = ratio(fresh, per_genome, batched)
+        if base_ratio is None:
+            # The baseline predates this pair; nothing to guard yet.
+            continue
+        if fresh_ratio is None:
+            if guarded:
+                failures.append(
+                    f"{label}: benchmarks missing from fresh run")
+            continue
+        if not guarded:
+            print(f"{label:<18} {base_ratio:>8.2f}x {fresh_ratio:>8.2f}x "
+                  f"{'—':>7}  info only")
+            continue
+        floor = base_ratio * (1.0 - args.tolerance)
+        status = "ok" if fresh_ratio >= floor else "REGRESSION"
+        print(f"{label:<18} {base_ratio:>8.2f}x {fresh_ratio:>8.2f}x "
+              f"{floor:>6.2f}x  {status}")
+        if fresh_ratio < floor:
+            failures.append(
+                f"{label}: batched speedup {fresh_ratio:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base_ratio:.2f}x - "
+                f"{args.tolerance:.0%})")
+
+    if failures:
+        print("\nbench regression:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall batched speedup ratios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

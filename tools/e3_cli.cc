@@ -136,6 +136,20 @@ cmdListEnvs()
     return 0;
 }
 
+/** Resolve a user-supplied env name; fatal if unknown (CLI boundary). */
+const EnvSpec &
+requireEnvSpec(const std::string &name)
+{
+    const EnvSpec *spec = findEnvSpec(name);
+    if (!spec) {
+        std::string known;
+        for (const auto &n : envNames())
+            known += (known.empty() ? "" : "|") + n;
+        e3_fatal("unknown environment '", name, "' (", known, ")");
+    }
+    return *spec;
+}
+
 /** Resolve a --backend name against the registry; fatal if unknown. */
 std::string
 parseBackend(const std::string &name)
@@ -169,7 +183,7 @@ cmdRun(const Args &args)
     options.asyncOverlap = args.getInt("async", 0) != 0;
     options.verifyGenomes = args.getInt("verify", 0) != 0;
 
-    const EnvSpec &spec = envSpec(envName);
+    const EnvSpec &spec = requireEnvSpec(envName);
     InaxConfig inaxCfg = InaxConfig::paperDefault(spec.numOutputs);
     inaxCfg.numPUs =
         static_cast<size_t>(args.getInt("pu", inaxCfg.numPUs));
@@ -234,7 +248,10 @@ cmdRun(const Args &args)
                     options.asyncOverlap ? ", async overlap" : "");
     }
 
-    const RunResult result = runExperiment(envName, backend, options);
+    Result<RunResult> run = runExperiment(envName, backend, options);
+    if (!run.ok())
+        e3_fatal(run.message());
+    const RunResult result = std::move(run).value();
 
     if (!tracePath.empty() && obs::traceStop(tracePath) && !quiet)
         std::printf("trace written to %s\n", tracePath.c_str());
@@ -345,15 +362,18 @@ cmdReplay(const Args &args)
     if (genomePath.empty())
         e3_fatal("replay needs --genome <file>");
 
-    const EnvSpec &spec = envSpec(envName);
+    const EnvSpec &spec = requireEnvSpec(envName);
     Result<Genome> loaded = loadGenomeFile(genomePath);
     if (!loaded.ok())
         e3_fatal(loaded.message());
     const Genome genome = *std::move(loaded);
     const NeatConfig cfg = NeatConfig::forTask(
         spec.numInputs, spec.numOutputs, spec.requiredFitness);
-    const std::unique_ptr<Network> net =
+    Result<std::unique_ptr<Network>> compiledNet =
         compileNetwork(genome.toNetworkDef(cfg));
+    if (!compiledNet.ok())
+        e3_fatal(compiledNet.message());
+    const std::unique_ptr<Network> net = std::move(compiledNet).value();
 
     Rng rng(seed);
     double total = 0.0;
@@ -398,7 +418,7 @@ cmdVerify(const Args &args)
     const bool json = args.getInt("json", 0) != 0;
     const bool strict = args.getInt("strict", 0) != 0;
 
-    const EnvSpec &spec = envSpec(envName);
+    const EnvSpec &spec = requireEnvSpec(envName);
     InaxConfig inaxCfg = InaxConfig::paperDefault(spec.numOutputs);
     inaxCfg.numPUs =
         static_cast<size_t>(args.getInt("pu", inaxCfg.numPUs));
@@ -691,7 +711,7 @@ usage()
     std::printf(
         "usage:\n"
         "  e3_cli list-envs\n"
-        "  e3_cli run --env <name> --backend cpu|gpu|inax\n"
+        "  e3_cli run --env <name> --backend cpu|cpu-batch|gpu|inax\n"
         "         [--pu N] [--pe N] [--pop N] [--generations N]\n"
         "         [--episodes N] [--seed N] [--csv file]\n"
         "         [--threads N] [--async 0|1] [--audit file]\n"
