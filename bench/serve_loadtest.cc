@@ -30,13 +30,13 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/thread_annotations.hh"
 #include "env/env_registry.hh"
 #include "neat/population.hh"
 #include "persist/checkpoint.hh"
@@ -170,8 +170,11 @@ class LoadConnection
     void
     start(double seconds, double rate)
     {
+        // Load-generator threads, joined in finish(); the bench
+        // driver owns their lifetime.
+        // e3-lint: raw-thread-ok
         reader_ = std::thread([this] { readLoop(); });
-        sender_ = std::thread(
+        sender_ = std::thread( // e3-lint: raw-thread-ok
             [this, seconds, rate] { sendLoop(seconds, rate); });
     }
 
@@ -200,9 +203,11 @@ class LoadConnection
         return sent_.load() - received_.load();
     }
 
-    const std::vector<double> &
+    /** Copy of the retained samples (taken under the lock). */
+    std::vector<double>
     latencies() const
     {
+        e3::MutexLock lock(mutex_);
         return latencies_;
     }
 
@@ -240,7 +245,7 @@ class LoadConnection
 
             const std::string wire = frame(encodeRequest(req));
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                e3::MutexLock lock(mutex_);
                 sendTimes_[req.requestId] =
                     std::chrono::steady_clock::now();
             }
@@ -303,7 +308,7 @@ class LoadConnection
             ++otherStatus_;
             break;
         }
-        std::lock_guard<std::mutex> lock(mutex_);
+        e3::MutexLock lock(mutex_);
         auto it = sendTimes_.find(resp->requestId);
         if (it == sendTimes_.end()) {
             ++decodeErrors_; // response to a request we never sent
@@ -319,13 +324,13 @@ class LoadConnection
     int fd_ = -1;
     size_t index_;
     const std::vector<ChampionInfo> &champions_;
-    std::thread sender_;
-    std::thread reader_;
-    std::mutex mutex_;
+    std::thread sender_; // e3-lint: raw-thread-ok
+    std::thread reader_; // e3-lint: raw-thread-ok
+    mutable e3::Mutex mutex_;
     std::unordered_map<uint64_t,
                        std::chrono::steady_clock::time_point>
-        sendTimes_;
-    std::vector<double> latencies_;
+        sendTimes_ E3_GUARDED_BY(mutex_);
+    std::vector<double> latencies_ E3_GUARDED_BY(mutex_);
     std::atomic<uint64_t> sent_{0};
     std::atomic<uint64_t> received_{0};
     std::atomic<uint64_t> ok_{0};
@@ -413,9 +418,10 @@ main(int argc, char **argv)
         otherStatus += conn->otherStatus();
         decodeErrors += conn->decodeErrors();
         unanswered += conn->unanswered();
+        const std::vector<double> connLatencies = conn->latencies();
         clientLatencies.insert(clientLatencies.end(),
-                               conn->latencies().begin(),
-                               conn->latencies().end());
+                               connLatencies.begin(),
+                               connLatencies.end());
     }
 
     server.stop();

@@ -169,6 +169,24 @@ E3Platform::evaluateFunctional(Population &pop, GenerationTrace &trace,
     const std::unique_ptr<BatchNetwork> batch =
         std::move(compiled).value();
 
+    if (cfg_.verifyGenomes) {
+        // The --verify gate, batch side: when the SoA engine compiled
+        // a flat plan, certify it (E3V301–E3V306) against the very
+        // defs it was compiled from before any lane activates. The
+        // per-genome adapter has no plan and skips this.
+        if (const BatchPlan *batchPlan = batch->plan()) {
+            verify::Report report =
+                verify::verifyBatchPlan(*batchPlan, defs);
+            if (!report.empty()) {
+                report.setArtifact("gen " + std::to_string(generation) +
+                                   " batch plan");
+                warn("verify: batch plan at generation ", generation,
+                     ": ", firstErrorLine(report));
+                verifyReport_.merge(std::move(report));
+            }
+        }
+    }
+
     for (auto &def : defs)
         trace.defs.push_back(std::move(def));
     trace.numInputs = spec_.numInputs;

@@ -32,6 +32,13 @@ enum class Activation
     Clamped,  ///< clamp(x, -1, 1)
 };
 
+/**
+ * Number of Activation enumerators — the bound the batch-plan
+ * verifier checks dispatch completeness against. Keep in lockstep
+ * with the enum (and the switch in BatchEvaluator::activateLane).
+ */
+inline constexpr int kActivationCount = 8;
+
 /** Apply an activation to a pre-activation value. */
 double applyActivation(Activation act, double x);
 

@@ -25,6 +25,9 @@ enum class Aggregation
     Mean,
 };
 
+/** Number of Aggregation enumerators (see kActivationCount). */
+inline constexpr int kAggregationCount = 5;
+
 /** Combine weighted input contributions; empty input yields 0. */
 double applyAggregation(Aggregation agg,
                         const std::vector<double> &values);

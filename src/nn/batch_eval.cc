@@ -41,9 +41,9 @@ namespace detail {
  * so the measured speedup) independent of whatever else is linked
  * into the binary.
  *
- * The node/op types are template parameters because they are private
- * to BatchEvaluator; deduction at the member-function call site is the
- * one place allowed to name them.
+ * The node/op types stay template parameters (deduced at the call
+ * site), which keeps the kernel's instantiation independent of the
+ * plan type's header.
  */
 template <Activation A, typename NodeRunT, typename OpT>
 __attribute__((noinline, aligned(256))) void
@@ -66,6 +66,123 @@ runSumSegment(const NodeRunT *nodes, uint32_t nodeBegin,
 
 } // namespace detail
 
+Status
+checkPlanInvariants(const BatchPlan &plan)
+{
+    if (plan.lanes.empty())
+        return Status::error("plan has no lanes");
+    for (size_t li = 0; li < plan.lanes.size(); ++li) {
+        const BatchPlan::LaneProgram &lane = plan.lanes[li];
+        if (lane.segBegin > lane.segEnd ||
+            lane.segEnd > plan.segments.size())
+            return Status::error("lane ", li, ": segment range [",
+                                 lane.segBegin, ", ", lane.segEnd,
+                                 ") outside ", plan.segments.size(),
+                                 " segments");
+        if (static_cast<uint64_t>(lane.valueBase) + lane.slotCount >
+            plan.arenaSize)
+            return Status::error("lane ", li, ": arena region [",
+                                 lane.valueBase, ", ",
+                                 lane.valueBase + lane.slotCount,
+                                 ") outside arena of ", plan.arenaSize,
+                                 " slots");
+        if (plan.numInputs > lane.slotCount)
+            return Status::error("lane ", li, ": ", plan.numInputs,
+                                 " inputs but only ", lane.slotCount,
+                                 " slots");
+        if (static_cast<uint64_t>(lane.outBase) + plan.numOutputs >
+            plan.outputSlots.size())
+            return Status::error("lane ", li,
+                                 ": output map outside the ",
+                                 plan.outputSlots.size(),
+                                 "-entry slot table");
+
+        // Segments must tile the lane's node list back to back.
+        uint32_t expectNode = lane.segBegin < lane.segEnd
+                                  ? plan.segments[lane.segBegin].nodeBegin
+                                  : 0;
+        for (uint32_t s = lane.segBegin; s != lane.segEnd; ++s) {
+            const BatchPlan::Segment &seg = plan.segments[s];
+            if (seg.nodeBegin >= seg.nodeEnd ||
+                seg.nodeEnd > plan.nodes.size())
+                return Status::error("lane ", li, " segment ", s,
+                                     ": node range [", seg.nodeBegin,
+                                     ", ", seg.nodeEnd, ") invalid");
+            if (seg.nodeBegin != expectNode)
+                return Status::error(
+                    "lane ", li, " segment ", s, ": starts at node ",
+                    seg.nodeBegin, ", expected ", expectNode,
+                    " (segments must partition the node list)");
+            expectNode = seg.nodeEnd;
+            if (static_cast<int>(seg.act) < 0 ||
+                static_cast<int>(seg.act) >= kActivationCount)
+                return Status::error("lane ", li, " segment ", s,
+                                     ": unknown activation ",
+                                     static_cast<int>(seg.act));
+            if (static_cast<int>(seg.agg) < 0 ||
+                static_cast<int>(seg.agg) >= kAggregationCount)
+                return Status::error("lane ", li, " segment ", s,
+                                     ": unknown aggregation ",
+                                     static_cast<int>(seg.agg));
+            for (uint32_t n = seg.nodeBegin; n != seg.nodeEnd; ++n) {
+                const BatchPlan::NodeRun &node = plan.nodes[n];
+                if (node.opBegin > node.opEnd ||
+                    node.opEnd > plan.ops.size())
+                    return Status::error("node ", n, ": op range [",
+                                         node.opBegin, ", ",
+                                         node.opEnd, ") outside ",
+                                         plan.ops.size(), " ops");
+                if (node.dstSlot >= lane.slotCount)
+                    return Status::error("node ", n, ": dstSlot ",
+                                         node.dstSlot, " outside ",
+                                         lane.slotCount,
+                                         " lane slots");
+                for (uint32_t o = node.opBegin; o != node.opEnd; ++o) {
+                    if (plan.ops[o].srcSlot >= lane.slotCount)
+                        return Status::error(
+                            "node ", n, " op ", o, ": srcSlot ",
+                            plan.ops[o].srcSlot, " outside ",
+                            lane.slotCount, " lane slots");
+                }
+            }
+        }
+
+        // Output map: distinct, in-range slots.
+        for (size_t a = 0; a < plan.numOutputs; ++a) {
+            const uint32_t slot = plan.outputSlots[lane.outBase + a];
+            if (slot >= lane.slotCount)
+                return Status::error("lane ", li, " output ", a,
+                                     ": slot ", slot, " outside ",
+                                     lane.slotCount, " lane slots");
+            for (size_t b = a + 1; b < plan.numOutputs; ++b) {
+                if (plan.outputSlots[lane.outBase + b] == slot)
+                    return Status::error(
+                        "lane ", li, ": outputs ", a, " and ", b,
+                        " both read slot ", slot,
+                        " (output map must be injective)");
+            }
+        }
+    }
+
+    // Arena regions must be pairwise disjoint across lanes.
+    std::vector<std::pair<uint64_t, uint64_t>> regions;
+    regions.reserve(plan.lanes.size());
+    for (const BatchPlan::LaneProgram &lane : plan.lanes)
+        regions.emplace_back(lane.valueBase,
+                             static_cast<uint64_t>(lane.valueBase) +
+                                 lane.slotCount);
+    std::sort(regions.begin(), regions.end());
+    for (size_t i = 1; i < regions.size(); ++i) {
+        if (regions[i].first < regions[i - 1].second)
+            return Status::error("lane arena regions [",
+                                 regions[i - 1].first, ", ",
+                                 regions[i - 1].second, ") and [",
+                                 regions[i].first, ", ",
+                                 regions[i].second, ") overlap");
+    }
+    return Status();
+}
+
 Result<std::unique_ptr<BatchEvaluator>>
 BatchEvaluator::compile(const std::vector<NetworkDef> &defs,
                         const NetworkCompileOptions &options)
@@ -81,8 +198,8 @@ BatchEvaluator::compile(const std::vector<NetworkDef> &defs,
     }
 
     auto eval = std::unique_ptr<BatchEvaluator>(new BatchEvaluator());
-    eval->numInputs_ = defs.front().inputIds.size();
-    eval->numOutputs_ = defs.front().outputIds.size();
+    eval->plan_.numInputs = defs.front().inputIds.size();
+    eval->plan_.numOutputs = defs.front().outputIds.size();
 
     for (size_t i = 0; i < defs.size(); ++i) {
         if (Status invariants = checkDefInvariants(defs[i], false);
@@ -92,15 +209,19 @@ BatchEvaluator::compile(const std::vector<NetworkDef> &defs,
         }
         if (Status arity = checkLaneArity(
                 i, defs[i].inputIds.size(), defs[i].outputIds.size(),
-                eval->numInputs_, eval->numOutputs_);
+                eval->plan_.numInputs, eval->plan_.numOutputs);
             !arity.ok())
             return arity;
         eval->appendLane(FeedForwardNetwork::create(defs[i]));
     }
-    eval->values_.assign(
-        eval->lanePrograms_.back().valueBase +
-            eval->lanePrograms_.back().slotCount,
-        0.0);
+    eval->plan_.arenaSize = eval->plan_.lanes.back().valueBase +
+                            eval->plan_.lanes.back().slotCount;
+    eval->values_.assign(eval->plan_.arenaSize, 0.0);
+#ifndef NDEBUG
+    if (Status sound = checkPlanInvariants(eval->plan_); !sound.ok())
+        e3_panic("population batch plan failed its invariant check: ",
+                 sound.message());
+#endif
     return eval;
 }
 
@@ -122,35 +243,40 @@ BatchEvaluator::compileReplicated(const NetworkDef &def, size_t lanes,
                              invariants.message());
 
     auto eval = std::unique_ptr<BatchEvaluator>(new BatchEvaluator());
-    eval->numInputs_ = def.inputIds.size();
-    eval->numOutputs_ = def.outputIds.size();
+    eval->plan_.numInputs = def.inputIds.size();
+    eval->plan_.numOutputs = def.outputIds.size();
     eval->appendLane(FeedForwardNetwork::create(def));
 
     // One shared program; each further lane is just a fresh region of
     // the value arena (the output-slot table is lane-local, so it is
     // shared too).
-    const LaneProgram proto = eval->lanePrograms_.front();
+    const BatchPlan::LaneProgram proto = eval->plan_.lanes.front();
     for (size_t lane = 1; lane < lanes; ++lane) {
-        LaneProgram p = proto;
+        BatchPlan::LaneProgram p = proto;
         p.valueBase = static_cast<uint32_t>(lane) * proto.slotCount;
-        eval->lanePrograms_.push_back(p);
+        eval->plan_.lanes.push_back(p);
     }
-    eval->values_.assign(static_cast<size_t>(proto.slotCount) * lanes,
-                         0.0);
+    eval->plan_.arenaSize = static_cast<size_t>(proto.slotCount) * lanes;
+    eval->values_.assign(eval->plan_.arenaSize, 0.0);
+#ifndef NDEBUG
+    if (Status sound = checkPlanInvariants(eval->plan_); !sound.ok())
+        e3_panic("replicated batch plan failed its invariant check: ",
+                 sound.message());
+#endif
     return eval;
 }
 
 void
 BatchEvaluator::appendLane(const FeedForwardNetwork &net)
 {
-    LaneProgram p;
-    p.segBegin = static_cast<uint32_t>(segments_.size());
-    p.valueBase = lanePrograms_.empty()
+    BatchPlan::LaneProgram p;
+    p.segBegin = static_cast<uint32_t>(plan_.segments.size());
+    p.valueBase = plan_.lanes.empty()
                       ? 0
-                      : lanePrograms_.back().valueBase +
-                            lanePrograms_.back().slotCount;
+                      : plan_.lanes.back().valueBase +
+                            plan_.lanes.back().slotCount;
     p.slotCount = static_cast<uint32_t>(net.valueSlots());
-    p.outBase = static_cast<uint32_t>(outputSlots_.size());
+    p.outBase = static_cast<uint32_t>(plan_.outputSlots.size());
 
     // Flatten in exactly FeedForwardNetwork's execution order — layer
     // by layer, node by node, link by link — so the fold order (and
@@ -162,32 +288,33 @@ BatchEvaluator::appendLane(const FeedForwardNetwork &net)
     for (const auto &layer : net.layers()) {
         for (const auto &node : layer) {
             const bool openNewSegment =
-                segments_.size() == p.segBegin ||
-                segments_.back().act != node.act ||
-                segments_.back().agg != node.agg;
+                plan_.segments.size() == p.segBegin ||
+                plan_.segments.back().act != node.act ||
+                plan_.segments.back().agg != node.agg;
             if (openNewSegment) {
-                segments_.push_back({static_cast<uint32_t>(nodes_.size()),
-                                     static_cast<uint32_t>(nodes_.size()),
-                                     node.act, node.agg});
+                plan_.segments.push_back(
+                    {static_cast<uint32_t>(plan_.nodes.size()),
+                     static_cast<uint32_t>(plan_.nodes.size()),
+                     node.act, node.agg});
             }
-            NodeRun run;
+            BatchPlan::NodeRun run;
             run.dstSlot = node.slot;
-            run.opBegin = static_cast<uint32_t>(ops_.size());
+            run.opBegin = static_cast<uint32_t>(plan_.ops.size());
             for (const auto &link : node.links)
-                ops_.push_back({link.srcSlot, link.weight});
-            run.opEnd = static_cast<uint32_t>(ops_.size());
+                plan_.ops.push_back({link.srcSlot, link.weight});
+            run.opEnd = static_cast<uint32_t>(plan_.ops.size());
             run.bias = node.bias;
-            nodes_.push_back(run);
-            segments_.back().nodeEnd =
-                static_cast<uint32_t>(nodes_.size());
+            plan_.nodes.push_back(run);
+            plan_.segments.back().nodeEnd =
+                static_cast<uint32_t>(plan_.nodes.size());
         }
     }
-    p.segEnd = static_cast<uint32_t>(segments_.size());
+    p.segEnd = static_cast<uint32_t>(plan_.segments.size());
 
     for (uint32_t slot : net.outputSlots())
-        outputSlots_.push_back(slot);
+        plan_.outputSlots.push_back(slot);
 
-    lanePrograms_.push_back(p);
+    plan_.lanes.push_back(p);
 }
 
 void
@@ -195,8 +322,8 @@ BatchEvaluator::activateBatch(size_t count, const double *inputs,
                               size_t inputStride, double *outputs,
                               size_t outputStride)
 {
-    e3_assert(count <= lanePrograms_.size(), "batch count ", count,
-              " exceeds ", lanePrograms_.size(), " lanes");
+    e3_assert(count <= plan_.lanes.size(), "batch count ", count,
+              " exceeds ", plan_.lanes.size(), " lanes");
     // Qualified call: no per-lane virtual dispatch on the hot path.
     for (size_t lane = 0; lane < count; ++lane) {
         BatchEvaluator::activateLane(lane, inputs + lane * inputStride,
@@ -208,15 +335,15 @@ void
 BatchEvaluator::activateLane(size_t lane, const double *inputs,
                              double *outputs)
 {
-    const LaneProgram &p = lanePrograms_[lane];
+    const BatchPlan::LaneProgram &p = plan_.lanes[lane];
     double *v = values_.data() + p.valueBase;
-    for (size_t i = 0; i < numInputs_; ++i)
+    for (size_t i = 0; i < plan_.numInputs; ++i)
         v[i] = inputs[i];
 
-    const NodeRun *const nodes = nodes_.data();
-    const Op *const ops = ops_.data();
+    const BatchPlan::NodeRun *const nodes = plan_.nodes.data();
+    const BatchPlan::Op *const ops = plan_.ops.data();
     for (uint32_t s = p.segBegin; s != p.segEnd; ++s) {
-        const Segment seg = segments_[s];
+        const BatchPlan::Segment seg = plan_.segments[s];
         if (seg.agg == Aggregation::Sum) {
             // Fast path for the dominant aggregation: one activation
             // dispatch per *segment*, then a call-free inner loop
@@ -257,9 +384,9 @@ BatchEvaluator::activateLane(size_t lane, const double *inputs,
             }
         } else {
             for (uint32_t n = seg.nodeBegin; n != seg.nodeEnd; ++n) {
-                const NodeRun &node = nodes[n];
+                const BatchPlan::NodeRun &node = nodes[n];
                 Aggregator agg(seg.agg);
-                for (const Op *op = ops + node.opBegin;
+                for (const BatchPlan::Op *op = ops + node.opBegin;
                      op != ops + node.opEnd; ++op)
                     agg.add(v[op->srcSlot] * op->weight);
                 v[node.dstSlot] =
@@ -268,8 +395,9 @@ BatchEvaluator::activateLane(size_t lane, const double *inputs,
         }
     }
 
-    const uint32_t *const outSlots = outputSlots_.data() + p.outBase;
-    for (size_t o = 0; o < numOutputs_; ++o)
+    const uint32_t *const outSlots =
+        plan_.outputSlots.data() + p.outBase;
+    for (size_t o = 0; o < plan_.numOutputs; ++o)
         outputs[o] = v[outSlots[o]];
 }
 

@@ -28,6 +28,7 @@
 #ifndef E3_NN_BATCH_EVAL_HH
 #define E3_NN_BATCH_EVAL_HH
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -47,6 +48,8 @@ namespace e3 {
  * concurrently for *distinct* lanes (ParallelEval lanes run out of
  * lockstep). reset() clears any cross-step state on every lane.
  */
+struct BatchPlan;
+
 class BatchNetwork
 {
   public:
@@ -67,7 +70,91 @@ class BatchNetwork
     virtual size_t lanes() const = 0;
     virtual size_t numInputs() const = 0;
     virtual size_t numOutputs() const = 0;
+
+    /**
+     * The compiled SoA program when this implementation executes one
+     * — the verify batch-plan pass (E3V301–E3V306) hooks in here.
+     * nullptr for adapter-backed implementations, which have no flat
+     * plan to certify.
+     */
+    virtual const BatchPlan *plan() const { return nullptr; }
 };
+
+/**
+ * The compiled form of a batch: flat structure-of-arrays computation
+ * lists over one contiguous value arena. This is BatchEvaluator's
+ * entire execution state except the arena values themselves, exposed
+ * as plain data so the src/verify batch-plan pass (E3V301–E3V306) can
+ * check a compiled population without reaching into the engine — and
+ * so a plan can be serialized, corrupted on purpose and re-verified
+ * in fixtures.
+ *
+ * Invariants (checked by e3::checkPlanInvariants and, independently,
+ * by verify::verifyBatchPlan):
+ *  - every NodeRun's [opBegin, opEnd) lies inside ops, and every op's
+ *    srcSlot (and the node's dstSlot) is inside its lane's slot range;
+ *  - each lane's segments exactly partition its node list, in order;
+ *  - per-lane arena regions [valueBase, valueBase+slotCount) never
+ *    overlap and fit the arena;
+ *  - every segment's (activation, aggregation) is a known enumerator,
+ *    so the activate dispatch is complete;
+ *  - each lane's output map reads numOutputs distinct in-range slots.
+ */
+struct BatchPlan
+{
+    /** One fold step: multiply a lane-local value slot by a weight. */
+    struct Op
+    {
+        uint32_t srcSlot; ///< lane-local value slot read
+        double weight;
+    };
+
+    /** One compiled node: a run [opBegin, opEnd) folded into dstSlot. */
+    struct NodeRun
+    {
+        uint32_t dstSlot; ///< lane-local value slot written
+        uint32_t opBegin;
+        uint32_t opEnd;
+        double bias;
+    };
+
+    /** Consecutive nodes sharing (activation, aggregation). */
+    struct Segment
+    {
+        uint32_t nodeBegin;
+        uint32_t nodeEnd;
+        Activation act;
+        Aggregation agg;
+    };
+
+    /** One lane's slice of the flat arrays and the value arena. */
+    struct LaneProgram
+    {
+        uint32_t segBegin;
+        uint32_t segEnd;
+        uint32_t valueBase; ///< arena offset of this lane's slots
+        uint32_t slotCount;
+        uint32_t outBase; ///< offset into outputSlots
+    };
+
+    size_t numInputs = 0;
+    size_t numOutputs = 0;
+    size_t arenaSize = 0; ///< total value-arena slots, all lanes
+    std::vector<Op> ops;
+    std::vector<NodeRun> nodes;
+    std::vector<Segment> segments;
+    std::vector<uint32_t> outputSlots; ///< lane-local output slots
+    std::vector<LaneProgram> lanes;
+};
+
+/**
+ * Cheap structural soundness check over a compiled plan — the
+ * invariants listed on BatchPlan, as one Status (first violation
+ * wins). The compile paths assert this in debug builds; the full
+ * diagnostic version with stable rule IDs is
+ * verify::verifyBatchPlan().
+ */
+Status checkPlanInvariants(const BatchPlan &plan);
 
 /**
  * SoA batch engine for plain feed-forward networks. Compile once per
@@ -106,9 +193,9 @@ class BatchEvaluator : public BatchNetwork
 
     void reset() override;
 
-    size_t lanes() const override { return lanePrograms_.size(); }
-    size_t numInputs() const override { return numInputs_; }
-    size_t numOutputs() const override { return numOutputs_; }
+    size_t lanes() const override { return plan_.lanes.size(); }
+    size_t numInputs() const override { return plan_.numInputs; }
+    size_t numOutputs() const override { return plan_.numOutputs; }
 
     /**
      * Distinct compiled ops across all lane programs. Replicated
@@ -116,62 +203,24 @@ class BatchEvaluator : public BatchNetwork
      * totalOps() MACs for a population compile and lanes() *
      * totalOps() for a replicated one.
      */
-    uint64_t totalOps() const { return ops_.size(); }
+    uint64_t totalOps() const { return plan_.ops.size(); }
+
+    /** The compiled plan (the verifier's view of this engine). */
+    const BatchPlan *plan() const override { return &plan_; }
 
   private:
-    /** One compiled node: a run [opBegin, opEnd) folded into dstSlot. */
-    struct NodeRun
-    {
-        uint32_t dstSlot; ///< lane-local value slot written
-        uint32_t opBegin;
-        uint32_t opEnd;
-        double bias;
-    };
-
-    /** Consecutive nodes sharing (activation, aggregation). */
-    struct Segment
-    {
-        uint32_t nodeBegin;
-        uint32_t nodeEnd;
-        Activation act;
-        Aggregation agg;
-    };
-
-    /** One lane's slice of the flat arrays and the value arena. */
-    struct LaneProgram
-    {
-        uint32_t segBegin;
-        uint32_t segEnd;
-        uint32_t valueBase; ///< arena offset of this lane's slots
-        uint32_t slotCount;
-        uint32_t outBase; ///< offset into outputSlots_
-    };
-
     BatchEvaluator() = default;
 
     /** Flatten one compiled network into the SoA arrays as a lane. */
     void appendLane(const FeedForwardNetwork &net);
 
     /**
-     * One fold step: multiply a lane-local value slot by a weight.
-     * Kept as an {slot, weight} pair (one sequential 16-byte stream)
-     * rather than split parallel arrays — measured head-to-head on the
-     * target, the single-stream layout is faster at population 128 and
-     * no worse at 256.
+     * The compiled program. Op is kept as an {slot, weight} pair (one
+     * sequential 16-byte stream) rather than split parallel arrays —
+     * measured head-to-head on the target, the single-stream layout
+     * is faster at population 128 and no worse at 256.
      */
-    struct Op
-    {
-        uint32_t srcSlot; ///< lane-local value slot read
-        double weight;
-    };
-
-    size_t numInputs_ = 0;
-    size_t numOutputs_ = 0;
-    std::vector<Op> ops_;
-    std::vector<NodeRun> nodes_;
-    std::vector<Segment> segments_;
-    std::vector<uint32_t> outputSlots_; ///< lane-local output slots
-    std::vector<LaneProgram> lanePrograms_;
+    BatchPlan plan_;
     std::vector<double> values_; ///< contiguous per-lane value arena
 };
 

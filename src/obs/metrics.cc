@@ -23,7 +23,8 @@ formatValue(double v)
 
 MetricsRegistry::MetricsRegistry(const MetricsRegistry &other)
 {
-    std::lock_guard<std::mutex> lock(other.mutex_);
+    MutexLock lock(other.mutex_);
+    MutexLock selfLock(mutex_); // fresh object: trivially uncontended
     metrics_ = other.metrics_;
     rows_ = other.rows_;
 }
@@ -33,8 +34,9 @@ MetricsRegistry::operator=(const MetricsRegistry &other)
 {
     if (this == &other)
         return *this;
-    // Consistent order avoids lock inversion between two registries.
-    std::scoped_lock lock(mutex_, other.mutex_);
+    // std::scoped_lock underneath: deadlock-free whichever order two
+    // threads cross-assign registries.
+    MutexLockPair lock(mutex_, other.mutex_);
     metrics_ = other.metrics_;
     rows_ = other.rows_;
     return *this;
@@ -71,21 +73,21 @@ MetricsRegistry::findIndex(const std::string &name) const
 void
 MetricsRegistry::add(const std::string &name, double delta)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     metrics_[indexOf(name, /*gauge=*/false)].current += delta;
 }
 
 void
 MetricsRegistry::setCounter(const std::string &name, double cumulative)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     metrics_[indexOf(name, /*gauge=*/false)].current = cumulative;
 }
 
 void
 MetricsRegistry::setGauge(const std::string &name, double value)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     metrics_[indexOf(name, /*gauge=*/true)].current = value;
 }
 
@@ -101,7 +103,7 @@ MetricsRegistry::importCounters(const std::string &scope,
 double
 MetricsRegistry::value(const std::string &name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const size_t i = findIndex(name);
     return i < metrics_.size() ? metrics_[i].current : 0.0;
 }
@@ -109,7 +111,7 @@ MetricsRegistry::value(const std::string &name) const
 void
 MetricsRegistry::snapshotGeneration(int generation)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     Row row;
     row.generation = generation;
     row.values.reserve(metrics_.size());
@@ -127,7 +129,7 @@ MetricsRegistry::snapshotGeneration(int generation)
 std::vector<std::string>
 MetricsRegistry::names() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<std::string> out;
     out.reserve(metrics_.size());
     for (const auto &metric : metrics_)
@@ -138,21 +140,21 @@ MetricsRegistry::names() const
 size_t
 MetricsRegistry::metricCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return metrics_.size();
 }
 
 size_t
 MetricsRegistry::snapshotCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return rows_.size();
 }
 
 int
 MetricsRegistry::snapshotGenerationAt(size_t row) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     e3_assert(row < rows_.size(), "snapshot row ", row,
               " out of range");
     return rows_[row].generation;
@@ -162,7 +164,7 @@ double
 MetricsRegistry::snapshotValue(size_t row,
                                const std::string &name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     e3_assert(row < rows_.size(), "snapshot row ", row,
               " out of range");
     const size_t i = findIndex(name);
@@ -174,7 +176,7 @@ MetricsRegistry::snapshotValue(size_t row,
 std::string
 MetricsRegistry::toCsv() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     CsvWriter csv;
     std::vector<std::string> header;
     header.reserve(metrics_.size() + 1);
@@ -199,7 +201,7 @@ MetricsRegistry::toCsv() const
 std::string
 MetricsRegistry::toJson() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::string out = "{\"metrics\":[";
     for (size_t i = 0; i < metrics_.size(); ++i) {
         if (i)
@@ -252,7 +254,7 @@ MetricsRegistry::writeJson(const std::string &path) const
 void
 MetricsRegistry::reset()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     metrics_.clear();
     rows_.clear();
 }

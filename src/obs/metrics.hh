@@ -16,12 +16,12 @@
 #ifndef E3_OBS_METRICS_HH
 #define E3_OBS_METRICS_HH
 
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/thread_annotations.hh"
 
 namespace e3::obs {
 
@@ -103,12 +103,14 @@ class MetricsRegistry
         std::vector<double> values;
     };
 
-    size_t indexOf(const std::string &name, bool gauge);
-    size_t findIndex(const std::string &name) const;
+    size_t indexOf(const std::string &name, bool gauge)
+        E3_REQUIRES(mutex_);
+    size_t findIndex(const std::string &name) const
+        E3_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
-    std::vector<Metric> metrics_;
-    std::vector<Row> rows_;
+    mutable Mutex mutex_;
+    std::vector<Metric> metrics_ E3_GUARDED_BY(mutex_);
+    std::vector<Row> rows_ E3_GUARDED_BY(mutex_);
 };
 
 /**

@@ -7,11 +7,11 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/thread_annotations.hh"
 
 namespace e3::obs {
 
@@ -54,10 +54,11 @@ struct Event
  */
 struct ThreadBuffer
 {
-    std::mutex mutex;
-    std::vector<Event> events;
+    Mutex mutex;
+    std::vector<Event> events E3_GUARDED_BY(mutex);
+    /** Assigned once at registration, immutable after. */
     int tid = 0;
-    std::string name;
+    std::string name E3_GUARDED_BY(mutex);
 };
 
 /** A virtual (modeled-hardware) process and its named threads. */
@@ -71,11 +72,12 @@ struct HwProcess
 
 struct Registry
 {
-    std::mutex mutex;
-    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-    int nextTid = 1;
-    std::map<std::string, HwProcess> hwProcesses;
-    int nextPid = 100;
+    Mutex mutex;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers
+        E3_GUARDED_BY(mutex);
+    int nextTid E3_GUARDED_BY(mutex) = 1;
+    std::map<std::string, HwProcess> hwProcesses E3_GUARDED_BY(mutex);
+    int nextPid E3_GUARDED_BY(mutex) = 100;
 };
 
 Registry &
@@ -99,9 +101,12 @@ localBuffer()
     if (!buffer) {
         buffer = std::make_shared<ThreadBuffer>();
         Registry &reg = registry();
-        std::lock_guard<std::mutex> lock(reg.mutex);
+        MutexLock lock(reg.mutex);
         buffer->tid = reg.nextTid++;
-        buffer->name = "thread" + std::to_string(buffer->tid);
+        {
+            MutexLock bufLock(buffer->mutex);
+            buffer->name = "thread" + std::to_string(buffer->tid);
+        }
         reg.buffers.push_back(buffer);
     }
     return *buffer;
@@ -111,7 +116,7 @@ void
 push(Event event)
 {
     ThreadBuffer &buffer = localBuffer();
-    std::lock_guard<std::mutex> lock(buffer.mutex);
+    MutexLock lock(buffer.mutex);
     buffer.events.push_back(std::move(event));
 }
 
@@ -232,9 +237,9 @@ traceStart(TraceDetail detail)
     anchor(); // pin the clock origin before any event
     Registry &reg = registry();
     {
-        std::lock_guard<std::mutex> lock(reg.mutex);
+        MutexLock lock(reg.mutex);
         for (auto &buffer : reg.buffers) {
-            std::lock_guard<std::mutex> bufLock(buffer->mutex);
+            MutexLock bufLock(buffer->mutex);
             buffer->events.clear();
         }
         reg.hwProcesses.clear();
@@ -248,7 +253,7 @@ void
 traceSetThreadName(const std::string &name)
 {
     ThreadBuffer &buffer = localBuffer();
-    std::lock_guard<std::mutex> lock(buffer.mutex);
+    MutexLock lock(buffer.mutex);
     buffer.name = name;
 }
 
@@ -303,7 +308,7 @@ traceTrack(const std::string &process, const std::string &thread)
     if (!traceEnabled(TraceDetail::Hw))
         return {};
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    MutexLock lock(reg.mutex);
     auto [procIt, procNew] = reg.hwProcesses.try_emplace(process);
     HwProcess &proc = procIt->second;
     if (procNew) {
@@ -368,9 +373,9 @@ traceStopToString()
     std::vector<std::pair<int, std::string>> threadNames;
     {
         Registry &reg = registry();
-        std::lock_guard<std::mutex> lock(reg.mutex);
+        MutexLock lock(reg.mutex);
         for (auto &buffer : reg.buffers) {
-            std::lock_guard<std::mutex> bufLock(buffer->mutex);
+            MutexLock bufLock(buffer->mutex);
             for (auto &event : buffer->events)
                 events.push_back(std::move(event));
             buffer->events.clear();
@@ -424,9 +429,9 @@ traceReset()
 {
     g_detail.store(-1, std::memory_order_relaxed);
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    MutexLock lock(reg.mutex);
     for (auto &buffer : reg.buffers) {
-        std::lock_guard<std::mutex> bufLock(buffer->mutex);
+        MutexLock bufLock(buffer->mutex);
         buffer->events.clear();
     }
     reg.hwProcesses.clear();

@@ -1,9 +1,7 @@
 #include "runtime/task_graph.hh"
 
-#include <condition_variable>
-#include <mutex>
-
 #include "common/logging.hh"
+#include "common/thread_annotations.hh"
 #include "obs/trace.hh"
 
 namespace e3::runtime {
@@ -61,23 +59,26 @@ TaskGraph::run(ThreadPool &pool)
 
     struct Run
     {
-        std::mutex mutex;
-        std::condition_variable done;
-        std::vector<size_t> indegree; ///< guarded by mutex
-        size_t remaining = 0;         ///< guarded by mutex
-        std::exception_ptr error;     ///< guarded by mutex
-        bool failed = false;          ///< guarded by mutex
+        Mutex mutex;
+        CondVar done;
+        std::vector<size_t> indegree E3_GUARDED_BY(mutex);
+        size_t remaining E3_GUARDED_BY(mutex) = 0;
+        std::exception_ptr error E3_GUARDED_BY(mutex);
+        bool failed E3_GUARDED_BY(mutex) = false;
     } state;
-    state.indegree.resize(nodes_.size());
-    for (TaskId id = 0; id < nodes_.size(); ++id)
-        state.indegree[id] = nodes_[id].indegree;
-    state.remaining = nodes_.size();
+    {
+        MutexLock lock(state.mutex);
+        state.indegree.resize(nodes_.size());
+        for (TaskId id = 0; id < nodes_.size(); ++id)
+            state.indegree[id] = nodes_[id].indegree;
+        state.remaining = nodes_.size();
+    }
 
     // Recursive lambda: executing a node readies its successors.
     std::function<void(TaskId)> execute = [&](TaskId id) {
         bool skip;
         {
-            std::lock_guard<std::mutex> lock(state.mutex);
+            MutexLock lock(state.mutex);
             skip = state.failed;
         }
         std::exception_ptr error;
@@ -93,7 +94,7 @@ TaskGraph::run(ThreadPool &pool)
 
         std::vector<TaskId> ready;
         {
-            std::lock_guard<std::mutex> lock(state.mutex);
+            MutexLock lock(state.mutex);
             if (error) {
                 if (!state.error)
                     state.error = error;
@@ -120,8 +121,9 @@ TaskGraph::run(ThreadPool &pool)
                       [&execute, id] { execute(id); });
     }
 
-    std::unique_lock<std::mutex> lock(state.mutex);
-    state.done.wait(lock, [&] { return state.remaining == 0; });
+    MutexLock lock(state.mutex);
+    while (state.remaining != 0)
+        state.done.wait(lock);
     if (state.error)
         std::rethrow_exception(state.error);
 }

@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(size_t workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(sleepMutex_);
+        MutexLock lock(sleepMutex_);
         stop_ = true;
     }
     workAvailable_.notify_all();
@@ -36,15 +36,16 @@ ThreadPool::enqueue(size_t worker, Task task)
     e3_assert(worker < workers_.size(), "worker ", worker,
               " out of range");
     {
-        std::lock_guard<std::mutex> lock(workers_[worker]->mutex);
-        workers_[worker]->deque.push_back(std::move(task));
+        Worker &target = *workers_[worker];
+        MutexLock lock(target.mutex);
+        target.deque.push_back(std::move(task));
     }
     const int64_t depth =
         queued_.fetch_add(1, std::memory_order_relaxed) + 1;
     obs::traceCounter("pool.queued", static_cast<double>(depth),
                       obs::TraceDetail::Task);
     {
-        std::lock_guard<std::mutex> lock(sleepMutex_);
+        MutexLock lock(sleepMutex_);
         ++epoch_;
     }
     workAvailable_.notify_all();
@@ -69,7 +70,7 @@ bool
 ThreadPool::popOwn(size_t index, Task &task)
 {
     Worker &self = *workers_[index];
-    std::lock_guard<std::mutex> lock(self.mutex);
+    MutexLock lock(self.mutex);
     if (self.deque.empty())
         return false;
     task = std::move(self.deque.front());
@@ -86,7 +87,7 @@ ThreadPool::stealFrom(size_t thief, Task &task)
     const size_t n = workers_.size();
     for (size_t k = 1; k < n; ++k) {
         Worker &victim = *workers_[(thief + k) % n];
-        std::lock_guard<std::mutex> lock(victim.mutex);
+        MutexLock lock(victim.mutex);
         if (victim.deque.empty())
             continue;
         task = std::move(victim.deque.back());
@@ -109,7 +110,7 @@ ThreadPool::workerLoop(size_t index)
     for (;;) {
         uint64_t seen;
         {
-            std::lock_guard<std::mutex> lock(sleepMutex_);
+            MutexLock lock(sleepMutex_);
             if (stop_)
                 return;
             seen = epoch_;
@@ -132,11 +133,11 @@ ThreadPool::workerLoop(size_t index)
         // Nothing anywhere: sleep until a submit bumps the epoch. A
         // task pushed after the scan above bumped the epoch past
         // `seen`, so the predicate fails and we rescan immediately.
-        std::unique_lock<std::mutex> lock(sleepMutex_);
+        MutexLock lock(sleepMutex_);
         // e3-lint: wall-clock-ok -- idle-time measurement; never feeds RNG
         const auto idleStart = std::chrono::steady_clock::now();
-        workAvailable_.wait(
-            lock, [&] { return stop_ || epoch_ != seen; });
+        while (!stop_ && epoch_ == seen)
+            workAvailable_.wait(lock);
         const std::chrono::duration<double> idle =
             // e3-lint: wall-clock-ok -- idle-time measurement; never feeds RNG
             std::chrono::steady_clock::now() - idleStart;
@@ -158,14 +159,17 @@ ThreadPool::parallelFor(size_t n,
 
     struct Batch
     {
-        std::mutex mutex;
-        std::condition_variable done;
-        size_t remaining = 0;    ///< guarded by mutex
-        std::exception_ptr error; ///< guarded by mutex
+        Mutex mutex;
+        CondVar done;
+        size_t remaining E3_GUARDED_BY(mutex) = 0;
+        std::exception_ptr error E3_GUARDED_BY(mutex);
         std::atomic<bool> failed{false};
     } batch;
     const size_t chunks = (n + grain - 1) / grain;
-    batch.remaining = chunks;
+    {
+        MutexLock lock(batch.mutex);
+        batch.remaining = chunks;
+    }
 
     for (size_t c = 0; c < chunks; ++c) {
         const size_t lo = c * grain;
@@ -187,7 +191,7 @@ ThreadPool::parallelFor(size_t n,
             // Decrement and notify under one lock hold: the waiter can
             // only observe remaining == 0 after this task released the
             // mutex and will never touch the batch again.
-            std::lock_guard<std::mutex> lock(batch.mutex);
+            MutexLock lock(batch.mutex);
             if (error && !batch.error)
                 batch.error = error;
             if (--batch.remaining == 0)
@@ -195,8 +199,9 @@ ThreadPool::parallelFor(size_t n,
         });
     }
 
-    std::unique_lock<std::mutex> lock(batch.mutex);
-    batch.done.wait(lock, [&] { return batch.remaining == 0; });
+    MutexLock lock(batch.mutex);
+    while (batch.remaining != 0)
+        batch.done.wait(lock);
     if (batch.error)
         std::rethrow_exception(batch.error);
 }

@@ -21,16 +21,15 @@
 #define E3_RUNTIME_THREAD_POOL_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/thread_annotations.hh"
 
 namespace e3::runtime {
 
@@ -91,8 +90,8 @@ class ThreadPool
   private:
     struct Worker
     {
-        mutable std::mutex mutex;   ///< guards deque
-        std::deque<Task> deque;
+        mutable Mutex mutex;
+        std::deque<Task> deque E3_GUARDED_BY(mutex);
         std::atomic<uint64_t> tasksRun{0};
         std::atomic<uint64_t> tasksStolen{0};
         std::atomic<double> idleSeconds{0.0};
@@ -107,10 +106,10 @@ class ThreadPool
     std::vector<std::thread> threads_;
 
     /** Sleep/wake protocol: epoch bumps on every submit. */
-    std::mutex sleepMutex_;
-    std::condition_variable workAvailable_;
-    uint64_t epoch_ = 0;
-    bool stop_ = false;
+    Mutex sleepMutex_;
+    CondVar workAvailable_;
+    uint64_t epoch_ E3_GUARDED_BY(sleepMutex_) = 0;
+    bool stop_ E3_GUARDED_BY(sleepMutex_) = false;
 
     std::atomic<size_t> nextWorker_{0}; ///< round-robin deal cursor
 

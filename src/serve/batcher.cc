@@ -26,7 +26,7 @@ bool
 Batcher::submit(PendingRequest &&pending, StatusCode &reason)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (draining_) {
             ++stats_.rejectedDraining;
             reason = StatusCode::Draining;
@@ -49,7 +49,7 @@ void
 Batcher::drain()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (draining_ && workers_.empty())
             return;
         draining_ = true;
@@ -65,7 +65,7 @@ Batcher::drain()
 BatcherStats
 Batcher::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_;
 }
 
@@ -86,9 +86,9 @@ Batcher::workerLoop()
     for (;;) {
         std::vector<PendingRequest> batch;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock,
-                     [this] { return draining_ || !queue_.empty(); });
+            MutexLock lock(mutex_);
+            while (!draining_ && queue_.empty())
+                cv_.wait(lock);
             if (queue_.empty())
                 return; // draining and dry
 

@@ -26,14 +26,13 @@
 #define E3_SERVE_BATCHER_HH
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "serve/protocol.hh"
 
 namespace e3::serve {
@@ -103,17 +102,17 @@ class Batcher
   private:
     void workerLoop();
 
-    /** Queued requests for @p fingerprint (caller holds the lock). */
-    size_t countFor(uint64_t fingerprint) const;
+    /** Queued requests for @p fingerprint. */
+    size_t countFor(uint64_t fingerprint) const E3_REQUIRES(mutex_);
 
     Options options_;
     Evaluator evaluator_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    std::deque<PendingRequest> queue_;
-    bool draining_ = false;
-    BatcherStats stats_;
+    mutable Mutex mutex_;
+    CondVar cv_;
+    std::deque<PendingRequest> queue_ E3_GUARDED_BY(mutex_);
+    bool draining_ E3_GUARDED_BY(mutex_) = false;
+    BatcherStats stats_ E3_GUARDED_BY(mutex_);
 
     std::vector<std::thread> workers_;
 };

@@ -7,7 +7,7 @@ GenomeCache::acquire(uint64_t fingerprint, const NetworkDef &def,
                      const NetworkCompileOptions &options)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = slots_.find(fingerprint);
         if (it != slots_.end()) {
             ++hits_;
@@ -31,7 +31,7 @@ GenomeCache::acquire(uint64_t fingerprint, const NetworkDef &def,
     entry->fingerprint = fingerprint;
     entry->batch = std::move(compiled).value();
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = slots_.find(fingerprint);
     if (it != slots_.end()) {
         order_.erase(it->second.pos);
@@ -53,42 +53,42 @@ GenomeCache::acquire(uint64_t fingerprint, const NetworkDef &def,
 size_t
 GenomeCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return slots_.size();
 }
 
 uint64_t
 GenomeCache::hits() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return hits_;
 }
 
 uint64_t
 GenomeCache::misses() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return misses_;
 }
 
 uint64_t
 GenomeCache::evictions() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return evictions_;
 }
 
 bool
 GenomeCache::contains(uint64_t fingerprint) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return slots_.count(fingerprint) > 0;
 }
 
 void
 GenomeCache::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     slots_.clear();
     order_.clear();
 }

@@ -29,9 +29,9 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/thread_annotations.hh"
 #include "nn/batch_eval.hh"
 
 namespace e3::serve {
@@ -40,8 +40,14 @@ namespace e3::serve {
 struct CompiledChampion
 {
     uint64_t fingerprint = 0;
+    /**
+     * Activation mutates the engine's value arena, so every
+     * reset()/activateBatch() call happens under evalMutex; the
+     * metadata accessors (lanes, arity) are immutable after compile
+     * and stay lock-free.
+     */
     std::unique_ptr<BatchNetwork> batch;
-    std::mutex evalMutex; ///< serializes activateBatch() calls
+    Mutex evalMutex;
 };
 
 /** Thread-safe LRU cache of compiled networks. */
@@ -85,20 +91,20 @@ class GenomeCache
     void clear();
 
   private:
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
     size_t capacity_;
     size_t batchLanes_;
     /** Most-recently-used at the front. */
-    std::list<uint64_t> order_;
+    std::list<uint64_t> order_ E3_GUARDED_BY(mutex_);
     struct Slot
     {
         std::shared_ptr<CompiledChampion> entry;
         std::list<uint64_t>::iterator pos;
     };
-    std::unordered_map<uint64_t, Slot> slots_;
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
-    uint64_t evictions_ = 0;
+    std::unordered_map<uint64_t, Slot> slots_ E3_GUARDED_BY(mutex_);
+    uint64_t hits_ E3_GUARDED_BY(mutex_) = 0;
+    uint64_t misses_ E3_GUARDED_BY(mutex_) = 0;
+    uint64_t evictions_ E3_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace e3::serve

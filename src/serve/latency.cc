@@ -9,7 +9,7 @@ namespace e3::serve {
 void
 LatencyRecorder::record(double seconds)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++offered_;
     // Once the buffer is full, double the stride and drop every other
     // retained sample: memory stays <= maxSamples_ and the kept set
@@ -29,7 +29,7 @@ LatencyRecorder::record(double seconds)
 size_t
 LatencyRecorder::count() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return offered_;
 }
 
@@ -39,7 +39,7 @@ LatencyRecorder::summarize() const
     std::vector<double> samples;
     size_t offered = 0;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         samples = samples_;
         offered = offered_;
     }

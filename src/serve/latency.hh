@@ -14,8 +14,9 @@
 #define E3_SERVE_LATENCY_HH
 
 #include <cstddef>
-#include <mutex>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace e3::serve {
 
@@ -50,10 +51,11 @@ class LatencyRecorder
     LatencySummary summarize() const;
 
   private:
-    mutable std::mutex mutex_;
-    std::vector<double> samples_;
-    size_t offered_ = 0;
-    size_t stride_ = 1; ///< keep every stride-th sample once full
+    mutable Mutex mutex_;
+    std::vector<double> samples_ E3_GUARDED_BY(mutex_);
+    size_t offered_ E3_GUARDED_BY(mutex_) = 0;
+    /** Keep every stride-th sample once full. */
+    size_t stride_ E3_GUARDED_BY(mutex_) = 1;
     size_t maxSamples_;
 };
 

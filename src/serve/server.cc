@@ -21,16 +21,21 @@ namespace e3::serve {
 /** One accepted TCP client. */
 struct ChampionServer::Connection
 {
+    /**
+     * Set once before the connection thread starts, read lock-free by
+     * connectionLoop's recv, and reset to -1 only in stop() after
+     * every connection thread has joined.
+     */
     int fd = -1;
-    std::mutex writeMutex;
-    bool open = true;
+    Mutex writeMutex;
+    bool open E3_GUARDED_BY(writeMutex) = true;
 
     /** Frame and send @p response; drops silently once closed. */
     void
     send(const InferResponse &response)
     {
         const std::string bytes = frame(encodeResponse(response));
-        std::lock_guard<std::mutex> lock(writeMutex);
+        MutexLock lock(writeMutex);
         if (!open)
             return;
         size_t sent = 0;
@@ -48,7 +53,7 @@ struct ChampionServer::Connection
     void
     shutdownAndClose()
     {
-        std::lock_guard<std::mutex> lock(writeMutex);
+        MutexLock lock(writeMutex);
         if (fd >= 0) {
             ::shutdown(fd, SHUT_RDWR);
             open = false;
@@ -157,7 +162,7 @@ ChampionServer::submit(const InferRequest &request,
                        std::function<void(const InferResponse &)> done)
 {
     {
-        std::lock_guard<std::mutex> lock(countersMutex_);
+        MutexLock lock(countersMutex_);
         ++counters_.requests;
     }
 
@@ -169,14 +174,14 @@ ChampionServer::submit(const InferRequest &request,
         reject.status = StatusCode::UnknownChampion;
         reject.message = detail::format("no champion with fingerprint ",
                                         request.fingerprint);
-        std::lock_guard<std::mutex> lock(countersMutex_);
+        MutexLock lock(countersMutex_);
         ++counters_.rejectedUnknown;
     } else if (request.observation.size() != entry->info.numInputs) {
         reject.status = StatusCode::BadRequest;
         reject.message = detail::format(
             "expected ", entry->info.numInputs, " observations for ",
             entry->info.envName, ", got ", request.observation.size());
-        std::lock_guard<std::mutex> lock(countersMutex_);
+        MutexLock lock(countersMutex_);
         ++counters_.rejectedBadRequest;
     } else {
         PendingRequest pending;
@@ -192,7 +197,7 @@ ChampionServer::submit(const InferRequest &request,
                              ? "server is draining"
                              : "queue full, retry later";
         {
-            std::lock_guard<std::mutex> lock(countersMutex_);
+            MutexLock lock(countersMutex_);
             if (reason == StatusCode::Draining)
                 ++counters_.rejectedDraining;
             else
@@ -239,7 +244,7 @@ ChampionServer::evaluateBatch(std::vector<PendingRequest> &batch)
             response.status = StatusCode::BadRequest;
             response.requestId = pending.request.requestId;
             {
-                std::lock_guard<std::mutex> lock(countersMutex_);
+                MutexLock lock(countersMutex_);
                 ++counters_.rejectedBadRequest;
             }
             pending.done(response);
@@ -256,7 +261,7 @@ ChampionServer::evaluateBatch(std::vector<PendingRequest> &batch)
     BatchNetwork &net = *compiled->batch;
     const size_t numIn = net.numInputs();
     const size_t numOut = net.numOutputs();
-    std::lock_guard<std::mutex> evalLock(compiled->evalMutex);
+    MutexLock evalLock(compiled->evalMutex);
     std::vector<double> inBuf(net.lanes() * numIn);
     std::vector<double> outBuf(net.lanes() * numOut);
     for (size_t offset = 0; offset < batch.size();
@@ -289,7 +294,7 @@ ChampionServer::evaluateBatch(std::vector<PendingRequest> &batch)
                 std::chrono::duration<double>(now - pending.enqueued)
                     .count());
             {
-                std::lock_guard<std::mutex> lock(countersMutex_);
+                MutexLock lock(countersMutex_);
                 ++counters_.ok;
             }
             pending.done(response);
@@ -353,7 +358,7 @@ ChampionServer::acceptLoop()
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
-        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        MutexLock lock(connectionsMutex_);
         if (stopped_) {
             ::close(fd);
             return;
@@ -385,7 +390,7 @@ ChampionServer::connectionLoop(std::shared_ptr<Connection> conn)
                 bad.status = StatusCode::BadRequest;
                 bad.message = got.message();
                 {
-                    std::lock_guard<std::mutex> lock(countersMutex_);
+                    MutexLock lock(countersMutex_);
                     ++counters_.protocolErrors;
                 }
                 conn->send(bad);
@@ -400,7 +405,7 @@ ChampionServer::connectionLoop(std::shared_ptr<Connection> conn)
                 bad.status = StatusCode::BadRequest;
                 bad.message = request.message();
                 {
-                    std::lock_guard<std::mutex> lock(countersMutex_);
+                    MutexLock lock(countersMutex_);
                     ++counters_.protocolErrors;
                 }
                 conn->send(bad);
@@ -418,7 +423,7 @@ void
 ChampionServer::stop()
 {
     {
-        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        MutexLock lock(connectionsMutex_);
         if (stopped_)
             return;
         stopped_ = true;
@@ -432,19 +437,25 @@ ChampionServer::stop()
     }
     batcher_->drain();
     {
-        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        MutexLock lock(connectionsMutex_);
         for (auto &conn : connections_)
             conn->shutdownAndClose();
     }
     if (acceptThread_.joinable())
         acceptThread_.join();
-    for (auto &thread : connectionThreads_) {
+    // The accept loop has exited, so nothing appends to the thread
+    // list anymore; swap it out under the lock and join unlocked.
+    std::vector<std::thread> joined;
+    {
+        MutexLock lock(connectionsMutex_);
+        joined.swap(connectionThreads_);
+    }
+    for (auto &thread : joined) {
         if (thread.joinable())
             thread.join();
     }
-    connectionThreads_.clear();
     {
-        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        MutexLock lock(connectionsMutex_);
         for (auto &conn : connections_) {
             if (conn->fd >= 0)
                 ::close(conn->fd);
@@ -458,7 +469,7 @@ ChampionServer::stop()
 ServerCounters
 ChampionServer::counters() const
 {
-    std::lock_guard<std::mutex> lock(countersMutex_);
+    MutexLock lock(countersMutex_);
     return counters_;
 }
 

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/result.hh"
+#include "common/thread_annotations.hh"
 #include "nn/network.hh"
 #include "obs/metrics.hh"
 #include "serve/batcher.hh"
@@ -172,17 +173,19 @@ class ChampionServer
     std::unique_ptr<Batcher> batcher_;
     LatencyRecorder latency_;
 
-    mutable std::mutex countersMutex_;
-    ServerCounters counters_;
+    mutable Mutex countersMutex_;
+    ServerCounters counters_ E3_GUARDED_BY(countersMutex_);
 
     // TCP front end.
     int listenFd_ = -1;
     uint16_t port_ = 0;
     std::thread acceptThread_;
-    std::mutex connectionsMutex_;
-    std::vector<std::shared_ptr<Connection>> connections_;
-    std::vector<std::thread> connectionThreads_;
-    bool stopped_ = false;
+    Mutex connectionsMutex_;
+    std::vector<std::shared_ptr<Connection>> connections_
+        E3_GUARDED_BY(connectionsMutex_);
+    std::vector<std::thread> connectionThreads_
+        E3_GUARDED_BY(connectionsMutex_);
+    bool stopped_ E3_GUARDED_BY(connectionsMutex_) = false;
 };
 
 } // namespace e3::serve

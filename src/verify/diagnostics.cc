@@ -75,6 +75,30 @@ ruleCatalog()
         {rules::kIoShapeMismatch, "io-shape-mismatch", Severity::Error,
          "individual's input/output count disagrees with the "
          "environment interface the schedule was sized for"},
+        {rules::kBatchOpOutOfBounds, "batch-op-out-of-bounds",
+         Severity::Error,
+         "a compiled op or node indexes outside its lane's slot range "
+         "or the shared op/node arrays"},
+        {rules::kBatchSegmentPartition, "batch-segment-partition",
+         Severity::Error,
+         "a lane's segments do not exactly partition its node list in "
+         "execution order"},
+        {rules::kBatchLaneOverlap, "batch-lane-overlap",
+         Severity::Error,
+         "two lanes' value-arena regions overlap (or a lane reaches "
+         "outside the arena), so concurrent activation would race"},
+        {rules::kBatchActivationUnknown, "batch-activation-unknown",
+         Severity::Error,
+         "a segment carries an activation or aggregation outside the "
+         "dispatch table, so activation would fall through"},
+        {rules::kBatchOutputMap, "batch-output-map", Severity::Error,
+         "a lane's output map reads an out-of-range slot or reads one "
+         "slot twice (must be injective over lane slots)"},
+        {rules::kBatchFoldDivergence, "batch-fold-divergence",
+         Severity::Error,
+         "the plan's op/node/segment stream is not bit-identical to "
+         "the per-genome reference compile, so fold order (and "
+         "rounding) would diverge"},
     };
     return catalog;
 }

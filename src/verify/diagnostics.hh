@@ -118,6 +118,13 @@ inline constexpr const char *kNodeCapacityExceeded = "E3V202";
 inline constexpr const char *kBatchOverflow = "E3V203";
 inline constexpr const char *kImpossiblePeSchedule = "E3V204";
 inline constexpr const char *kIoShapeMismatch = "E3V205";
+// Batch-plan pass (the compiled SoA population program).
+inline constexpr const char *kBatchOpOutOfBounds = "E3V301";
+inline constexpr const char *kBatchSegmentPartition = "E3V302";
+inline constexpr const char *kBatchLaneOverlap = "E3V303";
+inline constexpr const char *kBatchActivationUnknown = "E3V304";
+inline constexpr const char *kBatchOutputMap = "E3V305";
+inline constexpr const char *kBatchFoldDivergence = "E3V306";
 } // namespace rules
 
 /** "warning" / "error". */

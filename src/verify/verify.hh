@@ -10,6 +10,7 @@
 #define E3_VERIFY_VERIFY_HH
 
 #include "env/env_registry.hh"
+#include "verify/batch_check.hh"
 #include "verify/diagnostics.hh"
 #include "verify/interval.hh"
 #include "verify/saturation.hh"

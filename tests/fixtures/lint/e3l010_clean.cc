@@ -1,0 +1,18 @@
+// Clean counterpart to e3l010_violation.cc: the annotated wrappers
+// are exactly what E3L010 steers code toward, and a member named
+// mutex_ must not fire (the rule requires std:: qualification).
+
+#include "common/thread_annotations.hh"
+
+struct Guarded
+{
+    e3::Mutex mutex_;
+    int value E3_GUARDED_BY(mutex_) = 0;
+};
+
+int
+criticalSection(Guarded &g)
+{
+    e3::MutexLock lock(g.mutex_);
+    return ++g.value;
+}

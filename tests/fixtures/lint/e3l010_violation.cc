@@ -1,0 +1,13 @@
+// Seeded-bad fixture for E3L010 (no-raw-mutex): raw standard mutex
+// primitives outside src/common. The linter must exit nonzero when
+// pointed at this file.
+
+#include <mutex>
+
+int
+criticalSection()
+{
+    static std::mutex m;                   // E3L010
+    std::lock_guard<std::mutex> lock(m);   // E3L010
+    return 1;
+}

@@ -1,0 +1,19 @@
+// Clean counterpart to e3l011_violation.cc: querying the hardware is
+// not spawning a thread — `std::thread::` scope access stays legal —
+// and an audited waiver covers a genuinely standalone thread.
+
+#include <thread>
+
+unsigned
+workerCount()
+{
+    return std::thread::hardware_concurrency();
+}
+
+void
+auditedSpawn()
+{
+    // e3-lint: raw-thread-ok
+    std::thread probe([] {});
+    probe.join();
+}

@@ -1,0 +1,12 @@
+// Seeded-bad fixture for E3L011 (no-raw-thread): raw std::thread
+// outside src/runtime and src/serve. The linter must exit nonzero
+// when pointed at this file.
+
+#include <thread>
+
+void
+spawnWorker()
+{
+    std::thread worker([] {}); // E3L011
+    worker.join();
+}

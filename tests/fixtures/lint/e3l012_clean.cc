@@ -1,0 +1,15 @@
+// Clean counterpart to e3l012_violation.cc: every atomic access
+// spells its ordering out, so E3L012 stays silent even under a
+// determinism-critical path.
+
+#include <atomic>
+
+std::atomic<int> counter{0};
+
+int
+tick()
+{
+    counter.fetch_add(1, std::memory_order_relaxed);
+    counter.store(5, std::memory_order_release);
+    return counter.load(std::memory_order_acquire);
+}

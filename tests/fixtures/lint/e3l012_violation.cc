@@ -1,0 +1,16 @@
+// Seeded-bad fixture for E3L012 (explicit-memory-order): atomic
+// accesses relying on the implicit seq_cst default. The rule is
+// scoped to determinism-critical directories, so test_lint.cc lints
+// this file under a synthetic src/nn path.
+
+#include <atomic>
+
+std::atomic<int> counter{0};
+
+int
+tick()
+{
+    counter.fetch_add(1); // E3L012
+    counter.store(5);     // E3L012
+    return counter.load(); // E3L012
+}

@@ -241,6 +241,9 @@ TEST(BatchEval, ConcurrentDistinctLanesBitIdentical)
         referenceOutputs(defs, inputs);
 
     std::vector<std::vector<double>> got(pop, std::vector<double>(3));
+    // The test drives raw threads on purpose to provoke races in
+    // activateLane.
+    // e3-lint: raw-thread-ok
     std::vector<std::thread> threads;
     const size_t numThreads = 4;
     for (size_t t = 0; t < numThreads; ++t) {
@@ -253,7 +256,7 @@ TEST(BatchEval, ConcurrentDistinctLanesBitIdentical)
                                            got[i].data());
         });
     }
-    for (std::thread &th : threads)
+    for (std::thread &th : threads) // e3-lint: raw-thread-ok
         th.join();
     for (size_t i = 0; i < pop; ++i)
         expectBitIdentical(expect[i], got[i].data(), 3,

@@ -14,6 +14,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 
 #include "mini_json.hh"
 
@@ -420,6 +422,181 @@ TEST(LintRules, ModuleDepsTableIsAcyclic)
         }
     }
 }
+
+// --- E3L010 no-raw-mutex ---
+
+TEST(LintRules, RawMutexViolatesOutsideCommon)
+{
+    const auto diags =
+        lint("src/nn/x.cc", "std::mutex m;\n"
+                            "std::lock_guard<std::mutex> lock(m);\n");
+    ASSERT_EQ(diags.size(), 3u);
+    EXPECT_EQ(diags[0].ruleId, "E3L010");
+    EXPECT_EQ(diags[0].line, 1);
+    EXPECT_TRUE(hasRule(
+        lint("tools/x.cc", "std::unique_lock<std::mutex> l(m);\n"),
+        "E3L010"));
+    EXPECT_TRUE(hasRule(
+        lint("bench/x.cc", "std::condition_variable cv;\n"),
+        "E3L010"));
+}
+
+TEST(LintRules, RawMutexAllowedInCommon)
+{
+    EXPECT_TRUE(
+        lint("src/common/thread_annotations.cc", "std::mutex m_;\n")
+            .empty());
+}
+
+TEST(LintRules, MutexIncludeAndMemberNamesAreClean)
+{
+    // Unqualified tokens — the <mutex> header name, a member called
+    // mutex_, the annotated wrappers — must not fire.
+    EXPECT_TRUE(lint("src/nn/x.cc",
+                     "#include <mutex>\n"
+                     "e3::Mutex mutex_;\n"
+                     "e3::MutexLock lock(mutex_);\n")
+                    .empty());
+}
+
+TEST(LintRules, RawMutexWaiverHonoured)
+{
+    EXPECT_TRUE(
+        lint("src/nn/x.cc",
+             "std::mutex m; // e3-lint: raw-mutex-ok -- audited\n")
+            .empty());
+}
+
+// --- E3L011 no-raw-thread ---
+
+TEST(LintRules, RawThreadViolatesOutsideSpawners)
+{
+    const auto diags =
+        lint("src/nn/x.cc", "std::thread t([] {});\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].ruleId, "E3L011");
+    EXPECT_TRUE(
+        hasRule(lint("tools/x.cc", "std::jthread t([] {});\n"),
+                "E3L011"));
+}
+
+TEST(LintRules, RawThreadAllowedInSanctionedSpawners)
+{
+    EXPECT_TRUE(
+        lint("src/runtime/x.cc", "std::thread t([] {});\n").empty());
+    EXPECT_TRUE(
+        lint("src/serve/x.cc", "std::thread t([] {});\n").empty());
+}
+
+TEST(LintRules, HardwareConcurrencyQueryIsClean)
+{
+    EXPECT_TRUE(
+        lint("src/nn/x.cc",
+             "unsigned n = std::thread::hardware_concurrency();\n")
+            .empty());
+}
+
+TEST(LintRules, RawThreadWaiverHonoured)
+{
+    EXPECT_TRUE(lint("tests/x.cc",
+                     "// e3-lint: raw-thread-ok -- race driver\n"
+                     "std::thread t([] {});\n")
+                    .empty());
+}
+
+// --- E3L012 explicit-memory-order ---
+
+TEST(LintRules, ImplicitOrderViolatesInDeterminismDirs)
+{
+    const auto diags = lint("src/nn/x.cc",
+                            "int a = v.load();\n"
+                            "v.store(1);\n"
+                            "v.fetch_add(1);\n"
+                            "p->fetch_sub(2);\n");
+    ASSERT_EQ(diags.size(), 4u);
+    for (const auto &d : diags)
+        EXPECT_EQ(d.ruleId, "E3L012");
+}
+
+TEST(LintRules, ExplicitOrderIsClean)
+{
+    EXPECT_TRUE(
+        lint("src/nn/x.cc",
+             "int a = v.load(std::memory_order_acquire);\n"
+             "v.store(1, std::memory_order_release);\n"
+             "v.fetch_add(1, std::memory_order_relaxed);\n"
+             "v.load(std::memory_order::seq_cst);\n")
+            .empty());
+}
+
+TEST(LintRules, MemoryOrderRuleScopedToDeterminismDirs)
+{
+    // Off in application code, on in the concurrent obs/common
+    // layers as well as the evolve path.
+    EXPECT_TRUE(lint("tools/x.cc", "v.load();\n").empty());
+    EXPECT_TRUE(lint("bench/x.cc", "v.store(1);\n").empty());
+    EXPECT_TRUE(hasRule(lint("src/obs/x.cc", "v.load();\n"),
+                        "E3L012"));
+    EXPECT_TRUE(hasRule(lint("src/common/x.cc", "v.load();\n"),
+                        "E3L012"));
+}
+
+TEST(LintRules, FreeFunctionLoadIsClean)
+{
+    // Only member-call syntax fires; a free function named load (or
+    // a checkpoint loader method being *declared*) must not.
+    EXPECT_TRUE(lint("src/nn/x.cc", "auto w = load(path);\n").empty());
+}
+
+TEST(LintRules, MemoryOrderWaiverHonoured)
+{
+    EXPECT_TRUE(
+        lint("src/nn/x.cc",
+             "v.load(); // e3-lint: memory-order-ok -- seq_cst meant\n")
+            .empty());
+}
+
+// --- on-disk fixture pairs (tests/fixtures/lint) ---
+
+#ifdef E3_LINT_FIXTURE_DIR
+
+std::string
+readFixture(const std::string &name)
+{
+    std::ifstream in(std::string(E3_LINT_FIXTURE_DIR) + "/" + name);
+    EXPECT_TRUE(in.good()) << name;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+TEST(LintFixtures, ViolationAndCleanPairsBehave)
+{
+    struct Case
+    {
+        const char *rule;
+        const char *bad;
+        const char *clean;
+        const char *path; ///< synthetic path where the rule is active
+    };
+    const Case cases[] = {
+        {"E3L010", "e3l010_violation.cc", "e3l010_clean.cc",
+         "src/nn/fixture.cc"},
+        {"E3L011", "e3l011_violation.cc", "e3l011_clean.cc",
+         "src/nn/fixture.cc"},
+        {"E3L012", "e3l012_violation.cc", "e3l012_clean.cc",
+         "src/nn/fixture.cc"},
+    };
+    for (const Case &c : cases) {
+        EXPECT_TRUE(hasRule(lint(c.path, readFixture(c.bad)), c.rule))
+            << c.bad;
+        const auto clean = lint(c.path, readFixture(c.clean));
+        EXPECT_TRUE(clean.empty())
+            << c.clean << ": " << (clean.empty() ? "" : clean[0].ruleId);
+    }
+}
+
+#endif // E3_LINT_FIXTURE_DIR
 
 // --- policy mechanics ---
 

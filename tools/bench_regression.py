@@ -14,8 +14,16 @@ tolerance (default 20%) below the baseline's ratio — i.e. when a change
 erodes what the batch engine buys over the per-genome path, regardless
 of how fast the runner happens to be.
 
+Serve benchmarks (``bench_serve_loadtest`` JSON, detected by the
+``"bench": "serve_loadtest"`` tag) are guarded the same way, on two
+within-run ratios:
+
+    goodput  = ok_per_second / offered rate    (must not sag)
+    tail     = p99_ms / p50_ms                 (must not balloon)
+
 Usage:
     bench_regression.py BASELINE.json NEW.json [--tolerance 0.2]
+        [--tail-tolerance 0.5]
 """
 
 import argparse
@@ -62,6 +70,53 @@ def ratio(rates, per_genome, batched):
     return rates[batched] / rates[per_genome]
 
 
+def serve_ratios(report):
+    """(goodput fraction, p99/p50 tail ratio) of a serve-bench run."""
+    client = report["client"]
+    config = report["config"]
+    offered = config["rate_per_connection"] * config["connections"]
+    latency = client["latency"]
+    return (client["ok_per_second"] / offered,
+            latency["p99_ms"] / latency["p50_ms"])
+
+
+def check_serve(base, fresh, tolerance, tail_tolerance):
+    """Guard a serve_loadtest pair; returns failure strings."""
+    base_goodput, base_tail = serve_ratios(base)
+    fresh_goodput, fresh_tail = serve_ratios(fresh)
+    failures = []
+
+    goodput_floor = base_goodput * (1.0 - tolerance)
+    status = "ok" if fresh_goodput >= goodput_floor else "REGRESSION"
+    print(f"{'serve goodput':<18} {base_goodput:>8.2f}x "
+          f"{fresh_goodput:>8.2f}x {goodput_floor:>6.2f}x  {status}")
+    if fresh_goodput < goodput_floor:
+        failures.append(
+            f"serve goodput: {fresh_goodput:.2f} of offered QPS fell "
+            f"below {goodput_floor:.2f} (baseline {base_goodput:.2f} - "
+            f"{tolerance:.0%})")
+
+    tail_ceiling = base_tail * (1.0 + tail_tolerance)
+    status = "ok" if fresh_tail <= tail_ceiling else "REGRESSION"
+    print(f"{'serve p99/p50':<18} {base_tail:>8.2f}x "
+          f"{fresh_tail:>8.2f}x {tail_ceiling:>6.2f}x  {status}")
+    if fresh_tail > tail_ceiling:
+        failures.append(
+            f"serve tail: p99/p50 {fresh_tail:.2f}x grew past "
+            f"{tail_ceiling:.2f}x (baseline {base_tail:.2f}x + "
+            f"{tail_tolerance:.0%})")
+
+    for counter in ("decode_errors", "unanswered"):
+        if fresh["client"][counter]:
+            failures.append(
+                f"serve: {fresh['client'][counter]} {counter}")
+    if fresh["server"]["protocol_errors"]:
+        failures.append(
+            f"serve: {fresh['server']['protocol_errors']} "
+            "protocol errors")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed baseline JSON")
@@ -69,7 +124,30 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.2,
                         help="allowed fractional ratio drop "
                              "(default 0.2 = 20%%)")
+    parser.add_argument("--tail-tolerance", type=float, default=0.5,
+                        help="allowed fractional p99/p50 growth for "
+                             "serve benches (default 0.5 = 50%%)")
     args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base_report = json.load(f)
+    if base_report.get("bench") == "serve_loadtest":
+        with open(args.fresh) as f:
+            fresh_report = json.load(f)
+        if fresh_report.get("bench") != "serve_loadtest":
+            sys.exit(f"error: {args.fresh} is not a serve_loadtest "
+                     "report")
+        print(f"{'pair':<18} {'baseline':>9} {'current':>9} "
+              f"{'limit':>7}")
+        failures = check_serve(base_report, fresh_report,
+                               args.tolerance, args.tail_tolerance)
+        if failures:
+            print("\nbench regression:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print("\nall serve ratios within tolerance")
+        return 0
 
     base = load_items_per_second(args.baseline)
     fresh = load_items_per_second(args.fresh)

@@ -15,6 +15,8 @@
  *          [--episodes 5] [--seed 1]
  *   e3_cli verify --env pendulum --genome champion.genome [--json]
  *   e3_cli verify --env pendulum --checkpoint-dir ckpt [--strict]
+ *   e3_cli verify --batch --env pendulum --genome champion.genome
+ *          [--lanes 8] [--plan plan.txt] [--dump-plan plan.txt]
  *
  * `run` evolves a controller and prints the generation trace; `replay`
  * loads a saved champion and flies fresh episodes with it. --trace
@@ -25,10 +27,13 @@
  * `verify` is the offline static analyzer: structural genome rules
  * (E3V0xx), interval/quantization safety (E3V1xx, with --bits/--frac)
  * and INAX schedule legality (E3V2xx) over a saved genome or every
- * snapshot in a checkpoint directory. Exit 0 means clean, 1 means
- * findings (errors; or any finding under --strict). `run --verify`
- * gates every decoded network through the structural pass and exits 3
- * if anything fired.
+ * snapshot in a checkpoint directory. `verify --batch` runs the
+ * batch-plan pass (E3V3xx) over a compiled SoA population program —
+ * from a genome (optionally replicated across --lanes) or a plan text
+ * file — and --dump-plan writes the plan's text form. Exit 0 means
+ * clean, 1 means findings (errors; or any finding under --strict).
+ * `run --verify` gates every decoded network through the structural
+ * pass and exits 3 if anything fired.
  *
  * `serve` loads verified champions from checkpoint directories and
  * answers observation -> action requests over the length-prefixed TCP
@@ -399,12 +404,118 @@ cmdReplay(const Args &args)
 }
 
 /**
+ * Print a verify report and return the process exit code — the shared
+ * tail of `verify` and `verify --batch`.
+ */
+int
+reportVerifyResult(const verify::Report &full, size_t artifacts,
+                   bool json, bool strict)
+{
+    if (json) {
+        std::fputs(verify::toJson(full).c_str(), stdout);
+    } else {
+        if (!full.empty())
+            std::fputs(verify::formatText(full).c_str(), stdout);
+        std::printf("verify: %zu artifact(s), %zu error(s), "
+                    "%zu warning(s)%s\n",
+                    artifacts, full.errorCount(), full.warningCount(),
+                    full.failed(strict) ? "" : " -- clean");
+    }
+    return full.failed(strict) ? 1 : 0;
+}
+
+/**
+ * `verify --batch`: the batch-plan pass (E3V301–E3V306) over either a
+ * freshly compiled plan for --genome (replicated across --lanes) or a
+ * plan text file (--plan), optionally cross-checked for fold-order
+ * equivalence against the genome when both are given. --dump-plan
+ * writes the compiled plan's text form, which is how the seeded
+ * fixture plans were produced.
+ */
+int
+cmdVerifyBatch(const EnvSpec &spec, const verify::GenomeInterface &iface,
+               const std::string &genomePath,
+               const std::string &planPath,
+               const std::string &dumpPlanPath, size_t lanes,
+               bool json, bool strict)
+{
+    verify::Report full;
+    size_t artifacts = 0;
+
+    std::vector<NetworkDef> defs;
+    if (!genomePath.empty()) {
+        ++artifacts;
+        Result<Genome> loaded =
+            loadGenomeFile(genomePath, GenomeLoadMode::Raw);
+        if (!loaded.ok()) {
+            verify::Diagnostic d = verify::makeDiagnostic(
+                verify::rules::kLoadError, "", loaded.message());
+            d.artifact = genomePath;
+            full.add(std::move(d));
+            return reportVerifyResult(full, artifacts, json, strict);
+        }
+        verify::Report structural =
+            verify::verifyGenome(*loaded, iface);
+        structural.setArtifact(genomePath);
+        const bool genomeBroken = structural.hasErrors();
+        full.merge(std::move(structural));
+        if (genomeBroken)
+            return reportVerifyResult(full, artifacts, json, strict);
+        const NeatConfig cfg = NeatConfig::forTask(
+            spec.numInputs, spec.numOutputs, spec.requiredFitness);
+        defs.push_back(loaded->toNetworkDef(cfg));
+    }
+
+    BatchPlan plan;
+    std::string planArtifact;
+    if (!planPath.empty()) {
+        ++artifacts;
+        planArtifact = planPath;
+        Result<std::string> text = readFile(planPath);
+        Result<BatchPlan> parsed =
+            text.ok() ? verify::batchPlanFromText(*text)
+                      : Result<BatchPlan>(text.status());
+        if (!parsed.ok()) {
+            verify::Diagnostic d = verify::makeDiagnostic(
+                verify::rules::kLoadError, "", parsed.message());
+            d.artifact = planPath;
+            full.add(std::move(d));
+            return reportVerifyResult(full, artifacts, json, strict);
+        }
+        plan = *std::move(parsed);
+    } else {
+        ++artifacts;
+        planArtifact = genomePath + ":plan";
+        Result<std::unique_ptr<BatchEvaluator>> compiled =
+            lanes > 1
+                ? BatchEvaluator::compileReplicated(defs.front(), lanes)
+                : BatchEvaluator::compile(defs);
+        if (!compiled.ok())
+            e3_fatal("batch compile failed: ", compiled.message());
+        plan = *(*compiled)->plan();
+    }
+
+    if (!dumpPlanPath.empty()) {
+        if (Status written = atomicWriteFile(
+                dumpPlanPath, verify::batchPlanToText(plan));
+            !written.ok())
+            e3_fatal(written.message());
+    }
+
+    verify::Report report = verify::verifyBatchPlan(plan, defs);
+    report.setArtifact(planArtifact);
+    full.merge(std::move(report));
+    return reportVerifyResult(full, artifacts, json, strict);
+}
+
+/**
  * Static analyzer front end. One genome file or a whole checkpoint
  * directory is verified against the environment's interface, the INAX
  * hardware description, and (optionally) a fixed-point format; every
  * finding is printed with its stable rule ID. Malformed artifacts
  * degrade to E3V010 diagnostics — this command never crashes on bad
- * input, that is its whole point.
+ * input, that is its whole point. With --batch the population
+ * batch-plan pass (E3V301–E3V306) runs instead.
  */
 int
 cmdVerify(const Args &args)
@@ -417,6 +528,10 @@ cmdVerify(const Args &args)
     const long frac = args.getInt("frac", 8);
     const bool json = args.getInt("json", 0) != 0;
     const bool strict = args.getInt("strict", 0) != 0;
+    const bool batch = args.getInt("batch", 0) != 0;
+    const long lanes = args.getInt("lanes", 1);
+    const std::string planPath = args.get("plan", "");
+    const std::string dumpPlanPath = args.get("dump-plan", "");
 
     const EnvSpec &spec = requireEnvSpec(envName);
     InaxConfig inaxCfg = InaxConfig::paperDefault(spec.numOutputs);
@@ -429,6 +544,24 @@ cmdVerify(const Args &args)
     if (Status valid = inaxCfg.validate(); !valid.ok())
         e3_fatal(valid.message());
     args.checkAllUsed();
+
+    if (batch) {
+        if (!checkpointDir.empty())
+            e3_fatal("verify --batch works on one genome/plan, "
+                     "not --checkpoint-dir");
+        if (genomePath.empty() && planPath.empty())
+            e3_fatal("verify --batch needs --genome <file> and/or "
+                     "--plan <file>");
+        if (lanes < 1)
+            e3_fatal("--lanes must be >= 1");
+        if (lanes > 1 && genomePath.empty())
+            e3_fatal("--lanes needs --genome to replicate");
+        return cmdVerifyBatch(spec, verify::interfaceFor(spec, !recurrent),
+                              genomePath, planPath, dumpPlanPath,
+                              static_cast<size_t>(lanes), json, strict);
+    }
+    if (!planPath.empty() || !dumpPlanPath.empty())
+        e3_fatal("--plan/--dump-plan need --batch");
 
     if (genomePath.empty() == checkpointDir.empty())
         e3_fatal("verify needs exactly one of --genome <file> or "
@@ -728,6 +861,10 @@ usage()
         "         (--genome <file> | --checkpoint-dir <dir>)\n"
         "         [--recurrent] [--bits N] [--frac N]\n"
         "         [--pu N] [--pe N] [--max-nodes N]\n"
+        "         [--json] [--strict]\n"
+        "  e3_cli verify --batch --env <name>\n"
+        "         (--genome <file> [--lanes N] | --plan <file>)\n"
+        "         [--dump-plan <file>] [--recurrent]\n"
         "         [--json] [--strict]\n"
         "  e3_cli serve (--champion env=dir[,env=dir...] |\n"
         "         --env <name> --checkpoint-dir <dir>)\n"

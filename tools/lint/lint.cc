@@ -165,6 +165,22 @@ defaultPolicy()
     p.add("src", "E3L008", true);
     p.add("src/common/logging.hh", "E3L008", false); // defines it
 
+    // Lock discipline: the annotated wrappers are mandatory
+    // everywhere except src/common, where they are implemented.
+    p.add("src/common", "E3L010", false);
+
+    // Thread spawning is concentrated in the pool and the server.
+    p.add("src/runtime", "E3L011", false);
+    p.add("src/serve", "E3L011", false);
+
+    // Explicit memory orders: determinism dirs plus the concurrent
+    // observability/common layers, where orderings carry real intent.
+    p.add("", "E3L012", false);
+    for (const char *dir : kDeterminismDirs)
+        p.add(dir, "E3L012", true);
+    p.add("src/obs", "E3L012", true);
+    p.add("src/common", "E3L012", true);
+
     // Deliberately-broken lint fixtures live here.
     p.skipTree("tests/fixtures");
     return p;

@@ -528,6 +528,174 @@ class ModuleDeps : public Rule
     }
 };
 
+/**
+ * E3L010 — raw standard mutex primitives.
+ *
+ * std::mutex/std::lock_guard/std::unique_lock carry no thread-safety
+ * annotations, so clang's -Wthread-safety analysis cannot see which
+ * data they guard. All locking goes through the annotated e3::Mutex /
+ * e3::MutexLock wrappers (common/thread_annotations.hh); only
+ * src/common may touch the raw primitives, because that is where the
+ * wrappers are built.
+ */
+class NoRawMutex : public Rule
+{
+  public:
+    NoRawMutex()
+        : Rule("E3L010", "no-raw-mutex", "raw-mutex-ok",
+               "raw std::mutex/std::lock_guard/std::unique_lock are "
+               "banned outside src/common; use the annotated "
+               "e3::Mutex/e3::MutexLock wrappers")
+    {
+    }
+
+    void
+    check(const FileContext &ctx, std::vector<Diagnostic> &out) const
+        override
+    {
+        static const char *const kBanned[] = {
+            "mutex",           "timed_mutex",
+            "recursive_mutex", "shared_mutex",
+            "lock_guard",      "unique_lock",
+            "scoped_lock",     "condition_variable",
+            "condition_variable_any"};
+        for (size_t i = 0; i < ctx.code.size(); ++i) {
+            const Token &t = ctx.codeTok(i);
+            if (t.kind != TokKind::Identifier)
+                continue;
+            const bool banned =
+                std::any_of(std::begin(kBanned), std::end(kBanned),
+                            [&](const char *b) { return t.text == b; });
+            // `::`-qualification keeps `#include <mutex>` and member
+            // names like `mutex_` from firing.
+            if (banned && stdQualified(ctx, i)) {
+                out.push_back(
+                    diag(ctx, t.line,
+                         "raw 'std::" + t.text +
+                             "' is invisible to -Wthread-safety; use "
+                             "e3::Mutex/e3::MutexLock"));
+            }
+        }
+    }
+};
+
+/**
+ * E3L011 — raw std::thread outside the sanctioned spawners.
+ *
+ * Thread lifetime is a correctness liability (detached threads, joins
+ * forgotten on early return), so spawning is concentrated in
+ * src/runtime (the pool) and src/serve (the network front end).
+ * Everything else submits work to the pool; genuinely standalone
+ * threads (test race drivers, the bench load generator) carry an
+ * audited raw-thread-ok waiver. `std::thread::hardware_concurrency()`
+ * stays legal — the rule skips `std::thread` followed by `::`.
+ */
+class NoRawThread : public Rule
+{
+  public:
+    NoRawThread()
+        : Rule("E3L011", "no-raw-thread", "raw-thread-ok",
+               "raw std::thread is banned outside src/runtime and "
+               "src/serve; submit work to the runtime pool instead")
+    {
+    }
+
+    void
+    check(const FileContext &ctx, std::vector<Diagnostic> &out) const
+        override
+    {
+        for (size_t i = 0; i < ctx.code.size(); ++i) {
+            const Token &t = ctx.codeTok(i);
+            if (t.kind != TokKind::Identifier ||
+                (t.text != "thread" && t.text != "jthread"))
+                continue;
+            if (!stdQualified(ctx, i))
+                continue;
+            // std::thread::hardware_concurrency() and friends are
+            // queries, not spawns.
+            if (i + 1 < ctx.code.size() &&
+                isPunct(ctx.codeTok(i + 1), "::"))
+                continue;
+            out.push_back(diag(ctx, t.line,
+                               "raw 'std::" + t.text +
+                                   "' outside the sanctioned "
+                                   "spawners; use the runtime pool"));
+        }
+    }
+};
+
+/**
+ * E3L012 — atomic accesses without an explicit memory order.
+ *
+ * `.load()` / `.store(x)` / `fetch_add(1)` default to seq_cst, which
+ * both hides the author's intent (was seq_cst required, or just the
+ * default?) and invites silent weakening during refactors. In
+ * determinism-critical directories every atomic access spells its
+ * ordering out. The check is a conservative token approximation: a
+ * `.load(`/`.store(`/`.fetch_*(` call whose argument list contains no
+ * `memory_order` identifier.
+ */
+class ExplicitMemoryOrder : public Rule
+{
+  public:
+    ExplicitMemoryOrder()
+        : Rule("E3L012", "explicit-memory-order", "memory-order-ok",
+               "atomic .load()/.store()/fetch_*() without an explicit "
+               "std::memory_order argument in a determinism-critical "
+               "directory")
+    {
+    }
+
+    static bool
+    isAtomicAccessName(const std::string &text)
+    {
+        return text == "load" || text == "store" ||
+               text.rfind("fetch_", 0) == 0;
+    }
+
+    void
+    check(const FileContext &ctx, std::vector<Diagnostic> &out) const
+        override
+    {
+        for (size_t i = 1; i + 1 < ctx.code.size(); ++i) {
+            const Token &t = ctx.codeTok(i);
+            if (t.kind != TokKind::Identifier ||
+                !isAtomicAccessName(t.text))
+                continue;
+            // Member call syntax only: `x.load(` or `p->load(`.
+            const Token &prev = ctx.codeTok(i - 1);
+            if (!isPunct(prev, ".") && !isPunct(prev, "->"))
+                continue;
+            if (!isPunct(ctx.codeTok(i + 1), "("))
+                continue;
+            // Scan the argument list (to the matching close paren)
+            // for a memory_order mention.
+            bool ordered = false;
+            int depth = 0;
+            for (size_t j = i + 1; j < ctx.code.size(); ++j) {
+                const Token &a = ctx.codeTok(j);
+                if (isPunct(a, "("))
+                    ++depth;
+                else if (isPunct(a, ")")) {
+                    if (--depth == 0)
+                        break;
+                } else if (a.kind == TokKind::Identifier &&
+                           a.text.rfind("memory_order", 0) == 0) {
+                    ordered = true;
+                    break;
+                }
+            }
+            if (!ordered) {
+                out.push_back(
+                    diag(ctx, t.line,
+                         "atomic '" + t.text +
+                             "' relies on the implicit seq_cst "
+                             "default; spell the memory order out"));
+            }
+        }
+    }
+};
+
 } // namespace
 
 const std::vector<std::unique_ptr<Rule>> &
@@ -544,6 +712,9 @@ allRules()
         r.push_back(std::make_unique<HeaderGuard>());
         r.push_back(std::make_unique<NoFatalInLib>());
         r.push_back(std::make_unique<ModuleDeps>());
+        r.push_back(std::make_unique<NoRawMutex>());
+        r.push_back(std::make_unique<NoRawThread>());
+        r.push_back(std::make_unique<ExplicitMemoryOrder>());
         return r;
     }();
     return rules;
