@@ -1,5 +1,7 @@
 #include "common/fs.hh"
 
+#include "common/logging.hh"
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -67,14 +69,16 @@ atomicWriteFile(const std::string &path, const std::string &content)
 #endif
     ok = std::fclose(f) == 0 && ok;
     if (!ok) {
-        (void)removeFile(tmp);
+        if (Status rm = removeFile(tmp); !rm.ok())
+            warn("atomicWriteFile cleanup: ", rm.message());
         return Status::error("write to '", tmp, "' failed");
     }
 
     std::error_code ec;
     fs::rename(tmp, path, ec);
     if (ec) {
-        (void)removeFile(tmp);
+        if (Status rm = removeFile(tmp); !rm.ok())
+            warn("atomicWriteFile cleanup: ", rm.message());
         return Status::error("cannot rename '", tmp, "' to '", path,
                              "': ", ec.message());
     }

@@ -23,7 +23,7 @@ namespace e3 {
 Status ensureDirectory(const std::string &dir);
 
 /** True if @p path names an existing regular file. */
-bool fileExists(const std::string &path);
+[[nodiscard]] bool fileExists(const std::string &path);
 
 /** Read a whole file into a string. */
 Result<std::string> readFile(const std::string &path);

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * E3_HOT — the hot-path annotation.
+ *
+ * Marks a function as part of the per-step inference surface: the code
+ * that runs once per environment step per lane in steady state
+ * (network activation, lane stepping, the serve batch evaluate). The
+ * marker does two jobs:
+ *
+ *  - The compiler sees `__attribute__((hot))` and optimizes placement
+ *    and inlining accordingly.
+ *  - e3_lint rule E3L015 sees the token and bans allocation inside the
+ *    function body: new/malloc/container growth there is a latency
+ *    spike on the edge target and a throughput bug under load. All
+ *    buffers a hot function needs must be sized during compile/setup.
+ *
+ * Convention: put E3_HOT on the out-of-line *definition* (the line
+ * above the qualified name, next to the return type), not only the
+ * declaration — the linter recovers functions per translation unit and
+ * reads the definition's header.
+ */
+
+#ifndef E3_COMMON_HOT_HH
+#define E3_COMMON_HOT_HH
+
+#if defined(__GNUC__) || defined(__clang__)
+#define E3_HOT __attribute__((hot))
+#else
+#define E3_HOT
+#endif
+
+#endif // E3_COMMON_HOT_HH

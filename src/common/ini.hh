@@ -43,7 +43,8 @@ class IniFile
     static Result<IniFile> load(const std::string &path);
 
     /** True if [section] key exists. */
-    bool has(const std::string &section, const std::string &key) const;
+    [[nodiscard]] bool has(const std::string &section,
+                           const std::string &key) const;
 
     /** String value; fallback when absent. */
     std::string get(const std::string &section, const std::string &key,

@@ -94,7 +94,10 @@ class E3_CAPABILITY("mutex") Mutex
 
     void lock() E3_ACQUIRE() { m_.lock(); }
     void unlock() E3_RELEASE() { m_.unlock(); }
-    bool try_lock() E3_TRY_ACQUIRE(true) { return m_.try_lock(); }
+    [[nodiscard]] bool try_lock() E3_TRY_ACQUIRE(true)
+    {
+        return m_.try_lock();
+    }
 
   private:
     friend class MutexLock;

@@ -374,7 +374,7 @@ E3Platform::run()
     // Snapshot the complete evolve-loop state after advance(): the
     // stored generation is the next one to run, so a resumed loop picks
     // up exactly where the interrupted one would have continued.
-    auto writeCheckpoint = [&](int nextGen) {
+    auto persistCheckpoint = [&](int nextGen) {
         obs::TraceSpan span("persist");
         persist::Checkpoint ck;
         ck.configHash = configHash;
@@ -405,6 +405,7 @@ E3Platform::run()
         GenerationTrace trace;
         std::map<int, SpeciesEvalSummary> summaries;
         evaluateFunctional(pop, trace, gen, summaries);
+        // e3-lint: discard-ok -- GenerationTrace::validate is void; it shares its name with Status-returning validates elsewhere
         trace.validate();
 
         // --- modeled timing ---
@@ -469,7 +470,7 @@ E3Platform::run()
         }
         if (checkpointing && cfg_.checkpointEvery > 0 &&
             (gen + 1) % cfg_.checkpointEvery == 0) {
-            writeCheckpoint(gen + 1);
+            persistCheckpoint(gen + 1);
         }
         closeGeneration(gen, stats);
     }

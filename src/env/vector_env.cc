@@ -1,5 +1,6 @@
 #include "env/vector_env.hh"
 
+#include "common/hot.hh"
 #include "common/logging.hh"
 
 namespace e3 {
@@ -21,15 +22,19 @@ VectorEnv::resetAll()
         resetLane(i);
 }
 
-void
+size_t
 VectorEnv::stepAll(const std::vector<Action> &actions)
 {
     e3_assert(actions.size() == lanes_.size(),
               "need ", lanes_.size(), " actions, got ", actions.size());
+    size_t live = 0;
     for (size_t i = 0; i < lanes_.size(); ++i) {
-        if (!lanes_[i].done)
-            stepLane(i, actions[i]);
+        if (lanes_[i].done)
+            continue;
+        if (!stepLane(i, actions[i]))
+            ++live;
     }
+    return live;
 }
 
 void
@@ -42,7 +47,7 @@ VectorEnv::resetLane(size_t lane)
     l.done = false;
 }
 
-bool
+E3_HOT bool
 VectorEnv::stepLane(size_t lane, const Action &action)
 {
     Lane &l = lanes_.at(lane);

@@ -39,8 +39,9 @@ class VectorEnv
      * Step every live lane with its action; finished lanes ignore their
      * action and stay idle.
      * @param actions one action per lane (size() entries)
+     * @return lanes still running after this step (0 = all done)
      */
-    void stepAll(const std::vector<Action> &actions);
+    size_t stepAll(const std::vector<Action> &actions);
 
     /**
      * Restart one lane's episode. Lanes are fully independent — each
@@ -55,7 +56,7 @@ class VectorEnv
      * Step one live lane. @pre !done(lane).
      * @return true once the lane's episode has ended
      */
-    bool stepLane(size_t lane, const Action &action);
+    [[nodiscard]] bool stepLane(size_t lane, const Action &action);
 
     size_t size() const { return lanes_.size(); }
     const EnvSpec &spec() const { return spec_; }

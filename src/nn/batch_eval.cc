@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hot.hh"
 #include "common/logging.hh"
 
 namespace e3 {
@@ -317,7 +318,7 @@ BatchEvaluator::appendLane(const FeedForwardNetwork &net)
     plan_.lanes.push_back(p);
 }
 
-void
+E3_HOT void
 BatchEvaluator::activateBatch(size_t count, const double *inputs,
                               size_t inputStride, double *outputs,
                               size_t outputStride)
@@ -331,7 +332,7 @@ BatchEvaluator::activateBatch(size_t count, const double *inputs,
     }
 }
 
-void
+E3_HOT void
 BatchEvaluator::activateLane(size_t lane, const double *inputs,
                              double *outputs)
 {
@@ -432,7 +433,7 @@ NetworkBatchAdapter::NetworkBatchAdapter(
 {
 }
 
-void
+E3_HOT void
 NetworkBatchAdapter::activateBatch(size_t count, const double *inputs,
                                    size_t inputStride, double *outputs,
                                    size_t outputStride)
@@ -445,7 +446,7 @@ NetworkBatchAdapter::activateBatch(size_t count, const double *inputs,
     }
 }
 
-void
+E3_HOT void
 NetworkBatchAdapter::activateLane(size_t lane, const double *inputs,
                                   double *outputs)
 {

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "common/hot.hh"
 #include "common/logging.hh"
 #include "nn/layering.hh"
 
@@ -107,7 +108,7 @@ Network::activate(const std::vector<double> &inputs)
     return out;
 }
 
-void
+E3_HOT void
 FeedForwardNetwork::activateInto(const double *inputs, double *outputs)
 {
     for (size_t i = 0; i < numInputs_; ++i)

@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "common/timing.hh"
 #include "neat/serialize.hh"
+#include "obs/trace.hh"
 #include "verify/structural.hh"
 
 namespace e3 {
@@ -513,6 +514,7 @@ writeCheckpoint(const std::string &dir, const Checkpoint &checkpoint,
                 int keep, WriteStats *stats)
 {
     Stopwatch watch;
+    obs::TraceSpan span("checkpoint_write");
     if (Status st = ensureDirectory(dir); !st.ok())
         return st;
 
@@ -543,7 +545,9 @@ writeCheckpoint(const std::string &dir, const Checkpoint &checkpoint,
     for (auto it = manifest.entries.begin();
          it != manifest.entries.end();) {
         if (it->first >= checkpoint.generation && it->second != file) {
-            (void)removeFile(joinPath(dir, it->second));
+            if (Status rm = removeFile(joinPath(dir, it->second));
+                !rm.ok())
+                warn("checkpoint cleanup: ", rm.message());
             it = manifest.entries.erase(it);
         } else if (it->first >= checkpoint.generation) {
             it = manifest.entries.erase(it);
@@ -556,7 +560,10 @@ writeCheckpoint(const std::string &dir, const Checkpoint &checkpoint,
     // Retention: keep the newest `keep` snapshots.
     const size_t retained = keep < 1 ? 1 : static_cast<size_t>(keep);
     while (manifest.entries.size() > retained) {
-        (void)removeFile(joinPath(dir, manifest.entries.front().second));
+        if (Status rm = removeFile(
+                joinPath(dir, manifest.entries.front().second));
+            !rm.ok())
+            warn("checkpoint retention: ", rm.message());
         manifest.entries.erase(manifest.entries.begin());
     }
 
@@ -577,6 +584,7 @@ Result<Checkpoint>
 loadLatestCheckpoint(const std::string &dir,
                      uint64_t expectedConfigHash)
 {
+    obs::TraceSpan span("checkpoint_load");
     const std::string manifestPath = joinPath(dir, kManifestName);
     Result<std::string> text = readFile(manifestPath);
     if (!text.ok())

@@ -27,9 +27,10 @@ ParallelEval::runLane(const EvalPlan &plan,
     for (size_t e = 0; e < venvs.size(); ++e) {
         VectorEnv &venv = *venvs[e];
         venv.resetLane(lane);
-        while (!venv.done(lane))
-            venv.stepLane(lane,
-                          plan.act(lane, venv.observation(lane)));
+        bool finished = venv.done(lane);
+        while (!finished)
+            finished = venv.stepLane(
+                lane, plan.act(lane, venv.observation(lane)));
         out.episodeLengths[e][lane] = venv.steps(lane);
         sum += venv.fitness(lane);
     }

@@ -89,7 +89,8 @@ class Batcher
      * set, and false returns so the caller can answer the client
      * through the still-valid callback.
      */
-    bool submit(PendingRequest &&pending, StatusCode &reason);
+    [[nodiscard]] bool submit(PendingRequest &&pending,
+                              StatusCode &reason);
 
     /**
      * Stop accepting, run the queue dry, and join the workers.

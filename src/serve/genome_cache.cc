@@ -30,6 +30,15 @@ GenomeCache::acquire(uint64_t fingerprint, const NetworkDef &def,
     auto entry = std::make_shared<CompiledChampion>();
     entry->fingerprint = fingerprint;
     entry->batch = std::move(compiled).value();
+    {
+        // The entry is not shared yet; the lock just satisfies the
+        // guard annotation on the scratch buffers.
+        MutexLock init(entry->evalMutex);
+        entry->inScratch.resize(entry->batch->lanes() *
+                                entry->batch->numInputs());
+        entry->outScratch.resize(entry->batch->lanes() *
+                                 entry->batch->numOutputs());
+    }
 
     MutexLock lock(mutex_);
     auto it = slots_.find(fingerprint);

@@ -30,6 +30,7 @@
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/thread_annotations.hh"
 #include "nn/batch_eval.hh"
@@ -48,6 +49,13 @@ struct CompiledChampion
      */
     std::unique_ptr<BatchNetwork> batch;
     Mutex evalMutex;
+    /**
+     * Staging buffers for one coalesced batch, sized once in acquire()
+     * to lanes x numInputs / lanes x numOutputs — the serve hot path
+     * (E3_HOT evaluateBatch) must not allocate per batch.
+     */
+    std::vector<double> inScratch E3_GUARDED_BY(evalMutex);
+    std::vector<double> outScratch E3_GUARDED_BY(evalMutex);
 };
 
 /** Thread-safe LRU cache of compiled networks. */
@@ -85,7 +93,7 @@ class GenomeCache
     uint64_t evictions() const;
 
     /** True if @p fingerprint is currently resident (no LRU touch). */
-    bool contains(uint64_t fingerprint) const;
+    [[nodiscard]] bool contains(uint64_t fingerprint) const;
 
     /** Drop everything (entries in use stay alive via shared_ptr). */
     void clear();

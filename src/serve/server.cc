@@ -10,6 +10,7 @@
 #include <cstring>
 #include <future>
 
+#include "common/hot.hh"
 #include "common/logging.hh"
 #include "neat/config.hh"
 #include "obs/trace.hh"
@@ -40,6 +41,7 @@ struct ChampionServer::Connection
             return;
         size_t sent = 0;
         while (sent < bytes.size()) {
+            // e3-lint: blocking-ok -- writeMutex exists precisely to serialize whole frames onto this socket
             const ssize_t n = ::send(fd, bytes.data() + sent,
                                      bytes.size() - sent, MSG_NOSIGNAL);
             if (n <= 0) {
@@ -220,7 +222,7 @@ ChampionServer::infer(const InferRequest &request)
     return future.get();
 }
 
-void
+E3_HOT void
 ChampionServer::evaluateBatch(std::vector<PendingRequest> &batch)
 {
     obs::TraceSpan batchSpan("serve.batch", obs::TraceDetail::Task);
@@ -230,9 +232,11 @@ ChampionServer::evaluateBatch(std::vector<PendingRequest> &batch)
     // immutable after create(), so this lookup cannot fail.
     e3_assert(entry != nullptr, "batched request for an unknown champion");
 
+    // The steady-state acquire() is an O(1) cache hit touching one
+    // LRU list node; compile-on-miss is the documented cold path.
     Result<std::shared_ptr<CompiledChampion>> acquired =
-        cache_->acquire(entry->info.fingerprint, entry->def,
-                        NetworkCompileOptions{});
+        cache_->acquire(entry->info.fingerprint, // e3-lint: alloc-ok -- O(1) LRU hit; compile-on-miss is the cold path
+                        entry->def, NetworkCompileOptions{});
     if (!acquired.ok()) {
         // Champions are verify-gated at load, so this is close to
         // unreachable — but a def that no longer compiles must answer
@@ -262,8 +266,8 @@ ChampionServer::evaluateBatch(std::vector<PendingRequest> &batch)
     const size_t numIn = net.numInputs();
     const size_t numOut = net.numOutputs();
     MutexLock evalLock(compiled->evalMutex);
-    std::vector<double> inBuf(net.lanes() * numIn);
-    std::vector<double> outBuf(net.lanes() * numOut);
+    std::vector<double> &inBuf = compiled->inScratch;
+    std::vector<double> &outBuf = compiled->outScratch;
     for (size_t offset = 0; offset < batch.size();
          offset += net.lanes()) {
         const size_t count =

@@ -1,0 +1,26 @@
+// Clean counterpart to e3l013_violation.cc: every Status-returning
+// call is consumed on some path — including one checked only inside a
+// branch, which the CFG-reachability query must count as a read.
+
+struct Status
+{
+    bool ok() const { return true; }
+};
+
+Status
+tryCleanup()
+{
+    return Status();
+}
+
+int
+shutdown(bool fast)
+{
+    Status st = tryCleanup();
+    if (fast)
+        return st.ok() ? 0 : 1; // read on the early path
+    Status other = tryCleanup();
+    if (!other.ok())
+        return 1;
+    return st.ok() ? 0 : 1; // and on the long path
+}

@@ -1,0 +1,28 @@
+// Seeded-bad fixture for E3L013 (discarded-error): a Status-returning
+// call void-cast, dropped as a bare statement, and bound to a local
+// that no path ever reads. The linter must exit nonzero when pointed
+// at this file.
+
+struct Status
+{
+    bool ok() const { return true; }
+};
+
+Status
+tryCleanup()
+{
+    return Status();
+}
+
+void
+shutdown(bool fast)
+{
+    (void)tryCleanup();                 // E3L013: cast to void
+    tryCleanup();                       // E3L013: bare statement
+    Status st = tryCleanup();           // E3L013: never read below
+    if (fast)
+        return;
+    Status other = tryCleanup();        // consumed: not a violation
+    if (!other.ok())
+        return;
+}

@@ -1,0 +1,28 @@
+// Clean counterpart to e3l014_violation.cc: the guard lives in an
+// inner scope that closes before the I/O starts — snapshot under the
+// lock, write outside it.
+
+#include <cstdio>
+
+#include "common/thread_annotations.hh"
+
+struct Store
+{
+    e3::Mutex mutex;
+    int value = 0;
+};
+
+void
+persistValue(Store &store, const char *path)
+{
+    int snapshot = 0;
+    {
+        e3::MutexLock lock(store.mutex);
+        snapshot = store.value;
+    }
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr)
+        return;
+    std::fprintf(f, "%d\n", snapshot);
+    std::fclose(f);
+}

@@ -1,0 +1,24 @@
+// Seeded-bad fixture for E3L014 (blocking-under-lock): file I/O while
+// an e3::MutexLock guard is live in the enclosing scope. The linter
+// must exit nonzero when pointed at this file.
+
+#include <cstdio>
+
+#include "common/thread_annotations.hh"
+
+struct Store
+{
+    e3::Mutex mutex;
+    int value = 0;
+};
+
+void
+persistValue(Store &store, const char *path)
+{
+    e3::MutexLock lock(store.mutex);
+    std::FILE *f = std::fopen(path, "w"); // E3L014: I/O under lock
+    if (f == nullptr)
+        return;
+    std::fprintf(f, "%d\n", store.value);
+    std::fclose(f);                       // E3L014: I/O under lock
+}

@@ -1,0 +1,20 @@
+// Clean counterpart to e3l015_violation.cc: the hot function only
+// writes into storage its caller sized ahead of time; the allocation
+// lives in the setup function, which is not E3_HOT.
+
+#include <vector>
+
+#include "common/hot.hh"
+
+std::vector<double>
+makeTrace(unsigned capacity)
+{
+    std::vector<double> trace(capacity, 0.0);
+    return trace;
+}
+
+E3_HOT void
+hotStep(std::vector<double> &trace, unsigned slot, double sample)
+{
+    trace[slot] = sample;
+}

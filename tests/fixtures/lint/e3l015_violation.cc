@@ -1,0 +1,16 @@
+// Seeded-bad fixture for E3L015 (alloc-in-hot-path): allocation
+// inside an E3_HOT function. The linter must exit nonzero when
+// pointed at this file.
+
+#include <vector>
+
+#include "common/hot.hh"
+
+E3_HOT void
+hotStep(std::vector<double> &trace, double sample)
+{
+    double *scratch = new double[8];  // E3L015: new on the hot path
+    scratch[0] = sample;
+    trace.push_back(scratch[0]);      // E3L015: container growth
+    delete[] scratch;
+}

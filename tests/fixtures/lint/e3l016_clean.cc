@@ -1,0 +1,17 @@
+// Clean counterpart to e3l016_violation.cc: the throw is contained by
+// a try in the same function — the sanctioned local-validation shape —
+// so no exception crosses the library boundary.
+
+#include <stdexcept>
+
+int
+parsePositive(int value)
+{
+    try {
+        if (value <= 0)
+            throw std::invalid_argument("value");
+    } catch (const std::invalid_argument &) {
+        return -1;
+    }
+    return value;
+}

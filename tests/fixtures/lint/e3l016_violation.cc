@@ -1,0 +1,14 @@
+// Seeded-bad fixture for E3L016 (throw-escapes-library): a throw with
+// no enclosing try in the same function rides an invisible control
+// path out of the library. The linter must exit nonzero when pointed
+// at this file.
+
+#include <stdexcept>
+
+int
+parsePositive(int value)
+{
+    if (value <= 0)
+        throw std::invalid_argument("value"); // E3L016: escapes
+    return value;
+}

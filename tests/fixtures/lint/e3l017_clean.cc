@@ -1,0 +1,12 @@
+// Clean counterpart to e3l017_violation.cc: the registered entry
+// point opens a TraceSpan, so a stalled or slow request shows up in
+// the trace.
+
+#include "obs/trace.hh"
+
+int
+handleRequest(int requestId)
+{
+    e3::obs::TraceSpan span("serve.request");
+    return requestId * 2;
+}

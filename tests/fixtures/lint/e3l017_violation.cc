@@ -1,0 +1,10 @@
+// Seeded-bad fixture for E3L017 (missing-span): handleRequest here is
+// registered as a phase-level entry point in the rule's table, and it
+// opens no TraceSpan. The linter must exit nonzero when pointed at
+// this file.
+
+int
+handleRequest(int requestId)
+{
+    return requestId * 2; // E3L017: no span on any path
+}

@@ -1,0 +1,12 @@
+// Clean counterpart to e3l018_violation.cc: the rand-ok waiver is
+// live — E3L001 really does fire on the covered line, the waiver
+// suppresses it, and E3L018 stays quiet.
+
+#include <cstdlib>
+
+int
+rollDice()
+{
+    // e3-lint: rand-ok -- fixture exercises a live, audited waiver
+    return std::rand() % 6;
+}

@@ -1,0 +1,12 @@
+// Seeded-bad fixture for E3L018 (stale-waiver): the rand-ok waiver
+// names a rule (E3L001) that produces no finding on the line it
+// covers — the hazard it documented has moved on, and the comment
+// would silently swallow the next real finding there. The linter must
+// exit nonzero when pointed at this file.
+
+int
+rollDice()
+{
+    int pips = 4; // e3-lint: rand-ok -- E3L018: nothing to waive here
+    return pips;
+}

@@ -184,12 +184,14 @@ TEST(LintRules, StandaloneWaiverCoversNextLine)
 
 TEST(LintRules, WaiverForOneRuleDoesNotSilenceAnother)
 {
-    // ordered-ok must not waive the wall-clock diagnostic.
+    // ordered-ok must not waive the wall-clock diagnostic — and since
+    // it suppresses nothing here, E3L018 flags the waiver as stale.
     const auto diags =
         lint("src/neat/x.cc",
              "auto t = time(nullptr); // e3-lint: ordered-ok\n");
-    ASSERT_EQ(diags.size(), 1u);
+    ASSERT_EQ(diags.size(), 2u);
     EXPECT_EQ(diags[0].ruleId, "E3L002");
+    EXPECT_EQ(diags[1].ruleId, "E3L018");
 }
 
 // --- E3L005 no-pointer-key ---
@@ -556,6 +558,342 @@ TEST(LintRules, MemoryOrderWaiverHonoured)
             .empty());
 }
 
+// --- lexer: encoding prefixes, splices, pp flag ---
+
+TEST(LintLexer, EncodingPrefixedRawStringsAreSwallowedWhole)
+{
+    const auto toks =
+        tokenize("auto a = u8R\"(std::rand())\";\n"
+                 "auto b = LR\"x(time(nullptr))x\";\n");
+    int raw = 0;
+    for (const Token &t : toks) {
+        if (t.kind == TokKind::String) {
+            ++raw;
+            EXPECT_EQ(t.text, "<raw-string>");
+        }
+    }
+    EXPECT_EQ(raw, 2);
+    EXPECT_TRUE(lint("src/neat/x.cc",
+                     "auto a = uR\"(srand(1))\";\n"
+                     "auto b = UR\"(std::rand())\";\n")
+                    .empty());
+}
+
+TEST(LintLexer, LineSplicesKeepLineNumbersExact)
+{
+    const auto toks = tokenize("int a \\\n= 1;\nint b;\n");
+    ASSERT_GE(toks.size(), 7u);
+    EXPECT_EQ(toks[0].text, "int");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[2].text, "=");
+    EXPECT_EQ(toks[2].line, 2); // past the splice
+    EXPECT_EQ(toks[5].text, "int");
+    EXPECT_EQ(toks[5].line, 3);
+}
+
+TEST(LintLexer, SpliceContinuesALineComment)
+{
+    const auto toks = tokenize("// note \\\nstd::rand()\nint x;\n");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].kind, TokKind::Comment);
+    // The spliced second physical line is part of the comment, so the
+    // banned name inside it is not an identifier...
+    EXPECT_NE(toks[0].text.find("rand"), std::string::npos);
+    // ...and the next real token sits on the right line regardless.
+    EXPECT_EQ(toks[1].text, "int");
+    EXPECT_EQ(toks[1].line, 3);
+    EXPECT_TRUE(
+        lint("src/neat/x.cc", "// ban \\\nstd::rand()\nint x;\n")
+            .empty());
+}
+
+TEST(LintLexer, SpliceInsideAStringStaysLiteral)
+{
+    const auto toks = tokenize("const char *s = \"ab\\\ncd\";\nint x;\n");
+    const Token *str = nullptr;
+    const Token *after = nullptr;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind == TokKind::String) {
+            str = &toks[i];
+            after = i + 2 < toks.size() ? &toks[i + 2] : nullptr;
+        }
+    }
+    ASSERT_NE(str, nullptr);
+    EXPECT_EQ(str->line, 1);
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(after->text, "int");
+    EXPECT_EQ(after->line, 3); // the splice advanced the counter
+}
+
+TEST(LintLexer, PpFlagCoversDirectiveLinesAcrossSplices)
+{
+    const auto toks = tokenize("#define RUN(x) go(x)\n"
+                               "#define ALL \\\n    sweep()\n"
+                               "int y;\n");
+    for (const Token &t : toks) {
+        if (t.text == "go" || t.text == "sweep") {
+            EXPECT_TRUE(t.pp) << t.text;
+        }
+        if (t.text == "int" || t.text == "y") {
+            EXPECT_FALSE(t.pp) << t.text;
+        }
+    }
+    ASSERT_FALSE(toks.empty());
+    EXPECT_EQ(toks[0].kind, TokKind::Directive);
+    EXPECT_TRUE(toks[0].pp);
+}
+
+// --- flow rules: E3L013 discarded-error ---
+
+TEST(LintFlowRules, BareErrorReturningCallViolates)
+{
+    const auto diags =
+        lint("src/nn/x.cc",
+             "Status make() { return Status(); }\n"
+             "void f() {\n"
+             "    make();\n"
+             "}\n");
+    EXPECT_TRUE(hasRule(diags, "E3L013"));
+}
+
+TEST(LintFlowRules, VoidCastOfErrorReturnViolates)
+{
+    const auto diags =
+        lint("src/nn/x.cc",
+             "Status make() { return Status(); }\n"
+             "void f() {\n"
+             "    (void)make();\n"
+             "    static_cast<void>(make());\n"
+             "}\n");
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].ruleId, "E3L013");
+    EXPECT_EQ(diags[1].ruleId, "E3L013");
+}
+
+TEST(LintFlowRules, BoundButNeverReadStatusViolates)
+{
+    const auto diags =
+        lint("src/nn/x.cc",
+             "Status make() { return Status(); }\n"
+             "void f() {\n"
+             "    Status st = make();\n"
+             "    done();\n"
+             "}\n");
+    EXPECT_TRUE(hasRule(diags, "E3L013"));
+}
+
+TEST(LintFlowRules, CheckedStatusIsClean)
+{
+    const auto diags =
+        lint("src/nn/x.cc",
+             "Status make() { return Status(); }\n"
+             "void f() {\n"
+             "    Status st = make();\n"
+             "    if (st.ok()) { act(); }\n"
+             "}\n");
+    EXPECT_FALSE(hasRule(diags, "E3L013"));
+}
+
+TEST(LintFlowRules, TernaryArmsAreNotBareStatements)
+{
+    // Regression: the ':' before the second arm must not be mistaken
+    // for a label, which would make `other()` look like a discarded
+    // bare-statement call.
+    const auto diags =
+        lint("src/nn/x.cc",
+             "Status make() { return Status(); }\n"
+             "Status other() { return Status(); }\n"
+             "void f(bool b) {\n"
+             "    Status st = b ? make() : other();\n"
+             "    if (st.ok()) { act(); }\n"
+             "}\n");
+    EXPECT_FALSE(hasRule(diags, "E3L013"));
+}
+
+// --- flow rules: E3L014 blocking-under-lock ---
+
+TEST(LintFlowRules, BlockingCallUnderLockViolates)
+{
+    const auto diags = lint("src/nn/x.cc",
+                            "void f() {\n"
+                            "    MutexLock lock(mu_);\n"
+                            "    fopen(\"x\", \"r\");\n"
+                            "}\n");
+    EXPECT_TRUE(hasRule(diags, "E3L014"));
+}
+
+TEST(LintFlowRules, BlockingBeforeLockOrInLambdaIsClean)
+{
+    const auto diags =
+        lint("src/nn/x.cc",
+             "void f() {\n"
+             "    fopen(\"x\", \"r\");\n"
+             "    MutexLock lock(mu_);\n"
+             "    queue_.push([this] { fopen(\"y\", \"r\"); });\n"
+             "}\n");
+    EXPECT_FALSE(hasRule(diags, "E3L014"));
+}
+
+TEST(LintFlowRules, CondvarWaitWithItsOwnLockIsExempt)
+{
+    EXPECT_FALSE(hasRule(lint("src/nn/x.cc",
+                              "void f() {\n"
+                              "    MutexLock lock(mu_);\n"
+                              "    cv_.wait(lock);\n"
+                              "}\n"),
+                         "E3L014"));
+    // A pair guard stays held for the whole wait: not exempt.
+    EXPECT_TRUE(hasRule(lint("src/nn/x.cc",
+                             "void g() {\n"
+                             "    MutexLockPair both(a_, b_);\n"
+                             "    cv_.wait(both);\n"
+                             "}\n"),
+                        "E3L014"));
+}
+
+TEST(LintFlowRules, TransitivelyBlockingCalleeViolatesUnderLock)
+{
+    const auto diags = lint("src/nn/x.cc",
+                            "void waitAll() { worker_.join(); }\n"
+                            "void f() {\n"
+                            "    MutexLock lock(mu_);\n"
+                            "    waitAll();\n"
+                            "}\n");
+    EXPECT_TRUE(hasRule(diags, "E3L014"));
+}
+
+// --- flow rules: E3L015 alloc-in-hot-path ---
+
+TEST(LintFlowRules, DirectAllocationInHotFunctionViolates)
+{
+    const auto diags =
+        lint("src/nn/x.cc",
+             "E3_HOT void step(std::vector<int> &v) {\n"
+             "    v.push_back(1);\n"
+             "}\n");
+    EXPECT_TRUE(hasRule(diags, "E3L015"));
+}
+
+TEST(LintFlowRules, AllocatingCalleeInHotFunctionViolates)
+{
+    const auto diags = lint("src/nn/x.cc",
+                            "void fill(Buf &b) { b.reserve(9); }\n"
+                            "E3_HOT void step(Buf &b) {\n"
+                            "    fill(b);\n"
+                            "}\n");
+    EXPECT_TRUE(hasRule(diags, "E3L015"));
+}
+
+TEST(LintFlowRules, AllocationOutsideHotFunctionsIsClean)
+{
+    const auto diags = lint("src/nn/x.cc",
+                            "void setup(std::vector<int> &v) {\n"
+                            "    v.push_back(1);\n"
+                            "}\n");
+    EXPECT_FALSE(hasRule(diags, "E3L015"));
+}
+
+// --- flow rules: E3L016 throw-escapes-library ---
+
+TEST(LintFlowRules, ThrowOutsideTryViolatesInSrcOnly)
+{
+    const std::string src = "int f(int v) {\n"
+                            "    if (v < 0) { throw Bad(); }\n"
+                            "    return v;\n"
+                            "}\n";
+    EXPECT_TRUE(hasRule(lint("src/nn/x.cc", src), "E3L016"));
+    EXPECT_FALSE(hasRule(lint("tools/bench.cc", src), "E3L016"));
+}
+
+TEST(LintFlowRules, ThrowContainedByLocalTryIsClean)
+{
+    const auto diags = lint("src/nn/x.cc",
+                            "int f(int v) {\n"
+                            "    try {\n"
+                            "        if (v < 0) { throw Bad(); }\n"
+                            "    } catch (const Bad &) {\n"
+                            "        return -1;\n"
+                            "    }\n"
+                            "    return v;\n"
+                            "}\n");
+    EXPECT_FALSE(hasRule(diags, "E3L016"));
+}
+
+// --- flow rules: E3L017 missing-span ---
+
+TEST(LintFlowRules, RegisteredEntryPointWithoutSpanViolates)
+{
+    const std::string src = "void run() { loop(); }\n";
+    EXPECT_TRUE(hasRule(lint("src/e3/platform.cc", src), "E3L017"));
+    // The same function anywhere else is not a registered entry.
+    EXPECT_FALSE(hasRule(lint("src/nn/other.cc", src), "E3L017"));
+}
+
+TEST(LintFlowRules, EntryPointWithSpanIsClean)
+{
+    const auto diags =
+        lint("src/e3/platform.cc",
+             "void run() {\n"
+             "    obs::TraceSpan span(\"generation\");\n"
+             "    loop();\n"
+             "}\n");
+    EXPECT_FALSE(hasRule(diags, "E3L017"));
+}
+
+// --- flow rules: E3L018 stale-waiver ---
+
+TEST(LintFlowRules, WaiverSuppressingNothingIsStale)
+{
+    const auto diags =
+        lint("src/nn/x.cc",
+             "void f() {\n"
+             "    int pips = 4; // e3-lint: rand-ok -- moved on\n"
+             "}\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].ruleId, "E3L018");
+    EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(LintFlowRules, LiveWaiverIsNotStale)
+{
+    const auto diags =
+        lint("src/nn/x.cc",
+             "int f() {\n"
+             "    return std::rand() % 6; // e3-lint: rand-ok -- ok\n"
+             "}\n");
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintFlowRules, StaleWaiverOkKeepsAnAuditedStaleWaiver)
+{
+    const auto diags = lint(
+        "src/nn/x.cc",
+        "void f() {\n"
+        "    // e3-lint: rand-ok stale-waiver-ok -- kept on purpose\n"
+        "    int pips = 4;\n"
+        "}\n");
+    EXPECT_FALSE(hasRule(diags, "E3L018"));
+}
+
+// --- flow rules: policy scoping ---
+
+TEST(LintPolicy, FlowRulesAreScopedAndForcedOnForFixtures)
+{
+    const Policy p = defaultPolicy();
+    // Discarded-error stays quiet in tests (EXPECT_FALSE(st.ok())
+    // idioms), throw-escape is src-only.
+    EXPECT_TRUE(p.enabled("E3L013", "src/neat/genome.cc"));
+    EXPECT_FALSE(p.enabled("E3L013", "tests/test_persist.cc"));
+    EXPECT_TRUE(p.enabled("E3L016", "src/nn/network.cc"));
+    EXPECT_FALSE(p.enabled("E3L016", "tools/e3_cli.cc"));
+    // Every flow rule is forced on under the fixture tree so the
+    // seeded pairs exercise them at their own paths.
+    EXPECT_TRUE(
+        p.enabled("E3L013", "tests/fixtures/lint/e3l013_violation.cc"));
+    EXPECT_TRUE(
+        p.enabled("E3L016", "tests/fixtures/lint/e3l016_violation.cc"));
+}
+
 // --- on-disk fixture pairs (tests/fixtures/lint) ---
 
 #ifdef E3_LINT_FIXTURE_DIR
@@ -641,6 +979,17 @@ TEST(LintRegistry, AllRulesHaveUniqueIdsAndWaivers)
     std::sort(waivers.begin(), waivers.end());
     EXPECT_TRUE(std::adjacent_find(waivers.begin(), waivers.end()) ==
                 waivers.end());
+}
+
+TEST(LintRegistry, HoldsEighteenRulesInIdOrder)
+{
+    const auto &rules = allRules();
+    ASSERT_EQ(rules.size(), 18u);
+    for (size_t i = 0; i < rules.size(); ++i) {
+        std::ostringstream id;
+        id << "E3L" << (i + 1 < 10 ? "00" : "0") << (i + 1);
+        EXPECT_EQ(rules[i]->id(), id.str());
+    }
 }
 
 TEST(LintRegistry, CatalogNamesEveryRule)

@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Unit tests for e3_lint's flow-sensitive core: function recovery
+ * (cfg.cc), CFG shape for the structured statements, the scoped symbol
+ * and lock-region passes (symbols.cc), the CFG-reachability read query
+ * behind E3L013, and the cross-TU call summary (callgraph.cc). The
+ * flow rules themselves are covered in test_lint.cc and by the
+ * process-level fixture tests; here we pin down the substrate they
+ * stand on.
+ */
+
+#include "lint/lint.hh"
+
+#include <gtest/gtest.h>
+
+namespace e3::lint {
+namespace {
+
+FileContext
+parse(const std::string &src)
+{
+    return buildFileContext("src/x/y.cc", src, nullptr);
+}
+
+const FlowFunction *
+fnByName(const FileContext &ctx, const std::string &name)
+{
+    for (const FlowFunction &fn : ctx.functions) {
+        if (fn.name == name)
+            return &fn;
+    }
+    return nullptr;
+}
+
+/** Code index of the nth occurrence of identifier @p text. */
+size_t
+identIdx(const FileContext &ctx, const std::string &text, int nth = 0)
+{
+    int seen = 0;
+    for (size_t i = 0; i < ctx.code.size(); ++i) {
+        if (ctx.codeTok(i).kind == TokKind::Identifier &&
+            ctx.codeTok(i).text == text && seen++ == nth)
+            return i;
+    }
+    return ctx.code.size();
+}
+
+/**
+ * Code index of the `;` closing the statement that calls @p callee
+ * (nth occurrence of a `callee (` shape inside @p fn's body) — the
+ * natural "after this statement" start point for liveness queries.
+ */
+size_t
+callStmtEnd(const FileContext &ctx, const FlowFunction &fn,
+            const std::string &callee, int nth = 0)
+{
+    int seen = 0;
+    for (size_t i = fn.bodyBegin; i < fn.bodyEnd; ++i) {
+        if (!isIdentTok(ctx.codeTok(i), callee.c_str()) ||
+            i + 1 >= fn.bodyEnd ||
+            !isPunctTok(ctx.codeTok(i + 1), "("))
+            continue;
+        if (seen++ < nth)
+            continue;
+        return matchClose(ctx, i + 1) + 1; // the trailing ';'
+    }
+    return fn.bodyEnd;
+}
+
+/** Does any block hold a range covering code index @p idx? */
+const CfgBlock *
+blockContaining(const FlowFunction &fn, size_t idx)
+{
+    for (const CfgBlock &b : fn.blocks) {
+        for (const auto &r : b.ranges) {
+            if (idx >= r.first && idx < r.second)
+                return &b;
+        }
+    }
+    return nullptr;
+}
+
+// --- function recovery ---
+
+TEST(LintCfg, RecoversDefinitionsNotDeclarations)
+{
+    const auto ctx = parse("Status load(const char *path);\n"
+                           "int add(int a, int b) { return a + b; }\n"
+                           "void Engine::run() { tick(); }\n");
+    ASSERT_EQ(ctx.functions.size(), 2u);
+    EXPECT_EQ(ctx.functions[0].name, "add");
+    EXPECT_TRUE(ctx.functions[0].qualifier.empty());
+    EXPECT_EQ(ctx.functions[1].name, "run");
+    EXPECT_EQ(ctx.functions[1].qualifier, "Engine");
+    EXPECT_EQ(ctx.functions[1].line, 3);
+}
+
+TEST(LintCfg, HeaderFlagsHotAndErrorType)
+{
+    const auto ctx =
+        parse("E3_HOT Status Engine::step() { return Status(); }\n"
+              "void idle() {}\n");
+    const FlowFunction *step = fnByName(ctx, "step");
+    const FlowFunction *idle = fnByName(ctx, "idle");
+    ASSERT_NE(step, nullptr);
+    ASSERT_NE(idle, nullptr);
+    EXPECT_TRUE(step->hot);
+    EXPECT_TRUE(step->returnsErrorType);
+    EXPECT_FALSE(idle->hot);
+    EXPECT_FALSE(idle->returnsErrorType);
+}
+
+TEST(LintCfg, CtorInitListIsSkippedToTheBody)
+{
+    const auto ctx = parse(
+        "Counter::Counter(int n) : value_(n), name_{\"c\"} "
+        "{ reset(); }\n");
+    ASSERT_EQ(ctx.functions.size(), 1u);
+    const FlowFunction &fn = ctx.functions[0];
+    EXPECT_EQ(fn.name, "Counter");
+    EXPECT_EQ(fn.qualifier, "Counter");
+    const size_t reset = identIdx(ctx, "reset");
+    EXPECT_GE(reset, fn.bodyBegin);
+    EXPECT_LT(reset, fn.bodyEnd);
+    // The init list itself must not be mistaken for body statements.
+    EXPECT_GT(fn.bodyBegin, identIdx(ctx, "value_"));
+}
+
+TEST(LintCfg, MacroBodiesAreNotFunctions)
+{
+    const auto ctx = parse("#define RUN(x) execute(x)\n"
+                           "void real() { step(); }\n");
+    ASSERT_EQ(ctx.functions.size(), 1u);
+    EXPECT_EQ(ctx.functions[0].name, "real");
+}
+
+TEST(LintCfg, MatchCloseReportsUnbalancedAsEnd)
+{
+    const auto ctx = parse("f(a, (b\n");
+    const size_t open = identIdx(ctx, "f") + 1;
+    ASSERT_TRUE(isPunctTok(ctx.codeTok(open), "("));
+    EXPECT_EQ(matchClose(ctx, open), ctx.code.size());
+}
+
+// --- CFG shape ---
+
+TEST(LintCfg, IfElseBuildsBranchesAndJoin)
+{
+    const auto ctx = parse("void f(bool b) {\n"
+                           "    int x = 0;\n"
+                           "    if (b) { x = 1; } else { x = 2; }\n"
+                           "    use(x);\n"
+                           "}\n");
+    ASSERT_EQ(ctx.functions.size(), 1u);
+    const FlowFunction &fn = ctx.functions[0];
+    // entry (decl + condition), then, else, join.
+    ASSERT_EQ(fn.blocks.size(), 4u);
+    EXPECT_EQ(fn.blocks[0].succs.size(), 2u);
+    const CfgBlock *join = blockContaining(fn, identIdx(ctx, "use"));
+    ASSERT_NE(join, nullptr);
+    EXPECT_TRUE(join->succs.empty());
+}
+
+TEST(LintCfg, WhileLoopHasBackEdge)
+{
+    const auto ctx = parse("void f() {\n"
+                           "    while (more()) { step(); }\n"
+                           "    done();\n"
+                           "}\n");
+    ASSERT_EQ(ctx.functions.size(), 1u);
+    const FlowFunction &fn = ctx.functions[0];
+    bool backEdge = false;
+    for (size_t b = 0; b < fn.blocks.size(); ++b) {
+        for (int s : fn.blocks[b].succs) {
+            if (static_cast<size_t>(s) < b)
+                backEdge = true;
+        }
+    }
+    EXPECT_TRUE(backEdge);
+}
+
+TEST(LintCfg, SwitchFansOutToEveryLabel)
+{
+    const auto ctx = parse("void f(int k) {\n"
+                           "    switch (k) {\n"
+                           "    case 0: a(); break;\n"
+                           "    case 1: b(); break;\n"
+                           "    default: c(); break;\n"
+                           "    }\n"
+                           "}\n");
+    ASSERT_EQ(ctx.functions.size(), 1u);
+    const FlowFunction &fn = ctx.functions[0];
+    const CfgBlock *head =
+        blockContaining(fn, identIdx(ctx, "switch"));
+    ASSERT_NE(head, nullptr);
+    // Two case labels, the default, and the no-match exit edge.
+    EXPECT_EQ(head->succs.size(), 4u);
+}
+
+TEST(LintCfg, TryCatchRecordsRangesAndThrowSites)
+{
+    const auto ctx = parse("void f() {\n"
+                           "    try {\n"
+                           "        risky();\n"
+                           "        throw Bad();\n"
+                           "    } catch (const Bad &) {\n"
+                           "        handle();\n"
+                           "    }\n"
+                           "}\n"
+                           "void g() { throw Bad(); }\n");
+    const FlowFunction *f = fnByName(ctx, "f");
+    const FlowFunction *g = fnByName(ctx, "g");
+    ASSERT_NE(f, nullptr);
+    ASSERT_NE(g, nullptr);
+    ASSERT_EQ(f->tryRanges.size(), 1u);
+    ASSERT_EQ(f->throwSites.size(), 1u);
+    EXPECT_GT(f->throwSites[0], f->tryRanges[0].first);
+    EXPECT_LT(f->throwSites[0], f->tryRanges[0].second);
+    EXPECT_TRUE(g->tryRanges.empty());
+    ASSERT_EQ(g->throwSites.size(), 1u);
+}
+
+// --- liveness / reachability ---
+
+TEST(LintCfg, ReadAfterEarlyReturnIsUnreachable)
+{
+    const auto ctx = parse("Status make();\n"
+                           "void f() {\n"
+                           "    Status st = make();\n"
+                           "    return;\n"
+                           "    st.ok();\n"
+                           "}\n");
+    const FlowFunction *f = fnByName(ctx, "f");
+    ASSERT_NE(f, nullptr);
+    const size_t from = callStmtEnd(ctx, *f, "make");
+    EXPECT_FALSE(identifierReadAfter(ctx, *f, from, "st"));
+}
+
+TEST(LintCfg, ReadInsideBranchIsReachable)
+{
+    const auto ctx = parse("Status make();\n"
+                           "void f() {\n"
+                           "    Status st = make();\n"
+                           "    if (verbose()) { log(st); }\n"
+                           "}\n");
+    const FlowFunction *f = fnByName(ctx, "f");
+    ASSERT_NE(f, nullptr);
+    const size_t from = callStmtEnd(ctx, *f, "make");
+    EXPECT_TRUE(identifierReadAfter(ctx, *f, from, "st"));
+}
+
+TEST(LintCfg, PlainAssignmentIsAWriteNotARead)
+{
+    const auto ctx = parse("Status make();\n"
+                           "void f() {\n"
+                           "    Status st = make();\n"
+                           "    st = make();\n"
+                           "}\n"
+                           "void g(Status st, Status other) {\n"
+                           "    Status probe = make();\n"
+                           "    if (probe == other) { quit(); }\n"
+                           "}\n");
+    const FlowFunction *f = fnByName(ctx, "f");
+    const FlowFunction *g = fnByName(ctx, "g");
+    ASSERT_NE(f, nullptr);
+    ASSERT_NE(g, nullptr);
+    // Overwriting without a read: not live.
+    EXPECT_FALSE(identifierReadAfter(
+        ctx, *f, callStmtEnd(ctx, *f, "make"), "st"));
+    // `==` lexes as one token, so a comparison still reads.
+    EXPECT_TRUE(identifierReadAfter(
+        ctx, *g, callStmtEnd(ctx, *g, "make"), "probe"));
+}
+
+TEST(LintCfg, LoopBackEdgeMakesEarlierReadReachable)
+{
+    const auto ctx = parse("Status make();\n"
+                           "void f() {\n"
+                           "    Status st = make();\n"
+                           "    while (more()) {\n"
+                           "        use(st);\n"
+                           "        st = make();\n"
+                           "    }\n"
+                           "}\n");
+    const FlowFunction *f = fnByName(ctx, "f");
+    ASSERT_NE(f, nullptr);
+    // From past the in-loop reassignment, the only read of `st` sits
+    // EARLIER in the loop body — reachable only through the back edge.
+    const size_t from = callStmtEnd(ctx, *f, "make", 1);
+    EXPECT_TRUE(identifierReadAfter(ctx, *f, from, "st"));
+}
+
+// --- locals and lock regions ---
+
+TEST(LintCfg, CollectLocalsTracksErrorTypedDeclsAndScopes)
+{
+    const auto ctx = parse("void f() {\n"
+                           "    Status st = make();\n"
+                           "    Result<int> r = compute();\n"
+                           "    int plain = 0;\n"
+                           "    {\n"
+                           "        Status inner = make();\n"
+                           "    }\n"
+                           "}\n");
+    ASSERT_EQ(ctx.functions.size(), 1u);
+    const auto locals = collectLocals(ctx, ctx.functions[0]);
+    ASSERT_EQ(locals.size(), 3u);
+    EXPECT_EQ(locals[0].name, "st");
+    EXPECT_EQ(locals[1].name, "r");
+    EXPECT_EQ(locals[2].name, "inner");
+    // The nested scope closes before the function body does.
+    EXPECT_LT(locals[2].scopeEnd, locals[0].scopeEnd);
+    EXPECT_EQ(locals[0].scopeEnd, ctx.functions[0].bodyEnd);
+}
+
+TEST(LintCfg, LockRegionSpansDeclarationToScopeClose)
+{
+    const auto ctx = parse("void f() {\n"
+                           "    before();\n"
+                           "    {\n"
+                           "        MutexLock lock(mu);\n"
+                           "        work();\n"
+                           "    }\n"
+                           "    after();\n"
+                           "}\n"
+                           "void g() { MutexLockPair both(a, b); }\n");
+    const FlowFunction *f = fnByName(ctx, "f");
+    const FlowFunction *g = fnByName(ctx, "g");
+    ASSERT_NE(f, nullptr);
+    ASSERT_NE(g, nullptr);
+    ASSERT_EQ(f->locks.size(), 1u);
+    const LockRegion &region = f->locks[0];
+    EXPECT_EQ(region.name, "lock");
+    EXPECT_FALSE(region.pair);
+    EXPECT_LE(region.begin, identIdx(ctx, "work"));
+    EXPECT_GT(region.end, identIdx(ctx, "work"));
+    EXPECT_GE(identIdx(ctx, "after"), region.end);
+    ASSERT_EQ(g->locks.size(), 1u);
+    EXPECT_TRUE(g->locks[0].pair);
+}
+
+TEST(LintCfg, GuardInsideLambdaDoesNotLeakARegion)
+{
+    const auto ctx = parse("void f() {\n"
+                           "    auto task = [&] {\n"
+                           "        MutexLock lock(mu);\n"
+                           "        inner();\n"
+                           "    };\n"
+                           "    post(task);\n"
+                           "}\n");
+    ASSERT_EQ(ctx.functions.size(), 1u);
+    const FlowFunction &fn = ctx.functions[0];
+    EXPECT_TRUE(fn.locks.empty());
+    const auto lambdas = lambdaBodies(ctx, fn);
+    ASSERT_EQ(lambdas.size(), 1u);
+    const size_t inner = identIdx(ctx, "inner");
+    EXPECT_GT(inner, lambdas[0].first);
+    EXPECT_LT(inner, lambdas[0].second);
+    EXPECT_GT(identIdx(ctx, "post"), lambdas[0].second);
+}
+
+TEST(LintCfg, IndexedCallIsNotALambda)
+{
+    const auto ctx = parse("void f() {\n"
+                           "    table[i](x);\n"
+                           "    { scoped(); }\n"
+                           "}\n");
+    ASSERT_EQ(ctx.functions.size(), 1u);
+    EXPECT_TRUE(lambdaBodies(ctx, ctx.functions[0]).empty());
+}
+
+// --- cross-TU call summary ---
+
+TEST(LintCfg, SummarySplitsFreeAndMemberErrorReturns)
+{
+    CallSummary cs;
+    for (const FunctionSummary &s : summarizeSource(
+             "src/a.cc",
+             "Status record(int x) { return Status(); }\n"))
+        cs.add(s);
+    for (const FunctionSummary &s : summarizeSource(
+             "src/b.cc", "void Metrics::record(int x) { n_ += x; }\n"))
+        cs.add(s);
+    cs.finalize();
+    // An unqualified call could reach the Status-returning free
+    // helper; `obj.record(...)` can only reach the void member.
+    EXPECT_TRUE(cs.returnsErrorType("record", false));
+    EXPECT_FALSE(cs.returnsErrorType("record", true));
+}
+
+TEST(LintCfg, SummaryClosesBlockingTransitively)
+{
+    CallSummary cs;
+    for (const FunctionSummary &s : summarizeSource(
+             "src/a.cc", "void low() { fopen(\"x\", \"r\"); }\n"
+                         "void mid() { low(); }\n"
+                         "void top() { mid(); }\n"
+                         "void pure() { count(); }\n"))
+        cs.add(s);
+    cs.finalize();
+    EXPECT_TRUE(cs.blocks("low"));
+    EXPECT_TRUE(cs.blocks("top"));
+    EXPECT_FALSE(cs.blocks("pure"));
+    EXPECT_FALSE(cs.blocks("absent"));
+}
+
+TEST(LintCfg, SummaryAllocatesOnlyWhenEveryDefinitionDoes)
+{
+    CallSummary agree;
+    for (const FunctionSummary &s : summarizeSource(
+             "src/a.cc",
+             "void grow(Vec &v) { v.push_back(1); }\n"))
+        agree.add(s);
+    agree.finalize();
+    EXPECT_TRUE(agree.allocates("grow"));
+
+    CallSummary collide;
+    for (const FunctionSummary &s : summarizeSource(
+             "src/a.cc",
+             "void grow(Vec &v) { v.push_back(1); }\n"
+             "void Gauge::grow(int n) { level_ = n; }\n"))
+        collide.add(s);
+    collide.finalize();
+    // A same-name definition that does not allocate voids the signal.
+    EXPECT_FALSE(collide.allocates("grow"));
+}
+
+} // namespace
+} // namespace e3::lint

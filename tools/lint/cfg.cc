@@ -1,0 +1,665 @@
+/**
+ * @file
+ * Function recovery and per-function control-flow graphs.
+ *
+ * The parser is deliberately lighter than a C++ front end: it scans
+ * the code-token stream for `name ( params ) ... {` definition shapes
+ * (skipping ctor-init lists, trailing cv/ref/noexcept/attribute
+ * clutter and declarations), then walks each body with a
+ * recursive-descent statement grammar that understands if/else,
+ * while/for/do, switch/case, try/catch, return/throw/break/continue
+ * and nested compounds. Everything else — expression statements,
+ * declarations, lambdas, brace initializers — is consumed as one
+ * opaque statement appended to the current block, which is exactly the
+ * granularity the flow rules need: reachability of reads, liveness of
+ * lock scopes, try coverage of throws.
+ *
+ * Approximations, chosen to under-report rather than over-report:
+ * goto terminates its block with no successor; a catch block is
+ * reachable from both the try entry and the try exit (exceptions can
+ * arise anywhere in between); preprocessor-conditional arms are parsed
+ * as one linear sequence (the union of both sides).
+ */
+
+#include "lint/lint.hh"
+
+namespace e3::lint {
+
+namespace {
+
+/** Names that look like `name (` but never open a function. */
+bool
+reservedName(const std::string &s)
+{
+    static const char *const kReserved[] = {
+        "if",       "for",      "while",    "switch",   "catch",
+        "return",   "new",      "delete",   "sizeof",   "alignof",
+        "decltype", "throw",    "operator", "constexpr", "noexcept",
+        "alignas",  "defined",  "template", "requires", "static_assert",
+        "case",     "do",       "else",     "goto",
+    };
+    for (const char *r : kReserved) {
+        if (s == r)
+            return true;
+    }
+    return false;
+}
+
+bool
+ppTok(const FileContext &ctx, size_t i)
+{
+    const Token &t = ctx.codeTok(i);
+    return t.pp || t.kind == TokKind::Directive;
+}
+
+/**
+ * From the token after a ctor's `:`, skip the member-init list
+ * (`name(args), base<T>{args}, ...`) and return the code index of the
+ * body '{', or n when the shape is not an init list after all.
+ */
+size_t
+skipCtorInit(const FileContext &ctx, size_t i, size_t n)
+{
+    while (i < n) {
+        const Token &t = ctx.codeTok(i);
+        if (t.kind == TokKind::Identifier || isPunctTok(t, "::") ||
+            isPunctTok(t, "<") || isPunctTok(t, ">") ||
+            isPunctTok(t, ",")) {
+            ++i;
+            continue;
+        }
+        if (isPunctTok(t, "(")) {
+            const size_t c = matchClose(ctx, i);
+            if (c >= n)
+                return n;
+            i = c + 1;
+            continue;
+        }
+        if (isPunctTok(t, "{")) {
+            // Brace-init of a member when the previous token names
+            // one; otherwise this is the constructor body.
+            if (i >= 1 && (ctx.codeTok(i - 1).kind ==
+                               TokKind::Identifier ||
+                           isPunctTok(ctx.codeTok(i - 1), ">"))) {
+                const size_t c = matchClose(ctx, i);
+                if (c >= n)
+                    return n;
+                i = c + 1;
+                continue;
+            }
+            return i;
+        }
+        return n;
+    }
+    return n;
+}
+
+/** Statement-level CFG builder over one function body. */
+struct CfgBuilder
+{
+    const FileContext &ctx;
+    FlowFunction &fn;
+    int cur = 0;
+    bool terminated = false;
+
+    CfgBuilder(const FileContext &c, FlowFunction &f) : ctx(c), fn(f)
+    {
+        fn.blocks.emplace_back(); // entry block
+    }
+
+    int
+    newBlock()
+    {
+        fn.blocks.emplace_back();
+        return static_cast<int>(fn.blocks.size()) - 1;
+    }
+
+    void edge(int a, int b) { fn.blocks[a].succs.push_back(b); }
+
+    void
+    append(size_t b, size_t e)
+    {
+        if (b < e)
+            fn.blocks[cur].ranges.emplace_back(b, e);
+    }
+
+    bool
+    at(size_t i, size_t end, const char *p) const
+    {
+        return i < end && isPunctTok(ctx.codeTok(i), p);
+    }
+
+    bool
+    kw(size_t i, size_t end, const char *k) const
+    {
+        return i < end && isIdentTok(ctx.codeTok(i), k);
+    }
+
+    /** Start a fresh block if the previous statement terminated. */
+    void
+    freshIfTerminated()
+    {
+        if (terminated) {
+            cur = newBlock();
+            terminated = false;
+        }
+    }
+
+    /**
+     * Consume one opaque statement: everything to the `;` at nesting
+     * depth zero. Lambdas, initializer lists and parenthesized
+     * subexpressions (which may contain their own `;`, as in a lambda
+     * body) nest; a `}` or `)` at depth zero means the statement ran
+     * into the enclosing scope and is left unconsumed.
+     */
+    size_t
+    opaqueStmt(size_t i, size_t end, size_t scopeEnd)
+    {
+        size_t j = i;
+        int pd = 0, bd = 0, sd = 0;
+        while (j < end) {
+            const Token &t = ctx.codeTok(j);
+            if (t.kind == TokKind::Punct) {
+                if (t.text == "(") {
+                    ++pd;
+                } else if (t.text == ")") {
+                    if (pd == 0)
+                        break;
+                    --pd;
+                } else if (t.text == "{") {
+                    ++bd;
+                } else if (t.text == "}") {
+                    if (bd == 0)
+                        break;
+                    --bd;
+                } else if (t.text == "[") {
+                    ++sd;
+                } else if (t.text == "]") {
+                    if (sd > 0)
+                        --sd;
+                } else if (t.text == ";" && pd == 0 && bd == 0 &&
+                           sd == 0) {
+                    ++j;
+                    break;
+                }
+            }
+            ++j;
+        }
+        if (j == i)
+            ++j; // never stall on a stray close token
+        append(i, j);
+        recordLockDecls(ctx, fn, i, j, scopeEnd);
+        return j;
+    }
+
+    /** Consume to past the `;` at depth zero (no append). */
+    size_t
+    toSemi(size_t i, size_t end)
+    {
+        size_t j = i;
+        int pd = 0, bd = 0, sd = 0;
+        while (j < end) {
+            const Token &t = ctx.codeTok(j);
+            if (t.kind == TokKind::Punct) {
+                if (t.text == "(")
+                    ++pd;
+                else if (t.text == ")" && pd > 0)
+                    --pd;
+                else if (t.text == "{")
+                    ++bd;
+                else if (t.text == "}") {
+                    if (bd == 0)
+                        break;
+                    --bd;
+                } else if (t.text == "[")
+                    ++sd;
+                else if (t.text == "]" && sd > 0)
+                    --sd;
+                else if (t.text == ";" && pd == 0 && bd == 0 &&
+                         sd == 0) {
+                    ++j;
+                    break;
+                }
+            }
+            ++j;
+        }
+        if (j == i)
+            ++j;
+        return j;
+    }
+
+    size_t
+    parseSeq(size_t i, size_t end, int brk, int cont, size_t scopeEnd)
+    {
+        while (i < end) {
+            if (at(i, end, "}"))
+                break;
+            i = parseStmt(i, end, brk, cont, scopeEnd);
+        }
+        return i;
+    }
+
+    size_t
+    parseStmt(size_t i, size_t end, int brk, int cont,
+              size_t scopeEnd)
+    {
+        freshIfTerminated();
+
+        // Preprocessor lines are not statements; both arms of an
+        // #if/#else parse as one linear union.
+        if (ppTok(ctx, i)) {
+            size_t j = i + 1;
+            while (j < end && ppTok(ctx, j))
+                ++j;
+            return j;
+        }
+
+        if (at(i, end, "{")) {
+            const size_t close = matchClose(ctx, i);
+            parseSeq(i + 1, close < end ? close : end, brk, cont,
+                     close);
+            return close < end ? close + 1 : end;
+        }
+
+        if (at(i, end, ";")) {
+            append(i, i + 1);
+            return i + 1;
+        }
+
+        if (kw(i, end, "if"))
+            return parseIf(i, end, brk, cont, scopeEnd);
+        if (kw(i, end, "while"))
+            return parseWhile(i, end, scopeEnd);
+        if (kw(i, end, "for"))
+            return parseFor(i, end, scopeEnd);
+        if (kw(i, end, "do"))
+            return parseDo(i, end, scopeEnd);
+        if (kw(i, end, "switch"))
+            return parseSwitch(i, end, cont, scopeEnd);
+        if (kw(i, end, "try"))
+            return parseTry(i, end, brk, cont, scopeEnd);
+
+        if (kw(i, end, "return")) {
+            const size_t j = toSemi(i, end);
+            append(i, j);
+            terminated = true;
+            return j;
+        }
+        if (kw(i, end, "throw")) {
+            fn.throwSites.push_back(i);
+            const size_t j = toSemi(i, end);
+            append(i, j);
+            terminated = true;
+            return j;
+        }
+        if (kw(i, end, "break")) {
+            append(i, i + 1);
+            if (brk >= 0)
+                edge(cur, brk);
+            terminated = true;
+            return at(i + 1, end, ";") ? i + 2 : i + 1;
+        }
+        if (kw(i, end, "continue")) {
+            append(i, i + 1);
+            if (cont >= 0)
+                edge(cur, cont);
+            terminated = true;
+            return at(i + 1, end, ";") ? i + 2 : i + 1;
+        }
+        if (kw(i, end, "goto")) {
+            // Conservative: no successor; the label's block keeps its
+            // own reachability from fall-through.
+            const size_t j = toSemi(i, end);
+            append(i, j);
+            terminated = true;
+            return j;
+        }
+
+        return opaqueStmt(i, end, scopeEnd);
+    }
+
+    size_t
+    parseIf(size_t i, size_t end, int brk, int cont, size_t scopeEnd)
+    {
+        size_t p = i + 1;
+        if (kw(p, end, "constexpr"))
+            ++p;
+        if (!at(p, end, "("))
+            return opaqueStmt(i, end, scopeEnd);
+        const size_t close = matchClose(ctx, p);
+        if (close >= end)
+            return opaqueStmt(i, end, scopeEnd);
+        append(i, close + 1);
+        const int condB = cur;
+        const int thenB = newBlock();
+        edge(condB, thenB);
+        cur = thenB;
+        size_t k = parseStmt(close + 1, end, brk, cont, scopeEnd);
+        const int thenEnd = cur;
+        const bool thenTerm = terminated;
+        terminated = false;
+        if (kw(k, end, "else")) {
+            const int elseB = newBlock();
+            edge(condB, elseB);
+            cur = elseB;
+            k = parseStmt(k + 1, end, brk, cont, scopeEnd);
+            const int elseEnd = cur;
+            const bool elseTerm = terminated;
+            terminated = false;
+            const int join = newBlock();
+            if (!thenTerm)
+                edge(thenEnd, join);
+            if (!elseTerm)
+                edge(elseEnd, join);
+            cur = join;
+            return k;
+        }
+        const int join = newBlock();
+        edge(condB, join);
+        if (!thenTerm)
+            edge(thenEnd, join);
+        cur = join;
+        return k;
+    }
+
+    size_t
+    parseWhile(size_t i, size_t end, size_t scopeEnd)
+    {
+        if (!at(i + 1, end, "("))
+            return opaqueStmt(i, end, scopeEnd);
+        const size_t close = matchClose(ctx, i + 1);
+        if (close >= end)
+            return opaqueStmt(i, end, scopeEnd);
+        const int head = newBlock();
+        edge(cur, head);
+        cur = head;
+        append(i, close + 1);
+        const int body = newBlock();
+        const int exitB = newBlock();
+        edge(head, body);
+        edge(head, exitB);
+        cur = body;
+        const size_t k =
+            parseStmt(close + 1, end, exitB, head, scopeEnd);
+        if (!terminated)
+            edge(cur, head);
+        terminated = false;
+        cur = exitB;
+        return k;
+    }
+
+    size_t
+    parseFor(size_t i, size_t end, size_t scopeEnd)
+    {
+        if (!at(i + 1, end, "("))
+            return opaqueStmt(i, end, scopeEnd);
+        const size_t close = matchClose(ctx, i + 1);
+        if (close >= end)
+            return opaqueStmt(i, end, scopeEnd);
+        const int head = newBlock();
+        edge(cur, head);
+        cur = head;
+        append(i, close + 1);
+        const int body = newBlock();
+        const int exitB = newBlock();
+        edge(head, body);
+        edge(head, exitB);
+        cur = body;
+        const size_t k =
+            parseStmt(close + 1, end, exitB, head, scopeEnd);
+        if (!terminated)
+            edge(cur, head);
+        terminated = false;
+        cur = exitB;
+        return k;
+    }
+
+    size_t
+    parseDo(size_t i, size_t end, size_t scopeEnd)
+    {
+        const int body = newBlock();
+        edge(cur, body);
+        const int condB = newBlock();
+        const int exitB = newBlock();
+        cur = body;
+        size_t k = parseStmt(i + 1, end, exitB, condB, scopeEnd);
+        if (!terminated)
+            edge(cur, condB);
+        terminated = false;
+        cur = condB;
+        if (kw(k, end, "while") && at(k + 1, end, "(")) {
+            const size_t close = matchClose(ctx, k + 1);
+            if (close < end) {
+                append(k, close + 1);
+                k = close + 1;
+                if (at(k, end, ";"))
+                    ++k;
+            }
+        }
+        edge(condB, body);
+        edge(condB, exitB);
+        cur = exitB;
+        return k;
+    }
+
+    size_t
+    parseSwitch(size_t i, size_t end, int cont, size_t scopeEnd)
+    {
+        if (!at(i + 1, end, "("))
+            return opaqueStmt(i, end, scopeEnd);
+        const size_t close = matchClose(ctx, i + 1);
+        if (close >= end || !at(close + 1, end, "{"))
+            return opaqueStmt(i, end, scopeEnd);
+        append(i, close + 1);
+        const int head = cur;
+        const int exitB = newBlock();
+        const size_t bodyClose = matchClose(ctx, close + 1);
+        const size_t bend = bodyClose < end ? bodyClose : end;
+        size_t k = close + 2;
+        terminated = true; // code before the first label is dead
+        while (k < bend) {
+            const bool isCase = kw(k, bend, "case");
+            const bool isDefault =
+                kw(k, bend, "default") && at(k + 1, bend, ":");
+            if (isCase || isDefault) {
+                size_t j = k + 1;
+                while (j < bend && !isPunctTok(ctx.codeTok(j), ":"))
+                    ++j;
+                const bool fellThrough = !terminated;
+                const int prevB = cur;
+                const int lab = newBlock();
+                edge(head, lab);
+                if (fellThrough)
+                    edge(prevB, lab);
+                terminated = false;
+                cur = lab;
+                k = j + 1;
+                continue;
+            }
+            k = parseStmt(k, bend, exitB, cont, bend);
+        }
+        if (!terminated)
+            edge(cur, exitB);
+        terminated = false;
+        edge(head, exitB); // no matching label
+        cur = exitB;
+        return bodyClose < end ? bodyClose + 1 : end;
+    }
+
+    size_t
+    parseTry(size_t i, size_t end, int brk, int cont, size_t scopeEnd)
+    {
+        if (!at(i + 1, end, "{"))
+            return opaqueStmt(i, end, scopeEnd);
+        const size_t open = i + 1;
+        const size_t close = matchClose(ctx, open);
+        if (close >= end)
+            return opaqueStmt(i, end, scopeEnd);
+        fn.tryRanges.emplace_back(open, close);
+        const int preB = cur;
+        const int tryB = newBlock();
+        edge(preB, tryB);
+        cur = tryB;
+        parseSeq(open + 1, close, brk, cont, close);
+        const int tryEnd = cur;
+        const bool tryTerm = terminated;
+        terminated = false;
+        const int join = newBlock();
+        if (!tryTerm)
+            edge(tryEnd, join);
+        size_t k = close + 1;
+        while (kw(k, end, "catch") && at(k + 1, end, "(")) {
+            const size_t pclose = matchClose(ctx, k + 1);
+            if (pclose >= end || !at(pclose + 1, end, "{"))
+                break;
+            const size_t bclose = matchClose(ctx, pclose + 1);
+            if (bclose >= end)
+                break;
+            const int cb = newBlock();
+            // An exception can surface anywhere inside the try body,
+            // so the handler is reachable from both its entry and its
+            // exit (which makes try-assigned locals visible in it).
+            edge(preB, cb);
+            edge(tryEnd, cb);
+            cur = cb;
+            append(k, pclose + 1);
+            parseSeq(pclose + 2, bclose, brk, cont, bclose);
+            if (!terminated)
+                edge(cur, join);
+            terminated = false;
+            k = bclose + 1;
+        }
+        cur = join;
+        return k;
+    }
+};
+
+} // namespace
+
+size_t
+matchClose(const FileContext &ctx, size_t openIdx)
+{
+    const std::string &open = ctx.codeTok(openIdx).text;
+    const std::string close =
+        open == "(" ? ")" : open == "{" ? "}" : "]";
+    int depth = 0;
+    for (size_t j = openIdx; j < ctx.code.size(); ++j) {
+        const Token &t = ctx.codeTok(j);
+        if (t.kind != TokKind::Punct)
+            continue;
+        if (t.text == open)
+            ++depth;
+        else if (t.text == close && --depth == 0)
+            return j;
+    }
+    return ctx.code.size();
+}
+
+std::vector<FlowFunction>
+parseFunctions(const FileContext &ctx)
+{
+    std::vector<FlowFunction> out;
+    const size_t n = ctx.code.size();
+    size_t i = 0;
+    while (i < n) {
+        const Token &t = ctx.codeTok(i);
+        if (ppTok(ctx, i) || t.kind != TokKind::Identifier ||
+            reservedName(t.text) || i + 1 >= n ||
+            !isPunctTok(ctx.codeTok(i + 1), "(")) {
+            ++i;
+            continue;
+        }
+        const size_t parClose = matchClose(ctx, i + 1);
+        if (parClose >= n) {
+            ++i;
+            continue;
+        }
+
+        // Post-parameter scan: cv/ref/noexcept/override/attribute
+        // clutter until the body '{', a ctor-init ':', or evidence
+        // this is a declaration/call after all.
+        size_t bodyOpen = n;
+        size_t j = parClose + 1;
+        while (j < n) {
+            const Token &h = ctx.codeTok(j);
+            if (isPunctTok(h, "{")) {
+                bodyOpen = j;
+                break;
+            }
+            if (h.kind == TokKind::Identifier) {
+                if (j + 1 < n && isPunctTok(ctx.codeTok(j + 1), "(")) {
+                    const size_t c = matchClose(ctx, j + 1);
+                    if (c >= n)
+                        break;
+                    j = c + 1; // noexcept(...) / E3_REQUIRES(...)
+                    continue;
+                }
+                ++j;
+                continue;
+            }
+            if (isPunctTok(h, "->") || isPunctTok(h, "&") ||
+                isPunctTok(h, "&&") || isPunctTok(h, "*") ||
+                isPunctTok(h, "::") || isPunctTok(h, "<") ||
+                isPunctTok(h, ">") || isPunctTok(h, "[") ||
+                isPunctTok(h, "]")) {
+                ++j;
+                continue;
+            }
+            if (isPunctTok(h, ":")) {
+                bodyOpen = skipCtorInit(ctx, j + 1, n);
+                break;
+            }
+            break;
+        }
+        if (bodyOpen >= n) {
+            ++i;
+            continue;
+        }
+        const size_t bodyClose = matchClose(ctx, bodyOpen);
+        if (bodyClose >= n) {
+            ++i;
+            continue;
+        }
+
+        FlowFunction fn;
+        fn.name = t.text;
+        fn.nameIdx = i;
+        fn.line = t.line;
+        if (i >= 2 && isPunctTok(ctx.codeTok(i - 1), "::") &&
+            ctx.codeTok(i - 2).kind == TokKind::Identifier)
+            fn.qualifier = ctx.codeTok(i - 2).text;
+
+        // Header: walk back to the previous statement/scope boundary;
+        // what lies between is the return type, specifiers, template
+        // header and attributes.
+        size_t hb = i;
+        while (hb > 0) {
+            const Token &p = ctx.codeTok(hb - 1);
+            if (ppTok(ctx, hb - 1) || isPunctTok(p, ";") ||
+                isPunctTok(p, "{") || isPunctTok(p, "}") ||
+                isPunctTok(p, ":") || isPunctTok(p, ",") ||
+                isPunctTok(p, "(") || isPunctTok(p, ")"))
+                break;
+            --hb;
+        }
+        fn.headerBegin = hb;
+        for (size_t h = hb; h < i; ++h) {
+            const Token &p = ctx.codeTok(h);
+            if (isIdentTok(p, "E3_HOT"))
+                fn.hot = true;
+            if (isIdentTok(p, "Status") || isIdentTok(p, "Result"))
+                fn.returnsErrorType = true;
+        }
+        fn.bodyBegin = bodyOpen + 1;
+        fn.bodyEnd = bodyClose;
+
+        CfgBuilder builder(ctx, fn);
+        builder.parseSeq(fn.bodyBegin, fn.bodyEnd, -1, -1,
+                         fn.bodyEnd);
+        out.push_back(std::move(fn));
+        i = bodyClose + 1;
+    }
+    return out;
+}
+
+} // namespace e3::lint

@@ -6,9 +6,17 @@
  * identifiers, literals, comments, preprocessor directives and a few
  * multi-char operators apart. It is exact about the things that would
  * otherwise cause false positives: string and character literals
- * (including raw strings and escapes) are swallowed whole so a banned
- * identifier inside a string never fires, and comments are kept as
- * tokens so the waiver scanner can see them.
+ * (including raw strings with encoding prefixes, and escapes) are
+ * swallowed whole so a banned identifier inside a string never fires,
+ * comments are kept as tokens so the waiver scanner can see them, and
+ * line splices (backslash-newline, with or without a carriage return)
+ * are honoured at top level, inside // comments, and inside string
+ * literals so line numbers stay exact across them.
+ *
+ * Every token carries a `pp` flag: true from a directive's '#' to the
+ * unspliced end of its line. The flow passes (cfg.cc) skip pp tokens —
+ * a macro body is not a statement — while directive-matching rules
+ * keep dispatching on TokKind::Directive as before.
  */
 
 #include "lint/lint.hh"
@@ -46,6 +54,42 @@ const char *const kOperators[] = {
     "+=", "-=", "*=", "/=",
 };
 
+/**
+ * Length of the line splice at @p i (backslash + optional CR +
+ * newline), or 0 when there is none.
+ */
+size_t
+spliceLen(const std::string &src, size_t i)
+{
+    if (src[i] != '\\')
+        return 0;
+    if (i + 1 < src.size() && src[i + 1] == '\n')
+        return 2;
+    if (i + 2 < src.size() && src[i + 1] == '\r' && src[i + 2] == '\n')
+        return 3;
+    return 0;
+}
+
+/**
+ * Does a raw string literal start at @p i? Returns the length of the
+ * part before the opening '"' — 1 for R", 2 for uR"/UR"/LR",
+ * 3 for u8R" — or 0 when this is not a raw string.
+ */
+size_t
+rawPrefixLen(const std::string &src, size_t i)
+{
+    const size_t n = src.size();
+    if (src[i] == 'R' && i + 1 < n && src[i + 1] == '"')
+        return 1;
+    if ((src[i] == 'u' || src[i] == 'U' || src[i] == 'L') && i + 2 < n &&
+        src[i + 1] == 'R' && src[i + 2] == '"')
+        return 2;
+    if (src[i] == 'u' && i + 3 < n && src[i + 1] == '8' &&
+        src[i + 2] == 'R' && src[i + 3] == '"')
+        return 3;
+    return 0;
+}
+
 } // namespace
 
 std::vector<Token>
@@ -56,9 +100,10 @@ tokenize(const std::string &src)
     size_t i = 0;
     int line = 1;
     bool lineStart = true; // only whitespace seen since the newline
+    bool ppMode = false;   // inside a preprocessor directive line
 
     auto push = [&](TokKind kind, std::string text, int tokLine) {
-        out.push_back(Token{kind, std::move(text), tokLine});
+        out.push_back(Token{kind, std::move(text), tokLine, ppMode});
     };
 
     while (i < n) {
@@ -67,6 +112,14 @@ tokenize(const std::string &src)
             ++line;
             ++i;
             lineStart = true;
+            ppMode = false;
+            continue;
+        }
+        // A line splice joins physical lines into one logical line:
+        // the directive (and the lineStart state) continues across it.
+        if (const size_t splice = spliceLen(src, i)) {
+            ++line;
+            i += splice;
             continue;
         }
         if (std::isspace(static_cast<unsigned char>(c))) {
@@ -74,12 +127,19 @@ tokenize(const std::string &src)
             continue;
         }
 
-        // Comments (kept: the waiver scanner reads them).
+        // Comments (kept: the waiver scanner reads them). A splice at
+        // the end of a // comment continues the comment itself.
         if (c == '/' && i + 1 < n && src[i + 1] == '/') {
             const int tokLine = line;
             size_t j = i;
-            while (j < n && src[j] != '\n')
+            while (j < n && src[j] != '\n') {
+                if (const size_t splice = spliceLen(src, j)) {
+                    ++line;
+                    j += splice;
+                    continue;
+                }
                 ++j;
+            }
             push(TokKind::Comment, src.substr(i, j - i), tokLine);
             i = j;
             lineStart = false;
@@ -102,7 +162,8 @@ tokenize(const std::string &src)
 
         // Preprocessor directive: '#' first on its line becomes a
         // Directive token carrying the keyword; the rest of the line
-        // lexes normally (so `#ifndef GUARD` yields the guard name).
+        // lexes normally (so `#ifndef GUARD` yields the guard name)
+        // but is flagged pp until the unspliced end of line.
         if (c == '#' && lineStart) {
             size_t j = i + 1;
             while (j < n && (src[j] == ' ' || src[j] == '\t'))
@@ -110,15 +171,18 @@ tokenize(const std::string &src)
             size_t k = j;
             while (k < n && identChar(src[k]))
                 ++k;
+            ppMode = true;
             push(TokKind::Directive, src.substr(j, k - j), line);
             i = k;
             lineStart = false;
             continue;
         }
 
-        // Raw string literal: R"delim( ... )delim".
-        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-            size_t j = i + 2;
+        // Raw string literal: R"delim( ... )delim", with an optional
+        // u8/u/U/L encoding prefix. Contents are verbatim — a
+        // backslash-newline inside is literal text, not a splice.
+        if (const size_t prefix = rawPrefixLen(src, i)) {
+            size_t j = i + prefix + 1;
             std::string delim;
             while (j < n && src[j] != '(' && src[j] != '\n')
                 delim += src[j++];
@@ -141,16 +205,23 @@ tokenize(const std::string &src)
         // their (un-unescaped) contents — the module-dependency rule
         // reads #include paths from them; char literals stay
         // collapsed. Rules match on TokKind, so a banned identifier
-        // inside a string still never fires.
+        // inside a string still never fires. An escaped newline (a
+        // splice) still advances the line counter.
         if (c == '"' || c == '\'') {
             const char quote = c;
             const int tokLine = line;
             size_t j = i + 1;
             while (j < n && src[j] != quote) {
-                if (src[j] == '\\' && j + 1 < n)
+                if (src[j] == '\\' && j + 1 < n) {
+                    if (const size_t splice = spliceLen(src, j)) {
+                        ++line;
+                        j += splice;
+                        continue;
+                    }
                     ++j;
-                else if (src[j] == '\n')
+                } else if (src[j] == '\n') {
                     ++line; // tolerate unterminated literals
+                }
                 ++j;
             }
             const size_t contentEnd = j; // closing quote (or n)

@@ -181,14 +181,32 @@ defaultPolicy()
     p.add("src/obs", "E3L012", true);
     p.add("src/common", "E3L012", true);
 
+    // Discarded errors: tests assert on Status values their own way
+    // (CHECK macros, expected-failure probes), so the rule is scoped
+    // out of tests/ — except the lint fixtures, which exist to fire.
+    p.add("tests", "E3L013", false);
+
+    // Throw containment is a library (src/) contract; application code
+    // and tests may let exceptions propagate to their own harness.
+    p.add("", "E3L016", false);
+    p.add("src", "E3L016", true);
+
+    // The flow rules must all fire inside their fixture pairs, which
+    // are linted by explicit path from the process tests.
+    static const char *const kFlowRules[] = {"E3L013", "E3L014",
+                                             "E3L015", "E3L016",
+                                             "E3L017", "E3L018"};
+    for (const char *id : kFlowRules)
+        p.add("tests/fixtures/lint", id, true);
+
     // Deliberately-broken lint fixtures live here.
     p.skipTree("tests/fixtures");
     return p;
 }
 
-std::vector<Diagnostic>
-lintSource(const std::string &path, const std::string &source,
-           const Policy &policy)
+FileContext
+buildFileContext(const std::string &path, const std::string &source,
+                 const CallSummary *summary)
 {
     FileContext ctx;
     ctx.path = path;
@@ -198,19 +216,96 @@ lintSource(const std::string &path, const std::string &source,
         if (ctx.tokens[i].kind != TokKind::Comment)
             ctx.code.push_back(i);
     }
+    ctx.summary = summary;
+    ctx.functions = parseFunctions(ctx);
+    return ctx;
+}
+
+std::vector<Diagnostic>
+lintSource(const std::string &path, const std::string &source,
+           const Policy &policy, const CallSummary *summary)
+{
+    // With no merged summary (unit tests on in-memory snippets), build
+    // a single-TU one from the file itself so the flow rules still see
+    // same-file definitions.
+    CallSummary selfSummary;
+    if (summary == nullptr) {
+        for (const FunctionSummary &fn : summarizeSource(path, source))
+            selfSummary.add(fn);
+        selfSummary.finalize();
+        summary = &selfSummary;
+    }
+    const FileContext ctx = buildFileContext(path, source, summary);
 
     std::vector<Diagnostic> out;
+    // Pre-waiver fired lines per waiver token: the stale-waiver rule
+    // needs to know what each rule found before waivers filtered it.
+    std::map<std::string, std::set<int>> firedByToken;
+    std::vector<const Rule *> checkedRules;
+    const Rule *staleRule = nullptr;
     for (const auto &rule : allRules()) {
         if (!policy.enabled(rule->id(), path))
             continue;
+        if (rule->id() == "E3L018") {
+            staleRule = rule.get();
+            continue;
+        }
+        checkedRules.push_back(rule.get());
         std::vector<Diagnostic> found;
         rule->check(ctx, found);
+        std::set<int> &fired = firedByToken[rule->waiver()];
+        for (const Diagnostic &d : found)
+            fired.insert(d.line);
         if (found.empty())
             continue;
         const std::set<int> waived = ctx.waivedLines(rule->waiver());
         for (Diagnostic &d : found) {
             if (!waived.count(d.line))
                 out.push_back(std::move(d));
+        }
+    }
+
+    // E3L018: an e3-lint waiver naming an enabled rule's token must
+    // suppress at least one of that rule's pre-waiver findings on a
+    // line it covers; otherwise the waiver is stale. Tokens of rules
+    // disabled at this path are left alone — their waivers document
+    // intent for paths where the rule does apply.
+    if (staleRule != nullptr) {
+        const std::set<int> staleWaived =
+            ctx.waivedLines(staleRule->waiver());
+        int prevCodeLine = 0;
+        size_t codeIdx = 0;
+        for (size_t i = 0; i < ctx.tokens.size(); ++i) {
+            while (codeIdx < ctx.code.size() && ctx.code[codeIdx] < i) {
+                prevCodeLine = ctx.tokens[ctx.code[codeIdx]].line;
+                ++codeIdx;
+            }
+            const Token &t = ctx.tokens[i];
+            if (t.kind != TokKind::Comment)
+                continue;
+            const size_t marker = t.text.find("e3-lint:");
+            if (marker == std::string::npos)
+                continue;
+            const std::string rest = t.text.substr(marker + 8);
+            const bool standalone = prevCodeLine != t.line;
+            for (const Rule *rule : checkedRules) {
+                if (rest.find(rule->waiver()) == std::string::npos)
+                    continue;
+                const std::set<int> &fired =
+                    firedByToken[rule->waiver()];
+                const bool live =
+                    fired.count(t.line) != 0 ||
+                    (standalone && fired.count(t.line + 1) != 0);
+                if (!live && staleWaived.count(t.line) == 0) {
+                    out.push_back(Diagnostic{
+                        ctx.path, t.line, staleRule->id(),
+                        staleRule->name(),
+                        "waiver '" + rule->waiver() +
+                            "' no longer suppresses any " +
+                            rule->id() + " finding on the lines "
+                            "it covers"});
+                }
+            }
         }
     }
     std::sort(out.begin(), out.end(),

@@ -29,9 +29,11 @@
 #ifndef E3_TOOLS_LINT_LINT_HH
 #define E3_TOOLS_LINT_LINT_HH
 
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace e3::lint {
@@ -53,7 +55,26 @@ struct Token
     TokKind kind = TokKind::Punct;
     std::string text;
     int line = 0;
+    /**
+     * Token belongs to a preprocessor directive line (the keyword
+     * itself or anything after it up to the unspliced end of line).
+     * The flow passes skip these: a macro body is not a statement.
+     */
+    bool pp = false;
 };
+
+/** Token text tests shared by the rules and the flow passes. */
+inline bool
+isIdentTok(const Token &t, const char *text)
+{
+    return t.kind == TokKind::Identifier && t.text == text;
+}
+
+inline bool
+isPunctTok(const Token &t, const char *text)
+{
+    return t.kind == TokKind::Punct && t.text == text;
+}
 
 /** Tokenize C++ source; never fails (unknown bytes become Punct). */
 std::vector<Token> tokenize(const std::string &source);
@@ -68,6 +89,180 @@ struct Diagnostic
     std::string message;
 };
 
+// ---------------------------------------------------------------------------
+// Flow-sensitive core (cfg.cc, symbols.cc, callgraph.cc)
+//
+// A lightweight recursive-descent pass recovers function definitions
+// from the token stream and builds one control-flow graph per body:
+// basic blocks of code-token ranges linked by successor edges, with
+// if/else joins, loop back-edges, switch fan-out, early-return
+// termination and try/catch fan-in modeled. On top of the CFG sit a
+// scoped symbol view (error-typed locals, live lock regions) and a
+// cross-TU call summary built in a first pass over the tree and
+// consumed by the flow rules (E3L013–E3L017) in the second.
+// ---------------------------------------------------------------------------
+
+/** One CFG basic block: ordered code-token ranges plus successors. */
+struct CfgBlock
+{
+    /** Half-open [begin, end) ranges of code-token indices. */
+    std::vector<std::pair<size_t, size_t>> ranges;
+    std::vector<int> succs;
+};
+
+/**
+ * A live e3::MutexLock / e3::MutexLockPair region: from just past the
+ * guard's declaration statement to the close of the lexical scope the
+ * guard was declared in (its destructor point).
+ */
+struct LockRegion
+{
+    size_t begin = 0; ///< code index just past the declaration
+    size_t end = 0;   ///< code index of the enclosing scope's '}'
+    bool pair = false;
+    std::string name; ///< declared guard variable
+    int line = 0;
+};
+
+/** One recovered function definition with its CFG. */
+struct FlowFunction
+{
+    std::string name;
+    std::string qualifier; ///< class name for out-of-line members
+    int line = 0;          ///< line of the function name
+    size_t headerBegin = 0; ///< code index of the first header token
+    size_t nameIdx = 0;     ///< code index of the name token
+    size_t bodyBegin = 0;   ///< code index just inside the body '{'
+    size_t bodyEnd = 0;     ///< code index of the body's closing '}'
+    bool hot = false;              ///< E3_HOT in the header
+    bool returnsErrorType = false; ///< Status/Result return type
+    std::vector<CfgBlock> blocks;  ///< blocks[0] is the entry
+    /** (open, close) code-index pairs of try-statement bodies. */
+    std::vector<std::pair<size_t, size_t>> tryRanges;
+    std::vector<size_t> throwSites; ///< code indices of `throw`
+    std::vector<LockRegion> locks;
+};
+
+/** An error-typed (Status/Result) local declaration. */
+struct LocalVar
+{
+    std::string name;
+    size_t declIdx = 0;  ///< code index of the declared name
+    size_t scopeEnd = 0; ///< code index of the enclosing scope's '}'
+};
+
+/**
+ * What the cross-TU pass knows about one function, keyed by unqualified
+ * name. Same-name functions (overloads, same-name members of different
+ * classes) are merged conservatively: any-of for the flags, union for
+ * the callees.
+ */
+struct FunctionSummary
+{
+    std::string name;
+    bool returnsErrorType = false; ///< returns Status / Result<T>
+    /**
+     * Error-type flag split by definition kind: a free function and an
+     * out-of-line member sharing a name are different functions, and a
+     * member call site (`obj.record(...)`) can only reach the member —
+     * so `errMember` alone decides it, killing the collision where a
+     * void member shares its name with a Status-returning free helper.
+     * Unqualified calls could be either (implicit-this members) and
+     * consult both.
+     */
+    bool errFree = false;
+    bool errMember = false;
+    bool blocks = false;    ///< condvar wait, file/socket I/O, join
+    bool allocates = false; ///< new/malloc/container growth directly
+    std::vector<std::string> calls; ///< unqualified callee names
+};
+
+/**
+ * Merged per-tree call summaries. `blocks` is closed transitively over
+ * repo-local calls in finalize(); `allocates` deliberately stays
+ * direct-only — a transitive closure would mark nearly every function
+ * (anything reaching a compile or setup path) and drown E3L015 in
+ * noise, while the hot functions' own direct callees are exactly the
+ * steady-state surface the rule is guarding.
+ */
+class CallSummary
+{
+  public:
+    /** Merge one function's summary (conservative any-of/union). */
+    void add(const FunctionSummary &fn);
+
+    /** Close `blocks` over repo-local calls (fixpoint). */
+    void finalize();
+
+    /**
+     * Does a call to @p name yield a Status/Result? @p memberCall
+     * (receiver written as `obj.` / `ptr->`) restricts the answer to
+     * member definitions; unqualified calls consult both kinds.
+     */
+    bool returnsErrorType(const std::string &name,
+                          bool memberCall) const;
+    bool blocks(const std::string &name) const;
+    bool allocates(const std::string &name) const;
+
+  private:
+    std::map<std::string, FunctionSummary> byName_;
+};
+
+struct FileContext;
+
+/** Recover function definitions and build their CFGs. */
+std::vector<FlowFunction> parseFunctions(const FileContext &ctx);
+
+/**
+ * Code index of the close matching the open paren/brace/bracket at
+ * @p openIdx, or ctx.code.size() when unbalanced.
+ */
+size_t matchClose(const FileContext &ctx, size_t openIdx);
+
+/** Error-typed (Status/Result) locals declared in @p fn's body. */
+std::vector<LocalVar> collectLocals(const FileContext &ctx,
+                                    const FlowFunction &fn);
+
+/**
+ * Record e3::MutexLock/MutexLockPair declarations at statement level
+ * in [stmtBegin, stmtEnd) as lock regions living to @p scopeEnd.
+ * Called by the CFG builder, which knows real statement boundaries —
+ * so a guard inside a lambda body never leaks a region into the
+ * enclosing scope.
+ */
+void recordLockDecls(const FileContext &ctx, FlowFunction &fn,
+                     size_t stmtBegin, size_t stmtEnd,
+                     size_t scopeEnd);
+
+/**
+ * Is identifier @p name read at any code index CFG-reachable after
+ * @p fromIdx (which must lie inside @p fn's body)? An occurrence
+ * immediately followed by plain `=` is a write, not a read; code after
+ * a `return` in the same block is unreachable and does not count.
+ */
+bool identifierReadAfter(const FileContext &ctx,
+                         const FlowFunction &fn, size_t fromIdx,
+                         const std::string &name);
+
+/**
+ * Half-open (bodyBegin, bodyEnd) code-index ranges of lambda bodies in
+ * @p fn. Lock-scope reasoning treats these as deferred: a call written
+ * inside a lambda under a live guard usually runs on another thread
+ * (or after the guard died), so E3L014 skips them.
+ */
+std::vector<std::pair<size_t, size_t>>
+lambdaBodies(const FileContext &ctx, const FlowFunction &fn);
+
+/** True when code token @p i directly allocates (new/malloc/growth). */
+bool directAllocationAt(const FileContext &ctx, size_t i);
+
+/** True when code token @p i is a directly blocking call. */
+bool directBlockingAt(const FileContext &ctx, size_t i);
+
+/** First-pass harvest: one FunctionSummary per definition in @p source. */
+std::vector<FunctionSummary>
+summarizeSource(const std::string &path, const std::string &source);
+
 /** Everything a rule sees about one file. */
 struct FileContext
 {
@@ -76,6 +271,10 @@ struct FileContext
     std::vector<Token> tokens;
     /** Indices into tokens with comments filtered out. */
     std::vector<size_t> code;
+    /** Recovered function definitions with their CFGs. */
+    std::vector<FlowFunction> functions;
+    /** Cross-TU call summary; never null inside rule checks. */
+    const CallSummary *summary = nullptr;
 
     const Token &codeTok(size_t i) const { return tokens[code[i]]; }
 
@@ -86,6 +285,11 @@ struct FileContext
      */
     std::set<int> waivedLines(const std::string &waiverToken) const;
 };
+
+/** Tokenize + parse @p source into a rule-ready context. */
+FileContext buildFileContext(const std::string &path,
+                             const std::string &source,
+                             const CallSummary *summary);
 
 /** A single lint rule over one file's token stream. */
 class Rule
@@ -162,10 +366,15 @@ class Policy
  */
 Policy defaultPolicy();
 
-/** Lint one in-memory source against the policy. */
+/**
+ * Lint one in-memory source against the policy. When @p summary is
+ * null a single-TU summary is built from the file itself — unit tests
+ * stay self-contained; the CLI passes the merged two-pass summary.
+ */
 std::vector<Diagnostic> lintSource(const std::string &path,
                                    const std::string &source,
-                                   const Policy &policy);
+                                   const Policy &policy,
+                                   const CallSummary *summary = nullptr);
 
 /**
  * Lintable files under @p roots (files or directories), as paths

@@ -696,6 +696,514 @@ class ExplicitMemoryOrder : public Rule
     }
 };
 
+/**
+ * E3L013 — discarded Status/Result.
+ *
+ * Both error types are class-level [[nodiscard]], but the attribute is
+ * launderable: a `(void)` cast or a named local that is never read
+ * compiles clean and still drops the error on the floor. This rule
+ * uses the call summary to know which calls return Status/Result and
+ * the CFG to know whether a bound local is read on any path after its
+ * binding — a read inside only one branch of an if counts, code after
+ * a return does not.
+ */
+class DiscardedError : public Rule
+{
+  public:
+    DiscardedError()
+        : Rule("E3L013", "discarded-error", "discard-ok",
+               "a Status/Result-returning call whose value is "
+               "void-cast or bound to a local that is never read on "
+               "any path")
+    {
+    }
+
+    /** Is the expression starting at @p e a whole statement? */
+    static bool
+    statementStart(const FileContext &ctx, const FlowFunction &fn,
+                   size_t e)
+    {
+        const Token &p = ctx.codeTok(e - 1);
+        if (isPunct(p, ";") || isPunct(p, "{") || isPunct(p, "}"))
+            return true;
+        if (isIdent(p, "else") || isIdent(p, "do"))
+            return true;
+        if (isPunct(p, ":")) {
+            // `case X:` and `label:` start a statement; a ternary's
+            // ':' or a range-for's ':' do not. Walk back to whatever
+            // owns the colon.
+            size_t j = e - 1;
+            int depth = 0;
+            size_t steps = 0;
+            while (j > fn.headerBegin && steps++ < 64) {
+                --j;
+                const Token &q = ctx.codeTok(j);
+                if (isPunct(q, ")") || isPunct(q, "]") ||
+                    isPunct(q, "}")) {
+                    ++depth;
+                    continue;
+                }
+                if (isPunct(q, "(") || isPunct(q, "[") ||
+                    isPunct(q, "{")) {
+                    if (depth == 0)
+                        return isPunct(q, "{");
+                    --depth;
+                    continue;
+                }
+                if (depth != 0)
+                    continue;
+                if (isPunct(q, "?"))
+                    return false;
+                if (isIdent(q, "case") || isIdent(q, "default") ||
+                    isPunct(q, ";"))
+                    return true;
+            }
+            return false;
+        }
+        if (isPunct(p, ")")) {
+            // The close of a control clause (`if (...) call();`) is a
+            // statement start; the close of a cast or call is not.
+            int depth = 0;
+            size_t j = e - 1;
+            while (true) {
+                const Token &q = ctx.codeTok(j);
+                if (isPunct(q, ")"))
+                    ++depth;
+                else if (isPunct(q, "(") && --depth == 0)
+                    break;
+                if (j == fn.headerBegin || j == 0)
+                    return false;
+                --j;
+            }
+            if (j == 0)
+                return false;
+            const Token &kw = ctx.codeTok(j - 1);
+            return isIdent(kw, "if") || isIdent(kw, "while") ||
+                   isIdent(kw, "for") || isIdent(kw, "switch");
+        }
+        return false;
+    }
+
+    void
+    check(const FileContext &ctx, std::vector<Diagnostic> &out) const
+        override
+    {
+        if (!ctx.summary)
+            return;
+        for (const FlowFunction &fn : ctx.functions) {
+            const std::vector<LocalVar> locals =
+                collectLocals(ctx, fn);
+            for (size_t i = fn.bodyBegin; i < fn.bodyEnd; ++i) {
+                const Token &t = ctx.codeTok(i);
+                if (t.kind != TokKind::Identifier ||
+                    i + 1 >= fn.bodyEnd ||
+                    !isPunct(ctx.codeTok(i + 1), "("))
+                    continue;
+                const bool memberCall =
+                    i >= 1 && (isPunct(ctx.codeTok(i - 1), ".") ||
+                               isPunct(ctx.codeTok(i - 1), "->"));
+                if (!ctx.summary->returnsErrorType(t.text, memberCall))
+                    continue;
+                const size_t close = matchClose(ctx, i + 1);
+                if (close >= fn.bodyEnd)
+                    continue;
+
+                // Expression start: collapse `ns::`, `obj.`, `p->`.
+                size_t e = i;
+                while (e >= fn.bodyBegin + 2 &&
+                       (isPunct(ctx.codeTok(e - 1), "::") ||
+                        isPunct(ctx.codeTok(e - 1), ".") ||
+                        isPunct(ctx.codeTok(e - 1), "->")) &&
+                       ctx.codeTok(e - 2).kind == TokKind::Identifier)
+                    e -= 2;
+                // e == bodyBegin is fine: the previous token is the
+                // body's '{', which statementStart handles.
+                if (e < fn.bodyBegin)
+                    continue;
+                const Token &prev = ctx.codeTok(e - 1);
+
+                // (void)call(...)
+                if (isPunct(prev, ")") && e >= 3 &&
+                    isIdent(ctx.codeTok(e - 2), "void") &&
+                    isPunct(ctx.codeTok(e - 3), "(")) {
+                    out.push_back(diag(
+                        ctx, t.line,
+                        "'" + t.text +
+                            "' returns Status/Result but the value "
+                            "is cast to void; handle the error"));
+                    continue;
+                }
+                // static_cast<void>(call(...))
+                if (isPunct(prev, "(") && e >= 5 &&
+                    isPunct(ctx.codeTok(e - 2), ">") &&
+                    isIdent(ctx.codeTok(e - 3), "void") &&
+                    isPunct(ctx.codeTok(e - 4), "<") &&
+                    isIdent(ctx.codeTok(e - 5), "static_cast")) {
+                    out.push_back(diag(
+                        ctx, t.line,
+                        "'" + t.text +
+                            "' returns Status/Result but the value "
+                            "is cast to void; handle the error"));
+                    continue;
+                }
+                // Bare statement: call(...);
+                if (statementStart(ctx, fn, e) &&
+                    close + 1 < fn.bodyEnd + 1 &&
+                    isPunct(ctx.codeTok(close + 1), ";")) {
+                    out.push_back(diag(
+                        ctx, t.line,
+                        "result of '" + t.text +
+                            "' (Status/Result) is discarded"));
+                    continue;
+                }
+                // NAME = call(...): a declaration with an error type
+                // (or auto), or a reassignment of a tracked local.
+                if (!isPunct(prev, "=") || e < 2 ||
+                    ctx.codeTok(e - 2).kind != TokKind::Identifier)
+                    continue;
+                const size_t nameAt = e - 2;
+                const std::string name = ctx.codeTok(nameAt).text;
+                bool declared = false, errorTyped = false;
+                size_t b = nameAt;
+                while (b > fn.headerBegin) {
+                    const Token &q = ctx.codeTok(b - 1);
+                    const bool typeTok =
+                        q.kind == TokKind::Identifier ||
+                        isPunct(q, "::") || isPunct(q, "<") ||
+                        isPunct(q, ">") || isPunct(q, "&") ||
+                        isPunct(q, "*");
+                    if (!typeTok)
+                        break;
+                    declared = true;
+                    if (isIdent(q, "Status") || isIdent(q, "Result") ||
+                        isIdent(q, "auto"))
+                        errorTyped = true;
+                    --b;
+                }
+                if (declared && !errorTyped)
+                    continue; // bound into a non-error local/member
+                if (!declared) {
+                    // Reassignment: only tracked error-typed locals.
+                    const bool tracked = std::any_of(
+                        locals.begin(), locals.end(),
+                        [&](const LocalVar &v) {
+                            return v.name == name && v.declIdx < i &&
+                                   i < v.scopeEnd;
+                        });
+                    if (!tracked)
+                        continue;
+                }
+                // Statement end: the ';' at depth zero after the call.
+                size_t endIdx = close + 1;
+                int depth = 0;
+                while (endIdx < fn.bodyEnd) {
+                    const Token &q = ctx.codeTok(endIdx);
+                    if (isPunct(q, "(") || isPunct(q, "{"))
+                        ++depth;
+                    else if (isPunct(q, ")") || isPunct(q, "}"))
+                        --depth;
+                    else if (isPunct(q, ";") && depth <= 0)
+                        break;
+                    ++endIdx;
+                }
+                if (endIdx >= fn.bodyEnd)
+                    continue;
+                if (!identifierReadAfter(ctx, fn, endIdx, name)) {
+                    out.push_back(diag(
+                        ctx, t.line,
+                        "Status/Result of '" + t.text +
+                            "' is bound to '" + name +
+                            "' but never read on any path"));
+                }
+            }
+        }
+    }
+};
+
+/**
+ * E3L014 — blocking call while a lock is live.
+ *
+ * A condvar wait, file/socket I/O, a join or a transitively-blocking
+ * repo call under an e3::MutexLock turns every other thread contending
+ * for that mutex into a convoy — on the serve path that is tail
+ * latency, in the pool it is a deadlock risk. Lock regions are
+ * lexical (declaration to end of enclosing scope, the guard's
+ * destructor point). The one sanctioned shape is the condvar wait
+ * loop itself: `cv.wait(lock)` with exactly that single non-pair lock
+ * live releases the mutex inside wait by contract.
+ */
+class BlockingUnderLock : public Rule
+{
+  public:
+    BlockingUnderLock()
+        : Rule("E3L014", "blocking-under-lock", "blocking-ok",
+               "blocking call (condvar wait, file/socket I/O, join, "
+               "or a transitively blocking repo function) while an "
+               "e3::MutexLock/MutexLockPair is live")
+    {
+    }
+
+    void
+    check(const FileContext &ctx, std::vector<Diagnostic> &out) const
+        override
+    {
+        for (const FlowFunction &fn : ctx.functions) {
+            if (fn.locks.empty())
+                continue;
+            // A call written inside a lambda under a live guard is
+            // deferred work: it usually runs on another thread or
+            // after the guard died (thread bodies, pool tasks), so it
+            // is not "under" this lock.
+            const auto lambdas = lambdaBodies(ctx, fn);
+            for (size_t i = fn.bodyBegin; i < fn.bodyEnd; ++i) {
+                const Token &t = ctx.codeTok(i);
+                if (t.kind != TokKind::Identifier ||
+                    i + 1 >= fn.bodyEnd ||
+                    !isPunct(ctx.codeTok(i + 1), "("))
+                    continue;
+                const bool deferred = std::any_of(
+                    lambdas.begin(), lambdas.end(),
+                    [&](const std::pair<size_t, size_t> &body) {
+                        return i > body.first && i < body.second;
+                    });
+                if (deferred)
+                    continue;
+                size_t liveCount = 0;
+                bool livePair = false;
+                for (const LockRegion &lock : fn.locks) {
+                    if (i >= lock.begin && i < lock.end) {
+                        ++liveCount;
+                        livePair = livePair || lock.pair;
+                    }
+                }
+                if (liveCount == 0)
+                    continue;
+                const bool member =
+                    isPunct(ctx.codeTok(i - 1), ".") ||
+                    isPunct(ctx.codeTok(i - 1), "->");
+                const bool waitFamily =
+                    member && (t.text == "wait" ||
+                               t.text == "wait_for" ||
+                               t.text == "wait_until");
+                if (waitFamily) {
+                    // cv.wait(lock) releases its single lock inside;
+                    // a second live lock (or a pair) stays held.
+                    if (liveCount > 1 || livePair) {
+                        out.push_back(diag(
+                            ctx, t.line,
+                            "condvar '" + t.text +
+                                "' with more than its own lock "
+                                "live; the extra lock stays held "
+                                "for the whole wait"));
+                    }
+                    continue;
+                }
+                const bool blocking =
+                    directBlockingAt(ctx, i) ||
+                    (ctx.summary && ctx.summary->blocks(t.text));
+                if (blocking) {
+                    out.push_back(diag(
+                        ctx, t.line,
+                        "blocking call '" + t.text +
+                            "' while a lock is live in the "
+                            "enclosing scope"));
+                }
+            }
+        }
+    }
+};
+
+/**
+ * E3L015 — allocation inside an E3_HOT function.
+ *
+ * Functions marked E3_HOT (common/hot.hh) are the per-step inference
+ * surface: activateBatch/activateLane, the env stepLane, the serve
+ * batch evaluate. One malloc there is a latency spike on the edge
+ * target and a throughput bug under load. Direct new/malloc/container
+ * growth fires, as does a call to a repo function whose summary says
+ * it directly allocates; deeper (transitive) allocation is left to
+ * the callee's own E3_HOT marking, by design.
+ */
+class AllocInHotPath : public Rule
+{
+  public:
+    AllocInHotPath()
+        : Rule("E3L015", "alloc-in-hot-path", "alloc-ok",
+               "new/malloc/container growth (or a call to a directly "
+               "allocating repo function) inside an E3_HOT function")
+    {
+    }
+
+    void
+    check(const FileContext &ctx, std::vector<Diagnostic> &out) const
+        override
+    {
+        for (const FlowFunction &fn : ctx.functions) {
+            if (!fn.hot)
+                continue;
+            for (size_t i = fn.bodyBegin; i < fn.bodyEnd; ++i) {
+                const Token &t = ctx.codeTok(i);
+                if (directAllocationAt(ctx, i)) {
+                    out.push_back(diag(
+                        ctx, t.line,
+                        "'" + t.text + "' allocates inside E3_HOT '" +
+                            fn.name + "'"));
+                    continue;
+                }
+                if (t.kind == TokKind::Identifier &&
+                    i + 1 < fn.bodyEnd &&
+                    isPunct(ctx.codeTok(i + 1), "(") &&
+                    t.text != fn.name && ctx.summary &&
+                    ctx.summary->allocates(t.text)) {
+                    out.push_back(diag(
+                        ctx, t.line,
+                        "E3_HOT '" + fn.name + "' calls '" + t.text +
+                            "', which allocates"));
+                }
+            }
+        }
+    }
+};
+
+/**
+ * E3L016 — throw escaping library code.
+ *
+ * src/ reports errors as Status/Result; a throw that leaves a library
+ * function rides an invisible control path the callers (and the
+ * checkpoint-resume degrade-to-warning story) do not handle. A throw
+ * inside a try in the same function is fine — that is the sanctioned
+ * local-validation shape (see common/ini.cc).
+ */
+class ThrowEscapesLibrary : public Rule
+{
+  public:
+    ThrowEscapesLibrary()
+        : Rule("E3L016", "throw-escapes-library", "throw-ok",
+               "a throw in src/ outside any try of the same "
+               "function escapes as an exception instead of a "
+               "Status/Result")
+    {
+    }
+
+    void
+    check(const FileContext &ctx, std::vector<Diagnostic> &out) const
+        override
+    {
+        for (const FlowFunction &fn : ctx.functions) {
+            for (size_t site : fn.throwSites) {
+                const bool covered = std::any_of(
+                    fn.tryRanges.begin(), fn.tryRanges.end(),
+                    [&](const std::pair<size_t, size_t> &range) {
+                        return site > range.first &&
+                               site < range.second;
+                    });
+                if (!covered) {
+                    out.push_back(diag(
+                        ctx, ctx.codeTok(site).line,
+                        "throw in '" + fn.name +
+                            "' escapes the function; return "
+                            "Status/Result instead"));
+                }
+            }
+        }
+    }
+};
+
+/**
+ * E3L017 — phase-level entry points without a TraceSpan.
+ *
+ * The observability contract (DESIGN.md §6) is that every phase-level
+ * subsystem entry emits a span, so a stalled generation or a slow
+ * checkpoint shows up in the trace rather than in a debugger. The
+ * table below names the entry points; a listed function with no
+ * TraceSpan anywhere in its body fires.
+ */
+class MissingSpan : public Rule
+{
+  public:
+    MissingSpan()
+        : Rule("E3L017", "missing-span", "span-ok",
+               "a phase-level subsystem entry point with no "
+               "obs::TraceSpan on any path")
+    {
+    }
+
+    struct Entry
+    {
+        const char *path;
+        const char *function;
+    };
+
+    static const std::vector<Entry> &
+    table()
+    {
+        static const std::vector<Entry> t = {
+            {"src/e3/platform.cc", "run"},
+            {"src/runtime/parallel_eval.cc", "evaluate"},
+            {"src/serve/server.cc", "evaluateBatch"},
+            {"src/persist/checkpoint.cc", "writeCheckpoint"},
+            {"src/persist/checkpoint.cc", "loadLatestCheckpoint"},
+            {"tests/fixtures/lint/e3l017_violation.cc",
+             "handleRequest"},
+            {"tests/fixtures/lint/e3l017_clean.cc", "handleRequest"},
+        };
+        return t;
+    }
+
+    void
+    check(const FileContext &ctx, std::vector<Diagnostic> &out) const
+        override
+    {
+        for (const Entry &entry : table()) {
+            if (ctx.path != entry.path)
+                continue;
+            for (const FlowFunction &fn : ctx.functions) {
+                if (fn.name != entry.function)
+                    continue;
+                bool hasSpan = false;
+                for (size_t i = fn.bodyBegin;
+                     i < fn.bodyEnd && !hasSpan; ++i)
+                    hasSpan = isIdent(ctx.codeTok(i), "TraceSpan");
+                if (!hasSpan) {
+                    out.push_back(diag(
+                        ctx, fn.line,
+                        "'" + fn.name +
+                            "' is a phase-level entry point but "
+                            "opens no TraceSpan"));
+                }
+            }
+        }
+    }
+};
+
+/**
+ * E3L018 — stale waivers.
+ *
+ * A waiver that no longer suppresses anything is worse than dead code:
+ * it documents a hazard that moved, and it will silently swallow the
+ * next real finding that lands on its line. The check itself lives in
+ * the lint driver (lintSource), which is the only place that sees
+ * every rule's pre-waiver findings; this registry entry carries the
+ * ID, the catalog text and the waiver token.
+ */
+class StaleWaiver : public Rule
+{
+  public:
+    StaleWaiver()
+        : Rule("E3L018", "stale-waiver", "stale-waiver-ok",
+               "an e3-lint waiver comment whose rule produces no "
+               "finding on the lines it covers")
+    {
+    }
+
+    void
+    check(const FileContext &, std::vector<Diagnostic> &) const
+        override
+    {
+        // Implemented by the driver; see lintSource().
+    }
+};
+
 } // namespace
 
 const std::vector<std::unique_ptr<Rule>> &
@@ -715,6 +1223,12 @@ allRules()
         r.push_back(std::make_unique<NoRawMutex>());
         r.push_back(std::make_unique<NoRawThread>());
         r.push_back(std::make_unique<ExplicitMemoryOrder>());
+        r.push_back(std::make_unique<DiscardedError>());
+        r.push_back(std::make_unique<BlockingUnderLock>());
+        r.push_back(std::make_unique<AllocInHotPath>());
+        r.push_back(std::make_unique<ThrowEscapesLibrary>());
+        r.push_back(std::make_unique<MissingSpan>());
+        r.push_back(std::make_unique<StaleWaiver>());
         return r;
     }();
     return rules;

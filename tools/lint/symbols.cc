@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Scoped symbol tracking over recovered functions: error-typed local
+ * declarations, live lock regions, and the CFG-reachability read query
+ * the discarded-error rule (E3L013) is built on.
+ *
+ * Liveness here is deliberately read-oriented: a local "lives" past a
+ * point when any CFG-reachable later token reads it. An occurrence
+ * immediately followed by plain `=` is a write (overwriting an
+ * unchecked Status is exactly the laundering E3L013 exists to catch);
+ * `==`, `+=` and friends lex as single tokens, so compound reads still
+ * count.
+ */
+
+#include "lint/lint.hh"
+
+namespace e3::lint {
+
+namespace {
+
+/** Skip a balanced `<...>` template-argument list, if one opens at i. */
+size_t
+skipTemplateArgs(const FileContext &ctx, size_t i, size_t end)
+{
+    if (i >= end || !isPunctTok(ctx.codeTok(i), "<"))
+        return i;
+    int depth = 0;
+    for (size_t j = i; j < end; ++j) {
+        const Token &t = ctx.codeTok(j);
+        if (isPunctTok(t, "<")) {
+            ++depth;
+        } else if (isPunctTok(t, ">")) {
+            if (--depth == 0)
+                return j + 1;
+        } else if (isPunctTok(t, ";") || isPunctTok(t, "{")) {
+            break; // a comparison, not a template list
+        }
+    }
+    return i;
+}
+
+} // namespace
+
+std::vector<LocalVar>
+collectLocals(const FileContext &ctx, const FlowFunction &fn)
+{
+    std::vector<LocalVar> out;
+    std::vector<size_t> scopes; // close indices of open '{' scopes
+    size_t i = fn.bodyBegin;
+    while (i < fn.bodyEnd) {
+        const Token &t = ctx.codeTok(i);
+        if (isPunctTok(t, "{")) {
+            scopes.push_back(matchClose(ctx, i));
+            ++i;
+            continue;
+        }
+        if (isPunctTok(t, "}")) {
+            if (!scopes.empty() && scopes.back() == i)
+                scopes.pop_back();
+            ++i;
+            continue;
+        }
+        if (!isIdentTok(t, "Status") && !isIdentTok(t, "Result")) {
+            ++i;
+            continue;
+        }
+        // `Status::error(...)` et al. are calls, not declarations.
+        size_t j = i + 1;
+        j = skipTemplateArgs(ctx, j, fn.bodyEnd);
+        while (j < fn.bodyEnd && (isPunctTok(ctx.codeTok(j), "&") ||
+                                  isPunctTok(ctx.codeTok(j), "*") ||
+                                  isIdentTok(ctx.codeTok(j), "const")))
+            ++j;
+        if (j < fn.bodyEnd &&
+            ctx.codeTok(j).kind == TokKind::Identifier &&
+            j + 1 < fn.bodyEnd) {
+            const Token &after = ctx.codeTok(j + 1);
+            if (isPunctTok(after, "=") || isPunctTok(after, ";") ||
+                isPunctTok(after, "(") || isPunctTok(after, "{")) {
+                LocalVar v;
+                v.name = ctx.codeTok(j).text;
+                v.declIdx = j;
+                v.scopeEnd =
+                    scopes.empty() ? fn.bodyEnd : scopes.back();
+                out.push_back(std::move(v));
+            }
+        }
+        i = j > i ? j : i + 1;
+    }
+    return out;
+}
+
+void
+recordLockDecls(const FileContext &ctx, FlowFunction &fn,
+                size_t stmtBegin, size_t stmtEnd, size_t scopeEnd)
+{
+    // Only depth-zero declarations count: a guard inside a lambda or
+    // brace initializer within this statement locks some other scope,
+    // not this one.
+    int pd = 0, bd = 0, sd = 0;
+    for (size_t i = stmtBegin; i < stmtEnd; ++i) {
+        const Token &t = ctx.codeTok(i);
+        if (t.kind == TokKind::Punct) {
+            if (t.text == "(")
+                ++pd;
+            else if (t.text == ")")
+                --pd;
+            else if (t.text == "{")
+                ++bd;
+            else if (t.text == "}")
+                --bd;
+            else if (t.text == "[")
+                ++sd;
+            else if (t.text == "]")
+                --sd;
+            continue;
+        }
+        if (pd != 0 || bd != 0 || sd != 0)
+            continue;
+        const bool isLock = isIdentTok(t, "MutexLock");
+        const bool isPair = isIdentTok(t, "MutexLockPair");
+        if (!isLock && !isPair)
+            continue;
+        if (i + 2 >= stmtEnd ||
+            ctx.codeTok(i + 1).kind != TokKind::Identifier ||
+            !isPunctTok(ctx.codeTok(i + 2), "("))
+            continue;
+        LockRegion region;
+        region.begin = stmtEnd; // live from the statement's end
+        region.end = scopeEnd;  // to the enclosing scope's close
+        region.pair = isPair;
+        region.name = ctx.codeTok(i + 1).text;
+        region.line = t.line;
+        fn.locks.push_back(std::move(region));
+    }
+}
+
+bool
+identifierReadAfter(const FileContext &ctx, const FlowFunction &fn,
+                    size_t fromIdx, const std::string &name)
+{
+    auto readIn = [&](size_t b, size_t e) {
+        for (size_t k = b; k < e; ++k) {
+            const Token &t = ctx.codeTok(k);
+            if (t.kind != TokKind::Identifier || t.text != name)
+                continue;
+            if (k + 1 < ctx.code.size() &&
+                isPunctTok(ctx.codeTok(k + 1), "="))
+                continue; // plain assignment: a write
+            return true;
+        }
+        return false;
+    };
+
+    // Locate the (block, range) holding fromIdx.
+    int startB = -1;
+    size_t startR = 0;
+    for (size_t b = 0; b < fn.blocks.size() && startB < 0; ++b) {
+        const CfgBlock &blk = fn.blocks[b];
+        for (size_t r = 0; r < blk.ranges.size(); ++r) {
+            if (fromIdx >= blk.ranges[r].first &&
+                fromIdx < blk.ranges[r].second) {
+                startB = static_cast<int>(b);
+                startR = r;
+                break;
+            }
+        }
+    }
+    if (startB < 0) {
+        // Not inside any modeled range (malformed body): fall back to
+        // a linear scan, which can only under-report violations.
+        return readIn(fromIdx + 1, fn.bodyEnd);
+    }
+
+    const CfgBlock &sb = fn.blocks[startB];
+    if (readIn(fromIdx + 1, sb.ranges[startR].second))
+        return true;
+    for (size_t r = startR + 1; r < sb.ranges.size(); ++r) {
+        if (readIn(sb.ranges[r].first, sb.ranges[r].second))
+            return true;
+    }
+
+    // BFS over successors. The start block is deliberately not marked
+    // visited: a loop back-edge may legitimately re-enter it, at which
+    // point even its pre-fromIdx tokens are reachable reads.
+    std::vector<char> seen(fn.blocks.size(), 0);
+    std::vector<int> work(sb.succs.begin(), sb.succs.end());
+    while (!work.empty()) {
+        const int b = work.back();
+        work.pop_back();
+        if (seen[b])
+            continue;
+        seen[b] = 1;
+        for (const auto &range : fn.blocks[b].ranges) {
+            if (readIn(range.first, range.second))
+                return true;
+        }
+        for (int s : fn.blocks[b].succs)
+            work.push_back(s);
+    }
+    return false;
+}
+
+} // namespace e3::lint
